@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Dgraph Explore Format Guarded Hashtbl List Measure Nonmask Printf Prng Protocols Sim Staged String Sys Table Test Time Toolkit Topology

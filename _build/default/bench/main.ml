@@ -1,0 +1,983 @@
+(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E10)
+   and runs the bechamel microbenchmarks (micro / B1-B6).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe e1 e4     # selected experiments
+     dune exec bench/main.exe micro     # microbenchmarks only
+
+   The paper (an extended abstract) has no numbered tables or figures; the
+   experiments below operationalize its claims — the mapping is recorded in
+   DESIGN.md section 4 and EXPERIMENTS.md. All randomness is seeded: the
+   output is reproducible bit for bit. *)
+
+module State = Guarded.State
+module Compile = Guarded.Compile
+module Tree = Topology.Tree
+module Space = Explore.Space
+module Tsys = Explore.Tsys
+module Convergence = Explore.Convergence
+module Diffusing = Protocols.Diffusing
+module Token_ring = Protocols.Token_ring
+module Dijkstra_ring = Protocols.Dijkstra_ring
+module Xyz_demo = Protocols.Xyz_demo
+module Atomic = Protocols.Atomic_action
+module Lowatomic = Protocols.Diffusing_lowatomic
+module Naive_ring = Protocols.Naive_ring
+
+let seed = 20260705
+
+let summary_cells (r : Sim.Experiment.result) =
+  match r.summary with
+  | None -> [ "-"; "-"; "-"; Table.i r.failures ]
+  | Some s ->
+      [
+        Table.f1 s.Sim.Stats.mean;
+        Table.f1 s.Sim.Stats.p90;
+        Table.f1 s.Sim.Stats.max;
+        Table.i r.failures;
+      ]
+
+let scramble_trials ?(trials = 200) ~env ~program ~invariant ~legit () =
+  let fault = Sim.Fault.scramble env in
+  Sim.Experiment.convergence_trials ~rng:(Prng.create seed) ~trials
+    ~daemon:(fun r -> Sim.Daemon.random r)
+    ~prepare:(fun r ->
+      let s = legit () in
+      fault.Sim.Fault.inject r s;
+      s)
+    ~stop:invariant program
+
+(* E1 — convergence of the diffusing computation across tree shapes and
+   sizes (Theorem 1 / Section 5.1). *)
+let e1 () =
+  let shapes =
+    [
+      ("chain", fun n -> Tree.chain n);
+      ("star", fun n -> Tree.star n);
+      ("balanced-2", fun n -> Tree.balanced ~arity:2 n);
+      ("random", fun n -> Tree.random (Prng.create (seed + n)) n);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (shape, build) ->
+        List.map
+          (fun n ->
+            let d = Diffusing.make (build n) in
+            let r =
+              scramble_trials ~env:(Diffusing.env d)
+                ~program:(Compile.program (Diffusing.combined d))
+                ~invariant:(fun s -> Diffusing.invariant d s)
+                ~legit:(fun () -> Diffusing.all_green d)
+                ()
+            in
+            shape :: Table.i n
+            :: Table.i (Tree.height (Diffusing.tree d))
+            :: summary_cells r)
+          [ 7; 15; 31; 63 ])
+      shapes
+  in
+  Table.print
+    ~title:
+      "E1: diffusing computation - recovery steps from full scramble \
+       (random daemon, 200 trials)"
+    ~header:[ "shape"; "N"; "height"; "mean"; "p90"; "max"; "fail" ]
+    rows
+
+(* E2 — Dijkstra's ring: stabilization steps vs ring size (Section 7.1). *)
+let e2 () =
+  let rows =
+    List.map
+      (fun n ->
+        let dr = Dijkstra_ring.make ~nodes:n ~k:(n + 1) in
+        let r =
+          scramble_trials ~env:(Dijkstra_ring.env dr)
+            ~program:(Compile.program (Dijkstra_ring.program dr))
+            ~invariant:(fun s -> Dijkstra_ring.invariant dr s)
+            ~legit:(fun () -> Dijkstra_ring.all_zero dr)
+            ()
+        in
+        Table.i n :: Table.i (n + 1) :: summary_cells r)
+      [ 4; 8; 16; 32; 64 ]
+  in
+  Table.print
+    ~title:
+      "E2: Dijkstra K-state token ring - stabilization steps from full \
+       scramble (random daemon, 200 trials)"
+    ~header:[ "nodes"; "K"; "mean"; "p90"; "max"; "fail" ]
+    rows
+
+(* E3 — recovery time vs fault severity: corrupt k processes of a 31-node
+   diffusing computation (Section 3's fault-span view). *)
+let e3 () =
+  let d = Diffusing.make (Tree.balanced ~arity:2 31) in
+  let cp = Compile.program (Diffusing.combined d) in
+  let corrupt_nodes rr k s =
+    let nodes = Prng.sample_without_replacement rr k 31 in
+    Array.iter
+      (fun j ->
+        State.set s (Diffusing.color d j) (Prng.int rr 2);
+        State.set s (Diffusing.session d j) (Prng.int rr 2))
+      nodes
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let r =
+          Sim.Experiment.convergence_trials ~rng:(Prng.create (seed + k))
+            ~trials:200
+            ~daemon:(fun rr -> Sim.Daemon.random rr)
+            ~prepare:(fun rr ->
+              let s = Diffusing.all_green d in
+              corrupt_nodes rr k s;
+              s)
+            ~stop:(fun s -> Diffusing.invariant d s)
+            cp
+        in
+        let violated_sample =
+          let rr = Prng.create (seed + k) in
+          let s = Diffusing.all_green d in
+          corrupt_nodes rr k s;
+          Diffusing.violated d s
+        in
+        Table.i k :: Table.i violated_sample :: summary_cells r)
+      [ 1; 2; 4; 8; 16; 31 ]
+  in
+  Table.print
+    ~title:
+      "E3: diffusing computation (N=31) - recovery steps vs number of \
+       corrupted processes (random daemon, 200 trials)"
+    ~header:[ "corrupted"; "violated@0"; "mean"; "p90"; "max"; "fail" ]
+    rows
+
+(* E4 — daemon sensitivity (Section 2's computation model). *)
+let e4 () =
+  let daemons violated =
+    [
+      ("random", fun r -> Sim.Daemon.random r);
+      ("round-robin", fun _ -> Sim.Daemon.round_robin ());
+      ("first-enabled", fun _ -> Sim.Daemon.first_enabled);
+      ("distributed", fun r -> Sim.Daemon.distributed r);
+      ("adversarial", fun _ -> Sim.Daemon.greedy ~name:"adv" violated);
+    ]
+  in
+  let rows_for name env program invariant legit violated =
+    let fault = Sim.Fault.scramble env in
+    List.map
+      (fun (dname, daemon) ->
+        let r =
+          Sim.Experiment.convergence_trials ~rng:(Prng.create seed)
+            ~trials:200 ~daemon
+            ~prepare:(fun rr ->
+              let s = legit () in
+              fault.Sim.Fault.inject rr s;
+              s)
+            ~stop:invariant program
+        in
+        name :: dname :: summary_cells r)
+      (daemons violated)
+  in
+  let d = Diffusing.make (Tree.balanced ~arity:2 15) in
+  let dr = Dijkstra_ring.make ~nodes:8 ~k:9 in
+  Table.print
+    ~title:
+      "E4: daemon sensitivity - recovery steps from full scramble (200 \
+       trials)"
+    ~header:[ "protocol"; "daemon"; "mean"; "p90"; "max"; "fail" ]
+    (rows_for "diffusing-15" (Diffusing.env d)
+       (Compile.program (Diffusing.combined d))
+       (fun s -> Diffusing.invariant d s)
+       (fun () -> Diffusing.all_green d)
+       (fun s -> Diffusing.violated d s)
+    @ rows_for "dijkstra-8" (Dijkstra_ring.env dr)
+        (Compile.program (Dijkstra_ring.program dr))
+        (fun s -> Dijkstra_ring.invariant dr s)
+        (fun () -> Dijkstra_ring.all_zero dr)
+        (fun s -> Dijkstra_ring.privilege_count dr s))
+
+(* E5 — the theorem validators: every certificate obligation discharged
+   exhaustively, plus the consequent checked directly. *)
+let e5 () =
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, (Sys.time () -. t0) *. 1000.0)
+  in
+  let direct program invariant space =
+    let tsys = Tsys.build (Compile.program program) space in
+    match
+      Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant
+    with
+    | Ok { region_states; worst_case_steps } ->
+        Printf.sprintf "converges (region %d, worst %s)" region_states
+          (match worst_case_steps with
+          | Some w -> string_of_int w
+          | None -> "-")
+    | Error (Convergence.Deadlock _) -> "DEADLOCK"
+    | Error (Convergence.Livelock _) -> "LIVELOCK"
+  in
+  let rows = ref [] in
+  let add name theorem cert ms states verdict =
+    rows :=
+      [
+        name;
+        theorem;
+        (if Nonmask.Certify.ok cert then "VALID" else "INVALID");
+        Table.i (List.length cert.Nonmask.Certify.checks);
+        Table.i states;
+        Table.f1 ms;
+        verdict;
+      ]
+      :: !rows
+  in
+  List.iter
+    (fun (name, tree) ->
+      let d = Diffusing.make tree in
+      let space = Space.create (Diffusing.env d) in
+      let cert, ms = time (fun () -> Diffusing.certificate ~space d) in
+      add name "Thm 1" cert ms (Space.size space)
+        (direct (Diffusing.combined d)
+           (fun s -> Diffusing.invariant d s)
+           space))
+    [
+      ("diffusing chain-4", Tree.chain 4);
+      ("diffusing star-5", Tree.star 5);
+      ("diffusing bal-2-6", Tree.balanced ~arity:2 6);
+    ];
+  (let tr = Token_ring.make ~nodes:4 ~k:5 in
+   let space = Space.create (Token_ring.env tr) in
+   let cert, ms = time (fun () -> Token_ring.certificate ~space tr) in
+   add "token ring 4,K=5" "Thm 3*" cert ms (Space.size space)
+     (direct (Token_ring.combined tr)
+        (fun s -> Token_ring.invariant tr s)
+        space);
+   let cert2, ms2 = time (fun () -> Token_ring.certificate_strict ~space tr) in
+   add "token ring 4,K=5" "Thm 3 literal" cert2 ms2 (Space.size space)
+     "(antecedent fails as expected)");
+  List.iter
+    (fun (name, variant) ->
+      let d = Xyz_demo.make variant in
+      let space = Space.create (Xyz_demo.env d) in
+      let cert, ms = time (fun () -> Xyz_demo.certificate ~space d) in
+      let theorem =
+        match variant with Xyz_demo.Good_tree -> "Thm 1" | _ -> "Thm 2"
+      in
+      add name theorem cert ms (Space.size space)
+        (direct (Xyz_demo.program d) (fun s -> Xyz_demo.invariant d s) space))
+    [
+      ("xyz good-tree", Xyz_demo.Good_tree);
+      ("xyz good-ordered", Xyz_demo.Good_ordered);
+      ("xyz bad", Xyz_demo.Bad);
+    ];
+  (let a = Atomic.make (Tree.balanced ~arity:2 5) in
+   let space = Space.create (Atomic.env a) in
+   let cert, ms = time (fun () -> Atomic.certificate ~space a) in
+   add "atomic bal-2-5" "Thm 1" cert ms (Space.size space)
+     (direct (Atomic.program a) (fun s -> Atomic.invariant a s) space));
+  Table.print
+    ~title:
+      "E5: machine-checked certificates (Thm 3* = Theorem 3 modulo \
+       invariant) and direct model-checked consequents"
+    ~header:
+      [ "instance"; "theorem"; "cert"; "checks"; "states"; "ms"; "direct check" ]
+    (List.rev !rows)
+
+(* E6 — the x/y/z example of Sections 4 and 6: good designs converge, the
+   bad one livelocks. *)
+let e6 () =
+  let rows =
+    List.map
+      (fun (name, variant) ->
+        let d = Xyz_demo.make variant in
+        let space = Space.create (Xyz_demo.env d) in
+        let cert = Xyz_demo.certificate ~space d in
+        let tsys = Tsys.build (Compile.program (Xyz_demo.program d)) space in
+        let direct =
+          match
+            Convergence.check_unfair tsys
+              ~from:(fun _ -> true)
+              ~target:(fun s -> Xyz_demo.invariant d s)
+          with
+          | Ok { worst_case_steps = Some w; _ } ->
+              Printf.sprintf "converges (worst %d)" w
+          | Ok _ -> "converges"
+          | Error (Convergence.Livelock c) ->
+              Printf.sprintf "LIVELOCK (cycle of %d)" (List.length c)
+          | Error (Convergence.Deadlock _) -> "DEADLOCK"
+        in
+        let shape =
+          Dgraph.Classify.shape_to_string
+            (Nonmask.Cgraph.shape (Xyz_demo.cgraph d))
+        in
+        [
+          name;
+          shape;
+          (if Nonmask.Certify.ok cert then "VALID" else "INVALID");
+          direct;
+        ])
+      [
+        ("good-tree (Sec 4)", Xyz_demo.Good_tree);
+        ("good-ordered (Sec 6)", Xyz_demo.Good_ordered);
+        ("bad (Sec 6)", Xyz_demo.Bad);
+      ]
+  in
+  Table.print
+    ~title:"E6: the x<>y / x<=z example - design choices decide convergence"
+    ~header:[ "variant"; "graph"; "certificate"; "exhaustive check" ]
+    rows
+
+(* E7 — combined vs separate convergence actions (the design note at the
+   end of Section 5.1). *)
+let e7 () =
+  let model_rows =
+    List.map
+      (fun (name, tree) ->
+        let d = Diffusing.make tree in
+        let space = Space.create (Diffusing.env d) in
+        let worst program =
+          let tsys = Tsys.build (Compile.program program) space in
+          match
+            Convergence.check_unfair tsys
+              ~from:(fun _ -> true)
+              ~target:(fun s -> Diffusing.invariant d s)
+          with
+          | Ok { worst_case_steps = Some w; _ } -> string_of_int w
+          | Ok _ -> "-"
+          | Error _ -> "FAIL"
+        in
+        [
+          name;
+          Table.i (Guarded.Program.action_count (Diffusing.combined d));
+          Table.i (Guarded.Program.action_count (Diffusing.separate d));
+          worst (Diffusing.combined d);
+          worst (Diffusing.separate d);
+        ])
+      [
+        ("chain-4", Tree.chain 4);
+        ("star-5", Tree.star 5);
+        ("bal-2-6", Tree.balanced ~arity:2 6);
+      ]
+  in
+  Table.print
+    ~title:
+      "E7a: combined vs separate convergence actions - worst-case steps \
+       (exhaustive)"
+    ~header:[ "tree"; "acts(comb)"; "acts(sep)"; "worst(comb)"; "worst(sep)" ]
+    model_rows;
+  let sim_rows =
+    List.concat_map
+      (fun n ->
+        let d = Diffusing.make (Tree.balanced ~arity:2 n) in
+        let run program =
+          scramble_trials ~env:(Diffusing.env d)
+            ~program:(Compile.program program)
+            ~invariant:(fun s -> Diffusing.invariant d s)
+            ~legit:(fun () -> Diffusing.all_green d)
+            ()
+        in
+        [
+          "combined" :: Table.i n :: summary_cells (run (Diffusing.combined d));
+          "separate" :: Table.i n :: summary_cells (run (Diffusing.separate d));
+        ])
+      [ 15; 31 ]
+  in
+  Table.print
+    ~title:
+      "E7b: combined vs separate - recovery steps from scramble (random \
+       daemon, 200 trials)"
+    ~header:[ "variant"; "N"; "mean"; "p90"; "max"; "fail" ]
+    sim_rows
+
+(* E8 — the concluding-remarks claim: the derived programs converge even
+   without fairness. Checked exactly: no cycles and no deadlocks outside S
+   under arbitrary (unfair) scheduling. *)
+let e8 () =
+  let verdict program invariant env =
+    let space = Space.create env in
+    let tsys = Tsys.build (Compile.program program) space in
+    match
+      Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant
+    with
+    | Ok { region_states; worst_case_steps = Some w } ->
+        [ "yes"; Table.i region_states; Table.i w ]
+    | Ok { region_states; worst_case_steps = None } ->
+        [ "yes"; Table.i region_states; "-" ]
+    | Error (Convergence.Deadlock _) -> [ "NO (deadlock)"; "-"; "-" ]
+    | Error (Convergence.Livelock _) -> [ "NO (livelock)"; "-"; "-" ]
+  in
+  let rows =
+    [
+      (let d = Diffusing.make (Tree.chain 4) in
+       "diffusing chain-4"
+       :: verdict (Diffusing.combined d)
+            (fun s -> Diffusing.invariant d s)
+            (Diffusing.env d));
+      (let d = Diffusing.make (Tree.balanced ~arity:2 6) in
+       "diffusing bal-2-6"
+       :: verdict (Diffusing.combined d)
+            (fun s -> Diffusing.invariant d s)
+            (Diffusing.env d));
+      (let d = Lowatomic.make (Tree.balanced ~arity:2 5) in
+       "low-atomicity bal-2-5"
+       :: verdict (Lowatomic.program d)
+            (fun s -> Lowatomic.invariant d s)
+            (Lowatomic.env d));
+      (let tr = Token_ring.make ~nodes:4 ~k:5 in
+       "token ring 4,K=5"
+       :: verdict (Token_ring.combined tr)
+            (fun s -> Token_ring.invariant tr s)
+            (Token_ring.env tr));
+      (let dr = Dijkstra_ring.make ~nodes:5 ~k:6 in
+       "dijkstra 5,K=6"
+       :: verdict (Dijkstra_ring.program dr)
+            (fun s -> Dijkstra_ring.invariant dr s)
+            (Dijkstra_ring.env dr));
+      (let a = Atomic.make (Tree.balanced ~arity:2 5) in
+       "atomic bal-2-5"
+       :: verdict (Atomic.program a)
+            (fun s -> Atomic.invariant a s)
+            (Atomic.env a));
+      (let d = Xyz_demo.make Xyz_demo.Good_tree in
+       "xyz good-tree"
+       :: verdict (Xyz_demo.program d)
+            (fun s -> Xyz_demo.invariant d s)
+            (Xyz_demo.env d));
+      (let d = Xyz_demo.make Xyz_demo.Good_ordered in
+       "xyz good-ordered"
+       :: verdict (Xyz_demo.program d)
+            (fun s -> Xyz_demo.invariant d s)
+            (Xyz_demo.env d));
+    ]
+  in
+  Table.print
+    ~title:
+      "E8: convergence WITHOUT fairness (exact check: no unfair daemon can \
+       prevent convergence)"
+    ~header:[ "program"; "converges unfairly"; "region"; "worst steps" ]
+    rows
+
+(* E9 — the rank-derived variant function (concluding remarks): verified to
+   decrease, and shown along a recovery run. *)
+let e9 () =
+  let rows =
+    List.map
+      (fun (name, spec, cgraph, env) ->
+        match Nonmask.Variant.of_cgraph cgraph with
+        | None -> [ name; "-"; "cyclic: no ranks"; "-" ]
+        | Some v ->
+            let space = Space.create env in
+            let result =
+              match Nonmask.Variant.check ~space ~spec ~cgraph v with
+              | Ok () -> "decreases (verified)"
+              | Error f -> "FAILS at " ^ f.Nonmask.Variant.action
+            in
+            [
+              name;
+              Table.i (Nonmask.Variant.rank_count v);
+              result;
+              Table.i (Space.size space);
+            ])
+      [
+        (let d = Diffusing.make (Tree.chain 4) in
+         ( "diffusing chain-4",
+           Diffusing.spec d,
+           Diffusing.cgraph d,
+           Diffusing.env d ));
+        (let d = Diffusing.make (Tree.star 5) in
+         ( "diffusing star-5",
+           Diffusing.spec d,
+           Diffusing.cgraph d,
+           Diffusing.env d ));
+        (let d = Diffusing.make (Tree.balanced ~arity:2 6) in
+         ( "diffusing bal-2-6",
+           Diffusing.spec d,
+           Diffusing.cgraph d,
+           Diffusing.env d ));
+        (let d = Xyz_demo.make Xyz_demo.Good_tree in
+         ("xyz good-tree", Xyz_demo.spec d, Xyz_demo.cgraph d, Xyz_demo.env d));
+        (let a = Atomic.make (Tree.balanced ~arity:2 5) in
+         ("atomic bal-2-5", Atomic.spec a, Atomic.cgraph a, Atomic.env a));
+      ]
+  in
+  Table.print
+    ~title:
+      "E9: variant functions synthesized from constraint-graph ranks \
+       (convergence actions strictly decrease; closure actions never \
+       increase)"
+    ~header:[ "instance"; "ranks"; "exhaustive verification"; "states" ]
+    rows;
+  (* a sample trajectory: violations per rank along one recovery *)
+  let d = Diffusing.make (Tree.chain 5) in
+  match Nonmask.Variant.of_cgraph (Diffusing.cgraph d) with
+  | None -> ()
+  | Some v ->
+      let rng = Prng.create seed in
+      let s = Diffusing.all_green d in
+      (Sim.Fault.scramble (Diffusing.env d)).Sim.Fault.inject rng s;
+      let cp = Compile.program (Diffusing.separate d) in
+      Printf.printf
+        "E9 sample trajectory (diffusing chain-5, separate actions): \
+         violations per rank, lexicographic\n";
+      let state = ref s in
+      let steps = ref 0 in
+      let daemon = Sim.Daemon.random rng in
+      let pp_value st =
+        String.concat "; "
+          (Array.to_list (Array.map string_of_int (Nonmask.Variant.value v st)))
+      in
+      while (not (Diffusing.invariant d !state)) && !steps < 30 do
+        Printf.printf "  step %2d: [%s]\n" !steps (pp_value !state);
+        let o =
+          Sim.Runner.run ~max_steps:1 ~daemon ~init:!state
+            ~stop:(fun _ -> false) cp
+        in
+        state := o.Sim.Runner.final;
+        incr steps
+      done;
+      Printf.printf "  step %2d: [%s]  <- S holds\n" !steps (pp_value !state)
+
+(* E10 — the baseline: a naive token ring without convergence actions does
+   not self-stabilize. *)
+let e10 () =
+  let nr = Naive_ring.make ~nodes:5 in
+  let dr = Dijkstra_ring.make ~nodes:5 ~k:6 in
+  let check name program invariant env =
+    let space = Space.create env in
+    let tsys = Tsys.build (Compile.program program) space in
+    match
+      Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant
+    with
+    | Ok _ -> [ name; "stabilizes"; "-" ]
+    | Error (Convergence.Deadlock s) ->
+        [ name; "NO: deadlock"; State.to_string env s ]
+    | Error (Convergence.Livelock c) ->
+        [
+          name;
+          "NO: livelock";
+          Printf.sprintf "cycle of %d states" (List.length c);
+        ]
+  in
+  Table.print
+    ~title:"E10a: the method matters - exhaustive verdicts on 5-node rings"
+    ~header:[ "program"; "self-stabilizing?"; "witness" ]
+    [
+      check "naive ring" (Naive_ring.program nr)
+        (fun s -> Naive_ring.invariant nr s)
+        (Naive_ring.env nr);
+      check "dijkstra ring" (Dijkstra_ring.program dr)
+        (fun s -> Dijkstra_ring.invariant dr s)
+        (Dijkstra_ring.env dr);
+    ];
+  (* Simulation: from a two-token state, random scheduling sometimes merges
+     tokens by luck; an adversarial daemon never does; token loss is
+     unrecoverable either way. *)
+  let cp = Compile.program (Naive_ring.program nr) in
+  let env = Naive_ring.env nr in
+  let two_tokens () =
+    let s = State.make env in
+    State.set s (Naive_ring.token nr 0) 1;
+    State.set s (Naive_ring.token nr 2) 1;
+    s
+  in
+  let run daemon =
+    let converged = ref 0 in
+    let rng = Prng.create seed in
+    for _ = 1 to 200 do
+      let o =
+        Sim.Runner.run ~max_steps:500 ~daemon:(daemon rng)
+          ~init:(two_tokens ())
+          ~stop:(fun s -> Naive_ring.invariant nr s)
+          cp
+      in
+      if Sim.Runner.converged o then incr converged
+    done;
+    !converged
+  in
+  let random_merges = run (fun r -> Sim.Daemon.random r) in
+  let adv_merges =
+    run (fun _ ->
+        Sim.Daemon.greedy ~name:"keep" (fun s -> Naive_ring.token_count nr s))
+  in
+  Table.print
+    ~title:
+      "E10b: naive ring from a two-token state - lucky merges vs adversary \
+       (200 trials, 500-step budget)"
+    ~header:[ "daemon"; "recovered"; "of" ]
+    [
+      [ "random"; Table.i random_merges; "200" ];
+      [ "adversarial"; Table.i adv_merges; "200" ];
+      [ "any (zero tokens)"; "0"; "200" ];
+    ]
+
+(* E11 — stabilizing BFS spanning trees on general networks: a protocol the
+   paper's theorems do not cover (convergence actions read all neighbors),
+   validated by the exhaustive checker and measured by simulation. *)
+let e11 () =
+  let exact_rows =
+    List.map
+      (fun (name, g) ->
+        let st = Protocols.Spanning_tree.make ~root:0 g in
+        let space = Space.create (Protocols.Spanning_tree.env st) in
+        let tsys =
+          Tsys.build (Compile.program (Protocols.Spanning_tree.program st)) space
+        in
+        let verdict =
+          match
+            Convergence.check_unfair tsys
+              ~from:(fun _ -> true)
+              ~target:(fun s -> Protocols.Spanning_tree.invariant st s)
+          with
+          | Ok { worst_case_steps = Some w; _ } ->
+              Printf.sprintf "converges (worst %d)" w
+          | Ok _ -> "converges"
+          | Error (Convergence.Deadlock _) -> "DEADLOCK"
+          | Error (Convergence.Livelock _) -> "LIVELOCK"
+        in
+        [
+          name;
+          Table.i (Topology.Ugraph.size g);
+          Table.i (Topology.Ugraph.edge_count g);
+          Table.i (Space.size space);
+          verdict;
+        ])
+      [
+        ("path-4", Topology.Ugraph.path 4);
+        ("cycle-5", Topology.Ugraph.cycle 5);
+        ("star-5", Topology.Ugraph.star 5);
+        ("grid-2x3", Topology.Ugraph.grid ~width:2 ~height:3);
+        ("complete-4", Topology.Ugraph.complete 4);
+      ]
+  in
+  Table.print
+    ~title:
+      "E11a: BFS spanning tree - exhaustive convergence on small networks \
+       (beyond the theorems' graph classes)"
+    ~header:[ "network"; "nodes"; "edges"; "states"; "verdict" ]
+    exact_rows;
+  let sim_rows =
+    List.map
+      (fun (name, g) ->
+        let st = Protocols.Spanning_tree.make ~root:0 g in
+        let r =
+          scramble_trials
+            ~env:(Protocols.Spanning_tree.env st)
+            ~program:(Compile.program (Protocols.Spanning_tree.program st))
+            ~invariant:(fun s -> Protocols.Spanning_tree.invariant st s)
+            ~legit:(fun () -> Protocols.Spanning_tree.bfs_state st)
+            ()
+        in
+        (name :: Table.i (Topology.Ugraph.size g) :: summary_cells r))
+      [
+        ("grid-4x4", Topology.Ugraph.grid ~width:4 ~height:4);
+        ("grid-6x6", Topology.Ugraph.grid ~width:6 ~height:6);
+        ("cycle-32", Topology.Ugraph.cycle 32);
+        ( "sparse-32",
+          Topology.Ugraph.random_connected (Prng.create seed) 32
+            ~extra_edges:8 );
+        ( "dense-32",
+          Topology.Ugraph.random_connected (Prng.create seed) 32
+            ~extra_edges:64 );
+      ]
+  in
+  Table.print
+    ~title:
+      "E11b: BFS spanning tree - recovery from scramble (random daemon, 200 \
+       trials)"
+    ~header:[ "network"; "nodes"; "mean"; "p90"; "max"; "fail" ]
+    sim_rows
+
+(* E12 — cross-validation: the analytic expected convergence time (absorbing
+   Markov chain, value iteration) against the simulator's estimate. *)
+let e12 () =
+  let rows =
+    List.map
+      (fun (name, env, program, invariant) ->
+        let space = Space.create env in
+        let cp = Compile.program program in
+        let tsys = Tsys.build cp space in
+        let analytic =
+          match
+            Explore.Expected.mean_from tsys ~from:(fun _ -> true)
+              ~target:invariant
+          with
+          | Ok m -> m
+          | Error _ -> nan
+        in
+        (* simulate from uniformly random states *)
+        let rng = Prng.create seed in
+        let trials = 20_000 in
+        let total = ref 0 in
+        for _ = 1 to trials do
+          let s = Space.decode space (Prng.int rng (Space.size space)) in
+          let o =
+            Sim.Runner.run ~daemon:(Sim.Daemon.random rng) ~init:s
+              ~stop:invariant cp
+          in
+          total := !total + o.Sim.Runner.steps
+        done;
+        let simulated = float_of_int !total /. float_of_int trials in
+        [
+          name;
+          Table.i (Space.size space);
+          Printf.sprintf "%.4f" analytic;
+          Printf.sprintf "%.4f" simulated;
+          Printf.sprintf "%.2f%%"
+            (100.0 *. abs_float (simulated -. analytic) /. analytic);
+        ])
+      [
+        (let d = Diffusing.make (Tree.chain 4) in
+         ( "diffusing chain-4",
+           Diffusing.env d,
+           Diffusing.combined d,
+           fun s -> Diffusing.invariant d s ));
+        (let dr = Dijkstra_ring.make ~nodes:4 ~k:5 in
+         ( "dijkstra 4,K=5",
+           Dijkstra_ring.env dr,
+           Dijkstra_ring.program dr,
+           fun s -> Dijkstra_ring.invariant dr s ));
+        (let st = Protocols.Spanning_tree.make ~root:0 (Topology.Ugraph.cycle 4) in
+         ( "spanning cycle-4",
+           Protocols.Spanning_tree.env st,
+           Protocols.Spanning_tree.program st,
+           fun s -> Protocols.Spanning_tree.invariant st s ));
+      ]
+  in
+  Table.print
+    ~title:
+      "E12: analytic expected recovery steps (absorbing Markov chain) vs \
+       simulation (uniform random start, 20k trials)"
+    ~header:[ "program"; "states"; "analytic"; "simulated"; "error" ]
+    rows
+
+(* E13 — the methodology beyond the three theorems: convergence stairs
+   (Section 7), refinement checking (concluding remarks), and the
+   distributed-reset application (the paper's citation [12]). *)
+let e13 () =
+  (* stairs: the token ring's own two-stage argument *)
+  let tr = Token_ring.make ~nodes:4 ~k:5 in
+  let space = Space.create (Token_ring.env tr) in
+  let x = Token_ring.x tr in
+  let first_conjunct =
+    Guarded.Compile.pred
+      (Guarded.Expr.conj
+         (List.init 3 (fun j ->
+              let vj = x j and vj1 = x (j + 1) in
+              Guarded.Expr.(var vj >= var vj1))))
+  in
+  let stair =
+    Nonmask.Stair.validate ~space
+      ~program:(Token_ring.combined tr)
+      ~name:"token-ring (4 nodes, K=5)"
+      [
+        ("T", fun _ -> true);
+        ("first-conjunct", first_conjunct);
+        ("S", fun s -> Token_ring.invariant tr s);
+      ]
+  in
+  Printf.printf "\n== E13a: convergence stair (Section 7) ==\n";
+  Format.printf "%a@." Nonmask.Stair.pp stair;
+  (* refinement: low-atomicity diffusing vs the original *)
+  let tree = Tree.chain 3 in
+  let d = Diffusing.make tree in
+  let l = Lowatomic.make tree in
+  let projection =
+    List.concat_map
+      (fun j ->
+        [
+          (Diffusing.color d j, Lowatomic.color l j);
+          (Diffusing.session d j, Lowatomic.session l j);
+        ])
+      (Tree.nodes tree)
+  in
+  let run_refine ?within label =
+    let r =
+      Nonmask.Refine.check ?within
+        ~abstract_space:(Space.create (Diffusing.env d))
+        ~concrete_space:(Space.create (Lowatomic.env l))
+        ~abstract_program:(Diffusing.combined d)
+        ~concrete_program:(Lowatomic.program l)
+        ~projection
+        ~abstract_invariant:(fun s -> Diffusing.invariant d s)
+        ~concrete_invariant:(fun s -> Lowatomic.invariant l s)
+        ()
+    in
+    Printf.printf "%s:\n  " label;
+    Format.printf "%a@." Nonmask.Refine.pp r
+  in
+  Printf.printf "\n== E13b: refinement of the diffusing computation \
+                 (concluding remarks) ==\n";
+  run_refine "from arbitrary states (expected to fail)";
+  run_refine
+    ~within:(fun s -> Lowatomic.consistent l s)
+    "within the closed scan-pointer consistency relation";
+  let consistency_closed =
+    match
+      Explore.Closure.program_closed
+        (Space.create (Lowatomic.env l))
+        (Compile.program (Lowatomic.program l))
+        ~pred:(fun s -> Lowatomic.consistent l s)
+    with
+    | Ok () -> "closed (verified exhaustively)"
+    | Error _ -> "NOT CLOSED"
+  in
+  Printf.printf "consistency relation: %s\n" consistency_closed;
+  (* distributed reset: convergence + the reset guarantee *)
+  Printf.printf "\n== E13c: distributed reset (the paper's citation [12]) ==\n";
+  let r = Protocols.Reset.make (Tree.balanced ~arity:2 3) in
+  let rspace = Space.create (Protocols.Reset.env r) in
+  let cp = Compile.program (Protocols.Reset.program r) in
+  let tsys = Tsys.build cp rspace in
+  (match
+     Convergence.check_unfair tsys
+       ~from:(fun _ -> true)
+       ~target:(fun s -> Protocols.Reset.invariant r s)
+   with
+  | Ok { region_states; worst_case_steps } ->
+      Printf.printf
+        "reset layer converges (region %d, worst %s) - the application \
+         variables do not disturb the wave\n"
+        region_states
+        (match worst_case_steps with Some w -> string_of_int w | None -> "-")
+  | Error _ -> Printf.printf "reset layer FAILS\n");
+  let violations = ref 0 and red_turns = ref 0 in
+  let post = State.make (Protocols.Reset.env r) in
+  Space.iter rspace (fun _ s ->
+      Array.iter
+        (fun (ca : Compile.action) ->
+          if ca.Compile.enabled s then begin
+            ca.Compile.apply_into s post;
+            List.iter
+              (fun j ->
+                incr red_turns;
+                if State.get post (Protocols.Reset.app r j) <> 0 then
+                  incr violations)
+              (Protocols.Reset.turns_red r ~pre:s ~post)
+          end)
+        cp.Compile.actions);
+  Printf.printf
+    "reset guarantee: %d/%d red-turning transitions zero the application \
+     variable (checked over the whole space)\n"
+    (!red_turns - !violations) !red_turns
+
+(* micro — bechamel microbenchmarks of the substrate (B1-B6). *)
+let micro () =
+  let open Bechamel in
+  let d = Diffusing.make (Tree.balanced ~arity:2 15) in
+  (* the full invariant: a 14-way conjunction, where compilation pays *)
+  let invariant_expr = Nonmask.Spec.invariant (Diffusing.spec d) in
+  let compiled_guard = Guarded.Compile.pred invariant_expr in
+  let guard_expr = invariant_expr in
+  let legit = Diffusing.all_green d in
+  let cp = Compile.program (Diffusing.combined d) in
+  let small = Diffusing.make (Tree.chain 3) in
+  let small_space = Space.create (Diffusing.env small) in
+  let small_cp = Compile.program (Diffusing.combined small) in
+  let dr = Dijkstra_ring.make ~nodes:16 ~k:17 in
+  let dr_cp = Compile.program (Dijkstra_ring.program dr) in
+  let scc_graph =
+    let rng = Prng.create 1 in
+    let n = 10_000 in
+    let g = Dgraph.Digraph.create n in
+    for _ = 1 to 30_000 do
+      Dgraph.Digraph.add_edge g ~src:(Prng.int rng n) ~dst:(Prng.int rng n) ()
+    done;
+    g
+  in
+  let rng = Prng.create seed in
+  let fault = Sim.Fault.scramble (Dijkstra_ring.env dr) in
+  let tests =
+    [
+      Test.make ~name:"B1 invariant eval (interpreted)"
+        (Staged.stage (fun () -> Guarded.Expr.eval legit guard_expr));
+      Test.make ~name:"B1 invariant eval (compiled)"
+        (Staged.stage (fun () -> compiled_guard legit));
+      Test.make ~name:"B2 action apply (compiled)"
+        (Staged.stage
+           (let post = State.copy legit in
+            let act = cp.Compile.actions.(0) in
+            fun () -> act.Compile.apply_into legit post));
+      Test.make ~name:"B3 state-space enumeration (4^3)"
+        (Staged.stage (fun () -> Space.iter small_space (fun _ _ -> ())));
+      Test.make ~name:"B4 transition system build (4^3)"
+        (Staged.stage (fun () -> Tsys.build small_cp small_space));
+      Test.make ~name:"B5 convergence check (4^3)"
+        (Staged.stage
+           (let tsys = Tsys.build small_cp small_space in
+            fun () ->
+              Convergence.check_unfair tsys
+                ~from:(fun _ -> true)
+                ~target:(fun s -> Diffusing.invariant small s)));
+      Test.make ~name:"B5 scc (10k nodes, 30k edges)"
+        (Staged.stage (fun () -> Dgraph.Scc.compute scc_graph));
+      Test.make ~name:"B6 full recovery run (dijkstra-16)"
+        (Staged.stage (fun () ->
+             let s = Dijkstra_ring.all_zero dr in
+             fault.Sim.Fault.inject rng s;
+             Sim.Runner.run
+               ~daemon:(Sim.Daemon.random rng)
+               ~init:s
+               ~stop:(fun st -> Dijkstra_ring.invariant dr st)
+               dr_cp));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"micro" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ t ] ->
+          let cell =
+            if t > 1_000_000.0 then Printf.sprintf "%.3f ms" (t /. 1e6)
+            else if t > 1_000.0 then Printf.sprintf "%.3f us" (t /. 1e3)
+            else Printf.sprintf "%.1f ns" t
+          in
+          rows := [ name; cell ] :: !rows
+      | _ -> rows := [ name; "?" ] :: !rows)
+    results;
+  Table.print ~title:"microbenchmarks (bechamel, monotonic clock)"
+    ~header:[ "benchmark"; "time/op" ]
+    (List.sort compare !rows)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("e10", e10);
+    ("e11", e11);
+    ("e12", e12);
+    ("e13", e13);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested

@@ -1,0 +1,23 @@
+(* Fixed-width text tables for the experiment harness. *)
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row c)))
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render row = String.concat "  " (List.map2 pad row widths) in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n"
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+  print_newline ()
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i = string_of_int

@@ -1,0 +1,361 @@
+(* nonmask — command-line front end.
+
+   Subcommands:
+     list                         protocols and instances
+     show     PROTO [opts]        print the program and constraint graph
+     certify  PROTO [opts]        run the theorem validator
+     check    PROTO [opts]        exhaustive convergence check
+     simulate PROTO [opts]        fault-injection runs with statistics
+     dot      PROTO [opts]        constraint graph in Graphviz DOT
+
+   Protocols: diffusing, lowatomic, token-ring, dijkstra, xyz-good-tree,
+   xyz-good-ordered, xyz-bad, atomic, naive-ring. Tree-based protocols take
+   --tree SHAPE and --size N; ring-based take --nodes and -k. *)
+
+open Cmdliner
+
+module Tree = Topology.Tree
+module State = Guarded.State
+module Compile = Guarded.Compile
+
+(* A protocol instance, abstracted over what the CLI needs. *)
+type instance = {
+  i_name : string;
+  env : Guarded.Env.t;
+  program : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+  legitimate : unit -> Guarded.State.t;
+  certify : (space:Explore.Space.t -> Nonmask.Certify.t) option;
+  cgraphs : Nonmask.Cgraph.t list;
+}
+
+let tree_of ~shape ~size ~seed =
+  match shape with
+  | "chain" -> Tree.chain size
+  | "star" -> Tree.star size
+  | "balanced" | "balanced-2" -> Tree.balanced ~arity:2 size
+  | "balanced-3" -> Tree.balanced ~arity:3 size
+  | "random" -> Tree.random (Prng.create seed) size
+  | s -> failwith (Printf.sprintf "unknown tree shape %S" s)
+
+let build_instance proto ~shape ~size ~nodes ~k ~seed =
+  match proto with
+  | "diffusing" ->
+      let d = Protocols.Diffusing.make (tree_of ~shape ~size ~seed) in
+      {
+        i_name = Printf.sprintf "diffusing %s-%d" shape size;
+        env = Protocols.Diffusing.env d;
+        program = Protocols.Diffusing.combined d;
+        invariant = (fun s -> Protocols.Diffusing.invariant d s);
+        legitimate = (fun () -> Protocols.Diffusing.all_green d);
+        certify = Some (fun ~space -> Protocols.Diffusing.certificate ~space d);
+        cgraphs = [ Protocols.Diffusing.cgraph d ];
+      }
+  | "lowatomic" ->
+      let d = Protocols.Diffusing_lowatomic.make (tree_of ~shape ~size ~seed) in
+      {
+        i_name = Printf.sprintf "lowatomic %s-%d" shape size;
+        env = Protocols.Diffusing_lowatomic.env d;
+        program = Protocols.Diffusing_lowatomic.program d;
+        invariant = (fun s -> Protocols.Diffusing_lowatomic.invariant d s);
+        legitimate = (fun () -> Protocols.Diffusing_lowatomic.all_green d);
+        certify = None;
+        cgraphs = [];
+      }
+  | "token-ring" ->
+      let tr = Protocols.Token_ring.make ~nodes ~k in
+      {
+        i_name = Printf.sprintf "token-ring %d (K=%d)" nodes k;
+        env = Protocols.Token_ring.env tr;
+        program = Protocols.Token_ring.combined tr;
+        invariant = (fun s -> Protocols.Token_ring.invariant tr s);
+        legitimate = (fun () -> Protocols.Token_ring.all_zero tr);
+        certify = Some (fun ~space -> Protocols.Token_ring.certificate ~space tr);
+        cgraphs = Protocols.Token_ring.layers tr;
+      }
+  | "dijkstra" ->
+      let dr = Protocols.Dijkstra_ring.make ~nodes ~k in
+      {
+        i_name = Printf.sprintf "dijkstra %d (K=%d)" nodes k;
+        env = Protocols.Dijkstra_ring.env dr;
+        program = Protocols.Dijkstra_ring.program dr;
+        invariant = (fun s -> Protocols.Dijkstra_ring.invariant dr s);
+        legitimate = (fun () -> Protocols.Dijkstra_ring.all_zero dr);
+        certify = None;
+        cgraphs = [];
+      }
+  | "xyz-good-tree" | "xyz-good-ordered" | "xyz-bad" ->
+      let variant =
+        match proto with
+        | "xyz-good-tree" -> Protocols.Xyz_demo.Good_tree
+        | "xyz-good-ordered" -> Protocols.Xyz_demo.Good_ordered
+        | _ -> Protocols.Xyz_demo.Bad
+      in
+      let d = Protocols.Xyz_demo.make variant in
+      {
+        i_name = proto;
+        env = Protocols.Xyz_demo.env d;
+        program = Protocols.Xyz_demo.program d;
+        invariant = (fun s -> Protocols.Xyz_demo.invariant d s);
+        legitimate =
+          (fun () ->
+            State.of_list (Protocols.Xyz_demo.env d)
+              [
+                (Protocols.Xyz_demo.x d, 0);
+                (Protocols.Xyz_demo.y d, 1);
+                (Protocols.Xyz_demo.z d, 1);
+              ]);
+        certify = Some (fun ~space -> Protocols.Xyz_demo.certificate ~space d);
+        cgraphs = [ Protocols.Xyz_demo.cgraph d ];
+      }
+  | "atomic" ->
+      let a = Protocols.Atomic_action.make (tree_of ~shape ~size ~seed) in
+      {
+        i_name = Printf.sprintf "atomic %s-%d" shape size;
+        env = Protocols.Atomic_action.env a;
+        program = Protocols.Atomic_action.program a;
+        invariant = (fun s -> Protocols.Atomic_action.invariant a s);
+        legitimate =
+          (fun () ->
+            Protocols.Atomic_action.initial a
+              ~decision:Protocols.Atomic_action.commit);
+        certify =
+          Some (fun ~space -> Protocols.Atomic_action.certificate ~space a);
+        cgraphs = [ Protocols.Atomic_action.cgraph a ];
+      }
+  | "naive-ring" ->
+      let nr = Protocols.Naive_ring.make ~nodes in
+      {
+        i_name = Printf.sprintf "naive-ring %d" nodes;
+        env = Protocols.Naive_ring.env nr;
+        program = Protocols.Naive_ring.program nr;
+        invariant = (fun s -> Protocols.Naive_ring.invariant nr s);
+        legitimate = (fun () -> Protocols.Naive_ring.one_token nr);
+        certify = None;
+        cgraphs = [];
+      }
+  | "reset" ->
+      let r = Protocols.Reset.make (tree_of ~shape ~size ~seed) in
+      {
+        i_name = Printf.sprintf "reset %s-%d" shape size;
+        env = Protocols.Reset.env r;
+        program = Protocols.Reset.program r;
+        invariant = (fun s -> Protocols.Reset.invariant r s);
+        legitimate = (fun () -> Protocols.Reset.all_green r);
+        certify = None;
+        cgraphs = [];
+      }
+  | "spanning-tree" ->
+      let g =
+        match shape with
+        | "cycle" -> Topology.Ugraph.cycle size
+        | "grid" ->
+            let side = max 2 (int_of_float (sqrt (float_of_int size))) in
+            Topology.Ugraph.grid ~width:side ~height:side
+        | "complete" -> Topology.Ugraph.complete size
+        | "star" -> Topology.Ugraph.star size
+        | "path" | "chain" -> Topology.Ugraph.path size
+        | _ ->
+            Topology.Ugraph.random_connected (Prng.create seed) size
+              ~extra_edges:(size / 2)
+      in
+      let st = Protocols.Spanning_tree.make ~root:0 g in
+      {
+        i_name = Printf.sprintf "spanning-tree %s-%d" shape size;
+        env = Protocols.Spanning_tree.env st;
+        program = Protocols.Spanning_tree.program st;
+        invariant = (fun s -> Protocols.Spanning_tree.invariant st s);
+        legitimate = (fun () -> Protocols.Spanning_tree.bfs_state st);
+        certify = None;
+        cgraphs = [];
+      }
+  | p -> failwith (Printf.sprintf "unknown protocol %S (try: nonmask list)" p)
+
+let protocols =
+  [
+    "diffusing";
+    "lowatomic";
+    "token-ring";
+    "dijkstra";
+    "xyz-good-tree";
+    "xyz-good-ordered";
+    "xyz-bad";
+    "atomic";
+    "naive-ring";
+    "reset";
+    "spanning-tree";
+  ]
+
+(* --- common options --- *)
+
+let proto_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL")
+
+let shape_arg =
+  Arg.(value & opt string "balanced" & info [ "tree" ] ~docv:"SHAPE"
+         ~doc:"Tree shape: chain, star, balanced, balanced-3, random.")
+
+let size_arg =
+  Arg.(value & opt int 7 & info [ "size" ] ~docv:"N" ~doc:"Tree size.")
+
+let nodes_arg =
+  Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Ring size.")
+
+let k_arg =
+  Arg.(value & opt int 6 & info [ "k" ] ~docv:"K" ~doc:"Counter modulus.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let with_instance f proto shape size nodes k seed =
+  try
+    let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+    f i seed;
+    0
+  with Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let instance_term f =
+  Term.(
+    const (with_instance f)
+    $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg $ seed_arg)
+
+(* --- subcommands --- *)
+
+let list_cmd =
+  let run () =
+    print_endline "protocols:";
+    List.iter (fun p -> Printf.printf "  %s\n" p) protocols;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available protocols")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run i _seed =
+    Format.printf "%a@." Guarded.Program.pp i.program;
+    List.iteri
+      (fun l g ->
+        if List.length i.cgraphs > 1 then Format.printf "layer %d:@." l;
+        Format.printf "%a@." Nonmask.Cgraph.pp g)
+      i.cgraphs
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the program and its constraint graph(s)")
+    (instance_term run)
+
+let certify_cmd =
+  let run i _seed =
+    match i.certify with
+    | None ->
+        Printf.printf
+          "%s has no theorem certificate (validated by direct model \
+           checking; use `check`).\n"
+          i.i_name
+    | Some certify ->
+        let space = Explore.Space.create i.env in
+        let cert = certify ~space in
+        Format.printf "%a@." Nonmask.Certify.pp_full cert;
+        if not (Nonmask.Certify.ok cert) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Validate the design with the applicable theorem (exhaustive)")
+    (instance_term run)
+
+let check_cmd =
+  let run i _seed =
+    let space = Explore.Space.create i.env in
+    let tsys = Explore.Tsys.build (Compile.program i.program) space in
+    (match
+       Explore.Convergence.check_unfair tsys
+         ~from:(fun _ -> true)
+         ~target:i.invariant
+     with
+    | Ok { region_states; worst_case_steps } ->
+        Printf.printf
+          "%s: converges from every state, even without fairness\n\
+          \  states: %d  outside invariant: %d  worst-case steps: %s\n"
+          i.i_name (Explore.Space.size space) region_states
+          (match worst_case_steps with
+          | Some w -> string_of_int w
+          | None -> "-")
+    | Error f ->
+        Format.printf "%s: FAILS@.%a@." i.i_name
+          (Explore.Convergence.pp_failure i.env)
+          f;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustively check convergence from every state")
+    (instance_term run)
+
+let trials_arg =
+  Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trial count.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "faults" ] ~docv:"K"
+        ~doc:"Corrupt K variables per trial (0 = scramble everything).")
+
+let simulate_cmd =
+  let run i seed trials faults =
+    let cp = Compile.program i.program in
+    let fault =
+      if faults = 0 then Sim.Fault.scramble i.env
+      else Sim.Fault.corrupt i.env ~k:faults
+    in
+    let result =
+      Sim.Experiment.convergence_trials ~rng:(Prng.create seed) ~trials
+        ~daemon:(fun r -> Sim.Daemon.random r)
+        ~prepare:(fun r ->
+          let s = i.legitimate () in
+          fault.Sim.Fault.inject r s;
+          s)
+        ~stop:i.invariant cp
+    in
+    Format.printf "%s under %s, %d trials: %a@." i.i_name
+      fault.Sim.Fault.name trials Sim.Experiment.pp_result result
+  in
+  let wrapped proto shape size nodes k seed trials faults =
+    try
+      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      run i seed trials faults;
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Fault-injection trials under a random daemon, with statistics")
+    Term.(
+      const wrapped $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
+      $ seed_arg $ trials_arg $ faults_arg)
+
+let dot_cmd =
+  let run i _seed =
+    match i.cgraphs with
+    | [] ->
+        Printf.eprintf "%s has no constraint graph\n" i.i_name;
+        exit 1
+    | gs -> List.iter (fun g -> print_string (Nonmask.Cgraph.to_dot g)) gs
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the constraint graph(s) as Graphviz DOT")
+    (instance_term run)
+
+let main =
+  let doc =
+    "design and validation of nonmasking fault-tolerant programs \
+     (Arora-Gouda-Varghese 1994)"
+  in
+  Cmd.group
+    (Cmd.info "nonmask" ~version:"1.0.0" ~doc)
+    [ list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; dot_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/atomic_actions_demo.ml: Explore Format Guarded List Nonmask Prng Protocols Sim Topology

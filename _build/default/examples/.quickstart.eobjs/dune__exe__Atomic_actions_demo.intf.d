@@ -1,0 +1,1 @@
+examples/atomic_actions_demo.mli:

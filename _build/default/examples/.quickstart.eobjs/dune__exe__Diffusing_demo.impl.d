@@ -1,0 +1,1 @@
+examples/diffusing_demo.ml: Explore Format Guarded List Nonmask Prng Protocols Sim Topology

@@ -1,0 +1,1 @@
+examples/diffusing_demo.mli:

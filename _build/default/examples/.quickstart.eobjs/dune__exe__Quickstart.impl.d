@@ -1,0 +1,1 @@
+examples/quickstart.ml: Explore Format Guarded Nonmask Prng Sim

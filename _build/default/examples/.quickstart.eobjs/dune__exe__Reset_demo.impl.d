@@ -1,0 +1,1 @@
+examples/reset_demo.ml: Format Guarded List Printf Prng Protocols Sim Topology

@@ -1,0 +1,1 @@
+examples/spanning_tree_demo.ml: Format Fun Guarded List Prng Protocols Sim Topology

@@ -1,0 +1,1 @@
+examples/token_ring_demo.ml: Explore Format Guarded List Nonmask Prng Protocols Sim Topology

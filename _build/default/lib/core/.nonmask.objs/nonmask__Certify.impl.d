@@ -1,0 +1,1 @@
+lib/core/certify.ml: Dgraph Explore Format List Printf

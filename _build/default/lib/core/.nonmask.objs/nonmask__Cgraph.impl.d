@@ -1,0 +1,1 @@
+lib/core/cgraph.ml: Array Constr Dgraph Format Guarded Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/cgraph.mli: Constr Dgraph Format Guarded

@@ -1,0 +1,1 @@
+lib/core/constr.ml: Format Guarded List

@@ -1,0 +1,1 @@
+lib/core/derive.ml: Certify Cgraph Dgraph Format Guarded List Theorems

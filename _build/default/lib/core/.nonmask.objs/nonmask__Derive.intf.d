@@ -1,0 +1,1 @@
+lib/core/derive.mli: Certify Cgraph Explore Format Guarded Spec

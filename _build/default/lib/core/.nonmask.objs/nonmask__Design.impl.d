@@ -1,0 +1,1 @@
+lib/core/design.ml: Constr Guarded List

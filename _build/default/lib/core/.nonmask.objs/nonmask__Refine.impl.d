@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Dgraph Explore Format Guarded List Printf

@@ -1,0 +1,1 @@
+lib/core/stair.ml: Explore Format Guarded List Printf

@@ -1,0 +1,1 @@
+lib/core/stair.mli: Explore Format Guarded

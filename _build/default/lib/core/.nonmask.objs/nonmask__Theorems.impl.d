@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Array Certify Cgraph Constr Dgraph Explore Format Fun Guarded List Printf Spec

@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Certify Cgraph Explore Guarded Spec

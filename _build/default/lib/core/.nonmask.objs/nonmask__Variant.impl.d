@@ -1,0 +1,1 @@
+lib/core/variant.ml: Array Cgraph Constr Explore Format Guarded Spec

@@ -1,0 +1,54 @@
+type check = { label : string; ok : bool; detail : string option }
+
+type t = {
+  theorem : string;
+  spec_name : string;
+  shapes : (string * Dgraph.Classify.shape) list;
+  checks : check list;
+}
+
+let ok t = List.for_all (fun c -> c.ok) t.checks
+let failures t = List.filter (fun c -> not c.ok) t.checks
+let check_pass label = { label; ok = true; detail = None }
+let check_fail label ~detail = { label; ok = false; detail = Some detail }
+
+let of_closure_result env label = function
+  | Ok () -> check_pass label
+  | Error v ->
+      check_fail label
+        ~detail:(Format.asprintf "%a" (Explore.Closure.pp_violation env) v)
+
+let pp_check ppf c =
+  Format.fprintf ppf "  [%s] %s%s"
+    (if c.ok then "ok" else "FAIL")
+    c.label
+    (match c.detail with
+    | Some d when not c.ok -> "\n    " ^ d
+    | _ -> "")
+
+let pp ppf t =
+  let fails = failures t in
+  Format.fprintf ppf "@[<v>%s certificate for %s: %s (%d checks%s)@,"
+    t.theorem t.spec_name
+    (if ok t then "VALID" else "INVALID")
+    (List.length t.checks)
+    (if fails = [] then ""
+     else Printf.sprintf ", %d failed" (List.length fails));
+  List.iter
+    (fun (layer, shape) ->
+      Format.fprintf ppf "  graph %s: %s@," layer
+        (Dgraph.Classify.shape_to_string shape))
+    t.shapes;
+  List.iter (fun c -> Format.fprintf ppf "%a@," pp_check c) fails;
+  Format.fprintf ppf "@]"
+
+let pp_full ppf t =
+  Format.fprintf ppf "@[<v>%s certificate for %s: %s@," t.theorem t.spec_name
+    (if ok t then "VALID" else "INVALID");
+  List.iter
+    (fun (layer, shape) ->
+      Format.fprintf ppf "  graph %s: %s@," layer
+        (Dgraph.Classify.shape_to_string shape))
+    t.shapes;
+  List.iter (fun c -> Format.fprintf ppf "%a@," pp_check c) t.checks;
+  Format.fprintf ppf "@]"

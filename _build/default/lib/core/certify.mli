@@ -1,0 +1,42 @@
+(** Validation certificates.
+
+    A theorem validator discharges a list of obligations — closure of each
+    constraint under each closure action, establishment checks, graph
+    shapes, orderings, layer conditions — each exhaustively over an
+    enumerated state space. The certificate records every obligation with
+    its outcome, so a failed validation pinpoints the offending action,
+    constraint and counterexample state. *)
+
+type check = {
+  label : string;  (** What was checked, human-readable. *)
+  ok : bool;
+  detail : string option;  (** Counterexample rendering when [not ok]. *)
+}
+
+type t = {
+  theorem : string;  (** "Theorem 1" / "Theorem 2" / "Theorem 3". *)
+  spec_name : string;
+  shapes : (string * Dgraph.Classify.shape) list;
+      (** Graph shape per layer (a single entry for Theorems 1 and 2). *)
+  checks : check list;
+}
+
+val ok : t -> bool
+(** All checks passed. *)
+
+val failures : t -> check list
+
+val check_pass : string -> check
+val check_fail : string -> detail:string -> check
+
+val of_closure_result :
+  Guarded.Env.t ->
+  string ->
+  (unit, Explore.Closure.violation) result ->
+  check
+
+val pp : Format.formatter -> t -> unit
+(** Summary plus any failing checks in full. *)
+
+val pp_full : Format.formatter -> t -> unit
+(** Every check, passing or not. *)

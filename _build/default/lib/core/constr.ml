@@ -1,0 +1,16 @@
+module Expr = Guarded.Expr
+
+type t = { name : string; pred : Guarded.Expr.boolean }
+
+let make ~name pred = { name; pred }
+let name c = c.name
+let pred c = c.pred
+let holds c s = Expr.eval s c.pred
+let compile c = Guarded.Compile.pred c.pred
+let reads c = Expr.reads c.pred
+let conj cs = Expr.conj (List.map pred cs)
+
+let violated_count cs s =
+  List.fold_left (fun acc c -> if holds c s then acc else acc + 1) 0 cs
+
+let pp ppf c = Format.fprintf ppf "%s: %a" c.name Expr.pp c.pred

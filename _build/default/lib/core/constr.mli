@@ -1,0 +1,30 @@
+(** Constraints.
+
+    Section 3: the invariant [S] is partitioned into a set of state
+    predicates — the {e constraints} in [S] — each of which can be
+    independently checked and established by some program action. A
+    constraint here is a named boolean expression over program variables. *)
+
+type t = private { name : string; pred : Guarded.Expr.boolean }
+
+val make : name:string -> Guarded.Expr.boolean -> t
+
+val name : t -> string
+val pred : t -> Guarded.Expr.boolean
+
+val holds : t -> Guarded.State.t -> bool
+(** Interpret the predicate (slow path; use [compile] in loops). *)
+
+val compile : t -> Guarded.State.t -> bool
+
+val reads : t -> Guarded.Var.Set.t
+(** Variables the predicate mentions. *)
+
+val conj : t list -> Guarded.Expr.boolean
+(** Conjunction of the constraints' predicates. *)
+
+val violated_count : t list -> Guarded.State.t -> int
+(** How many of the constraints do not hold — a crude severity measure used
+    by adversarial daemons and the variant function. *)
+
+val pp : Format.formatter -> t -> unit

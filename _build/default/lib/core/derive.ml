@@ -1,0 +1,54 @@
+type plan = {
+  certificate : Certify.t;
+  cgraphs : Cgraph.t list;
+  program : Guarded.Program.t;
+}
+
+type error = Graph_error of Cgraph.error | Cyclic_needs_layers
+
+let pp_error ppf = function
+  | Graph_error e -> Cgraph.pp_error ppf e
+  | Cyclic_needs_layers ->
+      Format.pp_print_string ppf
+        "the constraint graph is cyclic; partition the convergence actions \
+         into layers (Theorem 3)"
+
+let design ?nodes ~space ~spec layers =
+  let nodes =
+    match nodes with
+    | Some ns -> ns
+    | None -> Cgraph.infer_nodes (List.concat layers)
+  in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | pairs :: rest -> (
+        match Cgraph.build ~nodes ~pairs with
+        | Ok g -> build (g :: acc) rest
+        | Error e -> Error (Graph_error e))
+  in
+  match build [] layers with
+  | Error e -> Error e
+  | Ok cgraphs -> (
+      let finish certificate =
+        Ok
+          {
+            certificate;
+            cgraphs;
+            program = Theorems.augmented_program spec cgraphs;
+          }
+      in
+      match cgraphs with
+      | [ g ] -> (
+          match Cgraph.shape g with
+          | Dgraph.Classify.Out_tree ->
+              finish (Theorems.validate_theorem1 ~space ~spec ~cgraph:g)
+          | Dgraph.Classify.Self_looping ->
+              finish (Theorems.validate_theorem2 ~space ~spec ~cgraph:g)
+          | Dgraph.Classify.Cyclic -> Error Cyclic_needs_layers)
+      | gs ->
+          let strict = Theorems.validate_theorem3 ~space ~spec gs in
+          if Certify.ok strict then finish strict
+          else
+            finish
+              (Theorems.validate_theorem3 ~modulo_invariant:true ~space ~spec
+                 gs))

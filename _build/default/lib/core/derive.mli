@@ -1,0 +1,43 @@
+(** The design procedure, end to end.
+
+    Section 3's recipe as a function: given a candidate triple and the
+    designer's (constraint, convergence action) pairs — optionally split
+    into Theorem-3 layers — build the constraint graph(s), classify their
+    shape, select and run the strongest applicable theorem, and return the
+    augmented program [p ∪ q] together with the certificate.
+
+    Theorem selection:
+    - one layer, out-tree graph → Theorem 1;
+    - one layer, self-looping graph → Theorem 2 (the pair order is the
+      linear order the theorem requires);
+    - several layers → Theorem 3; the literal antecedents are tried first
+      and, when they fail, the [modulo_invariant] reading (see
+      {!Theorems}) — the certificate's [theorem] field records which one
+      succeeded;
+    - a cyclic single-layer graph is a design error: re-partition into
+      layers (Section 7). *)
+
+type plan = {
+  certificate : Certify.t;
+  cgraphs : Cgraph.t list;
+  program : Guarded.Program.t;  (** The augmented program [p ∪ q]. *)
+}
+
+type error =
+  | Graph_error of Cgraph.error
+  | Cyclic_needs_layers
+      (** Single-layer cyclic constraint graph: no theorem applies as is. *)
+
+val design :
+  ?nodes:(string * Guarded.Var.Set.t) list ->
+  space:Explore.Space.t ->
+  spec:Spec.t ->
+  Cgraph.pair list list ->
+  (plan, error) result
+(** [design ~space ~spec layers]. [nodes] defaults to the inferred
+    partition ({!Cgraph.infer_nodes}) computed over all pairs. The plan is
+    returned even when some certificate obligations fail — inspect
+    [Certify.ok plan.certificate]; [Error _] is reserved for structural
+    problems that prevent validation from running at all. *)
+
+val pp_error : Format.formatter -> error -> unit

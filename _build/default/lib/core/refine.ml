@@ -1,0 +1,161 @@
+module State = Guarded.State
+module Var = Guarded.Var
+module Compile = Guarded.Compile
+module Space = Explore.Space
+
+type failure =
+  | Unsimulated_step of {
+      action : string;
+      pre : Guarded.State.t;
+      post : Guarded.State.t;
+    }
+  | Invariant_mismatch of Guarded.State.t
+  | Stutter_divergence of Guarded.State.t list
+
+type t = {
+  abstract_name : string;
+  concrete_name : string;
+  stutter_steps : int;
+  simulated_steps : int;
+  result : (unit, failure) result;
+}
+
+let ok t = match t.result with Ok () -> true | Error _ -> false
+
+let check ?(within = fun _ -> true) ~abstract_space ~concrete_space
+    ~abstract_program ~concrete_program ~projection ~abstract_invariant
+    ~concrete_invariant () =
+  let abs_env = Space.env abstract_space in
+  let abs_vars = Guarded.Env.vars abs_env in
+  Array.iter
+    (fun av ->
+      match List.find_opt (fun (a, _) -> Var.equal a av) projection with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Refine.check: abstract variable %s not projected"
+               (Var.name av))
+      | Some (a, c) ->
+          if not (Guarded.Domain.equal (Var.domain a) (Var.domain c)) then
+            invalid_arg
+              (Printf.sprintf "Refine.check: domain mismatch on %s"
+                 (Var.name a)))
+    abs_vars;
+  let project conc =
+    State.init abs_env (fun av ->
+        let _, cv = List.find (fun (a, _) -> Var.equal a av) projection in
+        State.get conc cv)
+  in
+  let abs_actions =
+    Array.map
+      (fun a -> Compile.action ~index:0 a)
+      (Guarded.Program.actions abstract_program)
+  in
+  let conc_cp = Compile.program concrete_program in
+  let stutter = ref 0 and simulated = ref 0 in
+  let failure = ref None in
+  let conc_post = State.make (Space.env concrete_space) in
+  (* 1 + 2: simulation and invariant agreement over every concrete state *)
+  (try
+     Space.iter concrete_space (fun _ cs ->
+       if within cs then begin
+         let abs_pre = project cs in
+         if concrete_invariant cs <> abstract_invariant abs_pre then begin
+           failure := Some (Invariant_mismatch (State.copy cs));
+           raise Exit
+         end;
+         Array.iter
+           (fun (ca : Compile.action) ->
+             if ca.enabled cs then begin
+               ca.apply_into cs conc_post;
+               let abs_post = project conc_post in
+               if State.equal abs_pre abs_post then incr stutter
+               else begin
+                 let simulated_by_abstract =
+                   Array.exists
+                     (fun (aa : Compile.action) ->
+                       aa.enabled abs_pre
+                       && State.equal (aa.apply abs_pre) abs_post)
+                     abs_actions
+                 in
+                 if simulated_by_abstract then incr simulated
+                 else begin
+                   failure :=
+                     Some
+                       (Unsimulated_step
+                          {
+                            action = Guarded.Action.name ca.source;
+                            pre = State.copy cs;
+                            post = State.copy conc_post;
+                          });
+                   raise Exit
+                 end
+               end
+             end)
+           conc_cp.Compile.actions
+       end)
+   with Exit -> ());
+  (* 3: no stutter cycles outside the concrete invariant *)
+  (if !failure = None then
+     let tsys = Explore.Tsys.build conc_cp concrete_space in
+     let n = Space.size concrete_space in
+     let not_inv = Explore.Bitset.create n in
+     Space.iter concrete_space (fun id s ->
+         if within s && not (concrete_invariant s) then
+           Explore.Bitset.add not_inv id);
+     let member id = Explore.Bitset.mem not_inv id in
+     (* dense renumbering of the ¬inv region *)
+     let node_of = Array.make n (-1) in
+     let count = ref 0 in
+     for id = 0 to n - 1 do
+       if member id then begin
+         node_of.(id) <- !count;
+         incr count
+       end
+     done;
+     let node_to_state = Array.make !count 0 in
+     Array.iteri (fun id v -> if v >= 0 then node_to_state.(v) <- id) node_of;
+     let g = Dgraph.Digraph.create !count in
+     let buf = State.make (Space.env concrete_space) in
+     for id = 0 to n - 1 do
+       if member id then begin
+         Space.decode_into concrete_space id buf;
+         let abs_pre = project buf in
+         Explore.Tsys.iter_succ tsys id (fun ~action:_ ~dst ->
+             if member dst then begin
+               let abs_post = project (Space.decode concrete_space dst) in
+               if State.equal abs_pre abs_post then
+                 Dgraph.Digraph.add_edge g ~src:node_of.(id)
+                   ~dst:node_of.(dst) ()
+             end)
+       end
+     done;
+     match Dgraph.Topo.find_cycle g with
+     | Some cycle ->
+         failure :=
+           Some
+             (Stutter_divergence
+                (List.map
+                   (fun v -> Space.decode concrete_space node_to_state.(v))
+                   cycle))
+     | None -> ());
+  {
+    abstract_name = Guarded.Program.name abstract_program;
+    concrete_name = Guarded.Program.name concrete_program;
+    stutter_steps = !stutter;
+    simulated_steps = !simulated;
+    result = (match !failure with None -> Ok () | Some f -> Error f);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>refinement %s -> %s: %s (%d simulated steps, %d stutters)%s@]"
+    t.concrete_name t.abstract_name
+    (if ok t then "VALID" else "INVALID")
+    t.simulated_steps t.stutter_steps
+    (match t.result with
+    | Ok () -> ""
+    | Error (Unsimulated_step { action; _ }) ->
+        Printf.sprintf "\n  unsimulated step by %s" action
+    | Error (Invariant_mismatch _) -> "\n  invariant mismatch"
+    | Error (Stutter_divergence c) ->
+        Printf.sprintf "\n  stutter divergence (cycle of %d)" (List.length c))

@@ -1,0 +1,76 @@
+(** Refinement checking.
+
+    The paper's concluding remarks call for "systematic methods of refining
+    programs that preserve the property of convergence" — e.g. replacing
+    the diffusing computation's high-atomicity reflection (which reads all
+    children at once) by low-atomicity scanning. This module machine-checks
+    such a refinement on an instance.
+
+    A refinement is witnessed by a {e projection}: a mapping from each
+    abstract variable to the concrete variable that implements it (the
+    concrete program may have extra variables — scan pointers, mailboxes).
+    The checks, all exhaustive:
+
+    - {b step simulation}: every concrete transition either stutters (the
+      projected state is unchanged) or its projection is a transition of
+      the abstract program;
+    - {b invariant agreement}: a concrete state satisfies the concrete
+      invariant iff its projection satisfies the abstract one (supplied as
+      predicates);
+    - {b non-divergence}: no reachable cycle of pure stutter steps outside
+      the invariant (otherwise the concrete program could refine "do
+      nothing forever" and lose convergence).
+
+    Together with convergence of the abstract program, these give
+    convergence of the concrete one; the library also checks the concrete
+    program's convergence directly, so the simulation result is
+    corroborated rather than trusted. *)
+
+type failure =
+  | Unsimulated_step of {
+      action : string;
+      pre : Guarded.State.t;  (** Concrete pre-state. *)
+      post : Guarded.State.t;  (** Concrete post-state. *)
+    }
+      (** A non-stutter concrete step whose projection no abstract action
+          produces. *)
+  | Invariant_mismatch of Guarded.State.t
+      (** Concrete and projected invariants disagree here. *)
+  | Stutter_divergence of Guarded.State.t list
+      (** A cycle of stutter steps outside the invariant. *)
+
+type t = {
+  abstract_name : string;
+  concrete_name : string;
+  stutter_steps : int;  (** Stuttering transitions counted over the space. *)
+  simulated_steps : int;
+  result : (unit, failure) result;
+}
+
+val ok : t -> bool
+
+val check :
+  ?within:(Guarded.State.t -> bool) ->
+  abstract_space:Explore.Space.t ->
+  concrete_space:Explore.Space.t ->
+  abstract_program:Guarded.Program.t ->
+  concrete_program:Guarded.Program.t ->
+  projection:(Guarded.Var.t * Guarded.Var.t) list ->
+  abstract_invariant:(Guarded.State.t -> bool) ->
+  concrete_invariant:(Guarded.State.t -> bool) ->
+  unit ->
+  t
+(** [projection] maps each abstract variable to its concrete counterpart;
+    every abstract variable must be covered.
+
+    [within] (default: all states) restricts every check to concrete states
+    satisfying it — a {e consistency relation}. A refinement that fails from
+    arbitrary states often holds within a closed consistency relation; the
+    caller should then separately check that [within] is closed under the
+    concrete program ([Explore.Closure.program_closed]) and that the
+    concrete program converges at all (its own convergence check), which
+    together restore the convergence-preservation argument.
+    @raise Invalid_argument if the projection misses an abstract variable
+    or relates variables with different domains. *)
+
+val pp : Format.formatter -> t -> unit

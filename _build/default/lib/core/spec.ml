@@ -1,0 +1,25 @@
+module Expr = Guarded.Expr
+
+type t = {
+  name : string;
+  program : Guarded.Program.t;
+  invariant : Guarded.Expr.boolean;
+  fault_span : Guarded.Expr.boolean;
+}
+
+let make ~name ~program ~invariant ?(fault_span = Expr.tt) () =
+  { name; program; invariant; fault_span }
+
+let name t = t.name
+let program t = t.program
+let env t = Guarded.Program.env t.program
+let invariant t = t.invariant
+let fault_span t = t.fault_span
+let invariant_holds t s = Expr.eval s t.invariant
+let fault_span_holds t s = Expr.eval s t.fault_span
+let compile_invariant t = Guarded.Compile.pred t.invariant
+let compile_fault_span t = Guarded.Compile.pred t.fault_span
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>candidate triple %s@,S = %a@,T = %a@,%a@]" t.name
+    Expr.pp t.invariant Expr.pp t.fault_span Guarded.Program.pp t.program

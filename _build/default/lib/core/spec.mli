@@ -1,0 +1,38 @@
+(** Candidate triples.
+
+    The design problem of Section 3 starts from a candidate triple
+    [(p, S, T)]: a program [p] of closure actions that preserve both the
+    invariant [S] and the fault span [T] (with [S ⟹ T]). The designer then
+    adds convergence actions; the theorems validate the result.
+
+    For stabilizing programs [T = true]. *)
+
+type t = private {
+  name : string;
+  program : Guarded.Program.t;  (** Closure actions only. *)
+  invariant : Guarded.Expr.boolean;  (** [S]. *)
+  fault_span : Guarded.Expr.boolean;  (** [T]. *)
+}
+
+val make :
+  name:string ->
+  program:Guarded.Program.t ->
+  invariant:Guarded.Expr.boolean ->
+  ?fault_span:Guarded.Expr.boolean ->
+  unit ->
+  t
+(** [fault_span] defaults to [true] (stabilization). *)
+
+val name : t -> string
+val program : t -> Guarded.Program.t
+val env : t -> Guarded.Env.t
+val invariant : t -> Guarded.Expr.boolean
+val fault_span : t -> Guarded.Expr.boolean
+
+val invariant_holds : t -> Guarded.State.t -> bool
+val fault_span_holds : t -> Guarded.State.t -> bool
+
+val compile_invariant : t -> Guarded.State.t -> bool
+val compile_fault_span : t -> Guarded.State.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type step_result = {
+  label : string;
+  contained : bool;
+  closed : (unit, Explore.Closure.violation) result;
+  converges : (Explore.Convergence.stats, Explore.Convergence.failure) result;
+}
+
+type t = { spec_name : string; steps : step_result list }
+
+let step_ok s =
+  s.contained
+  && (match s.closed with Ok () -> true | Error _ -> false)
+  && match s.converges with Ok _ -> true | Error _ -> false
+
+let ok t = List.for_all step_ok t.steps
+
+let validate ~space ~program ~name preds =
+  if List.length preds < 2 then
+    invalid_arg "Stair.validate: need at least R_0 and R_1";
+  let cp = Guarded.Compile.program program in
+  let tsys = Explore.Tsys.build cp space in
+  let rec pairs = function
+    | (la, pa) :: ((lb, pb) :: _ as rest) ->
+        let contained =
+          (* R_{i+1} ⟹ R_i *)
+          let ok = ref true in
+          Explore.Space.iter space (fun _ s ->
+              if pb s && not (pa s) then ok := false);
+          !ok
+        in
+        (* The *source* predicate of the step must be closed; the last
+           predicate's closure is checked as the source of no step, so also
+           check the target here when it is the final one. *)
+        let closed = Explore.Closure.program_closed space cp ~pred:pa in
+        let converges =
+          Explore.Convergence.check_unfair tsys ~from:pa ~target:pb
+        in
+        { label = Printf.sprintf "%s -> %s" la lb; contained; closed; converges }
+        :: pairs rest
+    | _ -> []
+  in
+  let steps = pairs preds in
+  (* finally, the bottom predicate (S) must itself be closed *)
+  let bottom_label, bottom_pred = List.nth preds (List.length preds - 1) in
+  let bottom =
+    {
+      label = Printf.sprintf "%s closed" bottom_label;
+      contained = true;
+      closed = Explore.Closure.program_closed space cp ~pred:bottom_pred;
+      converges = Ok { Explore.Convergence.region_states = 0; worst_case_steps = Some 0 };
+    }
+  in
+  { spec_name = name; steps = steps @ [ bottom ] }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>convergence stair for %s: %s@," t.spec_name
+    (if ok t then "VALID" else "INVALID");
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  [%s] %s%s%s%s@,"
+        (if step_ok s then "ok" else "FAIL")
+        s.label
+        (if s.contained then "" else " (containment fails)")
+        (match s.closed with Ok () -> "" | Error _ -> " (closure fails)")
+        (match s.converges with
+        | Ok { worst_case_steps = Some w; _ } ->
+            Printf.sprintf " (worst %d steps)" w
+        | Ok _ -> ""
+        | Error _ -> " (convergence fails)"))
+    t.steps;
+  Format.fprintf ppf "@]"

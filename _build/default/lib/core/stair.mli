@@ -1,0 +1,43 @@
+(** Convergence stairs (Section 7, after Gouda and Multari).
+
+    One of the paper's escape hatches for cyclic constraint graphs: show
+    that all computations converge from [T] to [S] in stages. A stair of
+    height [k] is a chain of state predicates
+
+    [R_0 ⊇ R_1 ⊇ ... ⊇ R_k]   with [R_0 = T] and [R_k = S],
+
+    such that every [R_i] is closed under the program and every computation
+    from [R_i] reaches [R_{i+1}]. Each stage may then be validated with a
+    different technique (e.g. Theorem 2 on the restriction of the
+    constraint graph to [R_i]-states, which can be self-looping even when
+    the unrestricted graph is cyclic).
+
+    This module checks a proposed stair exhaustively on an instance:
+    containment, per-step closure, and per-step convergence (without
+    fairness, i.e. exactly). *)
+
+type step_result = {
+  label : string;
+  contained : bool;  (** [R_{i+1} ⟹ R_i]. *)
+  closed : (unit, Explore.Closure.violation) result;
+  converges : (Explore.Convergence.stats, Explore.Convergence.failure) result;
+}
+
+type t = {
+  spec_name : string;
+  steps : step_result list;  (** One entry per consecutive pair. *)
+}
+
+val ok : t -> bool
+
+val validate :
+  space:Explore.Space.t ->
+  program:Guarded.Program.t ->
+  name:string ->
+  (string * (Guarded.State.t -> bool)) list ->
+  t
+(** [validate ~space ~program ~name stairs] checks the chain given as
+    labeled predicates, ordered from [R_0 = T] down to [R_k = S].
+    @raise Invalid_argument if fewer than two predicates are given. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,292 @@
+module Expr = Guarded.Expr
+module State = Guarded.State
+module Action = Guarded.Action
+module Compile = Guarded.Compile
+module Space = Explore.Space
+module Closure = Explore.Closure
+
+let identical_actions a b =
+  Expr.equal (Action.guard a) (Action.guard b)
+  && List.length (Action.assigns a) = List.length (Action.assigns b)
+  && List.for_all2
+       (fun (v1, e1) (v2, e2) -> Guarded.Var.equal v1 v2 && Expr.equal_num e1 e2)
+       (Action.assigns a) (Action.assigns b)
+
+(* ∀ in-domain s: hyp s ⟹ conc s, with a counterexample on failure. *)
+let implication space env ~label ~hyp ~conc =
+  let counterexample = ref None in
+  (try
+     Space.iter space (fun _ s ->
+         if hyp s && not (conc s) then begin
+           counterexample := Some (State.copy s);
+           raise Exit
+         end)
+   with Exit -> ());
+  match !counterexample with
+  | None -> Certify.check_pass label
+  | Some s ->
+      Certify.check_fail label
+        ~detail:(Format.asprintf "counterexample %a" (State.pp env) s)
+
+(* ∀ s: given s ∧ enabled s ⟹ pred (post s). *)
+let establishes space env ~label ~given (ca : Compile.action) ~pred =
+  let post = State.make (Space.env space) in
+  let counterexample = ref None in
+  (try
+     Space.iter space (fun _ s ->
+         if given s && ca.enabled s then begin
+           ca.apply_into s post;
+           if not (pred post) then begin
+             counterexample := Some (State.copy s, State.copy post);
+             raise Exit
+           end
+         end)
+   with Exit -> ());
+  match !counterexample with
+  | None -> Certify.check_pass label
+  | Some (pre, post) ->
+      Certify.check_fail label
+        ~detail:
+          (Format.asprintf "pre %a -> post %a" (State.pp env) pre
+             (State.pp env) post)
+
+let preserves space env ~label ~given ca ~pred =
+  Certify.of_closure_result env label
+    (Closure.action_preserves ~given space ca ~pred)
+
+let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
+    ~space ~spec layers =
+  let env = Spec.env spec in
+  let s_pred = Spec.compile_invariant spec in
+  let t_pred = Spec.compile_fault_span spec in
+  let layer_arr = Array.of_list layers in
+  let layer_pairs = Array.map Cgraph.pairs layer_arr in
+  let all_pairs = Array.to_list layer_pairs |> Array.concat |> Array.to_list in
+  let compiled_constraints =
+    List.map (fun (p : Cgraph.pair) -> Constr.compile p.constr) all_pairs
+  in
+  let all_constraints_hold s =
+    List.for_all (fun c -> c s) compiled_constraints
+  in
+  let closure_actions = Compile.program (Spec.program spec) in
+  let conv_compiled =
+    Array.map
+      (fun pairs ->
+        Array.map
+          (fun (p : Cgraph.pair) -> Compile.action ~index:0 p.action)
+          pairs)
+      layer_pairs
+  in
+  (* H_l: fault span, all constraints of layers < l, and optionally ¬S. *)
+  let hypothesis l =
+    let lower =
+      List.concat
+        (List.init l (fun i ->
+             Array.to_list layer_pairs.(i)
+             |> List.map (fun (p : Cgraph.pair) -> Constr.compile p.constr)))
+    in
+    fun s ->
+      t_pred s
+      && List.for_all (fun c -> c s) lower
+      && ((not modulo_invariant) || not (s_pred s))
+  in
+  let checks = ref [] in
+  let add c = checks := c :: !checks in
+  (* Sanity. *)
+  add
+    (implication space env ~label:"S implies T" ~hyp:s_pred ~conc:t_pred);
+  add
+    (implication space env ~label:"T and all constraints imply S"
+       ~hyp:(fun s -> t_pred s && all_constraints_hold s)
+       ~conc:s_pred);
+  (* Candidate triple: closure actions preserve S and T. *)
+  Array.iter
+    (fun (ca : Compile.action) ->
+      let n = Action.name ca.source in
+      add
+        (preserves space env
+           ~label:(Printf.sprintf "closure %s preserves S" n)
+           ~given:(fun _ -> true)
+           ca ~pred:s_pred);
+      add
+        (preserves space env
+           ~label:(Printf.sprintf "closure %s preserves T" n)
+           ~given:(fun _ -> true)
+           ca ~pred:t_pred))
+    closure_actions.Compile.actions;
+  (* Convergence-action form, per layer. *)
+  Array.iteri
+    (fun l pairs ->
+      let h = hypothesis l in
+      Array.iteri
+        (fun i (p : Cgraph.pair) ->
+          let ca = conv_compiled.(l).(i) in
+          let cname = Constr.name p.constr in
+          let aname = Action.name p.action in
+          let c = Constr.compile p.constr in
+          add
+            (preserves space env
+               ~label:(Printf.sprintf "convergence %s preserves T" aname)
+               ~given:(fun _ -> true)
+               ca ~pred:t_pred);
+          add
+            (preserves space env
+               ~label:(Printf.sprintf "convergence %s preserves S" aname)
+               ~given:(fun _ -> true)
+               ca ~pred:s_pred);
+          add
+            (implication space env
+               ~label:
+                 (Printf.sprintf "%s enabled only when %s violated" aname
+                    cname)
+               ~hyp:(fun s -> h s && ca.enabled s)
+               ~conc:(fun s -> not (c s)));
+          add
+            (implication space env
+               ~label:
+                 (Printf.sprintf "%s enabled whenever %s violated" aname
+                    cname)
+               ~hyp:(fun s -> h s && not (c s))
+               ~conc:ca.enabled);
+          add
+            (establishes space env
+               ~label:(Printf.sprintf "%s establishes %s" aname cname)
+               ~given:h ca ~pred:c))
+        pairs)
+    layer_pairs;
+  (* Shapes. *)
+  let shapes =
+    Array.to_list
+      (Array.mapi
+         (fun l g ->
+           let shape = Cgraph.shape g in
+           let label =
+             if Array.length layer_arr = 1 then "q"
+             else Printf.sprintf "layer %d" l
+           in
+           if not (shape_ok shape) then
+             add
+               (Certify.check_fail
+                  (Printf.sprintf "constraint graph of %s is %s" label
+                     shape_want)
+                  ~detail:
+                    (Printf.sprintf "graph is %s"
+                       (Dgraph.Classify.shape_to_string shape)))
+           else
+             add
+               (Certify.check_pass
+                  (Printf.sprintf "constraint graph of %s is %s" label
+                     (Dgraph.Classify.shape_to_string shape)));
+           (label, shape))
+         layer_arr)
+  in
+  (* Preservation of layer-l constraints by closure actions (with the
+     identical-action exemption) and by higher-layer convergence actions. *)
+  Array.iteri
+    (fun l pairs ->
+      let h = hypothesis l in
+      Array.iter
+        (fun (p : Cgraph.pair) ->
+          let cname = Constr.name p.constr in
+          let c = Constr.compile p.constr in
+          Array.iter
+            (fun (ca : Compile.action) ->
+              let exempt =
+                List.exists
+                  (fun l' ->
+                    l' <= l
+                    && Array.exists
+                         (fun (q : Cgraph.pair) ->
+                           identical_actions ca.source q.action)
+                         layer_pairs.(l'))
+                  (List.init (Array.length layer_arr) Fun.id)
+              in
+              if not exempt then
+                add
+                  (preserves space env
+                     ~label:
+                       (Printf.sprintf "closure %s preserves %s under H_%d"
+                          (Action.name ca.source) cname l)
+                     ~given:h ca ~pred:c))
+            closure_actions.Compile.actions;
+          for l' = l + 1 to Array.length layer_arr - 1 do
+            Array.iteri
+              (fun i' (q : Cgraph.pair) ->
+                add
+                  (preserves space env
+                     ~label:
+                       (Printf.sprintf
+                          "convergence %s (layer %d) preserves %s (layer %d)"
+                          (Action.name q.action) l' cname l)
+                     ~given:h
+                     conv_compiled.(l').(i')
+                     ~pred:c))
+              layer_pairs.(l')
+          done)
+        pairs)
+    layer_pairs;
+  (* Per-node ordering within each layer. *)
+  if check_ordering then
+    Array.iteri
+      (fun l g ->
+        let h = hypothesis l in
+        let pairs = Cgraph.pairs g in
+        let n_pairs = Array.length pairs in
+        for i = 0 to n_pairs - 1 do
+          for k = i + 1 to n_pairs - 1 do
+            let _, dst_i = Cgraph.edge_of_pair g i in
+            let _, dst_k = Cgraph.edge_of_pair g k in
+            if dst_i = dst_k then
+              add
+                (preserves space env
+                   ~label:
+                     (Printf.sprintf
+                        "ordering: %s preserves %s (same target node)"
+                        (Action.name pairs.(k).action)
+                        (Constr.name pairs.(i).constr))
+                   ~given:h
+                   conv_compiled.(l).(k)
+                   ~pred:(Constr.compile pairs.(i).constr))
+          done
+        done)
+      layer_arr;
+  {
+    Certify.theorem =
+      (if modulo_invariant then theorem ^ " (modulo invariant)" else theorem);
+    spec_name = Spec.name spec;
+    shapes;
+    checks = List.rev !checks;
+  }
+
+let validate_theorem1 ~space ~spec ~cgraph =
+  validate ~theorem:"Theorem 1"
+    ~shape_ok:(fun s -> s = Dgraph.Classify.Out_tree)
+    ~shape_want:"an out-tree" ~modulo_invariant:false ~check_ordering:false
+    ~space ~spec [ cgraph ]
+
+let validate_theorem2 ~space ~spec ~cgraph =
+  validate ~theorem:"Theorem 2"
+    ~shape_ok:(fun s -> s <> Dgraph.Classify.Cyclic)
+    ~shape_want:"self-looping" ~modulo_invariant:false ~check_ordering:true
+    ~space ~spec [ cgraph ]
+
+let validate_theorem3 ?(modulo_invariant = false) ~space ~spec layers =
+  validate ~theorem:"Theorem 3"
+    ~shape_ok:(fun s -> s <> Dgraph.Classify.Cyclic)
+    ~shape_want:"self-looping" ~modulo_invariant ~check_ordering:true ~space
+    ~spec layers
+
+let augmented_program spec layers =
+  let closure = Guarded.Program.actions (Spec.program spec) in
+  let is_closure a =
+    Array.exists (fun b -> identical_actions a b) closure
+  in
+  let extra =
+    List.concat_map
+      (fun g ->
+        Array.to_list (Cgraph.pairs g)
+        |> List.filter_map (fun (p : Cgraph.pair) ->
+               if is_closure p.action then None else Some p.action))
+      layers
+  in
+  Guarded.Program.add_actions (Spec.program spec) extra

@@ -1,0 +1,62 @@
+(** Machine-checked validation of the paper's Theorems 1, 2, and 3.
+
+    Each validator exhaustively discharges the theorem's antecedents over an
+    enumerated state space and returns a {!Certify.t} listing every
+    obligation. When the certificate is valid, the theorem guarantees that
+    the augmented program [p ∪ q] is [T]-tolerant for [S]; experiment E5
+    additionally checks the consequent directly with [Explore.Convergence].
+
+    The obligations, for each layer [l] (Theorems 1 and 2 have one layer)
+    with hypothesis [H_l = T ∧ (constraints of layers < l)]:
+
+    - sanity: [S ⟹ T]; [T ∧ C ⟹ S] where [C] is the conjunction of all
+      constraints;
+    - candidate triple: every closure action preserves [S] and [T];
+    - convergence-action form: each action preserves [T] and [S], is enabled
+      only when its constraint is violated ([H_l ∧ enabled ⟹ ¬c]), is
+      enabled whenever it is violated ([H_l ∧ ¬c ⟹ enabled]), and
+      establishes it ([H_l ∧ enabled ⟹ c] in the post-state);
+    - shape: the layer's constraint graph is an out-tree (Theorem 1) or
+      self-looping (Theorems 2 and 3);
+    - preservation: every closure action and every convergence action of a
+      higher layer preserves each layer-[l] constraint under [H_l];
+    - ordering (Theorems 2 and 3): for convergence actions sharing a target
+      node, each action preserves the constraints of the actions preceding
+      it in the pair list, under [H_l].
+
+    {b The [modulo_invariant] refinement.} Read literally, Theorem 3's
+    preservation antecedent fails for the paper's own token ring: the
+    token-passing closure action violates the second-layer constraint
+    [x.j = x.(j+1)] of its successor's successor. The paper's prose resolves
+    this in two ways that we mechanize: (a) a closure action that is
+    {e identical} to a convergence action of layer [≤ l] is exempt from the
+    layer-[l] closure obligation — its executions are that convergence
+    action's executions, which the rank induction already accounts for; and
+    (b) with [~modulo_invariant:true], every hypothesis [H_l] gains the
+    conjunct [¬S]: obligations need to hold only while the invariant has not
+    yet been reached, which suffices for convergence to [S] because a
+    computation that never reached [S] would satisfy all constraints after
+    the layered induction, contradicting [T ∧ C ⟹ S]. Exemption (a) is
+    always applied; (b) is opt-in and recorded in the certificate name. *)
+
+val validate_theorem1 :
+  space:Explore.Space.t -> spec:Spec.t -> cgraph:Cgraph.t -> Certify.t
+(** Out-tree constraint graphs (Section 5). *)
+
+val validate_theorem2 :
+  space:Explore.Space.t -> spec:Spec.t -> cgraph:Cgraph.t -> Certify.t
+(** Self-looping constraint graphs with per-node linear orderings
+    (Section 6). The ordering checked is the order of the pair list. *)
+
+val validate_theorem3 :
+  ?modulo_invariant:bool ->
+  space:Explore.Space.t ->
+  spec:Spec.t ->
+  Cgraph.t list ->
+  Certify.t
+(** Hierarchically partitioned convergence actions (Section 7); layer 0
+    first. [modulo_invariant] defaults to [false]. *)
+
+val augmented_program : Spec.t -> Cgraph.t list -> Guarded.Program.t
+(** [p ∪ q]: the closure actions plus every convergence action that is not
+    already (identically) a closure action. *)

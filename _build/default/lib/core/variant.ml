@@ -1,0 +1,90 @@
+module State = Guarded.State
+module Compile = Guarded.Compile
+module Space = Explore.Space
+
+type t = {
+  rank_count : int;
+  by_rank : (Guarded.State.t -> bool) array array;
+      (** [by_rank.(r-1)] = compiled constraints whose edges target rank [r]. *)
+}
+
+let of_cgraph g =
+  match Cgraph.pair_rank g with
+  | None -> None
+  | Some ranks ->
+      let pairs = Cgraph.pairs g in
+      let rank_count = Array.fold_left max 0 ranks in
+      let buckets = Array.make rank_count [] in
+      Array.iteri
+        (fun i (p : Cgraph.pair) ->
+          let r = ranks.(i) in
+          buckets.(r - 1) <- Constr.compile p.constr :: buckets.(r - 1))
+        pairs;
+      Some { rank_count; by_rank = Array.map Array.of_list buckets }
+
+let rank_count t = t.rank_count
+
+let value t s =
+  Array.map
+    (fun preds ->
+      Array.fold_left (fun acc c -> if c s then acc else acc + 1) 0 preds)
+    t.by_rank
+
+let compare_values (a : int array) (b : int array) = compare a b
+
+let total_violations t s = Array.fold_left ( + ) 0 (value t s)
+
+type failure = {
+  action : string;
+  pre : Guarded.State.t;
+  post : Guarded.State.t;
+  kind : [ `Convergence_did_not_decrease | `Closure_increased ];
+}
+
+let check ~space ~spec ~cgraph t =
+  let tpred = Spec.compile_fault_span spec in
+  let post = State.make (Space.env space) in
+  let closure = Compile.program (Spec.program spec) in
+  let conv =
+    Array.map
+      (fun (p : Cgraph.pair) -> Compile.action ~index:0 p.action)
+      (Cgraph.pairs cgraph)
+  in
+  let failure = ref None in
+  let scan kind actions strict =
+    Array.iter
+      (fun (ca : Compile.action) ->
+        if !failure = None then
+          try
+            Space.iter space (fun _ s ->
+                if tpred s && ca.enabled s then begin
+                  ca.apply_into s post;
+                  let vp = value t s and vq = value t post in
+                  let c = compare_values vq vp in
+                  if (strict && c >= 0) || ((not strict) && c > 0) then begin
+                    failure :=
+                      Some
+                        {
+                          action = Guarded.Action.name ca.source;
+                          pre = State.copy s;
+                          post = State.copy post;
+                          kind;
+                        };
+                    raise Exit
+                  end
+                end)
+          with Exit -> ())
+      actions
+  in
+  scan `Convergence_did_not_decrease conv true;
+  if !failure = None then
+    scan `Closure_increased closure.Compile.actions false;
+  match !failure with None -> Ok () | Some f -> Error f
+
+let pp_failure env ppf f =
+  Format.fprintf ppf "@[<v>%s %s: pre %a -> post %a@]"
+    (match f.kind with
+    | `Convergence_did_not_decrease ->
+        "convergence action did not decrease the variant:"
+    | `Closure_increased -> "closure action increased the variant:")
+    f.action (State.pp env) f.pre (State.pp env) f.post

@@ -1,0 +1,1 @@
+lib/dgraph/classify.ml: Array Digraph Format List Queue Topo

@@ -1,0 +1,1 @@
+lib/dgraph/classify.mli: Digraph Format

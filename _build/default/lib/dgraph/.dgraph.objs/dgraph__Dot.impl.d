@@ -1,0 +1,1 @@
+lib/dgraph/dot.ml: Buffer Digraph List Printf String

@@ -1,0 +1,1 @@
+lib/dgraph/dot.mli: Digraph

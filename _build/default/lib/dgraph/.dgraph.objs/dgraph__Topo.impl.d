@@ -1,0 +1,1 @@
+lib/dgraph/topo.ml: Array Digraph List Queue

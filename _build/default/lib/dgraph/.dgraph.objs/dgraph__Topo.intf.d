@@ -1,0 +1,1 @@
+lib/dgraph/topo.mli: Digraph

@@ -1,0 +1,86 @@
+type 'a edge = { src : int; dst : int; label : 'a }
+
+type 'a t = {
+  n : int;
+  mutable m : int;
+  out_adj : 'a edge list array; (* reversed insertion order *)
+  in_adj : 'a edge list array;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative node count";
+  { n; m = 0; out_adj = Array.make n []; in_adj = Array.make n [] }
+
+let check_node g i name =
+  if i < 0 || i >= g.n then
+    invalid_arg (Printf.sprintf "Digraph.%s: node %d out of range" name i)
+
+let add_edge g ~src ~dst label =
+  check_node g src "add_edge";
+  check_node g dst "add_edge";
+  let e = { src; dst; label } in
+  g.out_adj.(src) <- e :: g.out_adj.(src);
+  g.in_adj.(dst) <- e :: g.in_adj.(dst);
+  g.m <- g.m + 1
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (src, dst, label) -> add_edge g ~src ~dst label) edges;
+  g
+
+let node_count g = g.n
+let edge_count g = g.m
+
+let out_edges g i =
+  check_node g i "out_edges";
+  List.rev g.out_adj.(i)
+
+let in_edges g i =
+  check_node g i "in_edges";
+  List.rev g.in_adj.(i)
+
+let succ g i = List.map (fun e -> e.dst) (out_edges g i)
+let pred g i = List.map (fun e -> e.src) (in_edges g i)
+
+let edges g =
+  List.concat (List.init g.n (fun i -> out_edges g i))
+
+let out_degree g i =
+  check_node g i "out_degree";
+  List.length g.out_adj.(i)
+
+let in_degree g i =
+  check_node g i "in_degree";
+  List.length g.in_adj.(i)
+
+let has_self_loop g i =
+  check_node g i "has_self_loop";
+  List.exists (fun e -> e.dst = i) g.out_adj.(i)
+
+let map_labels f g =
+  of_edges g.n (List.map (fun e -> (e.src, e.dst, f e.label)) (edges g))
+
+let filter_edges keep g =
+  of_edges g.n
+    (List.filter_map
+       (fun e -> if keep e then Some (e.src, e.dst, e.label) else None)
+       (edges g))
+
+let drop_self_loops g = filter_edges (fun e -> e.src <> e.dst) g
+
+let reverse g =
+  of_edges g.n (List.map (fun e -> (e.dst, e.src, e.label)) (edges g))
+
+let iter_succ g i f =
+  check_node g i "iter_succ";
+  List.iter (fun e -> f e.dst) g.out_adj.(i)
+
+let fold_edges f acc g = List.fold_left f acc (edges g)
+
+let pp pp_label ppf g =
+  Format.fprintf ppf "@[<v>digraph (%d nodes, %d edges)@," g.n g.m;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %d -> %d [%a]@," e.src e.dst pp_label e.label)
+    (edges g);
+  Format.fprintf ppf "@]"

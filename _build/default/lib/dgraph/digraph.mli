@@ -1,0 +1,53 @@
+(** Directed multigraphs over dense integer nodes.
+
+    Nodes are [0 .. node_count - 1]; each edge carries a polymorphic label.
+    Parallel edges and self-loops are allowed — the paper's constraint graph
+    has one edge per convergence action, and self-loops are semantically
+    significant (Section 6). *)
+
+type 'a t
+
+type 'a edge = { src : int; dst : int; label : 'a }
+
+val create : int -> 'a t
+(** [create n] is the edgeless graph on [n] nodes.
+    @raise Invalid_argument if [n < 0]. *)
+
+val of_edges : int -> (int * int * 'a) list -> 'a t
+(** [of_edges n edges] builds a graph on [n] nodes from [(src, dst, label)]
+    triples. *)
+
+val add_edge : 'a t -> src:int -> dst:int -> 'a -> unit
+(** @raise Invalid_argument if an endpoint is out of range. *)
+
+val node_count : 'a t -> int
+val edge_count : 'a t -> int
+
+val succ : 'a t -> int -> int list
+(** Successor nodes (with multiplicity, in insertion order). *)
+
+val pred : 'a t -> int -> int list
+
+val out_edges : 'a t -> int -> 'a edge list
+val in_edges : 'a t -> int -> 'a edge list
+val edges : 'a t -> 'a edge list
+
+val out_degree : 'a t -> int -> int
+val in_degree : 'a t -> int -> int
+
+val has_self_loop : 'a t -> int -> bool
+
+val map_labels : ('a -> 'b) -> 'a t -> 'b t
+
+val filter_edges : ('a edge -> bool) -> 'a t -> 'a t
+(** Same nodes, only the edges satisfying the predicate. *)
+
+val drop_self_loops : 'a t -> 'a t
+
+val reverse : 'a t -> 'a t
+
+val iter_succ : 'a t -> int -> (int -> unit) -> unit
+
+val fold_edges : ('acc -> 'a edge -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,34 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(name = "g") ?node_label ?edge_label g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  for i = 0 to Digraph.node_count g - 1 do
+    match node_label with
+    | Some f ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"%s\"];\n" i (escape (f i)))
+    | None -> Buffer.add_string buf (Printf.sprintf "  n%d;\n" i)
+  done;
+  List.iter
+    (fun (e : _ Digraph.edge) ->
+      match edge_label with
+      | Some f ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" e.src e.dst
+               (escape (f e.label)))
+      | None ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" e.src e.dst))
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

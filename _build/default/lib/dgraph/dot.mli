@@ -1,0 +1,9 @@
+(** Graphviz DOT export for inspection and documentation. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:('a -> string) ->
+  'a Digraph.t ->
+  string
+(** Render a graph as a [digraph { ... }] DOT document. Labels are escaped. *)

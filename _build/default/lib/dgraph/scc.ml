@@ -1,0 +1,98 @@
+type t = { count : int; component : int array; members : int list array }
+
+(* Iterative Tarjan: explicit stacks so that state-space-sized graphs
+   (hundreds of thousands of nodes) do not overflow the OCaml stack. *)
+let compute g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp = Array.make n (-1) in
+  let comp_count = ref 0 in
+  let rev_members : int list list ref = ref [] in
+  (* Explicit DFS: each frame is (node, remaining successors). *)
+  let visit root =
+    let frames = ref [ (root, ref (Digraph.succ g root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+          match !succs with
+          | w :: ws ->
+              succs := ws;
+              if index.(w) = -1 then begin
+                index.(w) <- !next_index;
+                lowlink.(w) <- !next_index;
+                incr next_index;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                frames := (w, ref (Digraph.succ g w)) :: !frames
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+              frames := rest;
+              (match rest with
+              | (parent, _) :: _ ->
+                  lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                (* v is the root of a component: pop the stack down to v. *)
+                let members = ref [] in
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tail ->
+                      stack := tail;
+                      on_stack.(w) <- false;
+                      comp.(w) <- !comp_count;
+                      members := w :: !members;
+                      if w = v then continue := false
+                done;
+                rev_members := !members :: !rev_members;
+                incr comp_count
+              end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (* Tarjan emits components in reverse topological order already: a
+     component is emitted only after all components it can reach. To get ids
+     in reverse topological order (edges go from lower to higher id is the
+     *forward* topological convention; Tarjan gives the opposite), renumber
+     so that edges across components go from smaller to larger id. *)
+  let count = !comp_count in
+  let renumber i = count - 1 - i in
+  Array.iteri (fun v c -> comp.(v) <- renumber c) comp;
+  let members = Array.make count [] in
+  List.iteri
+    (fun emitted ms -> members.(renumber emitted) <- ms)
+    (List.rev !rev_members);
+  { count; component = comp; members }
+
+let is_trivial t g node =
+  match t.members.(t.component.(node)) with
+  | [ v ] -> not (Digraph.has_self_loop g v)
+  | _ -> false
+
+let condensation g t =
+  let seen = Hashtbl.create 64 in
+  let dag = Digraph.create t.count in
+  List.iter
+    (fun (e : _ Digraph.edge) ->
+      let cs = t.component.(e.src) and cd = t.component.(e.dst) in
+      if cs <> cd && not (Hashtbl.mem seen (cs, cd)) then begin
+        Hashtbl.add seen (cs, cd) ();
+        Digraph.add_edge dag ~src:cs ~dst:cd ()
+      end)
+    (Digraph.edges g);
+  dag

@@ -1,0 +1,100 @@
+let topological_order g =
+  let n = Digraph.node_count g in
+  let indeg = Array.init n (fun i -> Digraph.in_degree g i) in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr seen;
+    Digraph.iter_succ g v (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let is_acyclic g = topological_order g <> None
+
+let is_acyclic_ignoring_self_loops g =
+  is_acyclic (Digraph.drop_self_loops g)
+
+let ranks g =
+  let core = Digraph.drop_self_loops g in
+  match topological_order core with
+  | None -> None
+  | Some order ->
+      let n = Digraph.node_count g in
+      let rank = Array.make n 1 in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun p -> if p <> v then rank.(v) <- max rank.(v) (rank.(p) + 1))
+            (Digraph.pred core v))
+        order;
+      Some rank
+
+let longest_path_lengths g =
+  match topological_order g with
+  | None -> None
+  | Some order ->
+      let n = Digraph.node_count g in
+      let dist = Array.make n 0 in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun p -> dist.(v) <- max dist.(v) (dist.(p) + 1))
+            (Digraph.pred g v))
+        order;
+      Some dist
+
+let find_cycle g =
+  let n = Digraph.node_count g in
+  (* Self-loops first: cheapest cycles to report. *)
+  let self = ref None in
+  for i = 0 to n - 1 do
+    if !self = None && Digraph.has_self_loop g i then self := Some [ i ]
+  done;
+  match !self with
+  | Some _ as c -> c
+  | None ->
+      (* Iterative DFS with colors; the frame stack doubles as the DFS path
+         from which the cycle is reconstructed. *)
+      let color = Array.make n 0 in
+      (* 0 white, 1 gray, 2 black *)
+      let result = ref None in
+      let visit root =
+        let frames = ref [ (root, ref (Digraph.succ g root)) ] in
+        color.(root) <- 1;
+        while !result = None && !frames <> [] do
+          match !frames with
+          | [] -> ()
+          | (v, succs) :: rest -> (
+              match !succs with
+              | [] ->
+                  color.(v) <- 2;
+                  frames := rest
+              | w :: ws ->
+                  succs := ws;
+                  if color.(w) = 1 then begin
+                    (* cycle: the gray frames from w up to v *)
+                    let path = List.map fst !frames in
+                    let rec cut = function
+                      | [] -> []
+                      | x :: tail -> if x = w then [ x ] else x :: cut tail
+                    in
+                    result := Some (List.rev (cut path))
+                  end
+                  else if color.(w) = 0 then begin
+                    color.(w) <- 1;
+                    frames := (w, ref (Digraph.succ g w)) :: !frames
+                  end)
+        done
+      in
+      for v = 0 to n - 1 do
+        if color.(v) = 0 && !result = None then visit v
+      done;
+      !result

@@ -1,0 +1,1 @@
+lib/explore/closure.ml: Array Format Guarded Space

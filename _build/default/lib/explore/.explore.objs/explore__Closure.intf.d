@@ -1,0 +1,1 @@
+lib/explore/closure.mli: Format Guarded Space

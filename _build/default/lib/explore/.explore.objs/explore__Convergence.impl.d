@@ -1,0 +1,1 @@
+lib/explore/convergence.ml: Array Bitset Dgraph Format Guarded List Printf Space Tsys

@@ -1,0 +1,1 @@
+lib/explore/convergence.mli: Format Guarded Tsys

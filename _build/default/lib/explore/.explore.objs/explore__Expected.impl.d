@@ -1,0 +1,1 @@
+lib/explore/expected.ml: Array Bitset Guarded List Queue Space Tsys

@@ -1,0 +1,1 @@
+lib/explore/expected.mli: Guarded Tsys

@@ -1,0 +1,1 @@
+lib/explore/tsys.ml: Array Bitset Dgraph Guarded List Queue Space

@@ -1,0 +1,1 @@
+lib/explore/tsys.mli: Bitset Dgraph Guarded Space

@@ -1,0 +1,54 @@
+type t = { bits : Bytes.t; n : int; mutable card : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n; card = 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if b land mask = 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (b lor mask));
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if b land mask <> 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (b land lnot mask land 0xff));
+    t.card <- t.card - 1
+  end
+
+let cardinal t = t.card
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0 then
+      f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let for_all_members t p =
+  let ok = ref true in
+  (try
+     iter t (fun i -> if not (p i) then raise Exit)
+   with Exit -> ok := false);
+  !ok
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n; card = t.card }

@@ -1,0 +1,19 @@
+(** Fixed-capacity bit sets over [0 .. n-1], used to mark visited /
+    region membership during state-space exploration. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. @raise Invalid_argument if [n < 0]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val iter : t -> (int -> unit) -> unit
+(** Ascending order of members. *)
+
+val to_list : t -> int list
+val for_all_members : t -> (int -> bool) -> bool
+val copy : t -> t

@@ -1,0 +1,40 @@
+module State = Guarded.State
+module Compile = Guarded.Compile
+
+type violation = {
+  pre : Guarded.State.t;
+  action : Guarded.Action.t;
+  post : Guarded.State.t;
+}
+
+let pp_violation env ppf v =
+  Format.fprintf ppf "@[<v>action %s violates the predicate:@,pre  = %a@,post = %a@]"
+    (Guarded.Action.name v.action) (State.pp env) v.pre (State.pp env) v.post
+
+let action_preserves ?(given = fun _ -> true) space (ca : Compile.action) ~pred
+    =
+  let post = State.make (Space.env space) in
+  let result = ref (Ok ()) in
+  (try
+     Space.iter space (fun _ s ->
+         if given s && pred s && ca.enabled s then begin
+           ca.apply_into s post;
+           if not (pred post) then begin
+             result :=
+               Error
+                 { pre = State.copy s; action = ca.source; post = State.copy post };
+             raise Exit
+           end
+         end)
+   with Exit -> ());
+  !result
+
+let program_closed ?given space (cp : Compile.program) ~pred =
+  let rec go i =
+    if i >= Array.length cp.actions then Ok ()
+    else
+      match action_preserves ?given space cp.actions.(i) ~pred with
+      | Ok () -> go (i + 1)
+      | Error _ as e -> e
+  in
+  go 0

@@ -1,0 +1,36 @@
+(** Closure checking (Section 3 of the paper).
+
+    A state predicate [R] is closed in a program iff every action preserves
+    [R]: from any in-domain state where the action is enabled and [R] holds,
+    execution yields a state where [R] holds. These checks are exhaustive
+    over an enumerated state space, so a success is a proof for that
+    instance and a failure carries a concrete counterexample step.
+
+    The optional [given] hypothesis restricts the check to states satisfying
+    it — Theorem 3's obligations have the form "preserves [c] {e whenever
+    all constraints in lower layers hold}". *)
+
+type violation = {
+  pre : Guarded.State.t;
+  action : Guarded.Action.t;
+  post : Guarded.State.t;
+}
+
+val pp_violation : Guarded.Env.t -> Format.formatter -> violation -> unit
+
+val action_preserves :
+  ?given:(Guarded.State.t -> bool) ->
+  Space.t ->
+  Guarded.Compile.action ->
+  pred:(Guarded.State.t -> bool) ->
+  (unit, violation) result
+(** Does this action preserve [pred] (under hypothesis [given])? *)
+
+val program_closed :
+  ?given:(Guarded.State.t -> bool) ->
+  Space.t ->
+  Guarded.Compile.program ->
+  pred:(Guarded.State.t -> bool) ->
+  (unit, violation) result
+(** Is [pred] closed under every action of the program? Returns the first
+    violating step otherwise. *)

@@ -1,0 +1,147 @@
+module State = Guarded.State
+module Compile = Guarded.Compile
+
+type stats = { region_states : int; worst_case_steps : int option }
+
+type failure =
+  | Deadlock of Guarded.State.t
+  | Livelock of Guarded.State.t list
+
+type verdict =
+  | Converges of stats
+  | Fails of failure
+  | Unknown of Guarded.State.t list
+
+(* The region of interest: states reachable from [from] where [target] does
+   not hold, as (membership test, member count, induced graph pieces). *)
+let build_region tsys ~from ~target =
+  let space = Tsys.space tsys in
+  let roots = Space.satisfying space from in
+  let reach = Tsys.reachable tsys roots in
+  let target_set = Bitset.create (Space.size space) in
+  Space.iter space (fun id s -> if target s then Bitset.add target_set id);
+  let member id = Bitset.mem reach id && not (Bitset.mem target_set id) in
+  let graph, node_to_state, state_to_node =
+    Tsys.region_graph_full tsys ~member
+  in
+  (graph, node_to_state, state_to_node)
+
+let find_deadlock tsys node_to_state =
+  let space = Tsys.space tsys in
+  let found = ref None in
+  Array.iter
+    (fun id ->
+      if !found = None && Tsys.is_terminal tsys id then
+        found := Some (Deadlock (Space.decode space id)))
+    node_to_state;
+  !found
+
+let check_unfair tsys ~from ~target =
+  let space = Tsys.space tsys in
+  let graph, node_to_state, _ = build_region tsys ~from ~target in
+  match find_deadlock tsys node_to_state with
+  | Some f -> Error f
+  | None -> (
+      match Dgraph.Topo.find_cycle graph with
+      | Some nodes ->
+          Error
+            (Livelock
+               (List.map (fun v -> Space.decode space node_to_state.(v)) nodes))
+      | None ->
+          let region_states = Array.length node_to_state in
+          let worst =
+            if region_states = 0 then 0
+            else
+              match Dgraph.Topo.longest_path_lengths graph with
+              | Some dist -> Array.fold_left max 0 dist + 1
+              | None -> assert false (* acyclic: find_cycle returned None *)
+          in
+          Ok { region_states; worst_case_steps = Some worst })
+
+(* Weak-fairness escape criterion for one SCC: an action enabled at every
+   state of the component whose execution always leaves the component. *)
+let scc_has_uniform_exit tsys state_to_node (scc : Dgraph.Scc.t) comp members
+    node_to_state =
+  let space = Tsys.space tsys in
+  let cp = Tsys.program tsys in
+  let post = State.make (Space.env space) in
+  let in_same_component dst_id =
+    let node = state_to_node dst_id in
+    node >= 0 && scc.Dgraph.Scc.component.(node) = comp
+  in
+  let action_works (ca : Compile.action) =
+    List.for_all
+      (fun node ->
+        let id = node_to_state.(node) in
+        let s = Space.decode space id in
+        ca.enabled s
+        &&
+        begin
+          ca.apply_into s post;
+          not (in_same_component (Space.encode space post))
+        end)
+      members
+  in
+  Array.exists action_works cp.actions
+
+let check_fair tsys ~from ~target =
+  match check_unfair tsys ~from ~target with
+  | Ok stats -> Converges stats
+  | Error (Deadlock _ as f) -> Fails f
+  | Error (Livelock _) -> (
+      let space = Tsys.space tsys in
+      let graph, node_to_state, state_to_node =
+        build_region tsys ~from ~target
+      in
+      match find_deadlock tsys node_to_state with
+      | Some f -> Fails f
+      | None ->
+          let scc = Dgraph.Scc.compute graph in
+          let bad = ref None in
+          for comp = 0 to scc.Dgraph.Scc.count - 1 do
+            if !bad = None then begin
+              let members = scc.Dgraph.Scc.members.(comp) in
+              let nontrivial =
+                match members with
+                | [ v ] -> Dgraph.Digraph.has_self_loop graph v
+                | _ -> true
+              in
+              if
+                nontrivial
+                && not
+                     (scc_has_uniform_exit tsys state_to_node scc comp members
+                        node_to_state)
+              then bad := Some members
+            end
+          done;
+          (match !bad with
+          | Some members ->
+              let sample =
+                List.filteri (fun i _ -> i < 10) members
+                |> List.map (fun v -> Space.decode space node_to_state.(v))
+              in
+              Unknown sample
+          | None ->
+              Converges
+                {
+                  region_states = Array.length node_to_state;
+                  worst_case_steps = None;
+                }))
+
+let pp_failure env ppf = function
+  | Deadlock s ->
+      Format.fprintf ppf "@[<v>deadlock outside target at %a@]" (State.pp env)
+        s
+  | Livelock states ->
+      Format.fprintf ppf "@[<v>livelock outside target:@,%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (State.pp env))
+        states
+
+let pp_verdict env ppf = function
+  | Converges { region_states; worst_case_steps } ->
+      Format.fprintf ppf "converges (region %d states%s)" region_states
+        (match worst_case_steps with
+        | Some w -> Printf.sprintf ", worst case %d steps" w
+        | None -> ", fair only")
+  | Fails f -> pp_failure env ppf f
+  | Unknown _ -> Format.pp_print_string ppf "unknown (fair criterion failed)"

@@ -1,0 +1,59 @@
+(** Convergence checking (Section 3 of the paper).
+
+    The convergence requirement of [T]-tolerance for [S]: every computation
+    that starts at a state where [T] holds reaches a state where [S] holds.
+
+    {b Without fairness} the check is exact on finite instances: every
+    maximal interleaving from [T] reaches [S] iff, in the transition graph
+    restricted to the reachable [T ∧ ¬S] region, (a) no state is terminal
+    and (b) there is no cycle. The paper's concluding remarks observe that
+    its derived programs converge even without fairness; this checker is how
+    we test that claim (experiment E8).
+
+    {b With weak fairness} (every continuously enabled action is eventually
+    executed — the paper's computation model of Section 2) we use a sound
+    criterion: every SCC of the [¬S] region must have an action that is
+    enabled at every state of the SCC and whose execution always leaves the
+    SCC. If an SCC lacks one, the verdict is [Unknown] (the criterion is
+    sufficient, not necessary). *)
+
+type stats = {
+  region_states : int;
+      (** Reachable states violating the target predicate. *)
+  worst_case_steps : int option;
+      (** Longest interleaving before the target necessarily holds; [None]
+          when only fair convergence was established (an unfair daemon can
+          loop, so no bound exists). *)
+}
+
+type failure =
+  | Deadlock of Guarded.State.t
+      (** A maximal computation ends in this [¬target] state. *)
+  | Livelock of Guarded.State.t list
+      (** A reachable cycle that never meets the target; the list is the
+          cycle's states in order. *)
+
+type verdict =
+  | Converges of stats
+  | Fails of failure
+  | Unknown of Guarded.State.t list
+      (** Sample states of an SCC the fair criterion could not discharge. *)
+
+val check_unfair :
+  Tsys.t ->
+  from:(Guarded.State.t -> bool) ->
+  target:(Guarded.State.t -> bool) ->
+  (stats, failure) result
+(** Exact check: do all maximal interleavings from [from] reach [target]? *)
+
+val check_fair :
+  Tsys.t ->
+  from:(Guarded.State.t -> bool) ->
+  target:(Guarded.State.t -> bool) ->
+  verdict
+(** First tries [check_unfair] (unfair convergence implies fair); on a
+    livelock, applies the SCC escape criterion. [Fails (Deadlock _)] is
+    definitive under fairness too. *)
+
+val pp_failure : Guarded.Env.t -> Format.formatter -> failure -> unit
+val pp_verdict : Guarded.Env.t -> Format.formatter -> verdict -> unit

@@ -1,0 +1,72 @@
+module State = Guarded.State
+
+type failure = Unreachable of Guarded.State.t | Not_converged of float
+
+let steps ?(epsilon = 1e-9) ?(max_iters = 1_000_000) tsys ~target =
+  let space = Tsys.space tsys in
+  let n = Tsys.state_count tsys in
+  let is_target = Bitset.create n in
+  Space.iter space (fun id s -> if target s then Bitset.add is_target id);
+  (* Backward reachability of the target via reverse edges. *)
+  let preds = Array.make n [] in
+  for id = 0 to n - 1 do
+    Tsys.iter_succ tsys id (fun ~action:_ ~dst -> preds.(dst) <- id :: preds.(dst))
+  done;
+  let can_reach = Bitset.create n in
+  let queue = Queue.create () in
+  Bitset.iter is_target (fun id ->
+      Bitset.add can_reach id;
+      Queue.add id queue);
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not (Bitset.mem can_reach p) then begin
+          Bitset.add can_reach p;
+          Queue.add p queue
+        end)
+      preds.(id)
+  done;
+  let stuck = ref None in
+  for id = 0 to n - 1 do
+    if !stuck = None && not (Bitset.mem can_reach id) then stuck := Some id
+  done;
+  match !stuck with
+  | Some id -> Error (Unreachable (Space.decode space id))
+  | None ->
+      (* Gauss–Seidel value iteration. *)
+      let value = Array.make n 0.0 in
+      let delta = ref infinity in
+      let iters = ref 0 in
+      while !delta > epsilon && !iters < max_iters do
+        delta := 0.0;
+        for id = 0 to n - 1 do
+          if not (Bitset.mem is_target id) then begin
+            let sum = ref 0.0 and deg = ref 0 in
+            Tsys.iter_succ tsys id (fun ~action:_ ~dst ->
+                sum := !sum +. value.(dst);
+                incr deg);
+            (* [deg = 0] outside the target would be a deadlock, which
+               backward reachability already ruled out. *)
+            let v = 1.0 +. (!sum /. float_of_int !deg) in
+            let d = abs_float (v -. value.(id)) in
+            if d > !delta then delta := d;
+            value.(id) <- v
+          end
+        done;
+        incr iters
+      done;
+      if !delta > epsilon then Error (Not_converged !delta) else Ok value
+
+let mean_from ?epsilon ?max_iters tsys ~from ~target =
+  match steps ?epsilon ?max_iters tsys ~target with
+  | Error f -> Error f
+  | Ok value ->
+      let space = Tsys.space tsys in
+      let sum = ref 0.0 and count = ref 0 in
+      Space.iter space (fun id s ->
+          if from s then begin
+            sum := !sum +. value.(id);
+            incr count
+          end);
+      if !count = 0 then Ok 0.0 else Ok (!sum /. float_of_int !count)

@@ -1,0 +1,76 @@
+module Env = Guarded.Env
+module State = Guarded.State
+module Var = Guarded.Var
+module Domain = Guarded.Domain
+
+type t = {
+  env : Env.t;
+  size : int;
+  bases : int array;  (** domain size per slot *)
+  lows : int array;  (** smallest legal value per slot *)
+  weights : int array;  (** mixed-radix place values *)
+}
+
+exception Too_large of float
+
+let create ?(max_states = 2_000_000) env =
+  let total = Env.state_space_size env in
+  if total > float_of_int max_states then raise (Too_large total);
+  let vars = Env.vars env in
+  let n = Array.length vars in
+  let bases = Array.map (fun v -> Domain.size (Var.domain v)) vars in
+  let lows =
+    Array.map
+      (fun v ->
+        match Var.domain v with
+        | Guarded.Domain.Range { lo; _ } -> lo
+        | Guarded.Domain.Bool | Guarded.Domain.Enum _ -> 0)
+      vars
+  in
+  let weights = Array.make n 1 in
+  for i = 1 to n - 1 do
+    weights.(i) <- weights.(i - 1) * bases.(i - 1)
+  done;
+  { env; size = int_of_float total; bases; lows; weights }
+
+let env t = t.env
+let size t = t.size
+
+let encode t s =
+  let acc = ref 0 in
+  for i = 0 to Array.length t.bases - 1 do
+    let digit = State.get_index s i - t.lows.(i) in
+    if digit < 0 || digit >= t.bases.(i) then
+      invalid_arg "Space.encode: state outside domains";
+    acc := !acc + (digit * t.weights.(i))
+  done;
+  !acc
+
+let decode_into t id s =
+  let rem = ref id in
+  for i = 0 to Array.length t.bases - 1 do
+    State.set_index s i ((!rem mod t.bases.(i)) + t.lows.(i));
+    rem := !rem / t.bases.(i)
+  done
+
+let decode t id =
+  let s = State.make t.env in
+  decode_into t id s;
+  s
+
+let iter t f =
+  let buf = State.make t.env in
+  for id = 0 to t.size - 1 do
+    decode_into t id buf;
+    f id buf
+  done
+
+let satisfying t p =
+  let acc = ref [] in
+  iter t (fun id s -> if p s then acc := id :: !acc);
+  List.rev !acc
+
+let count_satisfying t p =
+  let c = ref 0 in
+  iter t (fun _ s -> if p s then incr c);
+  !c

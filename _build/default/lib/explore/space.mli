@@ -1,0 +1,39 @@
+(** Enumerable state spaces.
+
+    A program over finite domains has [Π size(domain)] states; this module
+    gives every state a dense integer id via mixed-radix encoding, so the
+    checker can index per-state data with arrays rather than hash tables.
+
+    For stabilizing programs the fault span is [true]: the state space
+    {e is} the fault span, so exhaustively checking all ids checks all
+    corrupted states the paper's fault model can produce (faults keep each
+    variable within its domain; that is what "domain" means in Section 2). *)
+
+type t
+
+exception Too_large of float
+(** Raised by [create] when the space exceeds the cap; carries the size. *)
+
+val create : ?max_states:int -> Guarded.Env.t -> t
+(** Build the enumeration for an environment. [max_states] defaults to
+    [2_000_000]. @raise Too_large when the product of domain sizes exceeds
+    the cap. *)
+
+val env : t -> Guarded.Env.t
+val size : t -> int
+
+val encode : t -> Guarded.State.t -> int
+(** @raise Invalid_argument if some variable is outside its domain. *)
+
+val decode : t -> int -> Guarded.State.t
+val decode_into : t -> int -> Guarded.State.t -> unit
+(** Fill an existing state buffer; avoids allocation in the checker loop. *)
+
+val iter : t -> (int -> Guarded.State.t -> unit) -> unit
+(** Visit every state in id order. The state value is a shared buffer —
+    callers must copy it if they retain it. *)
+
+val satisfying : t -> (Guarded.State.t -> bool) -> int list
+(** Ids of all states satisfying the predicate. *)
+
+val count_satisfying : t -> (Guarded.State.t -> bool) -> int

@@ -1,0 +1,1 @@
+lib/guarded/action.ml: Expr Format List Printf State Var

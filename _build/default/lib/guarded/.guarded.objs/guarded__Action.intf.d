@@ -1,0 +1,1 @@
+lib/guarded/action.mli: Expr Format State Var

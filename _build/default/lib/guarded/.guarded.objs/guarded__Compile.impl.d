@@ -1,0 +1,1 @@
+lib/guarded/compile.ml: Action Array Domain Expr List Program State Var

@@ -1,0 +1,1 @@
+lib/guarded/compile.mli: Action Expr Program State

@@ -1,0 +1,1 @@
+lib/guarded/domain.ml: Array Format List Printf String

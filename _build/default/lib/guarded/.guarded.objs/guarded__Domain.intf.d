@@ -1,0 +1,1 @@
+lib/guarded/domain.mli: Format

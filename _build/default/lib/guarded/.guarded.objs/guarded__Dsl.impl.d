@@ -1,0 +1,1 @@
+lib/guarded/dsl.ml: Action Array Buffer Domain Env Expr Format List Printf Program String

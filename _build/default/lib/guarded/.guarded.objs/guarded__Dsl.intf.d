@@ -1,0 +1,1 @@
+lib/guarded/dsl.mli: Action Env Expr Format Program

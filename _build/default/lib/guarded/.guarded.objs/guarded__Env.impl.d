@@ -1,0 +1,1 @@
+lib/guarded/env.ml: Array Domain Format Hashtbl List Printf Var

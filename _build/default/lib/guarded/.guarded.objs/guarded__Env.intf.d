@@ -1,0 +1,1 @@
+lib/guarded/env.mli: Domain Format Var

@@ -1,0 +1,1 @@
+lib/guarded/expr.ml: Format List State Stdlib Var

@@ -1,0 +1,1 @@
+lib/guarded/expr.mli: Format State Var

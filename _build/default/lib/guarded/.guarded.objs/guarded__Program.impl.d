@@ -1,0 +1,1 @@
+lib/guarded/program.ml: Action Array Env Format Hashtbl List Printf String Var

@@ -1,0 +1,1 @@
+lib/guarded/program.mli: Action Env Format State

@@ -1,0 +1,1 @@
+lib/guarded/state.ml: Array Domain Env Format Hashtbl List Var

@@ -1,0 +1,1 @@
+lib/guarded/state.mli: Env Format Var

@@ -1,0 +1,1 @@
+lib/guarded/var.ml: Domain Format Map Set String

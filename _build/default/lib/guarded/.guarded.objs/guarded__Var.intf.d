@@ -1,0 +1,1 @@
+lib/guarded/var.mli: Domain Format Map Set

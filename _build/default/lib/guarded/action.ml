@@ -1,0 +1,66 @@
+type t = {
+  name : string;
+  guard : Expr.boolean;
+  assigns : (Var.t * Expr.num) list;
+}
+
+let make ~name ~guard assigns =
+  let rec check_distinct = function
+    | [] -> ()
+    | (v, _) :: rest ->
+        if List.exists (fun (w, _) -> Var.equal v w) rest then
+          invalid_arg
+            (Printf.sprintf "Action.make %S: duplicate assignment to %s" name
+               (Var.name v));
+        check_distinct rest
+  in
+  check_distinct assigns;
+  { name; guard; assigns }
+
+let name a = a.name
+let guard a = a.guard
+let assigns a = a.assigns
+let enabled a s = Expr.eval s a.guard
+
+let execute a s =
+  let values = List.map (fun (v, e) -> (v, Expr.eval_num s e)) a.assigns in
+  let s' = State.copy s in
+  List.iter (fun (v, x) -> State.set s' v x) values;
+  s'
+
+let reads a =
+  List.fold_left
+    (fun acc (_, e) -> Var.Set.union acc (Expr.reads_num e))
+    (Expr.reads a.guard) a.assigns
+
+let writes a =
+  List.fold_left (fun acc (v, _) -> Var.Set.add v acc) Var.Set.empty a.assigns
+
+let touches a = Var.Set.union (reads a) (writes a)
+let rename a name = { a with name }
+
+let interferes a b =
+  let wa = writes a and wb = writes b in
+  (not (Var.Set.is_empty (Var.Set.inter wa (touches b))))
+  || not (Var.Set.is_empty (Var.Set.inter wb (touches a)))
+
+let pp ppf a =
+  let pp_targets ppf assigns =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (v, _) -> Var.pp ppf v)
+      ppf assigns
+  in
+  let pp_rhs ppf assigns =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (_, e) -> Expr.pp_num ppf e)
+      ppf assigns
+  in
+  match a.assigns with
+  | [] -> Format.fprintf ppf "@[<hov 2>%s:@ %a ->@ skip@]" a.name Expr.pp a.guard
+  | _ ->
+      Format.fprintf ppf "@[<hov 2>%s:@ %a ->@ %a := %a@]" a.name Expr.pp
+        a.guard pp_targets a.assigns pp_rhs a.assigns
+
+let to_string a = Format.asprintf "%a" pp a

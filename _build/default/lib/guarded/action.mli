@@ -1,0 +1,51 @@
+(** Guarded actions.
+
+    An action is [guard -> statement] (Section 2): a boolean guard over the
+    program variables and a simultaneous multiple assignment. The statement
+    always terminates; executing an action in a state where its guard holds
+    yields a new state.
+
+    Read and write sets are derived from the syntax; the paper's
+    constraint-graph definition (Section 4) is phrased in terms of them. *)
+
+type t = private {
+  name : string;
+  guard : Expr.boolean;
+  assigns : (Var.t * Expr.num) list;
+}
+
+val make : name:string -> guard:Expr.boolean -> (Var.t * Expr.num) list -> t
+(** Build an action. The left-hand sides must be distinct.
+    @raise Invalid_argument on duplicate assignment targets. *)
+
+val name : t -> string
+val guard : t -> Expr.boolean
+val assigns : t -> (Var.t * Expr.num) list
+
+val enabled : t -> State.t -> bool
+(** Does the guard hold in this state? *)
+
+val execute : t -> State.t -> State.t
+(** Apply the simultaneous assignment: all right-hand sides are evaluated in
+    the pre-state, then written. The input state is not modified.
+    @raise State.Domain_violation if a computed value leaves its domain. *)
+
+val reads : t -> Var.Set.t
+(** Variables read: guard variables plus right-hand-side variables. *)
+
+val writes : t -> Var.Set.t
+(** Variables written: the assignment targets. *)
+
+val touches : t -> Var.Set.t
+(** [reads ∪ writes]. *)
+
+val rename : t -> string -> t
+
+val interferes : t -> t -> bool
+(** Do the actions conflict when executed concurrently: one writes what the
+    other reads or writes? Used by the distributed daemon. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering: [name: guard -> x, y := e1, e2]. *)
+
+val to_string : t -> string

@@ -1,0 +1,130 @@
+type guard = State.t -> bool
+
+type action = {
+  index : int;
+  source : Action.t;
+  enabled : guard;
+  apply : State.t -> State.t;
+  apply_into : State.t -> State.t -> unit;
+}
+
+type program = { source : Program.t; actions : action array }
+
+let rec num (e : Expr.num) : State.t -> int =
+  match e with
+  | Const n -> fun _ -> n
+  | Var v ->
+      let i = Var.index v in
+      fun s -> State.get_index s i
+  | Neg a ->
+      let fa = num a in
+      fun s -> -fa s
+  | Add (a, b) ->
+      let fa = num a and fb = num b in
+      fun s -> fa s + fb s
+  | Sub (a, b) ->
+      let fa = num a and fb = num b in
+      fun s -> fa s - fb s
+  | Mul (a, b) ->
+      let fa = num a and fb = num b in
+      fun s -> fa s * fb s
+  | Div (a, b) ->
+      let fa = num a and fb = num b in
+      fun s -> fa s / fb s
+  | Mod (a, b) ->
+      let fa = num a and fb = num b in
+      fun s -> fa s mod fb s
+  | Min (a, b) ->
+      let fa = num a and fb = num b in
+      fun s -> min (fa s) (fb s)
+  | Max (a, b) ->
+      let fa = num a and fb = num b in
+      fun s -> max (fa s) (fb s)
+  | Ite (c, a, b) ->
+      let fc = pred c and fa = num a and fb = num b in
+      fun s -> if fc s then fa s else fb s
+
+and pred (b : Expr.boolean) : guard =
+  match b with
+  | True -> fun _ -> true
+  | False -> fun _ -> false
+  | Cmp (c, x, y) -> (
+      let fx = num x and fy = num y in
+      match c with
+      | Eq -> fun s -> fx s = fy s
+      | Ne -> fun s -> fx s <> fy s
+      | Lt -> fun s -> fx s < fy s
+      | Le -> fun s -> fx s <= fy s
+      | Gt -> fun s -> fx s > fy s
+      | Ge -> fun s -> fx s >= fy s)
+  | Not inner ->
+      let f = pred inner in
+      fun s -> not (f s)
+  | And (x, y) ->
+      let fx = pred x and fy = pred y in
+      fun s -> fx s && fy s
+  | Or (x, y) ->
+      let fx = pred x and fy = pred y in
+      fun s -> fx s || fy s
+  | Implies (x, y) ->
+      let fx = pred x and fy = pred y in
+      fun s -> (not (fx s)) || fy s
+  | Iff (x, y) ->
+      let fx = pred x and fy = pred y in
+      fun s -> fx s = fy s
+
+let action ~index (a : Action.t) : action =
+  let enabled = pred (Action.guard a) in
+  let compiled_assigns =
+    List.map
+      (fun (v, e) ->
+        let f = num e in
+        let i = Var.index v in
+        let d = Var.domain v in
+        (v, i, d, f))
+      (Action.assigns a)
+    |> Array.of_list
+  in
+  let n_assigns = Array.length compiled_assigns in
+  let scratch = Array.make (max 1 n_assigns) 0 in
+  let eval_rhs src =
+    for k = 0 to n_assigns - 1 do
+      let v, _, d, f = compiled_assigns.(k) in
+      let x = f src in
+      if not (Domain.mem d x) then raise (State.Domain_violation (v, x));
+      scratch.(k) <- x
+    done
+  in
+  let apply_into src dst =
+    eval_rhs src;
+    State.blit ~src ~dst;
+    for k = 0 to n_assigns - 1 do
+      let _, i, _, _ = compiled_assigns.(k) in
+      State.set_index dst i scratch.(k)
+    done
+  in
+  let apply src =
+    eval_rhs src;
+    let dst = State.copy src in
+    for k = 0 to n_assigns - 1 do
+      let _, i, _, _ = compiled_assigns.(k) in
+      State.set_index dst i scratch.(k)
+    done;
+    dst
+  in
+  { index; source = a; enabled; apply; apply_into }
+
+let program (p : Program.t) : program =
+  let actions =
+    Array.mapi (fun index a -> action ~index a) (Program.actions p)
+  in
+  { source = p; actions }
+
+let enabled_indices cp s =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if cp.actions.(i).enabled s then i :: acc else acc)
+  in
+  go (Array.length cp.actions - 1) []
+
+let any_enabled cp s = Array.exists (fun a -> a.enabled s) cp.actions

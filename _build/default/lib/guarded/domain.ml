@@ -1,0 +1,54 @@
+type t =
+  | Bool
+  | Range of { lo : int; hi : int }
+  | Enum of { name : string; labels : string array }
+
+let bool = Bool
+
+let range lo hi =
+  if hi < lo then invalid_arg "Domain.range: hi < lo";
+  Range { lo; hi }
+
+let enum name labels =
+  if labels = [] then invalid_arg "Domain.enum: no labels";
+  Enum { name; labels = Array.of_list labels }
+
+let size = function
+  | Bool -> 2
+  | Range { lo; hi } -> hi - lo + 1
+  | Enum { labels; _ } -> Array.length labels
+
+let mem d v =
+  match d with
+  | Bool -> v = 0 || v = 1
+  | Range { lo; hi } -> lo <= v && v <= hi
+  | Enum { labels; _ } -> 0 <= v && v < Array.length labels
+
+let values = function
+  | Bool -> [ 0; 1 ]
+  | Range { lo; hi } -> List.init (hi - lo + 1) (fun i -> lo + i)
+  | Enum { labels; _ } -> List.init (Array.length labels) (fun i -> i)
+
+let first = function Bool -> 0 | Range { lo; _ } -> lo | Enum _ -> 0
+
+let value_to_string d v =
+  if not (mem d v) then Printf.sprintf "<%d!>" v
+  else
+    match d with
+    | Bool -> if v = 0 then "false" else "true"
+    | Range _ -> string_of_int v
+    | Enum { labels; _ } -> labels.(v)
+
+let pp ppf = function
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Range { lo; hi } -> Format.fprintf ppf "%d..%d" lo hi
+  | Enum { name; labels } ->
+      Format.fprintf ppf "%s{%s}" name (String.concat "," (Array.to_list labels))
+
+let equal a b =
+  match (a, b) with
+  | Bool, Bool -> true
+  | Range { lo = l1; hi = h1 }, Range { lo = l2; hi = h2 } -> l1 = l2 && h1 = h2
+  | Enum { name = n1; labels = l1 }, Enum { name = n2; labels = l2 } ->
+      n1 = n2 && l1 = l2
+  | (Bool | Range _ | Enum _), _ -> false

@@ -1,0 +1,44 @@
+(** Finite value domains.
+
+    Every program variable ranges over a finite domain (Section 2 of the
+    paper assumes "a predefined nonempty domain"; finiteness is what makes
+    the closure and convergence requirements mechanically checkable).
+    Values are represented as [int]s; a domain describes which ints are
+    legal and how to print them. *)
+
+type t =
+  | Bool  (** {0, 1}, printed [false]/[true]. *)
+  | Range of { lo : int; hi : int }
+      (** Integers [lo..hi] inclusive; requires [lo <= hi]. *)
+  | Enum of { name : string; labels : string array }
+      (** Named finite type; value [i] is printed [labels.(i)]. *)
+
+val bool : t
+
+val range : int -> int -> t
+(** [range lo hi] is the inclusive integer interval.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val enum : string -> string list -> t
+(** [enum name labels] is a named enumeration.
+    @raise Invalid_argument if [labels] is empty. *)
+
+val size : t -> int
+(** Number of values in the domain. *)
+
+val mem : t -> int -> bool
+(** Is this int a legal value of the domain? *)
+
+val values : t -> int list
+(** All values, ascending. *)
+
+val first : t -> int
+(** Smallest legal value. *)
+
+val value_to_string : t -> int -> string
+(** Print a value in domain notation ([true], [red], [7], ...). Out-of-domain
+    values print as [<n!>] so that corrupted states remain printable. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

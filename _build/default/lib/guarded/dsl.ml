@@ -1,0 +1,673 @@
+type error = { line : int; column : int; message : string }
+
+exception Parse_error of error
+
+let pp_error ppf e =
+  Format.fprintf ppf "parse error at %d:%d: %s" e.line e.column e.message
+
+(* --- Lexer --- *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_PROGRAM
+  | KW_VAR
+  | KW_BEGIN
+  | KW_END
+  | KW_BOOL
+  | KW_SKIP
+  | KW_TRUE
+  | KW_FALSE
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_MIN
+  | KW_MAX
+  | KW_MOD
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOTDOT
+  | ARROW
+  | ASSIGN
+  | BOX
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | IFF
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW_PROGRAM -> "'program'"
+  | KW_VAR -> "'var'"
+  | KW_BEGIN -> "'begin'"
+  | KW_END -> "'end'"
+  | KW_BOOL -> "'bool'"
+  | KW_SKIP -> "'skip'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_IF -> "'if'"
+  | KW_THEN -> "'then'"
+  | KW_ELSE -> "'else'"
+  | KW_MIN -> "'min'"
+  | KW_MAX -> "'max'"
+  | KW_MOD -> "'mod'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOTDOT -> "'..'"
+  | ARROW -> "'->'"
+  | ASSIGN -> "':='"
+  | BOX -> "'[]'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EQ -> "'='"
+  | NE -> "'<>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | AND -> "'/\\'"
+  | OR -> "'\\/'"
+  | NOT -> "'~'"
+  | IMPLIES -> "'=>'"
+  | IFF -> "'<=>'"
+  | EOF -> "end of input"
+
+type located = { tok : token; tline : int; tcol : int }
+
+let keyword = function
+  | "program" -> Some KW_PROGRAM
+  | "var" -> Some KW_VAR
+  | "begin" -> Some KW_BEGIN
+  | "end" -> Some KW_END
+  | "bool" -> Some KW_BOOL
+  | "skip" -> Some KW_SKIP
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "min" -> Some KW_MIN
+  | "max" -> Some KW_MAX
+  | "mod" -> Some KW_MOD
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let lex (src : string) : located list =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let fail message = raise (Parse_error { line = !line; column = !col; message }) in
+  let tokens = ref [] in
+  let emit tok = tokens := { tok; tline = !line; tcol = !col } :: !tokens in
+  let i = ref 0 in
+  let advance k =
+    for _ = 1 to k do
+      (if !i < n && src.[!i] = '\n' then begin
+         incr line;
+         col := 0
+       end);
+      incr i;
+      incr col
+    done
+  in
+  let peek off = if !i + off < n then Some src.[!i + off] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance 1
+    else if c = '(' && peek 1 = Some '*' then begin
+      (* comment: skip to the matching close, allowing nesting *)
+      let depth = ref 1 in
+      advance 2;
+      while !depth > 0 && !i < n do
+        if peek 0 = Some '(' && peek 1 = Some '*' then begin
+          incr depth;
+          advance 2
+        end
+        else if peek 0 = Some '*' && peek 1 = Some ')' then begin
+          decr depth;
+          advance 2
+        end
+        else advance 1
+      done;
+      if !depth > 0 then fail "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      (* identifiers may not end with a dot (so "x.." lexes as x, ..) *)
+      while !j > !i && src.[!j - 1] = '.' do
+        decr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      (match keyword word with Some kw -> emit kw | None -> emit (IDENT word));
+      advance (String.length word)
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      emit (INT (int_of_string word));
+      advance (String.length word)
+    end
+    else begin
+      let two = match peek 1 with Some c2 -> Printf.sprintf "%c%c" c c2 | None -> "" in
+      let three =
+        match (peek 1, peek 2) with
+        | Some c2, Some c3 -> Printf.sprintf "%c%c%c" c c2 c3
+        | _ -> ""
+      in
+      if three = "<=>" then begin
+        emit IFF;
+        advance 3
+      end
+      else
+        match two with
+        | ".." ->
+            emit DOTDOT;
+            advance 2
+        | "->" ->
+            emit ARROW;
+            advance 2
+        | ":=" ->
+            emit ASSIGN;
+            advance 2
+        | "[]" ->
+            emit BOX;
+            advance 2
+        | "<>" ->
+            emit NE;
+            advance 2
+        | "<=" ->
+            emit LE;
+            advance 2
+        | ">=" ->
+            emit GE;
+            advance 2
+        | "/\\" ->
+            emit AND;
+            advance 2
+        | "\\/" ->
+            emit OR;
+            advance 2
+        | "=>" ->
+            emit IMPLIES;
+            advance 2
+        | _ -> (
+            match c with
+            | '(' ->
+                emit LPAREN;
+                advance 1
+            | ')' ->
+                emit RPAREN;
+                advance 1
+            | '{' ->
+                emit LBRACE;
+                advance 1
+            | '}' ->
+                emit RBRACE;
+                advance 1
+            | ',' ->
+                emit COMMA;
+                advance 1
+            | ';' ->
+                emit SEMI;
+                advance 1
+            | ':' ->
+                emit COLON;
+                advance 1
+            | '+' ->
+                emit PLUS;
+                advance 1
+            | '-' ->
+                emit MINUS;
+                advance 1
+            | '*' ->
+                emit STAR;
+                advance 1
+            | '/' ->
+                emit SLASH;
+                advance 1
+            | '=' ->
+                emit EQ;
+                advance 1
+            | '<' ->
+                emit LT;
+                advance 1
+            | '>' ->
+                emit GT;
+                advance 1
+            | '~' ->
+                emit NOT;
+                advance 1
+            | c -> fail (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+(* --- Parser --- *)
+
+type parser_state = { toks : located array; mutable pos : int; env : Env.t }
+
+let current p = p.toks.(p.pos)
+
+let fail_at (l : located) message =
+  raise (Parse_error { line = l.tline; column = l.tcol; message })
+
+let failp p message = fail_at (current p) message
+
+let peek_tok p = (current p).tok
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let eat p tok =
+  if peek_tok p = tok then advance p
+  else
+    failp p
+      (Printf.sprintf "expected %s but found %s" (token_to_string tok)
+         (token_to_string (peek_tok p)))
+
+let lookup_var p name =
+  match Env.lookup p.env name with
+  | Some v -> v
+  | None -> failp p (Printf.sprintf "unknown variable %S" name)
+
+(* Integer expressions. Precedence, loosest first: additive, then
+   multiplicative, then unary minus, then atoms. *)
+let rec parse_num_expr p = parse_additive p
+
+and parse_additive p =
+  let lhs = ref (parse_multiplicative p) in
+  let continue = ref true in
+  while !continue do
+    match peek_tok p with
+    | PLUS ->
+        advance p;
+        lhs := Expr.Add (!lhs, parse_multiplicative p)
+    | MINUS ->
+        advance p;
+        lhs := Expr.Sub (!lhs, parse_multiplicative p)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative p =
+  let lhs = ref (parse_unary p) in
+  let continue = ref true in
+  while !continue do
+    match peek_tok p with
+    | STAR ->
+        advance p;
+        lhs := Expr.Mul (!lhs, parse_unary p)
+    | SLASH ->
+        advance p;
+        lhs := Expr.Div (!lhs, parse_unary p)
+    | KW_MOD ->
+        advance p;
+        lhs := Expr.Mod (!lhs, parse_unary p)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary p =
+  match peek_tok p with
+  | MINUS -> (
+      advance p;
+      match peek_tok p with
+      | INT n ->
+          advance p;
+          Expr.Const (-n)
+      | _ -> Expr.Neg (parse_unary p))
+  | _ -> parse_num_atom p
+
+and parse_num_atom p =
+  match peek_tok p with
+  | INT n ->
+      advance p;
+      Expr.Const n
+  | IDENT name ->
+      advance p;
+      Expr.Var (lookup_var p name)
+  | KW_MIN ->
+      advance p;
+      eat p LPAREN;
+      let a = parse_num_expr p in
+      eat p COMMA;
+      let b = parse_num_expr p in
+      eat p RPAREN;
+      Expr.Min (a, b)
+  | KW_MAX ->
+      advance p;
+      eat p LPAREN;
+      let a = parse_num_expr p in
+      eat p COMMA;
+      let b = parse_num_expr p in
+      eat p RPAREN;
+      Expr.Max (a, b)
+  | LPAREN -> (
+      advance p;
+      match peek_tok p with
+      | KW_IF ->
+          advance p;
+          let c = parse_bexp_expr p in
+          eat p KW_THEN;
+          let a = parse_num_expr p in
+          eat p KW_ELSE;
+          let b = parse_num_expr p in
+          eat p RPAREN;
+          Expr.Ite (c, a, b)
+      | _ ->
+          let e = parse_num_expr p in
+          eat p RPAREN;
+          e)
+  | t -> failp p (Printf.sprintf "expected an expression, found %s" (token_to_string t))
+
+(* Boolean expressions. Precedence, loosest first:
+   => and <=> < \/ < /\ < ~ < atoms. *)
+and parse_bexp_expr p =
+  let lhs = parse_disj p in
+  match peek_tok p with
+  | IMPLIES ->
+      advance p;
+      Expr.Implies (lhs, parse_bexp_expr p)
+  | IFF ->
+      advance p;
+      Expr.Iff (lhs, parse_disj p)
+  | _ -> lhs
+
+and parse_disj p =
+  let lhs = ref (parse_conj p) in
+  while peek_tok p = OR do
+    advance p;
+    lhs := Expr.Or (!lhs, parse_conj p)
+  done;
+  !lhs
+
+and parse_conj p =
+  let lhs = ref (parse_neg p) in
+  while peek_tok p = AND do
+    advance p;
+    lhs := Expr.And (!lhs, parse_neg p)
+  done;
+  !lhs
+
+and parse_neg p =
+  match peek_tok p with
+  | NOT ->
+      advance p;
+      Expr.Not (parse_neg p)
+  | _ -> parse_bool_atom p
+
+and parse_bool_atom p =
+  match peek_tok p with
+  | KW_TRUE ->
+      advance p;
+      Expr.True
+  | KW_FALSE ->
+      advance p;
+      Expr.False
+  | LPAREN -> (
+      (* backtracking: a '(' opens either a numeric atom of a comparison or
+         a parenthesized boolean *)
+      let saved = p.pos in
+      match parse_comparison p with
+      | cmp -> cmp
+      | exception Parse_error _ ->
+          p.pos <- saved;
+          advance p;
+          let b = parse_bexp_expr p in
+          eat p RPAREN;
+          b)
+  | _ -> parse_comparison p
+
+and parse_comparison p =
+  let lhs = parse_num_expr p in
+  let cmp =
+    match peek_tok p with
+    | EQ -> Expr.Eq
+    | NE -> Expr.Ne
+    | LT -> Expr.Lt
+    | LE -> Expr.Le
+    | GT -> Expr.Gt
+    | GE -> Expr.Ge
+    | t ->
+        failp p (Printf.sprintf "expected a comparison, found %s" (token_to_string t))
+  in
+  advance p;
+  let rhs = parse_num_expr p in
+  Expr.Cmp (cmp, lhs, rhs)
+
+(* Action names (and program names) may contain dashes, which lex as MINUS:
+   re-join the fragments up to the given stop condition. *)
+let parse_name p ~stop =
+  let buf = Buffer.create 16 in
+  let continue = ref true in
+  while !continue do
+    match peek_tok p with
+    | _ when stop (peek_tok p) -> continue := false
+    | IDENT s ->
+        Buffer.add_string buf s;
+        advance p
+    | INT n ->
+        Buffer.add_string buf (string_of_int n);
+        advance p
+    | MINUS ->
+        Buffer.add_char buf '-';
+        advance p
+    | t -> failp p (Printf.sprintf "unexpected %s in name" (token_to_string t))
+  done;
+  if Buffer.length buf = 0 then failp p "expected a name";
+  Buffer.contents buf
+
+let parse_statement p =
+  match peek_tok p with
+  | KW_SKIP ->
+      advance p;
+      []
+  | _ ->
+      let rec lhs_list acc =
+        match peek_tok p with
+        | IDENT name ->
+            advance p;
+            let v = lookup_var p name in
+            if peek_tok p = COMMA then begin
+              advance p;
+              lhs_list (v :: acc)
+            end
+            else List.rev (v :: acc)
+        | t ->
+            failp p
+              (Printf.sprintf "expected an assignment target, found %s"
+                 (token_to_string t))
+      in
+      let targets = lhs_list [] in
+      eat p ASSIGN;
+      let rec rhs_list acc =
+        let e = parse_num_expr p in
+        if peek_tok p = COMMA then begin
+          advance p;
+          rhs_list (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      let exprs = rhs_list [] in
+      if List.length targets <> List.length exprs then
+        failp p
+          (Printf.sprintf "%d assignment targets but %d expressions"
+             (List.length targets) (List.length exprs));
+      List.combine targets exprs
+
+let parse_one_action p =
+  let name = parse_name p ~stop:(fun t -> t = COLON) in
+  eat p COLON;
+  let guard = parse_bexp_expr p in
+  eat p ARROW;
+  let assigns = parse_statement p in
+  Action.make ~name ~guard assigns
+
+let parse_domain p =
+  match peek_tok p with
+  | KW_BOOL ->
+      advance p;
+      Domain.bool
+  | MINUS | INT _ ->
+      let parse_int () =
+        match peek_tok p with
+        | MINUS -> (
+            advance p;
+            match peek_tok p with
+            | INT n ->
+                advance p;
+                -n
+            | t ->
+                failp p
+                  (Printf.sprintf "expected an integer, found %s"
+                     (token_to_string t)))
+        | INT n ->
+            advance p;
+            n
+        | t ->
+            failp p
+              (Printf.sprintf "expected an integer, found %s" (token_to_string t))
+      in
+      let lo = parse_int () in
+      eat p DOTDOT;
+      let hi = parse_int () in
+      if hi < lo then failp p "empty range domain";
+      Domain.range lo hi
+  | IDENT ename ->
+      advance p;
+      eat p LBRACE;
+      let rec labels acc =
+        match peek_tok p with
+        | IDENT l ->
+            advance p;
+            if peek_tok p = COMMA then begin
+              advance p;
+              labels (l :: acc)
+            end
+            else List.rev (l :: acc)
+        | t ->
+            failp p (Printf.sprintf "expected a label, found %s" (token_to_string t))
+      in
+      let ls = labels [] in
+      eat p RBRACE;
+      Domain.enum ename ls
+  | t -> failp p (Printf.sprintf "expected a domain, found %s" (token_to_string t))
+
+let parse_declarations p =
+  while peek_tok p = KW_VAR do
+    advance p;
+    let rec names acc =
+      match peek_tok p with
+      | IDENT name ->
+          advance p;
+          if peek_tok p = COMMA then begin
+            advance p;
+            names (name :: acc)
+          end
+          else List.rev (name :: acc)
+      | t -> failp p (Printf.sprintf "expected a variable name, found %s" (token_to_string t))
+    in
+    let ns = names [] in
+    eat p COLON;
+    let domain = parse_domain p in
+    List.iter
+      (fun name ->
+        try ignore (Env.fresh p.env name domain)
+        with Invalid_argument msg -> failp p msg)
+      ns;
+    if peek_tok p = SEMI then advance p
+  done
+
+let parse_program_tokens p =
+  eat p KW_PROGRAM;
+  let name = parse_name p ~stop:(fun t -> t = KW_VAR || t = KW_BEGIN) in
+  parse_declarations p;
+  eat p KW_BEGIN;
+  let rec actions acc =
+    let a = parse_one_action p in
+    match peek_tok p with
+    | BOX ->
+        advance p;
+        actions (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  let acts = if peek_tok p = KW_END then [] else actions [] in
+  eat p KW_END;
+  (try Program.make ~name p.env acts
+   with Invalid_argument msg -> failp p msg)
+
+let make_state env src = { toks = Array.of_list (lex src); pos = 0; env }
+
+let wrap f = try Ok (f ()) with Parse_error e -> Error e
+
+let finish p value =
+  match peek_tok p with
+  | EOF -> value
+  | t -> failp p (Printf.sprintf "trailing input: %s" (token_to_string t))
+
+let parse_program src =
+  wrap (fun () ->
+      let env = Env.create () in
+      let p = make_state env src in
+      let prog = parse_program_tokens p in
+      finish p (env, prog))
+
+let parse_bexp env src =
+  wrap (fun () ->
+      let p = make_state env src in
+      finish p (parse_bexp_expr p))
+
+let parse_num env src =
+  wrap (fun () ->
+      let p = make_state env src in
+      finish p (parse_num_expr p))
+
+let parse_action env src =
+  wrap (fun () ->
+      let p = make_state env src in
+      finish p (parse_one_action p))
+
+let unwrap = function
+  | Ok v -> v
+  | Error e -> raise (Parse_error e)
+
+let parse_program_exn src = unwrap (parse_program src)
+let parse_bexp_exn env src = unwrap (parse_bexp env src)
+let parse_num_exn env src = unwrap (parse_num env src)
+let parse_action_exn env src = unwrap (parse_action env src)

@@ -1,0 +1,56 @@
+(** Concrete syntax for guarded-command programs.
+
+    A small recursive-descent parser for notation close to the paper's, so
+    programs can be written (and round-tripped through the pretty-printers)
+    as text:
+
+    {v
+    program token-ring
+    var x.0, x.1, x.2 : 0..3;
+    begin
+      inc: x.0 = x.2 /\ x.0 < 3 -> x.0 := x.0 + 1
+      []
+      cp1: x.0 <> x.1 -> x.1 := x.0
+      []
+      cp2: x.1 <> x.2 -> x.2 := x.1
+    end
+    v}
+
+    Grammar (informal):
+    - domains: [bool], [LO..HI], or [Name{lab1,lab2,...}];
+    - boolean operators: [~  /\  \/  =>  <=>], comparisons
+      [= <> < <= > >=], constants [true]/[false];
+    - arithmetic: [+ - * / mod], [min(e,e)], [max(e,e)],
+      [(if b then e else e)];
+    - an action is [name: guard -> x, y := e1, e2] or [... -> skip];
+      actions are separated by [[]];
+    - variable names may contain dots ([c.0], [sn.3]).
+
+    The printers in {!Expr}, {!Action} and {!Program} emit exactly this
+    syntax; [parse_program (Program.to_string p)] reconstructs [p]. *)
+
+type error = { line : int; column : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_program : string -> (Env.t * Program.t, error) result
+(** Parse a full [program ... begin ... end] text, creating a fresh
+    environment from its [var] declarations. *)
+
+val parse_program_exn : string -> Env.t * Program.t
+
+val parse_bexp : Env.t -> string -> (Expr.boolean, error) result
+(** Parse a predicate over an existing environment's variables — used for
+    constraints and invariants. *)
+
+val parse_bexp_exn : Env.t -> string -> Expr.boolean
+
+val parse_num : Env.t -> string -> (Expr.num, error) result
+val parse_num_exn : Env.t -> string -> Expr.num
+
+val parse_action : Env.t -> string -> (Action.t, error) result
+(** Parse a single [name: guard -> statement] action. *)
+
+val parse_action_exn : Env.t -> string -> Action.t

@@ -1,0 +1,48 @@
+type t = {
+  mutable rev_vars : Var.t list;
+  mutable count : int;
+  by_name : (string, Var.t) Hashtbl.t;
+}
+
+let create () = { rev_vars = []; count = 0; by_name = Hashtbl.create 16 }
+
+let fresh t name domain =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Env.fresh: duplicate variable %S" name);
+  let v = Var.make ~name ~index:t.count ~domain in
+  t.rev_vars <- v :: t.rev_vars;
+  t.count <- t.count + 1;
+  Hashtbl.add t.by_name name v;
+  v
+
+let fresh_family t base n domain =
+  Array.init n (fun i -> fresh t (Printf.sprintf "%s.%d" base i) domain)
+
+let lookup t name = Hashtbl.find_opt t.by_name name
+
+let lookup_exn t name =
+  match lookup t name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Env.lookup_exn: unknown variable %S" name)
+
+let var_count t = t.count
+let vars t = Array.of_list (List.rev t.rev_vars)
+
+let var_at t i =
+  if i < 0 || i >= t.count then invalid_arg "Env.var_at: index out of range";
+  (* rev_vars is newest-first; element for index i sits at position count-1-i *)
+  List.nth t.rev_vars (t.count - 1 - i)
+
+let state_space_size t =
+  List.fold_left
+    (fun acc v -> acc *. float_of_int (Domain.size (Var.domain v)))
+    1.0 t.rev_vars
+
+let pp ppf t =
+  let vs = vars t in
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun v ->
+      Format.fprintf ppf "var %s : %a@," (Var.name v) Domain.pp (Var.domain v))
+    vs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** Variable environments.
+
+    An environment is the mutable registry in which a program's variables
+    are declared. It fixes the dense indexing used by {!State.t} and offers
+    helpers for declaring indexed families such as [c.0 .. c.(n-1)], the
+    per-process variables ubiquitous in the paper's protocols. *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> string -> Domain.t -> Var.t
+(** Declare a new variable. Names must be unique within the environment.
+    @raise Invalid_argument on a duplicate name. *)
+
+val fresh_family : t -> string -> int -> Domain.t -> Var.t array
+(** [fresh_family env base n d] declares [base.0], ..., [base.(n-1)], all
+    with domain [d], in index order. *)
+
+val lookup : t -> string -> Var.t option
+val lookup_exn : t -> string -> Var.t
+
+val var_count : t -> int
+val vars : t -> Var.t array
+(** All declared variables in index order. The array is fresh. *)
+
+val var_at : t -> int -> Var.t
+(** Variable with the given index. @raise Invalid_argument if out of range. *)
+
+val state_space_size : t -> float
+(** Product of domain sizes, as a float (it can exceed [max_int]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type t = { name : string; env : Env.t; actions : Action.t array }
+
+let validate_vars env a =
+  Var.Set.iter
+    (fun v ->
+      match Env.lookup env (Var.name v) with
+      | Some v' when Var.equal v v' -> ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Program: action %S uses foreign variable %S"
+               (Action.name a) (Var.name v)))
+    (Action.touches a)
+
+let make ~name env actions =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let n = Action.name a in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Program.make: duplicate action %S" n);
+      Hashtbl.add seen n ();
+      validate_vars env a)
+    actions;
+  { name; env; actions = Array.of_list actions }
+
+let name p = p.name
+let env p = p.env
+let actions p = Array.copy p.actions
+let action_count p = Array.length p.actions
+
+let action_at p i =
+  if i < 0 || i >= Array.length p.actions then
+    invalid_arg "Program.action_at: out of range";
+  p.actions.(i)
+
+let find_action p n =
+  Array.find_opt (fun a -> String.equal (Action.name a) n) p.actions
+
+let enabled p s =
+  Array.to_list p.actions |> List.filter (fun a -> Action.enabled a s)
+
+let enabled_indices p s =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if Action.enabled p.actions.(i) s then i :: acc else acc)
+  in
+  go (Array.length p.actions - 1) []
+
+let is_terminal p s = not (Array.exists (fun a -> Action.enabled a s) p.actions)
+
+let add_actions p extra =
+  make ~name:p.name p.env (Array.to_list p.actions @ extra)
+
+let restrict p keep =
+  {
+    p with
+    actions = Array.of_list (List.filter keep (Array.to_list p.actions));
+  }
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>program %s@,%a@,begin@," p.name Env.pp p.env;
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf ppf "[]@,";
+      Format.fprintf ppf "  %a@," Action.pp a)
+    p.actions;
+  Format.fprintf ppf "end@]"
+
+let to_string p = Format.asprintf "%a" pp p

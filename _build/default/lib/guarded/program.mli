@@ -1,0 +1,42 @@
+(** Programs.
+
+    A program is a finite set of variables and a finite set of actions
+    (Section 2). The variables are those of the program's {!Env.t}; the
+    actions are executed under some daemon (see [Sim.Daemon]) or explored
+    exhaustively (see [Explore]). *)
+
+type t
+
+val make : name:string -> Env.t -> Action.t list -> t
+(** Build a program. Action names must be distinct; every variable mentioned
+    by an action must belong to the environment.
+    @raise Invalid_argument if an action name repeats or a foreign variable
+    is used. *)
+
+val name : t -> string
+val env : t -> Env.t
+val actions : t -> Action.t array
+val action_count : t -> int
+val action_at : t -> int -> Action.t
+val find_action : t -> string -> Action.t option
+
+val enabled : t -> State.t -> Action.t list
+(** All actions enabled in the state, in declaration order. *)
+
+val enabled_indices : t -> State.t -> int list
+
+val is_terminal : t -> State.t -> bool
+(** No action enabled (a finite maximal computation may end here). *)
+
+val add_actions : t -> Action.t list -> t
+(** The augmented program [p ∪ q] of Section 3: same variables, extra
+    actions. @raise Invalid_argument on name clashes. *)
+
+val restrict : t -> (Action.t -> bool) -> t
+(** Sub-program with only the actions satisfying the predicate. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full paper-style listing: variable declarations then actions separated
+    by [[]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,19 @@
+type t = { name : string; index : int; domain : Domain.t }
+
+let make ~name ~index ~domain = { name; index; domain }
+let name v = v.name
+let index v = v.index
+let domain v = v.domain
+let equal a b = a.index = b.index && String.equal a.name b.name
+let compare a b = compare (a.index, a.name) (b.index, b.name)
+let hash v = v.index
+let pp ppf v = Format.pp_print_string ppf v.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

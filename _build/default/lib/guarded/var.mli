@@ -1,0 +1,25 @@
+(** Program variables.
+
+    A variable is a name, a finite {!Domain.t}, and a dense index assigned by
+    the {!Env} that owns it. The index is the variable's slot in every
+    {!State.t} of that environment. *)
+
+type t = private { name : string; index : int; domain : Domain.t }
+
+val make : name:string -> index:int -> domain:Domain.t -> t
+(** Used by {!Env}; client code obtains variables from {!Env.fresh}. *)
+
+val name : t -> string
+val index : t -> int
+val domain : t -> Domain.t
+
+val equal : t -> t -> bool
+(** Equality by index (variables of the same environment are unique per
+    index). *)
+
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

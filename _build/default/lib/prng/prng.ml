@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 output function: advance by the golden gamma, then mix. *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Take the top bits (better distributed for splitmix64) and reduce by
+     rejection to avoid modulo bias. 61 bits keep every intermediate value
+     comfortably inside OCaml's 63-bit native int. *)
+  let range = 1 lsl 61 in
+  let limit = range - (range mod bound) in
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 3) in
+    (* r is in [0, 2^61) *)
+    if r < limit then r mod bound else go ()
+  in
+  go ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  (* 53 significant bits, matching a double's mantissa *)
+  r /. 9007199254740992.0 *. bound
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Partial Fisher–Yates over 0..n-1, materialised lazily in a table so the
+     cost is O(k) expected memory even for large n. *)
+  let tbl = Hashtbl.create (2 * k) in
+  let value_at i = match Hashtbl.find_opt tbl i with Some v -> v | None -> i in
+  Array.init k (fun i ->
+      let j = int_in g i (n - 1) in
+      let vi = value_at i and vj = value_at j in
+      Hashtbl.replace tbl j vi;
+      Hashtbl.replace tbl i vj;
+      vj)

@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library flows through this module so that every
+    simulation, workload and experiment is reproducible from a seed. The
+    generator is splitmix64 (Steele, Lea, Flood 2014): a tiny, fast,
+    well-distributed generator whose state is a single [int64], which makes
+    [split] and [copy] trivial and safe. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator determined by [seed]. Two
+    generators created with the same seed produce the same stream. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will produce the same future
+    stream as [g]; advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    (with overwhelming probability) independent of the remainder of [g]'s.
+    Use it to hand child components their own reproducible source. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0, bound); [bound] must be positive.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [lo, hi] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [0, bound). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement g k n] returns [k] distinct values drawn
+    uniformly from [0, n), in random order.
+    @raise Invalid_argument if [k < 0 || k > n]. *)

@@ -1,0 +1,1 @@
+lib/protocols/atomic_action.ml: Array Guarded List Nonmask Printf Topology

@@ -1,0 +1,1 @@
+lib/protocols/atomic_action.mli: Explore Guarded Nonmask Topology

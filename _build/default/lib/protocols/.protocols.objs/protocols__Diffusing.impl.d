@@ -1,0 +1,1 @@
+lib/protocols/diffusing.ml: Array Guarded List Nonmask Printf Topology

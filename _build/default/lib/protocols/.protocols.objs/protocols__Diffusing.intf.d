@@ -1,0 +1,1 @@
+lib/protocols/diffusing.mli: Explore Guarded Nonmask Topology

@@ -1,0 +1,1 @@
+lib/protocols/diffusing_lowatomic.ml: Array Diffusing Fun Guarded List Printf String Topology

@@ -1,0 +1,1 @@
+lib/protocols/diffusing_lowatomic.mli: Guarded Topology

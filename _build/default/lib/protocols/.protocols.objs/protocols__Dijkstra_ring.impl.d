@@ -1,0 +1,1 @@
+lib/protocols/dijkstra_ring.ml: Array Guarded List Printf Topology

@@ -1,0 +1,1 @@
+lib/protocols/dijkstra_ring.mli: Guarded Topology

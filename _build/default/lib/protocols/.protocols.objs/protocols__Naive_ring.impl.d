@@ -1,0 +1,1 @@
+lib/protocols/naive_ring.ml: Array Guarded List Printf Topology

@@ -1,0 +1,1 @@
+lib/protocols/naive_ring.mli: Guarded Topology

@@ -1,0 +1,1 @@
+lib/protocols/reset.ml: Array Diffusing Guarded List Printf Topology

@@ -1,0 +1,1 @@
+lib/protocols/reset.mli: Guarded Topology

@@ -1,0 +1,1 @@
+lib/protocols/spanning_tree.ml: Array Fun Guarded List Printf Stdlib Topology

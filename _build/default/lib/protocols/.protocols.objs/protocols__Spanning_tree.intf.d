@@ -1,0 +1,1 @@
+lib/protocols/spanning_tree.mli: Guarded Topology

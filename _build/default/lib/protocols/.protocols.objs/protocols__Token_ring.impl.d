@@ -1,0 +1,1 @@
+lib/protocols/token_ring.ml: Array Fun Guarded List Nonmask Printf Topology

@@ -1,0 +1,1 @@
+lib/protocols/token_ring.mli: Explore Guarded Nonmask Topology

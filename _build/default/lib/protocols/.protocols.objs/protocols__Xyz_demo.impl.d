@@ -1,0 +1,1 @@
+lib/protocols/xyz_demo.ml: Guarded Nonmask

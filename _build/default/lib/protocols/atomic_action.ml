@@ -1,0 +1,146 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Tree = Topology.Tree
+
+let abort = 0
+let commit = 1
+let pending = 0
+let done_ = 1
+
+type t = {
+  tree : Tree.t;
+  env : Guarded.Env.t;
+  decision : Guarded.Var.t array;
+  operation : Guarded.Var.t array;
+  spec : Nonmask.Spec.t;
+  cgraph : Nonmask.Cgraph.t;
+  program : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+  violated_preds : (Guarded.State.t -> bool) list;
+}
+
+let decision_domain = Domain.enum "decision" [ "abort"; "commit" ]
+let operation_domain = Domain.enum "operation" [ "pending"; "done" ]
+
+let make tree =
+  let n = Tree.size tree in
+  let env = Guarded.Env.create () in
+  let decision = Guarded.Env.fresh_family env "d" n decision_domain in
+  let operation = Guarded.Env.fresh_family env "op" n operation_domain in
+  let non_root = Tree.non_root_nodes tree in
+  let open Expr in
+  (* Closure: perform the operation once commit is (locally) decided. *)
+  let exec j =
+    Action.make
+      ~name:(Printf.sprintf "exec.%d" j)
+      ~guard:(var decision.(j) = int commit && var operation.(j) = int pending)
+      [ (operation.(j), int done_) ]
+  in
+  let closure_program =
+    Guarded.Program.make ~name:"atomic-action" env
+      (List.map exec (Tree.nodes tree))
+  in
+  (* Constraints: decisions agree along the tree; effects only under
+     commit. *)
+  let agree j =
+    let p = Tree.parent tree j in
+    Nonmask.Constr.make
+      ~name:(Printf.sprintf "A.%d" j)
+      (var decision.(j) = var decision.(p))
+  in
+  let justified j =
+    Nonmask.Constr.make
+      ~name:(Printf.sprintf "B.%d" j)
+      (var operation.(j) = int done_ ==> (var decision.(j) = int commit))
+  in
+  let agree_constraints = List.map agree non_root in
+  let justified_constraints = List.map justified (Tree.nodes tree) in
+  let invariant_expr =
+    Nonmask.Constr.conj (agree_constraints @ justified_constraints)
+  in
+  let spec =
+    Nonmask.Spec.make ~name:"atomic-action" ~program:closure_program
+      ~invariant:invariant_expr ()
+  in
+  let agree_pairs =
+    List.map2
+      (fun j c ->
+        let p = Tree.parent tree j in
+        {
+          Nonmask.Cgraph.constr = c;
+          action =
+            Nonmask.Design.convergence_action
+              ~name:(Printf.sprintf "adopt.%d" j)
+              c
+              [ (decision.(j), var decision.(p)) ];
+        })
+      non_root agree_constraints
+  in
+  let justified_pairs =
+    List.map2
+      (fun j c ->
+        {
+          Nonmask.Cgraph.constr = c;
+          action =
+            Nonmask.Design.convergence_action
+              ~name:(Printf.sprintf "rollback.%d" j)
+              c
+              [ (operation.(j), int pending) ];
+        })
+      (Tree.nodes tree) justified_constraints
+  in
+  let nodes =
+    List.concat_map
+      (fun j ->
+        [
+          (Printf.sprintf "d%d" j, Guarded.Var.Set.singleton decision.(j));
+          (Printf.sprintf "op%d" j, Guarded.Var.Set.singleton operation.(j));
+        ])
+      (Tree.nodes tree)
+  in
+  let cgraph =
+    Nonmask.Cgraph.build_exn ~nodes ~pairs:(agree_pairs @ justified_pairs)
+  in
+  let program = Nonmask.Theorems.augmented_program spec [ cgraph ] in
+  let invariant = Guarded.Compile.pred invariant_expr in
+  let violated_preds =
+    List.map Nonmask.Constr.compile (agree_constraints @ justified_constraints)
+  in
+  {
+    tree;
+    env;
+    decision;
+    operation;
+    spec;
+    cgraph;
+    program;
+    invariant;
+    violated_preds;
+  }
+
+let tree t = t.tree
+let env t = t.env
+let decision t j = t.decision.(j)
+let operation t j = t.operation.(j)
+let spec t = t.spec
+let cgraph t = t.cgraph
+let program t = t.program
+let invariant t s = t.invariant s
+
+let initial t ~decision =
+  Guarded.State.init t.env (fun v ->
+      if Array.exists (fun d -> Guarded.Var.equal d v) t.decision then decision
+      else pending)
+
+let all_done t s =
+  Array.for_all (fun v -> Guarded.State.get s v = done_) t.operation
+
+let none_done t s =
+  Array.for_all (fun v -> Guarded.State.get s v = pending) t.operation
+
+let violated t s =
+  List.fold_left (fun acc p -> if p s then acc else acc + 1) 0 t.violated_preds
+
+let certificate ~space t =
+  Nonmask.Theorems.validate_theorem1 ~space ~spec:t.spec ~cgraph:t.cgraph

@@ -1,0 +1,62 @@
+(** Nonmasking fault-tolerant atomic actions (reconstruction).
+
+    The paper's abstract lists atomic actions as its third illustration, but
+    the worked example lives only in the unpublished full version [13]. We
+    reconstruct one with the paper's own recipe (see DESIGN.md): a
+    tree-structured {e atomic commitment} in which a distinguished root owns
+    a decision and every process must eventually execute the decided
+    operation exactly when commit was decided — the all-or-nothing essence
+    of an atomic action — despite arbitrary corruption of decisions and
+    operation flags.
+
+    Per node [j]: a decision [d.j ∈ {abort, commit}] and an operation flag
+    [op.j ∈ {pending, done}]. Constraints, for every node [j]:
+
+    - [A.j] (non-root only): [d.j = d.P.j] — decisions agree along the tree;
+    - [B.j]: [op.j = done ⟹ d.j = commit] — no effect without a commit.
+
+    Convergence actions copy the parent's decision ([¬A.j → d.j := d.P.j])
+    and roll back orphaned effects ([¬B.j → op.j := pending]). The closure
+    action [exec.j : d.j = commit ∧ op.j = pending → op.j := done] performs
+    the atomic action's operation.
+
+    The constraint graph has one node per variable; decision edges form the
+    tree and each [B.j] edge hangs [{op.j}] off [{d.j}] — an out-tree, so
+    Theorem 1 certifies the design. The root's decision is the (uncorrupted)
+    input: it has no actions, and [S] says every process agrees with it and
+    no abort-side effects exist. *)
+
+type t
+
+val abort : int
+val commit : int
+val pending : int
+val done_ : int
+
+val make : Topology.Tree.t -> t
+
+val tree : t -> Topology.Tree.t
+val env : t -> Guarded.Env.t
+val decision : t -> int -> Guarded.Var.t
+val operation : t -> int -> Guarded.Var.t
+
+val spec : t -> Nonmask.Spec.t
+val cgraph : t -> Nonmask.Cgraph.t
+val program : t -> Guarded.Program.t
+(** Closure plus convergence actions. *)
+
+val invariant : t -> Guarded.State.t -> bool
+
+val initial : t -> decision:int -> Guarded.State.t
+(** All processes agreeing with the root's decision, all flags pending. *)
+
+val all_done : t -> Guarded.State.t -> bool
+(** Every operation flag is [done] (the committed outcome). *)
+
+val none_done : t -> Guarded.State.t -> bool
+(** No operation flag is [done] (the aborted outcome). *)
+
+val violated : t -> Guarded.State.t -> int
+
+val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+(** Theorem 1. *)

@@ -1,0 +1,159 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Tree = Topology.Tree
+
+let green = 0
+let red = 1
+
+type t = {
+  tree : Tree.t;
+  env : Guarded.Env.t;
+  color : Guarded.Var.t array;
+  session : Guarded.Var.t array;
+  spec : Nonmask.Spec.t;
+  cgraph : Nonmask.Cgraph.t;
+  constraints : Nonmask.Constr.t list;
+  separate : Guarded.Program.t;
+  combined : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+  violated_preds : (Guarded.State.t -> bool) list;
+}
+
+let color_domain = Domain.enum "color" [ "green"; "red" ]
+
+(* R.j = (c.j = c.P.j /\ sn.j = sn.P.j) \/ (c.j = green /\ c.P.j = red) *)
+let constraint_pred color session tree j =
+  let p = Tree.parent tree j in
+  let open Expr in
+  var color.(j) = var color.(p)
+  && var session.(j) = var session.(p)
+  || (var color.(j) = int green && var color.(p) = int red)
+
+let make tree =
+  let n = Tree.size tree in
+  let env = Guarded.Env.create () in
+  let color = Guarded.Env.fresh_family env "c" n color_domain in
+  let session = Guarded.Env.fresh_family env "sn" n Domain.bool in
+  let root = Tree.root tree in
+  let open Expr in
+  (* Closure action 1: the root initiates a diffusing computation. *)
+  let initiate =
+    Action.make ~name:"initiate"
+      ~guard:(var color.(root) = int green)
+      [ (color.(root), int red); (session.(root), int 1 - var session.(root)) ]
+  in
+  (* Closure action 2 (per non-root j): propagate red from P.j to j. *)
+  let propagate j =
+    let p = Tree.parent tree j in
+    Action.make
+      ~name:(Printf.sprintf "propagate.%d" j)
+      ~guard:
+        (var color.(j) = int green
+        && var color.(p) = int red
+        && var session.(j) <> var session.(p))
+      [ (color.(j), var color.(p)); (session.(j), var session.(p)) ]
+  in
+  (* Closure action 3 (per j): reflect green from the children of j to j. *)
+  let reflect j =
+    let kids = Tree.children tree j in
+    Action.make
+      ~name:(Printf.sprintf "reflect.%d" j)
+      ~guard:
+        (var color.(j) = int red
+        && forall kids (fun k ->
+               var color.(k) = int green && var session.(j) = var session.(k)))
+      [ (color.(j), int green) ]
+  in
+  let non_root = Tree.non_root_nodes tree in
+  let closure_actions =
+    (initiate :: List.map propagate non_root)
+    @ List.map reflect (Tree.nodes tree)
+  in
+  let constraints =
+    List.map
+      (fun j ->
+        Nonmask.Constr.make
+          ~name:(Printf.sprintf "R.%d" j)
+          (constraint_pred color session tree j))
+      non_root
+  in
+  let invariant_expr = Nonmask.Constr.conj constraints in
+  let closure_program = Guarded.Program.make ~name:"diffusing" env closure_actions in
+  let spec =
+    Nonmask.Spec.make ~name:"diffusing-computation" ~program:closure_program
+      ~invariant:invariant_expr ()
+  in
+  (* Convergence action per non-root j: ~R.j -> copy the parent. *)
+  let pairs =
+    List.map2
+      (fun j c ->
+        let p = Tree.parent tree j in
+        {
+          Nonmask.Cgraph.constr = c;
+          action =
+            Nonmask.Design.convergence_action
+              ~name:(Printf.sprintf "converge.%d" j)
+              c
+              [ (color.(j), var color.(p)); (session.(j), var session.(p)) ];
+        })
+      non_root constraints
+  in
+  let nodes =
+    List.map
+      (fun j ->
+        ( Printf.sprintf "n%d" j,
+          Guarded.Var.Set.of_list [ color.(j); session.(j) ] ))
+      (Tree.nodes tree)
+  in
+  let cgraph = Nonmask.Cgraph.build_exn ~nodes ~pairs in
+  let separate = Nonmask.Theorems.augmented_program spec [ cgraph ] in
+  (* The paper's combined program: propagation and convergence merge. *)
+  let combined_action j =
+    let p = Tree.parent tree j in
+    Action.make
+      ~name:(Printf.sprintf "copy.%d" j)
+      ~guard:
+        (var session.(j) <> var session.(p)
+        || (var color.(j) = int red && var color.(p) = int green))
+      [ (color.(j), var color.(p)); (session.(j), var session.(p)) ]
+  in
+  let combined =
+    Guarded.Program.make ~name:"diffusing-combined" env
+      ((initiate :: List.map combined_action non_root)
+      @ List.map reflect (Tree.nodes tree))
+  in
+  let invariant = Guarded.Compile.pred invariant_expr in
+  let violated_preds = List.map Nonmask.Constr.compile constraints in
+  {
+    tree;
+    env;
+    color;
+    session;
+    spec;
+    cgraph;
+    constraints;
+    separate;
+    combined;
+    invariant;
+    violated_preds;
+  }
+
+let tree t = t.tree
+let env t = t.env
+let color t j = t.color.(j)
+let session t j = t.session.(j)
+let spec t = t.spec
+let cgraph t = t.cgraph
+let constraints t = t.constraints
+let separate t = t.separate
+let combined t = t.combined
+let invariant t s = t.invariant s
+
+let all_green t = Guarded.State.make t.env
+
+let violated t s =
+  List.fold_left (fun acc p -> if p s then acc else acc + 1) 0 t.violated_preds
+
+let certificate ~space t =
+  Nonmask.Theorems.validate_theorem1 ~space ~spec:t.spec ~cgraph:t.cgraph

@@ -1,0 +1,65 @@
+(** Stabilizing diffusing computations (Section 5.1 of the paper).
+
+    A finite rooted tree of processes. Starting from all-green, the root
+    initiates a diffusing computation that propagates red toward the leaves
+    and is reflected back green toward the root, and the cycle repeats. The
+    program tolerates arbitrary corruption of any number of nodes
+    (fault span [T = true]).
+
+    Per node [j]: a color [c.j ∈ {green, red}] and a boolean session number
+    [sn.j]. The invariant is [S = (∀ j ≠ root :: R.j)] with
+
+    [R.j = (c.j = c.P.j ∧ sn.j ≡ sn.P.j) ∨ (c.j = green ∧ c.P.j = red)].
+
+    Three program variants are exposed:
+    - the {e candidate triple} ([spec]): closure actions only — initiate at
+      the root, propagate red downward, reflect green upward;
+    - the {e separate} program: closure actions plus one pure convergence
+      action [¬R.j → c.j, sn.j := c.P.j, sn.P.j] per non-root node;
+    - the {e combined} program: the paper's final three-action-per-node
+      program, in which propagation and convergence merge into
+      [sn.j ≠ sn.P.j ∨ (c.j = red ∧ c.P.j = green) → c.j, sn.j := c.P.j, sn.P.j].
+
+    The constraint graph of the convergence actions is the tree itself — an
+    out-tree — so Theorem 1 certifies the design. *)
+
+type t
+
+val make : Topology.Tree.t -> t
+
+val green : int
+val red : int
+
+val tree : t -> Topology.Tree.t
+val env : t -> Guarded.Env.t
+val color : t -> int -> Guarded.Var.t
+(** [c.j]. *)
+
+val session : t -> int -> Guarded.Var.t
+(** [sn.j]. *)
+
+val spec : t -> Nonmask.Spec.t
+(** The candidate triple (closure actions, [S], [T = true]). *)
+
+val cgraph : t -> Nonmask.Cgraph.t
+(** Constraint graph of the convergence actions (one node per process). *)
+
+val constraints : t -> Nonmask.Constr.t list
+(** [R.j] for each non-root [j]. *)
+
+val separate : t -> Guarded.Program.t
+val combined : t -> Guarded.Program.t
+
+val invariant : t -> Guarded.State.t -> bool
+(** Compiled [S]. *)
+
+val all_green : t -> Guarded.State.t
+(** The initial state of the specification: every node green, all session
+    numbers equal. *)
+
+val violated : t -> Guarded.State.t -> int
+(** Number of violated constraints — a severity score for adversarial
+    daemons and diagnostics. *)
+
+val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+(** Theorem-1 certificate for this instance. *)

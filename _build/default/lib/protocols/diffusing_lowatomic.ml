@@ -1,0 +1,166 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Tree = Topology.Tree
+
+type t = {
+  tree : Tree.t;
+  env : Guarded.Env.t;
+  color : Guarded.Var.t array;
+  session : Guarded.Var.t array;
+  pointer : Guarded.Var.t option array;
+  program : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+  violated_preds : (Guarded.State.t -> bool) list;
+}
+
+let green = Diffusing.green
+let red = Diffusing.red
+
+let make tree =
+  let n = Tree.size tree in
+  let env = Guarded.Env.create () in
+  let color =
+    Guarded.Env.fresh_family env "c" n (Domain.enum "color" [ "green"; "red" ])
+  in
+  let session = Guarded.Env.fresh_family env "sn" n Domain.bool in
+  let pointer =
+    Array.init n (fun j ->
+        let deg = List.length (Tree.children tree j) in
+        if deg = 0 then None
+        else
+          Some
+            (Guarded.Env.fresh env
+               (Printf.sprintf "ptr.%d" j)
+               (Domain.range 0 deg)))
+  in
+  let root = Tree.root tree in
+  let non_root = Tree.non_root_nodes tree in
+  let open Expr in
+  let reset_ptr j =
+    match pointer.(j) with Some p -> [ (p, int 0) ] | None -> []
+  in
+  let initiate =
+    Action.make ~name:"initiate"
+      ~guard:(var color.(root) = int green)
+      ([ (color.(root), int red);
+         (session.(root), int 1 - var session.(root)) ]
+      @ reset_ptr root)
+  in
+  let copy j =
+    let p = Tree.parent tree j in
+    Action.make
+      ~name:(Printf.sprintf "copy.%d" j)
+      ~guard:
+        (var session.(j) <> var session.(p)
+        || (var color.(j) = int red && var color.(p) = int green))
+      ([ (color.(j), var color.(p)); (session.(j), var session.(p)) ]
+      @ reset_ptr j)
+  in
+  let scans j =
+    match pointer.(j) with
+    | None -> []
+    | Some ptr ->
+        List.mapi
+          (fun i k ->
+            Action.make
+              ~name:(Printf.sprintf "scan.%d.%d" j i)
+              ~guard:
+                (var color.(j) = int red
+                && var ptr = int i
+                && var color.(k) = int green
+                && var session.(k) = var session.(j))
+              [ (ptr, var ptr + int 1) ])
+          (Tree.children tree j)
+  in
+  let reflect j =
+    let deg = List.length (Tree.children tree j) in
+    match pointer.(j) with
+    | None ->
+        Action.make
+          ~name:(Printf.sprintf "reflect.%d" j)
+          ~guard:(var color.(j) = int red)
+          [ (color.(j), int green) ]
+    | Some ptr ->
+        Action.make
+          ~name:(Printf.sprintf "reflect.%d" j)
+          ~guard:(var color.(j) = int red && var ptr = int deg)
+          [ (color.(j), int green); (ptr, int 0) ]
+  in
+  let program =
+    Guarded.Program.make ~name:"diffusing-lowatomic" env
+      ((initiate :: List.map copy non_root)
+      @ List.concat_map scans (Tree.nodes tree)
+      @ List.map reflect (Tree.nodes tree))
+  in
+  let constraint_pred j =
+    let p = Tree.parent tree j in
+    var color.(j) = var color.(p)
+    && var session.(j) = var session.(p)
+    || (var color.(j) = int green && var color.(p) = int red)
+  in
+  let violated_preds =
+    List.map (fun j -> Guarded.Compile.pred (constraint_pred j)) non_root
+  in
+  let invariant_expr = conj (List.map constraint_pred non_root) in
+  let invariant = Guarded.Compile.pred invariant_expr in
+  { tree; env; color; session; pointer; program; invariant; violated_preds }
+
+let tree t = t.tree
+let env t = t.env
+let color t j = t.color.(j)
+let session t j = t.session.(j)
+let pointer t j = t.pointer.(j)
+let program t = t.program
+let invariant t s = t.invariant s
+let all_green t = Guarded.State.make t.env
+
+let violated t s =
+  List.fold_left (fun acc p -> if p s then acc else acc + 1) 0 t.violated_preds
+
+let consistent t s =
+  let get v = Guarded.State.get s v in
+  List.for_all
+    (fun j ->
+      match t.pointer.(j) with
+      | None -> true
+      | Some ptr ->
+          let p = get ptr in
+          (if get t.color.(j) = green then p = 0 else true)
+          && List.for_all2
+               (fun i k ->
+                 i >= p
+                 || (get t.color.(k) = green
+                    && get t.session.(k) = get t.session.(j)))
+               (List.init (List.length (Tree.children t.tree j)) Fun.id)
+               (Tree.children t.tree j))
+    (Tree.nodes t.tree)
+
+(* Atomicity: number of distinct processes an action touches, where a
+   variable's process is the integer suffix of its name ("c.3" -> 3). *)
+let process_of_var v =
+  match String.rindex_opt (Guarded.Var.name v) '.' with
+  | None -> None
+  | Some i ->
+      int_of_string_opt
+        (String.sub (Guarded.Var.name v) (i + 1)
+           (String.length (Guarded.Var.name v) - i - 1))
+
+let max_atomicity program =
+  Array.fold_left
+    (fun acc a ->
+      let procs =
+        Guarded.Var.Set.fold
+          (fun v acc ->
+            match process_of_var v with
+            | Some p -> List.cons p acc
+            | None -> acc)
+          (Guarded.Action.touches a) []
+        |> List.sort_uniq compare
+      in
+      max acc (List.length procs))
+    0
+    (Guarded.Program.actions program)
+
+let _ = green
+let _ = red

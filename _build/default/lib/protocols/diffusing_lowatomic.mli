@@ -1,0 +1,53 @@
+(** Low-atomicity refinement of the diffusing computation.
+
+    The paper's concluding remarks point out that the reflection action of
+    Section 5.1 reads a node and {e all} its children in one atomic step,
+    which is unsuitable for a distributed implementation, and that a
+    refinement with low-atomicity actions preserves convergence. This module
+    implements such a refinement and the test-suite/experiments check the
+    preservation claim by direct model checking (the refinement is outside
+    the scope of Theorems 1–3, which is precisely why the paper calls
+    refinement out as future work).
+
+    Each internal node gains a scan pointer [ptr.j ∈ 0..deg(j)]. Reflection
+    becomes a sequence of single-child checks:
+
+    - [scan.j.i : c.j = red ∧ ptr.j = i ∧ c.k = green ∧ sn.k ≡ sn.j →
+       ptr.j := i+1] where [k] is the [i]-th child — reads one child only;
+    - [reflect.j : c.j = red ∧ ptr.j = deg(j) → c.j, ptr.j := green, 0].
+
+    The initiate and copy actions reset the pointer when a node (re)enters
+    the red phase. Every action now reads at most one neighbour, matching
+    the atomicity of the token ring design. The invariant [S] is unchanged
+    (it constrains colors and session numbers only). *)
+
+type t
+
+val make : Topology.Tree.t -> t
+
+val tree : t -> Topology.Tree.t
+val env : t -> Guarded.Env.t
+val color : t -> int -> Guarded.Var.t
+val session : t -> int -> Guarded.Var.t
+val pointer : t -> int -> Guarded.Var.t option
+(** [None] for leaves. *)
+
+val program : t -> Guarded.Program.t
+val invariant : t -> Guarded.State.t -> bool
+val all_green : t -> Guarded.State.t
+
+(** The scan-pointer consistency relation: for every internal node [j],
+    either [c.j = green] and [ptr.j = 0], or every already-scanned child
+    ([i < ptr.j]) is green with [j]'s session number. This relation is
+    closed under the program (checked in the test suite), and within it the
+    refined program is a step-refinement of {!Diffusing.combined} — outside
+    it, a corrupted pointer can reflect prematurely, which the convergence
+    actions then repair (see [Nonmask.Refine] and experiment E13). *)
+val consistent : t -> Guarded.State.t -> bool
+val violated : t -> Guarded.State.t -> int
+(** Violated [R.j] constraints (same constraints as {!Diffusing}). *)
+
+val max_atomicity : Guarded.Program.t -> int
+(** Largest number of {e processes} (variable-name suffixes) any single
+    action touches — 2 for this refinement and the token ring, [1 + max
+    fan-out] for the original reflect action. *)

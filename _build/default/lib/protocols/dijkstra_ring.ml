@@ -1,0 +1,72 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Ring = Topology.Ring
+
+type t = {
+  ring : Ring.t;
+  k : int;
+  env : Guarded.Env.t;
+  x : Guarded.Var.t array;
+  program : Guarded.Program.t;
+  invariant_expr : Guarded.Expr.boolean;
+  invariant : Guarded.State.t -> bool;
+}
+
+let make ~nodes ~k =
+  if nodes < 2 then invalid_arg "Dijkstra_ring.make: need at least 2 nodes";
+  if k < 2 then invalid_arg "Dijkstra_ring.make: need k >= 2";
+  let ring = Ring.create nodes in
+  let last = nodes - 1 in
+  let env = Guarded.Env.create () in
+  let x = Guarded.Env.fresh_family env "x" nodes (Domain.range 0 (k - 1)) in
+  let prv j = j - 1 in
+  let others = List.init last (fun i -> i + 1) in
+  let open Expr in
+  let bottom_privileged = var x.(0) = var x.(last) in
+  let other_privileged j = var x.(j) <> var x.(prv j) in
+  let bottom =
+    Action.make ~name:"bottom"
+      ~guard:bottom_privileged
+      [ (x.(0), (var x.(0) + int 1) mod int k) ]
+  in
+  let copy j =
+    Action.make
+      ~name:(Printf.sprintf "copy.%d" j)
+      ~guard:(other_privileged j)
+      [ (x.(j), var x.(prv j)) ]
+  in
+  let program =
+    Guarded.Program.make ~name:"dijkstra-k-state" env
+      (bottom :: List.map copy others)
+  in
+  (* Exactly one privilege: the sum of privilege indicators equals 1. *)
+  let indicators =
+    ite bottom_privileged (int 1) (int 0)
+    :: List.map (fun j -> ite (other_privileged j) (int 1) (int 0)) others
+  in
+  let count = List.fold_left ( + ) (int 0) indicators in
+  let invariant_expr = count = int 1 in
+  let invariant = Guarded.Compile.pred invariant_expr in
+  { ring; k; env; x; program; invariant_expr; invariant }
+
+let ring t = t.ring
+let env t = t.env
+let x t j = t.x.(j)
+let k t = t.k
+let program t = t.program
+let invariant t s = t.invariant s
+let invariant_expr t = t.invariant_expr
+
+let privileged t s =
+  let n = Ring.size t.ring in
+  let get j = Guarded.State.get s t.x.(j) in
+  let acc = ref [] in
+  for j = n - 1 downto 1 do
+    if get j <> get (j - 1) then acc := j :: !acc
+  done;
+  if get 0 = get (n - 1) then 0 :: !acc else !acc
+
+let privilege_count t s = List.length (privileged t s)
+let all_zero t = Guarded.State.make t.env
+let violated t s = privilege_count t s - 1

@@ -1,0 +1,32 @@
+(** Dijkstra's K-state token ring — the classical wrap-around variant of
+    the program the paper derives in Section 7.1 (its reference [9]).
+
+    Node 0: [x.0 = x.N → x.0 := (x.0 + 1) mod K].
+    Node [j > 0]: [x.j ≠ x.(j-1) → x.j := x.(j-1)].
+
+    A node is privileged exactly when its guard holds; the invariant is
+    "exactly one node is privileged". With [K ≥ N + 1] the program is
+    self-stabilizing, and the token circulates forever (unlike the
+    bounded-window {!Token_ring}, which parks at the ceiling). This is the
+    variant used for long-running circulation experiments (E2). *)
+
+type t
+
+val make : nodes:int -> k:int -> t
+(** @raise Invalid_argument if [nodes < 2] or [k < 2]. *)
+
+val ring : t -> Topology.Ring.t
+val env : t -> Guarded.Env.t
+val x : t -> int -> Guarded.Var.t
+val k : t -> int
+
+val program : t -> Guarded.Program.t
+val invariant : t -> Guarded.State.t -> bool
+(** Exactly one privilege. *)
+
+val invariant_expr : t -> Guarded.Expr.boolean
+val privileged : t -> Guarded.State.t -> int list
+val privilege_count : t -> Guarded.State.t -> int
+val all_zero : t -> Guarded.State.t
+val violated : t -> Guarded.State.t -> int
+(** [privilege_count - 1]: extra privileges still to be destroyed. *)

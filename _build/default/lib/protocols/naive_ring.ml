@@ -1,0 +1,48 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Ring = Topology.Ring
+
+type t = {
+  ring : Ring.t;
+  env : Guarded.Env.t;
+  token : Guarded.Var.t array;
+  program : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+}
+
+let make ~nodes =
+  let ring = Ring.create nodes in
+  let env = Guarded.Env.create () in
+  let token = Guarded.Env.fresh_family env "tok" nodes Domain.bool in
+  let open Expr in
+  let pass j =
+    let s = Ring.succ ring j in
+    Action.make
+      ~name:(Printf.sprintf "pass.%d" j)
+      ~guard:(var token.(j) = int 1)
+      [ (token.(j), int 0); (token.(s), int 1) ]
+  in
+  let program =
+    Guarded.Program.make ~name:"naive-ring" env
+      (List.map pass (Ring.nodes ring))
+  in
+  let count =
+    List.fold_left ( + ) (int 0)
+      (List.map (fun j -> var token.(j)) (Ring.nodes ring))
+  in
+  let invariant = Guarded.Compile.pred (count = int 1) in
+  { ring; env; token; program; invariant }
+
+let ring t = t.ring
+let env t = t.env
+let token t j = t.token.(j)
+let program t = t.program
+let invariant t s = t.invariant s
+
+let token_count t s =
+  Array.fold_left (fun acc v -> acc + Guarded.State.get s v) 0 t.token
+
+let one_token t =
+  Guarded.State.init t.env (fun v ->
+      if Guarded.Var.equal v t.token.(0) then 1 else 0)

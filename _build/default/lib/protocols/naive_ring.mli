@@ -1,0 +1,25 @@
+(** A {e non}-stabilizing token ring — the baseline showing the method's
+    value (experiment E10).
+
+    Each node holds a token bit; a node with the token passes it on:
+    [tok.j = 1 → tok.j, tok.succ(j) := 0, 1]. On the invariant
+    ("exactly one token") the behaviour is the same token circulation the
+    paper's ring provides — but faults that duplicate or destroy tokens are
+    never repaired: a zero-token state deadlocks and a multi-token state
+    keeps all its tokens forever. The convergence checker exhibits both
+    failures, which is exactly what the paper's convergence actions are
+    there to prevent. *)
+
+type t
+
+val make : nodes:int -> t
+val ring : t -> Topology.Ring.t
+val env : t -> Guarded.Env.t
+val token : t -> int -> Guarded.Var.t
+val program : t -> Guarded.Program.t
+val invariant : t -> Guarded.State.t -> bool
+(** Exactly one token. *)
+
+val token_count : t -> Guarded.State.t -> int
+val one_token : t -> Guarded.State.t
+(** Token at node 0. *)

@@ -1,0 +1,111 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Tree = Topology.Tree
+
+let green = Diffusing.green
+let red = Diffusing.red
+
+type t = {
+  tree : Tree.t;
+  env : Guarded.Env.t;
+  color : Guarded.Var.t array;
+  session : Guarded.Var.t array;
+  app : Guarded.Var.t array;
+  program : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+  violated_preds : (Guarded.State.t -> bool) list;
+}
+
+let make ?(app_bound = 2) tree =
+  if app_bound < 1 then invalid_arg "Reset.make: app_bound must be positive";
+  let n = Tree.size tree in
+  let env = Guarded.Env.create () in
+  let color =
+    Guarded.Env.fresh_family env "c" n (Domain.enum "color" [ "green"; "red" ])
+  in
+  let session = Guarded.Env.fresh_family env "sn" n Domain.bool in
+  let app = Guarded.Env.fresh_family env "a" n (Domain.range 0 app_bound) in
+  let root = Tree.root tree in
+  let non_root = Tree.non_root_nodes tree in
+  let open Expr in
+  (* The root initiates a reset wave and resets itself. *)
+  let initiate =
+    Action.make ~name:"initiate"
+      ~guard:(var color.(root) = int green)
+      [
+        (color.(root), int red);
+        (session.(root), int 1 - var session.(root));
+        (app.(root), int 0);
+      ]
+  in
+  (* The paper's combined propagate/convergence action, extended: adopting
+     red resets the application variable in the same atomic step. *)
+  let copy j =
+    let p = Tree.parent tree j in
+    Action.make
+      ~name:(Printf.sprintf "copy.%d" j)
+      ~guard:
+        (var session.(j) <> var session.(p)
+        || (var color.(j) = int red && var color.(p) = int green))
+      [
+        (color.(j), var color.(p));
+        (session.(j), var session.(p));
+        (app.(j), ite (var color.(p) = int red) (int 0) (var app.(j)));
+      ]
+  in
+  let reflect j =
+    let kids = Tree.children tree j in
+    Action.make
+      ~name:(Printf.sprintf "reflect.%d" j)
+      ~guard:
+        (var color.(j) = int red
+        && forall kids (fun k ->
+               var color.(k) = int green && var session.(j) = var session.(k)))
+      [ (color.(j), int green) ]
+  in
+  (* Application work: the counter drifts while the process is green. *)
+  let work j =
+    Action.make
+      ~name:(Printf.sprintf "work.%d" j)
+      ~guard:(var color.(j) = int green && var app.(j) < int app_bound)
+      [ (app.(j), var app.(j) + int 1) ]
+  in
+  let program =
+    Guarded.Program.make ~name:"distributed-reset" env
+      ((initiate :: List.map copy non_root)
+      @ List.map reflect (Tree.nodes tree)
+      @ List.map work (Tree.nodes tree))
+  in
+  let constraint_pred j =
+    let p = Tree.parent tree j in
+    var color.(j) = var color.(p)
+    && var session.(j) = var session.(p)
+    || (var color.(j) = int green && var color.(p) = int red)
+  in
+  let violated_preds =
+    List.map (fun j -> Guarded.Compile.pred (constraint_pred j)) non_root
+  in
+  let invariant = Guarded.Compile.pred (conj (List.map constraint_pred non_root)) in
+  { tree; env; color; session; app; program; invariant; violated_preds }
+
+let tree t = t.tree
+let env t = t.env
+let color t j = t.color.(j)
+let session t j = t.session.(j)
+let app t j = t.app.(j)
+let program t = t.program
+let invariant t s = t.invariant s
+let all_green t = Guarded.State.make t.env
+
+let turns_red t ~pre ~post =
+  List.filter
+    (fun j ->
+      Guarded.State.get pre t.color.(j) = green
+      && Guarded.State.get post t.color.(j) = red)
+    (Tree.nodes t.tree)
+
+let violated t s =
+  List.fold_left (fun acc p -> if p s then acc else acc + 1) 0 t.violated_preds
+
+let _ = red

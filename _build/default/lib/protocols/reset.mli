@@ -1,0 +1,45 @@
+(** Stabilizing distributed reset.
+
+    The paper's diffusing computation is "a simplified version of a program
+    in [12]" — Arora and Gouda's distributed reset, whose job is to restore
+    a distributed application to a clean global state on demand, tolerating
+    arbitrary corruption of the reset machinery itself. This module layers
+    that application on the diffusing computation:
+
+    - each process carries an application variable [a.j] (a bounded counter
+      standing for arbitrary application state) that drifts upward while
+      the process is green ([work.j : c.j = green ∧ a.j < m → a.j := a.j+1]);
+    - the red wave {e is} the reset: whenever a process adopts red from its
+      parent (propagation or repair), the same atomic step sets
+      [a.j := 0]; the root resets itself when it initiates.
+
+    The reset guarantee, checked exhaustively in the tests: {e every}
+    program transition that turns a process red also zeroes its application
+    variable — so after any complete wave every process was reset during
+    the wave, regardless of the initial corruption. The invariant [S] and
+    the convergence machinery are exactly the diffusing computation's; the
+    application variables are unconstrained by [S] (resetting is the
+    wave's job, not the invariant's). *)
+
+type t
+
+val make : ?app_bound:int -> Topology.Tree.t -> t
+(** [app_bound] (default 2) is the application counter's maximum. *)
+
+val tree : t -> Topology.Tree.t
+val env : t -> Guarded.Env.t
+val color : t -> int -> Guarded.Var.t
+val session : t -> int -> Guarded.Var.t
+val app : t -> int -> Guarded.Var.t
+
+val program : t -> Guarded.Program.t
+val invariant : t -> Guarded.State.t -> bool
+(** The diffusing computation's [S] (over colors and sessions only). *)
+
+val all_green : t -> Guarded.State.t
+(** All green, all application variables at 0. *)
+
+val turns_red : t -> pre:Guarded.State.t -> post:Guarded.State.t -> int list
+(** Processes whose color changed green→red in this step. *)
+
+val violated : t -> Guarded.State.t -> int

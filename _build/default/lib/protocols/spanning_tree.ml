@@ -1,0 +1,108 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Ugraph = Topology.Ugraph
+
+type t = {
+  graph : Ugraph.t;
+  root : int;
+  env : Guarded.Env.t;
+  distance : Guarded.Var.t array;
+  program : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+  true_dist : int array;
+  constraint_preds : (Guarded.State.t -> bool) array;
+}
+
+let make ~root g =
+  let n = Ugraph.size g in
+  if root < 0 || root >= n then invalid_arg "Spanning_tree.make: bad root";
+  if not (Ugraph.is_connected g) then
+    invalid_arg "Spanning_tree.make: graph must be connected";
+  let env = Guarded.Env.create () in
+  let cap = max 1 (n - 1) in
+  let distance = Guarded.Env.fresh_family env "d" n (Domain.range 0 cap) in
+  let open Expr in
+  (* t.j = min(cap, 1 + min over neighbors of d.k) *)
+  let target j =
+    match Ugraph.neighbors g j with
+    | [] -> assert false (* connected, n >= 2 handled below *)
+    | k :: ks ->
+        let min_nbr =
+          List.fold_left (fun acc k' -> min_ acc (var distance.(k'))) (var distance.(k)) ks
+        in
+        min_ (int cap) (min_nbr + int 1)
+  in
+  let actions =
+    List.init n (fun j ->
+        if Stdlib.( = ) j root then
+          Action.make ~name:"root"
+            ~guard:(var distance.(root) <> int 0)
+            [ (distance.(root), int 0) ]
+        else
+          Action.make
+            ~name:(Printf.sprintf "adjust.%d" j)
+            ~guard:(var distance.(j) <> target j)
+            [ (distance.(j), target j) ])
+  in
+  let program = Guarded.Program.make ~name:"spanning-tree" env actions in
+  let true_dist = Ugraph.distances_from g root in
+  let invariant_pred s =
+    let ok = ref true in
+    Array.iteri
+      (fun j v ->
+        if Stdlib.( <> ) (Guarded.State.get s v) true_dist.(j) then ok := false)
+      distance;
+    !ok
+  in
+  let constraint_preds =
+    Array.of_list
+      (List.init n (fun j ->
+           if Stdlib.( = ) j root then
+             Guarded.Compile.pred (var distance.(root) = int 0)
+           else Guarded.Compile.pred (var distance.(j) = target j)))
+  in
+  {
+    graph = g;
+    root;
+    env;
+    distance;
+    program;
+    invariant = invariant_pred;
+    true_dist;
+    constraint_preds;
+  }
+
+let graph t = t.graph
+let root t = t.root
+let env t = t.env
+let distance t j = t.distance.(j)
+let program t = t.program
+let invariant t s = t.invariant s
+
+let bfs_state t =
+  Guarded.State.init t.env (fun v ->
+      let j =
+        (* variables were declared in node order *)
+        Guarded.Var.index v
+      in
+      t.true_dist.(j))
+
+let parent t s j =
+  if j = t.root then None
+  else
+    let dj = Guarded.State.get s t.distance.(j) in
+    List.find_opt
+      (fun k -> Guarded.State.get s t.distance.(k) = dj - 1)
+      (Ugraph.neighbors t.graph j)
+
+let tree_edges t s =
+  List.filter_map
+    (fun j ->
+      match parent t s j with Some p -> Some (p, j) | None -> None)
+    (List.init (Ugraph.size t.graph) Fun.id)
+
+let violated t s =
+  Array.fold_left
+    (fun acc pred -> if pred s then acc else acc + 1)
+    0 t.constraint_preds

@@ -1,0 +1,55 @@
+(** Stabilizing BFS spanning-tree construction.
+
+    The paper motivates diffusing computations as a building block for
+    global tasks (snapshot, reset, termination detection); those in turn
+    presuppose a rooted spanning structure. This protocol constructs one —
+    and repairs it after arbitrary corruption — on any connected undirected
+    network, using the same constraint-satisfaction reading: each process
+    maintains a distance estimate [d.j], and the constraints
+
+    - [d.root = 0], established by the root alone, and
+    - [d.j = min(cap, 1 + min over neighbors of d.k)] for [j ≠ root],
+      established by [j] reading its neighbors,
+
+    have the true BFS distances as their unique solution on a connected
+    graph (cap = [n - 1]). Each convergence action writes one variable, but
+    it reads {e all} neighbors, so for non-tree networks the constraint
+    graph falls outside the out-tree/self-looping classes — this protocol
+    is the library's worked example of a design that the paper's theorems
+    do not cover and that the exhaustive checker validates directly
+    (experiment E11; the spanning tree of [d]-decreasing neighbors emerges
+    from the fixpoint).
+
+    Actions (one per process):
+    - root: [d.root <> 0 -> d.root := 0]
+    - other [j]: [d.j <> t.j -> d.j := t.j] where
+      [t.j = min(n-1, 1 + min_k d.k)]. *)
+
+type t
+
+val make : root:int -> Topology.Ugraph.t -> t
+(** @raise Invalid_argument if the graph is disconnected or the root is out
+    of range. *)
+
+val graph : t -> Topology.Ugraph.t
+val root : t -> int
+val env : t -> Guarded.Env.t
+val distance : t -> int -> Guarded.Var.t
+val program : t -> Guarded.Program.t
+val invariant : t -> Guarded.State.t -> bool
+(** All distances equal the true BFS distances. *)
+
+val bfs_state : t -> Guarded.State.t
+(** The legitimate state. *)
+
+val parent : t -> Guarded.State.t -> int -> int option
+(** In a legitimate state, a neighbor at distance [d.j - 1] (the smallest
+    such); [None] for the root or when no neighbor qualifies (corrupted
+    states). *)
+
+val tree_edges : t -> Guarded.State.t -> (int * int) list
+(** [(parent, child)] pairs derived from the current estimates; in a
+    legitimate state these form a spanning tree rooted at [root]. *)
+
+val violated : t -> Guarded.State.t -> int
+(** Number of processes whose local constraint is violated. *)

@@ -1,0 +1,156 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+module Ring = Topology.Ring
+
+type t = {
+  ring : Ring.t;
+  k : int;
+  env : Guarded.Env.t;
+  x : Guarded.Var.t array;
+  spec : Nonmask.Spec.t;
+  layers : Nonmask.Cgraph.t list;
+  separate : Guarded.Program.t;
+  combined : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+  violated_preds : (Guarded.State.t -> bool) list;
+}
+
+let make ~nodes ~k =
+  if nodes < 2 then invalid_arg "Token_ring.make: need at least 2 nodes";
+  if k < 2 then invalid_arg "Token_ring.make: need k >= 2";
+  let ring = Ring.create nodes in
+  let last = nodes - 1 in
+  let env = Guarded.Env.create () in
+  let x = Guarded.Env.fresh_family env "x" nodes (Domain.range 0 (k - 1)) in
+  let nxt j = j + 1 in
+  let ceiling = k - 1 in
+  let open Expr in
+  (* S: non-increasing along 0..N with at most one decrease. *)
+  let invariant_expr =
+    forall (List.init last Fun.id) (fun j -> var x.(j) >= var x.(nxt j))
+    && (var x.(0) = var x.(last) || var x.(0) = var x.(last) + int 1)
+  in
+  (* Closure: pass the token. The root increment is guarded by the bounded
+     window (see the interface comment). *)
+  let increment =
+    Action.make ~name:"increment"
+      ~guard:(var x.(0) = var x.(last) && var x.(0) < int ceiling)
+      [ (x.(0), var x.(0) + int 1) ]
+  in
+  let pass j =
+    Action.make
+      ~name:(Printf.sprintf "pass.%d" j)
+      ~guard:(var x.(j) > var x.(nxt j))
+      [ (x.(nxt j), var x.(j)) ]
+  in
+  let segments = List.init last Fun.id in
+  let closure_program =
+    Guarded.Program.make ~name:"token-ring" env
+      (increment :: List.map pass segments)
+  in
+  let spec =
+    Nonmask.Spec.make ~name:"token-ring" ~program:closure_program
+      ~invariant:invariant_expr ()
+  in
+  (* Layer 0: x.j >= x.(j+1); layer 1: x.j = x.(j+1). Both establish with
+     x.(j+1) := x.j; the layer-1 actions coincide with the closure ones. *)
+  let ge_pairs =
+    List.map
+      (fun j ->
+        let c =
+          Nonmask.Constr.make
+            ~name:(Printf.sprintf "ge.%d" j)
+            (var x.(j) >= var x.(nxt j))
+        in
+        {
+          Nonmask.Cgraph.constr = c;
+          action =
+            Action.make
+              ~name:(Printf.sprintf "raise.%d" j)
+              ~guard:(var x.(j) < var x.(nxt j))
+              [ (x.(nxt j), var x.(j)) ];
+        })
+      segments
+  in
+  let eq_pairs =
+    List.map
+      (fun j ->
+        let c =
+          Nonmask.Constr.make
+            ~name:(Printf.sprintf "eq.%d" j)
+            (var x.(j) = var x.(nxt j))
+        in
+        { Nonmask.Cgraph.constr = c; action = pass j })
+      segments
+  in
+  let nodes_partition =
+    List.init nodes (fun j ->
+        (Printf.sprintf "x%d" j, Guarded.Var.Set.singleton x.(j)))
+  in
+  let layer0 = Nonmask.Cgraph.build_exn ~nodes:nodes_partition ~pairs:ge_pairs in
+  let layer1 = Nonmask.Cgraph.build_exn ~nodes:nodes_partition ~pairs:eq_pairs in
+  let layers = [ layer0; layer1 ] in
+  let separate = Nonmask.Theorems.augmented_program spec layers in
+  (* The paper's final program: both convergence layers and the closure pass
+     merge into a single action per segment. *)
+  let copy j =
+    Action.make
+      ~name:(Printf.sprintf "copy.%d" j)
+      ~guard:(var x.(j) <> var x.(nxt j))
+      [ (x.(nxt j), var x.(j)) ]
+  in
+  let combined =
+    Guarded.Program.make ~name:"token-ring-combined" env
+      (increment :: List.map copy segments)
+  in
+  let invariant = Guarded.Compile.pred invariant_expr in
+  let violated_preds =
+    List.map
+      (fun (p : Nonmask.Cgraph.pair) -> Nonmask.Constr.compile p.constr)
+      (ge_pairs @ eq_pairs)
+  in
+  {
+    ring;
+    k;
+    env;
+    x;
+    spec;
+    layers;
+    separate;
+    combined;
+    invariant;
+    violated_preds;
+  }
+
+let ring t = t.ring
+let env t = t.env
+let x t j = t.x.(j)
+let k t = t.k
+let spec t = t.spec
+let layers t = t.layers
+let separate t = t.separate
+let combined t = t.combined
+let invariant t s = t.invariant s
+
+let privileged t s =
+  let n = Ring.size t.ring in
+  let get j = Guarded.State.get s t.x.(j) in
+  let acc = ref [] in
+  for j = n - 2 downto 0 do
+    if get j > get (j + 1) then acc := (j + 1) :: !acc
+  done;
+  if get 0 = get (n - 1) then 0 :: !acc else !acc
+
+let all_zero t = Guarded.State.make t.env
+
+let violated t s =
+  List.fold_left (fun acc p -> if p s then acc else acc + 1) 0 t.violated_preds
+
+let certificate ~space t =
+  Nonmask.Theorems.validate_theorem3 ~modulo_invariant:true ~space
+    ~spec:t.spec t.layers
+
+let certificate_strict ~space t =
+  Nonmask.Theorems.validate_theorem3 ~modulo_invariant:false ~space
+    ~spec:t.spec t.layers

@@ -1,0 +1,66 @@
+(** The paper's stabilizing token ring (Section 7.1).
+
+    [N+1] nodes [0 .. N] in a ring; node [j] holds an integer [x.j]. The
+    invariant is
+
+    [S = (∀ j < N :: x.j ≥ x.(j+1)) ∧ (x.0 = x.N ∨ x.0 = x.N + 1)]
+
+    — a non-increasing sequence with at most one decrease. Node 0 is
+    privileged when [x.0 = x.N]; node [j+1] is privileged when
+    [x.j > x.(j+1)].
+
+    The paper uses unbounded integers; for exhaustive checking we bound
+    [x.j ∈ 0 .. K-1] and guard the root's increment with [x.0 < K-1]
+    (a bounded window of the unbounded behaviour — convergence to [S] is
+    unaffected; only token circulation eventually parks at the all-[K-1]
+    state, which satisfies [S]). {!Dijkstra_ring} provides the classical
+    wrap-around variant whose token circulates forever.
+
+    Convergence actions come in the paper's two layers:
+    - layer 0 (first conjunct): constraint [x.j ≥ x.(j+1)] with action
+      [x.j < x.(j+1) → x.(j+1) := x.j];
+    - layer 1 (second conjunct, strengthened to equality): constraint
+      [x.j = x.(j+1)] with action [x.j > x.(j+1) → x.(j+1) := x.j].
+
+    Layer-1 convergence actions are identical to the token-passing closure
+    actions — the paper's own observation — and Theorem 3 applies with the
+    [modulo_invariant] refinement (see {!Nonmask.Theorems}). *)
+
+type t
+
+val make : nodes:int -> k:int -> t
+(** [make ~nodes ~k]: [nodes ≥ 2] ring members with [x.j ∈ 0..k-1],
+    [k ≥ 2]. @raise Invalid_argument otherwise. *)
+
+val ring : t -> Topology.Ring.t
+val env : t -> Guarded.Env.t
+val x : t -> int -> Guarded.Var.t
+val k : t -> int
+
+val spec : t -> Nonmask.Spec.t
+val layers : t -> Nonmask.Cgraph.t list
+(** Layer 0 then layer 1. *)
+
+val separate : t -> Guarded.Program.t
+(** Closure plus non-duplicate convergence actions. *)
+
+val combined : t -> Guarded.Program.t
+(** The paper's final program: [x.0 = x.N → x.0 := x.0 + 1] (bounded) and
+    [x.j ≠ x.(j+1) → x.(j+1) := x.j]. *)
+
+val invariant : t -> Guarded.State.t -> bool
+
+val privileged : t -> Guarded.State.t -> int list
+(** All privileged nodes in the state (exactly one under [S]). *)
+
+val all_zero : t -> Guarded.State.t
+
+val violated : t -> Guarded.State.t -> int
+(** Violated constraints across both layers. *)
+
+val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+(** Theorem-3 certificate ([modulo_invariant = true]). *)
+
+val certificate_strict : space:Explore.Space.t -> t -> Nonmask.Certify.t
+(** Theorem 3 with the antecedents read literally — expected to {e fail}
+    (experiment E5 documents why; see DESIGN.md). *)

@@ -1,0 +1,110 @@
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Domain = Guarded.Domain
+
+type variant = Good_tree | Good_ordered | Bad
+
+type t = {
+  variant : variant;
+  env : Guarded.Env.t;
+  x : Guarded.Var.t;
+  y : Guarded.Var.t;
+  z : Guarded.Var.t;
+  spec : Nonmask.Spec.t;
+  cgraph : Nonmask.Cgraph.t;
+  program : Guarded.Program.t;
+  invariant : Guarded.State.t -> bool;
+}
+
+let make ?(bound = 3) variant =
+  if bound < 1 then invalid_arg "Xyz_demo.make: bound must be positive";
+  let env = Guarded.Env.create () in
+  (* Domain windows sized so every convergence action stays in-domain:
+     Good_ordered decrements x (needs -1); Good_tree bumps y and Bad bumps x
+     (need bound + 1). *)
+  let x_domain =
+    match variant with
+    | Good_tree -> Domain.range 0 bound
+    | Good_ordered -> Domain.range (-1) bound
+    | Bad -> Domain.range 0 (bound + 1)
+  in
+  let y_domain =
+    match variant with
+    | Good_tree -> Domain.range 0 (bound + 1)
+    | Good_ordered | Bad -> Domain.range 0 bound
+  in
+  let x = Guarded.Env.fresh env "x" x_domain in
+  let y = Guarded.Env.fresh env "y" y_domain in
+  let z = Guarded.Env.fresh env "z" (Domain.range 0 bound) in
+  let open Expr in
+  let c_ne = Nonmask.Constr.make ~name:"x<>y" (var x <> var y) in
+  let c_le = Nonmask.Constr.make ~name:"x<=z" (var x <= var z) in
+  let invariant_expr = Nonmask.Constr.conj [ c_ne; c_le ] in
+  let closure = Guarded.Program.make ~name:"xyz" env [] in
+  let spec =
+    Nonmask.Spec.make ~name:"xyz-demo" ~program:closure
+      ~invariant:invariant_expr ()
+  in
+  let pair constr action = { Nonmask.Cgraph.constr; action } in
+  let pairs =
+    match variant with
+    | Good_tree ->
+        [
+          pair c_ne
+            (Action.make ~name:"bump-y" ~guard:(var x = var y)
+               [ (y, var y + int 1) ]);
+          pair c_le
+            (Action.make ~name:"raise-z" ~guard:(var x > var z)
+               [ (z, var x) ]);
+        ]
+    | Good_ordered ->
+        (* The linear order: the x<=z action first, then the x<>y action,
+           which preserves x<=z because it only decreases x. *)
+        [
+          pair c_le
+            (Action.make ~name:"lower-x" ~guard:(var x > var z)
+               [ (x, var z) ]);
+          pair c_ne
+            (Action.make ~name:"decrement-x" ~guard:(var x = var y)
+               [ (x, var x - int 1) ]);
+        ]
+    | Bad ->
+        (* Establishing x<>y by *increasing* x can violate x<=z, and vice
+           versa: the two actions chase each other forever. *)
+        [
+          pair c_ne
+            (Action.make ~name:"increment-x" ~guard:(var x = var y)
+               [ (x, var x + int 1) ]);
+          pair c_le
+            (Action.make ~name:"lower-x" ~guard:(var x > var z)
+               [ (x, var z) ]);
+        ]
+  in
+  let nodes =
+    [
+      ("x", Guarded.Var.Set.singleton x);
+      ("y", Guarded.Var.Set.singleton y);
+      ("z", Guarded.Var.Set.singleton z);
+    ]
+  in
+  let cgraph = Nonmask.Cgraph.build_exn ~nodes ~pairs in
+  let program = Nonmask.Theorems.augmented_program spec [ cgraph ] in
+  let invariant = Guarded.Compile.pred invariant_expr in
+  { variant; env; x; y; z; spec; cgraph; program; invariant }
+
+let variant t = t.variant
+let env t = t.env
+let x t = t.x
+let y t = t.y
+let z t = t.z
+let spec t = t.spec
+let cgraph t = t.cgraph
+let program t = t.program
+let invariant t s = t.invariant s
+
+let certificate ~space t =
+  match t.variant with
+  | Good_tree ->
+      Nonmask.Theorems.validate_theorem1 ~space ~spec:t.spec ~cgraph:t.cgraph
+  | Good_ordered | Bad ->
+      Nonmask.Theorems.validate_theorem2 ~space ~spec:t.spec ~cgraph:t.cgraph

@@ -1,0 +1,43 @@
+(** The running constraint example of Sections 4 and 6.
+
+    Three integer variables and the constraint set [{x ≠ y, x ≤ z}]. The
+    paper uses it three times:
+
+    - {b Section 4} (out-tree): establish [x ≠ y] by changing [y], and
+      [x ≤ z] by raising [z] — edges [{x} → {y}] and [{x} → {z}], an
+      out-tree, so Theorem 1 applies ([good_tree]).
+    - {b Section 6, bad}: establish [x ≠ y] by {e increasing} [x] and
+      [x ≤ z] by lowering [x] — both actions write [x], each can violate
+      the other's constraint, and the pair livelocks ([bad]).
+    - {b Section 6, good}: establish [x ≠ y] by {e decreasing} [x] — the
+      decrease preserves [x ≤ z], so the actions order linearly and
+      Theorem 2 applies ([good_ordered]).
+
+    All three variants share the invariant [S = x ≠ y ∧ x ≤ z] and fault
+    span [T = true]; there are no closure actions (the paper's example is
+    about the convergence actions alone). Domains are small windows around
+    [0 .. bound] sized so that every convergence action stays in-domain. *)
+
+type variant = Good_tree | Good_ordered | Bad
+
+type t
+
+val make : ?bound:int -> variant -> t
+(** [bound] defaults to 3. *)
+
+val variant : t -> variant
+val env : t -> Guarded.Env.t
+val x : t -> Guarded.Var.t
+val y : t -> Guarded.Var.t
+val z : t -> Guarded.Var.t
+
+val spec : t -> Nonmask.Spec.t
+val cgraph : t -> Nonmask.Cgraph.t
+val program : t -> Guarded.Program.t
+(** The convergence actions as a runnable program. *)
+
+val invariant : t -> Guarded.State.t -> bool
+
+val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+(** Theorem 1 for [Good_tree]; Theorem 2 for [Good_ordered] and [Bad]
+    (where it is expected to fail on the ordering obligations). *)

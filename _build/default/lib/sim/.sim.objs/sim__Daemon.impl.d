@@ -1,0 +1,1 @@
+lib/sim/daemon.ml: Array Format Guarded List Prng

@@ -1,0 +1,1 @@
+lib/sim/daemon.mli: Format Guarded Prng

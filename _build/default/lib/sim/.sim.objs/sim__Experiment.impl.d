@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Array Format List Printf Prng Runner Stats

@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Daemon Format Guarded Prng Stats

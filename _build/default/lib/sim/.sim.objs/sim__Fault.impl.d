@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Array Format Guarded List Printf Prng

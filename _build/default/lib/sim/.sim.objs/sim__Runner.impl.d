@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Daemon Format Guarded List Trace

@@ -1,0 +1,93 @@
+module Compile = Guarded.Compile
+module Action = Guarded.Action
+
+type context = {
+  program : Guarded.Compile.program;
+  step : int;
+  state : Guarded.State.t;
+  enabled : int list;
+}
+
+type t = { name : string; choose : context -> int list }
+
+let first_enabled =
+  {
+    name = "first-enabled";
+    choose =
+      (fun ctx ->
+        match ctx.enabled with
+        | a :: _ -> [ a ]
+        | [] -> invalid_arg "Daemon: empty enabled set");
+  }
+
+let round_robin () =
+  let cursor = ref 0 in
+  {
+    name = "round-robin";
+    choose =
+      (fun ctx ->
+        let n = Array.length ctx.program.Compile.actions in
+        let rec find k =
+          if k >= n then invalid_arg "Daemon: empty enabled set"
+          else
+            let a = (!cursor + k) mod n in
+            if List.mem a ctx.enabled then begin
+              cursor := (a + 1) mod n;
+              [ a ]
+            end
+            else find (k + 1)
+        in
+        find 0);
+  }
+
+let random rng =
+  {
+    name = "random";
+    choose =
+      (fun ctx ->
+        [ Prng.pick_list rng ctx.enabled ]);
+  }
+
+let greedy ~name score =
+  {
+    name;
+    choose =
+      (fun ctx ->
+        let best = ref (-1) and best_score = ref min_int in
+        List.iter
+          (fun a ->
+            let post = ctx.program.Compile.actions.(a).apply ctx.state in
+            let s = score post in
+            if s > !best_score then begin
+              best_score := s;
+              best := a
+            end)
+          ctx.enabled;
+        if !best < 0 then invalid_arg "Daemon: empty enabled set";
+        [ !best ]);
+  }
+
+let distributed rng =
+  {
+    name = "distributed";
+    choose =
+      (fun ctx ->
+        let order = Array.of_list ctx.enabled in
+        Prng.shuffle_in_place rng order;
+        let chosen = ref [] in
+        Array.iter
+          (fun a ->
+            let act = ctx.program.Compile.actions.(a).source in
+            let conflicts =
+              List.exists
+                (fun b ->
+                  Action.interferes act
+                    ctx.program.Compile.actions.(b).source)
+                !chosen
+            in
+            if not conflicts then chosen := a :: !chosen)
+          order;
+        List.rev !chosen);
+  }
+
+let pp ppf d = Format.pp_print_string ppf d.name

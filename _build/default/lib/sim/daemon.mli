@@ -1,0 +1,41 @@
+(** Daemons (schedulers).
+
+    The paper's computations are fair maximal interleavings chosen by an
+    abstract adversary; a daemon decides, at each step, which enabled
+    action(s) execute. Central daemons pick exactly one; the distributed
+    daemon picks a set of mutually non-interfering actions and executes them
+    simultaneously (their effect is then equal to executing them in any
+    order, so distributed executions are a subset of interleavings). *)
+
+type context = {
+  program : Guarded.Compile.program;
+  step : int;  (** 0-based step counter. *)
+  state : Guarded.State.t;  (** Current (pre) state; must not be mutated. *)
+  enabled : int list;  (** Indices of enabled actions; never empty. *)
+}
+
+type t = { name : string; choose : context -> int list }
+(** [choose] returns a non-empty sublist of [ctx.enabled]; a singleton for
+    central daemons. *)
+
+val first_enabled : t
+(** Always the lowest-index enabled action. Deterministic and maximally
+    unfair to later actions. *)
+
+val round_robin : unit -> t
+(** Cycles a cursor through action indices; weakly fair. Fresh mutable
+    cursor per call. *)
+
+val random : Prng.t -> t
+(** Uniform among enabled actions; fair with probability 1. *)
+
+val greedy : name:string -> (Guarded.State.t -> int) -> t
+(** [greedy ~name score] picks the enabled action whose post-state maximizes
+    [score] (ties broken by lowest index). With [score] = "how far from the
+    invariant", this is an adversarial daemon that prolongs convergence. *)
+
+val distributed : Prng.t -> t
+(** A maximal set of mutually non-interfering enabled actions, built greedily
+    in random order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type result = {
+  steps : int array;
+  failures : int;
+  summary : Stats.summary option;
+}
+
+let convergence_trials ?(max_steps = 100_000) ~rng ~trials ~daemon ~prepare
+    ~stop program =
+  let converged = ref [] in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    let trial_rng = Prng.split rng in
+    let init = prepare trial_rng in
+    let d = daemon trial_rng in
+    let outcome =
+      Runner.run ~max_steps ~daemon:d ~init ~stop program
+    in
+    if Runner.converged outcome then
+      converged := outcome.Runner.steps :: !converged
+    else incr failures
+  done;
+  let steps = Array.of_list (List.rev !converged) in
+  let summary =
+    if Array.length steps = 0 then None else Some (Stats.summarize_ints steps)
+  in
+  { steps; failures = !failures; summary }
+
+let pp_result ppf r =
+  match r.summary with
+  | None -> Format.fprintf ppf "no trial converged (%d failures)" r.failures
+  | Some s ->
+      Format.fprintf ppf "%a%s" Stats.pp_summary s
+        (if r.failures > 0 then Printf.sprintf " (%d failures)" r.failures
+         else "")

@@ -1,0 +1,27 @@
+(** Repeated-trial convergence experiments.
+
+    The standard shape of the paper-derived experiments: start from a state
+    produced by a fault, run the program under a daemon until the invariant
+    holds, record how many steps that took; repeat. *)
+
+type result = {
+  steps : int array;  (** Step counts of the converged trials. *)
+  failures : int;  (** Trials that hit the budget or a terminal state. *)
+  summary : Stats.summary option;  (** [None] when nothing converged. *)
+}
+
+val convergence_trials :
+  ?max_steps:int ->
+  rng:Prng.t ->
+  trials:int ->
+  daemon:(Prng.t -> Daemon.t) ->
+  prepare:(Prng.t -> Guarded.State.t) ->
+  stop:(Guarded.State.t -> bool) ->
+  Guarded.Compile.program ->
+  result
+(** Each trial gets its own [Prng.split] of [rng] (so trials are independent
+    and the whole experiment is reproducible from one seed) and a fresh
+    daemon built from that split. [prepare] produces the faulty initial
+    state. *)
+
+val pp_result : Format.formatter -> result -> unit

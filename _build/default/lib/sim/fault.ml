@@ -1,0 +1,57 @@
+module State = Guarded.State
+module Var = Guarded.Var
+module Domain = Guarded.Domain
+module Env = Guarded.Env
+
+type t = { name : string; inject : Prng.t -> Guarded.State.t -> unit }
+
+let random_value rng domain =
+  match (domain : Domain.t) with
+  | Bool -> Prng.int rng 2
+  | Range { lo; hi } -> Prng.int_in rng lo hi
+  | Enum { labels; _ } -> Prng.int rng (Array.length labels)
+
+let corrupt_of_array name vars ~k =
+  {
+    name;
+    inject =
+      (fun rng s ->
+        let n = Array.length vars in
+        let k = min k n in
+        let picks = Prng.sample_without_replacement rng k n in
+        Array.iter
+          (fun i ->
+            let v = vars.(i) in
+            State.set s v (random_value rng (Var.domain v)))
+          picks);
+  }
+
+let corrupt env ~k =
+  corrupt_of_array (Printf.sprintf "corrupt-%d" k) (Env.vars env) ~k
+
+let corrupt_vars vars ~k =
+  corrupt_of_array
+    (Printf.sprintf "corrupt-%d-of-%d" k (List.length vars))
+    (Array.of_list vars) ~k
+
+let scramble env =
+  let vars = Env.vars env in
+  {
+    name = "scramble";
+    inject =
+      (fun rng s ->
+        Array.iter
+          (fun v -> State.set s v (random_value rng (Var.domain v)))
+          vars);
+  }
+
+let reset_vars bindings =
+  {
+    name = "reset";
+    inject = (fun _ s -> List.iter (fun (v, x) -> State.set s v x) bindings);
+  }
+
+let compose name faults =
+  { name; inject = (fun rng s -> List.iter (fun f -> f.inject rng s) faults) }
+
+let pp ppf f = Format.pp_print_string ppf f.name

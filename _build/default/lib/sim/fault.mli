@@ -1,0 +1,32 @@
+(** Fault injection.
+
+    Section 3 of the paper views every fault class as actions that change
+    the program state; the fault span [T] is the set of states those actions
+    can produce. For stabilizing programs [T = true]: any assignment of
+    in-domain values. The injectors below mutate a state in place and keep
+    every variable inside its domain (the domains {e define} the state
+    space — a value outside every domain is not a state of the program). *)
+
+type t = { name : string; inject : Prng.t -> Guarded.State.t -> unit }
+
+val corrupt : Guarded.Env.t -> k:int -> t
+(** Pick [min k var_count] distinct variables; set each to a uniformly
+    random value of its domain (possibly the current one). *)
+
+val corrupt_vars : Guarded.Var.t list -> k:int -> t
+(** Same, but drawing only from the given variables — e.g. the variables of
+    [k] chosen processes. *)
+
+val scramble : Guarded.Env.t -> t
+(** Replace the whole state by a uniformly random one: the harshest fault
+    the paper's model admits, and the standard initial condition for
+    stabilization experiments. *)
+
+val reset_vars : (Guarded.Var.t * int) list -> t
+(** Deterministically force the given variables to the given values —
+    models a crash-and-restart that reinitializes part of a process. *)
+
+val compose : string -> t list -> t
+(** Apply each fault in order. *)
+
+val pp : Format.formatter -> t -> unit

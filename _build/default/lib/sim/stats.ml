@@ -1,0 +1,57 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize data =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let sum = Array.fold_left ( +. ) 0.0 data in
+  let mean = sum /. float_of_int n in
+  let sq_dev =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 data
+  in
+  let stddev =
+    if n <= 1 then 0.0 else sqrt (sq_dev /. float_of_int (n - 1))
+  in
+  {
+    n;
+    mean;
+    stddev;
+    min = sorted.(0);
+    p25 = percentile sorted 0.25;
+    median = percentile sorted 0.5;
+    p75 = percentile sorted 0.75;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+    max = sorted.(n - 1);
+  }
+
+let summarize_ints data = summarize (Array.map float_of_int data)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.0f med=%.1f p90=%.1f max=%.0f" s.n s.mean
+    s.stddev s.min s.median s.p90 s.max

@@ -1,0 +1,26 @@
+(** Descriptive statistics for experiment results. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (n-1 denominator). *)
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty array. *)
+
+val summarize_ints : int array -> summary
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [0, 1]; linear interpolation. The
+    array must be sorted ascending. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line [n=.. mean=.. sd=.. min/median/p90/max=..] rendering. *)

@@ -1,0 +1,31 @@
+module State = Guarded.State
+
+type entry = { step : int; actions : string list; state : Guarded.State.t }
+
+type t = {
+  init : Guarded.State.t;
+  mutable rev_entries : entry list;
+  mutable count : int;
+}
+
+let create init = { init = State.copy init; rev_entries = []; count = 0 }
+
+let record t ~actions state =
+  t.rev_entries <-
+    { step = t.count; actions; state = State.copy state } :: t.rev_entries;
+  t.count <- t.count + 1
+
+let initial t = t.init
+let entries t = List.rev t.rev_entries
+let length t = t.count
+let states t = t.init :: List.map (fun e -> e.state) (entries t)
+
+let pp env ppf t =
+  Format.fprintf ppf "@[<v>start: %a@," (State.pp env) t.init;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%4d. [%s] -> %a@," e.step
+        (String.concat ", " e.actions)
+        (State.pp env) e.state)
+    (entries t);
+  Format.fprintf ppf "@]"

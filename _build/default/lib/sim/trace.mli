@@ -1,0 +1,27 @@
+(** Execution traces.
+
+    A recorded computation: the initial state followed by the actions taken
+    at each step and the states they produced. Distributed-daemon steps may
+    carry several action names. *)
+
+type entry = { step : int; actions : string list; state : Guarded.State.t }
+
+type t
+
+val create : Guarded.State.t -> t
+(** Start a trace at the given initial state (copied). *)
+
+val record : t -> actions:string list -> Guarded.State.t -> unit
+(** Append a step (the state is copied). *)
+
+val initial : t -> Guarded.State.t
+val entries : t -> entry list
+(** In execution order; does not include the initial state. *)
+
+val length : t -> int
+(** Number of recorded steps. *)
+
+val states : t -> Guarded.State.t list
+(** Initial state followed by each post-state. *)
+
+val pp : Guarded.Env.t -> Format.formatter -> t -> unit

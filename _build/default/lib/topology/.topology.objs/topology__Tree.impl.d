@@ -1,0 +1,1 @@
+lib/topology/tree.ml: Array Dgraph Format List Printf Prng

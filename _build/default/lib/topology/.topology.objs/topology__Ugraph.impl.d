@@ -1,0 +1,1 @@
+lib/topology/ugraph.ml: Array Format Hashtbl List Prng Queue

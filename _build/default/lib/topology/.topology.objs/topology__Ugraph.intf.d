@@ -1,0 +1,1 @@
+lib/topology/ugraph.mli: Format Prng

@@ -1,0 +1,22 @@
+(** Rings of processes.
+
+    The token ring (Section 7.1) has [N+1] nodes [0 .. N] where the
+    successor of [j] is [j + 1 mod (N + 1)]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a ring of [n] nodes ([n >= 2]).
+    @raise Invalid_argument if [n < 2]. *)
+
+val size : t -> int
+val succ : t -> int -> int
+(** Clockwise neighbor. *)
+
+val pred : t -> int -> int
+val nodes : t -> int list
+val distance : t -> int -> int -> int
+(** Clockwise hop count from the first node to the second. *)
+
+val to_digraph : t -> unit Dgraph.Digraph.t
+(** Edges [j -> succ j]. *)

@@ -1,0 +1,56 @@
+(** Rooted trees.
+
+    The diffusing computation (Section 5.1) runs on a finite rooted tree;
+    [parent.(j)] is the paper's [P.j], with [parent.(root) = root]. Nodes are
+    [0 .. size - 1]. *)
+
+type t
+
+val of_parents : int array -> t
+(** Build a tree from a parent array. Exactly one node must satisfy
+    [parent.(j) = j] (the root), every parent must be in range, and every
+    node must reach the root by following parents.
+    @raise Invalid_argument if the array does not describe a rooted tree. *)
+
+val size : t -> int
+val root : t -> int
+val parent : t -> int -> int
+(** [parent t j] is [P.j]; the root is its own parent. *)
+
+val children : t -> int -> int list
+val is_leaf : t -> int -> bool
+val is_root : t -> int -> bool
+
+val depth : t -> int -> int
+(** Edge distance from the root. *)
+
+val height : t -> int
+(** Maximum depth over all nodes; 0 for a single-node tree. *)
+
+val nodes : t -> int list
+(** [0; 1; ...; size-1]. *)
+
+val non_root_nodes : t -> int list
+
+(** {1 Builders} *)
+
+val chain : int -> t
+(** Path rooted at node 0: [0 <- 1 <- ... <- n-1].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val star : int -> t
+(** Node 0 is the root; all others are its children. *)
+
+val balanced : arity:int -> int -> t
+(** Complete [arity]-ary tree on [n] nodes (heap numbering: the parent of
+    [j > 0] is [(j - 1) / arity]).
+    @raise Invalid_argument if [arity <= 0 || n <= 0]. *)
+
+val random : Prng.t -> int -> t
+(** Uniform random recursive tree: the parent of node [j > 0] is drawn
+    uniformly from [0 .. j-1]. *)
+
+val to_digraph : t -> unit Dgraph.Digraph.t
+(** Parent-to-child edges; no self-loop at the root. *)
+
+val pp : Format.formatter -> t -> unit

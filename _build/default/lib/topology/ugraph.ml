@@ -1,0 +1,114 @@
+type t = { n : int; adj : int list array; m : int }
+
+let of_edges n edge_list =
+  if n <= 0 then invalid_arg "Ugraph.of_edges: need at least one node";
+  let adj = Array.make n [] in
+  let seen = Hashtbl.create (2 * List.length edge_list) in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Ugraph.of_edges: endpoint out of range";
+      if a = b then invalid_arg "Ugraph.of_edges: self-loop";
+      let key = (min a b, max a b) in
+      if Hashtbl.mem seen key then
+        invalid_arg "Ugraph.of_edges: duplicate edge";
+      Hashtbl.add seen key ();
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edge_list;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { n; adj; m = Hashtbl.length seen }
+
+let size g = g.n
+let edge_count g = g.m
+let neighbors g j = g.adj.(j)
+let degree g j = List.length g.adj.(j)
+
+let edges g =
+  let acc = ref [] in
+  for a = g.n - 1 downto 0 do
+    List.iter (fun b -> if a < b then acc := (a, b) :: !acc) g.adj.(a)
+  done;
+  !acc
+
+let distances_from g root =
+  let dist = Array.make g.n max_int in
+  let queue = Queue.create () in
+  dist.(root) <- 0;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      g.adj.(v)
+  done;
+  dist
+
+let is_connected g = Array.for_all (fun d -> d < max_int) (distances_from g 0)
+
+let eccentricity g j =
+  let dist = distances_from g j in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Ugraph.eccentricity: disconnected"
+      else max acc d)
+    0 dist
+
+let path n = of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Ugraph.cycle: need at least 3 nodes";
+  of_edges n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  of_edges n
+    (List.concat
+       (List.init n (fun a -> List.init a (fun b -> (b, a)))))
+
+let star n = of_edges n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Ugraph.grid";
+  let id r c = (r * width) + c in
+  let edges = ref [] in
+  for r = 0 to height - 1 do
+    for c = 0 to width - 1 do
+      if c + 1 < width then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < height then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  of_edges (width * height) !edges
+
+let random_connected rng n ~extra_edges =
+  if n <= 0 then invalid_arg "Ugraph.random_connected";
+  let seen = Hashtbl.create (2 * n) in
+  let edges = ref [] in
+  let add a b =
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (a, b) :: !edges
+    end
+  in
+  for j = 1 to n - 1 do
+    add (Prng.int rng j) j
+  done;
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra_edges && !attempts < 20 * (extra_edges + 1) do
+    incr attempts;
+    let a = Prng.int rng n and b = Prng.int rng n in
+    let before = Hashtbl.length seen in
+    add a b;
+    if Hashtbl.length seen > before then incr added
+  done;
+  of_edges n !edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>ugraph (%d nodes, %d edges)@," g.n g.m;
+  List.iter (fun (a, b) -> Format.fprintf ppf "  %d -- %d@," a b) (edges g);
+  Format.fprintf ppf "@]"

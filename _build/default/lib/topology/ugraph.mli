@@ -1,0 +1,48 @@
+(** Undirected graphs of processes.
+
+    Used by protocols whose communication structure is a general network —
+    the stabilizing BFS spanning tree runs on one of these. Nodes are
+    [0 .. size - 1]; edges are unordered pairs without self-loops or
+    duplicates. *)
+
+type t
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph on [n] nodes. Self-loops and duplicate
+    edges (in either orientation) are rejected.
+    @raise Invalid_argument on bad input. *)
+
+val size : t -> int
+val edge_count : t -> int
+val neighbors : t -> int -> int list
+(** Sorted ascending. *)
+
+val degree : t -> int -> int
+val edges : t -> (int * int) list
+(** Each edge once, with [fst < snd]. *)
+
+val is_connected : t -> bool
+
+val distances_from : t -> int -> int array
+(** BFS hop distances; unreachable nodes get [max_int]. *)
+
+val eccentricity : t -> int -> int
+(** Largest finite distance from the node.
+    @raise Invalid_argument if some node is unreachable. *)
+
+(** {1 Builders} *)
+
+val path : int -> t
+val cycle : int -> t
+val complete : int -> t
+val star : int -> t
+(** Center is node 0. *)
+
+val grid : width:int -> height:int -> t
+(** [width * height] nodes in row-major order, 4-neighbor connectivity. *)
+
+val random_connected : Prng.t -> int -> extra_edges:int -> t
+(** A uniform random recursive tree plus [extra_edges] additional random
+    edges (deduplicated), guaranteeing connectivity. *)
+
+val pp : Format.formatter -> t -> unit

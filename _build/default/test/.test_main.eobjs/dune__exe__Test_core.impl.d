@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring_contains Dgraph Explore Format Guarded List Nonmask

@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest Array Astring_contains Explore Format Guarded List Nonmask Protocols Topology

@@ -1,0 +1,1 @@
+test/test_dgraph.ml: Alcotest Array Dgraph Fun List Printf String

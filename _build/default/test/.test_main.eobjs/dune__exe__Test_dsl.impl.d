@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Array Astring_contains Explore Format Guarded List Nonmask Option Prng Protocols String Topology

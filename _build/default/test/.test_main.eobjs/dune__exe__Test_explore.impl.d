@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Dgraph Explore Guarded List

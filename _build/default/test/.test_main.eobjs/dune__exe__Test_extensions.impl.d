@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Explore Guarded List Printf Prng Protocols Sim Topology

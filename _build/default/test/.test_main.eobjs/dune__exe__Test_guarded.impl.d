@@ -1,0 +1,1 @@
+test/test_guarded.ml: Alcotest Array Guarded List Prng String

@@ -1,0 +1,1 @@
+test/test_method.ml: Alcotest Array Astring_contains Explore Format Fun Guarded List Nonmask Prng Protocols Sim Topology

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Dgraph Explore Format Guarded Hashtbl List Nonmask Prng Protocols QCheck QCheck_alcotest Sim Topology

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Astring_contains Dgraph Explore Format Fun Guarded List Nonmask Printf Prng Protocols Sim Topology

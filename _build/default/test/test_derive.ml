@@ -1,0 +1,198 @@
+(* Tests for the end-to-end design procedure. *)
+
+module Env = Guarded.Env
+module Domain = Guarded.Domain
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Program = Guarded.Program
+module Var = Guarded.Var
+module Space = Explore.Space
+module Derive = Nonmask.Derive
+module Cgraph = Nonmask.Cgraph
+module Constr = Nonmask.Constr
+module Certify = Nonmask.Certify
+
+let pair constr action = { Cgraph.constr; action }
+
+let test_design_picks_theorem1 () =
+  (* the Section-4 out-tree example, with inferred nodes *)
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let y = Env.fresh env "y" (Domain.range 0 4) in
+  let z = Env.fresh env "z" (Domain.range 0 3) in
+  let c_ne = Expr.(Constr.make ~name:"ne" (var x <> var y)) in
+  let c_le = Expr.(Constr.make ~name:"le" (var x <= var z)) in
+  let spec =
+    Nonmask.Spec.make ~name:"xyz"
+      ~program:(Program.make ~name:"xyz" env [])
+      ~invariant:(Constr.conj [ c_ne; c_le ])
+      ()
+  in
+  let layers =
+    [
+      [
+        pair c_ne
+          Expr.(Action.make ~name:"bump-y" ~guard:(var x = var y)
+                  [ (y, var y + int 1) ]);
+        pair c_le
+          Expr.(Action.make ~name:"raise-z" ~guard:(var x > var z)
+                  [ (z, var x) ]);
+      ];
+    ]
+  in
+  let space = Space.create env in
+  match Derive.design ~space ~spec layers with
+  | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
+  | Ok plan ->
+      Alcotest.(check string) "theorem 1 chosen" "Theorem 1"
+        plan.Derive.certificate.Certify.theorem;
+      Alcotest.(check bool) "valid" true (Certify.ok plan.Derive.certificate);
+      Alcotest.(check int) "two convergence actions added" 2
+        (Program.action_count plan.Derive.program)
+
+let test_design_picks_theorem2 () =
+  (* the Section-6 ordered example: both actions write x *)
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range (-1) 3) in
+  let y = Env.fresh env "y" (Domain.range 0 3) in
+  let z = Env.fresh env "z" (Domain.range 0 3) in
+  let c_ne = Expr.(Constr.make ~name:"ne" (var x <> var y)) in
+  let c_le = Expr.(Constr.make ~name:"le" (var x <= var z)) in
+  let spec =
+    Nonmask.Spec.make ~name:"xyz"
+      ~program:(Program.make ~name:"xyz" env [])
+      ~invariant:(Constr.conj [ c_ne; c_le ])
+      ()
+  in
+  let layers =
+    [
+      [
+        pair c_le
+          Expr.(Action.make ~name:"lower-x" ~guard:(var x > var z)
+                  [ (x, var z) ]);
+        pair c_ne
+          Expr.(Action.make ~name:"dec-x" ~guard:(var x = var y)
+                  [ (x, var x - int 1) ]);
+      ];
+    ]
+  in
+  let space = Space.create env in
+  match Derive.design ~space ~spec layers with
+  | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
+  | Ok plan ->
+      Alcotest.(check string) "theorem 2 chosen" "Theorem 2"
+        plan.Derive.certificate.Certify.theorem;
+      Alcotest.(check bool) "valid" true (Certify.ok plan.Derive.certificate)
+
+let test_design_token_ring_uses_modulo () =
+  (* the paper's two-layer token ring needs the modulo-invariant reading *)
+  let tr = Protocols.Token_ring.make ~nodes:3 ~k:4 in
+  let space = Space.create (Protocols.Token_ring.env tr) in
+  let layers =
+    List.map
+      (fun g -> Array.to_list (Cgraph.pairs g))
+      (Protocols.Token_ring.layers tr)
+  in
+  match
+    Derive.design ~space ~spec:(Protocols.Token_ring.spec tr) layers
+  with
+  | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
+  | Ok plan ->
+      Alcotest.(check bool) "valid" true (Certify.ok plan.Derive.certificate);
+      Alcotest.(check bool) "modulo reading was needed" true
+        (Astring_contains.contains plan.Derive.certificate.Certify.theorem
+           "modulo")
+
+let test_design_rejects_cyclic_single_layer () =
+  (* two constraints whose repair actions write each other's reads in a
+     2-cycle: no single-layer theorem applies *)
+  let env = Env.create () in
+  let a = Env.fresh env "a" (Domain.range 0 2) in
+  let b = Env.fresh env "b" (Domain.range 0 2) in
+  let c1 = Expr.(Constr.make ~name:"c1" (var a <= var b)) in
+  let c2 = Expr.(Constr.make ~name:"c2" (var b <= var a)) in
+  let spec =
+    Nonmask.Spec.make ~name:"cyc"
+      ~program:(Program.make ~name:"cyc" env [])
+      ~invariant:(Constr.conj [ c1; c2 ])
+      ()
+  in
+  let layers =
+    [
+      [
+        pair c1
+          Expr.(Action.make ~name:"fix1" ~guard:(var a > var b)
+                  [ (a, var b) ]);
+        pair c2
+          Expr.(Action.make ~name:"fix2" ~guard:(var b > var a)
+                  [ (b, var a) ]);
+      ];
+    ]
+  in
+  let space = Space.create env in
+  match Derive.design ~space ~spec layers with
+  | Error Derive.Cyclic_needs_layers -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Format.asprintf "%a" Derive.pp_error e)
+  | Ok _ -> Alcotest.fail "cyclic single layer must be rejected"
+
+let test_design_surfaces_graph_errors () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" (Domain.range 0 2) in
+  let c = Expr.(Constr.make ~name:"c" (var a = int 0)) in
+  let spec =
+    Nonmask.Spec.make ~name:"g"
+      ~program:(Program.make ~name:"g" env [])
+      ~invariant:(Constr.pred c) ()
+  in
+  (* an action with no writes cannot be placed in the graph *)
+  let layers =
+    [ [ pair c (Action.make ~name:"noop" ~guard:Expr.tt []) ] ]
+  in
+  let space = Space.create env in
+  match Derive.design ~space ~spec layers with
+  | Error (Derive.Graph_error (Cgraph.No_writes _)) -> ()
+  | _ -> Alcotest.fail "expected a graph error"
+
+let test_design_diffusing_end_to_end () =
+  (* rebuild the diffusing computation's design through the procedure and
+     confirm the augmented program converges *)
+  let d = Protocols.Diffusing.make (Topology.Tree.chain 3) in
+  let space = Space.create (Protocols.Diffusing.env d) in
+  let layers =
+    [ Array.to_list (Cgraph.pairs (Protocols.Diffusing.cgraph d)) ]
+  in
+  (* keep the protocol's own node partition: one node per process *)
+  let nodes =
+    Array.to_list (Cgraph.nodes (Protocols.Diffusing.cgraph d))
+    |> List.map (fun (n : Cgraph.node) -> (n.Cgraph.label, n.Cgraph.vars))
+  in
+  match Derive.design ~nodes ~space ~spec:(Protocols.Diffusing.spec d) layers with
+  | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
+  | Ok plan ->
+      Alcotest.(check string) "theorem 1" "Theorem 1"
+        plan.Derive.certificate.Certify.theorem;
+      Alcotest.(check bool) "valid" true (Certify.ok plan.Derive.certificate);
+      let tsys =
+        Explore.Tsys.build (Guarded.Compile.program plan.Derive.program) space
+      in
+      (match
+         Explore.Convergence.check_unfair tsys
+           ~from:(fun _ -> true)
+           ~target:(fun s -> Protocols.Diffusing.invariant d s)
+       with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "augmented program must converge")
+
+let suite =
+  [
+    Alcotest.test_case "design picks Theorem 1" `Quick test_design_picks_theorem1;
+    Alcotest.test_case "design picks Theorem 2" `Quick test_design_picks_theorem2;
+    Alcotest.test_case "design falls back to modulo-invariant Thm 3" `Quick
+      test_design_token_ring_uses_modulo;
+    Alcotest.test_case "design rejects cyclic single layer" `Quick
+      test_design_rejects_cyclic_single_layer;
+    Alcotest.test_case "design surfaces graph errors" `Quick
+      test_design_surfaces_graph_errors;
+    Alcotest.test_case "design end-to-end on diffusing" `Quick
+      test_design_diffusing_end_to_end;
+  ]

@@ -1,0 +1,353 @@
+(* Tests for the concrete syntax: lexing/parsing of expressions, actions,
+   declarations, whole programs — and the roundtrip law
+   [parse (print p) = p] over every protocol program in the library. *)
+
+module Env = Guarded.Env
+module Domain = Guarded.Domain
+module State = Guarded.State
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Program = Guarded.Program
+module Dsl = Guarded.Dsl
+module Var = Guarded.Var
+
+let mk_env () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range (-5) 5) in
+  let y = Env.fresh env "y" (Domain.range (-5) 5) in
+  (env, x, y)
+
+(* --- expressions --- *)
+
+let test_parse_num_basics () =
+  let env, x, y = mk_env () in
+  let check src expected =
+    let e = Dsl.parse_num_exn env src in
+    if not (Expr.equal_num e expected) then
+      Alcotest.failf "%s parsed as %s" src (Expr.num_to_string e)
+  in
+  check "42" (Expr.Const 42);
+  check "x" (Expr.Var x);
+  check "x + 1" Expr.(var x + int 1);
+  check "x + y * 2" Expr.(var x + (var y * int 2));
+  check "(x + y) * 2" Expr.((var x + var y) * int 2);
+  check "x - 1 - 2" Expr.(var x - int 1 - int 2);
+  check "x mod 3" Expr.(var x mod int 3);
+  check "x / 2" Expr.(var x / int 2);
+  check "min(x, y)" (Expr.min_ (Expr.var x) (Expr.var y));
+  check "max(x, 0)" (Expr.max_ (Expr.var x) (Expr.int 0));
+  check "-x" (Expr.neg (Expr.var x));
+  check "(-3)" (Expr.Const (-3));
+  check "(if x = y then 1 else 0)"
+    (Expr.ite Expr.(var x = var y) (Expr.int 1) (Expr.int 0))
+
+let test_parse_bexp_basics () =
+  let env, x, y = mk_env () in
+  let check src expected =
+    let b = Dsl.parse_bexp_exn env src in
+    if not (Expr.equal b expected) then
+      Alcotest.failf "%s parsed as %s" src (Expr.to_string b)
+  in
+  check "true" Expr.tt;
+  check "false" Expr.ff;
+  check "x = y" Expr.(var x = var y);
+  check "x <> y" Expr.(var x <> var y);
+  check "x <= y" Expr.(var x <= var y);
+  check "x = 1 /\\ y = 2" Expr.(var x = int 1 && var y = int 2);
+  check "x = 1 \\/ y = 2" Expr.(var x = int 1 || var y = int 2);
+  check "~x = 1" (Expr.not_ Expr.(var x = int 1));
+  check "x = 1 => y = 2" Expr.(var x = int 1 ==> (var y = int 2));
+  check "x = 1 <=> y = 2" Expr.(var x = int 1 <=> (var y = int 2));
+  (* precedence: /\ binds tighter than \/ *)
+  check "x = 1 /\\ y = 2 \\/ x = 3"
+    Expr.(var x = int 1 && var y = int 2 || var x = int 3);
+  (* parenthesized boolean *)
+  check "x = 1 /\\ (y = 2 \\/ x = 3)"
+    Expr.(var x = int 1 && (var y = int 2 || var x = int 3))
+
+let test_parse_action () =
+  let env, x, y = mk_env () in
+  let a = Dsl.parse_action_exn env "step: x < y -> x, y := x + 1, y - 1" in
+  Alcotest.(check string) "name" "step" (Action.name a);
+  Alcotest.(check bool) "guard" true
+    (Expr.equal (Action.guard a) Expr.(var x < var y));
+  Alcotest.(check int) "two assignments" 2 (List.length (Action.assigns a));
+  let skip = Dsl.parse_action_exn env "noop: x = 0 -> skip" in
+  Alcotest.(check int) "skip" 0 (List.length (Action.assigns skip));
+  let dashed = Dsl.parse_action_exn env "bump-y.2: true -> y := 0" in
+  Alcotest.(check string) "dashed name" "bump-y.2" (Action.name dashed)
+
+let test_parse_program () =
+  let src =
+    {|
+    program updown
+    var x : 0..3
+    var b : bool
+    var c : color{green,red}
+    begin
+      up: x < 3 /\ b = 1 -> x := x + 1
+      []
+      down: x > 0 -> x, b := x - 1, 0
+      []
+      paint: c = 0 -> c := 1
+    end
+    |}
+  in
+  let env, p = Dsl.parse_program_exn src in
+  Alcotest.(check string) "name" "updown" (Program.name p);
+  Alcotest.(check int) "three actions" 3 (Program.action_count p);
+  Alcotest.(check int) "three vars" 3 (Env.var_count env);
+  let x = Env.lookup_exn env "x" in
+  Alcotest.(check bool) "x domain" true
+    (Domain.equal (Var.domain x) (Domain.range 0 3));
+  let c = Env.lookup_exn env "c" in
+  Alcotest.(check bool) "enum domain" true
+    (Domain.equal (Var.domain c) (Domain.enum "color" [ "green"; "red" ]));
+  (* behave sanity: run a step *)
+  let s = State.make env in
+  State.set s (Env.lookup_exn env "b") 1;
+  let up = Option.get (Program.find_action p "up") in
+  Alcotest.(check bool) "up enabled" true (Action.enabled up s)
+
+let test_parse_comments_and_multi_decl () =
+  let src =
+    {|
+    program demo (* a (* nested *) comment *)
+    var a, b : 0..1;
+    begin
+      t: a = 0 -> a := 1
+    end
+    |}
+  in
+  let env, p = Dsl.parse_program_exn src in
+  Alcotest.(check int) "two vars" 2 (Env.var_count env);
+  Alcotest.(check int) "one action" 1 (Program.action_count p)
+
+let test_parse_empty_program () =
+  let _, p = Dsl.parse_program_exn "program nothing\nbegin\nend" in
+  Alcotest.(check int) "no actions" 0 (Program.action_count p)
+
+let test_parse_errors () =
+  let env, _, _ = mk_env () in
+  let expect_error src =
+    match Dsl.parse_bexp env src with
+    | Error _ -> ()
+    | Ok b -> Alcotest.failf "%s should not parse (got %s)" src (Expr.to_string b)
+  in
+  expect_error "x +";
+  expect_error "x = ";
+  expect_error "unknownvar = 1";
+  expect_error "x = 1 /\\";
+  expect_error "x = 1 extra";
+  (match Dsl.parse_program "program p var x : 5..2 begin end" with
+  | Error e -> Alcotest.(check bool) "line info" true (e.Dsl.line >= 1)
+  | Ok _ -> Alcotest.fail "empty range should be rejected");
+  match Dsl.parse_program "program p begin q: true -> skip [] q: true -> skip end" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate action names should be rejected"
+
+let test_error_position () =
+  match Dsl.parse_program "program p\nvar x : bool\nbegin\n  a: x @ 1 -> skip\nend" with
+  | Error e ->
+      Alcotest.(check int) "line" 4 e.Dsl.line;
+      Alcotest.(check bool) "message mentions char" true
+        (Astring_contains.contains e.Dsl.message "'@'")
+  | Ok _ -> Alcotest.fail "@ is not a token"
+
+(* --- the roundtrip law --- *)
+
+let var_signature env =
+  Array.to_list (Env.vars env)
+  |> List.map (fun v -> (Var.name v, Var.index v, Var.domain v))
+
+let action_equal a b =
+  String.equal (Action.name a) (Action.name b)
+  && Expr.equal (Action.guard a) (Action.guard b)
+  && List.length (Action.assigns a) = List.length (Action.assigns b)
+  && List.for_all2
+       (fun (v1, e1) (v2, e2) ->
+         String.equal (Var.name v1) (Var.name v2) && Expr.equal_num e1 e2)
+       (Action.assigns a) (Action.assigns b)
+
+let check_roundtrip p =
+  let printed = Program.to_string p in
+  match Dsl.parse_program printed with
+  | Error e ->
+      Alcotest.failf "program %s does not re-parse: %s@.--@.%s"
+        (Program.name p)
+        (Format.asprintf "%a" Dsl.pp_error e)
+        printed
+  | Ok (env', p') ->
+      if var_signature (Program.env p) <> var_signature env' then
+        Alcotest.failf "%s: variable signature changed" (Program.name p);
+      Alcotest.(check int)
+        (Program.name p ^ ": action count")
+        (Program.action_count p) (Program.action_count p');
+      Array.iter2
+        (fun a b ->
+          if not (action_equal a b) then
+            Alcotest.failf "%s: action %s changed:\n  %s\n  %s"
+              (Program.name p) (Action.name a) (Action.to_string a)
+              (Action.to_string b))
+        (Program.actions p) (Program.actions p')
+
+let test_roundtrip_protocols () =
+  let tree = Topology.Tree.balanced ~arity:2 5 in
+  let d = Protocols.Diffusing.make tree in
+  check_roundtrip (Protocols.Diffusing.combined d);
+  check_roundtrip (Protocols.Diffusing.separate d);
+  check_roundtrip (Nonmask.Spec.program (Protocols.Diffusing.spec d));
+  let tr = Protocols.Token_ring.make ~nodes:4 ~k:5 in
+  check_roundtrip (Protocols.Token_ring.combined tr);
+  check_roundtrip (Protocols.Token_ring.separate tr);
+  let dr = Protocols.Dijkstra_ring.make ~nodes:5 ~k:6 in
+  check_roundtrip (Protocols.Dijkstra_ring.program dr);
+  let a = Protocols.Atomic_action.make tree in
+  check_roundtrip (Protocols.Atomic_action.program a);
+  let la = Protocols.Diffusing_lowatomic.make tree in
+  check_roundtrip (Protocols.Diffusing_lowatomic.program la);
+  let nr = Protocols.Naive_ring.make ~nodes:4 in
+  check_roundtrip (Protocols.Naive_ring.program nr);
+  List.iter
+    (fun v -> check_roundtrip (Protocols.Xyz_demo.program (Protocols.Xyz_demo.make v)))
+    [ Protocols.Xyz_demo.Good_tree; Protocols.Xyz_demo.Good_ordered;
+      Protocols.Xyz_demo.Bad ]
+
+let test_roundtrip_tricky_expressions () =
+  let env, x, y = mk_env () in
+  let exprs =
+    Expr.
+      [
+        var x + var y * int 2;
+        (var x + var y) * int 2;
+        var x - (var y - int 1);
+        neg (var x + int 1);
+        Const (-4);
+        min_ (var x) (max_ (var y) (int 0));
+        ite (var x = var y) (var x mod int 2) (var y / int 2);
+      ]
+  in
+  List.iter
+    (fun e ->
+      let printed = Expr.num_to_string e in
+      let e' = Dsl.parse_num_exn env printed in
+      if not (Expr.equal_num e e') then
+        Alcotest.failf "roundtrip changed %s into %s" printed
+          (Expr.num_to_string e'))
+    exprs;
+  let bexps =
+    Expr.
+      [
+        var x = int 1 && var y = int 2 || var x = int 3;
+        (var x = int 1 || var y = int 2) && var x = int 3;
+        not_ (var x = int 1 && var y = int 2);
+        var x = int 1 ==> (var y = int 2 ==> (var x = int 0));
+        (var x = int 1 ==> (var y = int 2)) ==> (var x = int 0);
+        var x = int 1 <=> (var y = int 2);
+        tt && (ff || var x > int 0);
+      ]
+  in
+  List.iter
+    (fun b ->
+      let printed = Expr.to_string b in
+      let b' = Dsl.parse_bexp_exn env printed in
+      if not (Expr.equal b b') then
+        Alcotest.failf "roundtrip changed %s into %s" printed
+          (Expr.to_string b'))
+    bexps
+
+let test_roundtrip_random_expressions () =
+  (* Random ASTs through print-then-parse come back unchanged. *)
+  let env, x, y = mk_env () in
+  let rng = Prng.create 20260705 in
+  let rec random_num depth =
+    match if depth = 0 then 0 else 1 + Prng.int rng 8 with
+    | 0 ->
+        if Prng.bool rng then Expr.Const (Prng.int_in rng (-4) 4)
+        else Expr.Var (if Prng.bool rng then x else y)
+    | 1 -> Expr.Add (random_num (depth - 1), random_num (depth - 1))
+    | 2 -> Expr.Sub (random_num (depth - 1), random_num (depth - 1))
+    | 3 -> Expr.Mul (random_num (depth - 1), random_num (depth - 1))
+    | 4 -> Expr.Div (random_num (depth - 1), random_num (depth - 1))
+    | 5 -> Expr.Mod (random_num (depth - 1), random_num (depth - 1))
+    | 6 -> Expr.Min (random_num (depth - 1), random_num (depth - 1))
+    | 7 -> Expr.Neg (random_num (depth - 1))
+    | _ -> Expr.Ite (random_bexp (depth - 1), random_num (depth - 1), random_num (depth - 1))
+  and random_bexp depth =
+    match if depth = 0 then Prng.int rng 2 else Prng.int rng 7 with
+    | 0 -> Expr.True
+    | 1 -> Expr.False
+    | 2 -> Expr.And (random_bexp (depth - 1), random_bexp (depth - 1))
+    | 3 -> Expr.Or (random_bexp (depth - 1), random_bexp (depth - 1))
+    | 4 -> Expr.Not (random_bexp (depth - 1))
+    | 5 -> Expr.Implies (random_bexp (depth - 1), random_bexp (depth - 1))
+    | _ ->
+        let cmp =
+          match Prng.int rng 6 with
+          | 0 -> Expr.Eq
+          | 1 -> Expr.Ne
+          | 2 -> Expr.Lt
+          | 3 -> Expr.Le
+          | 4 -> Expr.Gt
+          | _ -> Expr.Ge
+        in
+        Expr.Cmp (cmp, random_num (depth - 1), random_num (depth - 1))
+  in
+  for _ = 1 to 300 do
+    let e = random_num 3 in
+    let e' = Dsl.parse_num_exn env (Expr.num_to_string e) in
+    if not (Expr.equal_num e e') then
+      Alcotest.failf "num roundtrip changed %s" (Expr.num_to_string e);
+    let b = random_bexp 3 in
+    let b' = Dsl.parse_bexp_exn env (Expr.to_string b) in
+    if not (Expr.equal b b') then
+      Alcotest.failf "bexp roundtrip changed %s" (Expr.to_string b)
+  done
+
+let test_parsed_program_runs () =
+  (* a parsed program is a first-class citizen: certify and simulate it *)
+  let src =
+    {|
+    program two-cell-agreement
+    var x : 0..2
+    var y : 0..2
+    begin
+      sync: ~x = y -> y := x
+    end
+    |}
+  in
+  let env, p = Dsl.parse_program_exn src in
+  let invariant = Dsl.parse_bexp_exn env "x = y" in
+  let space = Explore.Space.create env in
+  let tsys = Explore.Tsys.build (Guarded.Compile.program p) space in
+  match
+    Explore.Convergence.check_unfair tsys
+      ~from:(fun _ -> true)
+      ~target:(Guarded.Compile.pred invariant)
+  with
+  | Ok { worst_case_steps = Some 1; _ } -> ()
+  | Ok { worst_case_steps; _ } ->
+      Alcotest.failf "expected worst case 1, got %s"
+        (match worst_case_steps with Some w -> string_of_int w | None -> "-")
+  | Error _ -> Alcotest.fail "should converge"
+
+let suite =
+  [
+    Alcotest.test_case "parse numeric expressions" `Quick test_parse_num_basics;
+    Alcotest.test_case "parse boolean expressions" `Quick test_parse_bexp_basics;
+    Alcotest.test_case "parse actions" `Quick test_parse_action;
+    Alcotest.test_case "parse programs" `Quick test_parse_program;
+    Alcotest.test_case "comments and multi declarations" `Quick
+      test_parse_comments_and_multi_decl;
+    Alcotest.test_case "empty program" `Quick test_parse_empty_program;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "roundtrip: all protocol programs" `Quick
+      test_roundtrip_protocols;
+    Alcotest.test_case "roundtrip: tricky expressions" `Quick
+      test_roundtrip_tricky_expressions;
+    Alcotest.test_case "roundtrip: random expressions" `Quick
+      test_roundtrip_random_expressions;
+    Alcotest.test_case "parsed programs are runnable" `Quick
+      test_parsed_program_runs;
+  ]

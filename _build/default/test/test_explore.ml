@@ -1,0 +1,361 @@
+(* Tests for the model checker: bitsets, state spaces, transition systems,
+   closure and convergence checking. *)
+
+module Domain = Guarded.Domain
+module Env = Guarded.Env
+module State = Guarded.State
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Program = Guarded.Program
+module Compile = Guarded.Compile
+module Bitset = Explore.Bitset
+module Space = Explore.Space
+module Tsys = Explore.Tsys
+module Closure = Explore.Closure
+module Convergence = Explore.Convergence
+
+(* --- Bitset --- *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "empty" 0 (Bitset.cardinal b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 99;
+  Bitset.add b 99;
+  Alcotest.(check int) "card" 3 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem" true (Bitset.mem b 63);
+  Alcotest.(check bool) "not mem" false (Bitset.mem b 64);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check int) "card after remove" 2 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list ascending" [ 0; 99 ] (Bitset.to_list b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.(check bool) "oob" true
+    (try
+       ignore (Bitset.mem b 8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bitset_iteration () =
+  let b = Bitset.create 50 in
+  List.iter (Bitset.add b) [ 3; 17; 42 ];
+  let acc = ref [] in
+  Bitset.iter b (fun i -> acc := i :: !acc);
+  Alcotest.(check (list int)) "iter" [ 42; 17; 3 ] !acc;
+  Alcotest.(check bool) "for_all" true (Bitset.for_all_members b (fun i -> i >= 3));
+  Alcotest.(check bool) "for_all fails" false
+    (Bitset.for_all_members b (fun i -> i > 3))
+
+(* --- Space --- *)
+
+let mk_two_vars () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" (Domain.range 1 3) in
+  let b = Env.fresh env "b" Domain.bool in
+  (env, a, b)
+
+let test_space_size_and_roundtrip () =
+  let env, a, b = mk_two_vars () in
+  let space = Space.create env in
+  Alcotest.(check int) "3 * 2" 6 (Space.size space);
+  for id = 0 to 5 do
+    let s = Space.decode space id in
+    Alcotest.(check int) "roundtrip" id (Space.encode space s);
+    Alcotest.(check bool) "in domain" true (State.in_domain env s)
+  done;
+  (* distinct ids decode to distinct states *)
+  let s0 = Space.decode space 0 and s5 = Space.decode space 5 in
+  Alcotest.(check bool) "distinct" false (State.equal s0 s5);
+  ignore a;
+  ignore b
+
+let test_space_encode_rejects_corrupt () =
+  let env, a, _ = mk_two_vars () in
+  let space = Space.create env in
+  let s = State.make env in
+  State.set_corrupt s a 9;
+  Alcotest.(check bool) "rejects" true
+    (try
+       ignore (Space.encode space s);
+       false
+     with Invalid_argument _ -> true)
+
+let test_space_too_large () =
+  let env = Env.create () in
+  ignore (Env.fresh_family env "x" 10 (Domain.range 0 99));
+  Alcotest.(check bool) "raises Too_large" true
+    (try
+       ignore (Space.create env);
+       false
+     with Space.Too_large _ -> true)
+
+let test_space_iter_and_count () =
+  let env, a, b = mk_two_vars () in
+  let space = Space.create env in
+  let n = ref 0 in
+  Space.iter space (fun _ _ -> incr n);
+  Alcotest.(check int) "visits all" 6 !n;
+  let even = Space.count_satisfying space (fun s -> State.get s a = 2) in
+  Alcotest.(check int) "a=2 count" 2 even;
+  let ids = Space.satisfying space (fun s -> State.get s b = 1) in
+  Alcotest.(check int) "b=1 count" 3 (List.length ids)
+
+(* --- A tiny up/down counter fixture ---
+
+   x in 0..3; "up" increments below 3, "reset" jumps to 0 from 3.
+   Every state reaches x = 0 eventually, but the loop never stops. *)
+let counter () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let open Expr in
+  let up = Action.make ~name:"up" ~guard:(var x < int 3) [ (x, var x + int 1) ] in
+  let reset = Action.make ~name:"reset" ~guard:(var x = int 3) [ (x, int 0) ] in
+  let p = Program.make ~name:"counter" env [ up; reset ] in
+  (env, x, p)
+
+let test_tsys_build () =
+  let env, _, p = counter () in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  Alcotest.(check int) "states" 4 (Tsys.state_count tsys);
+  Alcotest.(check int) "one transition per state" 4 (Tsys.transition_count tsys);
+  (* successors of x=0 is x=1 via action 0 *)
+  Alcotest.(check (list (pair int int))) "succ of 0" [ (0, 1) ] (Tsys.succ tsys 0);
+  Alcotest.(check (list (pair int int))) "succ of 3 wraps" [ (1, 0) ]
+    (Tsys.succ tsys 3);
+  Alcotest.(check bool) "no terminal" false (Tsys.is_terminal tsys 2)
+
+let test_tsys_reachable () =
+  let env, _, p = counter () in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  let reach = Tsys.reachable tsys [ 2 ] in
+  Alcotest.(check int) "all reachable from 2" 4 (Bitset.cardinal reach)
+
+let test_tsys_region_graph () =
+  let env, _, p = counter () in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  (* region = states with x >= 2 -> nodes 2,3; edges 2->3 only (3->0 exits) *)
+  let g, node_to_state, state_to_node =
+    Tsys.region_graph_full tsys ~member:(fun id -> id >= 2)
+  in
+  Alcotest.(check int) "two nodes" 2 (Dgraph.Digraph.node_count g);
+  Alcotest.(check int) "one internal edge" 1 (Dgraph.Digraph.edge_count g);
+  Alcotest.(check int) "mapping" 2 node_to_state.(0);
+  Alcotest.(check int) "inverse" 0 (state_to_node 2);
+  Alcotest.(check int) "nonmember" (-1) (state_to_node 0)
+
+(* --- Closure --- *)
+
+let test_closure_holds () =
+  let env, x, p = counter () in
+  let space = Space.create env in
+  let cp = Compile.program p in
+  (* x <= 3 is closed (trivially); x <= 2 is not (up breaks it at 2). *)
+  (match Closure.program_closed space cp ~pred:(fun s -> State.get s x <= 3) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "x<=3 should be closed");
+  match Closure.program_closed space cp ~pred:(fun s -> State.get s x <= 2) with
+  | Ok () -> Alcotest.fail "x<=2 should not be closed"
+  | Error v ->
+      Alcotest.(check string) "violator" "up" (Action.name v.Closure.action);
+      Alcotest.(check int) "pre x" 2 (State.get v.Closure.pre x);
+      Alcotest.(check int) "post x" 3 (State.get v.Closure.post x)
+
+let test_closure_given_hypothesis () =
+  let env, x, p = counter () in
+  let space = Space.create env in
+  let cp = Compile.program p in
+  (* under hypothesis x <> 2, the predicate x <= 2 is preserved *)
+  match
+    Closure.program_closed
+      ~given:(fun s -> State.get s x <> 2)
+      space cp
+      ~pred:(fun s -> State.get s x <= 2)
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "hypothesis should exclude the violation"
+
+(* --- Convergence --- *)
+
+let test_convergence_converges () =
+  (* "down" only: from anywhere, reach x = 0 and stop. *)
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let down =
+    Expr.(Action.make ~name:"down" ~guard:(var x > int 0) [ (x, var x - int 1) ])
+  in
+  let p = Program.make ~name:"down" env [ down ] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  match
+    Convergence.check_unfair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> State.get s x = 0)
+  with
+  | Ok { region_states; worst_case_steps } ->
+      Alcotest.(check int) "region" 3 region_states;
+      Alcotest.(check (option int)) "worst steps" (Some 3) worst_case_steps
+  | Error _ -> Alcotest.fail "should converge"
+
+let test_convergence_deadlock () =
+  (* "down" but guard stops at 1: states ending at x=1 never reach 0. *)
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let down =
+    Expr.(Action.make ~name:"down" ~guard:(var x > int 1) [ (x, var x - int 1) ])
+  in
+  let p = Program.make ~name:"down" env [ down ] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  match
+    Convergence.check_unfair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> State.get s x = 0)
+  with
+  | Error (Convergence.Deadlock s) ->
+      Alcotest.(check int) "stuck at 1" 1 (State.get s x)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_convergence_livelock () =
+  let env, x, p = counter () in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  (* the counter loops forever; target x = 17 impossible, x=... any
+     unreachable predicate gives a livelock through the whole loop *)
+  match
+    Convergence.check_unfair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> State.get s x = 2 && false)
+  with
+  | Error (Convergence.Livelock states) ->
+      Alcotest.(check bool) "cycle non-empty" true (List.length states >= 2)
+  | _ -> Alcotest.fail "expected livelock"
+
+let test_convergence_from_restriction () =
+  (* two disconnected halves: y=0 stays, y=1 diverges; restricting `from`
+     to y=0 should ignore the bad half *)
+  let env = Env.create () in
+  let y = Env.fresh env "y" Domain.bool in
+  let x = Env.fresh env "x" (Domain.range 0 2) in
+  let down =
+    Expr.(
+      Action.make ~name:"down"
+        ~guard:(var y = int 0 && var x > int 0)
+        [ (x, var x - int 1) ])
+  in
+  let spin =
+    Expr.(
+      Action.make ~name:"spin"
+        ~guard:(var y = int 1 && var x > int 0)
+        [ (x, ite (var x = int 1) (int 2) (int 1)) ])
+  in
+  let p = Program.make ~name:"split" env [ down; spin ] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  let target s = State.get s x = 0 in
+  (match
+     Convergence.check_unfair tsys ~from:(fun s -> State.get s y = 0) ~target
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "good half should converge");
+  match Convergence.check_unfair tsys ~from:(fun _ -> true) ~target with
+  | Error (Convergence.Livelock _) -> ()
+  | _ -> Alcotest.fail "bad half should livelock"
+
+let test_convergence_fair_beats_unfair () =
+  (* x spins between 1 and 2 via "spin", but "exit" (always enabled while
+     x > 0) sends it to 0: unfair check sees a livelock, weak fairness
+     converges because exit is continuously enabled and leaves the SCC. *)
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 2) in
+  let spin =
+    Expr.(
+      Action.make ~name:"spin"
+        ~guard:(var x > int 0)
+        [ (x, ite (var x = int 1) (int 2) (int 1)) ])
+  in
+  let exit_a =
+    Expr.(Action.make ~name:"exit" ~guard:(var x > int 0) [ (x, int 0) ])
+  in
+  let p = Program.make ~name:"spin-exit" env [ spin; exit_a ] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  let target s = State.get s x = 0 in
+  (match Convergence.check_unfair tsys ~from:(fun _ -> true) ~target with
+  | Error (Convergence.Livelock _) -> ()
+  | _ -> Alcotest.fail "unfair should livelock");
+  match Convergence.check_fair tsys ~from:(fun _ -> true) ~target with
+  | Convergence.Converges { worst_case_steps = None; _ } -> ()
+  | Convergence.Converges _ -> Alcotest.fail "fair-only should have no bound"
+  | _ -> Alcotest.fail "fair check should converge"
+
+let test_convergence_fair_unknown () =
+  (* Two actions alternate and neither is continuously enabled across the
+     whole SCC with a uniform exit: the sound criterion gives Unknown. *)
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 2) in
+  let a = Expr.(Action.make ~name:"a" ~guard:(var x = int 1) [ (x, int 2) ]) in
+  let b = Expr.(Action.make ~name:"b" ~guard:(var x = int 2) [ (x, int 1) ]) in
+  let p = Program.make ~name:"ab" env [ a; b ] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  match
+    Convergence.check_fair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> State.get s x = 0)
+  with
+  | Convergence.Unknown _ -> ()
+  | Convergence.Converges _ -> Alcotest.fail "cannot converge"
+  | Convergence.Fails (Convergence.Deadlock _) ->
+      Alcotest.fail "no deadlock here (x=0 is target)"
+  | Convergence.Fails _ -> Alcotest.fail "livelock is genuinely fair here"
+
+let test_convergence_fair_deadlock_definitive () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 1) in
+  let p = Program.make ~name:"empty" env [] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  match
+    Convergence.check_fair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> State.get s x = 0)
+  with
+  | Convergence.Fails (Convergence.Deadlock s) ->
+      Alcotest.(check int) "stuck at 1" 1 (State.get s x)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let suite =
+  [
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "bitset iteration" `Quick test_bitset_iteration;
+    Alcotest.test_case "space size and roundtrip" `Quick
+      test_space_size_and_roundtrip;
+    Alcotest.test_case "space rejects corrupt" `Quick
+      test_space_encode_rejects_corrupt;
+    Alcotest.test_case "space too large" `Quick test_space_too_large;
+    Alcotest.test_case "space iter/count" `Quick test_space_iter_and_count;
+    Alcotest.test_case "tsys build" `Quick test_tsys_build;
+    Alcotest.test_case "tsys reachable" `Quick test_tsys_reachable;
+    Alcotest.test_case "tsys region graph" `Quick test_tsys_region_graph;
+    Alcotest.test_case "closure check" `Quick test_closure_holds;
+    Alcotest.test_case "closure with hypothesis" `Quick
+      test_closure_given_hypothesis;
+    Alcotest.test_case "convergence success" `Quick test_convergence_converges;
+    Alcotest.test_case "convergence deadlock" `Quick test_convergence_deadlock;
+    Alcotest.test_case "convergence livelock" `Quick test_convergence_livelock;
+    Alcotest.test_case "convergence from restriction" `Quick
+      test_convergence_from_restriction;
+    Alcotest.test_case "fair convergence beats unfair" `Quick
+      test_convergence_fair_beats_unfair;
+    Alcotest.test_case "fair criterion unknown" `Quick
+      test_convergence_fair_unknown;
+    Alcotest.test_case "fair deadlock definitive" `Quick
+      test_convergence_fair_deadlock_definitive;
+  ]

@@ -1,0 +1,260 @@
+(* Tests for the extension modules: undirected graphs, the stabilizing BFS
+   spanning tree, and the analytic expected-steps solver. *)
+
+module State = Guarded.State
+module Compile = Guarded.Compile
+module Ugraph = Topology.Ugraph
+module Space = Explore.Space
+module Tsys = Explore.Tsys
+module Convergence = Explore.Convergence
+module Expected = Explore.Expected
+module Spanning_tree = Protocols.Spanning_tree
+
+let sorted = List.sort compare
+
+(* --- Ugraph --- *)
+
+let test_ugraph_basics () =
+  let g = Ugraph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check int) "size" 4 (Ugraph.size g);
+  Alcotest.(check int) "edges" 3 (Ugraph.edge_count g);
+  Alcotest.(check (list int)) "neighbors of 1" [ 0; 2 ] (Ugraph.neighbors g 1);
+  Alcotest.(check int) "degree" 2 (Ugraph.degree g 2);
+  Alcotest.(check (list (pair int int))) "edges normalized"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (sorted (Ugraph.edges g))
+
+let test_ugraph_invalid () =
+  let rejects f =
+    Alcotest.(check bool) "rejected" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects (fun () -> Ugraph.of_edges 3 [ (0, 0) ]);
+  rejects (fun () -> Ugraph.of_edges 3 [ (0, 1); (1, 0) ]);
+  rejects (fun () -> Ugraph.of_edges 3 [ (0, 5) ]);
+  rejects (fun () -> Ugraph.cycle 2)
+
+let test_ugraph_connectivity_and_distance () =
+  let g = Ugraph.of_edges 4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "disconnected" false (Ugraph.is_connected g);
+  let dist = Ugraph.distances_from g 0 in
+  Alcotest.(check int) "dist to 1" 1 dist.(1);
+  Alcotest.(check bool) "unreachable" true (dist.(2) = max_int);
+  let p = Ugraph.path 5 in
+  Alcotest.(check bool) "path connected" true (Ugraph.is_connected p);
+  Alcotest.(check int) "path ecc from end" 4 (Ugraph.eccentricity p 0);
+  Alcotest.(check int) "path ecc from middle" 2 (Ugraph.eccentricity p 2)
+
+let test_ugraph_builders () =
+  Alcotest.(check int) "cycle edges" 5 (Ugraph.edge_count (Ugraph.cycle 5));
+  Alcotest.(check int) "complete edges" 10 (Ugraph.edge_count (Ugraph.complete 5));
+  Alcotest.(check int) "star edges" 4 (Ugraph.edge_count (Ugraph.star 5));
+  let g = Ugraph.grid ~width:3 ~height:2 in
+  Alcotest.(check int) "grid nodes" 6 (Ugraph.size g);
+  Alcotest.(check int) "grid edges" 7 (Ugraph.edge_count g);
+  Alcotest.(check (list int)) "grid corner neighbors" [ 1; 3 ]
+    (Ugraph.neighbors g 0)
+
+let test_ugraph_random_connected () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 20 do
+    let n = 2 + Prng.int rng 15 in
+    let g = Ugraph.random_connected rng n ~extra_edges:(Prng.int rng 5) in
+    Alcotest.(check bool) "connected" true (Ugraph.is_connected g);
+    Alcotest.(check bool) "enough edges" true (Ugraph.edge_count g >= n - 1)
+  done
+
+(* --- Spanning tree --- *)
+
+let small_graphs =
+  [
+    ("path-4", Ugraph.path 4);
+    ("cycle-4", Ugraph.cycle 4);
+    ("star-5", Ugraph.star 5);
+    ("complete-4", Ugraph.complete 4);
+  ]
+
+let test_spanning_tree_converges_exactly () =
+  List.iter
+    (fun (name, g) ->
+      let st = Spanning_tree.make ~root:0 g in
+      let space = Space.create (Spanning_tree.env st) in
+      let tsys = Tsys.build (Compile.program (Spanning_tree.program st)) space in
+      match
+        Convergence.check_unfair tsys
+          ~from:(fun _ -> true)
+          ~target:(fun s -> Spanning_tree.invariant st s)
+      with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.failf "%s: spanning tree must converge" name)
+    small_graphs
+
+let test_spanning_tree_bfs_state () =
+  let g = Ugraph.grid ~width:3 ~height:2 in
+  let st = Spanning_tree.make ~root:0 g in
+  let s = Spanning_tree.bfs_state st in
+  Alcotest.(check bool) "bfs state legitimate" true
+    (Spanning_tree.invariant st s);
+  Alcotest.(check int) "no violations" 0 (Spanning_tree.violated st s);
+  Alcotest.(check int) "dist of far corner" 3
+    (State.get s (Spanning_tree.distance st 5));
+  Alcotest.(check bool) "terminal once legitimate" true
+    (Guarded.Program.is_terminal (Spanning_tree.program st) s)
+
+let test_spanning_tree_edges_form_tree () =
+  let g = Ugraph.random_connected (Prng.create 11) 8 ~extra_edges:4 in
+  let st = Spanning_tree.make ~root:0 g in
+  let s = Spanning_tree.bfs_state st in
+  let edges = Spanning_tree.tree_edges st s in
+  Alcotest.(check int) "n-1 edges" 7 (List.length edges);
+  (* every non-root has exactly one parent, at distance one less *)
+  List.iter
+    (fun (p, c) ->
+      Alcotest.(check int) "parent one closer"
+        (State.get s (Spanning_tree.distance st c) - 1)
+        (State.get s (Spanning_tree.distance st p)))
+    edges;
+  Alcotest.(check bool) "root has no parent" true
+    (Spanning_tree.parent st s 0 = None)
+
+let test_spanning_tree_recovers_by_simulation () =
+  let g = Ugraph.random_connected (Prng.create 13) 12 ~extra_edges:6 in
+  let st = Spanning_tree.make ~root:0 g in
+  let cp = Compile.program (Spanning_tree.program st) in
+  let rng = Prng.create 17 in
+  let fault = Sim.Fault.scramble (Spanning_tree.env st) in
+  for _ = 1 to 30 do
+    let init = Spanning_tree.bfs_state st in
+    fault.Sim.Fault.inject rng init;
+    let o =
+      Sim.Runner.run
+        ~daemon:(Sim.Daemon.random rng)
+        ~init
+        ~stop:(fun s -> Spanning_tree.invariant st s)
+        cp
+    in
+    Alcotest.(check bool) "recovers" true (Sim.Runner.converged o)
+  done
+
+let test_spanning_tree_rejects_disconnected () =
+  let g = Ugraph.of_edges 4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Spanning_tree.make ~root:0 g);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Expected steps --- *)
+
+let countdown () =
+  let env = Guarded.Env.create () in
+  let x = Guarded.Env.fresh env "x" (Guarded.Domain.range 0 4) in
+  let down =
+    Guarded.Expr.(
+      Guarded.Action.make ~name:"down" ~guard:(var x > int 0)
+        [ (x, var x - int 1) ])
+  in
+  (env, x, Guarded.Program.make ~name:"cd" env [ down ])
+
+let test_expected_deterministic_chain () =
+  let env, x, p = countdown () in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  match Expected.steps tsys ~target:(fun s -> State.get s x = 0) with
+  | Error _ -> Alcotest.fail "chain reaches 0"
+  | Ok value ->
+      (* single enabled action: expected = exact = x *)
+      for id = 0 to 4 do
+        Alcotest.(check (float 1e-6)) "E = x" (float_of_int id) value.(id)
+      done
+
+let test_expected_coin_flip () =
+  (* from state 1, go to 0 (absorb) or 2 with equal probability; from 2 go
+     back to 1. E(1) = 1 + E(2)/2 and E(2) = 1 + E(1), so E(1) = 3 and
+     E(2) = 4. *)
+  let env = Guarded.Env.create () in
+  let x = Guarded.Env.fresh env "x" (Guarded.Domain.range 0 2) in
+  let down =
+    Guarded.Expr.(
+      Guarded.Action.make ~name:"down" ~guard:(var x > int 0)
+        [ (x, var x - int 1) ])
+  in
+  let up =
+    Guarded.Expr.(
+      Guarded.Action.make ~name:"up" ~guard:(var x = int 1) [ (x, int 2) ])
+  in
+  let p = Guarded.Program.make ~name:"flip" env [ down; up ] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  match Expected.steps tsys ~target:(fun s -> State.get s x = 0) with
+  | Error _ -> Alcotest.fail "reaches 0"
+  | Ok value ->
+      Alcotest.(check (float 1e-6)) "E(1)" 3.0 value.(1);
+      Alcotest.(check (float 1e-6)) "E(2)" 4.0 value.(2)
+
+let test_expected_unreachable () =
+  let env = Guarded.Env.create () in
+  let x = Guarded.Env.fresh env "x" (Guarded.Domain.range 0 1) in
+  let p = Guarded.Program.make ~name:"stuck" env [] in
+  let space = Space.create env in
+  let tsys = Tsys.build (Compile.program p) space in
+  match Expected.steps tsys ~target:(fun s -> State.get s x = 0) with
+  | Error (Expected.Unreachable s) ->
+      Alcotest.(check int) "stuck state" 1 (State.get s x)
+  | _ -> Alcotest.fail "x=1 cannot reach x=0"
+
+let test_expected_matches_simulation () =
+  let dr = Protocols.Dijkstra_ring.make ~nodes:3 ~k:4 in
+  let space = Space.create (Protocols.Dijkstra_ring.env dr) in
+  let cp = Compile.program (Protocols.Dijkstra_ring.program dr) in
+  let tsys = Tsys.build cp space in
+  let target s = Protocols.Dijkstra_ring.invariant dr s in
+  match Expected.mean_from tsys ~from:(fun _ -> true) ~target with
+  | Error _ -> Alcotest.fail "analytic should succeed"
+  | Ok analytic ->
+      let rng = Prng.create 23 in
+      let trials = 20_000 in
+      let total = ref 0 in
+      for _ = 1 to trials do
+        let s = Space.decode space (Prng.int rng (Space.size space)) in
+        let o =
+          Sim.Runner.run ~daemon:(Sim.Daemon.random rng) ~init:s ~stop:target
+            cp
+        in
+        total := !total + o.Sim.Runner.steps
+      done;
+      let simulated = float_of_int !total /. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "analytic %.3f ~ simulated %.3f" analytic simulated)
+        true
+        (abs_float (analytic -. simulated) < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "ugraph basics" `Quick test_ugraph_basics;
+    Alcotest.test_case "ugraph invalid inputs" `Quick test_ugraph_invalid;
+    Alcotest.test_case "ugraph connectivity/distances" `Quick
+      test_ugraph_connectivity_and_distance;
+    Alcotest.test_case "ugraph builders" `Quick test_ugraph_builders;
+    Alcotest.test_case "ugraph random connected" `Quick
+      test_ugraph_random_connected;
+    Alcotest.test_case "spanning tree converges exactly" `Slow
+      test_spanning_tree_converges_exactly;
+    Alcotest.test_case "spanning tree bfs state" `Quick
+      test_spanning_tree_bfs_state;
+    Alcotest.test_case "spanning tree edges form a tree" `Quick
+      test_spanning_tree_edges_form_tree;
+    Alcotest.test_case "spanning tree recovers (simulation)" `Quick
+      test_spanning_tree_recovers_by_simulation;
+    Alcotest.test_case "spanning tree rejects disconnected" `Quick
+      test_spanning_tree_rejects_disconnected;
+    Alcotest.test_case "expected: deterministic chain" `Quick
+      test_expected_deterministic_chain;
+    Alcotest.test_case "expected: coin flip" `Quick test_expected_coin_flip;
+    Alcotest.test_case "expected: unreachable" `Quick test_expected_unreachable;
+    Alcotest.test_case "expected matches simulation" `Quick
+      test_expected_matches_simulation;
+  ]

@@ -1,0 +1,469 @@
+(* Tests for the guarded-command substrate: domains, environments, states,
+   expressions, actions, programs, and the compiler. *)
+
+module Domain = Guarded.Domain
+module Env = Guarded.Env
+module Var = Guarded.Var
+module State = Guarded.State
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Program = Guarded.Program
+module Compile = Guarded.Compile
+
+(* --- Domains --- *)
+
+let test_domain_sizes () =
+  Alcotest.(check int) "bool" 2 (Domain.size Domain.bool);
+  Alcotest.(check int) "range" 5 (Domain.size (Domain.range (-2) 2));
+  Alcotest.(check int) "enum" 3
+    (Domain.size (Domain.enum "color" [ "r"; "g"; "b" ]))
+
+let test_domain_mem () =
+  let d = Domain.range 1 4 in
+  Alcotest.(check bool) "lo" true (Domain.mem d 1);
+  Alcotest.(check bool) "hi" true (Domain.mem d 4);
+  Alcotest.(check bool) "below" false (Domain.mem d 0);
+  Alcotest.(check bool) "above" false (Domain.mem d 5);
+  Alcotest.(check bool) "bool 2" false (Domain.mem Domain.bool 2)
+
+let test_domain_values () =
+  Alcotest.(check (list int)) "range values" [ 2; 3; 4 ]
+    (Domain.values (Domain.range 2 4));
+  Alcotest.(check (list int)) "enum values" [ 0; 1 ]
+    (Domain.values (Domain.enum "e" [ "a"; "b" ]))
+
+let test_domain_print () =
+  let d = Domain.enum "color" [ "green"; "red" ] in
+  Alcotest.(check string) "label" "red" (Domain.value_to_string d 1);
+  Alcotest.(check string) "corrupt" "<9!>" (Domain.value_to_string d 9);
+  Alcotest.(check string) "bool" "true" (Domain.value_to_string Domain.bool 1)
+
+let test_domain_invalid () =
+  Alcotest.check_raises "range" (Invalid_argument "Domain.range: hi < lo")
+    (fun () -> ignore (Domain.range 3 2));
+  Alcotest.check_raises "enum" (Invalid_argument "Domain.enum: no labels")
+    (fun () -> ignore (Domain.enum "e" []))
+
+(* --- Env and State --- *)
+
+let test_env_fresh () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" Domain.bool in
+  let b = Env.fresh env "b" (Domain.range 0 3) in
+  Alcotest.(check int) "indices dense" 0 (Var.index a);
+  Alcotest.(check int) "indices dense" 1 (Var.index b);
+  Alcotest.(check int) "count" 2 (Env.var_count env);
+  Alcotest.(check bool) "lookup" true (Env.lookup env "a" = Some a);
+  Alcotest.(check bool) "lookup none" true (Env.lookup env "zz" = None)
+
+let test_env_duplicate () =
+  let env = Env.create () in
+  ignore (Env.fresh env "a" Domain.bool);
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Env.fresh: duplicate variable \"a\"") (fun () ->
+      ignore (Env.fresh env "a" Domain.bool))
+
+let test_env_family () =
+  let env = Env.create () in
+  let xs = Env.fresh_family env "x" 3 (Domain.range 0 1) in
+  Alcotest.(check int) "three" 3 (Array.length xs);
+  Alcotest.(check string) "names" "x.1" (Var.name xs.(1));
+  Alcotest.(check bool) "var_at" true (Var.equal (Env.var_at env 2) xs.(2))
+
+let test_env_space_size () =
+  let env = Env.create () in
+  ignore (Env.fresh_family env "x" 3 (Domain.range 0 4));
+  Alcotest.(check (float 0.001)) "5^3" 125.0 (Env.state_space_size env)
+
+let test_state_get_set () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" (Domain.range 0 9) in
+  let s = State.make env in
+  Alcotest.(check int) "initial is first of domain" 0 (State.get s a);
+  State.set s a 7;
+  Alcotest.(check int) "after set" 7 (State.get s a)
+
+let test_state_domain_violation () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" (Domain.range 0 2) in
+  let s = State.make env in
+  (try
+     State.set s a 5;
+     Alcotest.fail "expected Domain_violation"
+   with State.Domain_violation (v, x) ->
+     Alcotest.(check string) "var" "a" (Var.name v);
+     Alcotest.(check int) "value" 5 x);
+  State.set_corrupt s a 5;
+  Alcotest.(check int) "corrupt write bypasses check" 5 (State.get s a);
+  Alcotest.(check bool) "in_domain false" false (State.in_domain env s)
+
+let test_state_copy_equal () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" (Domain.range 0 9) in
+  let b = Env.fresh env "b" (Domain.range 0 9) in
+  let s = State.of_list env [ (a, 3); (b, 4) ] in
+  let s' = State.copy s in
+  Alcotest.(check bool) "equal copies" true (State.equal s s');
+  State.set s' b 5;
+  Alcotest.(check bool) "diverge" false (State.equal s s');
+  Alcotest.(check int) "original untouched" 4 (State.get s b)
+
+let test_state_init_nonfirst_domain () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" (Domain.range 5 8) in
+  let s = State.make env in
+  Alcotest.(check int) "first of 5..8" 5 (State.get s a)
+
+let test_state_pp () =
+  let env = Env.create () in
+  let a = Env.fresh env "a" Domain.bool in
+  let c = Env.fresh env "c" (Domain.enum "color" [ "green"; "red" ]) in
+  let s = State.of_list env [ (a, 1); (c, 0) ] in
+  Alcotest.(check string) "render" "{a=true, c=green}" (State.to_string env s)
+
+(* --- Expressions --- *)
+
+let with_xyz () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range (-10) 10) in
+  let y = Env.fresh env "y" (Domain.range (-10) 10) in
+  let z = Env.fresh env "z" (Domain.range (-10) 10) in
+  (env, x, y, z)
+
+let test_expr_eval_arith () =
+  let env, x, y, _ = with_xyz () in
+  let s = State.of_list env [ (x, 6); (y, 4) ] in
+  let open Expr in
+  Alcotest.(check int) "add" 10 (eval_num s (var x + var y));
+  Alcotest.(check int) "sub" 2 (eval_num s (var x - var y));
+  Alcotest.(check int) "mul" 24 (eval_num s (var x * var y));
+  Alcotest.(check int) "div" 1 (eval_num s (var x / var y));
+  Alcotest.(check int) "mod" 2 (eval_num s (var x mod var y));
+  Alcotest.(check int) "min" 4 (eval_num s (min_ (var x) (var y)));
+  Alcotest.(check int) "max" 6 (eval_num s (max_ (var x) (var y)));
+  Alcotest.(check int) "neg" (-6) (eval_num s (neg (var x)));
+  Alcotest.(check int) "ite" 6
+    (eval_num s (ite (var x > var y) (var x) (var y)))
+
+let test_expr_eval_bool () =
+  let env, x, y, _ = with_xyz () in
+  let s = State.of_list env [ (x, 2); (y, 2) ] in
+  let open Expr in
+  Alcotest.(check bool) "eq" true (eval s (var x = var y));
+  Alcotest.(check bool) "ne" false (eval s (var x <> var y));
+  Alcotest.(check bool) "le" true (eval s (var x <= var y));
+  Alcotest.(check bool) "lt" false (eval s (var x < var y));
+  Alcotest.(check bool) "and" true (eval s (tt && var x = var y));
+  Alcotest.(check bool) "or" true (eval s (ff || tt));
+  Alcotest.(check bool) "implies false antecedent" true (eval s (ff ==> ff));
+  Alcotest.(check bool) "implies" false (eval s (tt ==> ff));
+  Alcotest.(check bool) "iff" true (eval s (ff <=> ff));
+  Alcotest.(check bool) "not" false (eval s (not_ tt))
+
+let test_expr_quantifiers () =
+  let env = Env.create () in
+  let xs = Env.fresh_family env "x" 4 (Domain.range 0 9) in
+  let s = State.of_list env (List.init 4 (fun i -> (xs.(i), i))) in
+  let open Expr in
+  Alcotest.(check bool) "forall" true
+    (eval s (forall [ 0; 1; 2; 3 ] (fun i -> var xs.(i) <= int 3)));
+  Alcotest.(check bool) "forall fails" false
+    (eval s (forall [ 0; 1; 2; 3 ] (fun i -> var xs.(i) <= int 2)));
+  Alcotest.(check bool) "exists" true
+    (eval s (exists [ 0; 1; 2; 3 ] (fun i -> var xs.(i) = int 3)));
+  Alcotest.(check bool) "empty forall is true" true (eval s (forall [] (fun _ -> ff)));
+  Alcotest.(check bool) "empty exists is false" false
+    (eval s (exists [] (fun _ -> tt)))
+
+let test_expr_reads () =
+  let _, x, y, z = with_xyz () in
+  let open Expr in
+  let e = ite (var x > int 0) (var y) (int 3) in
+  let names set =
+    Var.Set.elements set |> List.map Var.name |> List.sort compare
+  in
+  Alcotest.(check (list string)) "num reads" [ "x"; "y" ] (names (reads_num e));
+  let b = var x = var z && not_ (var y < int 2) in
+  Alcotest.(check (list string)) "bool reads" [ "x"; "y"; "z" ] (names (reads b))
+
+let test_expr_simplify () =
+  let _, x, _, _ = with_xyz () in
+  let open Expr in
+  Alcotest.(check bool) "const fold" true
+    (equal_num (simplify_num (int 2 + int 3)) (int 5));
+  Alcotest.(check bool) "x+0" true (equal_num (simplify_num (var x + int 0)) (var x));
+  Alcotest.(check bool) "x*1" true (equal_num (simplify_num (var x * int 1)) (var x));
+  Alcotest.(check bool) "x*0" true (equal_num (simplify_num (var x * int 0)) (int 0));
+  Alcotest.(check bool) "true && p" true
+    (equal (simplify (tt && var x = int 1)) (var x = int 1));
+  Alcotest.(check bool) "p || true" true (equal (simplify (var x = int 1 || tt)) tt);
+  Alcotest.(check bool) "1 < 2" true (equal (simplify (int 1 < int 2)) tt);
+  Alcotest.(check bool) "double neg" true
+    (equal (simplify (not_ (not_ (var x = int 1)))) (var x = int 1))
+
+let test_expr_subst () =
+  let _, x, y, _ = with_xyz () in
+  let open Expr in
+  let e = var x + var y in
+  let e' = subst_num (fun v -> if Var.equal v x then Some (int 5) else None) e in
+  Alcotest.(check bool) "substituted" true (equal_num e' (int 5 + var y))
+
+let test_expr_pp_roundtrip_shape () =
+  let _, x, y, z = with_xyz () in
+  let open Expr in
+  Alcotest.(check string) "precedence" "x + y * z"
+    (num_to_string (var x + (var y * var z)));
+  Alcotest.(check string) "parens" "(x + y) * z"
+    (num_to_string ((var x + var y) * var z));
+  Alcotest.(check string) "cmp" "x <= z" (to_string (var x <= var z));
+  Alcotest.(check string) "and-or" "x = 1 /\\ y = 2 \\/ z = 3"
+    (to_string (var x = int 1 && var y = int 2 || var z = int 3))
+
+(* --- Actions and programs --- *)
+
+let mk_incr x =
+  let open Expr in
+  Action.make ~name:"incr" ~guard:(var x < int 3) [ (x, var x + int 1) ]
+
+let test_action_enabled_execute () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let a = mk_incr x in
+  let s = State.of_list env [ (x, 2) ] in
+  Alcotest.(check bool) "enabled" true (Action.enabled a s);
+  let s' = Action.execute a s in
+  Alcotest.(check int) "post" 3 (State.get s' x);
+  Alcotest.(check int) "pre untouched" 2 (State.get s x);
+  Alcotest.(check bool) "disabled at 3" false (Action.enabled a s')
+
+let test_action_simultaneous () =
+  (* swap uses the pre-state for every right-hand side *)
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 9) in
+  let y = Env.fresh env "y" (Domain.range 0 9) in
+  let open Expr in
+  let swap = Action.make ~name:"swap" ~guard:tt [ (x, var y); (y, var x) ] in
+  let s = State.of_list env [ (x, 1); (y, 2) ] in
+  let s' = Action.execute swap s in
+  Alcotest.(check int) "x" 2 (State.get s' x);
+  Alcotest.(check int) "y" 1 (State.get s' y)
+
+let test_action_duplicate_target () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 9) in
+  let open Expr in
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Action.make \"bad\": duplicate assignment to x")
+    (fun () ->
+      ignore (Action.make ~name:"bad" ~guard:tt [ (x, int 1); (x, int 2) ]))
+
+let test_action_reads_writes () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 9) in
+  let y = Env.fresh env "y" (Domain.range 0 9) in
+  let z = Env.fresh env "z" (Domain.range 0 9) in
+  let open Expr in
+  let a = Action.make ~name:"a" ~guard:(var x > int 0) [ (y, var z) ] in
+  let names set = Var.Set.elements set |> List.map Var.name in
+  Alcotest.(check (list string)) "reads" [ "x"; "z" ] (names (Action.reads a));
+  Alcotest.(check (list string)) "writes" [ "y" ] (names (Action.writes a))
+
+let test_action_interferes () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 9) in
+  let y = Env.fresh env "y" (Domain.range 0 9) in
+  let z = Env.fresh env "z" (Domain.range 0 9) in
+  let open Expr in
+  let a = Action.make ~name:"a" ~guard:tt [ (x, int 1) ] in
+  let b = Action.make ~name:"b" ~guard:(var x > int 0) [ (y, int 1) ] in
+  let c = Action.make ~name:"c" ~guard:tt [ (z, int 1) ] in
+  Alcotest.(check bool) "write-read conflict" true (Action.interferes a b);
+  Alcotest.(check bool) "disjoint" false (Action.interferes a c)
+
+let test_action_domain_escape () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let open Expr in
+  let bad = Action.make ~name:"bad" ~guard:tt [ (x, var x + int 1) ] in
+  let s = State.of_list env [ (x, 3) ] in
+  Alcotest.(check bool) "raises"
+    true
+    (try
+       ignore (Action.execute bad s);
+       false
+     with State.Domain_violation _ -> true)
+
+let test_program_make_and_enabled () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let up =
+    Expr.(Action.make ~name:"up" ~guard:(var x < int 3) [ (x, var x + int 1) ])
+  in
+  let down =
+    Expr.(Action.make ~name:"down" ~guard:(var x > int 0) [ (x, var x - int 1) ])
+  in
+  let p = Program.make ~name:"updown" env [ up; down ] in
+  let s = State.of_list env [ (x, 0) ] in
+  Alcotest.(check int) "one enabled" 1 (List.length (Program.enabled p s));
+  Alcotest.(check (list int)) "indices" [ 0 ] (Program.enabled_indices p s);
+  Alcotest.(check bool) "not terminal" false (Program.is_terminal p s);
+  Alcotest.(check bool) "find" true (Program.find_action p "up" <> None);
+  Alcotest.(check bool) "find missing" true (Program.find_action p "zz" = None)
+
+let test_program_duplicate_action () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let open Expr in
+  let a = Action.make ~name:"a" ~guard:tt [ (x, int 1) ] in
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Program.make: duplicate action \"a\"") (fun () ->
+      ignore (Program.make ~name:"p" env [ a; a ]))
+
+let test_program_foreign_variable () =
+  let env1 = Env.create () in
+  let env2 = Env.create () in
+  let x = Env.fresh env1 "x" (Domain.range 0 3) in
+  ignore (Env.fresh env2 "y" Domain.bool);
+  let open Expr in
+  let a = Action.make ~name:"a" ~guard:tt [ (x, int 1) ] in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Program.make ~name:"p" env2 [ a ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_program_terminal () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let open Expr in
+  let a = Action.make ~name:"a" ~guard:(var x < int 0) [ (x, int 0) ] in
+  let p = Program.make ~name:"p" env [ a ] in
+  Alcotest.(check bool) "terminal" true (Program.is_terminal p (State.make env))
+
+let test_program_restrict_add () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let a = Expr.(Action.make ~name:"a" ~guard:tt [ (x, int 1) ]) in
+  let b = Expr.(Action.make ~name:"b" ~guard:tt [ (x, int 2) ]) in
+  let p = Program.make ~name:"p" env [ a ] in
+  let p2 = Program.add_actions p [ b ] in
+  Alcotest.(check int) "added" 2 (Program.action_count p2);
+  let p3 = Program.restrict p2 (fun act -> String.equal (Action.name act) "b") in
+  Alcotest.(check int) "restricted" 1 (Program.action_count p3)
+
+(* --- Compile --- *)
+
+let test_compile_agrees_with_interpreter () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range (-4) 4) in
+  let y = Env.fresh env "y" (Domain.range (-4) 4) in
+  let open Expr in
+  let exprs =
+    [
+      var x + var y * int 2;
+      max_ (var x) (neg (var y));
+      ite (var x >= var y) (var x - var y) (var y - var x);
+    ]
+  in
+  let preds =
+    [
+      var x = var y;
+      var x < var y && not_ (var y = int 0);
+      (var x > int 0) ==> (var y > int 0);
+    ]
+  in
+  let rng = Prng.create 5 in
+  for _ = 1 to 200 do
+    let s =
+      State.of_list env
+        [ (x, Prng.int_in rng (-4) 4); (y, Prng.int_in rng (-4) 4) ]
+    in
+    List.iter
+      (fun e ->
+        Alcotest.(check int) "num agree" (eval_num s e) (Compile.num e s))
+      exprs;
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "pred agree" (eval s p) (Compile.pred p s))
+      preds
+  done
+
+let test_compile_action_agrees () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 5) in
+  let y = Env.fresh env "y" (Domain.range 0 5) in
+  let open Expr in
+  let a =
+    Action.make ~name:"a"
+      ~guard:(var x < var y)
+      [ (x, var x + int 1); (y, var y - int 1) ]
+  in
+  let ca = Compile.action ~index:0 a in
+  let rng = Prng.create 8 in
+  for _ = 1 to 100 do
+    let s =
+      State.of_list env [ (x, Prng.int rng 6); (y, Prng.int rng 6) ]
+    in
+    Alcotest.(check bool) "enabled agree" (Action.enabled a s) (ca.Compile.enabled s);
+    if Action.enabled a s then begin
+      let via_interp = Action.execute a s in
+      let via_compiled = ca.Compile.apply s in
+      Alcotest.(check bool) "post agree" true (State.equal via_interp via_compiled);
+      let dst = State.make env in
+      ca.Compile.apply_into s dst;
+      Alcotest.(check bool) "apply_into agree" true (State.equal via_interp dst)
+    end
+  done
+
+let test_compile_program_enabled_indices () =
+  let env = Env.create () in
+  let x = Env.fresh env "x" (Domain.range 0 3) in
+  let open Expr in
+  let up = Action.make ~name:"up" ~guard:(var x < int 3) [ (x, var x + int 1) ] in
+  let down = Action.make ~name:"down" ~guard:(var x > int 0) [ (x, var x - int 1) ] in
+  let p = Program.make ~name:"p" env [ up; down ] in
+  let cp = Compile.program p in
+  let s = State.of_list env [ (x, 1) ] in
+  Alcotest.(check (list int)) "both" [ 0; 1 ] (Compile.enabled_indices cp s);
+  Alcotest.(check bool) "any" true (Compile.any_enabled cp s)
+
+let suite =
+  [
+    Alcotest.test_case "domain sizes" `Quick test_domain_sizes;
+    Alcotest.test_case "domain mem" `Quick test_domain_mem;
+    Alcotest.test_case "domain values" `Quick test_domain_values;
+    Alcotest.test_case "domain printing" `Quick test_domain_print;
+    Alcotest.test_case "domain invalid" `Quick test_domain_invalid;
+    Alcotest.test_case "env fresh/lookup" `Quick test_env_fresh;
+    Alcotest.test_case "env duplicate" `Quick test_env_duplicate;
+    Alcotest.test_case "env family" `Quick test_env_family;
+    Alcotest.test_case "env space size" `Quick test_env_space_size;
+    Alcotest.test_case "state get/set" `Quick test_state_get_set;
+    Alcotest.test_case "state domain violation" `Quick test_state_domain_violation;
+    Alcotest.test_case "state copy/equal" `Quick test_state_copy_equal;
+    Alcotest.test_case "state nonzero domain base" `Quick test_state_init_nonfirst_domain;
+    Alcotest.test_case "state printing" `Quick test_state_pp;
+    Alcotest.test_case "expr arithmetic" `Quick test_expr_eval_arith;
+    Alcotest.test_case "expr booleans" `Quick test_expr_eval_bool;
+    Alcotest.test_case "expr quantifiers" `Quick test_expr_quantifiers;
+    Alcotest.test_case "expr read sets" `Quick test_expr_reads;
+    Alcotest.test_case "expr simplify" `Quick test_expr_simplify;
+    Alcotest.test_case "expr substitution" `Quick test_expr_subst;
+    Alcotest.test_case "expr printing" `Quick test_expr_pp_roundtrip_shape;
+    Alcotest.test_case "action enabled/execute" `Quick test_action_enabled_execute;
+    Alcotest.test_case "action simultaneous assignment" `Quick test_action_simultaneous;
+    Alcotest.test_case "action duplicate target" `Quick test_action_duplicate_target;
+    Alcotest.test_case "action read/write sets" `Quick test_action_reads_writes;
+    Alcotest.test_case "action interference" `Quick test_action_interferes;
+    Alcotest.test_case "action domain escape" `Quick test_action_domain_escape;
+    Alcotest.test_case "program make/enabled" `Quick test_program_make_and_enabled;
+    Alcotest.test_case "program duplicate action" `Quick test_program_duplicate_action;
+    Alcotest.test_case "program foreign variable" `Quick test_program_foreign_variable;
+    Alcotest.test_case "program terminal" `Quick test_program_terminal;
+    Alcotest.test_case "program restrict/add" `Quick test_program_restrict_add;
+    Alcotest.test_case "compile agrees with interpreter" `Quick
+      test_compile_agrees_with_interpreter;
+    Alcotest.test_case "compiled actions agree" `Quick test_compile_action_agrees;
+    Alcotest.test_case "compiled program enabled" `Quick
+      test_compile_program_enabled_indices;
+  ]

@@ -1,0 +1,19 @@
+(* Test runner: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "nonmask"
+    [
+      ("prng", Test_prng.suite);
+      ("guarded", Test_guarded.suite);
+      ("dsl", Test_dsl.suite);
+      ("dgraph", Test_dgraph.suite);
+      ("topology", Test_topology.suite);
+      ("explore", Test_explore.suite);
+      ("sim", Test_sim.suite);
+      ("core", Test_core.suite);
+      ("protocols", Test_protocols.suite);
+      ("extensions", Test_extensions.suite);
+      ("method", Test_method.suite);
+      ("derive", Test_derive.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,293 @@
+(* Tests for the methodology extensions: convergence stairs (Section 7),
+   refinement checking (concluding remarks), and the distributed-reset
+   application (the paper's citation [12]). *)
+
+module State = Guarded.State
+module Compile = Guarded.Compile
+module Tree = Topology.Tree
+module Space = Explore.Space
+module Tsys = Explore.Tsys
+module Stair = Nonmask.Stair
+module Refine = Nonmask.Refine
+module Diffusing = Protocols.Diffusing
+module Lowatomic = Protocols.Diffusing_lowatomic
+module Token_ring = Protocols.Token_ring
+module Reset = Protocols.Reset
+
+(* --- Stairs --- *)
+
+let test_stair_token_ring () =
+  (* The paper's own two-stage argument: establish the first conjunct of S,
+     then the second. *)
+  let tr = Token_ring.make ~nodes:4 ~k:5 in
+  let space = Space.create (Token_ring.env tr) in
+  let x = Token_ring.x tr in
+  let first_conjunct =
+    Guarded.Compile.pred
+      (Guarded.Expr.conj
+         (List.init 3 (fun j ->
+              let vj = x j and vj1 = x (j + 1) in
+              Guarded.Expr.(var vj >= var vj1))))
+  in
+  let stair =
+    Stair.validate ~space
+      ~program:(Token_ring.combined tr)
+      ~name:"token-ring"
+      [
+        ("T", fun _ -> true);
+        ("first-conjunct", first_conjunct);
+        ("S", fun s -> Token_ring.invariant tr s);
+      ]
+  in
+  if not (Stair.ok stair) then
+    Alcotest.failf "stair invalid: %s" (Format.asprintf "%a" Stair.pp stair);
+  Alcotest.(check int) "three steps recorded" 3 (List.length stair.Stair.steps)
+
+let test_stair_rejects_bad_intermediate () =
+  (* an intermediate predicate that is not closed must be rejected *)
+  let tr = Token_ring.make ~nodes:3 ~k:4 in
+  let space = Space.create (Token_ring.env tr) in
+  let x = Token_ring.x tr in
+  let not_closed =
+    Guarded.Compile.pred Guarded.Expr.(var (x 0) = int 0)
+  in
+  let stair =
+    Stair.validate ~space
+      ~program:(Token_ring.combined tr)
+      ~name:"bad"
+      [
+        ("T", fun _ -> true);
+        ("x0=0", not_closed);
+        ("S", fun s -> Token_ring.invariant tr s);
+      ]
+  in
+  Alcotest.(check bool) "rejected" false (Stair.ok stair)
+
+let test_stair_rejects_non_contained () =
+  let tr = Token_ring.make ~nodes:3 ~k:4 in
+  let space = Space.create (Token_ring.env tr) in
+  let stair =
+    Stair.validate ~space
+      ~program:(Token_ring.combined tr)
+      ~name:"bad"
+      [
+        ("R0", (fun s -> Token_ring.invariant tr s));
+        ("R1", fun _ -> true);
+      ]
+  in
+  Alcotest.(check bool) "containment fails" false (Stair.ok stair)
+
+let test_stair_needs_two_predicates () =
+  let tr = Token_ring.make ~nodes:3 ~k:4 in
+  let space = Space.create (Token_ring.env tr) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Stair.validate ~space
+            ~program:(Token_ring.combined tr)
+            ~name:"x"
+            [ ("T", fun _ -> true) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Refinement --- *)
+
+let refinement_setup () =
+  let tree = Tree.chain 3 in
+  let d = Diffusing.make tree in
+  let l = Lowatomic.make tree in
+  let projection =
+    List.concat_map
+      (fun j ->
+        [
+          (Diffusing.color d j, Lowatomic.color l j);
+          (Diffusing.session d j, Lowatomic.session l j);
+        ])
+      (Tree.nodes tree)
+  in
+  (tree, d, l, projection)
+
+let test_refinement_within_consistency () =
+  let _, d, l, projection = refinement_setup () in
+  let r =
+    Refine.check
+      ~within:(fun s -> Lowatomic.consistent l s)
+      ~abstract_space:(Space.create (Diffusing.env d))
+      ~concrete_space:(Space.create (Lowatomic.env l))
+      ~abstract_program:(Diffusing.combined d)
+      ~concrete_program:(Lowatomic.program l)
+      ~projection
+      ~abstract_invariant:(fun s -> Diffusing.invariant d s)
+      ~concrete_invariant:(fun s -> Lowatomic.invariant l s)
+      ()
+  in
+  if not (Refine.ok r) then
+    Alcotest.failf "refinement failed: %s" (Format.asprintf "%a" Refine.pp r);
+  Alcotest.(check bool) "work happened" true (r.Refine.simulated_steps > 0);
+  Alcotest.(check bool) "scanning stutters" true (r.Refine.stutter_steps > 0)
+
+let test_refinement_fails_from_arbitrary_states () =
+  (* Outside the consistency relation a corrupted pointer reflects
+     prematurely — a step the abstract program cannot take. *)
+  let _, d, l, projection = refinement_setup () in
+  let r =
+    Refine.check
+      ~abstract_space:(Space.create (Diffusing.env d))
+      ~concrete_space:(Space.create (Lowatomic.env l))
+      ~abstract_program:(Diffusing.combined d)
+      ~concrete_program:(Lowatomic.program l)
+      ~projection
+      ~abstract_invariant:(fun s -> Diffusing.invariant d s)
+      ~concrete_invariant:(fun s -> Lowatomic.invariant l s)
+      ()
+  in
+  match r.Refine.result with
+  | Error (Refine.Unsimulated_step { action; _ }) ->
+      Alcotest.(check bool) "premature reflect" true
+        (Astring_contains.contains action "reflect")
+  | _ -> Alcotest.fail "expected an unsimulated premature reflect"
+
+let test_consistency_relation_closed () =
+  let _, _, l, _ = refinement_setup () in
+  let space = Space.create (Lowatomic.env l) in
+  match
+    Explore.Closure.program_closed space
+      (Compile.program (Lowatomic.program l))
+      ~pred:(fun s -> Lowatomic.consistent l s)
+  with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "consistency not closed: %s"
+        (Format.asprintf "%a"
+           (Explore.Closure.pp_violation (Lowatomic.env l))
+           v)
+
+let test_refinement_rejects_bad_projection () =
+  let _, d, l, projection = refinement_setup () in
+  Alcotest.(check bool) "missing variable rejected" true
+    (try
+       ignore
+         (Refine.check
+            ~abstract_space:(Space.create (Diffusing.env d))
+            ~concrete_space:(Space.create (Lowatomic.env l))
+            ~abstract_program:(Diffusing.combined d)
+            ~concrete_program:(Lowatomic.program l)
+            ~projection:(List.tl projection)
+            ~abstract_invariant:(fun s -> Diffusing.invariant d s)
+            ~concrete_invariant:(fun s -> Lowatomic.invariant l s)
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Distributed reset --- *)
+
+let test_reset_converges () =
+  let r = Reset.make (Tree.chain 3) in
+  let space = Space.create (Reset.env r) in
+  let tsys = Tsys.build (Compile.program (Reset.program r)) space in
+  match
+    Explore.Convergence.check_unfair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> Reset.invariant r s)
+  with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "reset layer must not break convergence"
+
+let test_reset_zeroes_on_red_exhaustive () =
+  (* THE reset guarantee: every program transition that turns a process red
+     also zeroes its application variable — over the whole state space. *)
+  let r = Reset.make (Tree.balanced ~arity:2 3) in
+  let space = Space.create (Reset.env r) in
+  let cp = Compile.program (Reset.program r) in
+  let post = State.make (Reset.env r) in
+  Space.iter space (fun _ s ->
+      Array.iter
+        (fun (ca : Compile.action) ->
+          if ca.Compile.enabled s then begin
+            ca.Compile.apply_into s post;
+            List.iter
+              (fun j ->
+                if State.get post (Reset.app r j) <> 0 then
+                  Alcotest.failf "process %d turned red with a.%d = %d" j j
+                    (State.get post (Reset.app r j)))
+              (Reset.turns_red r ~pre:s ~post)
+          end)
+        cp.Compile.actions)
+
+let test_reset_wave_resets_everyone () =
+  (* From a legitimate state with drifted app variables, one complete wave
+     resets every process (observed on the trace). *)
+  let tree = Tree.balanced ~arity:2 7 in
+  let r = Reset.make tree in
+  let cp = Compile.program (Reset.program r) in
+  let init = Reset.all_green r in
+  (* let the application drift first *)
+  List.iter (fun j -> State.set init (Reset.app r j) 2) (Tree.nodes tree);
+  let root = Tree.root tree in
+  let sn0 = State.get init (Reset.session r root) in
+  let outcome =
+    Sim.Runner.run ~record_trace:true
+      ~daemon:(Sim.Daemon.round_robin ())
+      ~init
+      ~stop:(fun s ->
+        State.get s (Reset.color r root) = Protocols.Diffusing.green
+        && State.get s (Reset.session r root) <> sn0)
+      cp
+  in
+  Alcotest.(check bool) "wave completes" true (Sim.Runner.converged outcome);
+  match outcome.Sim.Runner.trace with
+  | None -> Alcotest.fail "trace"
+  | Some t ->
+      let reset_seen = Array.make (Tree.size tree) false in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun j -> if State.get s (Reset.app r j) = 0 then reset_seen.(j) <- true)
+            (Tree.nodes tree))
+        (Sim.Trace.states t);
+      Alcotest.(check bool) "every process reset during the wave" true
+        (Array.for_all Fun.id reset_seen)
+
+let test_reset_recovers_from_scramble () =
+  let r = Reset.make (Tree.star 5) in
+  let cp = Compile.program (Reset.program r) in
+  let rng = Prng.create 3 in
+  let fault = Sim.Fault.scramble (Reset.env r) in
+  for _ = 1 to 30 do
+    let init = Reset.all_green r in
+    fault.Sim.Fault.inject rng init;
+    let o =
+      Sim.Runner.run
+        ~daemon:(Sim.Daemon.random rng)
+        ~init
+        ~stop:(fun s -> Reset.invariant r s)
+        cp
+    in
+    Alcotest.(check bool) "recovers" true (Sim.Runner.converged o)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "stair: token ring two stages" `Quick
+      test_stair_token_ring;
+    Alcotest.test_case "stair: rejects unclosed intermediate" `Quick
+      test_stair_rejects_bad_intermediate;
+    Alcotest.test_case "stair: rejects non-containment" `Quick
+      test_stair_rejects_non_contained;
+    Alcotest.test_case "stair: arity check" `Quick test_stair_needs_two_predicates;
+    Alcotest.test_case "refinement: valid within consistency" `Quick
+      test_refinement_within_consistency;
+    Alcotest.test_case "refinement: fails from arbitrary states" `Quick
+      test_refinement_fails_from_arbitrary_states;
+    Alcotest.test_case "refinement: consistency relation closed" `Quick
+      test_consistency_relation_closed;
+    Alcotest.test_case "refinement: bad projection rejected" `Quick
+      test_refinement_rejects_bad_projection;
+    Alcotest.test_case "reset: convergence preserved" `Quick test_reset_converges;
+    Alcotest.test_case "reset: red implies zero (exhaustive)" `Quick
+      test_reset_zeroes_on_red_exhaustive;
+    Alcotest.test_case "reset: wave resets everyone" `Quick
+      test_reset_wave_resets_everyone;
+    Alcotest.test_case "reset: recovers from scramble" `Quick
+      test_reset_recovers_from_scramble;
+  ]

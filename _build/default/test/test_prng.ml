@@ -1,0 +1,160 @@
+(* Tests for the deterministic PRNG: reproducibility, bounds, distribution
+   sanity, splitting, and sampling. *)
+
+let test_reproducible () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  let xa = Prng.bits64 a in
+  let xb = Prng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb
+
+let test_split_diverges () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs" true
+    (Prng.bits64 a <> Prng.bits64 b)
+
+let test_int_bounds () =
+  let g = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 7 in
+    Alcotest.(check bool) "0 <= x < 7" true (0 <= x && x < 7)
+  done
+
+let test_int_rejects_nonpositive () =
+  let g = Prng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_in_bounds () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in g (-3) 4 in
+    Alcotest.(check bool) "-3 <= x <= 4" true (-3 <= x && x <= 4)
+  done
+
+let test_int_covers_all_values () =
+  let g = Prng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Alcotest.(check bool) "all 5 values drawn" true (Array.for_all Fun.id seen)
+
+let test_uniformity_rough () =
+  let g = Prng.create 13 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Prng.int g 4 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "within 2% of uniform" true
+        (abs_float (frac -. 0.25) < 0.02))
+    counts
+
+let test_float_bounds () =
+  let g = Prng.create 17 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (0.0 <= x && x < 2.5)
+  done
+
+let test_bool_both () =
+  let g = Prng.create 19 in
+  let t = ref false and f = ref false in
+  for _ = 1 to 100 do
+    if Prng.bool g then t := true else f := true
+  done;
+  Alcotest.(check bool) "both outcomes" true (!t && !f)
+
+let test_pick () =
+  let g = Prng.create 23 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let x = Prng.pick g a in
+    Alcotest.(check bool) "member" true (Array.mem x a)
+  done
+
+let test_pick_empty () =
+  let g = Prng.create 23 in
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick g [||]))
+
+let test_shuffle_permutation () =
+  let g = Prng.create 29 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let g = Prng.create 31 in
+  for _ = 1 to 50 do
+    let s = Prng.sample_without_replacement g 5 12 in
+    Alcotest.(check int) "size" 5 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    let distinct =
+      Array.for_all Fun.id
+        (Array.mapi (fun i x -> i = 0 || sorted.(i - 1) <> x) sorted)
+    in
+    Alcotest.(check bool) "distinct" true distinct;
+    Array.iter
+      (fun x -> Alcotest.(check bool) "in range" true (0 <= x && x < 12))
+      s
+  done
+
+let test_sample_full () =
+  let g = Prng.create 37 in
+  let s = Prng.sample_without_replacement g 6 6 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "all of 0..5" (Array.init 6 Fun.id) sorted
+
+let test_sample_invalid () =
+  let g = Prng.create 41 in
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Prng.sample_without_replacement") (fun () ->
+      ignore (Prng.sample_without_replacement g 7 6))
+
+let suite =
+  [
+    Alcotest.test_case "reproducible" `Quick test_reproducible;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "copy continues stream" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects <=0" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int covers support" `Quick test_int_covers_all_values;
+    Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bool both outcomes" `Quick test_bool_both;
+    Alcotest.test_case "pick members" `Quick test_pick;
+    Alcotest.test_case "pick empty" `Quick test_pick_empty;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick
+      test_sample_without_replacement;
+    Alcotest.test_case "sample full range" `Quick test_sample_full;
+    Alcotest.test_case "sample invalid" `Quick test_sample_invalid;
+  ]

@@ -1,0 +1,550 @@
+(* Tests for the derived protocols: the paper's diffusing computation,
+   token rings, x/y/z example, atomic actions, the low-atomicity
+   refinement, and the non-stabilizing baseline. These encode the paper's
+   claims as executable assertions on small instances. *)
+
+module State = Guarded.State
+module Expr = Guarded.Expr
+module Action = Guarded.Action
+module Program = Guarded.Program
+module Compile = Guarded.Compile
+module Tree = Topology.Tree
+module Space = Explore.Space
+module Tsys = Explore.Tsys
+module Convergence = Explore.Convergence
+module Certify = Nonmask.Certify
+module Diffusing = Protocols.Diffusing
+module Token_ring = Protocols.Token_ring
+module Dijkstra_ring = Protocols.Dijkstra_ring
+module Xyz_demo = Protocols.Xyz_demo
+module Atomic_action = Protocols.Atomic_action
+module Diffusing_lowatomic = Protocols.Diffusing_lowatomic
+module Naive_ring = Protocols.Naive_ring
+
+let check_converges_exactly name program invariant space =
+  let tsys = Tsys.build (Compile.program program) space in
+  match Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant with
+  | Ok _ -> ()
+  | Error f ->
+      Alcotest.failf "%s should converge: %s" name
+        (Format.asprintf "%a"
+           (Convergence.pp_failure (Program.env program))
+           f)
+
+(* --- Diffusing computation --- *)
+
+let small_trees =
+  [
+    ("chain-2", Tree.chain 2);
+    ("chain-4", Tree.chain 4);
+    ("star-4", Tree.star 4);
+    ("balanced-2-5", Tree.balanced ~arity:2 5);
+  ]
+
+let test_diffusing_certificates () =
+  List.iter
+    (fun (name, tree) ->
+      let d = Diffusing.make tree in
+      let space = Space.create (Diffusing.env d) in
+      let cert = Diffusing.certificate ~space d in
+      if not (Certify.ok cert) then
+        Alcotest.failf "%s: %s" name (Format.asprintf "%a" Certify.pp cert))
+    small_trees
+
+let test_diffusing_converges () =
+  List.iter
+    (fun (name, tree) ->
+      let d = Diffusing.make tree in
+      let space = Space.create (Diffusing.env d) in
+      check_converges_exactly
+        (name ^ " combined")
+        (Diffusing.combined d)
+        (fun s -> Diffusing.invariant d s)
+        space;
+      check_converges_exactly
+        (name ^ " separate")
+        (Diffusing.separate d)
+        (fun s -> Diffusing.invariant d s)
+        space)
+    small_trees
+
+let test_diffusing_invariant_at_start () =
+  let d = Diffusing.make (Tree.chain 4) in
+  let s = Diffusing.all_green d in
+  Alcotest.(check bool) "all green in S" true (Diffusing.invariant d s);
+  Alcotest.(check int) "no violations" 0 (Diffusing.violated d s)
+
+let test_diffusing_combined_guard_equivalence () =
+  (* The paper's combined action has a guard claimed equivalent to
+     [~R.j \/ propagate-guard]; check the equivalence exhaustively. *)
+  let tree = Tree.chain 3 in
+  let d = Diffusing.make tree in
+  let space = Space.create (Diffusing.env d) in
+  List.iter
+    (fun j ->
+      let find p name =
+        match Program.find_action p name with
+        | Some a -> a
+        | None -> Alcotest.failf "missing action %s" name
+      in
+      let combined =
+        find (Diffusing.combined d) (Printf.sprintf "copy.%d" j)
+      in
+      let propagate =
+        find (Diffusing.spec d |> Nonmask.Spec.program)
+          (Printf.sprintf "propagate.%d" j)
+      in
+      let converge =
+        find (Diffusing.separate d) (Printf.sprintf "converge.%d" j)
+      in
+      Space.iter space (fun _ s ->
+          let lhs = Action.enabled combined s in
+          let rhs = Action.enabled propagate s || Action.enabled converge s in
+          if lhs <> rhs then
+            Alcotest.failf "guard mismatch at %s"
+              (State.to_string (Diffusing.env d) s)))
+    (Tree.non_root_nodes tree)
+
+let test_diffusing_cycle_repeats () =
+  (* From all-green under a fair daemon the wave must complete: the root
+     eventually returns to green with a flipped session bit. *)
+  let tree = Tree.chain 3 in
+  let d = Diffusing.make tree in
+  let root = Tree.root tree in
+  let init = Diffusing.all_green d in
+  let sn0 = State.get init (Diffusing.session d root) in
+  let cp = Compile.program (Diffusing.combined d) in
+  let outcome =
+    Sim.Runner.run
+      ~daemon:(Sim.Daemon.round_robin ())
+      ~init
+      ~stop:(fun s ->
+        State.get s (Diffusing.color d root) = Diffusing.green
+        && State.get s (Diffusing.session d root) <> sn0)
+      cp
+  in
+  Alcotest.(check bool) "wave completes" true (Sim.Runner.converged outcome);
+  Alcotest.(check bool) "took steps" true (outcome.Sim.Runner.steps > 0)
+
+let test_diffusing_recovers_from_scramble () =
+  let tree = Tree.balanced ~arity:2 7 in
+  let d = Diffusing.make tree in
+  let cp = Compile.program (Diffusing.combined d) in
+  let rng = Prng.create 77 in
+  let fault = Sim.Fault.scramble (Diffusing.env d) in
+  for _ = 1 to 50 do
+    let init = Diffusing.all_green d in
+    fault.Sim.Fault.inject rng init;
+    let outcome =
+      Sim.Runner.run
+        ~daemon:(Sim.Daemon.random rng)
+        ~init
+        ~stop:(fun s -> Diffusing.invariant d s)
+        cp
+    in
+    Alcotest.(check bool) "recovers" true (Sim.Runner.converged outcome)
+  done
+
+let test_diffusing_closure_means_invariant_stays () =
+  (* run from a legitimate state; the invariant holds at every step *)
+  let tree = Tree.chain 4 in
+  let d = Diffusing.make tree in
+  let cp = Compile.program (Diffusing.combined d) in
+  let outcome =
+    Sim.Runner.run ~record_trace:true ~max_steps:200
+      ~daemon:(Sim.Daemon.random (Prng.create 3))
+      ~init:(Diffusing.all_green d) ~stop:(fun _ -> false) cp
+  in
+  match outcome.Sim.Runner.trace with
+  | None -> Alcotest.fail "trace"
+  | Some t ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "S closed along run" true
+            (Diffusing.invariant d s))
+        (Sim.Trace.states t)
+
+let test_diffusing_variant_function () =
+  let d = Diffusing.make (Tree.chain 3) in
+  let space = Space.create (Diffusing.env d) in
+  match Nonmask.Variant.of_cgraph (Diffusing.cgraph d) with
+  | None -> Alcotest.fail "out-tree has ranks"
+  | Some v -> (
+      match
+        Nonmask.Variant.check ~space ~spec:(Diffusing.spec d)
+          ~cgraph:(Diffusing.cgraph d) v
+      with
+      | Ok () -> ()
+      | Error f ->
+          Alcotest.failf "variant violated by %s" f.Nonmask.Variant.action)
+
+(* --- Token ring (paper, bounded) --- *)
+
+let test_token_ring_certificate () =
+  let tr = Token_ring.make ~nodes:4 ~k:5 in
+  let space = Space.create (Token_ring.env tr) in
+  let cert = Token_ring.certificate ~space tr in
+  if not (Certify.ok cert) then
+    Alcotest.failf "%s" (Format.asprintf "%a" Certify.pp cert);
+  Alcotest.(check bool) "modulo noted" true
+    (Astring_contains.contains cert.Certify.theorem "modulo")
+
+let test_token_ring_strict_fails () =
+  let tr = Token_ring.make ~nodes:4 ~k:5 in
+  let space = Space.create (Token_ring.env tr) in
+  let cert = Token_ring.certificate_strict ~space tr in
+  Alcotest.(check bool) "literal reading fails" false (Certify.ok cert)
+
+let test_token_ring_converges () =
+  List.iter
+    (fun (nodes, k) ->
+      let tr = Token_ring.make ~nodes ~k in
+      let space = Space.create (Token_ring.env tr) in
+      check_converges_exactly "combined" (Token_ring.combined tr)
+        (fun s -> Token_ring.invariant tr s)
+        space;
+      check_converges_exactly "separate" (Token_ring.separate tr)
+        (fun s -> Token_ring.invariant tr s)
+        space)
+    [ (3, 4); (4, 5); (5, 4) ]
+
+let test_token_ring_exactly_one_privilege_in_s () =
+  let tr = Token_ring.make ~nodes:5 ~k:5 in
+  let space = Space.create (Token_ring.env tr) in
+  Space.iter space (fun _ s ->
+      if Token_ring.invariant tr s then
+        Alcotest.(check int) "one privilege" 1
+          (List.length (Token_ring.privileged tr s)))
+
+let test_token_ring_all_zero_legitimate () =
+  let tr = Token_ring.make ~nodes:4 ~k:3 in
+  let s = Token_ring.all_zero tr in
+  Alcotest.(check bool) "S" true (Token_ring.invariant tr s);
+  Alcotest.(check (list int)) "bottom privileged" [ 0 ] (Token_ring.privileged tr s);
+  Alcotest.(check int) "no violations" 0 (Token_ring.violated tr s)
+
+(* --- Dijkstra (mod-K) ring --- *)
+
+let test_dijkstra_converges_when_k_large () =
+  List.iter
+    (fun (nodes, k) ->
+      let dr = Dijkstra_ring.make ~nodes ~k in
+      let space = Space.create (Dijkstra_ring.env dr) in
+      check_converges_exactly "dijkstra" (Dijkstra_ring.program dr)
+        (fun s -> Dijkstra_ring.invariant dr s)
+        space)
+    [ (3, 4); (4, 5); (4, 4) ]
+
+let test_dijkstra_fails_when_k_too_small () =
+  (* classical counterexample needs K <= N - 1 where N = ring size:
+     nodes=4, k=2 livelocks under an adversarial schedule. *)
+  let dr = Dijkstra_ring.make ~nodes:4 ~k:2 in
+  let space = Space.create (Dijkstra_ring.env dr) in
+  let tsys = Tsys.build (Compile.program (Dijkstra_ring.program dr)) space in
+  match
+    Convergence.check_unfair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> Dijkstra_ring.invariant dr s)
+  with
+  | Error (Convergence.Livelock _) -> ()
+  | Ok _ -> Alcotest.fail "k=2 on 4 nodes must not stabilize"
+  | Error (Convergence.Deadlock _) -> Alcotest.fail "no deadlock expected"
+
+let test_dijkstra_token_circulates () =
+  let dr = Dijkstra_ring.make ~nodes:5 ~k:6 in
+  let cp = Compile.program (Dijkstra_ring.program dr) in
+  let init = Dijkstra_ring.all_zero dr in
+  (* every node becomes privileged at some point within a bounded run *)
+  let seen = Array.make 5 false in
+  let state = ref init in
+  let d = Sim.Daemon.round_robin () in
+  for _ = 1 to 100 do
+    List.iter (fun j -> seen.(j) <- true) (Dijkstra_ring.privileged dr !state);
+    let outcome =
+      Sim.Runner.run ~max_steps:1 ~daemon:d ~init:!state ~stop:(fun _ -> false) cp
+    in
+    state := outcome.Sim.Runner.final
+  done;
+  Alcotest.(check bool) "all privileged eventually" true
+    (Array.for_all Fun.id seen)
+
+let test_dijkstra_invariant_closed () =
+  let dr = Dijkstra_ring.make ~nodes:4 ~k:5 in
+  let space = Space.create (Dijkstra_ring.env dr) in
+  let cp = Compile.program (Dijkstra_ring.program dr) in
+  match
+    Explore.Closure.program_closed space cp ~pred:(fun s ->
+        Dijkstra_ring.invariant dr s)
+  with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "invariant not closed: %s"
+        (Format.asprintf "%a"
+           (Explore.Closure.pp_violation (Dijkstra_ring.env dr))
+           v)
+
+(* --- x/y/z demo --- *)
+
+let test_xyz_good_tree () =
+  let d = Xyz_demo.make Xyz_demo.Good_tree in
+  let space = Space.create (Xyz_demo.env d) in
+  Alcotest.(check bool) "thm1 valid" true
+    (Certify.ok (Xyz_demo.certificate ~space d));
+  Alcotest.(check bool) "out-tree" true
+    (Nonmask.Cgraph.shape (Xyz_demo.cgraph d) = Dgraph.Classify.Out_tree);
+  check_converges_exactly "good-tree" (Xyz_demo.program d)
+    (fun s -> Xyz_demo.invariant d s)
+    space
+
+let test_xyz_good_ordered () =
+  let d = Xyz_demo.make Xyz_demo.Good_ordered in
+  let space = Space.create (Xyz_demo.env d) in
+  Alcotest.(check bool) "thm2 valid" true
+    (Certify.ok (Xyz_demo.certificate ~space d));
+  Alcotest.(check bool) "self-looping but not out-tree" true
+    (Nonmask.Cgraph.shape (Xyz_demo.cgraph d) = Dgraph.Classify.Self_looping);
+  check_converges_exactly "good-ordered" (Xyz_demo.program d)
+    (fun s -> Xyz_demo.invariant d s)
+    space
+
+let test_xyz_bad_livelocks () =
+  let d = Xyz_demo.make Xyz_demo.Bad in
+  let space = Space.create (Xyz_demo.env d) in
+  Alcotest.(check bool) "certificate rejected" false
+    (Certify.ok (Xyz_demo.certificate ~space d));
+  let tsys = Tsys.build (Compile.program (Xyz_demo.program d)) space in
+  match
+    Convergence.check_unfair tsys
+      ~from:(fun _ -> true)
+      ~target:(fun s -> Xyz_demo.invariant d s)
+  with
+  | Error (Convergence.Livelock states) ->
+      Alcotest.(check bool) "cycle of length >= 2" true (List.length states >= 2)
+  | _ -> Alcotest.fail "the bad variant must livelock"
+
+let test_xyz_bad_livelock_is_papers () =
+  (* the paper's oscillation: x=y=z, bump x above z, pull it back *)
+  let d = Xyz_demo.make Xyz_demo.Bad in
+  let env = Xyz_demo.env d in
+  let s =
+    State.of_list env
+      [ (Xyz_demo.x d, 1); (Xyz_demo.y d, 1); (Xyz_demo.z d, 1) ]
+  in
+  let cp = Compile.program (Xyz_demo.program d) in
+  let outcome =
+    Sim.Runner.run ~max_steps:100 ~daemon:Sim.Daemon.first_enabled ~init:s
+      ~stop:(fun st -> Xyz_demo.invariant d st)
+      cp
+  in
+  Alcotest.(check bool) "spins forever" true
+    (outcome.Sim.Runner.reason = Sim.Runner.Budget_exhausted)
+
+(* --- Atomic action --- *)
+
+let test_atomic_certificates () =
+  List.iter
+    (fun (name, tree) ->
+      let a = Atomic_action.make tree in
+      let space = Space.create (Atomic_action.env a) in
+      let cert = Atomic_action.certificate ~space a in
+      if not (Certify.ok cert) then
+        Alcotest.failf "%s: %s" name (Format.asprintf "%a" Certify.pp cert))
+    [ ("chain-3", Tree.chain 3); ("star-4", Tree.star 4) ]
+
+let test_atomic_converges () =
+  let a = Atomic_action.make (Tree.balanced ~arity:2 5) in
+  let space = Space.create (Atomic_action.env a) in
+  check_converges_exactly "atomic" (Atomic_action.program a)
+    (fun s -> Atomic_action.invariant a s)
+    space
+
+let test_atomic_commit_executes_all () =
+  let tree = Tree.balanced ~arity:2 7 in
+  let a = Atomic_action.make tree in
+  let cp = Compile.program (Atomic_action.program a) in
+  let init = Atomic_action.initial a ~decision:Atomic_action.commit in
+  let outcome =
+    Sim.Runner.run
+      ~daemon:(Sim.Daemon.round_robin ())
+      ~init
+      ~stop:(fun s -> Atomic_action.all_done a s)
+      cp
+  in
+  Alcotest.(check bool) "all executed" true (Sim.Runner.converged outcome)
+
+let test_atomic_abort_rolls_back () =
+  (* corrupt a few op flags under an abort decision: they must roll back *)
+  let tree = Tree.star 5 in
+  let a = Atomic_action.make tree in
+  let cp = Compile.program (Atomic_action.program a) in
+  let rng = Prng.create 17 in
+  for _ = 1 to 30 do
+    let init = Atomic_action.initial a ~decision:Atomic_action.abort in
+    (Sim.Fault.corrupt (Atomic_action.env a) ~k:3).Sim.Fault.inject rng init;
+    (* force the root decision back to abort: the root's decision is the
+       protocol's input, not its state *)
+    State.set init
+      (Atomic_action.decision a (Tree.root tree))
+      Atomic_action.abort;
+    let outcome =
+      Sim.Runner.run
+        ~daemon:(Sim.Daemon.random rng)
+        ~init
+        ~stop:(fun s ->
+          Atomic_action.invariant a s && Atomic_action.none_done a s)
+        cp
+    in
+    Alcotest.(check bool) "rollback reached" true (Sim.Runner.converged outcome)
+  done
+
+(* --- Low-atomicity refinement --- *)
+
+let test_lowatomic_converges () =
+  List.iter
+    (fun (name, tree) ->
+      let d = Diffusing_lowatomic.make tree in
+      let space = Space.create (Diffusing_lowatomic.env d) in
+      check_converges_exactly name
+        (Diffusing_lowatomic.program d)
+        (fun s -> Diffusing_lowatomic.invariant d s)
+        space)
+    [ ("chain-3", Tree.chain 3); ("star-4", Tree.star 4) ]
+
+let test_lowatomic_reduces_atomicity () =
+  let tree = Tree.star 6 in
+  let low = Diffusing_lowatomic.make tree in
+  let high = Diffusing.make tree in
+  Alcotest.(check int) "refined atomicity" 2
+    (Diffusing_lowatomic.max_atomicity (Diffusing_lowatomic.program low));
+  Alcotest.(check int) "original reflects over all children" 6
+    (Diffusing_lowatomic.max_atomicity (Diffusing.combined high))
+
+let test_lowatomic_wave_completes () =
+  let tree = Tree.balanced ~arity:2 5 in
+  let d = Diffusing_lowatomic.make tree in
+  let root = Tree.root tree in
+  let init = Diffusing_lowatomic.all_green d in
+  let sn0 = State.get init (Diffusing_lowatomic.session d root) in
+  let cp = Compile.program (Diffusing_lowatomic.program d) in
+  let outcome =
+    Sim.Runner.run
+      ~daemon:(Sim.Daemon.round_robin ())
+      ~init
+      ~stop:(fun s ->
+        State.get s (Diffusing_lowatomic.color d root) = Protocols.Diffusing.green
+        && State.get s (Diffusing_lowatomic.session d root) <> sn0)
+      cp
+  in
+  Alcotest.(check bool) "wave completes" true (Sim.Runner.converged outcome)
+
+(* --- Naive ring baseline --- *)
+
+let test_naive_ring_not_stabilizing () =
+  let nr = Naive_ring.make ~nodes:4 in
+  let space = Space.create (Naive_ring.env nr) in
+  let tsys = Tsys.build (Compile.program (Naive_ring.program nr)) space in
+  (match
+     Convergence.check_unfair tsys
+       ~from:(fun _ -> true)
+       ~target:(fun s -> Naive_ring.invariant nr s)
+   with
+  | Ok _ -> Alcotest.fail "naive ring must not stabilize"
+  | Error _ -> ());
+  (* the zero-token state is a deadlock outside S *)
+  let zero = State.make (Naive_ring.env nr) in
+  Alcotest.(check int) "no tokens" 0 (Naive_ring.token_count nr zero);
+  Alcotest.(check bool) "terminal" true
+    (Program.is_terminal (Naive_ring.program nr) zero)
+
+let test_naive_ring_works_without_faults () =
+  let nr = Naive_ring.make ~nodes:4 in
+  let cp = Compile.program (Naive_ring.program nr) in
+  let outcome =
+    Sim.Runner.run ~record_trace:true ~max_steps:50
+      ~daemon:Sim.Daemon.first_enabled ~init:(Naive_ring.one_token nr)
+      ~stop:(fun _ -> false) cp
+  in
+  match outcome.Sim.Runner.trace with
+  | None -> Alcotest.fail "trace"
+  | Some t ->
+      List.iter
+        (fun s ->
+          Alcotest.(check int) "token preserved" 1 (Naive_ring.token_count nr s))
+        (Sim.Trace.states t)
+
+let test_naive_ring_multi_token_stays_illegitimate_adversarially () =
+  (* a greedy daemon that maximizes token count keeps >= 2 tokens apart *)
+  let nr = Naive_ring.make ~nodes:6 in
+  let cp = Compile.program (Naive_ring.program nr) in
+  let env = Naive_ring.env nr in
+  let init = State.make env in
+  State.set init (Naive_ring.token nr 0) 1;
+  State.set init (Naive_ring.token nr 3) 1;
+  let d = Sim.Daemon.greedy ~name:"keep-tokens" (fun s -> Naive_ring.token_count nr s) in
+  let outcome =
+    Sim.Runner.run ~max_steps:100 ~daemon:d ~init
+      ~stop:(fun s -> Naive_ring.invariant nr s)
+      cp
+  in
+  Alcotest.(check bool) "never legitimate" true
+    (outcome.Sim.Runner.reason = Sim.Runner.Budget_exhausted)
+
+let suite =
+  [
+    Alcotest.test_case "diffusing certificates (Thm 1)" `Quick
+      test_diffusing_certificates;
+    Alcotest.test_case "diffusing converges exactly" `Slow
+      test_diffusing_converges;
+    Alcotest.test_case "diffusing all-green in S" `Quick
+      test_diffusing_invariant_at_start;
+    Alcotest.test_case "diffusing combined guard equivalence" `Quick
+      test_diffusing_combined_guard_equivalence;
+    Alcotest.test_case "diffusing wave completes" `Quick
+      test_diffusing_cycle_repeats;
+    Alcotest.test_case "diffusing recovers from scramble" `Quick
+      test_diffusing_recovers_from_scramble;
+    Alcotest.test_case "diffusing invariant closed along runs" `Quick
+      test_diffusing_closure_means_invariant_stays;
+    Alcotest.test_case "diffusing variant function" `Quick
+      test_diffusing_variant_function;
+    Alcotest.test_case "token ring certificate (Thm 3 modulo)" `Quick
+      test_token_ring_certificate;
+    Alcotest.test_case "token ring literal Thm 3 fails" `Quick
+      test_token_ring_strict_fails;
+    Alcotest.test_case "token ring converges exactly" `Slow
+      test_token_ring_converges;
+    Alcotest.test_case "token ring one privilege in S" `Quick
+      test_token_ring_exactly_one_privilege_in_s;
+    Alcotest.test_case "token ring all-zero legitimate" `Quick
+      test_token_ring_all_zero_legitimate;
+    Alcotest.test_case "dijkstra converges (k >= n)" `Slow
+      test_dijkstra_converges_when_k_large;
+    Alcotest.test_case "dijkstra fails for small k" `Quick
+      test_dijkstra_fails_when_k_too_small;
+    Alcotest.test_case "dijkstra token circulates" `Quick
+      test_dijkstra_token_circulates;
+    Alcotest.test_case "dijkstra invariant closed" `Quick
+      test_dijkstra_invariant_closed;
+    Alcotest.test_case "xyz good-tree (Sec 4)" `Quick test_xyz_good_tree;
+    Alcotest.test_case "xyz good-ordered (Sec 6)" `Quick test_xyz_good_ordered;
+    Alcotest.test_case "xyz bad livelocks" `Quick test_xyz_bad_livelocks;
+    Alcotest.test_case "xyz bad oscillation" `Quick test_xyz_bad_livelock_is_papers;
+    Alcotest.test_case "atomic certificates (Thm 1)" `Quick
+      test_atomic_certificates;
+    Alcotest.test_case "atomic converges exactly" `Slow test_atomic_converges;
+    Alcotest.test_case "atomic commit executes all" `Quick
+      test_atomic_commit_executes_all;
+    Alcotest.test_case "atomic abort rolls back" `Quick
+      test_atomic_abort_rolls_back;
+    Alcotest.test_case "low-atomicity converges" `Slow test_lowatomic_converges;
+    Alcotest.test_case "low-atomicity reduces atomicity" `Quick
+      test_lowatomic_reduces_atomicity;
+    Alcotest.test_case "low-atomicity wave completes" `Quick
+      test_lowatomic_wave_completes;
+    Alcotest.test_case "naive ring not stabilizing" `Quick
+      test_naive_ring_not_stabilizing;
+    Alcotest.test_case "naive ring fault-free behaviour" `Quick
+      test_naive_ring_works_without_faults;
+    Alcotest.test_case "naive ring adversarial multi-token" `Quick
+      test_naive_ring_multi_token_stays_illegitimate_adversarially;
+  ]

@@ -1,0 +1,125 @@
+(* Tests for rooted trees and rings. *)
+
+module Tree = Topology.Tree
+module Ring = Topology.Ring
+
+let sorted = List.sort compare
+
+let test_chain () =
+  let t = Tree.chain 4 in
+  Alcotest.(check int) "size" 4 (Tree.size t);
+  Alcotest.(check int) "root" 0 (Tree.root t);
+  Alcotest.(check int) "parent of 3" 2 (Tree.parent t 3);
+  Alcotest.(check int) "root is own parent" 0 (Tree.parent t 0);
+  Alcotest.(check (list int)) "children of 1" [ 2 ] (Tree.children t 1);
+  Alcotest.(check bool) "3 is leaf" true (Tree.is_leaf t 3);
+  Alcotest.(check bool) "1 not leaf" false (Tree.is_leaf t 1);
+  Alcotest.(check int) "depth of 3" 3 (Tree.depth t 3);
+  Alcotest.(check int) "height" 3 (Tree.height t)
+
+let test_star () =
+  let t = Tree.star 5 in
+  Alcotest.(check (list int)) "children of root" [ 1; 2; 3; 4 ]
+    (sorted (Tree.children t 0));
+  Alcotest.(check int) "height" 1 (Tree.height t);
+  Alcotest.(check (list int)) "non-root nodes" [ 1; 2; 3; 4 ]
+    (Tree.non_root_nodes t)
+
+let test_balanced () =
+  let t = Tree.balanced ~arity:2 7 in
+  Alcotest.(check (list int)) "children of 0" [ 1; 2 ] (sorted (Tree.children t 0));
+  Alcotest.(check (list int)) "children of 1" [ 3; 4 ] (sorted (Tree.children t 1));
+  Alcotest.(check int) "height" 2 (Tree.height t);
+  Alcotest.(check int) "parent of 6" 2 (Tree.parent t 6)
+
+let test_single_node () =
+  let t = Tree.chain 1 in
+  Alcotest.(check bool) "root is leaf" true (Tree.is_leaf t 0);
+  Alcotest.(check int) "height 0" 0 (Tree.height t)
+
+let test_random_tree_valid () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 20 do
+    let n = 1 + Prng.int rng 30 in
+    let t = Tree.random rng n in
+    Alcotest.(check int) "size" n (Tree.size t);
+    (* every non-root node has a parent with smaller index *)
+    List.iter
+      (fun j ->
+        Alcotest.(check bool) "parent smaller" true (Tree.parent t j < j))
+      (Tree.non_root_nodes t);
+    (* depths consistent *)
+    List.iter
+      (fun j ->
+        if not (Tree.is_root t j) then
+          Alcotest.(check int) "depth = parent + 1"
+            (Tree.depth t (Tree.parent t j) + 1)
+            (Tree.depth t j))
+      (Tree.nodes t)
+  done
+
+let test_of_parents_invalid () =
+  Alcotest.(check bool) "no root" true
+    (try
+       ignore (Tree.of_parents [| 1; 0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "two roots" true
+    (try
+       ignore (Tree.of_parents [| 0; 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "cycle" true
+    (try
+       ignore (Tree.of_parents [| 0; 2; 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Tree.of_parents [| 0; 9 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tree_to_digraph_is_out_tree () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 10 do
+    let t = Tree.random rng (2 + Prng.int rng 20) in
+    let g = Tree.to_digraph t in
+    Alcotest.(check bool) "out-tree" true (Dgraph.Classify.is_out_tree g)
+  done
+
+let test_ring_basics () =
+  let r = Ring.create 5 in
+  Alcotest.(check int) "size" 5 (Ring.size r);
+  Alcotest.(check int) "succ" 0 (Ring.succ r 4);
+  Alcotest.(check int) "pred" 4 (Ring.pred r 0);
+  Alcotest.(check int) "distance fwd" 2 (Ring.distance r 4 1);
+  Alcotest.(check int) "distance zero" 0 (Ring.distance r 3 3);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3; 4 ] (Ring.nodes r)
+
+let test_ring_too_small () =
+  Alcotest.check_raises "size 1"
+    (Invalid_argument "Ring.create: need at least 2 nodes") (fun () ->
+      ignore (Ring.create 1))
+
+let test_ring_digraph_cycle () =
+  let r = Ring.create 4 in
+  let g = Ring.to_digraph r in
+  Alcotest.(check int) "edges" 4 (Dgraph.Digraph.edge_count g);
+  Alcotest.(check bool) "cyclic" true
+    (Dgraph.Classify.shape g = Dgraph.Classify.Cyclic)
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "balanced" `Quick test_balanced;
+    Alcotest.test_case "single node" `Quick test_single_node;
+    Alcotest.test_case "random trees valid" `Quick test_random_tree_valid;
+    Alcotest.test_case "of_parents rejects junk" `Quick test_of_parents_invalid;
+    Alcotest.test_case "tree digraph is out-tree" `Quick
+      test_tree_to_digraph_is_out_tree;
+    Alcotest.test_case "ring basics" `Quick test_ring_basics;
+    Alcotest.test_case "ring too small" `Quick test_ring_too_small;
+    Alcotest.test_case "ring digraph cyclic" `Quick test_ring_digraph_cycle;
+  ]
