@@ -1,0 +1,24 @@
+.PHONY: all build test check smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+# Full gate: build, test suite, and a CLI smoke run with both engines.
+check: build test smoke
+
+smoke:
+	dune exec bin/nonmask_cli.exe -- check diffusing --nodes 7 --engine eager
+	dune exec bin/nonmask_cli.exe -- check diffusing --nodes 7 --engine lazy
+	dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine lazy --ball 2
+	dune exec bin/nonmask_cli.exe -- certify token-ring --nodes 4 -k 5 --engine lazy
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,4 +1,4 @@
-(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E10)
+(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E14)
    and runs the bechamel microbenchmarks (micro / B1-B6).
 
    Usage:
@@ -16,6 +16,7 @@ module Compile = Guarded.Compile
 module Tree = Topology.Tree
 module Space = Explore.Space
 module Tsys = Explore.Tsys
+module Engine = Explore.Engine
 module Convergence = Explore.Convergence
 module Diffusing = Protocols.Diffusing
 module Token_ring = Protocols.Token_ring
@@ -204,12 +205,12 @@ let e5 () =
     let r = f () in
     (r, (Sys.time () -. t0) *. 1000.0)
   in
-  let direct program invariant space =
-    let tsys = Tsys.build (Compile.program program) space in
+  let direct program invariant engine =
     match
-      Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant
+      Convergence.check_unfair engine (Compile.program program)
+        ~from:Engine.All ~target:invariant
     with
-    | Ok { region_states; worst_case_steps } ->
+    | Ok { region_states; worst_case_steps; _ } ->
         Printf.sprintf "converges (region %d, worst %s)" region_states
           (match worst_case_steps with
           | Some w -> string_of_int w
@@ -234,47 +235,50 @@ let e5 () =
   List.iter
     (fun (name, tree) ->
       let d = Diffusing.make tree in
-      let space = Space.create (Diffusing.env d) in
-      let cert, ms = time (fun () -> Diffusing.certificate ~space d) in
-      add name "Thm 1" cert ms (Space.size space)
+      let engine = Engine.create (Diffusing.env d) in
+      let cert, ms = time (fun () -> Diffusing.certificate ~engine d) in
+      add name "Thm 1" cert ms (Space.size (Engine.space engine))
         (direct (Diffusing.combined d)
            (fun s -> Diffusing.invariant d s)
-           space))
+           engine))
     [
       ("diffusing chain-4", Tree.chain 4);
       ("diffusing star-5", Tree.star 5);
       ("diffusing bal-2-6", Tree.balanced ~arity:2 6);
     ];
   (let tr = Token_ring.make ~nodes:4 ~k:5 in
-   let space = Space.create (Token_ring.env tr) in
-   let cert, ms = time (fun () -> Token_ring.certificate ~space tr) in
-   add "token ring 4,K=5" "Thm 3*" cert ms (Space.size space)
+   let engine = Engine.create (Token_ring.env tr) in
+   let states = Space.size (Engine.space engine) in
+   let cert, ms = time (fun () -> Token_ring.certificate ~engine tr) in
+   add "token ring 4,K=5" "Thm 3*" cert ms states
      (direct (Token_ring.combined tr)
         (fun s -> Token_ring.invariant tr s)
-        space);
-   let cert2, ms2 = time (fun () -> Token_ring.certificate_strict ~space tr) in
-   add "token ring 4,K=5" "Thm 3 literal" cert2 ms2 (Space.size space)
+        engine);
+   let cert2, ms2 =
+     time (fun () -> Token_ring.certificate_strict ~engine tr)
+   in
+   add "token ring 4,K=5" "Thm 3 literal" cert2 ms2 states
      "(antecedent fails as expected)");
   List.iter
     (fun (name, variant) ->
       let d = Xyz_demo.make variant in
-      let space = Space.create (Xyz_demo.env d) in
-      let cert, ms = time (fun () -> Xyz_demo.certificate ~space d) in
+      let engine = Engine.create (Xyz_demo.env d) in
+      let cert, ms = time (fun () -> Xyz_demo.certificate ~engine d) in
       let theorem =
         match variant with Xyz_demo.Good_tree -> "Thm 1" | _ -> "Thm 2"
       in
-      add name theorem cert ms (Space.size space)
-        (direct (Xyz_demo.program d) (fun s -> Xyz_demo.invariant d s) space))
+      add name theorem cert ms (Space.size (Engine.space engine))
+        (direct (Xyz_demo.program d) (fun s -> Xyz_demo.invariant d s) engine))
     [
       ("xyz good-tree", Xyz_demo.Good_tree);
       ("xyz good-ordered", Xyz_demo.Good_ordered);
       ("xyz bad", Xyz_demo.Bad);
     ];
   (let a = Atomic.make (Tree.balanced ~arity:2 5) in
-   let space = Space.create (Atomic.env a) in
-   let cert, ms = time (fun () -> Atomic.certificate ~space a) in
-   add "atomic bal-2-5" "Thm 1" cert ms (Space.size space)
-     (direct (Atomic.program a) (fun s -> Atomic.invariant a s) space));
+   let engine = Engine.create (Atomic.env a) in
+   let cert, ms = time (fun () -> Atomic.certificate ~engine a) in
+   add "atomic bal-2-5" "Thm 1" cert ms (Space.size (Engine.space engine))
+     (direct (Atomic.program a) (fun s -> Atomic.invariant a s) engine));
   Table.print
     ~title:
       "E5: machine-checked certificates (Thm 3* = Theorem 3 modulo \
@@ -290,13 +294,13 @@ let e6 () =
     List.map
       (fun (name, variant) ->
         let d = Xyz_demo.make variant in
-        let space = Space.create (Xyz_demo.env d) in
-        let cert = Xyz_demo.certificate ~space d in
-        let tsys = Tsys.build (Compile.program (Xyz_demo.program d)) space in
+        let engine = Engine.create (Xyz_demo.env d) in
+        let cert = Xyz_demo.certificate ~engine d in
         let direct =
           match
-            Convergence.check_unfair tsys
-              ~from:(fun _ -> true)
+            Convergence.check_unfair engine
+              (Compile.program (Xyz_demo.program d))
+              ~from:Engine.All
               ~target:(fun s -> Xyz_demo.invariant d s)
           with
           | Ok { worst_case_steps = Some w; _ } ->
@@ -334,12 +338,11 @@ let e7 () =
     List.map
       (fun (name, tree) ->
         let d = Diffusing.make tree in
-        let space = Space.create (Diffusing.env d) in
+        let engine = Engine.create (Diffusing.env d) in
         let worst program =
-          let tsys = Tsys.build (Compile.program program) space in
           match
-            Convergence.check_unfair tsys
-              ~from:(fun _ -> true)
+            Convergence.check_unfair engine (Compile.program program)
+              ~from:Engine.All
               ~target:(fun s -> Diffusing.invariant d s)
           with
           | Ok { worst_case_steps = Some w; _ } -> string_of_int w
@@ -394,14 +397,14 @@ let e7 () =
    under arbitrary (unfair) scheduling. *)
 let e8 () =
   let verdict program invariant env =
-    let space = Space.create env in
-    let tsys = Tsys.build (Compile.program program) space in
+    let engine = Engine.create env in
     match
-      Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant
+      Convergence.check_unfair engine (Compile.program program)
+        ~from:Engine.All ~target:invariant
     with
-    | Ok { region_states; worst_case_steps = Some w } ->
+    | Ok { region_states; worst_case_steps = Some w; _ } ->
         [ "yes"; Table.i region_states; Table.i w ]
-    | Ok { region_states; worst_case_steps = None } ->
+    | Ok { region_states; worst_case_steps = None; _ } ->
         [ "yes"; Table.i region_states; "-" ]
     | Error (Convergence.Deadlock _) -> [ "NO (deadlock)"; "-"; "-" ]
     | Error (Convergence.Livelock _) -> [ "NO (livelock)"; "-"; "-" ]
@@ -466,9 +469,9 @@ let e9 () =
         match Nonmask.Variant.of_cgraph cgraph with
         | None -> [ name; "-"; "cyclic: no ranks"; "-" ]
         | Some v ->
-            let space = Space.create env in
+            let engine = Engine.create env in
             let result =
-              match Nonmask.Variant.check ~space ~spec ~cgraph v with
+              match Nonmask.Variant.check ~engine ~spec ~cgraph v with
               | Ok () -> "decreases (verified)"
               | Error f -> "FAILS at " ^ f.Nonmask.Variant.action
             in
@@ -476,7 +479,7 @@ let e9 () =
               name;
               Table.i (Nonmask.Variant.rank_count v);
               result;
-              Table.i (Space.size space);
+              Table.i (Space.size (Engine.space engine));
             ])
       [
         (let d = Diffusing.make (Tree.chain 4) in
@@ -543,10 +546,10 @@ let e10 () =
   let nr = Naive_ring.make ~nodes:5 in
   let dr = Dijkstra_ring.make ~nodes:5 ~k:6 in
   let check name program invariant env =
-    let space = Space.create env in
-    let tsys = Tsys.build (Compile.program program) space in
+    let engine = Engine.create env in
     match
-      Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant
+      Convergence.check_unfair engine (Compile.program program)
+        ~from:Engine.All ~target:invariant
     with
     | Ok _ -> [ name; "stabilizes"; "-" ]
     | Error (Convergence.Deadlock s) ->
@@ -618,14 +621,12 @@ let e11 () =
     List.map
       (fun (name, g) ->
         let st = Protocols.Spanning_tree.make ~root:0 g in
-        let space = Space.create (Protocols.Spanning_tree.env st) in
-        let tsys =
-          Tsys.build (Compile.program (Protocols.Spanning_tree.program st)) space
-        in
+        let engine = Engine.create (Protocols.Spanning_tree.env st) in
         let verdict =
           match
-            Convergence.check_unfair tsys
-              ~from:(fun _ -> true)
+            Convergence.check_unfair engine
+              (Compile.program (Protocols.Spanning_tree.program st))
+              ~from:Engine.All
               ~target:(fun s -> Protocols.Spanning_tree.invariant st s)
           with
           | Ok { worst_case_steps = Some w; _ } ->
@@ -638,7 +639,7 @@ let e11 () =
           name;
           Table.i (Topology.Ugraph.size g);
           Table.i (Topology.Ugraph.edge_count g);
-          Table.i (Space.size space);
+          Table.i (Space.size (Engine.space engine));
           verdict;
         ])
       [
@@ -756,7 +757,7 @@ let e12 () =
 let e13 () =
   (* stairs: the token ring's own two-stage argument *)
   let tr = Token_ring.make ~nodes:4 ~k:5 in
-  let space = Space.create (Token_ring.env tr) in
+  let engine = Engine.create (Token_ring.env tr) in
   let x = Token_ring.x tr in
   let first_conjunct =
     Guarded.Compile.pred
@@ -766,7 +767,7 @@ let e13 () =
               Guarded.Expr.(var vj >= var vj1))))
   in
   let stair =
-    Nonmask.Stair.validate ~space
+    Nonmask.Stair.validate ~engine
       ~program:(Token_ring.combined tr)
       ~name:"token-ring (4 nodes, K=5)"
       [
@@ -793,8 +794,8 @@ let e13 () =
   let run_refine ?within label =
     let r =
       Nonmask.Refine.check ?within
-        ~abstract_space:(Space.create (Diffusing.env d))
-        ~concrete_space:(Space.create (Lowatomic.env l))
+        ~abstract_env:(Diffusing.env d)
+        ~engine:(Engine.create (Lowatomic.env l))
         ~abstract_program:(Diffusing.combined d)
         ~concrete_program:(Lowatomic.program l)
         ~projection
@@ -814,7 +815,7 @@ let e13 () =
   let consistency_closed =
     match
       Explore.Closure.program_closed
-        (Space.create (Lowatomic.env l))
+        (Engine.create (Lowatomic.env l))
         (Compile.program (Lowatomic.program l))
         ~pred:(fun s -> Lowatomic.consistent l s)
     with
@@ -827,13 +828,13 @@ let e13 () =
   let r = Protocols.Reset.make (Tree.balanced ~arity:2 3) in
   let rspace = Space.create (Protocols.Reset.env r) in
   let cp = Compile.program (Protocols.Reset.program r) in
-  let tsys = Tsys.build cp rspace in
   (match
-     Convergence.check_unfair tsys
-       ~from:(fun _ -> true)
+     Convergence.check_unfair
+       (Engine.of_space rspace)
+       cp ~from:Engine.All
        ~target:(fun s -> Protocols.Reset.invariant r s)
    with
-  | Ok { region_states; worst_case_steps } ->
+  | Ok { region_states; worst_case_steps; _ } ->
       Printf.printf
         "reset layer converges (region %d, worst %s) - the application \
          variables do not disturb the wave\n"
@@ -859,6 +860,109 @@ let e13 () =
     "reset guarantee: %d/%d red-turning transitions zero the application \
      variable (checked over the whole space)\n"
     (!red_turns - !violations) !red_turns
+
+(* E14 — eager vs lazy exploration engines. On spaces that fit under the
+   eager cap both engines answer the same query, with different cost
+   envelopes (the eager backend materializes the full CSR transition
+   system; the lazy backend only ever touches the states it discovers).
+   Past the cap only the lazy engine, seeded with a bounded-fault Hamming
+   ball around the legitimate state, returns a verdict at all. *)
+let e14 () =
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, (Sys.time () -. t0) *. 1000.0)
+  in
+  let backend_name = function Engine.Eager -> "eager" | Engine.Lazy -> "lazy" in
+  let row (name, states, env, cp, invariant, legit) ~backend ~radius =
+    let from_desc, from =
+      match radius with
+      | None -> ("all", fun _ -> Engine.All)
+      | Some r ->
+          ( Printf.sprintf "ball-%d" r,
+            fun () -> Engine.Seeds (Engine.ball env ~center:(legit ()) ~radius:r)
+          )
+    in
+    let outcome =
+      match
+        time (fun () ->
+            let engine = Engine.create ~backend env in
+            Convergence.check_unfair engine cp ~from:(from ()) ~target:invariant)
+      with
+      | exception Space.Too_large _ -> [ "-"; "-"; "over eager cap"; "-" ]
+      | exception Engine.Region_overflow n ->
+          [ Table.i n; "-"; "over lazy budget"; "-" ]
+      | Ok { Convergence.region_states; explored; worst_case_steps }, ms ->
+          [
+            Table.i explored;
+            Table.i region_states;
+            (match worst_case_steps with
+            | Some w -> Printf.sprintf "converges (worst %d)" w
+            | None -> "converges");
+            Table.f1 ms;
+          ]
+      | Error (Convergence.Deadlock _), ms -> [ "-"; "-"; "DEADLOCK"; Table.f1 ms ]
+      | Error (Convergence.Livelock _), ms -> [ "-"; "-"; "LIVELOCK"; Table.f1 ms ]
+    in
+    name :: states :: from_desc :: backend_name backend :: outcome
+  in
+  let diffusing n =
+    let d = Diffusing.make (Tree.balanced ~arity:2 n) in
+    ( Printf.sprintf "diffusing bal-2-%d" n,
+      Printf.sprintf "4^%d" n,
+      Diffusing.env d,
+      Compile.program (Diffusing.combined d),
+      (fun s -> Diffusing.invariant d s),
+      fun () -> Diffusing.all_green d )
+  in
+  let dijkstra n =
+    let dr = Dijkstra_ring.make ~nodes:n ~k:(n + 1) in
+    ( Printf.sprintf "dijkstra %d,K=%d" n (n + 1),
+      Printf.sprintf "%d^%d" (n + 1) n,
+      Dijkstra_ring.env dr,
+      Compile.program (Dijkstra_ring.program dr),
+      (fun s -> Dijkstra_ring.invariant dr s),
+      fun () -> Dijkstra_ring.all_zero dr )
+  in
+  let token_ring n k =
+    let tr = Token_ring.make ~nodes:n ~k in
+    ( Printf.sprintf "token-ring %d,K=%d" n k,
+      Printf.sprintf "%d^%d" k n,
+      Token_ring.env tr,
+      Compile.program (Token_ring.combined tr),
+      (fun s -> Token_ring.invariant tr s),
+      fun () -> Token_ring.all_zero tr )
+  in
+  (* Fits under the cap: both engines, full sweep and ball roots. *)
+  let moderate = [ diffusing 8; dijkstra 6; token_ring 6 7 ] in
+  let huge = [ diffusing 15; dijkstra 12; token_ring 12 13 ] in
+  let rows =
+    List.concat_map
+      (fun inst ->
+        [
+          row inst ~backend:Engine.Eager ~radius:None;
+          row inst ~backend:Engine.Lazy ~radius:None;
+          row inst ~backend:Engine.Eager ~radius:(Some 2);
+          row inst ~backend:Engine.Lazy ~radius:(Some 2);
+        ])
+      moderate
+    @ List.concat_map
+        (fun inst ->
+          [
+            row inst ~backend:Engine.Eager ~radius:(Some 2);
+            row inst ~backend:Engine.Lazy ~radius:(Some 2);
+          ])
+        huge
+  in
+  Table.print
+    ~title:
+      "E14: exploration engines - eager CSR vs lazy frontier (explored = \
+       states visited, the peak-memory driver; ball-R = states within R \
+       faults of legitimacy)"
+    ~header:
+      [ "instance"; "space"; "roots"; "engine"; "explored"; "region";
+        "verdict"; "ms" ]
+    rows
 
 (* micro — bechamel microbenchmarks of the substrate (B1-B6). *)
 let micro () =
@@ -903,10 +1007,9 @@ let micro () =
         (Staged.stage (fun () -> Tsys.build small_cp small_space));
       Test.make ~name:"B5 convergence check (4^3)"
         (Staged.stage
-           (let tsys = Tsys.build small_cp small_space in
+           (let engine = Engine.of_space small_space in
             fun () ->
-              Convergence.check_unfair tsys
-                ~from:(fun _ -> true)
+              Convergence.check_unfair engine small_cp ~from:Engine.All
                 ~target:(fun s -> Diffusing.invariant small s)));
       Test.make ~name:"B5 scc (10k nodes, 30k edges)"
         (Staged.stage (fun () -> Dgraph.Scc.compute scc_graph));
@@ -963,6 +1066,7 @@ let experiments =
     ("e11", e11);
     ("e12", e12);
     ("e13", e13);
+    ("e14", e14);
     ("micro", micro);
   ]
 

@@ -25,7 +25,7 @@ type instance = {
   program : Guarded.Program.t;
   invariant : Guarded.State.t -> bool;
   legitimate : unit -> Guarded.State.t;
-  certify : (space:Explore.Space.t -> Nonmask.Certify.t) option;
+  certify : (engine:Explore.Engine.t -> Nonmask.Certify.t) option;
   cgraphs : Nonmask.Cgraph.t list;
 }
 
@@ -48,7 +48,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
         program = Protocols.Diffusing.combined d;
         invariant = (fun s -> Protocols.Diffusing.invariant d s);
         legitimate = (fun () -> Protocols.Diffusing.all_green d);
-        certify = Some (fun ~space -> Protocols.Diffusing.certificate ~space d);
+        certify = Some (fun ~engine -> Protocols.Diffusing.certificate ~engine d);
         cgraphs = [ Protocols.Diffusing.cgraph d ];
       }
   | "lowatomic" ->
@@ -70,7 +70,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
         program = Protocols.Token_ring.combined tr;
         invariant = (fun s -> Protocols.Token_ring.invariant tr s);
         legitimate = (fun () -> Protocols.Token_ring.all_zero tr);
-        certify = Some (fun ~space -> Protocols.Token_ring.certificate ~space tr);
+        certify = Some (fun ~engine -> Protocols.Token_ring.certificate ~engine tr);
         cgraphs = Protocols.Token_ring.layers tr;
       }
   | "dijkstra" ->
@@ -105,7 +105,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
                 (Protocols.Xyz_demo.y d, 1);
                 (Protocols.Xyz_demo.z d, 1);
               ]);
-        certify = Some (fun ~space -> Protocols.Xyz_demo.certificate ~space d);
+        certify = Some (fun ~engine -> Protocols.Xyz_demo.certificate ~engine d);
         cgraphs = [ Protocols.Xyz_demo.cgraph d ];
       }
   | "atomic" ->
@@ -120,7 +120,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
             Protocols.Atomic_action.initial a
               ~decision:Protocols.Atomic_action.commit);
         certify =
-          Some (fun ~space -> Protocols.Atomic_action.certificate ~space a);
+          Some (fun ~engine -> Protocols.Atomic_action.certificate ~engine a);
         cgraphs = [ Protocols.Atomic_action.cgraph a ];
       }
   | "naive-ring" ->
@@ -207,6 +207,66 @@ let k_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let backend_conv =
+  let parse = function
+    | "eager" -> Ok Explore.Engine.Eager
+    | "lazy" -> Ok Explore.Engine.Lazy
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (eager|lazy)" s))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf
+      (match b with Explore.Engine.Eager -> "eager" | Lazy -> "lazy")
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt backend_conv Explore.Engine.Eager
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Exploration engine: $(b,eager) materializes the whole transition \
+           system up front; $(b,lazy) generates successors on the fly and \
+           only stores discovered states.")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt int 2_000_000
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:
+          "State budget. The eager engine refuses spaces larger than this; \
+           the lazy engine aborts once it has discovered this many states.")
+
+let ball_arg =
+  Arg.(
+    value
+    & opt int (-1)
+    & info [ "ball" ] ~docv:"R"
+        ~doc:
+          "Check convergence from the states within Hamming distance $(docv) \
+           of the legitimate state (at most $(docv) corrupted variables) \
+           instead of from every state. Lets the lazy engine give verdicts \
+           on spaces far beyond $(b,--max-states).")
+
+let make_engine ~backend ~max_states env =
+  Explore.Engine.create ~backend ~max_states env
+
+let report_overflow i = function
+  | Explore.Space.Too_large total ->
+      Printf.eprintf
+        "error: %s has ~%.3g states, over the budget; retry with --engine \
+         lazy (and --ball R for huge spaces) or raise --max-states\n"
+        i.i_name total;
+      exit 1
+  | Explore.Engine.Region_overflow n ->
+      Printf.eprintf
+        "error: %s: lazy exploration exceeded the budget after %d states; \
+         raise --max-states or shrink --ball\n"
+        i.i_name n;
+      exit 1
+  | e -> raise e
+
 let with_instance f proto shape size nodes k seed =
   try
     let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
@@ -246,51 +306,82 @@ let show_cmd =
     (instance_term run)
 
 let certify_cmd =
-  let run i _seed =
-    match i.certify with
-    | None ->
-        Printf.printf
-          "%s has no theorem certificate (validated by direct model \
-           checking; use `check`).\n"
-          i.i_name
-    | Some certify ->
-        let space = Explore.Space.create i.env in
-        let cert = certify ~space in
-        Format.printf "%a@." Nonmask.Certify.pp_full cert;
-        if not (Nonmask.Certify.ok cert) then exit 1
+  let run proto shape size nodes k seed backend max_states =
+    try
+      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      (match i.certify with
+      | None ->
+          Printf.printf
+            "%s has no theorem certificate (validated by direct model \
+             checking; use `check`).\n"
+            i.i_name
+      | Some certify -> (
+          try
+            let engine = make_engine ~backend ~max_states i.env in
+            let cert = certify ~engine in
+            Format.printf "%a@." Nonmask.Certify.pp_full cert;
+            if not (Nonmask.Certify.ok cert) then exit 1
+          with e -> report_overflow i e));
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
   in
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Validate the design with the applicable theorem (exhaustive)")
-    (instance_term run)
+    Term.(
+      const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
+      $ seed_arg $ engine_arg $ max_states_arg)
 
 let check_cmd =
-  let run i _seed =
-    let space = Explore.Space.create i.env in
-    let tsys = Explore.Tsys.build (Compile.program i.program) space in
-    (match
-       Explore.Convergence.check_unfair tsys
-         ~from:(fun _ -> true)
-         ~target:i.invariant
-     with
-    | Ok { region_states; worst_case_steps } ->
-        Printf.printf
-          "%s: converges from every state, even without fairness\n\
-          \  states: %d  outside invariant: %d  worst-case steps: %s\n"
-          i.i_name (Explore.Space.size space) region_states
-          (match worst_case_steps with
-          | Some w -> string_of_int w
-          | None -> "-")
-    | Error f ->
-        Format.printf "%s: FAILS@.%a@." i.i_name
-          (Explore.Convergence.pp_failure i.env)
-          f;
-        exit 1)
+  let run proto shape size nodes k seed backend max_states ball =
+    try
+      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      (try
+         let engine = make_engine ~backend ~max_states i.env in
+         let from, from_desc =
+           if ball < 0 then (Explore.Engine.All, "every state")
+           else
+             ( Explore.Engine.Seeds
+                 (Explore.Engine.ball i.env ~center:(i.legitimate ())
+                    ~radius:ball),
+               Printf.sprintf "every state within %d faults of legitimacy"
+                 ball )
+         in
+         match
+           Explore.Convergence.check_unfair engine
+             (Compile.program i.program) ~from ~target:i.invariant
+         with
+         | Ok { region_states; explored; worst_case_steps } ->
+             Printf.printf
+               "%s (%s engine): converges from %s, even without fairness\n\
+               \  explored: %d  outside invariant: %d  worst-case steps: %s\n"
+               i.i_name
+               (Explore.Engine.backend_name engine)
+               from_desc explored region_states
+               (match worst_case_steps with
+               | Some w -> string_of_int w
+               | None -> "-")
+         | Error f ->
+             Format.printf "%s: FAILS@.%a@." i.i_name
+               (Explore.Convergence.pp_failure i.env)
+               f;
+             exit 1
+       with e -> report_overflow i e);
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Exhaustively check convergence from every state")
-    (instance_term run)
+       ~doc:
+         "Check convergence exhaustively (or from a fault ball with \
+          $(b,--ball))")
+    Term.(
+      const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
+      $ seed_arg $ engine_arg $ max_states_arg $ ball_arg)
 
 let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trial count.")

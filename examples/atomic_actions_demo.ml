@@ -28,8 +28,8 @@ let () =
   Format.printf "Constraint graph (out-tree -> Theorem 1):@.%a@."
     Nonmask.Cgraph.pp (Atomic.cgraph a);
 
-  let space = Explore.Space.create env in
-  Format.printf "%a@." Nonmask.Certify.pp (Atomic.certificate ~space a);
+  let engine = Explore.Engine.create env in
+  Format.printf "%a@." Nonmask.Certify.pp (Atomic.certificate ~engine a);
 
   let cp = Guarded.Compile.program (Atomic.program a) in
 

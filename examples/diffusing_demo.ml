@@ -26,8 +26,8 @@ let () =
     (Diffusing.combined d);
 
   (* Theorem 1 certificate (exhaustive over all 4^7 = 16384 states). *)
-  let space = Explore.Space.create env in
-  let cert = Diffusing.certificate ~space d in
+  let engine = Explore.Engine.create env in
+  let cert = Diffusing.certificate ~engine d in
   Format.printf "%a@." Nonmask.Certify.pp cert;
 
   (* A healthy wave from all-green: red propagates to the leaves and green

@@ -69,22 +69,24 @@ let () =
   Format.printf "Constraint graph:@.%a@." Nonmask.Cgraph.pp cgraph;
 
   (* 5. Certify with Theorem 1 (the graph is an out-tree rooted at {x}). *)
-  let space = Explore.Space.create env in
-  let cert = Nonmask.Theorems.validate_theorem1 ~space ~spec ~cgraph in
+  let engine = Explore.Engine.create env in
+  let cert = Nonmask.Theorems.validate_theorem1 ~engine ~spec ~cgraph in
   Format.printf "%a@." Nonmask.Certify.pp cert;
 
   (* Cross-check the theorem's consequent by exhaustive model checking. *)
   let program = Nonmask.Theorems.augmented_program spec [ cgraph ] in
-  let tsys = Explore.Tsys.build (Guarded.Compile.program program) space in
+  let cp = Guarded.Compile.program program in
   let inv = Guarded.Compile.pred invariant in
   (match
-     Explore.Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:inv
+     Explore.Convergence.check_unfair engine cp ~from:Explore.Engine.All
+       ~target:inv
    with
-  | Ok { region_states; worst_case_steps } ->
+  | Ok { region_states; worst_case_steps; _ } ->
       Format.printf
         "Model checker: converges from all %d states (%d outside S, worst \
          case %s steps), even without fairness.@."
-        (Explore.Space.size space) region_states
+        (Explore.Space.size (Explore.Engine.space engine))
+        region_states
         (match worst_case_steps with Some w -> string_of_int w | None -> "-")
   | Error f ->
       Format.printf "Model checker found a failure: %a@."

@@ -16,9 +16,9 @@ let () =
   let tr = Token_ring.make ~nodes:4 ~k:5 in
   Format.printf "The paper's program (bounded window):@.%a@.@."
     Guarded.Program.pp (Token_ring.combined tr);
-  let space = Explore.Space.create (Token_ring.env tr) in
-  Format.printf "%a@." Nonmask.Certify.pp (Token_ring.certificate ~space tr);
-  let strict = Token_ring.certificate_strict ~space tr in
+  let engine = Explore.Engine.create (Token_ring.env tr) in
+  Format.printf "%a@." Nonmask.Certify.pp (Token_ring.certificate ~engine tr);
+  let strict = Token_ring.certificate_strict ~engine tr in
   Format.printf
     "Literal reading of Theorem 3 valid? %b — the token-passing closure \
      action violates second-layer constraints; the paper's own remarks \

@@ -13,7 +13,7 @@ let pp_error ppf = function
         "the constraint graph is cyclic; partition the convergence actions \
          into layers (Theorem 3)"
 
-let design ?nodes ~space ~spec layers =
+let design ?nodes ~engine ~spec layers =
   let nodes =
     match nodes with
     | Some ns -> ns
@@ -41,14 +41,14 @@ let design ?nodes ~space ~spec layers =
       | [ g ] -> (
           match Cgraph.shape g with
           | Dgraph.Classify.Out_tree ->
-              finish (Theorems.validate_theorem1 ~space ~spec ~cgraph:g)
+              finish (Theorems.validate_theorem1 ~engine ~spec ~cgraph:g)
           | Dgraph.Classify.Self_looping ->
-              finish (Theorems.validate_theorem2 ~space ~spec ~cgraph:g)
+              finish (Theorems.validate_theorem2 ~engine ~spec ~cgraph:g)
           | Dgraph.Classify.Cyclic -> Error Cyclic_needs_layers)
       | gs ->
-          let strict = Theorems.validate_theorem3 ~space ~spec gs in
+          let strict = Theorems.validate_theorem3 ~engine ~spec gs in
           if Certify.ok strict then finish strict
           else
             finish
-              (Theorems.validate_theorem3 ~modulo_invariant:true ~space ~spec
+              (Theorems.validate_theorem3 ~modulo_invariant:true ~engine ~spec
                  gs))

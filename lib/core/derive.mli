@@ -30,11 +30,11 @@ type error =
 
 val design :
   ?nodes:(string * Guarded.Var.Set.t) list ->
-  space:Explore.Space.t ->
+  engine:Explore.Engine.t ->
   spec:Spec.t ->
   Cgraph.pair list list ->
   (plan, error) result
-(** [design ~space ~spec layers]. [nodes] defaults to the inferred
+(** [design ~engine ~spec layers]. [nodes] defaults to the inferred
     partition ({!Cgraph.infer_nodes}) computed over all pairs. The plan is
     returned even when some certificate obligations fail — inspect
     [Certify.ok plan.certificate]; [Error _] is reserved for structural

@@ -2,6 +2,7 @@ module State = Guarded.State
 module Var = Guarded.Var
 module Compile = Guarded.Compile
 module Space = Explore.Space
+module Engine = Explore.Engine
 
 type failure =
   | Unsimulated_step of {
@@ -22,10 +23,9 @@ type t = {
 
 let ok t = match t.result with Ok () -> true | Error _ -> false
 
-let check ?(within = fun _ -> true) ~abstract_space ~concrete_space
-    ~abstract_program ~concrete_program ~projection ~abstract_invariant
-    ~concrete_invariant () =
-  let abs_env = Space.env abstract_space in
+let check ?(within = fun _ -> true) ~abstract_env ~engine ~abstract_program
+    ~concrete_program ~projection ~abstract_invariant ~concrete_invariant () =
+  let abs_env = abstract_env in
   let abs_vars = Guarded.Env.vars abs_env in
   Array.iter
     (fun av ->
@@ -53,10 +53,10 @@ let check ?(within = fun _ -> true) ~abstract_space ~concrete_space
   let conc_cp = Compile.program concrete_program in
   let stutter = ref 0 and simulated = ref 0 in
   let failure = ref None in
-  let conc_post = State.make (Space.env concrete_space) in
+  let conc_post = State.make (Engine.env engine) in
   (* 1 + 2: simulation and invariant agreement over every concrete state *)
   (try
-     Space.iter concrete_space (fun _ cs ->
+     Engine.iter_states engine (fun cs ->
        if within cs then begin
          let abs_pre = project cs in
          if concrete_invariant cs <> abstract_invariant abs_pre then begin
@@ -94,49 +94,28 @@ let check ?(within = fun _ -> true) ~abstract_space ~concrete_space
            conc_cp.Compile.actions
        end)
    with Exit -> ());
-  (* 3: no stutter cycles outside the concrete invariant *)
+  (* 3: no stutter cycles outside the concrete invariant. The region of
+     states where [within ∧ ¬invariant] holds, restricted to stutter edges
+     (projected pre = projected post), must be acyclic. *)
   (if !failure = None then
-     let tsys = Explore.Tsys.build conc_cp concrete_space in
-     let n = Space.size concrete_space in
-     let not_inv = Explore.Bitset.create n in
-     Space.iter concrete_space (fun id s ->
-         if within s && not (concrete_invariant s) then
-           Explore.Bitset.add not_inv id);
-     let member id = Explore.Bitset.mem not_inv id in
-     (* dense renumbering of the ¬inv region *)
-     let node_of = Array.make n (-1) in
-     let count = ref 0 in
-     for id = 0 to n - 1 do
-       if member id then begin
-         node_of.(id) <- !count;
-         incr count
-       end
-     done;
-     let node_to_state = Array.make !count 0 in
-     Array.iteri (fun id v -> if v >= 0 then node_to_state.(v) <- id) node_of;
-     let g = Dgraph.Digraph.create !count in
-     let buf = State.make (Space.env concrete_space) in
-     for id = 0 to n - 1 do
-       if member id then begin
-         Space.decode_into concrete_space id buf;
-         let abs_pre = project buf in
-         Explore.Tsys.iter_succ tsys id (fun ~action:_ ~dst ->
-             if member dst then begin
-               let abs_post = project (Space.decode concrete_space dst) in
-               if State.equal abs_pre abs_post then
-                 Dgraph.Digraph.add_edge g ~src:node_of.(id)
-                   ~dst:node_of.(dst) ()
-             end)
-       end
-     done;
+     let space = Engine.space engine in
+     let region =
+       Engine.region engine conc_cp ~from:Engine.All
+         ~target:(fun s -> (not (within s)) || concrete_invariant s)
+     in
+     let abs_of = Array.map (fun key -> project (Space.decode space key))
+         region.Engine.node_key
+     in
+     let stutters (e : _ Dgraph.Digraph.edge) =
+       State.equal abs_of.(e.src) abs_of.(e.dst)
+     in
+     let g = Dgraph.Digraph.filter_edges stutters region.Engine.graph in
      match Dgraph.Topo.find_cycle g with
      | Some cycle ->
          failure :=
            Some
              (Stutter_divergence
-                (List.map
-                   (fun v -> Space.decode concrete_space node_to_state.(v))
-                   cycle))
+                (List.map (fun v -> Engine.state_of_node engine region v) cycle))
      | None -> ());
   {
     abstract_name = Guarded.Program.name abstract_program;

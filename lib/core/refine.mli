@@ -51,8 +51,8 @@ val ok : t -> bool
 
 val check :
   ?within:(Guarded.State.t -> bool) ->
-  abstract_space:Explore.Space.t ->
-  concrete_space:Explore.Space.t ->
+  abstract_env:Guarded.Env.t ->
+  engine:Explore.Engine.t ->
   abstract_program:Guarded.Program.t ->
   concrete_program:Guarded.Program.t ->
   projection:(Guarded.Var.t * Guarded.Var.t) list ->

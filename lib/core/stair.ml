@@ -14,26 +14,26 @@ let step_ok s =
 
 let ok t = List.for_all step_ok t.steps
 
-let validate ~space ~program ~name preds =
+let validate ~engine ~program ~name preds =
   if List.length preds < 2 then
     invalid_arg "Stair.validate: need at least R_0 and R_1";
   let cp = Guarded.Compile.program program in
-  let tsys = Explore.Tsys.build cp space in
   let rec pairs = function
     | (la, pa) :: ((lb, pb) :: _ as rest) ->
         let contained =
           (* R_{i+1} ⟹ R_i *)
           let ok = ref true in
-          Explore.Space.iter space (fun _ s ->
+          Explore.Engine.iter_states engine (fun s ->
               if pb s && not (pa s) then ok := false);
           !ok
         in
         (* The *source* predicate of the step must be closed; the last
            predicate's closure is checked as the source of no step, so also
            check the target here when it is the final one. *)
-        let closed = Explore.Closure.program_closed space cp ~pred:pa in
+        let closed = Explore.Closure.program_closed engine cp ~pred:pa in
         let converges =
-          Explore.Convergence.check_unfair tsys ~from:pa ~target:pb
+          Explore.Convergence.check_unfair engine cp
+            ~from:(Explore.Engine.Pred pa) ~target:pb
         in
         { label = Printf.sprintf "%s -> %s" la lb; contained; closed; converges }
         :: pairs rest
@@ -46,8 +46,14 @@ let validate ~space ~program ~name preds =
     {
       label = Printf.sprintf "%s closed" bottom_label;
       contained = true;
-      closed = Explore.Closure.program_closed space cp ~pred:bottom_pred;
-      converges = Ok { Explore.Convergence.region_states = 0; worst_case_steps = Some 0 };
+      closed = Explore.Closure.program_closed engine cp ~pred:bottom_pred;
+      converges =
+        Ok
+          {
+            Explore.Convergence.region_states = 0;
+            explored = 0;
+            worst_case_steps = Some 0;
+          };
     }
   in
   { spec_name = name; steps = steps @ [ bottom ] }

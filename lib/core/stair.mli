@@ -31,12 +31,12 @@ type t = {
 val ok : t -> bool
 
 val validate :
-  space:Explore.Space.t ->
+  engine:Explore.Engine.t ->
   program:Guarded.Program.t ->
   name:string ->
   (string * (Guarded.State.t -> bool)) list ->
   t
-(** [validate ~space ~program ~name stairs] checks the chain given as
+(** [validate ~engine ~program ~name stairs] checks the chain given as
     labeled predicates, ordered from [R_0 = T] down to [R_k = S].
     @raise Invalid_argument if fewer than two predicates are given. *)
 

@@ -2,7 +2,7 @@ module Expr = Guarded.Expr
 module State = Guarded.State
 module Action = Guarded.Action
 module Compile = Guarded.Compile
-module Space = Explore.Space
+module Engine = Explore.Engine
 module Closure = Explore.Closure
 
 let identical_actions a b =
@@ -13,10 +13,10 @@ let identical_actions a b =
        (Action.assigns a) (Action.assigns b)
 
 (* ∀ in-domain s: hyp s ⟹ conc s, with a counterexample on failure. *)
-let implication space env ~label ~hyp ~conc =
+let implication engine env ~label ~hyp ~conc =
   let counterexample = ref None in
   (try
-     Space.iter space (fun _ s ->
+     Engine.iter_states engine (fun s ->
          if hyp s && not (conc s) then begin
            counterexample := Some (State.copy s);
            raise Exit
@@ -29,11 +29,11 @@ let implication space env ~label ~hyp ~conc =
         ~detail:(Format.asprintf "counterexample %a" (State.pp env) s)
 
 (* ∀ s: given s ∧ enabled s ⟹ pred (post s). *)
-let establishes space env ~label ~given (ca : Compile.action) ~pred =
-  let post = State.make (Space.env space) in
+let establishes engine env ~label ~given (ca : Compile.action) ~pred =
+  let post = State.make (Engine.env engine) in
   let counterexample = ref None in
   (try
-     Space.iter space (fun _ s ->
+     Engine.iter_states engine (fun s ->
          if given s && ca.enabled s then begin
            ca.apply_into s post;
            if not (pred post) then begin
@@ -50,12 +50,12 @@ let establishes space env ~label ~given (ca : Compile.action) ~pred =
           (Format.asprintf "pre %a -> post %a" (State.pp env) pre
              (State.pp env) post)
 
-let preserves space env ~label ~given ca ~pred =
+let preserves engine env ~label ~given ca ~pred =
   Certify.of_closure_result env label
-    (Closure.action_preserves ~given space ca ~pred)
+    (Closure.action_preserves ~given engine ca ~pred)
 
 let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
-    ~space ~spec layers =
+    ~engine ~spec layers =
   let env = Spec.env spec in
   let s_pred = Spec.compile_invariant spec in
   let t_pred = Spec.compile_fault_span spec in
@@ -94,9 +94,9 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
   let add c = checks := c :: !checks in
   (* Sanity. *)
   add
-    (implication space env ~label:"S implies T" ~hyp:s_pred ~conc:t_pred);
+    (implication engine env ~label:"S implies T" ~hyp:s_pred ~conc:t_pred);
   add
-    (implication space env ~label:"T and all constraints imply S"
+    (implication engine env ~label:"T and all constraints imply S"
        ~hyp:(fun s -> t_pred s && all_constraints_hold s)
        ~conc:s_pred);
   (* Candidate triple: closure actions preserve S and T. *)
@@ -104,12 +104,12 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
     (fun (ca : Compile.action) ->
       let n = Action.name ca.source in
       add
-        (preserves space env
+        (preserves engine env
            ~label:(Printf.sprintf "closure %s preserves S" n)
            ~given:(fun _ -> true)
            ca ~pred:s_pred);
       add
-        (preserves space env
+        (preserves engine env
            ~label:(Printf.sprintf "closure %s preserves T" n)
            ~given:(fun _ -> true)
            ca ~pred:t_pred))
@@ -125,31 +125,31 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
           let aname = Action.name p.action in
           let c = Constr.compile p.constr in
           add
-            (preserves space env
+            (preserves engine env
                ~label:(Printf.sprintf "convergence %s preserves T" aname)
                ~given:(fun _ -> true)
                ca ~pred:t_pred);
           add
-            (preserves space env
+            (preserves engine env
                ~label:(Printf.sprintf "convergence %s preserves S" aname)
                ~given:(fun _ -> true)
                ca ~pred:s_pred);
           add
-            (implication space env
+            (implication engine env
                ~label:
                  (Printf.sprintf "%s enabled only when %s violated" aname
                     cname)
                ~hyp:(fun s -> h s && ca.enabled s)
                ~conc:(fun s -> not (c s)));
           add
-            (implication space env
+            (implication engine env
                ~label:
                  (Printf.sprintf "%s enabled whenever %s violated" aname
                     cname)
                ~hyp:(fun s -> h s && not (c s))
                ~conc:ca.enabled);
           add
-            (establishes space env
+            (establishes engine env
                ~label:(Printf.sprintf "%s establishes %s" aname cname)
                ~given:h ca ~pred:c))
         pairs)
@@ -203,7 +203,7 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
               in
               if not exempt then
                 add
-                  (preserves space env
+                  (preserves engine env
                      ~label:
                        (Printf.sprintf "closure %s preserves %s under H_%d"
                           (Action.name ca.source) cname l)
@@ -213,7 +213,7 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
             Array.iteri
               (fun i' (q : Cgraph.pair) ->
                 add
-                  (preserves space env
+                  (preserves engine env
                      ~label:
                        (Printf.sprintf
                           "convergence %s (layer %d) preserves %s (layer %d)"
@@ -238,7 +238,7 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
             let _, dst_k = Cgraph.edge_of_pair g k in
             if dst_i = dst_k then
               add
-                (preserves space env
+                (preserves engine env
                    ~label:
                      (Printf.sprintf
                         "ordering: %s preserves %s (same target node)"
@@ -258,22 +258,22 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
     checks = List.rev !checks;
   }
 
-let validate_theorem1 ~space ~spec ~cgraph =
+let validate_theorem1 ~engine ~spec ~cgraph =
   validate ~theorem:"Theorem 1"
     ~shape_ok:(fun s -> s = Dgraph.Classify.Out_tree)
     ~shape_want:"an out-tree" ~modulo_invariant:false ~check_ordering:false
-    ~space ~spec [ cgraph ]
+    ~engine ~spec [ cgraph ]
 
-let validate_theorem2 ~space ~spec ~cgraph =
+let validate_theorem2 ~engine ~spec ~cgraph =
   validate ~theorem:"Theorem 2"
     ~shape_ok:(fun s -> s <> Dgraph.Classify.Cyclic)
     ~shape_want:"self-looping" ~modulo_invariant:false ~check_ordering:true
-    ~space ~spec [ cgraph ]
+    ~engine ~spec [ cgraph ]
 
-let validate_theorem3 ?(modulo_invariant = false) ~space ~spec layers =
+let validate_theorem3 ?(modulo_invariant = false) ~engine ~spec layers =
   validate ~theorem:"Theorem 3"
     ~shape_ok:(fun s -> s <> Dgraph.Classify.Cyclic)
-    ~shape_want:"self-looping" ~modulo_invariant ~check_ordering:true ~space
+    ~shape_want:"self-looping" ~modulo_invariant ~check_ordering:true ~engine
     ~spec layers
 
 let augmented_program spec layers =

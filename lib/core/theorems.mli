@@ -40,17 +40,17 @@
     always applied; (b) is opt-in and recorded in the certificate name. *)
 
 val validate_theorem1 :
-  space:Explore.Space.t -> spec:Spec.t -> cgraph:Cgraph.t -> Certify.t
+  engine:Explore.Engine.t -> spec:Spec.t -> cgraph:Cgraph.t -> Certify.t
 (** Out-tree constraint graphs (Section 5). *)
 
 val validate_theorem2 :
-  space:Explore.Space.t -> spec:Spec.t -> cgraph:Cgraph.t -> Certify.t
+  engine:Explore.Engine.t -> spec:Spec.t -> cgraph:Cgraph.t -> Certify.t
 (** Self-looping constraint graphs with per-node linear orderings
     (Section 6). The ordering checked is the order of the pair list. *)
 
 val validate_theorem3 :
   ?modulo_invariant:bool ->
-  space:Explore.Space.t ->
+  engine:Explore.Engine.t ->
   spec:Spec.t ->
   Cgraph.t list ->
   Certify.t

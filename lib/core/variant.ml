@@ -1,6 +1,6 @@
 module State = Guarded.State
 module Compile = Guarded.Compile
-module Space = Explore.Space
+module Engine = Explore.Engine
 
 type t = {
   rank_count : int;
@@ -41,9 +41,9 @@ type failure = {
   kind : [ `Convergence_did_not_decrease | `Closure_increased ];
 }
 
-let check ~space ~spec ~cgraph t =
+let check ~engine ~spec ~cgraph t =
   let tpred = Spec.compile_fault_span spec in
-  let post = State.make (Space.env space) in
+  let post = State.make (Engine.env engine) in
   let closure = Compile.program (Spec.program spec) in
   let conv =
     Array.map
@@ -56,7 +56,7 @@ let check ~space ~spec ~cgraph t =
       (fun (ca : Compile.action) ->
         if !failure = None then
           try
-            Space.iter space (fun _ s ->
+            Engine.iter_states engine (fun s ->
                 if tpred s && ca.enabled s then begin
                   ca.apply_into s post;
                   let vp = value t s and vq = value t post in

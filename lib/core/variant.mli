@@ -36,7 +36,7 @@ type failure = {
 }
 
 val check :
-  space:Explore.Space.t ->
+  engine:Explore.Engine.t ->
   spec:Spec.t ->
   cgraph:Cgraph.t ->
   t ->

@@ -7,16 +7,25 @@ type violation = {
   post : Guarded.State.t;
 }
 
+type scope =
+  | Whole_space
+  | Reachable of Guarded.Compile.program * Engine.roots
+
 let pp_violation env ppf v =
   Format.fprintf ppf "@[<v>action %s violates the predicate:@,pre  = %a@,post = %a@]"
     (Guarded.Action.name v.action) (State.pp env) v.pre (State.pp env) v.post
 
-let action_preserves ?(given = fun _ -> true) space (ca : Compile.action) ~pred
-    =
-  let post = State.make (Space.env space) in
+let iter_scope engine scope f =
+  match scope with
+  | Whole_space -> Engine.iter_states engine f
+  | Reachable (cp, from) -> Engine.iter_reachable engine cp ~from f
+
+let action_preserves ?(given = fun _ -> true) ?(scope = Whole_space) engine
+    (ca : Compile.action) ~pred =
+  let post = State.make (Engine.env engine) in
   let result = ref (Ok ()) in
   (try
-     Space.iter space (fun _ s ->
+     iter_scope engine scope (fun s ->
          if given s && pred s && ca.enabled s then begin
            ca.apply_into s post;
            if not (pred post) then begin
@@ -29,11 +38,11 @@ let action_preserves ?(given = fun _ -> true) space (ca : Compile.action) ~pred
    with Exit -> ());
   !result
 
-let program_closed ?given space (cp : Compile.program) ~pred =
+let program_closed ?given ?scope engine (cp : Compile.program) ~pred =
   let rec go i =
     if i >= Array.length cp.actions then Ok ()
     else
-      match action_preserves ?given space cp.actions.(i) ~pred with
+      match action_preserves ?given ?scope engine cp.actions.(i) ~pred with
       | Ok () -> go (i + 1)
       | Error _ as e -> e
   in

@@ -1,10 +1,16 @@
 (** Closure checking (Section 3 of the paper).
 
     A state predicate [R] is closed in a program iff every action preserves
-    [R]: from any in-domain state where the action is enabled and [R] holds,
-    execution yields a state where [R] holds. These checks are exhaustive
-    over an enumerated state space, so a success is a proof for that
-    instance and a failure carries a concrete counterexample step.
+    [R]: from any state where the action is enabled and [R] holds,
+    execution yields a state where [R] holds. By default the check sweeps
+    every in-domain state, so a success is a proof for that instance and a
+    failure carries a concrete counterexample step.
+
+    On spaces too large to sweep, restrict the check to a {!scope}: the
+    states reachable from a root set under a program's actions. When the
+    roots include every state satisfying [given ∧ pred] this is equivalent
+    to the full sweep (a violation can only fire at such a state); when
+    they do not, the result is a proof for the explored region only.
 
     The optional [given] hypothesis restricts the check to states satisfying
     it — Theorem 3's obligations have the form "preserves [c] {e whenever
@@ -16,19 +22,29 @@ type violation = {
   post : Guarded.State.t;
 }
 
+(** What part of the state space the check covers. *)
+type scope =
+  | Whole_space  (** every in-domain state (the default) *)
+  | Reachable of Guarded.Compile.program * Engine.roots
+      (** only states reachable from the roots under the program *)
+
 val pp_violation : Guarded.Env.t -> Format.formatter -> violation -> unit
 
 val action_preserves :
   ?given:(Guarded.State.t -> bool) ->
-  Space.t ->
+  ?scope:scope ->
+  Engine.t ->
   Guarded.Compile.action ->
   pred:(Guarded.State.t -> bool) ->
   (unit, violation) result
-(** Does this action preserve [pred] (under hypothesis [given])? *)
+(** Does this action preserve [pred] (under hypothesis [given])? Stops at
+    the first violation.
+    @raise Engine.Region_overflow when a lazy engine exceeds its budget. *)
 
 val program_closed :
   ?given:(Guarded.State.t -> bool) ->
-  Space.t ->
+  ?scope:scope ->
+  Engine.t ->
   Guarded.Compile.program ->
   pred:(Guarded.State.t -> bool) ->
   (unit, violation) result

@@ -1,7 +1,11 @@
 module State = Guarded.State
 module Compile = Guarded.Compile
 
-type stats = { region_states : int; worst_case_steps : int option }
+type stats = {
+  region_states : int;
+  explored : int;
+  worst_case_steps : int option;
+}
 
 type failure =
   | Deadlock of Guarded.State.t
@@ -12,121 +16,116 @@ type verdict =
   | Fails of failure
   | Unknown of Guarded.State.t list
 
-(* The region of interest: states reachable from [from] where [target] does
-   not hold, as (membership test, member count, induced graph pieces). *)
-let build_region tsys ~from ~target =
-  let space = Tsys.space tsys in
-  let roots = Space.satisfying space from in
-  let reach = Tsys.reachable tsys roots in
-  let target_set = Bitset.create (Space.size space) in
-  Space.iter space (fun id s -> if target s then Bitset.add target_set id);
-  let member id = Bitset.mem reach id && not (Bitset.mem target_set id) in
-  let graph, node_to_state, state_to_node =
-    Tsys.region_graph_full tsys ~member
+(* First terminal member of the region, scanning with early exit. *)
+let find_deadlock engine (region : Engine.region) =
+  let space = Engine.space engine in
+  let n = Array.length region.node_key in
+  let rec go i =
+    if i >= n then None
+    else if region.terminal.(i) then
+      Some (Deadlock (Space.decode space region.node_key.(i)))
+    else go (i + 1)
   in
-  (graph, node_to_state, state_to_node)
+  go 0
 
-let find_deadlock tsys node_to_state =
-  let space = Tsys.space tsys in
-  let found = ref None in
-  Array.iter
-    (fun id ->
-      if !found = None && Tsys.is_terminal tsys id then
-        found := Some (Deadlock (Space.decode space id)))
-    node_to_state;
-  !found
-
-let check_unfair tsys ~from ~target =
-  let space = Tsys.space tsys in
-  let graph, node_to_state, _ = build_region tsys ~from ~target in
-  match find_deadlock tsys node_to_state with
+(* The exact unfair analysis of an already-built region: converges iff no
+   member is terminal and the member graph is acyclic. *)
+let analyze_unfair engine (region : Engine.region) =
+  let space = Engine.space engine in
+  match find_deadlock engine region with
   | Some f -> Error f
   | None -> (
-      match Dgraph.Topo.find_cycle graph with
+      match Dgraph.Topo.find_cycle region.graph with
       | Some nodes ->
           Error
             (Livelock
-               (List.map (fun v -> Space.decode space node_to_state.(v)) nodes))
+               (List.map
+                  (fun v -> Space.decode space region.node_key.(v))
+                  nodes))
       | None ->
-          let region_states = Array.length node_to_state in
+          let region_states = Array.length region.node_key in
           let worst =
             if region_states = 0 then 0
             else
-              match Dgraph.Topo.longest_path_lengths graph with
+              match Dgraph.Topo.longest_path_lengths region.graph with
               | Some dist -> Array.fold_left max 0 dist + 1
               | None -> assert false (* acyclic: find_cycle returned None *)
           in
-          Ok { region_states; worst_case_steps = Some worst })
+          Ok
+            {
+              region_states;
+              explored = region.explored;
+              worst_case_steps = Some worst;
+            })
+
+let check_unfair engine cp ~from ~target =
+  analyze_unfair engine (Engine.region engine cp ~from ~target)
 
 (* Weak-fairness escape criterion for one SCC: an action enabled at every
-   state of the component whose execution always leaves the component. *)
-let scc_has_uniform_exit tsys state_to_node (scc : Dgraph.Scc.t) comp members
-    node_to_state =
-  let space = Tsys.space tsys in
-  let cp = Tsys.program tsys in
+   state of the component whose execution always leaves the component.
+   Decode/post buffers are reused across all (node, action) pairs. *)
+let scc_has_uniform_exit engine cp (region : Engine.region)
+    (scc : Dgraph.Scc.t) comp members =
+  let space = Engine.space engine in
+  let buf = State.make (Space.env space) in
   let post = State.make (Space.env space) in
-  let in_same_component dst_id =
-    let node = state_to_node dst_id in
+  let in_same_component node =
     node >= 0 && scc.Dgraph.Scc.component.(node) = comp
   in
   let action_works (ca : Compile.action) =
     List.for_all
       (fun node ->
-        let id = node_to_state.(node) in
-        let s = Space.decode space id in
-        ca.enabled s
+        Space.decode_into space region.node_key.(node) buf;
+        ca.enabled buf
         &&
         begin
-          ca.apply_into s post;
-          not (in_same_component (Space.encode space post))
+          ca.apply_into buf post;
+          not (in_same_component (region.node_of_key (Space.encode space post)))
         end)
       members
   in
-  Array.exists action_works cp.actions
+  Array.exists action_works cp.Compile.actions
 
-let check_fair tsys ~from ~target =
-  match check_unfair tsys ~from ~target with
+let check_fair engine cp ~from ~target =
+  let region = Engine.region engine cp ~from ~target in
+  match analyze_unfair engine region with
   | Ok stats -> Converges stats
   | Error (Deadlock _ as f) -> Fails f
   | Error (Livelock _) -> (
-      let space = Tsys.space tsys in
-      let graph, node_to_state, state_to_node =
-        build_region tsys ~from ~target
-      in
-      match find_deadlock tsys node_to_state with
-      | Some f -> Fails f
+      let space = Engine.space engine in
+      let scc = Dgraph.Scc.compute region.graph in
+      let bad = ref None in
+      (try
+         for comp = 0 to scc.Dgraph.Scc.count - 1 do
+           let members = scc.Dgraph.Scc.members.(comp) in
+           let nontrivial =
+             match members with
+             | [ v ] -> Dgraph.Digraph.has_self_loop region.graph v
+             | _ -> true
+           in
+           if
+             nontrivial
+             && not (scc_has_uniform_exit engine cp region scc comp members)
+           then begin
+             bad := Some members;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      match !bad with
+      | Some members ->
+          let sample =
+            List.filteri (fun i _ -> i < 10) members
+            |> List.map (fun v -> Space.decode space region.node_key.(v))
+          in
+          Unknown sample
       | None ->
-          let scc = Dgraph.Scc.compute graph in
-          let bad = ref None in
-          for comp = 0 to scc.Dgraph.Scc.count - 1 do
-            if !bad = None then begin
-              let members = scc.Dgraph.Scc.members.(comp) in
-              let nontrivial =
-                match members with
-                | [ v ] -> Dgraph.Digraph.has_self_loop graph v
-                | _ -> true
-              in
-              if
-                nontrivial
-                && not
-                     (scc_has_uniform_exit tsys state_to_node scc comp members
-                        node_to_state)
-              then bad := Some members
-            end
-          done;
-          (match !bad with
-          | Some members ->
-              let sample =
-                List.filteri (fun i _ -> i < 10) members
-                |> List.map (fun v -> Space.decode space node_to_state.(v))
-              in
-              Unknown sample
-          | None ->
-              Converges
-                {
-                  region_states = Array.length node_to_state;
-                  worst_case_steps = None;
-                }))
+          Converges
+            {
+              region_states = Array.length region.node_key;
+              explored = region.explored;
+              worst_case_steps = None;
+            })
 
 let pp_failure env ppf = function
   | Deadlock s ->
@@ -138,7 +137,7 @@ let pp_failure env ppf = function
         states
 
 let pp_verdict env ppf = function
-  | Converges { region_states; worst_case_steps } ->
+  | Converges { region_states; worst_case_steps; _ } ->
       Format.fprintf ppf "converges (region %d states%s)" region_states
         (match worst_case_steps with
         | Some w -> Printf.sprintf ", worst case %d steps" w

@@ -2,10 +2,13 @@
 
     The convergence requirement of [T]-tolerance for [S]: every computation
     that starts at a state where [T] holds reaches a state where [S] holds.
+    Both checks run against an exploration {!Engine} — the eager CSR
+    backend or the lazy frontier backend — and are backend-agnostic: the
+    engines are equivalence-tested to return identical verdicts.
 
     {b Without fairness} the check is exact on finite instances: every
-    maximal interleaving from [T] reaches [S] iff, in the transition graph
-    restricted to the reachable [T ∧ ¬S] region, (a) no state is terminal
+    maximal interleaving from the roots reaches [S] iff, in the transition
+    graph restricted to the reachable [¬S] region, (a) no state is terminal
     and (b) there is no cycle. The paper's concluding remarks observe that
     its derived programs converge even without fairness; this checker is how
     we test that claim (experiment E8).
@@ -20,6 +23,9 @@
 type stats = {
   region_states : int;
       (** Reachable states violating the target predicate. *)
+  explored : int;
+      (** All states the engine visited (members or not) — for the lazy
+          backend this is the peak memory driver. *)
   worst_case_steps : int option;
       (** Longest interleaving before the target necessarily holds; [None]
           when only fair convergence was established (an unfair daemon can
@@ -40,20 +46,24 @@ type verdict =
       (** Sample states of an SCC the fair criterion could not discharge. *)
 
 val check_unfair :
-  Tsys.t ->
-  from:(Guarded.State.t -> bool) ->
+  Engine.t ->
+  Guarded.Compile.program ->
+  from:Engine.roots ->
   target:(Guarded.State.t -> bool) ->
   (stats, failure) result
-(** Exact check: do all maximal interleavings from [from] reach [target]? *)
+(** Exact check: do all maximal interleavings from [from] reach [target]?
+    @raise Engine.Region_overflow when a lazy engine exceeds its budget. *)
 
 val check_fair :
-  Tsys.t ->
-  from:(Guarded.State.t -> bool) ->
+  Engine.t ->
+  Guarded.Compile.program ->
+  from:Engine.roots ->
   target:(Guarded.State.t -> bool) ->
   verdict
-(** First tries [check_unfair] (unfair convergence implies fair); on a
-    livelock, applies the SCC escape criterion. [Fails (Deadlock _)] is
-    definitive under fairness too. *)
+(** First runs the exact unfair analysis (unfair convergence implies fair);
+    on a livelock, applies the SCC escape criterion — on the {e same}
+    region, built once. [Fails (Deadlock _)] is definitive under fairness
+    too. *)
 
 val pp_failure : Guarded.Env.t -> Format.formatter -> failure -> unit
 val pp_verdict : Guarded.Env.t -> Format.formatter -> verdict -> unit

@@ -1,0 +1,257 @@
+module Env = Guarded.Env
+module State = Guarded.State
+module Var = Guarded.Var
+module Domain = Guarded.Domain
+module Compile = Guarded.Compile
+
+type backend = Eager | Lazy
+
+type t = {
+  backend : backend;
+  space : Space.t;
+  budget : int;
+  mutable csr : (Compile.program * Tsys.t) option;
+      (* Cache of the eager CSR build, keyed by physical equality of the
+         compiled program: repeated queries against the same program (the
+         common case: check_unfair then check_fair) build it once. *)
+}
+
+exception Region_overflow of int
+
+type roots =
+  | All
+  | Pred of (Guarded.State.t -> bool)
+  | Seeds of Guarded.State.t list
+
+type region = {
+  graph : int Dgraph.Digraph.t;
+  node_key : int array;
+  terminal : bool array;
+  explored : int;
+  node_of_key : int -> int;
+}
+
+let create ?(backend = Eager) ?(max_states = 2_000_000) env =
+  match backend with
+  | Eager ->
+      let space = Space.create ~max_states env in
+      { backend; space; budget = Space.size space; csr = None }
+  | Lazy ->
+      { backend; space = Space.create_unbounded env; budget = max_states;
+        csr = None }
+
+let of_space space =
+  { backend = Eager; space; budget = Space.size space; csr = None }
+
+let backend t = t.backend
+let backend_name t = match t.backend with Eager -> "eager" | Lazy -> "lazy"
+let space t = t.space
+let env t = Space.env t.space
+let max_states t = t.budget
+
+let tsys t cp =
+  match t.csr with
+  | Some (cp', tsys) when cp' == cp -> tsys
+  | _ ->
+      let tsys = Tsys.build cp t.space in
+      t.csr <- Some (cp, tsys);
+      tsys
+
+(* Growable int array for node keys discovered in order. *)
+module Vec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 64 0; len = 0 }
+
+  let push v x =
+    let i = v.len in
+    if i = Array.length v.a then begin
+      let b = Array.make (2 * i) 0 in
+      Array.blit v.a 0 b 0 i;
+      v.a <- b
+    end;
+    v.a.(i) <- x;
+    v.len <- i + 1;
+    i
+
+  let to_array v = Array.sub v.a 0 v.len
+end
+
+(* --- eager backend: answer from the materialized CSR relation --- *)
+
+let eager_region t cp ~from ~target =
+  let space = t.space in
+  let ts = tsys t cp in
+  let n = Space.size space in
+  let reach =
+    match from with
+    | All -> None (* every state is a root: reachability is the whole space *)
+    | Pred p -> Some (Tsys.reachable ts (Space.satisfying space p))
+    | Seeds l -> Some (Tsys.reachable ts (List.map (Space.encode space) l))
+  in
+  let member = Bitset.create n in
+  let buf = State.make (Space.env space) in
+  let consider id =
+    Space.decode_into space id buf;
+    if not (target buf) then Bitset.add member id
+  in
+  (match reach with
+  | None -> for id = 0 to n - 1 do consider id done
+  | Some r -> Bitset.iter r consider);
+  let graph, node_to_state, state_to_node =
+    Tsys.region_graph_full ts ~member:(Bitset.mem member)
+  in
+  {
+    graph;
+    node_key = node_to_state;
+    terminal = Array.map (Tsys.is_terminal ts) node_to_state;
+    explored = (match reach with None -> n | Some r -> Bitset.cardinal r);
+    node_of_key = state_to_node;
+  }
+
+(* --- lazy backend: BFS generating successors on demand --- *)
+
+let check_budget t visited =
+  if visited > t.budget then raise (Region_overflow visited)
+
+(* Seed the search with the root states. [visit] classifies a state on
+   first sight (assigning it a member node id when the target fails) and
+   enqueues it. [All]/[Pred] need a sweep, so they require the space to
+   fit the budget; [Seeds] does not. *)
+let seed_roots t ~from visit =
+  let space = t.space in
+  match from with
+  | Seeds l -> List.iter (fun s -> visit (Space.encode space s) s) l
+  | All | Pred _ ->
+      check_budget t (Space.size space);
+      let p = match from with Pred p -> p | _ -> fun _ -> true in
+      Space.iter space (fun id s -> if p s then visit id s)
+
+let lazy_region t cp ~from ~target =
+  let space = t.space in
+  let actions = cp.Compile.actions in
+  let n_actions = Array.length actions in
+  let visited : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let node_keys = Vec.create () in
+  let terminal_nodes = ref [] in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  let explored = ref 0 in
+  let visit key s =
+    if not (Hashtbl.mem visited key) then begin
+      incr explored;
+      check_budget t !explored;
+      let node = if target s then -1 else Vec.push node_keys key in
+      Hashtbl.add visited key node;
+      Queue.add key queue
+    end
+  in
+  seed_roots t ~from visit;
+  let buf = State.make (Space.env space) in
+  let post = State.make (Space.env space) in
+  while not (Queue.is_empty queue) do
+    let key = Queue.pop queue in
+    Space.decode_into space key buf;
+    let src_node = Hashtbl.find visited key in
+    let out_degree = ref 0 in
+    for a = 0 to n_actions - 1 do
+      let ca = actions.(a) in
+      if ca.Compile.enabled buf then begin
+        incr out_degree;
+        ca.Compile.apply_into buf post;
+        let dst_key = Space.encode space post in
+        visit dst_key post;
+        if src_node >= 0 then begin
+          let dst_node = Hashtbl.find visited dst_key in
+          if dst_node >= 0 then edges := (src_node, dst_node, a) :: !edges
+        end
+      end
+    done;
+    if src_node >= 0 && !out_degree = 0 then
+      terminal_nodes := src_node :: !terminal_nodes
+  done;
+  let node_key = Vec.to_array node_keys in
+  let n_nodes = Array.length node_key in
+  let terminal = Array.make n_nodes false in
+  List.iter (fun v -> terminal.(v) <- true) !terminal_nodes;
+  let graph = Dgraph.Digraph.of_edges n_nodes (List.rev !edges) in
+  let node_of_key key =
+    match Hashtbl.find_opt visited key with Some v -> v | None -> -1
+  in
+  { graph; node_key; terminal; explored = !explored; node_of_key }
+
+let region t cp ~from ~target =
+  match t.backend with
+  | Eager -> eager_region t cp ~from ~target
+  | Lazy -> lazy_region t cp ~from ~target
+
+let state_of_node t region v = Space.decode t.space region.node_key.(v)
+
+let iter_states t f =
+  (match t.backend with
+  | Eager -> ()
+  | Lazy -> check_budget t (Space.size t.space));
+  Space.iter t.space (fun _ s -> f s)
+
+let iter_reachable t cp ~from f =
+  match from with
+  | All -> iter_states t f
+  | Pred _ | Seeds _ ->
+      let space = t.space in
+      let actions = cp.Compile.actions in
+      let visited : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+      let queue = Queue.create () in
+      let explored = ref 0 in
+      let visit key =
+        if not (Hashtbl.mem visited key) then begin
+          incr explored;
+          check_budget t !explored;
+          Hashtbl.add visited key ();
+          Queue.add key queue
+        end
+      in
+      seed_roots t ~from (fun key _ -> visit key);
+      let buf = State.make (Space.env space) in
+      let post = State.make (Space.env space) in
+      while not (Queue.is_empty queue) do
+        let key = Queue.pop queue in
+        Space.decode_into space key buf;
+        f buf;
+        Array.iter
+          (fun (ca : Compile.action) ->
+            if ca.enabled buf then begin
+              ca.apply_into buf post;
+              visit (Space.encode space post)
+            end)
+          actions
+      done
+
+let ball env ~center ~radius =
+  let vars = Env.vars env in
+  let n = Array.length vars in
+  let acc = ref [] in
+  let s = State.copy center in
+  let rec go i remaining =
+    if i = n then acc := State.copy s :: !acc
+    else begin
+      go (i + 1) remaining;
+      if remaining > 0 then begin
+        let d = Var.domain vars.(i) in
+        let low =
+          match d with
+          | Domain.Range { lo; _ } -> lo
+          | Domain.Bool | Domain.Enum _ -> 0
+        in
+        let center_value = State.get_index s i in
+        for v = low to low + Domain.size d - 1 do
+          if v <> center_value then begin
+            State.set_index s i v;
+            go (i + 1) (remaining - 1)
+          end
+        done;
+        State.set_index s i center_value
+      end
+    end
+  in
+  go 0 radius;
+  List.rev !acc

@@ -1,0 +1,103 @@
+(** Pluggable exploration engines.
+
+    The convergence and closure checkers only ever need the states
+    {e reachable} from a set of roots; how those states are found is a
+    strategy choice:
+
+    - {b Eager} (the classical backend): enumerate the whole mixed-radix
+      state space once, build the complete transition relation in CSR form
+      ({!Tsys}), and answer every query by array indexing. Fast per query,
+      but memory and build time are O(states × actions) regardless of how
+      small the interesting region is, and the space must fit under the
+      [max_states] cap (2M by default).
+
+    - {b Lazy} (on-the-fly frontier search): generate successors on demand
+      with the compiled actions on a reusable state buffer, keeping a
+      hashed visited set keyed by {!Space.encode}. Only discovered states
+      cost anything, so instances far beyond the eager cap get verdicts as
+      long as the {e reachable region} from the given roots stays under the
+      exploration budget.
+
+    Both backends produce the same {!region} record, so every analysis
+    (deadlock, cycle, SCC escape, closure) is written once against this
+    interface. An equivalence test suite asserts identical verdicts. *)
+
+type backend = Eager | Lazy
+
+type t
+
+val create : ?backend:backend -> ?max_states:int -> Guarded.Env.t -> t
+(** Build an engine for an environment. [max_states] (default [2_000_000])
+    caps the enumerated space for the eager backend and the number of
+    {e visited} states for the lazy backend.
+    @raise Space.Too_large for an eager engine over a bigger space. *)
+
+val of_space : Space.t -> t
+(** Eager engine over an already-created space. *)
+
+val backend : t -> backend
+val backend_name : t -> string
+val space : t -> Space.t
+val env : t -> Guarded.Env.t
+val max_states : t -> int
+
+exception Region_overflow of int
+(** Raised when a lazy exploration visits more states than the engine's
+    budget; carries the number of states visited so far. *)
+
+(** Root sets for reachability queries. [All] and [Pred] enumerate the
+    space (so they require it to fit the budget); [Seeds] works on spaces
+    of any size. *)
+type roots =
+  | All
+  | Pred of (Guarded.State.t -> bool)
+  | Seeds of Guarded.State.t list
+
+(** The region of interest for convergence checking: the subgraph induced
+    on the reachable states where the target predicate does {e not} hold.
+    Nodes are dense ints; [node_key.(v)] is the state's mixed-radix code
+    (decode with [Space.decode (space engine)]). [terminal.(v)] says the
+    state has no enabled action in the {e full} program. [explored] counts
+    every state visited by the search, members or not. *)
+type region = {
+  graph : int Dgraph.Digraph.t;  (** edge labels are action indices *)
+  node_key : int array;
+  terminal : bool array;
+  explored : int;
+  node_of_key : int -> int;  (** [-1] for non-members *)
+}
+
+val region :
+  t ->
+  Guarded.Compile.program ->
+  from:roots ->
+  target:(Guarded.State.t -> bool) ->
+  region
+(** States reachable from [from] (paths may pass through target states),
+    restricted to those violating [target], with the induced step graph.
+    @raise Region_overflow when a lazy search exceeds the budget. *)
+
+val state_of_node : t -> region -> int -> Guarded.State.t
+(** Decode a region node's state (fresh copy). *)
+
+val iter_states : t -> (Guarded.State.t -> unit) -> unit
+(** Visit every in-domain state (full sweep). The state is a shared
+    buffer; copy it to retain it. @raise Region_overflow when the space
+    exceeds a lazy engine's budget — use a reachability query instead. *)
+
+val iter_reachable :
+  t ->
+  Guarded.Compile.program ->
+  from:roots ->
+  (Guarded.State.t -> unit) ->
+  unit
+(** Visit every state reachable from the roots, once each, in BFS order.
+    The state is a shared buffer. @raise Region_overflow over budget. *)
+
+val ball :
+  Guarded.Env.t ->
+  center:Guarded.State.t ->
+  radius:int ->
+  Guarded.State.t list
+(** All in-domain states differing from [center] in at most [radius]
+    variables — the paper's bounded-fault spans, useful as lazy seeds. *)

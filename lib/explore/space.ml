@@ -13,9 +13,12 @@ type t = {
 
 exception Too_large of float
 
+let encodable_max = 1 lsl 60
+
 let create ?(max_states = 2_000_000) env =
   let total = Env.state_space_size env in
-  if total > float_of_int max_states then raise (Too_large total);
+  if total > float_of_int (min max_states encodable_max) then
+    raise (Too_large total);
   let vars = Env.vars env in
   let n = Array.length vars in
   let bases = Array.map (fun v -> Domain.size (Var.domain v)) vars in
@@ -33,6 +36,7 @@ let create ?(max_states = 2_000_000) env =
   done;
   { env; size = int_of_float total; bases; lows; weights }
 
+let create_unbounded env = create ~max_states:encodable_max env
 let env t = t.env
 let size t = t.size
 

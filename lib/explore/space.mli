@@ -17,7 +17,17 @@ exception Too_large of float
 val create : ?max_states:int -> Guarded.Env.t -> t
 (** Build the enumeration for an environment. [max_states] defaults to
     [2_000_000]. @raise Too_large when the product of domain sizes exceeds
-    the cap. *)
+    the cap (or {!encodable_max}, whichever is smaller). *)
+
+val create_unbounded : Guarded.Env.t -> t
+(** Build the mixed-radix encoding without the [max_states] cap. The
+    resulting space supports {!encode}/{!decode} but is generally too big
+    to materialize arrays over: it is meant for on-the-fly engines that
+    key hash tables by state code. @raise Too_large only when the product
+    of domain sizes exceeds {!encodable_max} (encoding would overflow). *)
+
+val encodable_max : int
+(** Largest state count whose mixed-radix codes fit in an OCaml [int]. *)
 
 val env : t -> Guarded.Env.t
 val size : t -> int

@@ -58,5 +58,5 @@ val none_done : t -> Guarded.State.t -> bool
 
 val violated : t -> Guarded.State.t -> int
 
-val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+val certificate : engine:Explore.Engine.t -> t -> Nonmask.Certify.t
 (** Theorem 1. *)

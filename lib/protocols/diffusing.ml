@@ -155,5 +155,5 @@ let all_green t = Guarded.State.make t.env
 let violated t s =
   List.fold_left (fun acc p -> if p s then acc else acc + 1) 0 t.violated_preds
 
-let certificate ~space t =
-  Nonmask.Theorems.validate_theorem1 ~space ~spec:t.spec ~cgraph:t.cgraph
+let certificate ~engine t =
+  Nonmask.Theorems.validate_theorem1 ~engine ~spec:t.spec ~cgraph:t.cgraph

@@ -61,5 +61,5 @@ val violated : t -> Guarded.State.t -> int
 (** Number of violated constraints — a severity score for adversarial
     daemons and diagnostics. *)
 
-val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+val certificate : engine:Explore.Engine.t -> t -> Nonmask.Certify.t
 (** Theorem-1 certificate for this instance. *)

@@ -147,10 +147,10 @@ let all_zero t = Guarded.State.make t.env
 let violated t s =
   List.fold_left (fun acc p -> if p s then acc else acc + 1) 0 t.violated_preds
 
-let certificate ~space t =
-  Nonmask.Theorems.validate_theorem3 ~modulo_invariant:true ~space
+let certificate ~engine t =
+  Nonmask.Theorems.validate_theorem3 ~modulo_invariant:true ~engine
     ~spec:t.spec t.layers
 
-let certificate_strict ~space t =
-  Nonmask.Theorems.validate_theorem3 ~modulo_invariant:false ~space
+let certificate_strict ~engine t =
+  Nonmask.Theorems.validate_theorem3 ~modulo_invariant:false ~engine
     ~spec:t.spec t.layers

@@ -58,9 +58,9 @@ val all_zero : t -> Guarded.State.t
 val violated : t -> Guarded.State.t -> int
 (** Violated constraints across both layers. *)
 
-val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+val certificate : engine:Explore.Engine.t -> t -> Nonmask.Certify.t
 (** Theorem-3 certificate ([modulo_invariant = true]). *)
 
-val certificate_strict : space:Explore.Space.t -> t -> Nonmask.Certify.t
+val certificate_strict : engine:Explore.Engine.t -> t -> Nonmask.Certify.t
 (** Theorem 3 with the antecedents read literally — expected to {e fail}
     (experiment E5 documents why; see DESIGN.md). *)

@@ -102,9 +102,9 @@ let cgraph t = t.cgraph
 let program t = t.program
 let invariant t s = t.invariant s
 
-let certificate ~space t =
+let certificate ~engine t =
   match t.variant with
   | Good_tree ->
-      Nonmask.Theorems.validate_theorem1 ~space ~spec:t.spec ~cgraph:t.cgraph
+      Nonmask.Theorems.validate_theorem1 ~engine ~spec:t.spec ~cgraph:t.cgraph
   | Good_ordered | Bad ->
-      Nonmask.Theorems.validate_theorem2 ~space ~spec:t.spec ~cgraph:t.cgraph
+      Nonmask.Theorems.validate_theorem2 ~engine ~spec:t.spec ~cgraph:t.cgraph

@@ -38,6 +38,6 @@ val program : t -> Guarded.Program.t
 
 val invariant : t -> Guarded.State.t -> bool
 
-val certificate : space:Explore.Space.t -> t -> Nonmask.Certify.t
+val certificate : engine:Explore.Engine.t -> t -> Nonmask.Certify.t
 (** Theorem 1 for [Good_tree]; Theorem 2 for [Good_ordered] and [Bad]
     (where it is expected to fail on the ordering obligations). *)

@@ -278,8 +278,8 @@ let mini_spec () =
 
 let test_theorem1_valid_mini () =
   let env, _, _, spec, g = mini_spec () in
-  let space = Explore.Space.create env in
-  let cert = Theorems.validate_theorem1 ~space ~spec ~cgraph:g in
+  let engine = Explore.Engine.create env in
+  let cert = Theorems.validate_theorem1 ~engine ~spec ~cgraph:g in
   Alcotest.(check bool) "valid" true (Certify.ok cert);
   Alcotest.(check bool) "theorem name" true (cert.Certify.theorem = "Theorem 1")
 
@@ -306,8 +306,8 @@ let test_theorem1_catches_bad_closure () =
       ~nodes:[ ("x", vset [ x ]); ("y", vset [ y ]) ]
       ~pairs:[ pair ]
   in
-  let space = Explore.Space.create env in
-  let cert = Theorems.validate_theorem1 ~space ~spec ~cgraph:g in
+  let engine = Explore.Engine.create env in
+  let cert = Theorems.validate_theorem1 ~engine ~spec ~cgraph:g in
   Alcotest.(check bool) "invalid" false (Certify.ok cert);
   Alcotest.(check bool) "some failure names the bad action" true
     (List.exists
@@ -346,10 +346,10 @@ let test_theorem1_rejects_non_out_tree () =
       ~nodes:[ ("x", vset [ x ]); ("y", vset [ y ]); ("z", vset [ z ]) ]
       ~pairs
   in
-  let space = Explore.Space.create env in
-  let cert1 = Theorems.validate_theorem1 ~space ~spec ~cgraph:g in
+  let engine = Explore.Engine.create env in
+  let cert1 = Theorems.validate_theorem1 ~engine ~spec ~cgraph:g in
   Alcotest.(check bool) "thm1 shape check fails" false (Certify.ok cert1);
-  let cert2 = Theorems.validate_theorem2 ~space ~spec ~cgraph:g in
+  let cert2 = Theorems.validate_theorem2 ~engine ~spec ~cgraph:g in
   Alcotest.(check bool) "thm2 accepts with good order" true (Certify.ok cert2)
 
 let test_theorem2_ordering_matters () =
@@ -384,8 +384,8 @@ let test_theorem2_ordering_matters () =
       ~nodes:[ ("x", vset [ x ]); ("y", vset [ y ]); ("z", vset [ z ]) ]
       ~pairs
   in
-  let space = Explore.Space.create env in
-  let cert = Theorems.validate_theorem2 ~space ~spec ~cgraph:g in
+  let engine = Explore.Engine.create env in
+  let cert = Theorems.validate_theorem2 ~engine ~spec ~cgraph:g in
   Alcotest.(check bool) "bad order rejected" false (Certify.ok cert);
   Alcotest.(check bool) "failure mentions ordering" true
     (List.exists
@@ -414,8 +414,8 @@ let test_variant_mini () =
       Alcotest.(check (array int)) "violation at rank 2" [| 0; 1 |]
         (Variant.value v s);
       Alcotest.(check int) "total" 1 (Variant.total_violations v s);
-      let space = Explore.Space.create env in
-      (match Variant.check ~space ~spec ~cgraph:g v with
+      let engine = Explore.Engine.create env in
+      (match Variant.check ~engine ~spec ~cgraph:g v with
       | Ok () -> ()
       | Error f ->
           Alcotest.failf "variant check failed on %s" f.Variant.action)
@@ -449,11 +449,11 @@ let test_variant_catches_nondecreasing () =
       ~nodes:[ ("x", vset [ x ]); ("y", vset [ y ]) ]
       ~pairs:[ pair ]
   in
-  let space = Explore.Space.create env in
+  let engine = Explore.Engine.create env in
   match Variant.of_cgraph g with
   | None -> Alcotest.fail "ranks exist"
   | Some v -> (
-      match Variant.check ~space ~spec ~cgraph:g v with
+      match Variant.check ~engine ~spec ~cgraph:g v with
       | Ok () -> Alcotest.fail "should catch non-decrease"
       | Error f ->
           Alcotest.(check string) "culprit" "rot" f.Variant.action)

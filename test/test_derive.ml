@@ -6,7 +6,7 @@ module Expr = Guarded.Expr
 module Action = Guarded.Action
 module Program = Guarded.Program
 module Var = Guarded.Var
-module Space = Explore.Space
+module Engine = Explore.Engine
 module Derive = Nonmask.Derive
 module Cgraph = Nonmask.Cgraph
 module Constr = Nonmask.Constr
@@ -40,8 +40,8 @@ let test_design_picks_theorem1 () =
       ];
     ]
   in
-  let space = Space.create env in
-  match Derive.design ~space ~spec layers with
+  let engine = Engine.create env in
+  match Derive.design ~engine ~spec layers with
   | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
   | Ok plan ->
       Alcotest.(check string) "theorem 1 chosen" "Theorem 1"
@@ -76,8 +76,8 @@ let test_design_picks_theorem2 () =
       ];
     ]
   in
-  let space = Space.create env in
-  match Derive.design ~space ~spec layers with
+  let engine = Engine.create env in
+  match Derive.design ~engine ~spec layers with
   | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
   | Ok plan ->
       Alcotest.(check string) "theorem 2 chosen" "Theorem 2"
@@ -87,14 +87,14 @@ let test_design_picks_theorem2 () =
 let test_design_token_ring_uses_modulo () =
   (* the paper's two-layer token ring needs the modulo-invariant reading *)
   let tr = Protocols.Token_ring.make ~nodes:3 ~k:4 in
-  let space = Space.create (Protocols.Token_ring.env tr) in
+  let engine = Engine.create (Protocols.Token_ring.env tr) in
   let layers =
     List.map
       (fun g -> Array.to_list (Cgraph.pairs g))
       (Protocols.Token_ring.layers tr)
   in
   match
-    Derive.design ~space ~spec:(Protocols.Token_ring.spec tr) layers
+    Derive.design ~engine ~spec:(Protocols.Token_ring.spec tr) layers
   with
   | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
   | Ok plan ->
@@ -129,8 +129,8 @@ let test_design_rejects_cyclic_single_layer () =
       ];
     ]
   in
-  let space = Space.create env in
-  match Derive.design ~space ~spec layers with
+  let engine = Engine.create env in
+  match Derive.design ~engine ~spec layers with
   | Error Derive.Cyclic_needs_layers -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Format.asprintf "%a" Derive.pp_error e)
   | Ok _ -> Alcotest.fail "cyclic single layer must be rejected"
@@ -148,8 +148,8 @@ let test_design_surfaces_graph_errors () =
   let layers =
     [ [ pair c (Action.make ~name:"noop" ~guard:Expr.tt []) ] ]
   in
-  let space = Space.create env in
-  match Derive.design ~space ~spec layers with
+  let engine = Engine.create env in
+  match Derive.design ~engine ~spec layers with
   | Error (Derive.Graph_error (Cgraph.No_writes _)) -> ()
   | _ -> Alcotest.fail "expected a graph error"
 
@@ -157,7 +157,7 @@ let test_design_diffusing_end_to_end () =
   (* rebuild the diffusing computation's design through the procedure and
      confirm the augmented program converges *)
   let d = Protocols.Diffusing.make (Topology.Tree.chain 3) in
-  let space = Space.create (Protocols.Diffusing.env d) in
+  let engine = Engine.create (Protocols.Diffusing.env d) in
   let layers =
     [ Array.to_list (Cgraph.pairs (Protocols.Diffusing.cgraph d)) ]
   in
@@ -166,18 +166,16 @@ let test_design_diffusing_end_to_end () =
     Array.to_list (Cgraph.nodes (Protocols.Diffusing.cgraph d))
     |> List.map (fun (n : Cgraph.node) -> (n.Cgraph.label, n.Cgraph.vars))
   in
-  match Derive.design ~nodes ~space ~spec:(Protocols.Diffusing.spec d) layers with
+  match Derive.design ~nodes ~engine ~spec:(Protocols.Diffusing.spec d) layers with
   | Error e -> Alcotest.failf "%s" (Format.asprintf "%a" Derive.pp_error e)
   | Ok plan ->
       Alcotest.(check string) "theorem 1" "Theorem 1"
         plan.Derive.certificate.Certify.theorem;
       Alcotest.(check bool) "valid" true (Certify.ok plan.Derive.certificate);
-      let tsys =
-        Explore.Tsys.build (Guarded.Compile.program plan.Derive.program) space
-      in
       (match
-         Explore.Convergence.check_unfair tsys
-           ~from:(fun _ -> true)
+         Explore.Convergence.check_unfair engine
+           (Guarded.Compile.program plan.Derive.program)
+           ~from:Engine.All
            ~target:(fun s -> Protocols.Diffusing.invariant d s)
        with
       | Ok _ -> ()

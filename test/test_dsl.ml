@@ -318,11 +318,10 @@ let test_parsed_program_runs () =
   in
   let env, p = Dsl.parse_program_exn src in
   let invariant = Dsl.parse_bexp_exn env "x = y" in
-  let space = Explore.Space.create env in
-  let tsys = Explore.Tsys.build (Guarded.Compile.program p) space in
+  let engine = Explore.Engine.create env in
   match
-    Explore.Convergence.check_unfair tsys
-      ~from:(fun _ -> true)
+    Explore.Convergence.check_unfair engine (Guarded.Compile.program p)
+      ~from:Explore.Engine.All
       ~target:(Guarded.Compile.pred invariant)
   with
   | Ok { worst_case_steps = Some 1; _ } -> ()

@@ -1,0 +1,267 @@
+(* Tests for the pluggable exploration engine: space encoding boundaries,
+   the lazy frontier backend, and — most importantly — that eager and lazy
+   backends return identical verdicts on the seed protocols. *)
+
+module State = Guarded.State
+module Compile = Guarded.Compile
+module Tree = Topology.Tree
+module Space = Explore.Space
+module Engine = Explore.Engine
+module Convergence = Explore.Convergence
+
+let env_of_sizes sizes =
+  let env = Guarded.Env.create () in
+  List.iteri
+    (fun i n ->
+      ignore
+        (Guarded.Env.fresh env
+           (Printf.sprintf "v%d" i)
+           (Guarded.Domain.range 0 (n - 1))))
+    sizes;
+  env
+
+(* --- Space encode/decode --- *)
+
+let test_space_roundtrip_exhaustive () =
+  let env = env_of_sizes [ 3; 4; 2; 5 ] in
+  let space = Space.create env in
+  Alcotest.(check int) "size" 120 (Space.size space);
+  Space.iter space (fun id s ->
+      Alcotest.(check int) "encode(decode id) = id" id (Space.encode space s))
+
+let test_space_roundtrip_unbounded () =
+  (* 6^20 ~ 3.6e15 states: far over the default cap, still encodable. An
+     unbounded space must roundtrip sampled states exactly. *)
+  let env = env_of_sizes (List.init 20 (fun _ -> 6)) in
+  let space = Space.create_unbounded env in
+  let rng = Prng.create 7 in
+  let vars = Guarded.Env.vars env in
+  for _ = 1 to 200 do
+    let s = State.make env in
+    Array.iter
+      (fun v ->
+        State.set s v (Prng.int rng (Guarded.Domain.size (Guarded.Var.domain v))))
+      vars;
+    let key = Space.encode space s in
+    Alcotest.(check bool) "decode(encode s) = s" true
+      (State.equal s (Space.decode space key))
+  done
+
+let test_space_too_large_boundary () =
+  let env = env_of_sizes [ 4; 5 ] in
+  (* exactly at the cap: allowed *)
+  let space = Space.create ~max_states:20 env in
+  Alcotest.(check int) "at-cap size" 20 (Space.size space);
+  (* one below the cap: rejected, carrying the true size *)
+  match Space.create ~max_states:19 env with
+  | exception Space.Too_large total ->
+      Alcotest.(check (float 1e-9)) "reported size" 20.0 total
+  | _ -> Alcotest.fail "19-state cap must reject a 20-state space"
+
+let test_space_encodable_max_guard () =
+  (* 2^61 states overflow the mixed-radix code even unbounded *)
+  let env = env_of_sizes (List.init 61 (fun _ -> 2)) in
+  Alcotest.(check bool) "raises Too_large" true
+    (try
+       ignore (Space.create_unbounded env);
+       false
+     with Space.Too_large _ -> true)
+
+let test_eager_engine_respects_cap () =
+  let env = env_of_sizes [ 10; 10; 10 ] in
+  Alcotest.(check bool) "eager over cap rejected" true
+    (try
+       ignore (Engine.create ~backend:Engine.Eager ~max_states:999 env);
+       false
+     with Space.Too_large _ -> true);
+  (* the lazy engine accepts the same env and raises only on overflow *)
+  let engine = Engine.create ~backend:Engine.Lazy ~max_states:999 env in
+  Alcotest.(check bool) "lazy create ok" true (Engine.backend engine = Engine.Lazy);
+  Alcotest.(check bool) "lazy sweep over budget raises" true
+    (try
+       Engine.iter_states engine (fun _ -> ());
+       false
+     with Engine.Region_overflow n -> n > 999)
+
+let test_ball_counts () =
+  let env = env_of_sizes [ 3; 4; 2 ] in
+  let center = State.make env in
+  let count r = List.length (Engine.ball env ~center ~radius:r) in
+  (* radius 0: just the center; radius 1: 1 + Σ (dᵢ - 1) = 1 + 2 + 3 + 1 *)
+  Alcotest.(check int) "radius 0" 1 (count 0);
+  Alcotest.(check int) "radius 1" 7 (count 1);
+  (* radius = #vars: the whole space *)
+  Alcotest.(check int) "radius 3" 24 (count 3);
+  let all = Engine.ball env ~center ~radius:3 in
+  let space = Space.create env in
+  let keys = List.sort_uniq compare (List.map (Space.encode space) all) in
+  Alcotest.(check int) "ball states distinct" 24 (List.length keys)
+
+(* --- Eager/lazy verdict equivalence on the seed protocols --- *)
+
+let stats_eq (a : Convergence.stats) (b : Convergence.stats) =
+  a.region_states = b.region_states
+  && a.explored = b.explored
+  && a.worst_case_steps = b.worst_case_steps
+
+let check_both_unfair name env program invariant =
+  let run backend =
+    Convergence.check_unfair
+      (Engine.create ~backend env)
+      (Compile.program program) ~from:Engine.All ~target:invariant
+  in
+  match (run Engine.Eager, run Engine.Lazy) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: identical stats" name)
+        true (stats_eq a b)
+  | Error (Convergence.Deadlock a), Error (Convergence.Deadlock b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: same deadlock" name)
+        true (State.equal a b)
+  | Error (Convergence.Livelock _), Error (Convergence.Livelock _) -> ()
+  | _ -> Alcotest.failf "%s: eager and lazy verdicts differ" name
+
+let test_equiv_diffusing () =
+  List.iter
+    (fun tree ->
+      let d = Protocols.Diffusing.make tree in
+      check_both_unfair "diffusing"
+        (Protocols.Diffusing.env d)
+        (Protocols.Diffusing.combined d)
+        (fun s -> Protocols.Diffusing.invariant d s))
+    [ Tree.chain 3; Tree.star 4; Tree.balanced ~arity:2 5 ]
+
+let test_equiv_token_ring () =
+  let tr = Protocols.Token_ring.make ~nodes:4 ~k:5 in
+  check_both_unfair "token-ring"
+    (Protocols.Token_ring.env tr)
+    (Protocols.Token_ring.combined tr)
+    (fun s -> Protocols.Token_ring.invariant tr s)
+
+let test_equiv_dijkstra () =
+  (* one converging and one livelocking instance *)
+  let dr = Protocols.Dijkstra_ring.make ~nodes:3 ~k:4 in
+  check_both_unfair "dijkstra k=4"
+    (Protocols.Dijkstra_ring.env dr)
+    (Protocols.Dijkstra_ring.program dr)
+    (fun s -> Protocols.Dijkstra_ring.invariant dr s);
+  let bad = Protocols.Dijkstra_ring.make ~nodes:4 ~k:2 in
+  check_both_unfair "dijkstra k=2"
+    (Protocols.Dijkstra_ring.env bad)
+    (Protocols.Dijkstra_ring.program bad)
+    (fun s -> Protocols.Dijkstra_ring.invariant bad s)
+
+let test_equiv_xyz () =
+  List.iter
+    (fun variant ->
+      let d = Protocols.Xyz_demo.make variant in
+      check_both_unfair "xyz"
+        (Protocols.Xyz_demo.env d)
+        (Protocols.Xyz_demo.program d)
+        (fun s -> Protocols.Xyz_demo.invariant d s))
+    [ Protocols.Xyz_demo.Good_tree; Protocols.Xyz_demo.Good_ordered;
+      Protocols.Xyz_demo.Bad ]
+
+let test_equiv_naive_ring_deadlock () =
+  let nr = Protocols.Naive_ring.make ~nodes:3 in
+  check_both_unfair "naive-ring"
+    (Protocols.Naive_ring.env nr)
+    (Protocols.Naive_ring.program nr)
+    (fun s -> Protocols.Naive_ring.invariant nr s)
+
+let test_equiv_fair_verdicts () =
+  let dr = Protocols.Dijkstra_ring.make ~nodes:3 ~k:2 in
+  let run backend =
+    Convergence.check_fair
+      (Engine.create ~backend (Protocols.Dijkstra_ring.env dr))
+      (Compile.program (Protocols.Dijkstra_ring.program dr))
+      ~from:Engine.All
+      ~target:(fun s -> Protocols.Dijkstra_ring.invariant dr s)
+  in
+  let tag = function
+    | Convergence.Converges _ -> "converges"
+    | Convergence.Fails (Convergence.Deadlock _) -> "deadlock"
+    | Convergence.Fails (Convergence.Livelock _) -> "livelock"
+    | Convergence.Unknown _ -> "unknown"
+  in
+  Alcotest.(check string) "same fair verdict"
+    (tag (run Engine.Eager))
+    (tag (run Engine.Lazy))
+
+let test_equiv_seed_roots () =
+  (* from a fault ball rather than the whole space, on a space far over the
+     eager cap: the lazy engine must agree with an uncapped eager engine *)
+  let d = Protocols.Diffusing.make (Tree.balanced ~arity:2 8) in
+  let env = Protocols.Diffusing.env d in
+  let seeds = Engine.ball env ~center:(Protocols.Diffusing.all_green d) ~radius:2 in
+  let run backend =
+    Convergence.check_unfair
+      (Engine.create ~backend env)
+      (Compile.program (Protocols.Diffusing.combined d))
+      ~from:(Engine.Seeds seeds)
+      ~target:(fun s -> Protocols.Diffusing.invariant d s)
+  in
+  match (run Engine.Eager, run Engine.Lazy) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "identical stats from seeds" true (stats_eq a b)
+  | _ -> Alcotest.fail "seeded diffusing must converge under both backends"
+
+let test_equiv_closure () =
+  let tr = Protocols.Token_ring.make ~nodes:4 ~k:5 in
+  let cp = Compile.program (Protocols.Token_ring.combined tr) in
+  let run backend =
+    Explore.Closure.program_closed
+      (Engine.create ~backend (Protocols.Token_ring.env tr))
+      cp
+      ~pred:(fun s -> Protocols.Token_ring.invariant tr s)
+  in
+  match (run Engine.Eager, run Engine.Lazy) with
+  | Ok (), Ok () -> ()
+  | _ -> Alcotest.fail "token ring invariant closed under both backends"
+
+let test_lazy_beyond_eager_cap () =
+  (* 13^8 ~ 8.2e8 states: eager materialization is impossible under the 2M
+     default cap, but a radius-1 fault ball converges with a tiny region *)
+  let dr = Protocols.Dijkstra_ring.make ~nodes:8 ~k:13 in
+  let env = Protocols.Dijkstra_ring.env dr in
+  (match Engine.create ~backend:Engine.Eager env with
+  | exception Space.Too_large _ -> ()
+  | _ -> Alcotest.fail "13^8 must exceed the eager cap");
+  let engine = Engine.create ~backend:Engine.Lazy env in
+  let seeds =
+    Engine.ball env ~center:(Protocols.Dijkstra_ring.all_zero dr) ~radius:1
+  in
+  match
+    Convergence.check_unfair engine
+      (Compile.program (Protocols.Dijkstra_ring.program dr))
+      ~from:(Engine.Seeds seeds)
+      ~target:(fun s -> Protocols.Dijkstra_ring.invariant dr s)
+  with
+  | Ok { explored; _ } ->
+      Alcotest.(check bool) "tiny fraction explored" true (explored < 100_000)
+  | Error _ -> Alcotest.fail "dijkstra 8/13 converges from radius-1 faults"
+
+let suite =
+  [
+    Alcotest.test_case "space roundtrip (exhaustive)" `Quick
+      test_space_roundtrip_exhaustive;
+    Alcotest.test_case "space roundtrip (unbounded, sampled)" `Quick
+      test_space_roundtrip_unbounded;
+    Alcotest.test_case "Too_large boundary" `Quick test_space_too_large_boundary;
+    Alcotest.test_case "encodable_max guard" `Quick test_space_encodable_max_guard;
+    Alcotest.test_case "eager cap vs lazy budget" `Quick
+      test_eager_engine_respects_cap;
+    Alcotest.test_case "fault balls" `Quick test_ball_counts;
+    Alcotest.test_case "equivalence: diffusing" `Quick test_equiv_diffusing;
+    Alcotest.test_case "equivalence: token ring" `Quick test_equiv_token_ring;
+    Alcotest.test_case "equivalence: dijkstra (ok and livelock)" `Quick
+      test_equiv_dijkstra;
+    Alcotest.test_case "equivalence: xyz variants" `Quick test_equiv_xyz;
+    Alcotest.test_case "equivalence: naive ring failure" `Quick
+      test_equiv_naive_ring_deadlock;
+    Alcotest.test_case "equivalence: fair verdict" `Quick test_equiv_fair_verdicts;
+    Alcotest.test_case "equivalence: seeded roots" `Slow test_equiv_seed_roots;
+    Alcotest.test_case "equivalence: closure" `Quick test_equiv_closure;
+    Alcotest.test_case "lazy past the eager cap" `Slow test_lazy_beyond_eager_cap;
+  ]

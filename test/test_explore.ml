@@ -11,6 +11,7 @@ module Compile = Guarded.Compile
 module Bitset = Explore.Bitset
 module Space = Explore.Space
 module Tsys = Explore.Tsys
+module Engine = Explore.Engine
 module Closure = Explore.Closure
 module Convergence = Explore.Convergence
 
@@ -153,13 +154,13 @@ let test_tsys_region_graph () =
 
 let test_closure_holds () =
   let env, x, p = counter () in
-  let space = Space.create env in
+  let engine = Engine.create env in
   let cp = Compile.program p in
   (* x <= 3 is closed (trivially); x <= 2 is not (up breaks it at 2). *)
-  (match Closure.program_closed space cp ~pred:(fun s -> State.get s x <= 3) with
+  (match Closure.program_closed engine cp ~pred:(fun s -> State.get s x <= 3) with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "x<=3 should be closed");
-  match Closure.program_closed space cp ~pred:(fun s -> State.get s x <= 2) with
+  match Closure.program_closed engine cp ~pred:(fun s -> State.get s x <= 2) with
   | Ok () -> Alcotest.fail "x<=2 should not be closed"
   | Error v ->
       Alcotest.(check string) "violator" "up" (Action.name v.Closure.action);
@@ -168,13 +169,13 @@ let test_closure_holds () =
 
 let test_closure_given_hypothesis () =
   let env, x, p = counter () in
-  let space = Space.create env in
+  let engine = Engine.create env in
   let cp = Compile.program p in
   (* under hypothesis x <> 2, the predicate x <= 2 is preserved *)
   match
     Closure.program_closed
       ~given:(fun s -> State.get s x <> 2)
-      space cp
+      engine cp
       ~pred:(fun s -> State.get s x <= 2)
   with
   | Ok () -> ()
@@ -190,14 +191,12 @@ let test_convergence_converges () =
     Expr.(Action.make ~name:"down" ~guard:(var x > int 0) [ (x, var x - int 1) ])
   in
   let p = Program.make ~name:"down" env [ down ] in
-  let space = Space.create env in
-  let tsys = Tsys.build (Compile.program p) space in
+  let engine = Engine.create env in
   match
-    Convergence.check_unfair tsys
-      ~from:(fun _ -> true)
+    Convergence.check_unfair engine (Compile.program p) ~from:Engine.All
       ~target:(fun s -> State.get s x = 0)
   with
-  | Ok { region_states; worst_case_steps } ->
+  | Ok { region_states; worst_case_steps; _ } ->
       Alcotest.(check int) "region" 3 region_states;
       Alcotest.(check (option int)) "worst steps" (Some 3) worst_case_steps
   | Error _ -> Alcotest.fail "should converge"
@@ -210,11 +209,9 @@ let test_convergence_deadlock () =
     Expr.(Action.make ~name:"down" ~guard:(var x > int 1) [ (x, var x - int 1) ])
   in
   let p = Program.make ~name:"down" env [ down ] in
-  let space = Space.create env in
-  let tsys = Tsys.build (Compile.program p) space in
+  let engine = Engine.create env in
   match
-    Convergence.check_unfair tsys
-      ~from:(fun _ -> true)
+    Convergence.check_unfair engine (Compile.program p) ~from:Engine.All
       ~target:(fun s -> State.get s x = 0)
   with
   | Error (Convergence.Deadlock s) ->
@@ -223,13 +220,11 @@ let test_convergence_deadlock () =
 
 let test_convergence_livelock () =
   let env, x, p = counter () in
-  let space = Space.create env in
-  let tsys = Tsys.build (Compile.program p) space in
+  let engine = Engine.create env in
   (* the counter loops forever; target x = 17 impossible, x=... any
      unreachable predicate gives a livelock through the whole loop *)
   match
-    Convergence.check_unfair tsys
-      ~from:(fun _ -> true)
+    Convergence.check_unfair engine (Compile.program p) ~from:Engine.All
       ~target:(fun s -> State.get s x = 2 && false)
   with
   | Error (Convergence.Livelock states) ->
@@ -255,15 +250,17 @@ let test_convergence_from_restriction () =
         [ (x, ite (var x = int 1) (int 2) (int 1)) ])
   in
   let p = Program.make ~name:"split" env [ down; spin ] in
-  let space = Space.create env in
-  let tsys = Tsys.build (Compile.program p) space in
+  let engine = Engine.create env in
+  let cp = Compile.program p in
   let target s = State.get s x = 0 in
   (match
-     Convergence.check_unfair tsys ~from:(fun s -> State.get s y = 0) ~target
+     Convergence.check_unfair engine cp
+       ~from:(Engine.Pred (fun s -> State.get s y = 0))
+       ~target
    with
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "good half should converge");
-  match Convergence.check_unfair tsys ~from:(fun _ -> true) ~target with
+  match Convergence.check_unfair engine cp ~from:Engine.All ~target with
   | Error (Convergence.Livelock _) -> ()
   | _ -> Alcotest.fail "bad half should livelock"
 
@@ -283,13 +280,13 @@ let test_convergence_fair_beats_unfair () =
     Expr.(Action.make ~name:"exit" ~guard:(var x > int 0) [ (x, int 0) ])
   in
   let p = Program.make ~name:"spin-exit" env [ spin; exit_a ] in
-  let space = Space.create env in
-  let tsys = Tsys.build (Compile.program p) space in
+  let engine = Engine.create env in
+  let cp = Compile.program p in
   let target s = State.get s x = 0 in
-  (match Convergence.check_unfair tsys ~from:(fun _ -> true) ~target with
+  (match Convergence.check_unfair engine cp ~from:Engine.All ~target with
   | Error (Convergence.Livelock _) -> ()
   | _ -> Alcotest.fail "unfair should livelock");
-  match Convergence.check_fair tsys ~from:(fun _ -> true) ~target with
+  match Convergence.check_fair engine cp ~from:Engine.All ~target with
   | Convergence.Converges { worst_case_steps = None; _ } -> ()
   | Convergence.Converges _ -> Alcotest.fail "fair-only should have no bound"
   | _ -> Alcotest.fail "fair check should converge"
@@ -302,11 +299,9 @@ let test_convergence_fair_unknown () =
   let a = Expr.(Action.make ~name:"a" ~guard:(var x = int 1) [ (x, int 2) ]) in
   let b = Expr.(Action.make ~name:"b" ~guard:(var x = int 2) [ (x, int 1) ]) in
   let p = Program.make ~name:"ab" env [ a; b ] in
-  let space = Space.create env in
-  let tsys = Tsys.build (Compile.program p) space in
+  let engine = Engine.create env in
   match
-    Convergence.check_fair tsys
-      ~from:(fun _ -> true)
+    Convergence.check_fair engine (Compile.program p) ~from:Engine.All
       ~target:(fun s -> State.get s x = 0)
   with
   | Convergence.Unknown _ -> ()
@@ -319,11 +314,9 @@ let test_convergence_fair_deadlock_definitive () =
   let env = Env.create () in
   let x = Env.fresh env "x" (Domain.range 0 1) in
   let p = Program.make ~name:"empty" env [] in
-  let space = Space.create env in
-  let tsys = Tsys.build (Compile.program p) space in
+  let engine = Engine.create env in
   match
-    Convergence.check_fair tsys
-      ~from:(fun _ -> true)
+    Convergence.check_fair engine (Compile.program p) ~from:Engine.All
       ~target:(fun s -> State.get s x = 0)
   with
   | Convergence.Fails (Convergence.Deadlock s) ->

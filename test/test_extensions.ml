@@ -81,11 +81,11 @@ let test_spanning_tree_converges_exactly () =
   List.iter
     (fun (name, g) ->
       let st = Spanning_tree.make ~root:0 g in
-      let space = Space.create (Spanning_tree.env st) in
-      let tsys = Tsys.build (Compile.program (Spanning_tree.program st)) space in
+      let engine = Explore.Engine.create (Spanning_tree.env st) in
       match
-        Convergence.check_unfair tsys
-          ~from:(fun _ -> true)
+        Convergence.check_unfair engine
+          (Compile.program (Spanning_tree.program st))
+          ~from:Explore.Engine.All
           ~target:(fun s -> Spanning_tree.invariant st s)
       with
       | Ok _ -> ()

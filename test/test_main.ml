@@ -9,6 +9,7 @@ let () =
       ("dgraph", Test_dgraph.suite);
       ("topology", Test_topology.suite);
       ("explore", Test_explore.suite);
+      ("engine", Test_engine.suite);
       ("sim", Test_sim.suite);
       ("core", Test_core.suite);
       ("protocols", Test_protocols.suite);

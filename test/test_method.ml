@@ -6,7 +6,7 @@ module State = Guarded.State
 module Compile = Guarded.Compile
 module Tree = Topology.Tree
 module Space = Explore.Space
-module Tsys = Explore.Tsys
+module Engine = Explore.Engine
 module Stair = Nonmask.Stair
 module Refine = Nonmask.Refine
 module Diffusing = Protocols.Diffusing
@@ -20,7 +20,7 @@ let test_stair_token_ring () =
   (* The paper's own two-stage argument: establish the first conjunct of S,
      then the second. *)
   let tr = Token_ring.make ~nodes:4 ~k:5 in
-  let space = Space.create (Token_ring.env tr) in
+  let engine = Engine.create (Token_ring.env tr) in
   let x = Token_ring.x tr in
   let first_conjunct =
     Guarded.Compile.pred
@@ -30,7 +30,7 @@ let test_stair_token_ring () =
               Guarded.Expr.(var vj >= var vj1))))
   in
   let stair =
-    Stair.validate ~space
+    Stair.validate ~engine
       ~program:(Token_ring.combined tr)
       ~name:"token-ring"
       [
@@ -46,13 +46,13 @@ let test_stair_token_ring () =
 let test_stair_rejects_bad_intermediate () =
   (* an intermediate predicate that is not closed must be rejected *)
   let tr = Token_ring.make ~nodes:3 ~k:4 in
-  let space = Space.create (Token_ring.env tr) in
+  let engine = Engine.create (Token_ring.env tr) in
   let x = Token_ring.x tr in
   let not_closed =
     Guarded.Compile.pred Guarded.Expr.(var (x 0) = int 0)
   in
   let stair =
-    Stair.validate ~space
+    Stair.validate ~engine
       ~program:(Token_ring.combined tr)
       ~name:"bad"
       [
@@ -65,9 +65,9 @@ let test_stair_rejects_bad_intermediate () =
 
 let test_stair_rejects_non_contained () =
   let tr = Token_ring.make ~nodes:3 ~k:4 in
-  let space = Space.create (Token_ring.env tr) in
+  let engine = Engine.create (Token_ring.env tr) in
   let stair =
-    Stair.validate ~space
+    Stair.validate ~engine
       ~program:(Token_ring.combined tr)
       ~name:"bad"
       [
@@ -79,11 +79,11 @@ let test_stair_rejects_non_contained () =
 
 let test_stair_needs_two_predicates () =
   let tr = Token_ring.make ~nodes:3 ~k:4 in
-  let space = Space.create (Token_ring.env tr) in
+  let engine = Engine.create (Token_ring.env tr) in
   Alcotest.(check bool) "raises" true
     (try
        ignore
-         (Stair.validate ~space
+         (Stair.validate ~engine
             ~program:(Token_ring.combined tr)
             ~name:"x"
             [ ("T", fun _ -> true) ]);
@@ -112,8 +112,8 @@ let test_refinement_within_consistency () =
   let r =
     Refine.check
       ~within:(fun s -> Lowatomic.consistent l s)
-      ~abstract_space:(Space.create (Diffusing.env d))
-      ~concrete_space:(Space.create (Lowatomic.env l))
+      ~abstract_env:(Diffusing.env d)
+      ~engine:(Engine.create (Lowatomic.env l))
       ~abstract_program:(Diffusing.combined d)
       ~concrete_program:(Lowatomic.program l)
       ~projection
@@ -132,8 +132,8 @@ let test_refinement_fails_from_arbitrary_states () =
   let _, d, l, projection = refinement_setup () in
   let r =
     Refine.check
-      ~abstract_space:(Space.create (Diffusing.env d))
-      ~concrete_space:(Space.create (Lowatomic.env l))
+      ~abstract_env:(Diffusing.env d)
+      ~engine:(Engine.create (Lowatomic.env l))
       ~abstract_program:(Diffusing.combined d)
       ~concrete_program:(Lowatomic.program l)
       ~projection
@@ -149,9 +149,9 @@ let test_refinement_fails_from_arbitrary_states () =
 
 let test_consistency_relation_closed () =
   let _, _, l, _ = refinement_setup () in
-  let space = Space.create (Lowatomic.env l) in
+  let engine = Engine.create (Lowatomic.env l) in
   match
-    Explore.Closure.program_closed space
+    Explore.Closure.program_closed engine
       (Compile.program (Lowatomic.program l))
       ~pred:(fun s -> Lowatomic.consistent l s)
   with
@@ -168,8 +168,8 @@ let test_refinement_rejects_bad_projection () =
     (try
        ignore
          (Refine.check
-            ~abstract_space:(Space.create (Diffusing.env d))
-            ~concrete_space:(Space.create (Lowatomic.env l))
+            ~abstract_env:(Diffusing.env d)
+            ~engine:(Engine.create (Lowatomic.env l))
             ~abstract_program:(Diffusing.combined d)
             ~concrete_program:(Lowatomic.program l)
             ~projection:(List.tl projection)
@@ -183,11 +183,11 @@ let test_refinement_rejects_bad_projection () =
 
 let test_reset_converges () =
   let r = Reset.make (Tree.chain 3) in
-  let space = Space.create (Reset.env r) in
-  let tsys = Tsys.build (Compile.program (Reset.program r)) space in
+  let engine = Engine.create (Reset.env r) in
   match
-    Explore.Convergence.check_unfair tsys
-      ~from:(fun _ -> true)
+    Explore.Convergence.check_unfair engine
+      (Compile.program (Reset.program r))
+      ~from:Engine.All
       ~target:(fun s -> Reset.invariant r s)
   with
   | Ok _ -> ()

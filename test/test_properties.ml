@@ -272,8 +272,8 @@ let prop_diffusing_certificate_valid_on_random_trees =
     ~name:"Theorem 1 certificate valid for diffusing on random trees"
     ~count:10 arbitrary_small_tree (fun t ->
       let d = Protocols.Diffusing.make t in
-      let space = Space.create (Protocols.Diffusing.env d) in
-      Nonmask.Certify.ok (Protocols.Diffusing.certificate ~space d))
+      let engine = Explore.Engine.create (Protocols.Diffusing.env d) in
+      Nonmask.Certify.ok (Protocols.Diffusing.certificate ~engine d))
 
 let prop_atomic_certificate_and_convergence =
   QCheck.Test.make
@@ -281,17 +281,13 @@ let prop_atomic_certificate_and_convergence =
     ~count:8 arbitrary_small_tree (fun t ->
       QCheck.assume (Tree.size t <= 4);
       let a = Protocols.Atomic_action.make t in
-      let space = Space.create (Protocols.Atomic_action.env a) in
-      Nonmask.Certify.ok (Protocols.Atomic_action.certificate ~space a)
+      let engine = Explore.Engine.create (Protocols.Atomic_action.env a) in
+      Nonmask.Certify.ok (Protocols.Atomic_action.certificate ~engine a)
       &&
-      let tsys =
-        Explore.Tsys.build
-          (Guarded.Compile.program (Protocols.Atomic_action.program a))
-          space
-      in
       match
-        Explore.Convergence.check_unfair tsys
-          ~from:(fun _ -> true)
+        Explore.Convergence.check_unfair engine
+          (Guarded.Compile.program (Protocols.Atomic_action.program a))
+          ~from:Explore.Engine.All
           ~target:(fun s -> Protocols.Atomic_action.invariant a s)
       with
       | Ok _ -> true
@@ -302,12 +298,12 @@ let prop_variant_decreases_on_random_trees =
     ~name:"rank variant decreases for diffusing on random trees" ~count:8
     arbitrary_small_tree (fun t ->
       let d = Protocols.Diffusing.make t in
-      let space = Space.create (Protocols.Diffusing.env d) in
+      let engine = Explore.Engine.create (Protocols.Diffusing.env d) in
       match Nonmask.Variant.of_cgraph (Protocols.Diffusing.cgraph d) with
       | None -> false
       | Some v -> (
           match
-            Nonmask.Variant.check ~space ~spec:(Protocols.Diffusing.spec d)
+            Nonmask.Variant.check ~engine ~spec:(Protocols.Diffusing.spec d)
               ~cgraph:(Protocols.Diffusing.cgraph d) v
           with
           | Ok () -> true

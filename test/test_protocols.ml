@@ -21,9 +21,11 @@ module Atomic_action = Protocols.Atomic_action
 module Diffusing_lowatomic = Protocols.Diffusing_lowatomic
 module Naive_ring = Protocols.Naive_ring
 
-let check_converges_exactly name program invariant space =
-  let tsys = Tsys.build (Compile.program program) space in
-  match Convergence.check_unfair tsys ~from:(fun _ -> true) ~target:invariant with
+let check_converges_exactly name program invariant engine =
+  match
+    Convergence.check_unfair engine (Compile.program program)
+      ~from:Explore.Engine.All ~target:invariant
+  with
   | Ok _ -> ()
   | Error f ->
       Alcotest.failf "%s should converge: %s" name
@@ -45,8 +47,8 @@ let test_diffusing_certificates () =
   List.iter
     (fun (name, tree) ->
       let d = Diffusing.make tree in
-      let space = Space.create (Diffusing.env d) in
-      let cert = Diffusing.certificate ~space d in
+      let engine = Explore.Engine.create (Diffusing.env d) in
+      let cert = Diffusing.certificate ~engine d in
       if not (Certify.ok cert) then
         Alcotest.failf "%s: %s" name (Format.asprintf "%a" Certify.pp cert))
     small_trees
@@ -55,17 +57,17 @@ let test_diffusing_converges () =
   List.iter
     (fun (name, tree) ->
       let d = Diffusing.make tree in
-      let space = Space.create (Diffusing.env d) in
+      let engine = Explore.Engine.create (Diffusing.env d) in
       check_converges_exactly
         (name ^ " combined")
         (Diffusing.combined d)
         (fun s -> Diffusing.invariant d s)
-        space;
+        engine;
       check_converges_exactly
         (name ^ " separate")
         (Diffusing.separate d)
         (fun s -> Diffusing.invariant d s)
-        space)
+        engine)
     small_trees
 
 let test_diffusing_invariant_at_start () =
@@ -166,12 +168,12 @@ let test_diffusing_closure_means_invariant_stays () =
 
 let test_diffusing_variant_function () =
   let d = Diffusing.make (Tree.chain 3) in
-  let space = Space.create (Diffusing.env d) in
+  let engine = Explore.Engine.create (Diffusing.env d) in
   match Nonmask.Variant.of_cgraph (Diffusing.cgraph d) with
   | None -> Alcotest.fail "out-tree has ranks"
   | Some v -> (
       match
-        Nonmask.Variant.check ~space ~spec:(Diffusing.spec d)
+        Nonmask.Variant.check ~engine ~spec:(Diffusing.spec d)
           ~cgraph:(Diffusing.cgraph d) v
       with
       | Ok () -> ()
@@ -182,8 +184,8 @@ let test_diffusing_variant_function () =
 
 let test_token_ring_certificate () =
   let tr = Token_ring.make ~nodes:4 ~k:5 in
-  let space = Space.create (Token_ring.env tr) in
-  let cert = Token_ring.certificate ~space tr in
+  let engine = Explore.Engine.create (Token_ring.env tr) in
+  let cert = Token_ring.certificate ~engine tr in
   if not (Certify.ok cert) then
     Alcotest.failf "%s" (Format.asprintf "%a" Certify.pp cert);
   Alcotest.(check bool) "modulo noted" true
@@ -191,21 +193,21 @@ let test_token_ring_certificate () =
 
 let test_token_ring_strict_fails () =
   let tr = Token_ring.make ~nodes:4 ~k:5 in
-  let space = Space.create (Token_ring.env tr) in
-  let cert = Token_ring.certificate_strict ~space tr in
+  let engine = Explore.Engine.create (Token_ring.env tr) in
+  let cert = Token_ring.certificate_strict ~engine tr in
   Alcotest.(check bool) "literal reading fails" false (Certify.ok cert)
 
 let test_token_ring_converges () =
   List.iter
     (fun (nodes, k) ->
       let tr = Token_ring.make ~nodes ~k in
-      let space = Space.create (Token_ring.env tr) in
+      let engine = Explore.Engine.create (Token_ring.env tr) in
       check_converges_exactly "combined" (Token_ring.combined tr)
         (fun s -> Token_ring.invariant tr s)
-        space;
+        engine;
       check_converges_exactly "separate" (Token_ring.separate tr)
         (fun s -> Token_ring.invariant tr s)
-        space)
+        engine)
     [ (3, 4); (4, 5); (5, 4) ]
 
 let test_token_ring_exactly_one_privilege_in_s () =
@@ -229,21 +231,21 @@ let test_dijkstra_converges_when_k_large () =
   List.iter
     (fun (nodes, k) ->
       let dr = Dijkstra_ring.make ~nodes ~k in
-      let space = Space.create (Dijkstra_ring.env dr) in
+      let engine = Explore.Engine.create (Dijkstra_ring.env dr) in
       check_converges_exactly "dijkstra" (Dijkstra_ring.program dr)
         (fun s -> Dijkstra_ring.invariant dr s)
-        space)
+        engine)
     [ (3, 4); (4, 5); (4, 4) ]
 
 let test_dijkstra_fails_when_k_too_small () =
   (* classical counterexample needs K <= N - 1 where N = ring size:
      nodes=4, k=2 livelocks under an adversarial schedule. *)
   let dr = Dijkstra_ring.make ~nodes:4 ~k:2 in
-  let space = Space.create (Dijkstra_ring.env dr) in
-  let tsys = Tsys.build (Compile.program (Dijkstra_ring.program dr)) space in
+  let engine = Explore.Engine.create (Dijkstra_ring.env dr) in
   match
-    Convergence.check_unfair tsys
-      ~from:(fun _ -> true)
+    Convergence.check_unfair engine
+      (Compile.program (Dijkstra_ring.program dr))
+      ~from:Explore.Engine.All
       ~target:(fun s -> Dijkstra_ring.invariant dr s)
   with
   | Error (Convergence.Livelock _) -> ()
@@ -270,10 +272,10 @@ let test_dijkstra_token_circulates () =
 
 let test_dijkstra_invariant_closed () =
   let dr = Dijkstra_ring.make ~nodes:4 ~k:5 in
-  let space = Space.create (Dijkstra_ring.env dr) in
+  let engine = Explore.Engine.create (Dijkstra_ring.env dr) in
   let cp = Compile.program (Dijkstra_ring.program dr) in
   match
-    Explore.Closure.program_closed space cp ~pred:(fun s ->
+    Explore.Closure.program_closed engine cp ~pred:(fun s ->
         Dijkstra_ring.invariant dr s)
   with
   | Ok () -> ()
@@ -287,35 +289,34 @@ let test_dijkstra_invariant_closed () =
 
 let test_xyz_good_tree () =
   let d = Xyz_demo.make Xyz_demo.Good_tree in
-  let space = Space.create (Xyz_demo.env d) in
+  let engine = Explore.Engine.create (Xyz_demo.env d) in
   Alcotest.(check bool) "thm1 valid" true
-    (Certify.ok (Xyz_demo.certificate ~space d));
+    (Certify.ok (Xyz_demo.certificate ~engine d));
   Alcotest.(check bool) "out-tree" true
     (Nonmask.Cgraph.shape (Xyz_demo.cgraph d) = Dgraph.Classify.Out_tree);
   check_converges_exactly "good-tree" (Xyz_demo.program d)
     (fun s -> Xyz_demo.invariant d s)
-    space
+    engine
 
 let test_xyz_good_ordered () =
   let d = Xyz_demo.make Xyz_demo.Good_ordered in
-  let space = Space.create (Xyz_demo.env d) in
+  let engine = Explore.Engine.create (Xyz_demo.env d) in
   Alcotest.(check bool) "thm2 valid" true
-    (Certify.ok (Xyz_demo.certificate ~space d));
+    (Certify.ok (Xyz_demo.certificate ~engine d));
   Alcotest.(check bool) "self-looping but not out-tree" true
     (Nonmask.Cgraph.shape (Xyz_demo.cgraph d) = Dgraph.Classify.Self_looping);
   check_converges_exactly "good-ordered" (Xyz_demo.program d)
     (fun s -> Xyz_demo.invariant d s)
-    space
+    engine
 
 let test_xyz_bad_livelocks () =
   let d = Xyz_demo.make Xyz_demo.Bad in
-  let space = Space.create (Xyz_demo.env d) in
+  let engine = Explore.Engine.create (Xyz_demo.env d) in
   Alcotest.(check bool) "certificate rejected" false
-    (Certify.ok (Xyz_demo.certificate ~space d));
-  let tsys = Tsys.build (Compile.program (Xyz_demo.program d)) space in
+    (Certify.ok (Xyz_demo.certificate ~engine d));
   match
-    Convergence.check_unfair tsys
-      ~from:(fun _ -> true)
+    Convergence.check_unfair engine (Compile.program (Xyz_demo.program d))
+      ~from:Explore.Engine.All
       ~target:(fun s -> Xyz_demo.invariant d s)
   with
   | Error (Convergence.Livelock states) ->
@@ -345,18 +346,18 @@ let test_atomic_certificates () =
   List.iter
     (fun (name, tree) ->
       let a = Atomic_action.make tree in
-      let space = Space.create (Atomic_action.env a) in
-      let cert = Atomic_action.certificate ~space a in
+      let engine = Explore.Engine.create (Atomic_action.env a) in
+      let cert = Atomic_action.certificate ~engine a in
       if not (Certify.ok cert) then
         Alcotest.failf "%s: %s" name (Format.asprintf "%a" Certify.pp cert))
     [ ("chain-3", Tree.chain 3); ("star-4", Tree.star 4) ]
 
 let test_atomic_converges () =
   let a = Atomic_action.make (Tree.balanced ~arity:2 5) in
-  let space = Space.create (Atomic_action.env a) in
+  let engine = Explore.Engine.create (Atomic_action.env a) in
   check_converges_exactly "atomic" (Atomic_action.program a)
     (fun s -> Atomic_action.invariant a s)
-    space
+    engine
 
 let test_atomic_commit_executes_all () =
   let tree = Tree.balanced ~arity:2 7 in
@@ -403,11 +404,11 @@ let test_lowatomic_converges () =
   List.iter
     (fun (name, tree) ->
       let d = Diffusing_lowatomic.make tree in
-      let space = Space.create (Diffusing_lowatomic.env d) in
+      let engine = Explore.Engine.create (Diffusing_lowatomic.env d) in
       check_converges_exactly name
         (Diffusing_lowatomic.program d)
         (fun s -> Diffusing_lowatomic.invariant d s)
-        space)
+        engine)
     [ ("chain-3", Tree.chain 3); ("star-4", Tree.star 4) ]
 
 let test_lowatomic_reduces_atomicity () =
@@ -441,11 +442,10 @@ let test_lowatomic_wave_completes () =
 
 let test_naive_ring_not_stabilizing () =
   let nr = Naive_ring.make ~nodes:4 in
-  let space = Space.create (Naive_ring.env nr) in
-  let tsys = Tsys.build (Compile.program (Naive_ring.program nr)) space in
+  let engine = Explore.Engine.create (Naive_ring.env nr) in
   (match
-     Convergence.check_unfair tsys
-       ~from:(fun _ -> true)
+     Convergence.check_unfair engine (Compile.program (Naive_ring.program nr))
+       ~from:Explore.Engine.All
        ~target:(fun s -> Naive_ring.invariant nr s)
    with
   | Ok _ -> Alcotest.fail "naive ring must not stabilize"
