@@ -3,14 +3,25 @@
    Subcommands:
      list                         protocols and instances
      show     PROTO [opts]        print the program and constraint graph
-     certify  PROTO [opts]        run the theorem validator
+     certify  PROTO [opts]        run the theorem validator; with
+                                  --faults SPEC, certify nonmasking
+                                  tolerance with a computed fault span
      check    PROTO [opts]        exhaustive convergence check
      simulate PROTO [opts]        fault-injection runs with statistics
+     storm    PROTO [opts]        recovery under recurring faults
      dot      PROTO [opts]        constraint graph in Graphviz DOT
 
    Protocols: diffusing, lowatomic, token-ring, dijkstra, xyz-good-tree,
    xyz-good-ordered, xyz-bad, atomic, naive-ring. Tree-based protocols take
-   --tree SHAPE and --size N; ring-based take --nodes and -k. *)
+   --tree SHAPE and --size N; ring-based take --nodes and -k.
+
+   Exit codes (documented in the README, asserted by
+   test/smoke_exit_codes.sh):
+     0  success
+     1  usage or instance-construction error
+     2  failed certificate or convergence verdict
+     3  state space over the eager engine's budget (Space.Too_large)
+     4  lazy exploration over budget (Engine.Region_overflow) *)
 
 open Cmdliner
 
@@ -252,20 +263,43 @@ let ball_arg =
 let make_engine ~backend ~max_states env =
   Explore.Engine.create ~backend ~max_states env
 
+let exit_verdict_failed = 2
+let exit_too_large = 3
+let exit_region_overflow = 4
+
 let report_overflow i = function
   | Explore.Space.Too_large total ->
       Printf.eprintf
         "error: %s has ~%.3g states, over the budget; retry with --engine \
          lazy (and --ball R for huge spaces) or raise --max-states\n"
         i.i_name total;
-      exit 1
+      exit exit_too_large
   | Explore.Engine.Region_overflow n ->
       Printf.eprintf
         "error: %s: lazy exploration exceeded the budget after %d states; \
          raise --max-states or shrink --ball\n"
         i.i_name n;
-      exit 1
+      exit exit_region_overflow
   | e -> raise e
+
+(* --faults SPEC: a fault class in action form. *)
+let parse_fault_spec env spec =
+  let bad () =
+    failwith
+      (Printf.sprintf "bad fault spec %S (corrupt | corrupt:k=N | scramble)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "corrupt" ] -> Sim.Fault.corrupt env ~k:1
+  | [ "corrupt"; ks ] -> (
+      match String.split_on_char '=' ks with
+      | [ "k"; n ] -> (
+          match int_of_string_opt n with
+          | Some k when k > 0 -> Sim.Fault.corrupt env ~k
+          | _ -> bad ())
+      | _ -> bad ())
+  | [ "scramble" ] -> Sim.Fault.scramble env
+  | _ -> bad ()
 
 let with_instance f proto shape size nodes k seed =
   try
@@ -305,23 +339,80 @@ let show_cmd =
     (Cmd.info "show" ~doc:"Print the program and its constraint graph(s)")
     (instance_term run)
 
+let fault_spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault class in action form: $(b,corrupt) (one variable), \
+           $(b,corrupt:k=N) (up to N variables), $(b,scramble) (every \
+           variable). For $(b,certify) this switches from the theorem \
+           validator to a nonmasking-tolerance certificate over the \
+           computed fault span.")
+
+let fault_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-budget" ] ~docv:"N"
+        ~doc:
+          "At most $(docv) fault steps per derivation when computing the \
+           fault span (default: the fault's burst, e.g. N for \
+           corrupt:k=N). Negative = unbounded — the recurring-fault span.")
+
 let certify_cmd =
-  let run proto shape size nodes k seed backend max_states =
+  let run proto shape size nodes k seed backend max_states fault_spec
+      fault_budget ball =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
-      (match i.certify with
-      | None ->
-          Printf.printf
-            "%s has no theorem certificate (validated by direct model \
-             checking; use `check`).\n"
-            i.i_name
-      | Some certify -> (
+      (match fault_spec with
+      | Some spec -> (
+          let fault = parse_fault_spec i.env spec in
           try
             let engine = make_engine ~backend ~max_states i.env in
-            let cert = certify ~engine in
+            let from =
+              if ball < 0 then None
+              else
+                Some
+                  (Explore.Engine.Seeds
+                     (Explore.Engine.ball i.env ~center:(i.legitimate ())
+                        ~radius:ball))
+            in
+            let budget =
+              match fault_budget with
+              | Some b when b < 0 -> None
+              | Some b -> Some b
+              | None -> Some (Sim.Fault.burst fault)
+            in
+            let cert =
+              Nonmask.Certify.tolerance ~engine ~program:i.program
+                ~faults:(Sim.Fault.actions fault) ~invariant:i.invariant
+                ?from ?budget
+                ~name:
+                  (Printf.sprintf "%s under %s" i.i_name
+                     fault.Sim.Fault.name)
+                ()
+            in
             Format.printf "%a@." Nonmask.Certify.pp_full cert;
-            if not (Nonmask.Certify.ok cert) then exit 1
-          with e -> report_overflow i e));
+            if not (Nonmask.Certify.ok cert) then exit exit_verdict_failed
+          with e -> report_overflow i e)
+      | None -> (
+          match i.certify with
+          | None ->
+              Printf.printf
+                "%s has no theorem certificate (validated by direct model \
+                 checking; use `check`, or `certify --faults SPEC` for a \
+                 tolerance certificate).\n"
+                i.i_name
+          | Some certify -> (
+              try
+                let engine = make_engine ~backend ~max_states i.env in
+                let cert = certify ~engine in
+                Format.printf "%a@." Nonmask.Certify.pp_full cert;
+                if not (Nonmask.Certify.ok cert) then
+                  exit exit_verdict_failed
+              with e -> report_overflow i e)));
       0
     with Failure msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -329,10 +420,14 @@ let certify_cmd =
   in
   Cmd.v
     (Cmd.info "certify"
-       ~doc:"Validate the design with the applicable theorem (exhaustive)")
+       ~doc:
+         "Validate the design with the applicable theorem, or — with \
+          $(b,--faults) — certify nonmasking tolerance over the computed \
+          fault span (exhaustive)")
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ engine_arg $ max_states_arg)
+      $ seed_arg $ engine_arg $ max_states_arg $ fault_spec_arg
+      $ fault_budget_arg $ ball_arg)
 
 let check_cmd =
   let run proto shape size nodes k seed backend max_states ball =
@@ -367,7 +462,7 @@ let check_cmd =
              Format.printf "%s: FAILS@.%a@." i.i_name
                (Explore.Convergence.pp_failure i.env)
                f;
-             exit 1
+             exit exit_verdict_failed
        with e -> report_overflow i e);
       0
     with Failure msg ->
@@ -428,6 +523,62 @@ let simulate_cmd =
       const wrapped $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ trials_arg $ faults_arg)
 
+let rate_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "rate" ] ~docv:"P"
+        ~doc:
+          "Per-step probability that the fault injects again instead of a \
+           program step executing.")
+
+let max_steps_storm_arg =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget per trial.")
+
+let storm_cmd =
+  let run proto shape size nodes k seed trials fault_spec rate fault_budget
+      max_steps =
+    try
+      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      let cp = Compile.program i.program in
+      let fault =
+        parse_fault_spec i.env
+          (Option.value fault_spec ~default:"corrupt:k=1")
+      in
+      let fault_budget =
+        match fault_budget with Some b when b >= 0 -> Some b | _ -> None
+      in
+      let result =
+        Sim.Storm.trials ~max_steps ?fault_budget ~rng:(Prng.create seed)
+          ~trials
+          ~daemon:(fun r -> Sim.Daemon.random r)
+          ~prepare:(fun r ->
+            let s = i.legitimate () in
+            fault.Sim.Fault.inject r s;
+            s)
+          ~stop:i.invariant ~fault ~rate cp
+      in
+      Format.printf "%s: storm %s rate=%g, %d trials: %a@." i.i_name
+        fault.Sim.Fault.name rate trials Sim.Storm.pp_result result;
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Recovery under recurring faults: every step is either a fault \
+          injection (probability $(b,--rate)) or a daemon-chosen program \
+          step")
+    Term.(
+      const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
+      $ seed_arg $ trials_arg $ fault_spec_arg $ rate_arg $ fault_budget_arg
+      $ max_steps_storm_arg)
+
 let dot_cmd =
   let run i _seed =
     match i.cgraphs with
@@ -447,6 +598,9 @@ let main =
   in
   Cmd.group
     (Cmd.info "nonmask" ~version:"1.0.0" ~doc)
-    [ list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; dot_cmd ]
+    [
+      list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; storm_cmd;
+      dot_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

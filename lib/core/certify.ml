@@ -11,6 +11,7 @@ let ok t = List.for_all (fun c -> c.ok) t.checks
 let failures t = List.filter (fun c -> not c.ok) t.checks
 let check_pass label = { label; ok = true; detail = None }
 let check_fail label ~detail = { label; ok = false; detail = Some detail }
+let check_info label ~detail = { label; ok = true; detail = Some detail }
 
 let of_closure_result env label = function
   | Ok () -> check_pass label
@@ -18,13 +19,240 @@ let of_closure_result env label = function
       check_fail label
         ~detail:(Format.asprintf "%a" (Explore.Closure.pp_violation env) v)
 
+(* A cycle through a fault edge (label >= first_fault_index) in the combined
+   ¬S region: pick a fault edge whose endpoints share an SCC, then close the
+   loop with a BFS from its destination back to its source inside that
+   component. Returned as the edge list of the cycle, fault edge first. *)
+let find_fault_cycle (region : Explore.Engine.region) ~first_fault_index =
+  let g = region.Explore.Engine.graph in
+  let comp = (Dgraph.Scc.compute g).Dgraph.Scc.component in
+  match
+    List.find_opt
+      (fun (e : int Dgraph.Digraph.edge) ->
+        e.label >= first_fault_index && comp.(e.src) = comp.(e.dst))
+      (Dgraph.Digraph.edges g)
+  with
+  | None -> None
+  | Some e when e.src = e.dst -> Some [ e ]
+  | Some e ->
+      let c = comp.(e.src) in
+      let parent = Array.make (Dgraph.Digraph.node_count g) None in
+      let seen = Array.make (Dgraph.Digraph.node_count g) false in
+      seen.(e.dst) <- true;
+      let q = Queue.create () in
+      Queue.add e.dst q;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun (e' : int Dgraph.Digraph.edge) ->
+            if (not !found) && (not seen.(e'.dst)) && comp.(e'.dst) = c
+            then begin
+              seen.(e'.dst) <- true;
+              parent.(e'.dst) <- Some e';
+              if e'.dst = e.src then found := true else Queue.add e'.dst q
+            end)
+          (Dgraph.Digraph.out_edges g v)
+      done;
+      if not !found then None
+      else begin
+        let rec back v acc =
+          match parent.(v) with
+          | None -> acc
+          | Some (pe : int Dgraph.Digraph.edge) -> back pe.src (pe :: acc)
+        in
+        Some (e :: back e.src [])
+      end
+
+let render_cycle engine region (combined : Guarded.Compile.program)
+    ~first_fault_index cycle =
+  let env = Explore.Engine.env engine in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "fault-sustained cycle outside S:";
+  List.iter
+    (fun (e : int Dgraph.Digraph.edge) ->
+      let s = Explore.Engine.state_of_node engine region e.src in
+      let a = combined.Guarded.Compile.actions.(e.label).Guarded.Compile.source in
+      Buffer.add_string buf
+        (Format.asprintf "\n      %a  --[%s%s]-->" (Guarded.State.pp env) s
+           (if e.label >= first_fault_index then "FAULT " else "")
+           (Guarded.Action.name a)))
+    cycle;
+  (match cycle with
+  | [] -> ()
+  | (e0 : int Dgraph.Digraph.edge) :: _ ->
+      let s = Explore.Engine.state_of_node engine region e0.src in
+      Buffer.add_string buf
+        (Format.asprintf "\n      %a" (Guarded.State.pp env) s));
+  Buffer.contents buf
+
+let tolerance ~engine ~program ~faults ~invariant ?from ?budget
+    ?(require_recurrence_resilience = false) ~name () =
+  let env = Explore.Engine.env engine in
+  let from =
+    match from with Some f -> f | None -> Explore.Engine.Pred invariant
+  in
+  let cp = Guarded.Compile.program program in
+  let fp =
+    Guarded.Compile.program
+      (Guarded.Program.make
+         ~name:(Guarded.Program.name program ^ ":faults")
+         env faults)
+  in
+  let span =
+    Explore.Faultspan.compute engine ~program:cp ?budget ~faults:fp ~from ()
+  in
+  let span_states = Explore.Faultspan.states span in
+  let span_check =
+    let hist = Explore.Faultspan.depth_histogram span in
+    check_info
+      (Printf.sprintf
+         "span: T = closure of %d root states under program ∪ faults%s; |T| = %d"
+         (Explore.Faultspan.root_count span)
+         (match budget with
+         | Some b -> Printf.sprintf " (≤ %d fault steps)" b
+         | None -> " (unbounded faults)")
+         (Explore.Faultspan.count span))
+      ~detail:
+        (Printf.sprintf
+           "T ⊇ S by construction; states by minimal fault depth: %s"
+           (String.concat ", "
+              (Array.to_list
+                 (Array.mapi
+                    (fun d c -> Printf.sprintf "%d:%d" d c)
+                    hist))))
+  in
+  let closure_check =
+    let include_faults = budget = None in
+    let label =
+      if include_faults then
+        "closure: every program and fault action maps T into T"
+      else "closure: every program action maps T into T"
+    in
+    let acts =
+      if include_faults then
+        Array.append cp.Guarded.Compile.actions fp.Guarded.Compile.actions
+      else cp.Guarded.Compile.actions
+    in
+    let post = Guarded.State.make env in
+    let violation = ref None in
+    (try
+       Explore.Faultspan.iter span (fun s ->
+           Array.iter
+             (fun (ca : Guarded.Compile.action) ->
+               if ca.enabled s then begin
+                 ca.apply_into s post;
+                 if not (Explore.Faultspan.mem span post) then begin
+                   violation :=
+                     Some
+                       (Format.asprintf "%a  --[%s]-->  %a  (outside T)"
+                          (Guarded.State.pp env) s
+                          (Guarded.Action.name ca.Guarded.Compile.source)
+                          (Guarded.State.pp env) post);
+                   raise Exit
+                 end
+               end)
+             acts)
+     with Exit -> ());
+    match !violation with
+    | None -> check_pass label
+    | Some d -> check_fail label ~detail:d
+  in
+  let conv_ok, conv_check =
+    match
+      Explore.Convergence.check_fair engine cp
+        ~from:(Explore.Engine.Seeds span_states) ~target:invariant
+    with
+    | Explore.Convergence.Converges st ->
+        ( true,
+          check_pass
+            (Printf.sprintf
+               "convergence: every fault-free computation from T reaches S \
+                (|T \\ S| = %d%s)"
+               st.Explore.Convergence.region_states
+               (match st.Explore.Convergence.worst_case_steps with
+               | Some w -> Printf.sprintf ", worst case %d steps" w
+               | None -> ", under weak fairness")) )
+    | Explore.Convergence.Fails f ->
+        ( false,
+          check_fail "convergence: a computation from T never reaches S"
+            ~detail:
+              (Format.asprintf "%a" (Explore.Convergence.pp_failure env) f) )
+    | Explore.Convergence.Unknown sample ->
+        ( false,
+          check_fail
+            "convergence: the weak-fairness criterion could not discharge \
+             an SCC of T \\ S"
+            ~detail:
+              (String.concat "\n      "
+                 ("sample states of the undischarged SCC:"
+                 :: List.map
+                      (Format.asprintf "%a" (Guarded.State.pp env))
+                      sample)) )
+  in
+  let tolerance_check =
+    if closure_check.ok && conv_ok then
+      check_pass
+        "nonmasking tolerance: faults occurring finitely often cannot \
+         prevent recovery to S"
+    else
+      check_fail
+        "nonmasking tolerance: closure or convergence of T failed"
+        ~detail:"see the failing checks above"
+  in
+  let recurrence_check =
+    let first_fault_index = Array.length cp.Guarded.Compile.actions in
+    match
+      let combined =
+        Guarded.Compile.program (Guarded.Program.add_actions program faults)
+      in
+      let region =
+        Explore.Engine.region engine combined
+          ~from:(Explore.Engine.Seeds span_states) ~target:invariant
+      in
+      (combined, region)
+    with
+    | exception Explore.Engine.Region_overflow n ->
+        check_info
+          "recurrence: analysis skipped (program ∪ fault region exceeds \
+           the engine budget)"
+          ~detail:(Printf.sprintf "visited %d states before overflow" n)
+    | combined, region -> (
+        match find_fault_cycle region ~first_fault_index with
+        | None ->
+            check_pass
+              "recurrence: no fault-sustained livelock — recovery completes \
+               even under perpetually recurring faults"
+        | Some cycle ->
+            let detail =
+              render_cycle engine region combined ~first_fault_index cycle
+            in
+            if require_recurrence_resilience then
+              check_fail
+                "recurrence: recurring faults can perpetually disrupt \
+                 recovery"
+                ~detail
+            else
+              check_info
+                "recurrence: recurring faults can perpetually disrupt \
+                 recovery (informational — nonmasking tolerance assumes \
+                 faults eventually stop)"
+                ~detail)
+  in
+  {
+    theorem = "Tolerance";
+    spec_name = name;
+    shapes = [];
+    checks =
+      [ span_check; closure_check; conv_check; tolerance_check;
+        recurrence_check ];
+  }
+
 let pp_check ppf c =
   Format.fprintf ppf "  [%s] %s%s"
     (if c.ok then "ok" else "FAIL")
     c.label
-    (match c.detail with
-    | Some d when not c.ok -> "\n    " ^ d
-    | _ -> "")
+    (match c.detail with Some d -> "\n    " ^ d | None -> "")
 
 let pp ppf t =
   let fails = failures t in

@@ -29,14 +29,59 @@ val failures : t -> check list
 val check_pass : string -> check
 val check_fail : string -> detail:string -> check
 
+val check_info : string -> detail:string -> check
+(** A passing check that still carries a rendered witness — e.g. the
+    recurring-fault livelock cycle of a {!tolerance} certificate, which
+    does not invalidate nonmasking tolerance but must be shown. *)
+
 val of_closure_result :
   Guarded.Env.t ->
   string ->
   (unit, Explore.Closure.violation) result ->
   check
 
+val tolerance :
+  engine:Explore.Engine.t ->
+  program:Guarded.Program.t ->
+  faults:Guarded.Action.t list ->
+  invariant:(Guarded.State.t -> bool) ->
+  ?from:Explore.Engine.roots ->
+  ?budget:int ->
+  ?require_recurrence_resilience:bool ->
+  name:string ->
+  unit ->
+  t
+(** Certify nonmasking [T]-tolerance (Section 3 of the paper) with a
+    {e computed} fault span. The fault class is given as guarded actions
+    (see [Sim.Fault.actions]); [T] is computed by {!Explore.Faultspan} as
+    the closure of [from] (default: every invariant state) under program
+    and fault actions, with at most [budget] fault steps per derivation
+    ([None] = the unbounded recurring-fault span). The certificate
+    discharges, exhaustively over the computed span:
+
+    - {b span}: [T ⊇ S] with size and fault-depth accounting;
+    - {b closure}: every program action (and, when unbudgeted, every fault
+      action) maps [T] into [T] — re-verified independently of the span
+      construction;
+    - {b convergence}: every fault-free computation from [T] reaches [S]
+      (the exact unfair check, falling back to the weak-fairness SCC
+      criterion);
+    - {b nonmasking tolerance}: the combination — faults occurring finitely
+      often cannot prevent recovery;
+    - {b recurrence}: a livelock detector over the combined program ∪ fault
+      transition graph. A cycle outside [S] that contains a fault edge means
+      recurring faults can perpetually disrupt recovery; it is rendered in
+      the certificate as a concrete counterexample but — faults being
+      environment actions, not program defects — reported as informational
+      unless [require_recurrence_resilience] is set (default [false]).
+
+    @raise Explore.Engine.Region_overflow when a lazy engine's budget is
+    exceeded while computing the span (the recurring-fault analysis instead
+    degrades to an informational "skipped" check on overflow). *)
+
 val pp : Format.formatter -> t -> unit
 (** Summary plus any failing checks in full. *)
 
 val pp_full : Format.formatter -> t -> unit
-(** Every check, passing or not. *)
+(** Every check, passing or not; details (counterexamples, witnesses) are
+    rendered whenever present. *)

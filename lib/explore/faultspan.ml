@@ -1,0 +1,124 @@
+module State = Guarded.State
+module Compile = Guarded.Compile
+
+type t = {
+  space : Space.t;
+  keys : int list;  (** member keys, reverse discovery order *)
+  count : int;
+  depth_of : (int, int) Hashtbl.t;  (** key -> fault layer of first reach *)
+  roots : int;
+  max_depth : int;
+  histogram : int array;
+}
+
+let count t = t.count
+let root_count t = t.roots
+let max_depth t = t.max_depth
+let depth_histogram t = Array.sub t.histogram 0 (t.max_depth + 1)
+
+let mem t s =
+  match Space.encode t.space s with
+  | key -> Hashtbl.mem t.depth_of key
+  | exception Invalid_argument _ -> false
+
+let depth t s =
+  match Space.encode t.space s with
+  | key -> Hashtbl.find_opt t.depth_of key
+  | exception Invalid_argument _ -> None
+
+let iter t f =
+  let buf = State.make (Space.env t.space) in
+  List.iter
+    (fun key ->
+      Space.decode_into t.space key buf;
+      f buf)
+    t.keys
+
+let states t =
+  List.rev_map (fun key -> Space.decode t.space key) t.keys
+
+(* Layered 0-1 BFS: program edges cost 0 (stay in the current layer), fault
+   edges cost 1 (feed the next layer). Layers are processed in order, so the
+   layer a state is first seen in is its minimal fault count. *)
+let compute engine ?program ?budget ~faults ~from () =
+  let space = Engine.space engine in
+  let cap = Engine.max_states engine in
+  let prog_actions =
+    match program with
+    | None -> [||]
+    | Some (cp : Compile.program) -> cp.Compile.actions
+  in
+  let fault_actions = (faults : Compile.program).Compile.actions in
+  let depth_of : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let keys = ref [] in
+  let count = ref 0 in
+  let cur = Queue.create () in
+  let next = Queue.create () in
+  let visit level target_queue key =
+    if not (Hashtbl.mem depth_of key) then begin
+      incr count;
+      if !count > cap then raise (Engine.Region_overflow !count);
+      Hashtbl.add depth_of key level;
+      keys := key :: !keys;
+      Queue.add key target_queue
+    end
+  in
+  (match from with
+  | Engine.Seeds l ->
+      List.iter (fun s -> visit 0 cur (Space.encode space s)) l
+  | Engine.All | Engine.Pred _ ->
+      if Space.size space > cap then
+        raise (Engine.Region_overflow (Space.size space));
+      let p = match from with Engine.Pred p -> p | _ -> fun _ -> true in
+      Space.iter space (fun id s -> if p s then visit 0 cur id));
+  let roots = !count in
+  let buf = State.make (Space.env space) in
+  let post = State.make (Space.env space) in
+  let level = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* Phase 1: complete the program closure of this layer before firing any
+       fault edge, so a state program-reachable at this layer is never first
+       seen deeper (which would mislabel its depth and, under a budget,
+       wrongly prune its fault successors). *)
+    let layer_members = ref [] in
+    while not (Queue.is_empty cur) do
+      let key = Queue.pop cur in
+      layer_members := key :: !layer_members;
+      Space.decode_into space key buf;
+      Array.iter
+        (fun (ca : Compile.action) ->
+          if ca.enabled buf then begin
+            ca.apply_into buf post;
+            visit !level cur (Space.encode space post)
+          end)
+        prog_actions
+    done;
+    (* Phase 2: fault successors of every member of the completed layer. *)
+    let fault_allowed =
+      match budget with None -> true | Some b -> !level < b
+    in
+    if fault_allowed then
+      List.iter
+        (fun key ->
+          Space.decode_into space key buf;
+          Array.iter
+            (fun (ca : Compile.action) ->
+              if ca.enabled buf then begin
+                ca.apply_into buf post;
+                visit (!level + 1) next (Space.encode space post)
+              end)
+            fault_actions)
+        !layer_members;
+    if Queue.is_empty next then continue := false
+    else begin
+      incr level;
+      Queue.transfer next cur
+    end
+  done;
+  let max_depth = !level in
+  let histogram = Array.make (max_depth + 1) 0 in
+  Hashtbl.iter
+    (fun _ d -> histogram.(d) <- histogram.(d) + 1)
+    depth_of;
+  { space; keys = !keys; count = !count; depth_of; roots; max_depth; histogram }

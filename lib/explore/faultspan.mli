@@ -1,0 +1,64 @@
+(** Computed fault spans (Section 3 of the paper).
+
+    The fault span [T] of a fault class [F] for a program [p] with invariant
+    [S] is the closure of [S] under [p ∪ F]: every state a computation can
+    be in while faults of the class keep occurring. The paper supplies [T]
+    by hand (for stabilizing programs, [T = true]); here it is {e computed},
+    so nonmasking [T]-tolerance can be certified exactly — including the
+    bounded-fault regime where at most [budget] fault occurrences are
+    interleaved with arbitrarily many program steps. The bounded span
+    generalizes {!Engine.ball}, which only perturbs the initial state:
+    [compute ~budget:k] follows program steps {e between} the perturbations.
+
+    The search is a layered frontier BFS keyed by {!Space.encode} — the same
+    machinery for both engine backends; eager and lazy engines differ only
+    in their exploration budget ({!Engine.max_states}), so verdicts agree
+    whenever neither overflows. Layer [d] holds the states whose cheapest
+    derivation from the roots uses exactly [d] fault steps; program
+    successors stay in their layer, fault successors go to the next. *)
+
+type t
+
+val compute :
+  Engine.t ->
+  ?program:Guarded.Compile.program ->
+  ?budget:int ->
+  faults:Guarded.Compile.program ->
+  from:Engine.roots ->
+  unit ->
+  t
+(** Closure of [from] under the fault actions and (when given) the program
+    actions. [budget] caps the number of fault steps along any derivation;
+    omitted, faults may occur unboundedly (the paper's recurring-fault
+    span). [All]/[Pred] roots sweep the space, so they require it to fit
+    the engine's budget; [Seeds] works on spaces of any size.
+    @raise Engine.Region_overflow when the span (or a root sweep) exceeds
+    the engine's state budget. *)
+
+val count : t -> int
+(** Number of states in the span. *)
+
+val root_count : t -> int
+(** Number of root states the search was seeded with. *)
+
+val max_depth : t -> int
+(** Largest fault layer reached: the most fault steps any member of the
+    span actually needs. [0] when the span equals the program-closure of
+    the roots. *)
+
+val depth_histogram : t -> int array
+(** [h.(d)] is the number of states first reached with [d] fault steps;
+    length [max_depth + 1]. *)
+
+val mem : t -> Guarded.State.t -> bool
+(** Span membership. States outside the variable domains are not members. *)
+
+val depth : t -> Guarded.State.t -> int option
+(** Fault layer of a member state; [None] for non-members. *)
+
+val iter : t -> (Guarded.State.t -> unit) -> unit
+(** Visit every member. The state is a shared buffer; copy it to retain. *)
+
+val states : t -> Guarded.State.t list
+(** All members as fresh states — usable as [Engine.Seeds] roots for
+    convergence queries over the span. *)

@@ -106,3 +106,18 @@ let violated t s =
   Array.fold_left
     (fun acc pred -> if pred s then acc else acc + 1)
     0 t.constraint_preds
+
+let tolerance_certificate ~engine ?fault ?budget t =
+  let fault =
+    match fault with Some f -> f | None -> Sim.Fault.corrupt t.env ~k:1
+  in
+  let budget =
+    match budget with
+    | Some b when b < 0 -> None
+    | Some b -> Some b
+    | None -> Some (Sim.Fault.burst fault)
+  in
+  Nonmask.Certify.tolerance ~engine ~program:t.program
+    ~faults:(Sim.Fault.actions fault) ~invariant:t.invariant ?budget
+    ~name:(Printf.sprintf "spanning-tree under %s" fault.Sim.Fault.name)
+    ()

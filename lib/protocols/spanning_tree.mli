@@ -53,3 +53,16 @@ val tree_edges : t -> Guarded.State.t -> (int * int) list
 
 val violated : t -> Guarded.State.t -> int
 (** Number of processes whose local constraint is violated. *)
+
+val tolerance_certificate :
+  engine:Explore.Engine.t ->
+  ?fault:Sim.Fault.t ->
+  ?budget:int ->
+  t ->
+  Nonmask.Certify.t
+(** Nonmasking-tolerance certificate with a {e computed} fault span (see
+    [Nonmask.Certify.tolerance]) — the direct-model-checking counterpart to
+    the theorem certificates the paper's classes would give, since this
+    protocol's constraint graph is outside them. [fault] defaults to
+    [Sim.Fault.corrupt ~k:1]; [budget] defaults to the fault's burst; a
+    negative [budget] removes the bound. *)

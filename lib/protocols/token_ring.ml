@@ -154,3 +154,18 @@ let certificate ~engine t =
 let certificate_strict ~engine t =
   Nonmask.Theorems.validate_theorem3 ~modulo_invariant:false ~engine
     ~spec:t.spec t.layers
+
+let tolerance_certificate ~engine ?fault ?budget t =
+  let fault =
+    match fault with Some f -> f | None -> Sim.Fault.corrupt t.env ~k:1
+  in
+  let budget =
+    match budget with
+    | Some b when b < 0 -> None
+    | Some b -> Some b
+    | None -> Some (Sim.Fault.burst fault)
+  in
+  Nonmask.Certify.tolerance ~engine ~program:t.combined
+    ~faults:(Sim.Fault.actions fault) ~invariant:t.invariant ?budget
+    ~name:(Printf.sprintf "token-ring under %s" fault.Sim.Fault.name)
+    ()

@@ -64,3 +64,17 @@ val certificate : engine:Explore.Engine.t -> t -> Nonmask.Certify.t
 val certificate_strict : engine:Explore.Engine.t -> t -> Nonmask.Certify.t
 (** Theorem 3 with the antecedents read literally — expected to {e fail}
     (experiment E5 documents why; see DESIGN.md). *)
+
+val tolerance_certificate :
+  engine:Explore.Engine.t ->
+  ?fault:Sim.Fault.t ->
+  ?budget:int ->
+  t ->
+  Nonmask.Certify.t
+(** Nonmasking-tolerance certificate for {!combined} with a {e computed}
+    fault span (see [Nonmask.Certify.tolerance]). [fault] defaults to
+    [Sim.Fault.corrupt ~k:1]; [budget] defaults to the fault's burst, and a
+    negative [budget] removes the bound (the recurring-fault span). The ring
+    tolerates any such fault class — but its recurrence check renders the
+    fault-sustained livelock in which a corruption keeps undoing the
+    token-passing progress. *)

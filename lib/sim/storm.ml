@@ -1,0 +1,96 @@
+module State = Guarded.State
+module Compile = Guarded.Compile
+
+type result = {
+  steps : int array;
+  failures : int;
+  fault_counts : int array;
+  summary : Stats.summary option;
+}
+
+(* One storm: per iteration, a coin decides between injecting the fault and
+   executing one daemon-chosen program step (mirroring Runner's simultaneous
+   multi-action execution for distributed daemons). Returns
+   [(converged, iterations, faults_injected)]. *)
+let run_storm ~max_steps ~fault_budget ~rng ~daemon ~init ~stop ~fault ~rate
+    (cp : Compile.program) =
+  let state = State.copy init in
+  let scratch = State.copy init in
+  let rec loop steps faults =
+    if stop state then (true, steps, faults)
+    else if steps >= max_steps then (false, steps, faults)
+    else begin
+      let may_fault =
+        match fault_budget with None -> true | Some b -> faults < b
+      in
+      if may_fault && rate > 0. && Prng.float rng 1.0 < rate then begin
+        fault.Fault.inject rng state;
+        loop (steps + 1) (faults + 1)
+      end
+      else
+        match Compile.enabled_indices cp state with
+        | [] ->
+            (* Program-terminal. Only a future fault can move the state, so
+               keep ticking while faults remain possible; otherwise the trial
+               is stuck for good. *)
+            if may_fault && rate > 0. then loop (steps + 1) faults
+            else (false, steps, faults)
+        | enabled ->
+            let ctx = { Daemon.program = cp; step = steps; state; enabled } in
+            (match (daemon : Daemon.t).choose ctx with
+            | [ a ] ->
+                cp.actions.(a).apply_into state scratch;
+                State.blit ~src:scratch ~dst:state
+            | chosen ->
+                State.blit ~src:state ~dst:scratch;
+                List.iter
+                  (fun a ->
+                    let post = cp.actions.(a).apply state in
+                    Guarded.Var.Set.iter
+                      (fun v ->
+                        State.set_index scratch (Guarded.Var.index v)
+                          (State.get_index post (Guarded.Var.index v)))
+                      (Guarded.Action.writes cp.actions.(a).source))
+                  chosen;
+                State.blit ~src:scratch ~dst:state);
+            loop (steps + 1) faults
+    end
+  in
+  loop 0 0
+
+let trials ?(max_steps = 100_000) ?fault_budget ~rng ~trials ~daemon ~prepare
+    ~stop ~fault ~rate cp =
+  let converged = ref [] in
+  let failures = ref 0 in
+  let fault_counts = Array.make trials 0 in
+  for i = 0 to trials - 1 do
+    let trial_rng = Prng.split rng in
+    let init = prepare trial_rng in
+    let d = daemon trial_rng in
+    let ok, steps, faults =
+      run_storm ~max_steps ~fault_budget ~rng:trial_rng ~daemon:d ~init ~stop
+        ~fault ~rate cp
+    in
+    fault_counts.(i) <- faults;
+    if ok then converged := steps :: !converged else incr failures
+  done;
+  let steps = Array.of_list (List.rev !converged) in
+  let summary =
+    if Array.length steps = 0 then None else Some (Stats.summarize_ints steps)
+  in
+  { steps; failures = !failures; fault_counts; summary }
+
+let pp_result ppf r =
+  let mean_faults =
+    if Array.length r.fault_counts = 0 then 0.
+    else
+      float_of_int (Array.fold_left ( + ) 0 r.fault_counts)
+      /. float_of_int (Array.length r.fault_counts)
+  in
+  (match r.summary with
+  | None -> Format.fprintf ppf "no trial converged (%d failures)" r.failures
+  | Some s ->
+      Format.fprintf ppf "%a%s" Stats.pp_summary s
+        (if r.failures > 0 then Printf.sprintf " (%d failures)" r.failures
+         else ""));
+  Format.fprintf ppf " faults/trial=%.1f" mean_faults

@@ -1,0 +1,46 @@
+(** Fault-storm experiments: faults that keep occurring {e during} recovery.
+
+    {!Experiment.convergence_trials} injects one fault burst and measures the
+    fault-free recovery that follows — the nonmasking-tolerance regime where
+    faults occur finitely often. A storm instead flips a coin every step: with
+    probability [rate] the fault injects again, otherwise the daemon executes
+    a program step. This probes the recurring-fault regime that
+    [Core.Certify.tolerance]'s recurrence check analyses exhaustively — a
+    protocol whose combined program ∪ fault graph has a fault-sustained
+    livelock shows up here as stabilization times that grow (and trials that
+    fail outright) as [rate] increases. *)
+
+type result = {
+  steps : int array;  (** Step counts of the converged trials. *)
+  failures : int;
+      (** Trials that exhausted [max_steps] without the invariant holding
+          (or deadlocked with no fault left to unstick them). *)
+  fault_counts : int array;
+      (** Faults injected per trial, converged or not — [trials] entries. *)
+  summary : Stats.summary option;  (** Over [steps]; [None] if empty. *)
+}
+
+val trials :
+  ?max_steps:int ->
+  ?fault_budget:int ->
+  rng:Prng.t ->
+  trials:int ->
+  daemon:(Prng.t -> Daemon.t) ->
+  prepare:(Prng.t -> Guarded.State.t) ->
+  stop:(Guarded.State.t -> bool) ->
+  fault:Fault.t ->
+  rate:float ->
+  Guarded.Compile.program ->
+  result
+(** Run [trials] independent storms (each trial gets its own [Prng.split] of
+    [rng], as in {!Experiment.convergence_trials}). A trial starts from
+    [prepare] and iterates until [stop] holds or [max_steps] (default
+    [100_000]) iterations elapse. Each iteration is either a fault injection
+    (probability [rate], while under [fault_budget] — default unlimited) or
+    one daemon-chosen program step; every iteration counts toward the step
+    budget, so a trial stuck in a program-terminal state waiting on the coin
+    still terminates. [rate = 0.] degenerates to fault-free convergence
+    trials. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** Step summary plus failure count and mean faults injected per trial. *)

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Asserts the CLI's documented exit codes (see README "Exit codes"):
+#   0  success
+#   1  usage or instance-construction error
+#   2  failed certificate or convergence verdict
+#   3  state space over the eager engine's budget (Space.Too_large)
+#   4  lazy exploration over budget (Engine.Region_overflow)
+# Run from the repo root: sh test/smoke_exit_codes.sh
+set -u
+
+CLI="${CLI:-dune exec bin/nonmask_cli.exe --}"
+failed=0
+
+expect() {
+  want="$1"
+  shift
+  $CLI "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: nonmask $* -> exit $got, want $want"
+    failed=1
+  else
+    echo "ok:   nonmask $* -> exit $got"
+  fi
+}
+
+# 0: clean verdicts, certificates, and a storm run
+expect 0 check token-ring --nodes 3 -k 3
+expect 0 certify token-ring --nodes 3 -k 4 --faults corrupt:k=1
+expect 0 storm token-ring --nodes 3 -k 4 --rate 0.1 --trials 50
+# 1: unknown protocol, bad fault spec
+expect 1 check no-such-protocol
+expect 1 certify token-ring --nodes 3 -k 4 --faults corrupt:k=zero
+# 2: failed verdict / certificate
+expect 2 check xyz-bad
+expect 2 certify xyz-bad
+expect 2 certify naive-ring --nodes 3 --faults corrupt:k=1
+# 3: eager refuses an oversized space
+expect 3 check dijkstra --nodes 12 -k 13 --engine eager
+# 4: lazy runs out of budget (full sweep and ball-seeded)
+expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000
+expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000 --ball 2
+
+exit "$failed"

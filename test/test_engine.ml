@@ -97,6 +97,46 @@ let test_ball_counts () =
   let keys = List.sort_uniq compare (List.map (Space.encode space) all) in
   Alcotest.(check int) "ball states distinct" 24 (List.length keys)
 
+let test_ball_edge_cases () =
+  let env = env_of_sizes [ 3; 4; 2 ] in
+  let center = State.make env in
+  State.set center (Guarded.Env.var_at env 1) 2;
+  (* radius 0: exactly the seed state *)
+  (match Engine.ball env ~center ~radius:0 with
+  | [ s ] ->
+      Alcotest.(check bool) "radius 0 is the center" true (State.equal s center)
+  | l -> Alcotest.failf "radius 0 ball has %d states" (List.length l));
+  (* radius past the variable count saturates at the full space *)
+  let space = Space.create env in
+  let full = Engine.ball env ~center ~radius:17 in
+  Alcotest.(check int) "oversized radius = whole space" (Space.size space)
+    (List.length full);
+  let keys = List.sort_uniq compare (List.map (Space.encode space) full) in
+  Alcotest.(check int) "distinct states" (Space.size space) (List.length keys)
+
+let test_equiv_ball_rooted_region () =
+  (* the two backends must build the same ¬S region from a fault ball *)
+  let tr = Protocols.Token_ring.make ~nodes:4 ~k:4 in
+  let env = Protocols.Token_ring.env tr in
+  let seeds =
+    Engine.ball env ~center:(Protocols.Token_ring.all_zero tr) ~radius:2
+  in
+  let run backend =
+    let engine = Engine.create ~backend env in
+    let region =
+      Engine.region engine
+        (Compile.program (Protocols.Token_ring.combined tr))
+        ~from:(Engine.Seeds seeds)
+        ~target:(fun s -> Protocols.Token_ring.invariant tr s)
+    in
+    ( List.sort compare (Array.to_list region.Engine.node_key),
+      Array.fold_left (fun n t -> if t then n + 1 else n) 0
+        region.Engine.terminal,
+      Dgraph.Digraph.edge_count region.Engine.graph )
+  in
+  Alcotest.(check bool) "identical ball-rooted regions" true
+    (run Engine.Eager = run Engine.Lazy)
+
 (* --- Eager/lazy verdict equivalence on the seed protocols --- *)
 
 let stats_eq (a : Convergence.stats) (b : Convergence.stats) =
@@ -253,6 +293,9 @@ let suite =
     Alcotest.test_case "eager cap vs lazy budget" `Quick
       test_eager_engine_respects_cap;
     Alcotest.test_case "fault balls" `Quick test_ball_counts;
+    Alcotest.test_case "fault ball edge cases" `Quick test_ball_edge_cases;
+    Alcotest.test_case "equivalence: ball-rooted region" `Quick
+      test_equiv_ball_rooted_region;
     Alcotest.test_case "equivalence: diffusing" `Quick test_equiv_diffusing;
     Alcotest.test_case "equivalence: token ring" `Quick test_equiv_token_ring;
     Alcotest.test_case "equivalence: dijkstra (ok and livelock)" `Quick

@@ -11,6 +11,7 @@ let () =
       ("explore", Test_explore.suite);
       ("engine", Test_engine.suite);
       ("sim", Test_sim.suite);
+      ("faults", Test_faults.suite);
       ("core", Test_core.suite);
       ("protocols", Test_protocols.suite);
       ("extensions", Test_extensions.suite);
