@@ -14,10 +14,12 @@ check: build test smoke
 smoke:
 	dune exec bin/nonmask_cli.exe -- check diffusing --nodes 7 --engine eager
 	dune exec bin/nonmask_cli.exe -- check diffusing --nodes 7 --engine lazy
+	dune exec bin/nonmask_cli.exe -- check diffusing --nodes 7 --engine parallel --jobs 2
 	dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine lazy --ball 2
+	dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine parallel --jobs 2 --ball 2
 	dune exec bin/nonmask_cli.exe -- certify token-ring --nodes 4 -k 5 --engine lazy
-	dune exec bin/nonmask_cli.exe -- certify token-ring --nodes 4 -k 5 --faults corrupt:k=1
-	dune exec bin/nonmask_cli.exe -- storm token-ring --nodes 5 -k 6 --rate 0.1 --trials 200
+	dune exec bin/nonmask_cli.exe -- certify token-ring --nodes 4 -k 5 --faults corrupt:k=1 --engine parallel --jobs 2
+	dune exec bin/nonmask_cli.exe -- storm token-ring --nodes 5 -k 6 --rate 0.1 --trials 200 --jobs 2
 	sh test/smoke_exit_codes.sh
 
 bench:

@@ -873,7 +873,11 @@ let e14 () =
     let r = f () in
     (r, (Sys.time () -. t0) *. 1000.0)
   in
-  let backend_name = function Engine.Eager -> "eager" | Engine.Lazy -> "lazy" in
+  let backend_name = function
+    | Engine.Eager -> "eager"
+    | Engine.Lazy -> "lazy"
+    | Engine.Parallel -> "parallel"
+  in
   let row (name, states, env, cp, invariant, legit) ~backend ~radius =
     let from_desc, from =
       match radius with
@@ -1163,6 +1167,154 @@ let e15 () =
       [ "rate"; "median"; "p90"; "p99"; "max"; "failures"; "faults/trial" ]
     (List.map storm_row [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.4 ])
 
+(* E16 — multicore scaling of the parallel subsystem. The parallel engine
+   backend runs the lazy search level-synchronized over a Par.Pool of
+   worker domains; parallel storm trials spread independent trials over the
+   same pool. The contract measured here is twofold: results must be
+   bit-identical to the sequential backends at every job count (the
+   "verdict" column), and wall-clock should drop with jobs on multicore
+   hardware (the "speedup" column — on a single-core container it stays
+   ~1x, the scheduling overhead being the price of the level barriers).
+   Peak RSS is VmHWM from /proc/self/status, which is monotone over the
+   process: later rows inherit earlier rows' peak. *)
+let e16 () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let peak_rss_mb () =
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> nan
+    | ic ->
+        let rv = ref nan in
+        (try
+           while true do
+             let line = input_line ic in
+             try
+               Scanf.sscanf line "VmHWM: %d kB" (fun kb ->
+                   rv := float_of_int kb /. 1024.)
+             with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+           done
+         with End_of_file -> ());
+        close_in ic;
+        !rv
+  in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let verdict_sig = function
+    | Ok { Convergence.region_states; explored; worst_case_steps } ->
+        Printf.sprintf "ok/%d/%d/%s" region_states explored
+          (match worst_case_steps with
+          | Some w -> string_of_int w
+          | None -> "-")
+    | Error (Convergence.Deadlock _) -> "deadlock"
+    | Error (Convergence.Livelock _) -> "livelock"
+  in
+  let instance_rows (name, env, cp, invariant) =
+    let check backend jobs =
+      let engine = Engine.create ~backend ~jobs env in
+      Convergence.check_unfair engine cp ~from:Engine.All ~target:invariant
+    in
+    let seq, seq_ms = wall (fun () -> check Engine.Lazy 1) in
+    let seq_sig = verdict_sig seq in
+    (* bind the baseline row now: [::] evaluates right to left, and the
+       rss cell must be sampled before the parallel runs move the peak *)
+    let base_row =
+      [ name; "lazy"; "-"; Table.f1 seq_ms; "1.00"; "baseline";
+        Table.f1 (peak_rss_mb ()) ]
+    in
+    (base_row
+    :: List.map
+         (fun jobs ->
+           let par, ms = wall (fun () -> check Engine.Parallel jobs) in
+           [
+             name;
+             "parallel";
+             string_of_int jobs;
+             Table.f1 ms;
+             Printf.sprintf "%.2f" (seq_ms /. ms);
+             (if verdict_sig par = seq_sig then "= lazy" else "DIFFERS");
+             Table.f1 (peak_rss_mb ());
+           ])
+         job_counts)
+  in
+  let d = Diffusing.make (Tree.balanced ~arity:2 8) in
+  let tr = Token_ring.make ~nodes:6 ~k:7 in
+  let dr = Dijkstra_ring.make ~nodes:6 ~k:7 in
+  let st = Protocols.Spanning_tree.make ~root:0 (Topology.Ugraph.cycle 5) in
+  let instances =
+    [
+      ( "diffusing bal-2-8",
+        Diffusing.env d,
+        Compile.program (Diffusing.combined d),
+        fun s -> Diffusing.invariant d s );
+      ( "token-ring 6,K=7",
+        Token_ring.env tr,
+        Compile.program (Token_ring.combined tr),
+        fun s -> Token_ring.invariant tr s );
+      ( "dijkstra 6,K=7",
+        Dijkstra_ring.env dr,
+        Compile.program (Dijkstra_ring.program dr),
+        fun s -> Dijkstra_ring.invariant dr s );
+      ( "spanning-tree cycle-5",
+        Protocols.Spanning_tree.env st,
+        Compile.program (Protocols.Spanning_tree.program st),
+        fun s -> Protocols.Spanning_tree.invariant st s );
+    ]
+  in
+  Table.print
+    ~title:
+      "E16: parallel engine scaling - full convergence check per job count \
+       (verdict asserts bit-identical stats vs the sequential lazy backend; \
+       peak-rss MB is the process high-water mark, monotone across rows)"
+    ~header:
+      [ "instance"; "engine"; "jobs"; "ms"; "speedup"; "verdict"; "rss MB" ]
+    (List.concat_map instance_rows instances);
+  (* Storm trials over the same pool: independent trials, pre-split PRNG
+     streams, so the statistics must agree exactly at every job count. *)
+  let tr5 = Token_ring.make ~nodes:5 ~k:6 in
+  let env = Token_ring.env tr5 in
+  let cp = Compile.program (Token_ring.combined tr5) in
+  let fault = Sim.Fault.scramble env in
+  let storm jobs =
+    Sim.Storm.trials ~max_steps:5_000 ~jobs ~rng:(Prng.create seed)
+      ~trials:400
+      ~daemon:(fun rng -> Sim.Daemon.random rng)
+      ~prepare:(fun rng ->
+        let s = Token_ring.all_zero tr5 in
+        fault.Sim.Fault.inject rng s;
+        s)
+      ~stop:(fun s -> Token_ring.invariant tr5 s)
+      ~fault ~rate:0.05 cp
+  in
+  let summary_sig (r : Sim.Storm.result) =
+    match r.Sim.Storm.summary with
+    | None -> Printf.sprintf "none/%d" r.Sim.Storm.failures
+    | Some s ->
+        Printf.sprintf "%d/%.3f/%.3f/%.3f/%d" (Array.length r.Sim.Storm.steps)
+          s.Sim.Stats.median s.Sim.Stats.p90 s.Sim.Stats.max
+          r.Sim.Storm.failures
+  in
+  let base, base_ms = wall (fun () -> storm 1) in
+  let base_sig = summary_sig base in
+  Table.print
+    ~title:
+      "E16 (cont.): parallel storm trials - token-ring 5,K=6, scramble \
+       rate=0.05, 400 trials (quantiles asserts bit-identical statistics \
+       vs jobs=1)"
+    ~header:[ "jobs"; "ms"; "speedup"; "quantiles" ]
+    ([ "1"; Table.f1 base_ms; "1.00"; "baseline" ]
+    :: List.map
+         (fun jobs ->
+           let r, ms = wall (fun () -> storm jobs) in
+           [
+             string_of_int jobs;
+             Table.f1 ms;
+             Printf.sprintf "%.2f" (base_ms /. ms);
+             (if summary_sig r = base_sig then "= jobs-1" else "DIFFER");
+           ])
+         [ 2; 4; 8 ])
+
 let experiments =
   [
     ("e1", e1);
@@ -1180,6 +1332,7 @@ let experiments =
     ("e13", e13);
     ("e14", e14);
     ("e15", e15);
+    ("e16", e16);
     ("micro", micro);
   ]
 

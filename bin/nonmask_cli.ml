@@ -222,11 +222,19 @@ let backend_conv =
   let parse = function
     | "eager" -> Ok Explore.Engine.Eager
     | "lazy" -> Ok Explore.Engine.Lazy
-    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (eager|lazy)" s))
+    | "parallel" -> Ok Explore.Engine.Parallel
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown engine %S; valid values are eager, lazy, parallel" s))
   in
   let print ppf b =
     Format.pp_print_string ppf
-      (match b with Explore.Engine.Eager -> "eager" | Lazy -> "lazy")
+      (match b with
+      | Explore.Engine.Eager -> "eager"
+      | Lazy -> "lazy"
+      | Parallel -> "parallel")
   in
   Arg.conv (parse, print)
 
@@ -238,7 +246,33 @@ let engine_arg =
         ~doc:
           "Exploration engine: $(b,eager) materializes the whole transition \
            system up front; $(b,lazy) generates successors on the fly and \
-           only stores discovered states.")
+           only stores discovered states; $(b,parallel) is the lazy search \
+           level-parallelized over $(b,--jobs) worker domains, with \
+           bit-identical results.")
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n ->
+        Error
+          (`Msg (Printf.sprintf "jobs must be a positive integer (got %d)" n))
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "jobs must be a positive integer (got %S)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv (Par.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the $(b,parallel) engine and for parallel \
+           storm trials (default: the machine's recommended domain count). \
+           Verdicts, spans, and statistics are bit-identical at any job \
+           count.")
 
 let max_states_arg =
   Arg.(
@@ -260,8 +294,8 @@ let ball_arg =
            instead of from every state. Lets the lazy engine give verdicts \
            on spaces far beyond $(b,--max-states).")
 
-let make_engine ~backend ~max_states env =
-  Explore.Engine.create ~backend ~max_states env
+let make_engine ~backend ~max_states ~jobs env =
+  Explore.Engine.create ~backend ~max_states ~jobs env
 
 let exit_verdict_failed = 2
 let exit_too_large = 3
@@ -362,7 +396,7 @@ let fault_budget_arg =
            corrupt:k=N). Negative = unbounded — the recurring-fault span.")
 
 let certify_cmd =
-  let run proto shape size nodes k seed backend max_states fault_spec
+  let run proto shape size nodes k seed backend max_states jobs fault_spec
       fault_budget ball =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
@@ -370,7 +404,7 @@ let certify_cmd =
       | Some spec -> (
           let fault = parse_fault_spec i.env spec in
           try
-            let engine = make_engine ~backend ~max_states i.env in
+            let engine = make_engine ~backend ~max_states ~jobs i.env in
             let from =
               if ball < 0 then None
               else
@@ -407,7 +441,7 @@ let certify_cmd =
                 i.i_name
           | Some certify -> (
               try
-                let engine = make_engine ~backend ~max_states i.env in
+                let engine = make_engine ~backend ~max_states ~jobs i.env in
                 let cert = certify ~engine in
                 Format.printf "%a@." Nonmask.Certify.pp_full cert;
                 if not (Nonmask.Certify.ok cert) then
@@ -426,15 +460,15 @@ let certify_cmd =
           fault span (exhaustive)")
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ engine_arg $ max_states_arg $ fault_spec_arg
+      $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ fault_spec_arg
       $ fault_budget_arg $ ball_arg)
 
 let check_cmd =
-  let run proto shape size nodes k seed backend max_states ball =
+  let run proto shape size nodes k seed backend max_states jobs ball =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
       (try
-         let engine = make_engine ~backend ~max_states i.env in
+         let engine = make_engine ~backend ~max_states ~jobs i.env in
          let from, from_desc =
            if ball < 0 then (Explore.Engine.All, "every state")
            else
@@ -476,7 +510,7 @@ let check_cmd =
           $(b,--ball))")
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ engine_arg $ max_states_arg $ ball_arg)
+      $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ ball_arg)
 
 let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trial count.")
@@ -540,7 +574,7 @@ let max_steps_storm_arg =
 
 let storm_cmd =
   let run proto shape size nodes k seed trials fault_spec rate fault_budget
-      max_steps =
+      max_steps jobs =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
       let cp = Compile.program i.program in
@@ -552,8 +586,8 @@ let storm_cmd =
         match fault_budget with Some b when b >= 0 -> Some b | _ -> None
       in
       let result =
-        Sim.Storm.trials ~max_steps ?fault_budget ~rng:(Prng.create seed)
-          ~trials
+        Sim.Storm.trials ~max_steps ?fault_budget ~jobs
+          ~rng:(Prng.create seed) ~trials
           ~daemon:(fun r -> Sim.Daemon.random r)
           ~prepare:(fun r ->
             let s = i.legitimate () in
@@ -577,7 +611,7 @@ let storm_cmd =
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ trials_arg $ fault_spec_arg $ rate_arg $ fault_budget_arg
-      $ max_steps_storm_arg)
+      $ max_steps_storm_arg $ jobs_arg)
 
 let dot_cmd =
   let run i _seed =
@@ -603,4 +637,13 @@ let main =
       dot_cmd;
     ]
 
-let () = exit (Cmd.eval' main)
+(* Fold cmdliner's own flag-validation failures (unknown --engine value,
+   non-positive --jobs, ...) into the documented usage exit code 1
+   instead of cmdliner's default 124; keep 125 for genuine crashes. *)
+let () =
+  exit
+    (match Cmd.eval_value main with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> 1
+    | Error `Exn -> 125)

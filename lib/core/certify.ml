@@ -129,15 +129,19 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
         "closure: every program and fault action maps T into T"
       else "closure: every program action maps T into T"
     in
-    let acts =
+    let compile_acts (prog : Guarded.Compile.program)
+        (fprog : Guarded.Compile.program) =
       if include_faults then
-        Array.append cp.Guarded.Compile.actions fp.Guarded.Compile.actions
-      else cp.Guarded.Compile.actions
+        Array.append prog.Guarded.Compile.actions fprog.Guarded.Compile.actions
+      else prog.Guarded.Compile.actions
     in
-    let post = Guarded.State.make env in
-    let violation = ref None in
-    (try
-       Explore.Faultspan.iter span (fun s ->
+    (* Scan [states] from [lo], stopping at the first violating action in
+       state order × action order. *)
+    let first_violation acts post (states : Guarded.State.t array) lo hi =
+      let violation = ref None in
+      (try
+         for i = lo to hi - 1 do
+           let s = states.(i) in
            Array.iter
              (fun (ca : Guarded.Compile.action) ->
                if ca.enabled s then begin
@@ -152,9 +156,49 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
                    raise Exit
                  end
                end)
-             acts)
-     with Exit -> ());
-    match !violation with
+             acts
+         done
+       with Exit -> ());
+      !violation
+    in
+    (* Materialize the span in {!Explore.Faultspan.iter} order so both the
+       sequential and the parallel scan report the same first violation. *)
+    let states =
+      let acc = ref [] in
+      Explore.Faultspan.iter span (fun s ->
+          acc := Guarded.State.copy s :: !acc);
+      Array.of_list (List.rev !acc)
+    in
+    let n = Array.length states in
+    let jobs = Explore.Engine.jobs engine in
+    let violation =
+      if Explore.Engine.backend engine <> Explore.Engine.Parallel || jobs = 1
+      then first_violation (compile_acts cp fp) (Guarded.State.make env) states 0 n
+      else
+        Par.Pool.with_pool ~jobs @@ fun pool ->
+        (* Compiled actions carry private scratch, so each worker domain
+           recompiles its own copies. *)
+        let worker_acts =
+          Array.init (Par.Pool.jobs pool) (fun w ->
+              if w = 0 then compile_acts cp fp
+              else
+                compile_acts
+                  (Guarded.Compile.program cp.Guarded.Compile.source)
+                  (Guarded.Compile.program fp.Guarded.Compile.source))
+        in
+        let worker_post =
+          Array.init (Par.Pool.jobs pool) (fun _ -> Guarded.State.make env)
+        in
+        (* Chunk-ordered reduce: the first Some is the violation the
+           sequential scan would have reported. *)
+        Par.Pool.map_reduce pool ~n
+          ~map:(fun ~worker lo hi ->
+            first_violation worker_acts.(worker) worker_post.(worker) states
+              lo hi)
+          (fun acc v -> match acc with Some _ -> acc | None -> v)
+          None
+    in
+    match violation with
     | None -> check_pass label
     | Some d -> check_fail label ~detail:d
   in

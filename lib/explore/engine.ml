@@ -4,12 +4,13 @@ module Var = Guarded.Var
 module Domain = Guarded.Domain
 module Compile = Guarded.Compile
 
-type backend = Eager | Lazy
+type backend = Eager | Lazy | Parallel
 
 type t = {
   backend : backend;
   space : Space.t;
   budget : int;
+  jobs : int;  (* worker-domain count for the parallel backend *)
   mutable csr : (Compile.program * Tsys.t) option;
       (* Cache of the eager CSR build, keyed by physical equality of the
          compiled program: repeated queries against the same program (the
@@ -31,23 +32,33 @@ type region = {
   node_of_key : int -> int;
 }
 
-let create ?(backend = Eager) ?(max_states = 2_000_000) env =
+let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs env =
+  let jobs =
+    match jobs with
+    | Some j when j > 0 -> j
+    | Some j -> invalid_arg (Printf.sprintf "Engine.create: jobs must be positive (got %d)" j)
+    | None -> Par.Pool.default_jobs ()
+  in
   match backend with
   | Eager ->
       let space = Space.create ~max_states env in
-      { backend; space; budget = Space.size space; csr = None }
-  | Lazy ->
+      { backend; space; budget = Space.size space; jobs; csr = None }
+  | Lazy | Parallel ->
       { backend; space = Space.create_unbounded env; budget = max_states;
-        csr = None }
+        jobs; csr = None }
 
 let of_space space =
-  { backend = Eager; space; budget = Space.size space; csr = None }
+  { backend = Eager; space; budget = Space.size space; jobs = 1; csr = None }
 
 let backend t = t.backend
-let backend_name t = match t.backend with Eager -> "eager" | Lazy -> "lazy"
+
+let backend_name t =
+  match t.backend with Eager -> "eager" | Lazy -> "lazy" | Parallel -> "parallel"
+
 let space t = t.space
 let env t = Space.env t.space
 let max_states t = t.budget
+let jobs t = t.jobs
 
 let tsys t cp =
   match t.csr with
@@ -58,24 +69,7 @@ let tsys t cp =
       tsys
 
 (* Growable int array for node keys discovered in order. *)
-module Vec = struct
-  type t = { mutable a : int array; mutable len : int }
-
-  let create () = { a = Array.make 64 0; len = 0 }
-
-  let push v x =
-    let i = v.len in
-    if i = Array.length v.a then begin
-      let b = Array.make (2 * i) 0 in
-      Array.blit v.a 0 b 0 i;
-      v.a <- b
-    end;
-    v.a.(i) <- x;
-    v.len <- i + 1;
-    i
-
-  let to_array v = Array.sub v.a 0 v.len
-end
+module Vec = Par.Ivec
 
 (* --- eager backend: answer from the materialized CSR relation --- *)
 
@@ -180,17 +174,160 @@ let lazy_region t cp ~from ~target =
   in
   { graph; node_key; terminal; explored = !explored; node_of_key }
 
+(* --- parallel backend: level-synchronized BFS over a domain pool ---
+
+   Each level runs in two phases. Phase A (parallel): every frontier
+   state is expanded on some worker — decode, evaluate every guard,
+   apply, encode — against per-worker compiled actions and reusable
+   state buffers (the compiled closures carry private scratch, so they
+   must not be shared across domains); each successor is annotated with
+   a probe of the sharded visited set. Phase B (sequential, cheap):
+   successors are committed in frontier order × action order, which is
+   exactly the FIFO order of the lazy backend's single queue — so node
+   numbering, edge order, the explored count, and the overflow point are
+   all bit-identical to [lazy_region] at any job count. *)
+
+(* Phase-A successor tags:
+   >= -1 : already-visited key carrying its node id (-1 = non-member);
+   -2    : unseen at probe time, target fails (member when committed);
+   -3    : unseen at probe time, target holds (non-member). *)
+
+let parallel_region t cp ~from ~target =
+  let space = t.space in
+  let env = Space.env space in
+  let n_actions = Array.length cp.Compile.actions in
+  Par.Pool.with_pool ~jobs:t.jobs @@ fun pool ->
+  let jobs = Par.Pool.jobs pool in
+  let worker_actions =
+    Array.init jobs (fun w ->
+        if w = 0 then cp.Compile.actions
+        else (Compile.program cp.Compile.source).Compile.actions)
+  in
+  let worker_buf = Array.init jobs (fun _ -> State.make env) in
+  let worker_post = Array.init jobs (fun _ -> State.make env) in
+  let worker_out = Array.init jobs (fun _ -> Vec.create ()) in
+  let visited : int Par.Shardmap.t = Par.Shardmap.create () in
+  let node_keys = Vec.create () in
+  let terminal_nodes = ref [] in
+  let edges = ref [] in
+  let explored = ref 0 in
+  let cur_keys = Vec.create () and cur_nodes = Vec.create () in
+  let next_keys = Vec.create () and next_nodes = Vec.create () in
+  (* First sighting of [key], known absent from [visited]: mirrors the
+     lazy backend's [visit] exactly (count, budget check, numbering). *)
+  let visit_new key ~member =
+    incr explored;
+    check_budget t !explored;
+    let node = if member then Vec.push node_keys key else -1 in
+    Par.Shardmap.add visited key node;
+    ignore (Vec.push next_keys key);
+    ignore (Vec.push next_nodes node);
+    node
+  in
+  (match from with
+  | Seeds l ->
+      List.iter
+        (fun s ->
+          let key = Space.encode space s in
+          if Par.Shardmap.find_opt visited key = None then
+            ignore (visit_new key ~member:(not (target s))))
+        l
+  | All | Pred _ ->
+      let n = Space.size space in
+      check_budget t n;
+      let p = match from with Pred p -> p | _ -> fun _ -> true in
+      (* classify every id in parallel, then commit in id order *)
+      let classes = Bytes.make n '\000' in
+      Par.Pool.parallel_for pool ~n (fun ~worker lo hi ->
+          let buf = worker_buf.(worker) in
+          for id = lo to hi - 1 do
+            Space.decode_into space id buf;
+            if p buf then
+              Bytes.unsafe_set classes id
+                (if target buf then '\002' else '\001')
+          done);
+      for id = 0 to n - 1 do
+        match Bytes.unsafe_get classes id with
+        | '\000' -> ()
+        | c -> ignore (visit_new id ~member:(c = '\001'))
+      done);
+  while Vec.len next_keys > 0 do
+    Vec.swap cur_keys next_keys;
+    Vec.swap cur_nodes next_nodes;
+    Vec.clear next_keys;
+    Vec.clear next_nodes;
+    let len = Vec.len cur_keys in
+    let succs = Array.make len [||] in
+    Par.Pool.parallel_for pool ~n:len (fun ~worker lo hi ->
+        let acts = worker_actions.(worker) in
+        let buf = worker_buf.(worker) and post = worker_post.(worker) in
+        let out = worker_out.(worker) in
+        for i = lo to hi - 1 do
+          Space.decode_into space (Vec.get cur_keys i) buf;
+          Vec.clear out;
+          for a = 0 to n_actions - 1 do
+            let ca = acts.(a) in
+            if ca.Compile.enabled buf then begin
+              ca.Compile.apply_into buf post;
+              let dst_key = Space.encode space post in
+              let tag =
+                match Par.Shardmap.find_opt visited dst_key with
+                | Some node -> node
+                | None -> if target post then -3 else -2
+              in
+              ignore (Vec.push out a);
+              ignore (Vec.push out dst_key);
+              ignore (Vec.push out tag)
+            end
+          done;
+          succs.(i) <- Vec.to_array out
+        done);
+    for i = 0 to len - 1 do
+      let src_node = Vec.get cur_nodes i in
+      let sc = succs.(i) in
+      let m = Array.length sc / 3 in
+      for j = 0 to m - 1 do
+        let a = sc.(3 * j) in
+        let dst_key = sc.((3 * j) + 1) in
+        let tag = sc.((3 * j) + 2) in
+        let dst_node =
+          if tag >= -1 then tag
+          else
+            (* the same key may already have been committed earlier in
+               this merge; only a miss here is a genuine first sighting *)
+            match Par.Shardmap.find_opt visited dst_key with
+            | Some node -> node
+            | None -> visit_new dst_key ~member:(tag = -2)
+        in
+        if src_node >= 0 && dst_node >= 0 then
+          edges := (src_node, dst_node, a) :: !edges
+      done;
+      if src_node >= 0 && m = 0 then
+        terminal_nodes := src_node :: !terminal_nodes
+    done
+  done;
+  let node_key = Vec.to_array node_keys in
+  let n_nodes = Array.length node_key in
+  let terminal = Array.make n_nodes false in
+  List.iter (fun v -> terminal.(v) <- true) !terminal_nodes;
+  let graph = Dgraph.Digraph.of_edges n_nodes (List.rev !edges) in
+  let node_of_key key =
+    match Par.Shardmap.find_opt visited key with Some v -> v | None -> -1
+  in
+  { graph; node_key; terminal; explored = !explored; node_of_key }
+
 let region t cp ~from ~target =
   match t.backend with
   | Eager -> eager_region t cp ~from ~target
   | Lazy -> lazy_region t cp ~from ~target
+  | Parallel -> parallel_region t cp ~from ~target
 
 let state_of_node t region v = Space.decode t.space region.node_key.(v)
 
 let iter_states t f =
   (match t.backend with
   | Eager -> ()
-  | Lazy -> check_budget t (Space.size t.space));
+  | Lazy | Parallel -> check_budget t (Space.size t.space));
   Space.iter t.space (fun _ s -> f s)
 
 let iter_reachable t cp ~from f =

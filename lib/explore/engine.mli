@@ -18,19 +18,32 @@
       long as the {e reachable region} from the given roots stays under the
       exploration budget.
 
-    Both backends produce the same {!region} record, so every analysis
+    - {b Parallel} (level-synchronized multicore frontier search): the
+      lazy search split over a {!Par.Pool} of worker domains. Each BFS
+      level expands its frontier in parallel against a sharded visited
+      set ({!Par.Shardmap}), then commits discoveries sequentially in
+      frontier order × action order — exactly the lazy backend's FIFO
+      discovery order — so the resulting {!region} (node numbering, edge
+      order, explored count, even the overflow point) is bit-identical
+      to [Lazy] at any job count.
+
+    All backends produce the same {!region} record, so every analysis
     (deadlock, cycle, SCC escape, closure) is written once against this
     interface. An equivalence test suite asserts identical verdicts. *)
 
-type backend = Eager | Lazy
+type backend = Eager | Lazy | Parallel
 
 type t
 
-val create : ?backend:backend -> ?max_states:int -> Guarded.Env.t -> t
+val create : ?backend:backend -> ?max_states:int -> ?jobs:int -> Guarded.Env.t -> t
 (** Build an engine for an environment. [max_states] (default [2_000_000])
     caps the enumerated space for the eager backend and the number of
-    {e visited} states for the lazy backend.
-    @raise Space.Too_large for an eager engine over a bigger space. *)
+    {e visited} states for the lazy and parallel backends. [jobs]
+    (default {!Par.Pool.default_jobs}, i.e.
+    [Domain.recommended_domain_count ()]) sets the worker-domain count
+    used by the parallel backend; other backends record but ignore it.
+    @raise Space.Too_large for an eager engine over a bigger space.
+    @raise Invalid_argument when [jobs <= 0]. *)
 
 val of_space : Space.t -> t
 (** Eager engine over an already-created space. *)
@@ -40,6 +53,10 @@ val backend_name : t -> string
 val space : t -> Space.t
 val env : t -> Guarded.Env.t
 val max_states : t -> int
+
+val jobs : t -> int
+(** Worker-domain count used by the parallel backend ([1] for engines
+    built via {!of_space}). *)
 
 exception Region_overflow of int
 (** Raised when a lazy exploration visits more states than the engine's

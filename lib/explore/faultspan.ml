@@ -40,7 +40,7 @@ let states t =
 (* Layered 0-1 BFS: program edges cost 0 (stay in the current layer), fault
    edges cost 1 (feed the next layer). Layers are processed in order, so the
    layer a state is first seen in is its minimal fault count. *)
-let compute engine ?program ?budget ~faults ~from () =
+let compute_seq engine ?program ?budget ~faults ~from () =
   let space = Engine.space engine in
   let cap = Engine.max_states engine in
   let prog_actions =
@@ -122,3 +122,146 @@ let compute engine ?program ?budget ~faults ~from () =
     (fun _ d -> histogram.(d) <- histogram.(d) + 1)
     depth_of;
   { space; keys = !keys; count = !count; depth_of; roots; max_depth; histogram }
+
+(* Parallel variant of the same layered search, for engines on the
+   [Parallel] backend. Each expansion round — a program-closure wave or a
+   layer's fault phase — runs in two phases: phase A expands every source
+   state on some worker domain (per-worker compiled actions and state
+   buffers; the compiled closures carry private scratch), collecting the
+   successor keys that were unseen when probed in the sharded visited set;
+   phase B commits them sequentially in the order the sequential search
+   would have visited them. Two order quirks of [compute_seq] are
+   reproduced deliberately: program-closure waves are FIFO (wave order ×
+   action order = the single queue's pop order), and the fault phase walks
+   the layer's members in {e reverse} pop order, because the sequential
+   code conses members onto a list and never reverses it. The result —
+   keys, depths, histogram, even the overflow point — is bit-identical at
+   any job count. *)
+let compute_par engine ?program ?budget ~faults ~from () =
+  let module Vec = Par.Ivec in
+  let space = Engine.space engine in
+  let env = Space.env space in
+  let cap = Engine.max_states engine in
+  Par.Pool.with_pool ~jobs:(Engine.jobs engine) @@ fun pool ->
+  let jobs = Par.Pool.jobs pool in
+  let recompile (cp : Compile.program) w =
+    if w = 0 then cp.Compile.actions
+    else (Compile.program cp.Compile.source).Compile.actions
+  in
+  let worker_prog =
+    Array.init jobs (fun w ->
+        match program with None -> [||] | Some cp -> recompile cp w)
+  in
+  let worker_fault = Array.init jobs (recompile faults) in
+  let worker_buf = Array.init jobs (fun _ -> State.make env) in
+  let worker_post = Array.init jobs (fun _ -> State.make env) in
+  let worker_out = Array.init jobs (fun _ -> Vec.create ()) in
+  let depth_of : int Par.Shardmap.t = Par.Shardmap.create () in
+  let keys = ref [] in
+  let count = ref 0 in
+  let visit level target key =
+    if Par.Shardmap.find_opt depth_of key = None then begin
+      incr count;
+      if !count > cap then raise (Engine.Region_overflow !count);
+      Par.Shardmap.add depth_of key level;
+      keys := key :: !keys;
+      ignore (Vec.push target key)
+    end
+  in
+  (* Expand [src] with per-worker [actions], then commit the candidates in
+     source order ([~reverse] for the fault phase) × action order. Phase A
+     drops successors already visited when probed; the commit re-probes,
+     since an earlier commit of this very round may have claimed the key. *)
+  let expand ~reverse worker_actions src level target =
+    let len = Vec.len src in
+    let succs = Array.make len [||] in
+    Par.Pool.parallel_for pool ~n:len (fun ~worker lo hi ->
+        let acts = (worker_actions : Compile.action array array).(worker) in
+        let buf = worker_buf.(worker) and post = worker_post.(worker) in
+        let out = worker_out.(worker) in
+        for i = lo to hi - 1 do
+          Space.decode_into space (Vec.get src i) buf;
+          Vec.clear out;
+          Array.iter
+            (fun (ca : Compile.action) ->
+              if ca.enabled buf then begin
+                ca.apply_into buf post;
+                let dst = Space.encode space post in
+                if not (Par.Shardmap.mem depth_of dst) then
+                  ignore (Vec.push out dst)
+              end)
+            acts;
+          succs.(i) <- Vec.to_array out
+        done);
+    if reverse then
+      for i = len - 1 downto 0 do
+        Array.iter (fun k -> visit level target k) succs.(i)
+      done
+    else
+      for i = 0 to len - 1 do
+        Array.iter (fun k -> visit level target k) succs.(i)
+      done
+  in
+  let wave = Vec.create () and next_wave = Vec.create () in
+  let members = Vec.create () and next_layer = Vec.create () in
+  (match from with
+  | Engine.Seeds l ->
+      List.iter (fun s -> visit 0 wave (Space.encode space s)) l
+  | Engine.All | Engine.Pred _ ->
+      if Space.size space > cap then
+        raise (Engine.Region_overflow (Space.size space));
+      let p = match from with Engine.Pred p -> p | _ -> fun _ -> true in
+      let n = Space.size space in
+      let classes = Bytes.make n '\000' in
+      Par.Pool.parallel_for pool ~n (fun ~worker lo hi ->
+          let buf = worker_buf.(worker) in
+          for id = lo to hi - 1 do
+            Space.decode_into space id buf;
+            if p buf then Bytes.unsafe_set classes id '\001'
+          done);
+      for id = 0 to n - 1 do
+        if Bytes.unsafe_get classes id = '\001' then visit 0 wave id
+      done);
+  let roots = !count in
+  let level = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Vec.clear members;
+    while Vec.len wave > 0 do
+      for i = 0 to Vec.len wave - 1 do
+        ignore (Vec.push members (Vec.get wave i))
+      done;
+      expand ~reverse:false worker_prog wave !level next_wave;
+      Vec.clear wave;
+      Vec.swap wave next_wave
+    done;
+    let fault_allowed =
+      match budget with None -> true | Some b -> !level < b
+    in
+    if fault_allowed then
+      expand ~reverse:true worker_fault members (!level + 1) next_layer;
+    if Vec.len next_layer = 0 then continue := false
+    else begin
+      incr level;
+      Vec.swap wave next_layer
+    end
+  done;
+  let max_depth = !level in
+  let depth_tbl = Par.Shardmap.to_hashtbl depth_of in
+  let histogram = Array.make (max_depth + 1) 0 in
+  Hashtbl.iter (fun _ d -> histogram.(d) <- histogram.(d) + 1) depth_tbl;
+  {
+    space;
+    keys = !keys;
+    count = !count;
+    depth_of = depth_tbl;
+    roots;
+    max_depth;
+    histogram;
+  }
+
+let compute engine ?program ?budget ~faults ~from () =
+  match Engine.backend engine with
+  | Engine.Parallel -> compute_par engine ?program ?budget ~faults ~from ()
+  | Engine.Eager | Engine.Lazy ->
+      compute_seq engine ?program ?budget ~faults ~from ()

@@ -1,0 +1,156 @@
+(* Fork/join pool over persistent worker domains.
+
+   Protocol: the caller publishes a task under the mutex and bumps
+   [epoch]; workers sleep on [work] until they see a fresh epoch, run the
+   task outside the lock, then decrement [pending] and signal [done_].
+   The caller participates as worker 0 and blocks on [done_] until every
+   worker has finished, so a round is a full barrier — which is what the
+   level-synchronized searches built on top need anyway. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  done_ : Condition.t;
+  mutable task : (int -> unit) option;
+  mutable epoch : int;
+  mutable pending : int;  (* workers still running the current epoch *)
+  mutable failure : exn option;  (* first exception of the round *)
+  mutable stopped : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let record_failure t e =
+  Mutex.lock t.mutex;
+  (match t.failure with None -> t.failure <- Some e | Some _ -> ());
+  Mutex.unlock t.mutex
+
+let worker_loop t w =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while t.epoch = !seen && not t.stopped do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.epoch;
+      let task = t.task in
+      Mutex.unlock t.mutex;
+      (match task with
+      | None -> ()
+      | Some body -> ( try body w with e -> record_failure t e));
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.done_;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~jobs =
+  if jobs <= 0 then invalid_arg "Par.Pool.create: jobs must be positive";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      task = None;
+      epoch = 0;
+      pending = 0;
+      failure = None;
+      stopped = false;
+      domains = [||];
+    }
+  in
+  t.domains <-
+    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  if not was_stopped then Array.iter Domain.join t.domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run t body =
+  if t.stopped then invalid_arg "Par.Pool.run: pool is shut down";
+  if t.jobs = 1 then body 0
+  else begin
+    Mutex.lock t.mutex;
+    t.task <- Some body;
+    t.failure <- None;
+    t.pending <- t.jobs - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (try body 0 with e -> record_failure t e);
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.done_ t.mutex
+    done;
+    t.task <- None;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with None -> () | Some e -> raise e
+  end
+
+let default_chunk ~jobs ~n = max 1 (n / (8 * jobs))
+
+let parallel_for ?chunk t ~n f =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | Some _ -> invalid_arg "Par.Pool.parallel_for: chunk must be positive"
+      | None -> default_chunk ~jobs:t.jobs ~n
+    in
+    if t.jobs = 1 || n <= chunk then f ~worker:0 0 n
+    else begin
+      let next = Atomic.make 0 in
+      run t (fun w ->
+          let continue = ref true in
+          while !continue do
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo >= n then continue := false
+            else f ~worker:w lo (min n (lo + chunk))
+          done)
+    end
+  end
+
+let map_reduce ?chunk t ~n ~map reduce init =
+  if n <= 0 then init
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | Some _ -> invalid_arg "Par.Pool.map_reduce: chunk must be positive"
+      | None -> default_chunk ~jobs:t.jobs ~n
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let results = Array.make n_chunks None in
+    parallel_for ~chunk t ~n (fun ~worker lo hi ->
+        results.(lo / chunk) <- Some (map ~worker lo hi));
+    (* fold in chunk order: deterministic for non-commutative reduce *)
+    Array.fold_left
+      (fun acc r ->
+        match r with
+        | Some v -> reduce acc v
+        | None -> acc (* unreachable: every chunk is covered *))
+      init results
+  end

@@ -1,0 +1,61 @@
+(** Fixed-size domain pools: fork/join data parallelism on OCaml 5.
+
+    A pool owns [jobs - 1] worker domains (the caller is worker [0]) that
+    block on a condition variable between collective operations, so a pool
+    can be reused across many fork/join rounds — e.g. one round per BFS
+    level — without paying a domain spawn per round. All operations are
+    {e collective}: the caller forks a task to every worker, participates
+    itself, and joins before returning, re-raising the first exception any
+    worker observed.
+
+    Determinism is a design constraint of this library, not an accident:
+    {!parallel_for} partitions work by index ranges and {!map_reduce}
+    folds chunk results in chunk order, so any pipeline whose chunk
+    bodies are pure functions of their index range produces output
+    independent of the job count and of scheduling. The analyses built on
+    top (the parallel exploration backend, fault spans, storm trials)
+    rely on exactly this to keep verdicts bit-identical to their
+    sequential counterparts.
+
+    A pool with [jobs = 1] spawns no domains and runs everything inline
+    in the caller — the zero-overhead degenerate case. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of how
+    many domains this machine runs efficiently. *)
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] workers ([jobs - 1] new domains).
+    @raise Invalid_argument if [jobs <= 0]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Using the pool after
+    shutdown raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down, even if [f] raises. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t body] executes [body w] on every worker [w] in
+    [0 .. jobs - 1] concurrently ([body 0] in the caller) and waits for
+    all of them. The first exception raised by any worker is re-raised
+    in the caller after the join. *)
+
+val parallel_for : ?chunk:int -> t -> n:int -> (worker:int -> int -> int -> unit) -> unit
+(** [parallel_for t ~n f] covers the index range [0, n) with disjoint
+    chunks, calling [f ~worker lo hi] for each chunk [\[lo, hi)] on some
+    worker; [~worker] indexes per-worker scratch (buffers, compiled
+    closures) so bodies can stay allocation-free. Chunks are handed out
+    dynamically (an atomic counter), so uneven per-index cost still
+    balances. [chunk] defaults to roughly [n / (8 * jobs)]. *)
+
+val map_reduce :
+  ?chunk:int -> t -> n:int -> map:(worker:int -> int -> int -> 'a) -> ('b -> 'a -> 'b) -> 'b -> 'b
+(** [map_reduce t ~n ~map reduce init] maps every chunk of [0, n) to a
+    value and folds the chunk values {e in chunk order} — the fold is
+    sequential and deterministic even for non-commutative [reduce]. *)

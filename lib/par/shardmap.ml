@@ -1,0 +1,55 @@
+type 'a t = {
+  mask : int;
+  tables : (int, 'a) Hashtbl.t array;
+  locks : Mutex.t array;
+}
+
+(* splitmix64 finalizer: state codes are dense integers, so the shard
+   index must come from mixed high bits, not [key land mask]. *)
+let mix key =
+  let h = Int64.of_int key in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 30)) 0xbf58476d1ce4e5b9L in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 27)) 0x94d049bb133111ebL in
+  Int64.to_int (Int64.logxor h (Int64.shift_right_logical h 31)) land max_int
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let create ?(shards = 64) () =
+  let shards = pow2_at_least (max 1 shards) 1 in
+  {
+    mask = shards - 1;
+    tables = Array.init shards (fun _ -> Hashtbl.create 64);
+    locks = Array.init shards (fun _ -> Mutex.create ());
+  }
+
+let[@inline] shard t key = mix key land t.mask
+
+let find_opt t key =
+  let s = shard t key in
+  Mutex.lock t.locks.(s);
+  let r = Hashtbl.find_opt t.tables.(s) key in
+  Mutex.unlock t.locks.(s);
+  r
+
+let mem t key =
+  let s = shard t key in
+  Mutex.lock t.locks.(s);
+  let r = Hashtbl.mem t.tables.(s) key in
+  Mutex.unlock t.locks.(s);
+  r
+
+let add t key v =
+  let s = shard t key in
+  Mutex.lock t.locks.(s);
+  Hashtbl.replace t.tables.(s) key v;
+  Mutex.unlock t.locks.(s)
+
+let length t =
+  Array.fold_left (fun n tbl -> n + Hashtbl.length tbl) 0 t.tables
+
+let iter t f = Array.iter (fun tbl -> Hashtbl.iter f tbl) t.tables
+
+let to_hashtbl t =
+  let out = Hashtbl.create (max 16 (length t)) in
+  iter t (fun k v -> Hashtbl.add out k v);
+  out

@@ -1,0 +1,36 @@
+(** Sharded integer-keyed hash maps for concurrent visited sets.
+
+    The parallel exploration backends key their visited sets by
+    {!Explore.Space.encode} state codes. A [Shardmap.t] spreads those keys
+    over a power-of-two number of shards — each an ordinary [Hashtbl]
+    behind its own mutex — so probes from many domains contend on
+    different locks with high probability. Keys are spread by a
+    splitmix64-style finalizer, not by low bits: state codes are dense,
+    and low-bit sharding would put entire BFS levels in one shard.
+
+    The intended access pattern is phased: during a parallel phase every
+    domain may call {!find_opt}/{!mem} (and, if it owns the key,
+    {!add}); the sequential merge between phases may use the unlocked
+    {!iter}/{!length}. *)
+
+type 'a t
+
+val create : ?shards:int -> unit -> 'a t
+(** [shards] (default [64]) is rounded up to a power of two. *)
+
+val find_opt : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val add : 'a t -> int -> 'a -> unit
+(** Bind the key, replacing any previous binding. *)
+
+val length : 'a t -> int
+(** Total bindings across shards. Not linearizable with concurrent
+    writers; call it from quiescent (merge) phases. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit every binding, shard by shard, without locking — merge-phase
+    only. *)
+
+val to_hashtbl : 'a t -> (int, 'a) Hashtbl.t
+(** Snapshot into a plain [Hashtbl] (merge-phase only). *)

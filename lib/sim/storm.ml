@@ -58,23 +58,57 @@ let run_storm ~max_steps ~fault_budget ~rng ~daemon ~init ~stop ~fault ~rate
   in
   loop 0 0
 
-let trials ?(max_steps = 100_000) ?fault_budget ~rng ~trials ~daemon ~prepare
-    ~stop ~fault ~rate cp =
-  let converged = ref [] in
-  let failures = ref 0 in
-  let fault_counts = Array.make trials 0 in
+let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1) ~rng ~trials
+    ~daemon ~prepare ~stop ~fault ~rate cp =
+  if jobs <= 0 then
+    invalid_arg (Printf.sprintf "Storm.trials: jobs must be positive (got %d)" jobs);
+  (* Pre-split every trial's stream sequentially: [Prng.split] only draws
+     from the parent, and trials only ever touch their own stream, so
+     these are exactly the streams the sequential loop would have used —
+     the basis of the any-job-count determinism contract. *)
+  let trial_rngs = Array.make trials None in
   for i = 0 to trials - 1 do
-    let trial_rng = Prng.split rng in
+    trial_rngs.(i) <- Some (Prng.split rng)
+  done;
+  let ok_a = Array.make trials false in
+  let steps_a = Array.make trials 0 in
+  let fault_counts = Array.make trials 0 in
+  (* Per-trial order matches the sequential loop: prepare, then daemon,
+     then the storm itself, all on the trial's own stream. *)
+  let run_trial cp i =
+    let trial_rng = Option.get trial_rngs.(i) in
     let init = prepare trial_rng in
     let d = daemon trial_rng in
     let ok, steps, faults =
       run_storm ~max_steps ~fault_budget ~rng:trial_rng ~daemon:d ~init ~stop
         ~fault ~rate cp
     in
-    fault_counts.(i) <- faults;
-    if ok then converged := steps :: !converged else incr failures
+    ok_a.(i) <- ok;
+    steps_a.(i) <- steps;
+    fault_counts.(i) <- faults
+  in
+  (if jobs = 1 then
+     for i = 0 to trials - 1 do
+       run_trial cp i
+     done
+   else
+     Par.Pool.with_pool ~jobs @@ fun pool ->
+     (* Compiled actions carry private scratch buffers, so each worker
+        domain gets its own recompilation of the program. *)
+     let worker_cp =
+       Array.init (Par.Pool.jobs pool) (fun w ->
+           if w = 0 then cp else Compile.program cp.Compile.source)
+     in
+     Par.Pool.parallel_for pool ~n:trials (fun ~worker lo hi ->
+         for i = lo to hi - 1 do
+           run_trial worker_cp.(worker) i
+         done));
+  let converged = ref [] in
+  let failures = ref 0 in
+  for i = trials - 1 downto 0 do
+    if ok_a.(i) then converged := steps_a.(i) :: !converged else incr failures
   done;
-  let steps = Array.of_list (List.rev !converged) in
+  let steps = Array.of_list !converged in
   let summary =
     if Array.length steps = 0 then None else Some (Stats.summarize_ints steps)
   in

@@ -23,6 +23,7 @@ type result = {
 val trials :
   ?max_steps:int ->
   ?fault_budget:int ->
+  ?jobs:int ->
   rng:Prng.t ->
   trials:int ->
   daemon:(Prng.t -> Daemon.t) ->
@@ -40,7 +41,16 @@ val trials :
     one daemon-chosen program step; every iteration counts toward the step
     budget, so a trial stuck in a program-terminal state waiting on the coin
     still terminates. [rate = 0.] degenerates to fault-free convergence
-    trials. *)
+    trials.
+
+    [jobs] (default [1]) spreads the trials over that many worker domains.
+    Every trial's PRNG stream is split off [rng] up front in trial order and
+    the program is recompiled per worker, so the [result] — step counts,
+    failures, fault counts, quantiles — is bit-identical at any job count.
+    When [jobs > 1], [prepare], [daemon], [stop], and [fault] must be safe
+    to call from concurrent domains (the built-in faults and daemons are:
+    they only touch the trial's own state and stream).
+    @raise Invalid_argument when [jobs <= 0]. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** Step summary plus failure count and mean faults injected per trial. *)

@@ -28,17 +28,29 @@ expect() {
 expect 0 check token-ring --nodes 3 -k 3
 expect 0 certify token-ring --nodes 3 -k 4 --faults corrupt:k=1
 expect 0 storm token-ring --nodes 3 -k 4 --rate 0.1 --trials 50
+# 0: the parallel backend and parallel storm trials succeed the same way
+expect 0 check token-ring --nodes 3 -k 3 --engine parallel --jobs 2
+expect 0 certify token-ring --nodes 3 -k 4 --faults corrupt:k=1 --engine parallel --jobs 2
+expect 0 storm token-ring --nodes 3 -k 4 --rate 0.1 --trials 50 --jobs 2
 # 1: unknown protocol, bad fault spec
 expect 1 check no-such-protocol
 expect 1 certify token-ring --nodes 3 -k 4 --faults corrupt:k=zero
+# 1: flag validation — unknown engine value, non-positive jobs
+expect 1 check token-ring --nodes 3 -k 3 --engine turbo
+expect 1 check token-ring --nodes 3 -k 3 --engine parallel --jobs 0
+expect 1 check token-ring --nodes 3 -k 3 --jobs -2
+expect 1 storm token-ring --nodes 3 -k 4 --jobs many
 # 2: failed verdict / certificate
 expect 2 check xyz-bad
 expect 2 certify xyz-bad
+expect 2 certify xyz-bad --engine parallel --jobs 2
 expect 2 certify naive-ring --nodes 3 --faults corrupt:k=1
 # 3: eager refuses an oversized space
 expect 3 check dijkstra --nodes 12 -k 13 --engine eager
 # 4: lazy runs out of budget (full sweep and ball-seeded)
 expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000
 expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000 --ball 2
+# 4: the parallel backend trips the same budget
+expect 4 check dijkstra --nodes 12 -k 13 --engine parallel --jobs 2 --max-states 1000 --ball 2
 
 exit "$failed"

@@ -10,6 +10,7 @@ let () =
       ("topology", Test_topology.suite);
       ("explore", Test_explore.suite);
       ("engine", Test_engine.suite);
+      ("par", Test_par.suite);
       ("sim", Test_sim.suite);
       ("faults", Test_faults.suite);
       ("core", Test_core.suite);
