@@ -1,10 +1,12 @@
-(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E15)
+(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E17)
    and runs the bechamel microbenchmarks (micro / B1-B6).
 
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe e1 e4     # selected experiments
      dune exec bench/main.exe micro     # microbenchmarks only
+     dune exec bench/main.exe e14 --metrics-out bench.json
+                                        # + machine-readable metrics
 
    The paper (an extended abstract) has no numbered tables or figures; the
    experiments below operationalize its claims — the mapping is recorded in
@@ -27,6 +29,19 @@ module Lowatomic = Protocols.Diffusing_lowatomic
 module Naive_ring = Protocols.Naive_ring
 
 let seed = 20260705
+
+(* Shared timing and memory helpers on the Obs substrate (each experiment
+   used to carry its own copy). Wall-clock, not CPU time: the parallel
+   rows are meaningless under [Sys.time]. *)
+let time f =
+  let t0 = Obs.Ctx.now () in
+  let r = f () in
+  (r, (Obs.Ctx.now () -. t0) *. 1000.0)
+
+let peak_rss_mb () =
+  match Obs.Progress.peak_rss_kb () with
+  | Some kb -> float_of_int kb /. 1024.
+  | None -> nan
 
 let summary_cells (r : Sim.Experiment.result) =
   match r.summary with
@@ -200,11 +215,6 @@ let e4 () =
 (* E5 — the theorem validators: every certificate obligation discharged
    exhaustively, plus the consequent checked directly. *)
 let e5 () =
-  let time f =
-    let t0 = Sys.time () in
-    let r = f () in
-    (r, (Sys.time () -. t0) *. 1000.0)
-  in
   let direct program invariant engine =
     match
       Convergence.check_unfair engine (Compile.program program)
@@ -868,11 +878,6 @@ let e13 () =
    Past the cap only the lazy engine, seeded with a bounded-fault Hamming
    ball around the legitimate state, returns a verdict at all. *)
 let e14 () =
-  let time f =
-    let t0 = Sys.time () in
-    let r = f () in
-    (r, (Sys.time () -. t0) *. 1000.0)
-  in
   let backend_name = function
     | Engine.Eager -> "eager"
     | Engine.Lazy -> "lazy"
@@ -1063,11 +1068,6 @@ let micro () =
    hand-written one, and the tolerance certificate (span + closure +
    convergence + recurrence) is discharged over just that region. *)
 let e15 () =
-  let time f =
-    let t0 = Sys.time () in
-    let r = f () in
-    (r, (Sys.time () -. t0) *. 1000.0)
-  in
   let row name env program invariant =
     let engine = Engine.create env in
     let space_n = Space.size (Engine.space engine) in
@@ -1178,28 +1178,6 @@ let e15 () =
    Peak RSS is VmHWM from /proc/self/status, which is monotone over the
    process: later rows inherit earlier rows' peak. *)
 let e16 () =
-  let wall f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
-  in
-  let peak_rss_mb () =
-    match open_in "/proc/self/status" with
-    | exception Sys_error _ -> nan
-    | ic ->
-        let rv = ref nan in
-        (try
-           while true do
-             let line = input_line ic in
-             try
-               Scanf.sscanf line "VmHWM: %d kB" (fun kb ->
-                   rv := float_of_int kb /. 1024.)
-             with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
-           done
-         with End_of_file -> ());
-        close_in ic;
-        !rv
-  in
   let job_counts = [ 1; 2; 4; 8 ] in
   let verdict_sig = function
     | Ok { Convergence.region_states; explored; worst_case_steps } ->
@@ -1215,7 +1193,7 @@ let e16 () =
       let engine = Engine.create ~backend ~jobs env in
       Convergence.check_unfair engine cp ~from:Engine.All ~target:invariant
     in
-    let seq, seq_ms = wall (fun () -> check Engine.Lazy 1) in
+    let seq, seq_ms = time (fun () -> check Engine.Lazy 1) in
     let seq_sig = verdict_sig seq in
     (* bind the baseline row now: [::] evaluates right to left, and the
        rss cell must be sampled before the parallel runs move the peak *)
@@ -1226,7 +1204,7 @@ let e16 () =
     (base_row
     :: List.map
          (fun jobs ->
-           let par, ms = wall (fun () -> check Engine.Parallel jobs) in
+           let par, ms = time (fun () -> check Engine.Parallel jobs) in
            [
              name;
              "parallel";
@@ -1295,7 +1273,7 @@ let e16 () =
           s.Sim.Stats.median s.Sim.Stats.p90 s.Sim.Stats.max
           r.Sim.Storm.failures
   in
-  let base, base_ms = wall (fun () -> storm 1) in
+  let base, base_ms = time (fun () -> storm 1) in
   let base_sig = summary_sig base in
   Table.print
     ~title:
@@ -1306,7 +1284,7 @@ let e16 () =
     ([ "1"; Table.f1 base_ms; "1.00"; "baseline" ]
     :: List.map
          (fun jobs ->
-           let r, ms = wall (fun () -> storm jobs) in
+           let r, ms = time (fun () -> storm jobs) in
            [
              string_of_int jobs;
              Table.f1 ms;
@@ -1314,6 +1292,149 @@ let e16 () =
              (if summary_sig r = base_sig then "= jobs-1" else "DIFFER");
            ])
          [ 2; 4; 8 ])
+
+(* E17 — observability overhead and trace stability. The instrumentation
+   contract (lib/obs): a disabled context costs one branch per checkpoint,
+   and checkpoints sit at wave/region granularity, never per state — so
+   enabling metrics, or even streaming JSONL, must not move the E14 lazy
+   numbers. Measured as full lazy sweeps under (a) the disabled context,
+   (b) an enabled context with the no-op sink, (c) an enabled context
+   streaming JSONL to /dev/null; best of 5 runs to damp scheduler noise.
+   The second table asserts the trace contract: the parallel engine's
+   per-event-name counts are identical at jobs=1 and jobs=4 (timestamps
+   and interleaving may differ; the event profile may not). *)
+let e17 () =
+  let d = Diffusing.make (Tree.balanced ~arity:2 8) in
+  let dr = Dijkstra_ring.make ~nodes:6 ~k:7 in
+  let tr = Token_ring.make ~nodes:6 ~k:7 in
+  let instances =
+    [
+      ( "diffusing bal-2-8",
+        Diffusing.env d,
+        Compile.program (Diffusing.combined d),
+        fun s -> Diffusing.invariant d s );
+      ( "dijkstra 6,K=7",
+        Dijkstra_ring.env dr,
+        Compile.program (Dijkstra_ring.program dr),
+        fun s -> Dijkstra_ring.invariant dr s );
+      ( "token-ring 6,K=7",
+        Token_ring.env tr,
+        Compile.program (Token_ring.combined tr),
+        fun s -> Token_ring.invariant tr s );
+    ]
+  in
+  let sweep obs (_, env, cp, invariant) =
+    let engine = Engine.create ~backend:Engine.Lazy ~obs env in
+    ignore (Convergence.check_unfair engine cp ~from:Engine.All ~target:invariant)
+  in
+  let best_ms mk_obs inst =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let obs, cleanup = mk_obs () in
+      let (), ms = time (fun () -> sweep obs inst) in
+      cleanup ();
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  let nothing () = () in
+  let modes =
+    [
+      ("disabled", fun () -> (Obs.Ctx.disabled, nothing));
+      ("noop-sink", fun () -> (Obs.Ctx.create (), nothing));
+      ( "jsonl-devnull",
+        fun () ->
+          let oc = open_out "/dev/null" in
+          let obs = Obs.Ctx.create ~sink:(Obs.Sink.jsonl oc) () in
+          (obs, fun () -> Obs.Ctx.close obs) );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun ((name, _, _, _) as inst) ->
+        let base = best_ms (List.assoc "disabled" modes) inst in
+        List.map
+          (fun (mode, mk_obs) ->
+            let ms = if mode = "disabled" then base else best_ms mk_obs inst in
+            [
+              name;
+              mode;
+              Table.f1 ms;
+              (if mode = "disabled" then "baseline"
+               else Printf.sprintf "%+.1f%%" (100.0 *. ((ms /. base) -. 1.0)));
+            ])
+          modes)
+      instances
+  in
+  Table.print
+    ~title:
+      "E17: observability overhead - E14 lazy full sweep per instrumentation \
+       mode (best of 5; the contract is that noop-sink stays within noise of \
+       disabled)"
+    ~header:[ "instance"; "obs mode"; "ms"; "overhead" ]
+    rows;
+  (* Trace stability across job counts. *)
+  let event_profile jobs =
+    let file = Filename.temp_file "nonmask-e17" ".jsonl" in
+    let oc = open_out file in
+    let obs = Obs.Ctx.create ~sink:(Obs.Sink.jsonl oc) () in
+    let engine =
+      Engine.create ~backend:Engine.Parallel ~jobs ~obs (Token_ring.env tr)
+    in
+    (* ball roots, not All: a full sweep seeds every state into level 0
+       and the whole run is one wave — ball-2 forces a real multi-wave
+       expansion, which is what the profile must keep stable *)
+    ignore
+      (Convergence.check_unfair engine
+         (Compile.program (Token_ring.combined tr))
+         ~from:
+           (Engine.Seeds
+              (Engine.ball (Token_ring.env tr)
+                 ~center:(Token_ring.all_zero tr) ~radius:2))
+         ~target:(fun s -> Token_ring.invariant tr s));
+    Obs.Ctx.close obs;
+    let counts = Hashtbl.create 8 in
+    let ic = open_in file in
+    (try
+       while true do
+         let line = input_line ic in
+         match Obs.Json.of_string line with
+         | Ok j -> (
+             match Obs.Json.member "ev" j with
+             | Some (Obs.Json.Str ev) ->
+                 Hashtbl.replace counts ev
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt counts ev))
+             | _ -> Printf.eprintf "e17: trace line without ev: %s\n" line)
+         | Error msg -> Printf.eprintf "e17: unparseable trace line: %s\n" msg
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Sys.remove file;
+    counts
+  in
+  let p1 = event_profile 1 in
+  let p4 = event_profile 4 in
+  let names =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) p1
+         (Hashtbl.fold (fun k _ acc -> k :: acc) p4 []))
+  in
+  let count tbl ev = Option.value ~default:0 (Hashtbl.find_opt tbl ev) in
+  Table.print
+    ~title:
+      "E17 (cont.): parallel-engine trace profile per event name - token-ring \
+       6,K=7 from ball-2 roots (counts must be identical at every job count)"
+    ~header:[ "event"; "jobs=1"; "jobs=4"; "verdict" ]
+    (List.map
+       (fun ev ->
+         let c1 = count p1 ev and c4 = count p4 ev in
+         [
+           ev;
+           Table.i c1;
+           Table.i c4;
+           (if c1 = c4 then "=" else "DIFFERS");
+         ])
+       names)
 
 let experiments =
   [
@@ -1333,21 +1454,53 @@ let experiments =
     ("e14", e14);
     ("e15", e15);
     ("e16", e16);
+    ("e17", e17);
     ("micro", micro);
   ]
 
+(* With [--metrics-out FILE] each experiment's wall time lands in a
+   [bench.<name>_us] histogram and the whole run is written as one
+   machine-readable metrics JSON document (same schema as the CLI's
+   --metrics-out), so CI can trend experiment cost without scraping the
+   tables. *)
 let () =
+  let metrics_out = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--metrics-out" :: file :: rest ->
+        metrics_out := Some file;
+        parse acc rest
+    | [ "--metrics-out" ] ->
+        prerr_endline "--metrics-out needs a FILE argument";
+        exit 2
+    | name :: rest -> parse (String.lowercase_ascii name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
+  in
+  let obs =
+    match !metrics_out with
+    | None -> Obs.Ctx.disabled
+    | Some _ -> Obs.Ctx.create ()
   in
   List.iter
     (fun name ->
-      match List.assoc_opt (String.lowercase_ascii name) experiments with
-      | Some f -> f ()
+      match List.assoc_opt name experiments with
+      | Some f -> Obs.Ctx.time obs ("bench." ^ name) f
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (List.map fst experiments));
           exit 2)
-    requested
+    requested;
+  match !metrics_out with
+  | None -> ()
+  | Some file ->
+      Obs.Ctx.write_metrics obs ~file
+        ~extra:
+          [
+            ("command", Obs.Json.Str "bench");
+            ( "experiments",
+              Obs.Json.List (List.map (fun n -> Obs.Json.Str n) requested) );
+          ]

@@ -218,6 +218,11 @@ let k_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let backend_str = function
+  | Explore.Engine.Eager -> "eager"
+  | Explore.Engine.Lazy -> "lazy"
+  | Explore.Engine.Parallel -> "parallel"
+
 let backend_conv =
   let parse = function
     | "eager" -> Ok Explore.Engine.Eager
@@ -229,13 +234,7 @@ let backend_conv =
             (Printf.sprintf
                "unknown engine %S; valid values are eager, lazy, parallel" s))
   in
-  let print ppf b =
-    Format.pp_print_string ppf
-      (match b with
-      | Explore.Engine.Eager -> "eager"
-      | Lazy -> "lazy"
-      | Parallel -> "parallel")
-  in
+  let print ppf b = Format.pp_print_string ppf (backend_str b) in
   Arg.conv (parse, print)
 
 let engine_arg =
@@ -294,8 +293,91 @@ let ball_arg =
            instead of from every state. Lets the lazy engine give verdicts \
            on spaces far beyond $(b,--max-states).")
 
-let make_engine ~backend ~max_states ~jobs env =
-  Explore.Engine.create ~backend ~max_states ~jobs env
+let make_engine ~backend ~max_states ~jobs ?obs env =
+  Explore.Engine.create ~backend ~max_states ~jobs ?obs env
+
+(* --- observability flags (check / certify / storm) --- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL event trace to $(docv): one JSON object per line \
+           (engine waves, fault-span layers, certificate phases, storm \
+           trials; schema in the README). Event counts are identical at \
+           any $(b,--jobs) count.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable metrics snapshot (counters, gauges, \
+           histograms, elapsed wall-clock, peak RSS) as JSON to $(docv) \
+           when the run finishes — including on a negative verdict.")
+
+let progress_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "progress" ]
+        ~doc:
+          "Report live progress on stderr (states/sec, frontier size, \
+           depth, elapsed, peak RSS) roughly once per second, driven from \
+           the exploration loop.")
+
+(* The context plus a finalizer that writes [--metrics-out] and flushes
+   the trace. The finalizer is registered [at_exit] so negative-verdict
+   exits (code 2) and overflow exits (3/4) still produce their files;
+   both output files are opened up front so an unwritable path fails
+   fast with the documented usage exit code 1. *)
+let obs_setup ~trace_out ~metrics_out ~progress ~meta =
+  if trace_out = None && metrics_out = None && not progress then
+    Obs.Ctx.disabled
+  else begin
+    let open_file flag file =
+      try open_out file
+      with Sys_error msg ->
+        failwith (Printf.sprintf "cannot open %s %s: %s" flag file msg)
+    in
+    let trace_oc = Option.map (open_file "--trace-out") trace_out in
+    let metrics_oc = Option.map (open_file "--metrics-out") metrics_out in
+    let sink =
+      match trace_oc with
+      | None -> Obs.Sink.noop
+      | Some oc -> Obs.Sink.jsonl oc
+    in
+    let progress =
+      if progress then Some (Obs.Progress.create ()) else None
+    in
+    let obs = Obs.Ctx.create ~sink ?progress () in
+    let finalized = ref false in
+    at_exit (fun () ->
+        if not !finalized then begin
+          finalized := true;
+          (match metrics_oc with
+          | Some oc ->
+              output_string oc
+                (Obs.Json.to_string (Obs.Ctx.metrics_json obs ~extra:meta));
+              output_char oc '\n';
+              close_out oc
+          | None -> ());
+          Obs.Ctx.close obs
+        end);
+    obs
+  end
+
+let run_meta ~command ~instance ~engine ~jobs =
+  [
+    ("command", Obs.Json.Str command);
+    ("instance", Obs.Json.Str instance);
+    ("engine", Obs.Json.Str engine);
+    ("jobs", Obs.Json.Int jobs);
+    ("version", Obs.Json.Str Version_info.version);
+  ]
 
 let exit_verdict_failed = 2
 let exit_too_large = 3
@@ -397,14 +479,20 @@ let fault_budget_arg =
 
 let certify_cmd =
   let run proto shape size nodes k seed backend max_states jobs fault_spec
-      fault_budget ball =
+      fault_budget ball trace_out metrics_out progress =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      let obs =
+        obs_setup ~trace_out ~metrics_out ~progress
+          ~meta:
+            (run_meta ~command:"certify" ~instance:i.i_name
+               ~engine:(backend_str backend) ~jobs)
+      in
       (match fault_spec with
       | Some spec -> (
           let fault = parse_fault_spec i.env spec in
           try
-            let engine = make_engine ~backend ~max_states ~jobs i.env in
+            let engine = make_engine ~backend ~max_states ~jobs ~obs i.env in
             let from =
               if ball < 0 then None
               else
@@ -441,7 +529,9 @@ let certify_cmd =
                 i.i_name
           | Some certify -> (
               try
-                let engine = make_engine ~backend ~max_states ~jobs i.env in
+                let engine =
+                  make_engine ~backend ~max_states ~jobs ~obs i.env
+                in
                 let cert = certify ~engine in
                 Format.printf "%a@." Nonmask.Certify.pp_full cert;
                 if not (Nonmask.Certify.ok cert) then
@@ -461,14 +551,22 @@ let certify_cmd =
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ fault_spec_arg
-      $ fault_budget_arg $ ball_arg)
+      $ fault_budget_arg $ ball_arg $ trace_out_arg $ metrics_out_arg
+      $ progress_arg)
 
 let check_cmd =
-  let run proto shape size nodes k seed backend max_states jobs ball =
+  let run proto shape size nodes k seed backend max_states jobs ball
+      trace_out metrics_out progress =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      let obs =
+        obs_setup ~trace_out ~metrics_out ~progress
+          ~meta:
+            (run_meta ~command:"check" ~instance:i.i_name
+               ~engine:(backend_str backend) ~jobs)
+      in
       (try
-         let engine = make_engine ~backend ~max_states ~jobs i.env in
+         let engine = make_engine ~backend ~max_states ~jobs ~obs i.env in
          let from, from_desc =
            if ball < 0 then (Explore.Engine.All, "every state")
            else
@@ -510,7 +608,8 @@ let check_cmd =
           $(b,--ball))")
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ ball_arg)
+      $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ ball_arg
+      $ trace_out_arg $ metrics_out_arg $ progress_arg)
 
 let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trial count.")
@@ -574,9 +673,13 @@ let max_steps_storm_arg =
 
 let storm_cmd =
   let run proto shape size nodes k seed trials fault_spec rate fault_budget
-      max_steps jobs =
+      max_steps jobs trace_out metrics_out progress =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      let obs =
+        obs_setup ~trace_out ~metrics_out ~progress
+          ~meta:(run_meta ~command:"storm" ~instance:i.i_name ~engine:"-" ~jobs)
+      in
       let cp = Compile.program i.program in
       let fault =
         parse_fault_spec i.env
@@ -586,7 +689,7 @@ let storm_cmd =
         match fault_budget with Some b when b >= 0 -> Some b | _ -> None
       in
       let result =
-        Sim.Storm.trials ~max_steps ?fault_budget ~jobs
+        Sim.Storm.trials ~max_steps ?fault_budget ~jobs ~obs
           ~rng:(Prng.create seed) ~trials
           ~daemon:(fun r -> Sim.Daemon.random r)
           ~prepare:(fun r ->
@@ -611,7 +714,8 @@ let storm_cmd =
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ trials_arg $ fault_spec_arg $ rate_arg $ fault_budget_arg
-      $ max_steps_storm_arg $ jobs_arg)
+      $ max_steps_storm_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg
+      $ progress_arg)
 
 let dot_cmd =
   let run i _seed =
@@ -630,8 +734,10 @@ let main =
     "design and validation of nonmasking fault-tolerant programs \
      (Arora-Gouda-Varghese 1994)"
   in
+  (* The version string is generated at build time from dune-project's
+     (version ...); see the rule in bin/dune. *)
   Cmd.group
-    (Cmd.info "nonmask" ~version:"1.0.0" ~doc)
+    (Cmd.info "nonmask" ~version:Version_info.version ~doc)
     [
       list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; storm_cmd;
       dot_cmd;

@@ -89,6 +89,7 @@ let render_cycle engine region (combined : Guarded.Compile.program)
 let tolerance ~engine ~program ~faults ~invariant ?from ?budget
     ?(require_recurrence_resilience = false) ~name () =
   let env = Explore.Engine.env engine in
+  let obs = Explore.Engine.obs engine in
   let from =
     match from with Some f -> f | None -> Explore.Engine.Pred invariant
   in
@@ -100,6 +101,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
          env faults)
   in
   let span =
+    Obs.Ctx.time obs "certify.span" @@ fun () ->
     Explore.Faultspan.compute engine ~program:cp ?budget ~faults:fp ~from ()
   in
   let span_states = Explore.Faultspan.states span in
@@ -123,6 +125,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
                     hist))))
   in
   let closure_check =
+    Obs.Ctx.time obs "certify.closure" @@ fun () ->
     let include_faults = budget = None in
     let label =
       if include_faults then
@@ -204,6 +207,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
   in
   let conv_ok, conv_check =
     match
+      Obs.Ctx.time obs "certify.convergence" @@ fun () ->
       Explore.Convergence.check_fair engine cp
         ~from:(Explore.Engine.Seeds span_states) ~target:invariant
     with
@@ -245,6 +249,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
         ~detail:"see the failing checks above"
   in
   let recurrence_check =
+    Obs.Ctx.time obs "certify.recurrence" @@ fun () ->
     let first_fault_index = Array.length cp.Guarded.Compile.actions in
     match
       let combined =
@@ -283,14 +288,22 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
                  faults eventually stop)"
                 ~detail)
   in
-  {
-    theorem = "Tolerance";
-    spec_name = name;
-    shapes = [];
-    checks =
-      [ span_check; closure_check; conv_check; tolerance_check;
-        recurrence_check ];
-  }
+  let cert =
+    {
+      theorem = "Tolerance";
+      spec_name = name;
+      shapes = [];
+      checks =
+        [ span_check; closure_check; conv_check; tolerance_check;
+          recurrence_check ];
+    }
+  in
+  if Obs.Ctx.enabled obs then begin
+    Obs.Metrics.incr (Obs.Ctx.counter obs "certify.certificates");
+    Obs.Ctx.emit obs "certify.done"
+      [ ("name", Obs.Sink.S name); ("ok", Obs.Sink.B (ok cert)) ]
+  end;
+  cert
 
 let pp_check ppf c =
   Format.fprintf ppf "  [%s] %s%s"

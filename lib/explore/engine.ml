@@ -11,6 +11,7 @@ type t = {
   space : Space.t;
   budget : int;
   jobs : int;  (* worker-domain count for the parallel backend *)
+  obs : Obs.Ctx.t;
   mutable csr : (Compile.program * Tsys.t) option;
       (* Cache of the eager CSR build, keyed by physical equality of the
          compiled program: repeated queries against the same program (the
@@ -32,7 +33,8 @@ type region = {
   node_of_key : int -> int;
 }
 
-let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs env =
+let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
+    ?(obs = Obs.Ctx.disabled) env =
   let jobs =
     match jobs with
     | Some j when j > 0 -> j
@@ -42,13 +44,14 @@ let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs env =
   match backend with
   | Eager ->
       let space = Space.create ~max_states env in
-      { backend; space; budget = Space.size space; jobs; csr = None }
+      { backend; space; budget = Space.size space; jobs; obs; csr = None }
   | Lazy | Parallel ->
       { backend; space = Space.create_unbounded env; budget = max_states;
-        jobs; csr = None }
+        jobs; obs; csr = None }
 
-let of_space space =
-  { backend = Eager; space; budget = Space.size space; jobs = 1; csr = None }
+let of_space ?(obs = Obs.Ctx.disabled) space =
+  { backend = Eager; space; budget = Space.size space; jobs = 1; obs;
+    csr = None }
 
 let backend t = t.backend
 
@@ -59,6 +62,7 @@ let space t = t.space
 let env t = Space.env t.space
 let max_states t = t.budget
 let jobs t = t.jobs
+let obs t = t.obs
 
 let tsys t cp =
   match t.csr with
@@ -143,8 +147,14 @@ let lazy_region t cp ~from ~target =
   seed_roots t ~from visit;
   let buf = State.make (Space.env space) in
   let post = State.make (Space.env space) in
+  let pops = ref 0 in
   while not (Queue.is_empty queue) do
     let key = Queue.pop queue in
+    incr pops;
+    (* progress checkpoints at chunk granularity, never per state *)
+    if Obs.Ctx.enabled t.obs && !pops land 8191 = 0 then
+      Obs.Ctx.tick t.obs ~label:"engine.lazy" ~states:!explored
+        ~frontier:(Queue.length queue) ();
     Space.decode_into space key buf;
     let src_node = Hashtbl.find visited key in
     let out_degree = ref 0 in
@@ -251,12 +261,16 @@ let parallel_region t cp ~from ~target =
         | '\000' -> ()
         | c -> ignore (visit_new id ~member:(c = '\001'))
       done);
+  if Obs.Ctx.enabled t.obs then
+    Obs.Ctx.emit t.obs "engine.roots" [ ("discovered", Obs.Sink.I !explored) ];
+  let level = ref 0 in
   while Vec.len next_keys > 0 do
     Vec.swap cur_keys next_keys;
     Vec.swap cur_nodes next_nodes;
     Vec.clear next_keys;
     Vec.clear next_nodes;
     let len = Vec.len cur_keys in
+    let explored_before = !explored in
     let succs = Array.make len [||] in
     Par.Pool.parallel_for pool ~n:len (fun ~worker lo hi ->
         let acts = worker_actions.(worker) in
@@ -304,7 +318,19 @@ let parallel_region t cp ~from ~target =
       done;
       if src_node >= 0 && m = 0 then
         terminal_nodes := src_node :: !terminal_nodes
-    done
+    done;
+    if Obs.Ctx.enabled t.obs then begin
+      Obs.Metrics.incr (Obs.Ctx.counter t.obs "engine.waves");
+      Obs.Ctx.emit t.obs "engine.wave"
+        [
+          ("level", Obs.Sink.I !level);
+          ("frontier", Obs.Sink.I len);
+          ("discovered", Obs.Sink.I (!explored - explored_before));
+        ];
+      Obs.Ctx.tick t.obs ~label:"engine.parallel" ~states:!explored
+        ~frontier:(Vec.len next_keys) ~depth:!level ()
+    end;
+    incr level
   done;
   let node_key = Vec.to_array node_keys in
   let n_nodes = Array.length node_key in
@@ -316,11 +342,41 @@ let parallel_region t cp ~from ~target =
   in
   { graph; node_key; terminal; explored = !explored; node_of_key }
 
-let region t cp ~from ~target =
+let dispatch_region t cp ~from ~target =
   match t.backend with
   | Eager -> eager_region t cp ~from ~target
   | Lazy -> lazy_region t cp ~from ~target
   | Parallel -> parallel_region t cp ~from ~target
+
+(* Every backend funnels through here, so the reconciliation invariant
+   holds uniformly: the [engine.states_discovered] counter equals the sum
+   of the [explored] fields over all [engine.region] events. *)
+let region t cp ~from ~target =
+  if not (Obs.Ctx.enabled t.obs) then dispatch_region t cp ~from ~target
+  else begin
+    let r =
+      Obs.Ctx.time t.obs "engine.region" (fun () ->
+          dispatch_region t cp ~from ~target)
+    in
+    let nodes = Array.length r.node_key in
+    let edges = Dgraph.Digraph.edge_count r.graph in
+    Obs.Metrics.incr (Obs.Ctx.counter t.obs "engine.regions");
+    Obs.Metrics.add (Obs.Ctx.counter t.obs "engine.states_discovered")
+      r.explored;
+    Obs.Metrics.add (Obs.Ctx.counter t.obs "engine.region_nodes") nodes;
+    Obs.Metrics.add (Obs.Ctx.counter t.obs "engine.region_edges") edges;
+    Obs.Ctx.emit t.obs "engine.region"
+      [
+        ("backend", Obs.Sink.S (backend_name t));
+        ("explored", Obs.Sink.I r.explored);
+        ("nodes", Obs.Sink.I nodes);
+        ("edges", Obs.Sink.I edges);
+      ];
+    Obs.Ctx.finish_progress t.obs
+      ~label:("engine." ^ backend_name t)
+      ~states:r.explored;
+    r
+  end
 
 let state_of_node t region v = Space.decode t.space region.node_key.(v)
 

@@ -35,17 +35,25 @@ type backend = Eager | Lazy | Parallel
 
 type t
 
-val create : ?backend:backend -> ?max_states:int -> ?jobs:int -> Guarded.Env.t -> t
+val create :
+  ?backend:backend ->
+  ?max_states:int ->
+  ?jobs:int ->
+  ?obs:Obs.Ctx.t ->
+  Guarded.Env.t ->
+  t
 (** Build an engine for an environment. [max_states] (default [2_000_000])
     caps the enumerated space for the eager backend and the number of
     {e visited} states for the lazy and parallel backends. [jobs]
     (default {!Par.Pool.default_jobs}, i.e.
     [Domain.recommended_domain_count ()]) sets the worker-domain count
     used by the parallel backend; other backends record but ignore it.
+    [obs] (default {!Obs.Ctx.disabled}) receives the engine's metrics,
+    trace events, and progress ticks — see the README's event schema.
     @raise Space.Too_large for an eager engine over a bigger space.
     @raise Invalid_argument when [jobs <= 0]. *)
 
-val of_space : Space.t -> t
+val of_space : ?obs:Obs.Ctx.t -> Space.t -> t
 (** Eager engine over an already-created space. *)
 
 val backend : t -> backend
@@ -57,6 +65,11 @@ val max_states : t -> int
 val jobs : t -> int
 (** Worker-domain count used by the parallel backend ([1] for engines
     built via {!of_space}). *)
+
+val obs : t -> Obs.Ctx.t
+(** The engine's observability context. Analyses layered on the engine
+    ({!Faultspan}, certification) record into the same context, so one
+    [--metrics-out] snapshot covers the whole pipeline. *)
 
 exception Region_overflow of int
 (** Raised when a lazy exploration visits more states than the engine's

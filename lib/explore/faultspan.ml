@@ -37,10 +37,41 @@ let iter t f =
 let states t =
   List.rev_map (fun key -> Space.decode t.space key) t.keys
 
+(* Shared observability hooks: one [faultspan.layer] event per completed
+   fault layer, plus totals when the span is done. Layer structure is
+   bit-identical between the sequential and parallel searches, so the
+   event stream is too. *)
+let obs_layer obs ~layer ~members ~discovered ~total =
+  if Obs.Ctx.enabled obs then begin
+    Obs.Metrics.incr (Obs.Ctx.counter obs "faultspan.layers");
+    Obs.Ctx.emit obs "faultspan.layer"
+      [
+        ("layer", Obs.Sink.I layer);
+        ("members", Obs.Sink.I members);
+        ("discovered", Obs.Sink.I discovered);
+      ];
+    Obs.Ctx.tick obs ~label:"faultspan" ~states:total ~depth:layer ()
+  end
+
+let obs_done obs ~states ~roots ~max_depth =
+  if Obs.Ctx.enabled obs then begin
+    Obs.Metrics.incr (Obs.Ctx.counter obs "faultspan.spans");
+    Obs.Metrics.add (Obs.Ctx.counter obs "faultspan.states") states;
+    Obs.Metrics.set_max (Obs.Ctx.gauge obs "faultspan.max_depth") max_depth;
+    Obs.Ctx.emit obs "faultspan.done"
+      [
+        ("states", Obs.Sink.I states);
+        ("roots", Obs.Sink.I roots);
+        ("max_depth", Obs.Sink.I max_depth);
+      ];
+    Obs.Ctx.finish_progress obs ~label:"faultspan" ~states
+  end
+
 (* Layered 0-1 BFS: program edges cost 0 (stay in the current layer), fault
    edges cost 1 (feed the next layer). Layers are processed in order, so the
    layer a state is first seen in is its minimal fault count. *)
 let compute_seq engine ?program ?budget ~faults ~from () =
+  let obs = Engine.obs engine in
   let space = Engine.space engine in
   let cap = Engine.max_states engine in
   let prog_actions =
@@ -77,14 +108,17 @@ let compute_seq engine ?program ?budget ~faults ~from () =
   let level = ref 0 in
   let continue = ref true in
   while !continue do
+    let count_before = !count in
     (* Phase 1: complete the program closure of this layer before firing any
        fault edge, so a state program-reachable at this layer is never first
        seen deeper (which would mislabel its depth and, under a budget,
        wrongly prune its fault successors). *)
     let layer_members = ref [] in
+    let n_members = ref 0 in
     while not (Queue.is_empty cur) do
       let key = Queue.pop cur in
       layer_members := key :: !layer_members;
+      incr n_members;
       Space.decode_into space key buf;
       Array.iter
         (fun (ca : Compile.action) ->
@@ -110,6 +144,8 @@ let compute_seq engine ?program ?budget ~faults ~from () =
               end)
             fault_actions)
         !layer_members;
+    obs_layer obs ~layer:!level ~members:!n_members
+      ~discovered:(!count - count_before) ~total:!count;
     if Queue.is_empty next then continue := false
     else begin
       incr level;
@@ -121,6 +157,7 @@ let compute_seq engine ?program ?budget ~faults ~from () =
   Hashtbl.iter
     (fun _ d -> histogram.(d) <- histogram.(d) + 1)
     depth_of;
+  obs_done obs ~states:!count ~roots ~max_depth;
   { space; keys = !keys; count = !count; depth_of; roots; max_depth; histogram }
 
 (* Parallel variant of the same layered search, for engines on the
@@ -139,6 +176,7 @@ let compute_seq engine ?program ?budget ~faults ~from () =
    any job count. *)
 let compute_par engine ?program ?budget ~faults ~from () =
   let module Vec = Par.Ivec in
+  let obs = Engine.obs engine in
   let space = Engine.space engine in
   let env = Space.env space in
   let cap = Engine.max_states engine in
@@ -226,6 +264,7 @@ let compute_par engine ?program ?budget ~faults ~from () =
   let level = ref 0 in
   let continue = ref true in
   while !continue do
+    let count_before = !count in
     Vec.clear members;
     while Vec.len wave > 0 do
       for i = 0 to Vec.len wave - 1 do
@@ -240,6 +279,8 @@ let compute_par engine ?program ?budget ~faults ~from () =
     in
     if fault_allowed then
       expand ~reverse:true worker_fault members (!level + 1) next_layer;
+    obs_layer obs ~layer:!level ~members:(Vec.len members)
+      ~discovered:(!count - count_before) ~total:!count;
     if Vec.len next_layer = 0 then continue := false
     else begin
       incr level;
@@ -250,6 +291,7 @@ let compute_par engine ?program ?budget ~faults ~from () =
   let depth_tbl = Par.Shardmap.to_hashtbl depth_of in
   let histogram = Array.make (max_depth + 1) 0 in
   Hashtbl.iter (fun _ d -> histogram.(d) <- histogram.(d) + 1) depth_tbl;
+  obs_done obs ~states:!count ~roots ~max_depth;
   {
     space;
     keys = !keys;

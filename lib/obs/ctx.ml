@@ -1,0 +1,79 @@
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  sink : Sink.t;
+  progress : Progress.t option;
+  t0 : float;
+}
+
+let disabled =
+  {
+    enabled = false;
+    metrics = Metrics.create ();
+    sink = Sink.noop;
+    progress = None;
+    t0 = 0.;
+  }
+
+let create ?(sink = Sink.noop) ?progress () =
+  {
+    enabled = true;
+    metrics = Metrics.create ();
+    sink;
+    progress;
+    t0 = Unix.gettimeofday ();
+  }
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let sink t = t.sink
+
+let counter t name = Metrics.counter t.metrics name
+let gauge t name = Metrics.gauge t.metrics name
+let histogram t name = Metrics.histogram t.metrics name
+
+let emit t name fields = if t.enabled then Sink.emit t.sink name fields
+
+let now () = Unix.gettimeofday ()
+
+let time t name f =
+  if not t.enabled then f ()
+  else begin
+    let start = now () in
+    let r = f () in
+    let us = int_of_float ((now () -. start) *. 1e6) in
+    Metrics.observe (histogram t (name ^ "_us")) us;
+    Sink.emit t.sink "span" [ ("name", Sink.S name); ("us", Sink.I us) ];
+    r
+  end
+
+let tick t ~label ~states ?frontier ?depth () =
+  match t.progress with
+  | Some p when t.enabled -> Progress.tick p ~label ~states ?frontier ?depth ()
+  | _ -> ()
+
+let finish_progress t ~label ~states =
+  match t.progress with
+  | Some p when t.enabled -> Progress.final p ~label ~states
+  | _ -> ()
+
+let metrics_json t ~extra =
+  let elapsed = if t.enabled then now () -. t.t0 else 0. in
+  Json.Obj
+    [
+      ("meta", Json.Obj extra);
+      ("elapsed_s", Json.Float elapsed);
+      ( "peak_rss_kb",
+        match Progress.peak_rss_kb () with
+        | Some kb -> Json.Int kb
+        | None -> Json.Null );
+      ("metrics", Metrics.snapshot t.metrics);
+    ]
+
+let write_metrics t ~file ~extra =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc (Json.to_string (metrics_json t ~extra));
+  output_char oc '\n'
+
+let close t = Sink.close t.sink

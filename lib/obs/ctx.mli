@@ -1,0 +1,57 @@
+(** The observability context threaded through engines, certification,
+    storms, and the bench harness: one metrics registry, one event sink,
+    and an optional live-progress reporter.
+
+    The {!disabled} context is the default everywhere. Instrumented code
+    guards every recording with [Ctx.enabled], so a disabled context
+    costs one branch per checkpoint — checkpoints sit at wave/trial
+    granularity, never per state, which is what keeps the E17 overhead
+    column flat. *)
+
+type t
+
+val disabled : t
+(** The shared inert context: [enabled] is [false], nothing records. *)
+
+val create : ?sink:Sink.t -> ?progress:Progress.t -> unit -> t
+(** An enabled context with a fresh metrics registry. [sink] defaults to
+    {!Sink.noop}; without [progress], {!tick} and {!finish_progress} do
+    nothing. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+val sink : t -> Sink.t
+
+val counter : t -> string -> Metrics.counter
+val gauge : t -> string -> Metrics.gauge
+val histogram : t -> string -> Metrics.histogram
+
+val emit : t -> string -> (string * Sink.value) list -> unit
+(** Forward an event to the sink; no-op when disabled. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f] and — when enabled — records its wall
+    duration in microseconds into histogram [<name>_us] and emits a
+    [span] event [{name; us}]. Exceptions propagate; nothing is
+    recorded for a raising [f]. *)
+
+val tick :
+  t -> label:string -> states:int -> ?frontier:int -> ?depth:int -> unit -> unit
+(** Progress checkpoint; forwarded to the reporter when one is attached. *)
+
+val finish_progress : t -> label:string -> states:int -> unit
+(** Closing progress line (unconditional), when a reporter is attached. *)
+
+val metrics_json : t -> extra:(string * Json.t) list -> Json.t
+(** [{"meta":{...extra},"elapsed_s":..,"peak_rss_kb":..,"metrics":...}] —
+    the machine-readable run summary written by [--metrics-out]. *)
+
+val write_metrics : t -> file:string -> extra:(string * Json.t) list -> unit
+(** Write {!metrics_json} to [file].
+    @raise Sys_error when the path is unwritable. *)
+
+val close : t -> unit
+(** Close the sink (flush the trace file). Idempotent. *)

@@ -1,0 +1,236 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else if Float.is_finite f then
+    Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  else Buffer.add_string buf "null"
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | Str s -> add_escaped buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* --- recursive-descent parser --- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  (* A decoded \uXXXX escape, re-encoded as UTF-8. *)
+  let add_codepoint buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' -> Buffer.add_char buf e; go ()
+            | 'n' -> Buffer.add_char buf '\n'; go ()
+            | 'r' -> Buffer.add_char buf '\r'; go ()
+            | 't' -> Buffer.add_char buf '\t'; go ()
+            | 'b' -> Buffer.add_char buf '\b'; go ()
+            | 'f' -> Buffer.add_char buf '\012'; go ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some cp -> add_codepoint buf cp
+                | None -> fail "bad \\u escape");
+                go ()
+            | _ -> fail "bad escape")
+        | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let is_float =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
+    in
+    if is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec go () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          go ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let items = ref [] in
+          let rec go () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          go ();
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (p, msg) ->
+      Error (Printf.sprintf "at offset %d: %s" p msg)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None

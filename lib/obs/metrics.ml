@@ -1,0 +1,134 @@
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+(* Bucket [i] counts observations in (2^(i-1), 2^i]; bucket 0 counts
+   values <= 1. 63 buckets cover the whole non-negative int range. *)
+let n_buckets = 63
+
+type histogram = {
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  hmax : int Atomic.t;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  instruments : (string, instrument) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let create () = { instruments = Hashtbl.create 32; mutex = Mutex.create () }
+
+let get_or_register t name ~wrap ~unwrap ~make =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  match Hashtbl.find_opt t.instruments name with
+  | Some existing -> (
+      match unwrap existing with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as another kind"
+               name))
+  | None ->
+      let v = make () in
+      Hashtbl.add t.instruments name (wrap v);
+      v
+
+let counter t name =
+  get_or_register t name
+    ~wrap:(fun c -> Counter c)
+    ~unwrap:(function Counter c -> Some c | _ -> None)
+    ~make:(fun () -> Atomic.make 0)
+
+let gauge t name =
+  get_or_register t name
+    ~wrap:(fun g -> Gauge g)
+    ~unwrap:(function Gauge g -> Some g | _ -> None)
+    ~make:(fun () -> Atomic.make 0)
+
+let histogram t name =
+  get_or_register t name
+    ~wrap:(fun h -> Histogram h)
+    ~unwrap:(function Histogram h -> Some h | _ -> None)
+    ~make:(fun () ->
+      {
+        buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+        count = Atomic.make 0;
+        sum = Atomic.make 0;
+        hmax = Atomic.make 0;
+      })
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value = Atomic.get
+
+let set = Atomic.set
+
+let rec set_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+
+let gauge_value = Atomic.get
+
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    (* bits of v-1: values in (2^(i-1), 2^i] share index i *)
+    let i = ref 0 in
+    let x = ref (v - 1) in
+    while !x > 0 do
+      i := !i + 1;
+      x := !x lsr 1
+    done;
+    min (n_buckets - 1) !i
+  end
+
+let observe h v =
+  let v = max 0 v in
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1);
+  ignore (Atomic.fetch_and_add h.count 1);
+  ignore (Atomic.fetch_and_add h.sum v);
+  set_max h.hmax v
+
+let hist_count h = Atomic.get h.count
+let hist_sum h = Atomic.get h.sum
+
+let hist_json h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let c = Atomic.get h.buckets.(i) in
+    if c > 0 then
+      buckets :=
+        (Printf.sprintf "<=%d" (if i = 0 then 1 else 1 lsl i), Json.Int c)
+        :: !buckets
+  done;
+  Json.Obj
+    [
+      ("count", Json.Int (Atomic.get h.count));
+      ("sum", Json.Int (Atomic.get h.sum));
+      ("max", Json.Int (Atomic.get h.hmax));
+      ("buckets", Json.Obj !buckets);
+    ]
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let fields =
+    Hashtbl.fold
+      (fun name instr acc ->
+        let v =
+          match instr with
+          | Counter c -> Json.Int (Atomic.get c)
+          | Gauge g -> Json.Int (Atomic.get g)
+          | Histogram h -> hist_json h
+        in
+        (name, v) :: acc)
+      t.instruments []
+  in
+  Json.Obj (List.sort (fun (a, _) (b, _) -> compare a b) fields)

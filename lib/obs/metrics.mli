@@ -1,0 +1,58 @@
+(** Domain-safe metrics registry.
+
+    Every instrument is built on [Atomic.t] so the parallel engine's
+    worker domains can record without taking a lock: counters and gauges
+    are single atomic ints, histograms are arrays of atomic bucket
+    counts. Registration (name → instrument) takes a mutex, but that
+    happens at setup time, never on a hot path — instrument handles are
+    meant to be looked up once and then used from any domain.
+
+    Snapshots are deterministic: instruments render sorted by name, so
+    two runs that record the same values produce byte-identical JSON. *)
+
+type t
+(** A registry. *)
+
+type counter
+(** Monotone integer count. *)
+
+type gauge
+(** Last-written (or running-max) integer value. *)
+
+type histogram
+(** Integer-valued distribution over exponential (power-of-two) buckets,
+    with exact count, sum, and max. Record durations in microseconds,
+    sizes in states/bytes — the unit is the caller's convention, named
+    by the instrument's suffix (e.g. [_us]). *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or register the counter [name].
+    @raise Invalid_argument if [name] is registered as another kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** Monotone update: keep the maximum of the current and given value. *)
+
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Record one observation. Negative values clamp to bucket 0. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+
+val snapshot : t -> Json.t
+(** All instruments as one JSON object, sorted by name. Counters and
+    gauges render as ints; a histogram renders as
+    [{"count":..,"sum":..,"max":..,"buckets":{"<=N":count,..}}] with
+    only the non-empty buckets listed. *)

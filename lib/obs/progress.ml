@@ -1,0 +1,60 @@
+type t = {
+  interval : float;
+  out : out_channel;
+  t0 : float;
+  mutex : Mutex.t;
+  mutable last : float;
+}
+
+let create ?(interval = 1.0) ?(out = stderr) () =
+  { interval; out; t0 = Unix.gettimeofday (); mutex = Mutex.create (); last = 0. }
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rv = ref None in
+      (try
+         while true do
+           let line = input_line ic in
+           try Scanf.sscanf line "VmHWM: %d kB" (fun kb -> rv := Some kb)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !rv
+
+let rss_cell () =
+  match peak_rss_kb () with
+  | Some kb -> Printf.sprintf " rss=%.1fMB" (float_of_int kb /. 1024.)
+  | None -> ""
+
+let line t ~label ~states ?frontier ?depth () =
+  let elapsed = Unix.gettimeofday () -. t.t0 in
+  let rate =
+    if elapsed > 0. then float_of_int states /. elapsed else 0.
+  in
+  Printf.fprintf t.out "%s: %d states (%.0f/s)%s%s elapsed=%.1fs%s\n%!"
+    label states rate
+    (match frontier with
+    | Some f -> Printf.sprintf " frontier=%d" f
+    | None -> "")
+    (match depth with
+    | Some d -> Printf.sprintf " depth=%d" d
+    | None -> "")
+    elapsed (rss_cell ())
+
+let tick t ~label ~states ?frontier ?depth () =
+  if Mutex.try_lock t.mutex then
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+    let now = Unix.gettimeofday () in
+    if now -. t.last >= t.interval then begin
+      t.last <- now;
+      line t ~label ~states ?frontier ?depth ()
+    end
+
+let final t ~label ~states =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  t.last <- Unix.gettimeofday ();
+  line t ~label ~states ()

@@ -1,0 +1,35 @@
+(** Periodic live progress for long-running explorations.
+
+    The reporter is {e driven}, not threaded: the instrumented loop calls
+    {!tick} at natural checkpoints (a BFS level, a chunk of expansions, a
+    completed trial) and the reporter decides — at most once per
+    [interval] seconds — whether to print a line. Ticks from concurrent
+    domains are safe: the rate limit is guarded by [Mutex.try_lock], so
+    a contended tick is simply dropped rather than blocking a worker. *)
+
+type t
+
+val create : ?interval:float -> ?out:out_channel -> unit -> t
+(** [interval] defaults to [1.0] seconds; [interval <= 0.] reports on
+    every tick (useful in tests). [out] defaults to [stderr]. *)
+
+val tick :
+  t ->
+  label:string ->
+  states:int ->
+  ?frontier:int ->
+  ?depth:int ->
+  unit ->
+  unit
+(** Report [states] processed so far under [label]. Prints
+    [label: <states> states (<rate>/s) frontier=<n> depth=<n>
+    elapsed=<s> rss=<MB>] when the interval has elapsed. The rate is
+    cumulative (states over total elapsed time). *)
+
+val final : t -> label:string -> states:int -> unit
+(** Unconditional closing line (elapsed, rate, peak RSS), printed once
+    per label regardless of the interval. *)
+
+val peak_rss_kb : unit -> int option
+(** VmHWM from [/proc/self/status] — the process peak resident set, in
+    kB. [None] where procfs is unavailable. *)

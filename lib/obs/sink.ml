@@ -1,0 +1,59 @@
+type value = I of int | F of float | S of string | B of bool
+
+type jsonl_state = {
+  oc : out_channel;
+  mutex : Mutex.t;
+  mutable seq : int;
+  mutable closed : bool;
+  t0 : float;
+}
+
+type t = Noop | Jsonl of jsonl_state
+
+let noop = Noop
+
+let jsonl oc =
+  Jsonl
+    {
+      oc;
+      mutex = Mutex.create ();
+      seq = 0;
+      closed = false;
+      t0 = Unix.gettimeofday ();
+    }
+
+let json_of_value = function
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | S s -> Json.Str s
+  | B b -> Json.Bool b
+
+let emit t name fields =
+  match t with
+  | Noop -> ()
+  | Jsonl st ->
+      let ts = Unix.gettimeofday () -. st.t0 in
+      Mutex.lock st.mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) @@ fun () ->
+      if not st.closed then begin
+        let line =
+          Json.Obj
+            (("seq", Json.Int st.seq)
+            :: ("ts", Json.Float ts)
+            :: ("ev", Json.Str name)
+            :: List.map (fun (k, v) -> (k, json_of_value v)) fields)
+        in
+        st.seq <- st.seq + 1;
+        output_string st.oc (Json.to_string line);
+        output_char st.oc '\n'
+      end
+
+let close = function
+  | Noop -> ()
+  | Jsonl st ->
+      Mutex.lock st.mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) @@ fun () ->
+      if not st.closed then begin
+        st.closed <- true;
+        close_out st.oc
+      end

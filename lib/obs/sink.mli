@@ -1,0 +1,26 @@
+(** Pluggable event sinks.
+
+    An event is a name plus flat typed fields; a sink decides what to do
+    with it. {!noop} drops everything at the cost of one branch — the
+    contract the E17 bench column verifies. {!jsonl} appends one JSON
+    object per event to a channel, serialized under a mutex so events
+    from concurrent domains never interleave bytes. *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type t
+
+val noop : t
+
+val jsonl : out_channel -> t
+(** Events as JSON lines:
+    [{"seq":<n>,"ts":<seconds since sink creation>,"ev":"<name>",...fields}].
+    [seq] is a per-sink monotone sequence number assigned under the
+    sink's mutex, so lines are totally ordered even when emitted from
+    worker domains. The channel is flushed and closed by {!close}. *)
+
+val emit : t -> string -> (string * value) list -> unit
+
+val close : t -> unit
+(** Flush and close a {!jsonl} sink's channel (idempotent); no-op for
+    {!noop}. *)

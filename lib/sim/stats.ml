@@ -13,9 +13,13 @@ type summary = {
 
 let percentile sorted q =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if Float.is_nan q then invalid_arg "Stats.percentile: q is nan";
   if n = 1 then sorted.(0)
   else begin
+    (* q outside [0, 1] clamps to the extremes rather than indexing out
+       of bounds *)
+    let q = Float.min 1.0 (Float.max 0.0 q) in
     let pos = q *. float_of_int (n - 1) in
     let lo = int_of_float (floor pos) in
     let hi = min (n - 1) (lo + 1) in

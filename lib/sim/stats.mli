@@ -20,7 +20,9 @@ val summarize_ints : int array -> summary
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [0, 1]; linear interpolation. The
-    array must be sorted ascending. *)
+    array must be sorted ascending. A single-element array yields its
+    element for every [q]; [q] outside [0, 1] clamps to the extremes.
+    @raise Invalid_argument on an empty array or a NaN [q]. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** One-line [n=.. mean=.. sd=.. min/median/p90/max=..] rendering. *)

@@ -58,8 +58,9 @@ let run_storm ~max_steps ~fault_budget ~rng ~daemon ~init ~stop ~fault ~rate
   in
   loop 0 0
 
-let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1) ~rng ~trials
-    ~daemon ~prepare ~stop ~fault ~rate cp =
+let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1)
+    ?(obs = Obs.Ctx.disabled) ~rng ~trials ~daemon ~prepare ~stop ~fault
+    ~rate cp =
   if jobs <= 0 then
     invalid_arg (Printf.sprintf "Storm.trials: jobs must be positive (got %d)" jobs);
   (* Pre-split every trial's stream sequentially: [Prng.split] only draws
@@ -75,6 +76,7 @@ let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1) ~rng ~trials
   let fault_counts = Array.make trials 0 in
   (* Per-trial order matches the sequential loop: prepare, then daemon,
      then the storm itself, all on the trial's own stream. *)
+  let completed = Atomic.make 0 in
   let run_trial cp i =
     let trial_rng = Option.get trial_rngs.(i) in
     let init = prepare trial_rng in
@@ -85,7 +87,13 @@ let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1) ~rng ~trials
     in
     ok_a.(i) <- ok;
     steps_a.(i) <- steps;
-    fault_counts.(i) <- faults
+    fault_counts.(i) <- faults;
+    if Obs.Ctx.enabled obs then
+      (* ticks may come from any worker domain; the reporter is
+         try_lock-guarded, so contended ticks are dropped, not blocking *)
+      Obs.Ctx.tick obs ~label:"storm"
+        ~states:(Atomic.fetch_and_add completed 1 + 1)
+        ()
   in
   (if jobs = 1 then
      for i = 0 to trials - 1 do
@@ -112,6 +120,35 @@ let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1) ~rng ~trials
   let summary =
     if Array.length steps = 0 then None else Some (Stats.summarize_ints steps)
   in
+  if Obs.Ctx.enabled obs then begin
+    (* trial events are emitted post-hoc in trial-index order, so the
+       trace is byte-stable at any job count even though workers finish
+       trials in nondeterministic order *)
+    let steps_hist = Obs.Ctx.histogram obs "storm.steps" in
+    for i = 0 to trials - 1 do
+      Obs.Metrics.observe steps_hist steps_a.(i);
+      Obs.Ctx.emit obs "storm.trial"
+        [
+          ("trial", Obs.Sink.I i);
+          ("converged", Obs.Sink.B ok_a.(i));
+          ("steps", Obs.Sink.I steps_a.(i));
+          ("faults", Obs.Sink.I fault_counts.(i));
+        ]
+    done;
+    Obs.Metrics.add (Obs.Ctx.counter obs "storm.trials") trials;
+    Obs.Metrics.add (Obs.Ctx.counter obs "storm.converged")
+      (trials - !failures);
+    Obs.Metrics.add (Obs.Ctx.counter obs "storm.failures") !failures;
+    Obs.Metrics.add
+      (Obs.Ctx.counter obs "storm.steps_total")
+      (Array.fold_left ( + ) 0 steps_a);
+    Obs.Metrics.add
+      (Obs.Ctx.counter obs "storm.faults_injected")
+      (Array.fold_left ( + ) 0 fault_counts);
+    Obs.Ctx.emit obs "storm.done"
+      [ ("trials", Obs.Sink.I trials); ("failures", Obs.Sink.I !failures) ];
+    Obs.Ctx.finish_progress obs ~label:"storm" ~states:trials
+  end;
   { steps; failures = !failures; fault_counts; summary }
 
 let pp_result ppf r =

@@ -24,6 +24,7 @@ val trials :
   ?max_steps:int ->
   ?fault_budget:int ->
   ?jobs:int ->
+  ?obs:Obs.Ctx.t ->
   rng:Prng.t ->
   trials:int ->
   daemon:(Prng.t -> Daemon.t) ->
@@ -50,6 +51,13 @@ val trials :
     When [jobs > 1], [prepare], [daemon], [stop], and [fault] must be safe
     to call from concurrent domains (the built-in faults and daemons are:
     they only touch the trial's own state and stream).
+
+    [obs] (default {!Obs.Ctx.disabled}) records storm metrics
+    ([storm.trials]/[converged]/[failures]/[faults_injected]/
+    [steps_total], histogram [storm.steps]), emits one [storm.trial]
+    event per trial — post-hoc, in trial-index order, so the trace is
+    byte-stable at any job count — plus a closing [storm.done], and
+    drives progress ticks as trials complete.
     @raise Invalid_argument when [jobs <= 0]. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -40,6 +40,10 @@ expect 1 check token-ring --nodes 3 -k 3 --engine turbo
 expect 1 check token-ring --nodes 3 -k 3 --engine parallel --jobs 0
 expect 1 check token-ring --nodes 3 -k 3 --jobs -2
 expect 1 storm token-ring --nodes 3 -k 4 --jobs many
+# 1: observability output files are opened up front — an unwritable path
+# fails fast instead of losing the trace at the end of a long run
+expect 1 check token-ring --nodes 3 -k 3 --trace-out /nonexistent-dir/trace.jsonl
+expect 1 storm token-ring --nodes 3 -k 4 --trials 10 --metrics-out /nonexistent-dir/metrics.json
 # 2: failed verdict / certificate
 expect 2 check xyz-bad
 expect 2 certify xyz-bad

@@ -19,4 +19,5 @@ let () =
       ("method", Test_method.suite);
       ("derive", Test_derive.suite);
       ("properties", Test_properties.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -282,6 +282,25 @@ let test_stats_empty () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
     (fun () -> ignore (Stats.summarize [||]))
 
+let test_percentile_edge_cases () =
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 0.5));
+  Alcotest.check_raises "nan q" (Invalid_argument "Stats.percentile: q is nan")
+    (fun () -> ignore (Stats.percentile [| 1.0; 2.0 |] nan));
+  (* a single element answers every quantile *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single q=%g" q)
+        7.0
+        (Stats.percentile [| 7.0 |] q))
+    [ 0.0; 0.5; 1.0; -3.0; 42.0 ];
+  (* out-of-range q clamps to the extremes instead of indexing out *)
+  let sorted = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "q<0 clamps" 1.0 (Stats.percentile sorted (-0.5));
+  Alcotest.(check (float 1e-9)) "q>1 clamps" 3.0 (Stats.percentile sorted 1.5)
+
 (* --- Experiment --- *)
 
 let test_experiment_trials () =
@@ -354,6 +373,8 @@ let suite =
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats single value" `Quick test_stats_single;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile_interpolation;
+    Alcotest.test_case "stats percentile edge cases" `Quick
+      test_percentile_edge_cases;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "experiment trials" `Quick test_experiment_trials;
     Alcotest.test_case "experiment reproducible" `Quick test_experiment_reproducible;
