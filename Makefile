@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench clean
+.PHONY: all build test check smoke fuzz bench clean
 
 all: build
 
@@ -8,8 +8,9 @@ build:
 test:
 	dune runtest --force
 
-# Full gate: build, test suite, and a CLI smoke run with both engines.
-check: build test smoke
+# Full gate: build, test suite, a CLI smoke run with both engines, and a
+# short differential fuzz run.
+check: build test smoke fuzz
 
 smoke:
 	dune exec bin/nonmask_cli.exe -- check diffusing --nodes 7 --engine eager
@@ -21,7 +22,17 @@ smoke:
 	dune exec bin/nonmask_cli.exe -- certify token-ring --nodes 4 -k 5 --faults corrupt:k=1 --engine parallel --jobs 2
 	dune exec bin/nonmask_cli.exe -- storm token-ring --nodes 5 -k 6 --rate 0.1 --trials 200 --jobs 2
 	dune exec bin/nonmask_cli.exe -- check token-ring --nodes 4 -k 4 --engine parallel --jobs 2 --trace-out /tmp/nonmask-smoke-trace.jsonl --metrics-out /tmp/nonmask-smoke-metrics.json --progress
+	dune exec bin/nonmask_cli.exe -- fuzz --seed 42 --count 50 --jobs 2
 	sh test/smoke_exit_codes.sh
+
+# Differential fuzzing: random models through all three engine backends,
+# fault spans, certificates, and storms, with counterexample shrinking.
+# Override the knobs like: make fuzz FUZZ_SEED=7 FUZZ_COUNT=5000
+FUZZ_SEED ?= 42
+FUZZ_COUNT ?= 1000
+FUZZ_JOBS ?= 2
+fuzz:
+	dune exec bin/nonmask_cli.exe -- fuzz --seed $(FUZZ_SEED) --count $(FUZZ_COUNT) --jobs $(FUZZ_JOBS)
 
 bench:
 	dune exec bench/main.exe

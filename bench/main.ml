@@ -1436,6 +1436,85 @@ let e17 () =
          ])
        names)
 
+(* E18: differential fuzzing throughput and shrink quality. Throughput is
+   clean-run trials/sec at three generator sizes; shrink quality uses the
+   oracle's simulated-defect hook (an off-by-one in the parallel backend's
+   counts) so every trial fails, measuring how small the minimizer gets
+   the counterexamples and what it spends to do so. *)
+let e18 () =
+  let sizes = [ 3; 4; 5 ] in
+  let count = 300 in
+  let throughput_rows =
+    List.map
+      (fun max_vars ->
+        let gen_config = Gen.Generate.with_max_vars max_vars in
+        let report = ref None in
+        let (), ms =
+          time (fun () ->
+              report := Some (Gen.Fuzz.run ~gen_config ~seed ~count ()))
+        in
+        let r = Option.get !report in
+        [
+          Printf.sprintf "max-vars %d" max_vars;
+          Table.i r.Gen.Fuzz.trials;
+          Table.i (List.length r.Gen.Fuzz.counterexamples);
+          Table.f1 ms;
+          Table.f1 (float_of_int count /. (ms /. 1000.0));
+        ])
+      sizes
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E18: fuzz throughput - %d clean trials per generator size, all \
+          seven oracles per trial (seed %d)"
+         count seed)
+    ~header:[ "size"; "trials"; "cex"; "ms"; "trials/s" ]
+    throughput_rows;
+  let oracle_config =
+    { Gen.Oracle.default with defect = Some Explore.Engine.Parallel }
+  in
+  let shrink_rows =
+    List.map
+      (fun max_vars ->
+        let gen_config = Gen.Generate.with_max_vars max_vars in
+        let r =
+          Gen.Fuzz.run ~gen_config ~oracle_config ~seed ~count:20 ()
+        in
+        let cexs = r.Gen.Fuzz.counterexamples in
+        let n = List.length cexs in
+        let favg f =
+          if n = 0 then nan
+          else
+            List.fold_left (fun acc c -> acc +. f c) 0.0 cexs /. float_of_int n
+        in
+        let worst =
+          List.fold_left
+            (fun acc c -> max acc (Gen.Spec.action_count c.Gen.Fuzz.spec))
+            0 cexs
+        in
+        [
+          Printf.sprintf "max-vars %d" max_vars;
+          Table.i n;
+          Table.f1
+            (favg (fun c -> float_of_int c.Gen.Fuzz.original_actions));
+          Table.f1
+            (favg (fun c -> float_of_int (Gen.Spec.action_count c.Gen.Fuzz.spec)));
+          Table.i worst;
+          Table.f1
+            (favg (fun c -> float_of_int c.Gen.Fuzz.shrink.Gen.Shrink.evals));
+        ])
+      sizes
+  in
+  Table.print
+    ~title:
+      "E18 (cont.): shrink quality under a simulated parallel-backend defect \
+       - 20 failing trials per size (every counterexample should minimize to \
+       a handful of actions)"
+    ~header:
+      [ "size"; "cex"; "orig actions"; "min actions"; "worst min"; "evals" ]
+    shrink_rows
+
 let experiments =
   [
     ("e1", e1);
@@ -1455,6 +1534,7 @@ let experiments =
     ("e15", e15);
     ("e16", e16);
     ("e17", e17);
+    ("e18", e18);
     ("micro", micro);
   ]
 

@@ -9,6 +9,7 @@
      check    PROTO [opts]        exhaustive convergence check
      simulate PROTO [opts]        fault-injection runs with statistics
      storm    PROTO [opts]        recovery under recurring faults
+     fuzz     [opts]              differential fuzzing over generated models
      dot      PROTO [opts]        constraint graph in Graphviz DOT
 
    Protocols: diffusing, lowatomic, token-ring, dijkstra, xyz-good-tree,
@@ -20,7 +21,8 @@
      0  success
      1  usage or instance-construction error
      2  failed certificate or convergence verdict
-     3  state space over the eager engine's budget (Space.Too_large)
+     3  state space over the eager engine's budget (Space.Too_large);
+        for fuzz: a surviving minimized counterexample
      4  lazy exploration over budget (Engine.Region_overflow) *)
 
 open Cmdliner
@@ -383,6 +385,12 @@ let exit_verdict_failed = 2
 let exit_too_large = 3
 let exit_region_overflow = 4
 
+(* Non-zero exits must say why on stderr, even though the verdict details
+   go to stdout — scripts routinely discard stdout and keep stderr. *)
+let fail_verdict what =
+  Printf.eprintf "error: %s\n" what;
+  exit exit_verdict_failed
+
 let report_overflow i = function
   | Explore.Space.Too_large total ->
       Printf.eprintf
@@ -517,7 +525,9 @@ let certify_cmd =
                 ()
             in
             Format.printf "%a@." Nonmask.Certify.pp_full cert;
-            if not (Nonmask.Certify.ok cert) then exit exit_verdict_failed
+            if not (Nonmask.Certify.ok cert) then
+              fail_verdict
+                (Printf.sprintf "%s: tolerance certificate failed" i.i_name)
           with e -> report_overflow i e)
       | None -> (
           match i.certify with
@@ -535,7 +545,8 @@ let certify_cmd =
                 let cert = certify ~engine in
                 Format.printf "%a@." Nonmask.Certify.pp_full cert;
                 if not (Nonmask.Certify.ok cert) then
-                  exit exit_verdict_failed
+                  fail_verdict
+                    (Printf.sprintf "%s: certificate failed" i.i_name)
               with e -> report_overflow i e)));
       0
     with Failure msg ->
@@ -594,7 +605,8 @@ let check_cmd =
              Format.printf "%s: FAILS@.%a@." i.i_name
                (Explore.Convergence.pp_failure i.env)
                f;
-             exit exit_verdict_failed
+             fail_verdict
+               (Printf.sprintf "%s: convergence check failed" i.i_name)
        with e -> report_overflow i e);
       0
     with Failure msg ->
@@ -717,6 +729,71 @@ let storm_cmd =
       $ max_steps_storm_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg
       $ progress_arg)
 
+let count_arg =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "count" ] ~docv:"N" ~doc:"Number of generated models to try.")
+
+let max_vars_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "max-vars" ] ~docv:"N"
+        ~doc:
+          "Largest variable count of a generated model (state spaces are \
+           capped accordingly). Reproduction requires the same value the \
+           counterexample was found with.")
+
+let no_shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:"Report counterexamples as generated, without minimizing them.")
+
+let exit_counterexample = 3
+
+let fuzz_cmd =
+  let run seed count max_vars jobs no_shrink trace_out metrics_out progress =
+    try
+      if max_vars < 2 then failwith "fuzz: --max-vars must be at least 2";
+      if count < 0 then failwith "fuzz: --count must be non-negative";
+      let obs =
+        obs_setup ~trace_out ~metrics_out ~progress
+          ~meta:
+            (run_meta ~command:"fuzz"
+               ~instance:(Printf.sprintf "seed=%d count=%d" seed count)
+               ~engine:"all" ~jobs)
+      in
+      let report =
+        Gen.Fuzz.run
+          ~gen_config:(Gen.Generate.with_max_vars max_vars)
+          ~shrink:(not no_shrink) ~jobs ~obs ~seed ~count ()
+      in
+      Format.printf "%a@." Gen.Fuzz.pp_report report;
+      if report.Gen.Fuzz.counterexamples <> [] then begin
+        Printf.eprintf
+          "error: fuzz found %d counterexample(s); reproduce with the seeds \
+           above\n"
+          (List.length report.Gen.Fuzz.counterexamples);
+        exit exit_counterexample
+      end;
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random guarded programs and check \
+          that all exploration backends, fault spans, certificates, and \
+          storm simulations agree (exit 3 on a surviving minimized \
+          counterexample)")
+    Term.(
+      const run $ seed_arg $ count_arg $ max_vars_arg $ jobs_arg
+      $ no_shrink_arg $ trace_out_arg $ metrics_out_arg $ progress_arg)
+
 let dot_cmd =
   let run i _seed =
     match i.cgraphs with
@@ -740,7 +817,7 @@ let main =
     (Cmd.info "nonmask" ~version:Version_info.version ~doc)
     [
       list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; storm_cmd;
-      dot_cmd;
+      fuzz_cmd; dot_cmd;
     ]
 
 (* Fold cmdliner's own flag-validation failures (unknown --engine value,

@@ -1,0 +1,137 @@
+type counterexample = {
+  trial : int;
+  seed : int;
+  failure : Oracle.failure;
+  spec : Spec.t;
+  original_failure : Oracle.failure;
+  original_actions : int;
+  shrink : Shrink.stats;
+}
+
+type report = {
+  trials : int;
+  start_seed : int;
+  counterexamples : counterexample list;
+}
+
+(* The oracle stream must differ from the generator stream but be derived
+   from the same scalar seed, so one printed number replays everything. *)
+let oracle_seed tseed = tseed lxor 0x2545F4914F6CDD1D
+
+let eval ~oracle_config tseed spec =
+  try
+    Oracle.run ~config:oracle_config
+      ~rng:(Prng.create (oracle_seed tseed))
+      (Spec.materialize spec)
+  with e ->
+    Some { Oracle.oracle = "exception"; detail = Printexc.to_string e }
+
+let run_trial ~gen_config ~oracle_config ~shrink i tseed =
+  let spec = Generate.spec ~config:gen_config (Prng.create tseed) in
+  match eval ~oracle_config tseed spec with
+  | None -> (spec, None)
+  | Some failure ->
+      let min_spec, min_failure, stats =
+        if shrink then
+          Shrink.minimize ~oracle:(eval ~oracle_config tseed) spec failure
+        else (spec, failure, { Shrink.evals = 0; accepted = 0 })
+      in
+      ( spec,
+        Some
+          {
+            trial = i;
+            seed = tseed;
+            failure = min_failure;
+            spec = min_spec;
+            original_failure = failure;
+            original_actions = Spec.action_count spec;
+            shrink = stats;
+          } )
+
+let run ?(gen_config = Generate.default) ?(oracle_config = Oracle.default)
+    ?(shrink = true) ?(jobs = 1) ?(obs = Obs.Ctx.disabled) ~seed ~count () =
+  if count < 0 then invalid_arg "Fuzz.run: count must be non-negative";
+  if jobs <= 0 then invalid_arg "Fuzz.run: jobs must be positive";
+  let completed = Atomic.make 0 in
+  let one i =
+    let tseed = seed + i in
+    let r = run_trial ~gen_config ~oracle_config ~shrink i tseed in
+    let done_ = Atomic.fetch_and_add completed 1 + 1 in
+    Obs.Ctx.tick obs ~label:"fuzz" ~states:done_ ();
+    (i, tseed, r)
+  in
+  let outcomes =
+    Par.Pool.with_pool ~jobs (fun pool ->
+        Par.Pool.map_reduce pool ~n:count
+          ~map:(fun ~worker:_ lo hi -> List.init (hi - lo) (fun k -> one (lo + k)))
+          (fun acc chunk -> List.rev_append chunk acc)
+          [])
+    |> List.rev
+  in
+  (* All recording is post-hoc and in trial order, so counters and the
+     JSONL trace are identical at any job count. *)
+  if Obs.Ctx.enabled obs then begin
+    let trials_c = Obs.Ctx.counter obs "fuzz.trials" in
+    let cex_c = Obs.Ctx.counter obs "fuzz.counterexamples" in
+    let shrink_c = Obs.Ctx.counter obs "fuzz.shrink_evals" in
+    List.iter
+      (fun (i, tseed, (spec, cex)) ->
+        Obs.Metrics.incr trials_c;
+        let base =
+          [
+            ("trial", Obs.Sink.I i);
+            ("seed", Obs.Sink.I tseed);
+            ("vars", Obs.Sink.I (List.length (Spec.live_slots spec)));
+            ("actions", Obs.Sink.I (Spec.action_count spec));
+            ("states", Obs.Sink.F (Spec.space_size spec));
+          ]
+        in
+        match cex with
+        | None -> Obs.Ctx.emit obs "fuzz.trial" (base @ [ ("ok", Obs.Sink.B true) ])
+        | Some c ->
+            Obs.Metrics.incr cex_c;
+            Obs.Metrics.add shrink_c c.shrink.Shrink.evals;
+            Obs.Metrics.incr
+              (Obs.Ctx.counter obs ("fuzz.fail." ^ c.failure.Oracle.oracle));
+            Obs.Ctx.emit obs "fuzz.trial"
+              (base
+              @ [
+                  ("ok", Obs.Sink.B false);
+                  ("oracle", Obs.Sink.S c.failure.Oracle.oracle);
+                  ("min_actions", Obs.Sink.I (Spec.action_count c.spec));
+                  ("min_vars", Obs.Sink.I (List.length (Spec.live_slots c.spec)));
+                  ("shrink_evals", Obs.Sink.I c.shrink.Shrink.evals);
+                ]))
+      outcomes;
+    let cex_total =
+      List.length (List.filter (fun (_, _, (_, c)) -> c <> None) outcomes)
+    in
+    Obs.Ctx.emit obs "fuzz.done"
+      [ ("trials", Obs.Sink.I count); ("counterexamples", Obs.Sink.I cex_total) ];
+    Obs.Ctx.finish_progress obs ~label:"fuzz" ~states:count
+  end;
+  {
+    trials = count;
+    start_seed = seed;
+    counterexamples = List.filter_map (fun (_, _, (_, c)) -> c) outcomes;
+  }
+
+let pp_report ppf r =
+  match r.counterexamples with
+  | [] ->
+      Format.fprintf ppf "fuzz: %d trials from seed %d: all oracles hold"
+        r.trials r.start_seed
+  | cexs ->
+      Format.fprintf ppf
+        "@[<v>fuzz: %d trials from seed %d: %d counterexample(s)@,@," r.trials
+        r.start_seed (List.length cexs);
+      List.iter
+        (fun c ->
+          Format.fprintf ppf
+            "@[<v>[trial %d] oracle %s: %s@,\
+            \  reproduce: nonmask fuzz --seed %d --count 1@,\
+            \  shrunk %d -> %d actions (%d oracle evals, %d reductions)@,%a@,@]"
+            c.trial c.failure.Oracle.oracle c.failure.Oracle.detail c.seed
+            c.original_actions (Spec.action_count c.spec)
+            c.shrink.Shrink.evals c.shrink.Shrink.accepted Spec.pp c.spec)
+        cexs

@@ -1,0 +1,50 @@
+(** The differential fuzzing driver.
+
+    Trial [i] of [run ~seed ~count] is a pure function of the scalar seed
+    [seed + i]: the trial builds its generator and oracle streams from
+    that one number, so any counterexample reproduces from the printed
+    seed alone — [nonmask fuzz --seed <that seed> --count 1] (with the
+    same [--max-vars]) replays exactly trial [i], including the shrink.
+
+    Trials are independent, so [jobs > 1] spreads them over a
+    {!Par.Pool}; per-trial seeds are assigned by index up front and all
+    observability is recorded post-hoc in trial order, so the report,
+    counters, and JSONL trace are identical at any job count. *)
+
+type counterexample = {
+  trial : int;
+  seed : int;  (** reproduces the trial: [--seed this --count 1] *)
+  failure : Oracle.failure;  (** after minimization *)
+  spec : Spec.t;  (** minimized *)
+  original_failure : Oracle.failure;
+  original_actions : int;  (** action count before shrinking *)
+  shrink : Shrink.stats;
+}
+
+type report = {
+  trials : int;
+  start_seed : int;
+  counterexamples : counterexample list;  (** in trial order *)
+}
+
+val run :
+  ?gen_config:Generate.config ->
+  ?oracle_config:Oracle.config ->
+  ?shrink:bool ->
+  ?jobs:int ->
+  ?obs:Obs.Ctx.t ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Run [count] trials starting at [seed]. [shrink] (default [true])
+    minimizes each failing trial before reporting. [jobs] (default [1])
+    parallelizes trials. [obs] receives counters ([fuzz.trials],
+    [fuzz.counterexamples], [fuzz.shrink_evals], per-oracle
+    [fuzz.fail.<oracle>]), one [fuzz.trial] event per trial, and a
+    closing [fuzz.done] event.
+    @raise Invalid_argument when [jobs <= 0] or [count < 0]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable summary: every counterexample with its oracle, detail,
+    reproduction seed, and minimized model listing. *)

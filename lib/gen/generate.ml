@@ -1,0 +1,206 @@
+module Domain = Guarded.Domain
+module Var = Guarded.Var
+module Expr = Guarded.Expr
+
+type config = {
+  max_vars : int;
+  max_dom : int;
+  max_actions : int;
+  max_faults : int;
+  max_depth : int;
+  max_states : int;
+}
+
+let default =
+  {
+    max_vars = 4;
+    max_dom = 4;
+    max_actions = 6;
+    max_faults = 3;
+    max_depth = 3;
+    max_states = 4096;
+  }
+
+let with_max_vars n =
+  let n = max 2 n in
+  (* Keep instances explorable as they grow: 4^n states at most, capped so
+     the eager backend never refuses a generated space. *)
+  { default with max_vars = n; max_states = min 65_536 (1 lsl (2 * n)) }
+
+(* --- expressions --- *)
+
+let rec num rng ~depth ~reads =
+  let leaf () =
+    if Array.length reads = 0 || Prng.bool rng then
+      Expr.Const (Prng.int_in rng (-2) 3)
+    else Expr.Var (Prng.pick rng reads)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Prng.int rng 10 with
+    | 0 | 1 | 2 -> leaf ()
+    | 3 -> Expr.Add (num rng ~depth:(depth - 1) ~reads, num rng ~depth:(depth - 1) ~reads)
+    | 4 -> Expr.Sub (num rng ~depth:(depth - 1) ~reads, num rng ~depth:(depth - 1) ~reads)
+    | 5 -> Expr.Mul (num rng ~depth:(depth - 1) ~reads, Expr.Const (Prng.int_in rng (-1) 2))
+    | 6 -> Expr.Min (num rng ~depth:(depth - 1) ~reads, num rng ~depth:(depth - 1) ~reads)
+    | 7 -> Expr.Max (num rng ~depth:(depth - 1) ~reads, num rng ~depth:(depth - 1) ~reads)
+    | 8 ->
+        (* Non-zero constant divisor only: evaluation must never raise. *)
+        Expr.Mod (num rng ~depth:(depth - 1) ~reads, Expr.Const (Prng.int_in rng 2 3))
+    | _ ->
+        Expr.Ite
+          ( boolean rng ~depth:(depth - 1) ~reads,
+            num rng ~depth:(depth - 1) ~reads,
+            num rng ~depth:(depth - 1) ~reads )
+
+and boolean rng ~depth ~reads =
+  let cmp () =
+    let op =
+      match Prng.int rng 6 with
+      | 0 -> Expr.Eq
+      | 1 -> Expr.Ne
+      | 2 -> Expr.Lt
+      | 3 -> Expr.Le
+      | 4 -> Expr.Gt
+      | _ -> Expr.Ge
+    in
+    Expr.Cmp (op, num rng ~depth:(depth - 1) ~reads, num rng ~depth:(depth - 1) ~reads)
+  in
+  if depth <= 0 then cmp ()
+  else
+    match Prng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> cmp ()
+    | 4 -> Expr.True
+    | 5 -> Expr.Not (boolean rng ~depth:(depth - 1) ~reads)
+    | 6 -> Expr.And (boolean rng ~depth:(depth - 1) ~reads, boolean rng ~depth:(depth - 1) ~reads)
+    | 7 -> Expr.Or (boolean rng ~depth:(depth - 1) ~reads, boolean rng ~depth:(depth - 1) ~reads)
+    | 8 -> Expr.Implies (boolean rng ~depth:(depth - 1) ~reads, boolean rng ~depth:(depth - 1) ~reads)
+    | _ -> Expr.Iff (boolean rng ~depth:(depth - 1) ~reads, boolean rng ~depth:(depth - 1) ~reads)
+
+(* --- domains --- *)
+
+let random_domain rng ~max_size =
+  let size = Prng.int_in rng 2 (max 2 max_size) in
+  match Prng.int rng 4 with
+  | 0 -> if size = 2 then Domain.bool else Domain.range 0 (size - 1)
+  | 1 ->
+      let lo = Prng.int_in rng (-2) 1 in
+      Domain.range lo (lo + size - 1)
+  | 2 ->
+      Domain.enum
+        (Printf.sprintf "e%d" size)
+        (List.init size (fun i -> Printf.sprintf "l%d" i))
+  | _ -> Domain.range 0 (size - 1)
+
+(* Domains for [n] slots whose product stays under [cap]: draw each domain
+   with the per-slot size budget that the remaining slots leave over. *)
+let random_domains rng ~n ~max_dom ~cap =
+  let doms = Array.make n Domain.bool in
+  let budget = ref (float_of_int (max 4 cap)) in
+  for i = 0 to n - 1 do
+    let remaining = n - i - 1 in
+    (* Every later slot needs at least size 2. *)
+    let allowance =
+      int_of_float (!budget /. (2.0 ** float_of_int remaining))
+    in
+    let d = random_domain rng ~max_size:(min max_dom (max 2 allowance)) in
+    doms.(i) <- d;
+    budget := !budget /. float_of_int (Domain.size d)
+  done;
+  doms
+
+(* --- communication structure --- *)
+
+(* For each slot, the slots an action owned by it may read. *)
+let neighborhoods rng ~n =
+  match Prng.int rng 4 with
+  | 0 ->
+      if n < 2 then ("free", Array.init n (fun i -> [| i |]))
+      else
+        let ring = Topology.Ring.create n in
+        ("ring", Array.init n (fun i -> [| i; Topology.Ring.pred ring i |]))
+  | 1 ->
+      let tree = Topology.Tree.random (Prng.split rng) n in
+      ("tree", Array.init n (fun i -> [| i; Topology.Tree.parent tree i |]))
+  | 2 ->
+      if n < 2 then ("free", Array.init n (fun i -> [| i |]))
+      else
+        let g =
+          Topology.Ugraph.random_connected (Prng.split rng) n
+            ~extra_edges:(n / 2)
+        in
+        ( "graph",
+          Array.init n (fun i ->
+              let ns = Topology.Ugraph.neighbors g i in
+              Array.of_list (i :: ns)) )
+  | _ ->
+      let all = Array.init n Fun.id in
+      ("free", Array.make n all)
+
+(* --- specs --- *)
+
+let spec ?(config = default) rng =
+  let n = Prng.int_in rng 2 (max 2 config.max_vars) in
+  let doms = random_domains rng ~n ~max_dom:config.max_dom ~cap:config.max_states in
+  let shape, hood = neighborhoods rng ~n in
+  let pre_spec =
+    {
+      Spec.title = Printf.sprintf "%s-%d" shape n;
+      doms;
+      live = Array.make n true;
+      actions = [];
+      faults = [];
+      cubes = [];
+    }
+  in
+  let var_of = Spec.canonical_var pre_spec in
+  let reads_of slot = Array.map var_of hood.(slot) in
+  let action prefix j =
+    let owner = Prng.int rng n in
+    let reads = reads_of owner in
+    let guard = boolean rng ~depth:config.max_depth ~reads in
+    let extra_target =
+      (* Occasionally a second simultaneous assignment, to a distinct slot
+         drawn from the owner's neighborhood. *)
+      if Array.length hood.(owner) > 1 && Prng.int rng 4 = 0 then
+        let t = hood.(owner).(Prng.int rng (Array.length hood.(owner))) in
+        if t <> owner then [ t ] else []
+      else []
+    in
+    let assigns =
+      List.map
+        (fun slot -> (slot, num rng ~depth:config.max_depth ~reads))
+        (owner :: extra_target)
+    in
+    { Spec.a_name = Printf.sprintf "%s%d" prefix j; a_guard = guard; a_assigns = assigns }
+  in
+  let n_actions = Prng.int_in rng 1 (max 1 config.max_actions) in
+  let actions = List.init n_actions (action "a") in
+  (* Faults are single-variable perturbations guarded against the no-op
+     self-loop — the action form of Sim.Fault.corrupt. *)
+  let fault j =
+    let slot = Prng.int rng n in
+    let v = var_of slot in
+    let lo, hi = Spec.bounds doms.(slot) in
+    let x = Prng.int_in rng lo hi in
+    {
+      Spec.a_name = Printf.sprintf "fault:%d" j;
+      a_guard = Expr.Cmp (Expr.Ne, Expr.Var v, Expr.Const x);
+      a_assigns = [ (slot, Expr.Const x) ];
+    }
+  in
+  let n_faults = Prng.int_in rng 1 (max 1 config.max_faults) in
+  let faults = List.init n_faults fault in
+  let cube () =
+    let k = Prng.int_in rng 1 n in
+    let slots = Prng.sample_without_replacement rng k n in
+    Array.to_list slots
+    |> List.map (fun slot ->
+           let lo, hi = Spec.bounds doms.(slot) in
+           (slot, Prng.int_in rng lo hi))
+  in
+  let n_cubes = Prng.int_in rng 1 2 in
+  let cubes = List.init n_cubes (fun _ -> cube ()) in
+  { pre_spec with actions; faults; cubes }
+
+let model ?config rng = Spec.materialize (spec ?config rng)

@@ -1,0 +1,53 @@
+module Json = Obs.Json
+
+let fragments =
+  [|
+    "\""; "\\"; "\n"; "\r"; "\t"; "\b"; "\012"; "\000"; "\x01"; "\x1f";
+    "a"; "Z"; " "; "/"; "{}"; "[]"; ":"; ","; "caf\xc3\xa9"; "\xe2\x9c\x93";
+    "0"; "-"; "e"; ".";
+  |]
+
+let string_ rng =
+  let n = Prng.int rng 25 in
+  let buf = Buffer.create 32 in
+  for _ = 1 to n do
+    Buffer.add_string buf (Prng.pick rng fragments)
+  done;
+  Buffer.contents buf
+
+let number rng =
+  match Prng.int rng 12 with
+  | 0 -> Json.Int 0
+  | 1 -> Json.Int max_int
+  | 2 -> Json.Int min_int
+  | 3 -> Json.Int (Prng.int_in rng (-1000) 1000)
+  | 4 -> Json.Float (-0.)
+  | 5 -> Json.Float 0.
+  | 6 -> Json.Float 1.5e300 (* forces %.17g exponent rendering *)
+  | 7 -> Json.Float 6.02e-23
+  | 8 -> Json.Float (float_of_int (Prng.int_in rng (-1000) 1000))
+      (* integral: renders with a ".0" suffix *)
+  | 9 -> Json.Float (Prng.float rng 1.0)
+  | 10 -> Json.Float (Float.of_int (Prng.int_in rng (-1000) 1000) *. 1e17)
+      (* integral but >= 1e15: exponent form *)
+  | _ -> Json.Float (ldexp (Prng.float rng 2.0 -. 1.0) (Prng.int_in rng (-60) 60))
+
+let rec value ?(depth = 4) rng =
+  if depth <= 0 then
+    match Prng.int rng 4 with
+    | 0 -> Json.Null
+    | 1 -> Json.Bool (Prng.bool rng)
+    | 2 -> number rng
+    | _ -> Json.Str (string_ rng)
+  else
+    match Prng.int rng 7 with
+    | 0 -> Json.Null
+    | 1 -> Json.Bool (Prng.bool rng)
+    | 2 -> number rng
+    | 3 -> Json.Str (string_ rng)
+    | 4 | 5 ->
+        Json.List (List.init (Prng.int rng 5) (fun _ -> value ~depth:(depth - 1) rng))
+    | _ ->
+        Json.Obj
+          (List.init (Prng.int rng 5) (fun i ->
+               (Printf.sprintf "%d%s" i (string_ rng), value ~depth:(depth - 1) rng)))

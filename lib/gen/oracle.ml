@@ -1,0 +1,426 @@
+module State = Guarded.State
+module Compile = Guarded.Compile
+module Program = Guarded.Program
+module Engine = Explore.Engine
+module Faultspan = Explore.Faultspan
+module Convergence = Explore.Convergence
+module Closure = Explore.Closure
+module Certify = Nonmask.Certify
+
+type failure = { oracle : string; detail : string }
+
+type config = {
+  cert_budget : int;
+  storm_trials : int;
+  storm_rate : float;
+  defect : Engine.backend option;
+}
+
+let default =
+  { cert_budget = 2; storm_trials = 20; storm_rate = 0.2; defect = None }
+
+let oracle_names =
+  [
+    "region-agree";
+    "verdict-agree";
+    "span-agree";
+    "span-monotone";
+    "cert-agree";
+    "reorder-stable";
+    "storm-consistent";
+  ]
+
+let backends = [ Engine.Eager; Engine.Lazy; Engine.Parallel ]
+
+let backend_name = function
+  | Engine.Eager -> "eager"
+  | Engine.Lazy -> "lazy"
+  | Engine.Parallel -> "parallel"
+
+(* Spaces are capped at generation time (Generate.config.max_states), so a
+   budget far above the cap means no backend can overflow. *)
+let engine_budget = 1 lsl 21
+
+(* --- canonical signatures, comparable across backends --- *)
+
+(* A region, rewritten in terms of state keys so that it is independent of
+   the backend's node numbering. *)
+type region_sig = {
+  r_keys : int list;  (* sorted member keys *)
+  r_edges : (int * int * int) list;  (* sorted (src key, dst key, action) *)
+  r_terminals : int list;  (* sorted member keys with no enabled action *)
+  r_explored : int;
+}
+
+let region_sig ~bump (r : Engine.region) =
+  let key v = r.Engine.node_key.(v) in
+  let edges =
+    Dgraph.Digraph.fold_edges
+      (fun acc e -> (key e.Dgraph.Digraph.src, key e.dst, e.label) :: acc)
+      [] r.Engine.graph
+  in
+  let terminals = ref [] in
+  Array.iteri
+    (fun v t -> if t then terminals := key v :: !terminals)
+    r.Engine.terminal;
+  {
+    r_keys = List.sort compare (Array.to_list r.Engine.node_key);
+    r_edges = List.sort compare edges;
+    r_terminals = List.sort compare !terminals;
+    r_explored = r.Engine.explored + bump;
+  }
+
+let diff_region a b =
+  if a.r_keys <> b.r_keys then Some "member state sets differ"
+  else if a.r_edges <> b.r_edges then Some "edge multisets differ"
+  else if a.r_terminals <> b.r_terminals then Some "terminal sets differ"
+  else if a.r_explored <> b.r_explored then
+    Some
+      (Printf.sprintf "explored counts differ (%d vs %d)" a.r_explored
+         b.r_explored)
+  else None
+
+type verdict_sig =
+  | V_ok of int * int * int option
+  | V_deadlock of string  (* "" for a valid witness — see below *)
+  | V_livelock
+
+(* Deadlock and livelock witnesses depend on the backend's node numbering
+   (Convergence picks the first terminal node in node order), so backends
+   legitimately report different ones. region-agree already proves the
+   terminal sets coincide; here we only require each backend's witness to
+   be a genuine deadlock — terminal under the program and outside the
+   target — which makes valid witnesses compare equal. *)
+let verdict_sig env ~program ~target = function
+  | Ok { Convergence.region_states; explored; worst_case_steps } ->
+      V_ok (region_states, explored, worst_case_steps)
+  | Error (Convergence.Deadlock s) ->
+      let enabled =
+        Array.exists
+          (fun a -> Guarded.Action.enabled a s)
+          (Program.actions program)
+      in
+      if enabled || target s then
+        V_deadlock ("invalid witness " ^ State.to_string env s)
+      else V_deadlock ""
+  | Error (Convergence.Livelock _) -> V_livelock
+
+let verdict_str = function
+  | V_ok (r, e, w) ->
+      Printf.sprintf "converges (region=%d explored=%d worst=%s)" r e
+        (match w with Some w -> string_of_int w | None -> "-")
+  | V_deadlock "" -> "deadlock (valid witness)"
+  | V_deadlock s -> "deadlock: " ^ s
+  | V_livelock -> "livelock"
+
+type span_sig = {
+  s_count : int;
+  s_roots : int;
+  s_depth : int;
+  s_hist : int list;
+}
+
+let span_sig ~bump span =
+  {
+    s_count = Faultspan.count span + bump;
+    s_roots = Faultspan.root_count span;
+    s_depth = Faultspan.max_depth span;
+    s_hist = Array.to_list (Faultspan.depth_histogram span);
+  }
+
+let span_str s =
+  Printf.sprintf "count=%d roots=%d depth=%d hist=[%s]" s.s_count s.s_roots
+    s.s_depth
+    (String.concat ";" (List.map string_of_int s.s_hist))
+
+let cert_sig cert =
+  ( Certify.ok cert,
+    List.map (fun c -> (c.Certify.label, c.Certify.ok)) cert.Certify.checks )
+
+(* --- the oracles --- *)
+
+type ctx = {
+  cfg : config;
+  m : Spec.model;
+  cp : Compile.program;
+  faults_cp : Compile.program;
+  engines : (Engine.backend * Engine.t) list;
+  storm_seed : int;
+  reorder_seed : int;
+}
+
+let bump_of cfg b = if cfg.defect = Some b then 1 else 0
+
+let eager ctx = List.assoc Engine.Eager ctx.engines
+let lazy_e ctx = List.assoc Engine.Lazy ctx.engines
+
+let root_sets ctx =
+  [ ("legit", Engine.Seeds [ ctx.m.Spec.legit ]); ("all", Engine.All) ]
+
+(* Compare every backend's value of [f] against the eager backend's. *)
+let against_eager ctx ~name ~describe ~diff f =
+  let reference = f (eager ctx) Engine.Eager in
+  List.fold_left
+    (fun acc (b, e) ->
+      match acc with
+      | Some _ -> acc
+      | None when b = Engine.Eager -> None
+      | None -> (
+          match diff reference (f e b) with
+          | None -> None
+          | Some why ->
+              Some
+                {
+                  oracle = name;
+                  detail =
+                    Printf.sprintf "%s: %s disagrees with eager: %s" describe
+                      (backend_name b) why;
+                }))
+    None ctx.engines
+
+let o_region_agree ctx =
+  List.fold_left
+    (fun acc (rname, from) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          against_eager ctx ~name:"region-agree"
+            ~describe:(Printf.sprintf "roots=%s" rname) ~diff:diff_region
+            (fun e b ->
+              region_sig ~bump:(bump_of ctx.cfg b)
+                (Engine.region e ctx.cp ~from ~target:ctx.m.Spec.invariant)))
+    None (root_sets ctx)
+
+let o_verdict_agree ctx =
+  let diff a b =
+    if a = b then None
+    else Some (Printf.sprintf "%s vs %s" (verdict_str b) (verdict_str a))
+  in
+  List.fold_left
+    (fun acc (rname, from) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          against_eager ctx ~name:"verdict-agree"
+            ~describe:(Printf.sprintf "roots=%s" rname) ~diff
+            (fun e _b ->
+              verdict_sig ctx.m.Spec.env ~program:ctx.m.Spec.program
+                ~target:ctx.m.Spec.invariant
+                (Convergence.check_unfair e ctx.cp ~from
+                   ~target:ctx.m.Spec.invariant)))
+    None (root_sets ctx)
+
+let span ctx e ~budget ~from =
+  Faultspan.compute e ~program:ctx.cp ?budget ~faults:ctx.faults_cp ~from ()
+
+let o_span_agree ctx =
+  let budgets =
+    [ ("budget=0", Some 0);
+      (Printf.sprintf "budget=%d" ctx.cfg.cert_budget, Some ctx.cfg.cert_budget);
+      ("unbounded", None);
+    ]
+  in
+  let diff a b =
+    if a = b then None
+    else Some (Printf.sprintf "%s vs %s" (span_str b) (span_str a))
+  in
+  List.fold_left
+    (fun acc (bname, budget) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          List.fold_left
+            (fun acc (rname, from) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  against_eager ctx ~name:"span-agree"
+                    ~describe:(Printf.sprintf "roots=%s %s" rname bname) ~diff
+                    (fun e b ->
+                      span_sig ~bump:(bump_of ctx.cfg b)
+                        (span ctx e ~budget ~from)))
+            acc (root_sets ctx))
+    None budgets
+
+let o_span_monotone ctx =
+  let e = lazy_e ctx in
+  let from = Engine.Seeds [ ctx.m.Spec.legit ] in
+  let counts =
+    List.map
+      (fun budget -> Faultspan.count (span ctx e ~budget ~from))
+      [ Some 0; Some 1; Some ctx.cfg.cert_budget; None ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> if a > b then false else monotone rest
+    | _ -> true
+  in
+  if not (monotone counts) then
+    Some
+      {
+        oracle = "span-monotone";
+        detail =
+          Printf.sprintf "span counts not monotone in budget: [%s]"
+            (String.concat ";" (List.map string_of_int counts));
+      }
+  else begin
+    (* Budget 0 forbids every fault step, so the span must equal the
+       program-only closure of the roots. *)
+    let reachable = ref 0 in
+    Engine.iter_reachable e ctx.cp ~from (fun _ -> incr reachable);
+    let b0 = List.hd counts in
+    if b0 <> !reachable then
+      Some
+        {
+          oracle = "span-monotone";
+          detail =
+            Printf.sprintf
+              "budget-0 span has %d states but the program closure has %d" b0
+              !reachable;
+        }
+    else None
+  end
+
+let certificate ctx e program =
+  Certify.tolerance ~engine:e ~program ~faults:ctx.m.Spec.fault_actions
+    ~invariant:ctx.m.Spec.invariant ~budget:ctx.cfg.cert_budget ~name:"gen" ()
+
+let o_cert_agree ctx =
+  let diff (ok_a, checks_a) (ok_b, checks_b) =
+    if ok_a <> ok_b then
+      Some (Printf.sprintf "verdict %b vs %b" ok_b ok_a)
+    else if checks_a <> checks_b then Some "per-check outcomes differ"
+    else None
+  in
+  against_eager ctx ~name:"cert-agree" ~describe:"tolerance certificate" ~diff
+    (fun e _b -> cert_sig (certificate ctx e ctx.m.Spec.program))
+
+let o_reorder_stable ctx =
+  let actions = Program.actions ctx.m.Spec.program in
+  if Array.length actions < 2 then None
+  else begin
+    let rng = Prng.create ctx.reorder_seed in
+    Prng.shuffle_in_place rng actions;
+    let reordered =
+      Program.make
+        ~name:(Program.name ctx.m.Spec.program)
+        ctx.m.Spec.env (Array.to_list actions)
+    in
+    let e = lazy_e ctx in
+    let ok_orig = Certify.ok (certificate ctx e ctx.m.Spec.program) in
+    let ok_re = Certify.ok (certificate ctx e reordered) in
+    if ok_orig <> ok_re then
+      Some
+        {
+          oracle = "reorder-stable";
+          detail =
+            Printf.sprintf
+              "certificate verdict changed under action reordering (%b -> %b)"
+              ok_orig ok_re;
+        }
+    else
+      let closed p =
+        match
+          Closure.program_closed e (Compile.program p)
+            ~pred:ctx.m.Spec.invariant
+        with
+        | Ok () -> true
+        | Error _ -> false
+      in
+      if closed ctx.m.Spec.program <> closed reordered then
+        Some
+          {
+            oracle = "reorder-stable";
+            detail = "invariant closure verdict changed under action reordering";
+          }
+      else None
+  end
+
+let o_storm_consistent ctx =
+  let e = lazy_e ctx in
+  let cert = certificate ctx e ctx.m.Spec.program in
+  if not (Certify.ok cert) then None
+  else begin
+    (* The storm starts in S and injects at most [cert_budget] single-step
+       faults, so it can only visit the budgeted span of the legitimate
+       state. When the fault-free convergence verdict over that span is
+       exact (acyclic region, worst case [w] steps), any interleaving uses
+       at most [(budget+1) * w] program steps plus [budget] injections —
+       a theorem-implied bound, so a trial that exceeds it is a real
+       contradiction, not bad luck. *)
+    let sp =
+      span ctx e ~budget:(Some ctx.cfg.cert_budget)
+        ~from:(Engine.Seeds [ ctx.m.Spec.legit ])
+    in
+    match
+      Convergence.check_unfair e ctx.cp
+        ~from:(Engine.Seeds (Faultspan.states sp))
+        ~target:ctx.m.Spec.invariant
+    with
+    | Error _ | Ok { worst_case_steps = None; _ } -> None
+    | Ok { worst_case_steps = Some w; _ } ->
+        let b = ctx.cfg.cert_budget in
+        let max_steps = ((b + 1) * (w + 1)) + b + 4 in
+        let result =
+          Sim.Storm.trials ~max_steps ~fault_budget:b ~jobs:1
+            ~rng:(Prng.create ctx.storm_seed) ~trials:ctx.cfg.storm_trials
+            ~daemon:(fun r -> Sim.Daemon.random r)
+            ~prepare:(fun _ -> State.copy ctx.m.Spec.legit)
+            ~stop:ctx.m.Spec.invariant ~fault:ctx.m.Spec.fault
+            ~rate:ctx.cfg.storm_rate ctx.cp
+        in
+        if result.Sim.Storm.failures > 0 then
+          Some
+            {
+              oracle = "storm-consistent";
+              detail =
+                Printf.sprintf
+                  "%d/%d storm trials failed to converge within the \
+                   certificate-implied bound of %d steps (budget=%d, \
+                   worst-case=%d)"
+                  result.Sim.Storm.failures ctx.cfg.storm_trials max_steps b w;
+            }
+        else None
+  end
+
+let oracles =
+  [
+    ("region-agree", o_region_agree);
+    ("verdict-agree", o_verdict_agree);
+    ("span-agree", o_span_agree);
+    ("span-monotone", o_span_monotone);
+    ("cert-agree", o_cert_agree);
+    ("reorder-stable", o_reorder_stable);
+    ("storm-consistent", o_storm_consistent);
+  ]
+
+let make_ctx cfg ~rng (m : Spec.model) =
+  (* Draw the oracle-local seeds up front so every oracle is a pure
+     function of the model regardless of evaluation order. *)
+  let storm_seed = Prng.int rng (1 lsl 30) in
+  let reorder_seed = Prng.int rng (1 lsl 30) in
+  let faults_prog =
+    Program.make ~name:"faults" m.Spec.env m.Spec.fault_actions
+  in
+  {
+    cfg;
+    m;
+    cp = Compile.program m.Spec.program;
+    faults_cp = Compile.program faults_prog;
+    engines =
+      List.map
+        (fun b ->
+          (b, Engine.create ~backend:b ~max_states:engine_budget ~jobs:1 m.Spec.env))
+        backends;
+    storm_seed;
+    reorder_seed;
+  }
+
+let run_all ?(config = default) ~rng m =
+  let ctx = make_ctx config ~rng m in
+  List.filter_map (fun (_, o) -> o ctx) oracles
+
+let run ?(config = default) ~rng m =
+  let ctx = make_ctx config ~rng m in
+  List.fold_left
+    (fun acc (_, o) -> match acc with Some _ -> acc | None -> o ctx)
+    None oracles

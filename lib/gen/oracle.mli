@@ -1,0 +1,58 @@
+(** Differential and metamorphic oracles over a generated model.
+
+    Every oracle is a property that must hold of {e any} well-formed
+    guarded program, so a violation is a bug in the library (or, during
+    harness self-tests, the simulated {!config.defect}):
+
+    - [region-agree]: all three {!Explore.Engine} backends produce the
+      same reachable region — state set, edge multiset (by state key and
+      action index), terminal set, and explored count — from both the
+      legitimate-seed and whole-space root sets;
+    - [verdict-agree]: {!Explore.Convergence.check_unfair} returns the
+      same verdict on every backend — stats on success, failure kind on
+      failure. Witness states are exploration-order-dependent, so each
+      backend's deadlock witness is only required to be {e valid}
+      (terminal under the program and outside the target), not identical;
+    - [span-agree]: {!Explore.Faultspan} computes identical spans (count,
+      roots, depth profile) on every backend, at budgets 0, the
+      certification budget, and unbounded;
+    - [span-monotone]: the span is monotone in the fault budget, and the
+      budget-0 span equals the program-only closure of the roots;
+    - [cert-agree]: {!Nonmask.Certify.tolerance} produces the same
+      certificate (overall verdict and per-check outcomes) on every
+      backend;
+    - [reorder-stable]: the certificate verdict and the invariant's
+      closure verdict are unchanged when the program's actions are
+      re-ordered;
+    - [storm-consistent]: when the certificate is positive and the
+      fault-free convergence verdict is exact (acyclic region), a
+      recurring-fault storm under the certified budget converges within
+      the theorem-implied step bound — {!Sim.Storm} can never contradict
+      a positive certificate.
+
+    All randomness (storm streams, the reordering permutation) is drawn
+    from the caller's [rng] up front, so a run is a pure function of the
+    model and the stream. *)
+
+type failure = { oracle : string; detail : string }
+
+type config = {
+  cert_budget : int;  (** fault budget for spans/certificates (default 2) *)
+  storm_trials : int;  (** storm trials per model (default 20) *)
+  storm_rate : float;  (** per-step fault probability (default 0.2) *)
+  defect : Explore.Engine.backend option;
+      (** simulate a defect in this backend (off-by-one explored/span
+          counts) — used by harness self-tests and shrinker tests *)
+}
+
+val default : config
+
+val oracle_names : string list
+(** The oracles in evaluation order. *)
+
+val run_all : ?config:config -> rng:Prng.t -> Spec.model -> failure list
+(** Evaluate every oracle; collect each one's first violation. *)
+
+val run : ?config:config -> rng:Prng.t -> Spec.model -> failure option
+(** First violation in {!oracle_names} order, or [None]. This is the
+    shrinker's predicate: it short-circuits, so minimization stays fast. *)

@@ -1,0 +1,142 @@
+module Domain = Guarded.Domain
+module Expr = Guarded.Expr
+
+type stats = { evals : int; accepted : int }
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let live_count (s : Spec.t) =
+  Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 s.Spec.live
+
+(* Narrow a domain by one value; [None] when it is already a singleton. *)
+let narrow_dom = function
+  | Domain.Bool -> Some (Domain.range 0 0)
+  | Domain.Range { lo; hi } -> if hi > lo then Some (Domain.range lo (hi - 1)) else None
+  | Domain.Enum { name; labels } ->
+      let n = Array.length labels in
+      if n <= 1 then None
+      else Some (Domain.enum name (Array.to_list (Array.sub labels 0 (n - 1))))
+
+(* Candidate reductions, most aggressive first. Cubes are kept consistent
+   with the mutation (dead slots dropped, values clamped) so that
+   materialization stays total and the legitimate state stays inside the
+   invariant. *)
+let candidates (s : Spec.t) : Spec.t list =
+  let drop_actions =
+    List.mapi (fun i _ -> { s with Spec.actions = remove_nth i s.Spec.actions }) s.Spec.actions
+  in
+  let drop_vars =
+    if live_count s < 2 then []
+    else
+      List.filter_map
+        (fun slot ->
+          let live = Array.copy s.Spec.live in
+          live.(slot) <- false;
+          let prune a =
+            {
+              a with
+              Spec.a_assigns =
+                List.filter (fun (t, _) -> t <> slot) a.Spec.a_assigns;
+            }
+          in
+          let keep_nonempty a = a.Spec.a_assigns <> [] in
+          let cubes =
+            List.map (List.filter (fun (t, _) -> t <> slot)) s.Spec.cubes
+          in
+          Some
+            {
+              s with
+              Spec.live;
+              actions = List.filter keep_nonempty (List.map prune s.Spec.actions);
+              faults = List.filter keep_nonempty (List.map prune s.Spec.faults);
+              cubes;
+            })
+        (Spec.live_slots s)
+  in
+  let drop_faults =
+    List.mapi (fun i _ -> { s with Spec.faults = remove_nth i s.Spec.faults }) s.Spec.faults
+  in
+  let narrow_doms =
+    List.filter_map
+      (fun slot ->
+        match narrow_dom s.Spec.doms.(slot) with
+        | None -> None
+        | Some d ->
+            let doms = Array.copy s.Spec.doms in
+            doms.(slot) <- d;
+            let cubes =
+              List.map
+                (List.map (fun (t, v) ->
+                     if t = slot then (t, Spec.clamp_value d v) else (t, v)))
+                s.Spec.cubes
+            in
+            Some { s with Spec.doms; cubes })
+      (Spec.live_slots s)
+  in
+  let blank_guards =
+    List.filter_map
+      (fun (i, a) ->
+        if a.Spec.a_guard = Expr.True then None
+        else
+          Some
+            {
+              s with
+              Spec.actions =
+                List.mapi
+                  (fun j a' -> if j = i then { a' with Spec.a_guard = Expr.True } else a')
+                  s.Spec.actions;
+            })
+      (List.mapi (fun i a -> (i, a)) s.Spec.actions)
+  in
+  let drop_cubes =
+    if List.length s.Spec.cubes < 2 then []
+    else List.mapi (fun i _ -> { s with Spec.cubes = remove_nth i s.Spec.cubes }) s.Spec.cubes
+  in
+  let shrink_cubes =
+    List.concat
+      (List.mapi
+         (fun ci cube ->
+           if List.length cube < 2 then []
+           else
+             List.mapi
+               (fun li _ ->
+                 {
+                   s with
+                   Spec.cubes =
+                     List.mapi
+                       (fun cj c -> if cj = ci then remove_nth li c else c)
+                       s.Spec.cubes;
+                 })
+               cube)
+         s.Spec.cubes)
+  in
+  drop_actions @ drop_vars @ drop_faults @ narrow_doms @ blank_guards
+  @ drop_cubes @ shrink_cubes
+
+let minimize ?(max_evals = 400) ~oracle spec (failure : Oracle.failure) =
+  let evals = ref 0 in
+  let accepted = ref 0 in
+  let best = ref (spec, failure) in
+  let try_candidate c =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      match oracle c with
+      | Some f when f.Oracle.oracle = failure.Oracle.oracle ->
+          incr accepted;
+          best := (c, f);
+          true
+      | _ -> false
+    end
+  in
+  let rec fixpoint () =
+    if !evals >= max_evals then ()
+    else
+      let cur, _ = !best in
+      match List.find_opt try_candidate (candidates cur) with
+      | Some _ -> fixpoint ()
+      | None -> ()
+  in
+  fixpoint ();
+  let min_spec, min_failure = !best in
+  (min_spec, min_failure, { evals = !evals; accepted = !accepted })

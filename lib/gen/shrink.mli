@@ -1,0 +1,29 @@
+(** Counterexample minimization.
+
+    Greedy delta debugging over {!Spec.t}: repeatedly try structural
+    reductions — drop a program action, drop a fault action, delete a
+    variable, narrow a domain, blank a guard, simplify the invariant —
+    keeping a candidate only when the caller's oracle still reports a
+    failure of the {e same} oracle. Reductions re-materialize through
+    {!Spec.materialize}, so every candidate is a well-formed model and the
+    minimized spec reproduces its failure from scratch.
+
+    The oracle predicate must be deterministic (the fuzz driver rebuilds
+    the oracle PRNG from the trial seed on every evaluation), otherwise
+    minimization can chase noise. *)
+
+type stats = {
+  evals : int;  (** oracle evaluations spent *)
+  accepted : int;  (** reductions that kept the failure *)
+}
+
+val minimize :
+  ?max_evals:int ->
+  oracle:(Spec.t -> Oracle.failure option) ->
+  Spec.t ->
+  Oracle.failure ->
+  Spec.t * Oracle.failure * stats
+(** [minimize ~oracle spec failure] returns a (locally) minimal spec that
+    still fails the same oracle, the failure it produces, and the search
+    cost. [max_evals] (default [400]) caps oracle evaluations; the best
+    spec found so far is returned when the cap is hit. *)

@@ -1,0 +1,151 @@
+module Domain = Guarded.Domain
+module Var = Guarded.Var
+module Expr = Guarded.Expr
+module Env = Guarded.Env
+module Action = Guarded.Action
+module Program = Guarded.Program
+module State = Guarded.State
+module Compile = Guarded.Compile
+
+type action_spec = {
+  a_name : string;
+  a_guard : Expr.boolean;
+  a_assigns : (int * Expr.num) list;
+}
+
+type t = {
+  title : string;
+  doms : Domain.t array;
+  live : bool array;
+  actions : action_spec list;
+  faults : action_spec list;
+  cubes : (int * int) list list;
+}
+
+let slot_name i = Printf.sprintf "v%d" i
+
+let canonical_var spec i =
+  Var.make ~name:(slot_name i) ~index:i ~domain:spec.doms.(i)
+
+let live_slots spec =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter
+          (fun i -> spec.live.(i))
+          (Seq.init (Array.length spec.doms) Fun.id)))
+
+let action_count spec = List.length spec.actions
+let fault_count spec = List.length spec.faults
+
+let space_size spec =
+  Array.to_list spec.doms
+  |> List.mapi (fun i d -> if spec.live.(i) then Domain.size d else 1)
+  |> List.fold_left (fun acc n -> acc *. float_of_int n) 1.0
+
+let bounds = function
+  | Domain.Bool -> (0, 1)
+  | Domain.Range { lo; hi } -> (lo, hi)
+  | Domain.Enum { labels; _ } -> (0, Array.length labels - 1)
+
+let clamp_value dom v =
+  let lo, hi = bounds dom in
+  if v < lo then lo else if v > hi then hi else v
+
+type model = {
+  spec : t;
+  env : Env.t;
+  program : Program.t;
+  fault_actions : Action.t list;
+  fault : Sim.Fault.t;
+  invariant_expr : Expr.boolean;
+  invariant : State.t -> bool;
+  legit : State.t;
+}
+
+let materialize spec =
+  if not (Array.exists Fun.id spec.live) then
+    invalid_arg "Spec.materialize: no live slot";
+  if spec.cubes = [] then invalid_arg "Spec.materialize: no invariant cube";
+  let env = Env.create () in
+  let var_map =
+    Array.mapi
+      (fun i dom -> if spec.live.(i) then Some (Env.fresh env (slot_name i) dom) else None)
+      spec.doms
+  in
+  (* Substitute canonical slot handles by the fresh environment's
+     variables; dead slots become the first value of their domain. *)
+  let subst_fn v =
+    let i = Var.index v in
+    match var_map.(i) with
+    | Some nv -> Some (Expr.Var nv)
+    | None -> Some (Expr.Const (Domain.first spec.doms.(i)))
+  in
+  let clamp_rhs dom rhs =
+    let lo, hi = bounds dom in
+    if lo = hi then Expr.Const lo
+    else Expr.simplify_num (Expr.max_ (Expr.min_ rhs (Expr.Const hi)) (Expr.Const lo))
+  in
+  let mat_action a =
+    let assigns =
+      List.filter_map
+        (fun (slot, rhs) ->
+          match var_map.(slot) with
+          | None -> None
+          | Some nv ->
+              let rhs = Expr.subst_num subst_fn rhs in
+              Some (nv, clamp_rhs spec.doms.(slot) rhs))
+        a.a_assigns
+    in
+    match assigns with
+    | [] -> None
+    | _ ->
+        let guard = Expr.simplify (Expr.subst subst_fn a.a_guard) in
+        Some (Action.make ~name:a.a_name ~guard assigns)
+  in
+  let prog_actions = List.filter_map mat_action spec.actions in
+  let fault_actions = List.filter_map mat_action spec.faults in
+  let program = Program.make ~name:spec.title env prog_actions in
+  let cube_expr cube =
+    Expr.conj
+      (List.filter_map
+         (fun (slot, v) ->
+           match var_map.(slot) with
+           | None -> None
+           | Some nv ->
+               let v = clamp_value spec.doms.(slot) v in
+               Some (Expr.Cmp (Expr.Eq, Expr.Var nv, Expr.Const v)))
+         cube)
+  in
+  let invariant_expr = Expr.simplify (Expr.disj (List.map cube_expr spec.cubes)) in
+  let invariant = Compile.pred invariant_expr in
+  let legit = State.make env in
+  List.iter
+    (fun (slot, v) ->
+      match var_map.(slot) with
+      | None -> ()
+      | Some nv -> State.set legit nv (clamp_value spec.doms.(slot) v))
+    (List.hd spec.cubes);
+  let fault = Sim.Fault.of_actions (spec.title ^ "-faults") ~burst:1 fault_actions in
+  {
+    spec;
+    env;
+    program;
+    fault_actions;
+    fault;
+    invariant_expr;
+    invariant;
+    legit;
+  }
+
+let pp ppf spec =
+  let m = materialize spec in
+  Format.fprintf ppf "@[<v>%a@,invariant: %a@," Program.pp m.program Expr.pp
+    m.invariant_expr;
+  (match m.fault_actions with
+  | [] -> Format.fprintf ppf "faults: (none)"
+  | fs ->
+      Format.fprintf ppf "faults:@,";
+      List.iter (fun a -> Format.fprintf ppf "  %a@," Action.pp a) fs);
+  Format.fprintf ppf "@,states: %.0f@]" (space_size spec)
+
+let to_string spec = Format.asprintf "%a" pp spec

@@ -1,0 +1,78 @@
+(** Pure descriptions of generated models.
+
+    A spec is plain data: variable slots with finite domains, guarded
+    actions whose expressions refer to slots through canonical
+    {!Guarded.Var.t} handles (index = slot), a fault action set, and an
+    invariant in disjunctive cube form. Specs exist so that the shrinker
+    ({!Shrink}) can mutate a failing instance structurally — delete a slot,
+    narrow a domain, drop an action — and {e re-materialize} a well-formed
+    program from what is left. Well-formedness is by construction: every
+    assignment right-hand side is clamped into the target's domain at
+    materialization, so no generated or shrunk model can raise
+    [State.Domain_violation].
+
+    Slots are never renumbered. Deleting a variable marks its slot dead;
+    materialization declares only live slots in a fresh environment and
+    substitutes dead occurrences by the first value of their domain. *)
+
+type action_spec = {
+  a_name : string;
+  a_guard : Guarded.Expr.boolean;  (** over the canonical slot variables *)
+  a_assigns : (int * Guarded.Expr.num) list;
+      (** [(slot, rhs)]; slots distinct within an action *)
+}
+
+type t = {
+  title : string;  (** e.g. ["ring-4"] — the topology flavor used *)
+  doms : Guarded.Domain.t array;  (** slot [i]'s domain; fixed length *)
+  live : bool array;  (** dead slots are substituted out *)
+  actions : action_spec list;  (** program actions, names ["a<i>"] *)
+  faults : action_spec list;  (** fault actions, names ["fault:<i>"] *)
+  cubes : (int * int) list list;
+      (** invariant: disjunction of cubes; a cube conjoins [slot = value]
+          literals over distinct live slots *)
+}
+
+val canonical_var : t -> int -> Guarded.Var.t
+(** The canonical handle for a slot, as embedded in spec expressions. *)
+
+val live_slots : t -> int list
+val action_count : t -> int
+val fault_count : t -> int
+
+val space_size : t -> float
+(** Product of the live slots' domain sizes. *)
+
+val bounds : Guarded.Domain.t -> int * int
+(** Smallest and largest legal value of a domain. *)
+
+val clamp_value : Guarded.Domain.t -> int -> int
+(** Clamp an int into the domain's value range. *)
+
+(** A spec made executable: a fresh environment, the program, the fault
+    class in both views, and the compiled invariant. *)
+type model = {
+  spec : t;
+  env : Guarded.Env.t;
+  program : Guarded.Program.t;
+  fault_actions : Guarded.Action.t list;
+  fault : Sim.Fault.t;  (** action-set view, [burst = 1] *)
+  invariant_expr : Guarded.Expr.boolean;
+  invariant : Guarded.State.t -> bool;
+  legit : Guarded.State.t;
+      (** satisfies the first cube, hence the invariant *)
+}
+
+val materialize : t -> model
+(** Build the model. Total on any spec with at least one live slot and one
+    cube: dead slots are substituted by constants, right-hand sides are
+    clamped into their target domains, actions whose assignments all
+    target dead slots are dropped, and cube literals are clamped into the
+    (possibly narrowed) domains.
+    @raise Invalid_argument when no slot is live or [cubes] is empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the materialized program, fault actions, and invariant — the
+    human-readable form of a minimized counterexample. *)
+
+val to_string : t -> string

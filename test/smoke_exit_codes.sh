@@ -3,21 +3,29 @@
 #   0  success
 #   1  usage or instance-construction error
 #   2  failed certificate or convergence verdict
-#   3  state space over the eager engine's budget (Space.Too_large)
+#   3  state space over the eager engine's budget (Space.Too_large);
+#      for fuzz: a surviving minimized counterexample
 #   4  lazy exploration over budget (Engine.Region_overflow)
+# Every non-zero exit must also say why on stderr — a silent failure is a
+# bug regardless of the code.
 # Run from the repo root: sh test/smoke_exit_codes.sh
 set -u
 
 CLI="${CLI:-dune exec bin/nonmask_cli.exe --}"
 failed=0
+stderr_file="${TMPDIR:-/tmp}/nonmask_smoke_stderr.$$"
+trap 'rm -f "$stderr_file"' EXIT
 
 expect() {
   want="$1"
   shift
-  $CLI "$@" >/dev/null 2>&1
+  $CLI "$@" >/dev/null 2>"$stderr_file"
   got=$?
   if [ "$got" -ne "$want" ]; then
     echo "FAIL: nonmask $* -> exit $got, want $want"
+    failed=1
+  elif [ "$got" -ne 0 ] && ! [ -s "$stderr_file" ]; then
+    echo "FAIL: nonmask $* -> exit $got with empty stderr"
     failed=1
   else
     echo "ok:   nonmask $* -> exit $got"
@@ -32,6 +40,9 @@ expect 0 storm token-ring --nodes 3 -k 4 --rate 0.1 --trials 50
 expect 0 check token-ring --nodes 3 -k 3 --engine parallel --jobs 2
 expect 0 certify token-ring --nodes 3 -k 4 --faults corrupt:k=1 --engine parallel --jobs 2
 expect 0 storm token-ring --nodes 3 -k 4 --rate 0.1 --trials 50 --jobs 2
+# 0: a short differential fuzz run on a known-clean seed
+expect 0 fuzz --seed 42 --count 20
+expect 0 fuzz --seed 42 --count 20 --jobs 2
 # 1: unknown protocol, bad fault spec
 expect 1 check no-such-protocol
 expect 1 certify token-ring --nodes 3 -k 4 --faults corrupt:k=zero
@@ -40,10 +51,15 @@ expect 1 check token-ring --nodes 3 -k 3 --engine turbo
 expect 1 check token-ring --nodes 3 -k 3 --engine parallel --jobs 0
 expect 1 check token-ring --nodes 3 -k 3 --jobs -2
 expect 1 storm token-ring --nodes 3 -k 4 --jobs many
+# 1: fuzz flag validation — generators need at least two variables, and a
+# negative trial count is meaningless
+expect 1 fuzz --seed 42 --count 10 --max-vars 1
+expect 1 fuzz --seed 42 --count -5
 # 1: observability output files are opened up front — an unwritable path
 # fails fast instead of losing the trace at the end of a long run
 expect 1 check token-ring --nodes 3 -k 3 --trace-out /nonexistent-dir/trace.jsonl
 expect 1 storm token-ring --nodes 3 -k 4 --trials 10 --metrics-out /nonexistent-dir/metrics.json
+expect 1 fuzz --seed 42 --count 5 --trace-out /nonexistent-dir/trace.jsonl
 # 2: failed verdict / certificate
 expect 2 check xyz-bad
 expect 2 certify xyz-bad

@@ -153,6 +153,53 @@ let test_span_backend_agreement () =
   let e = span_fingerprint Engine.Eager and l = span_fingerprint Engine.Lazy in
   Alcotest.(check bool) "identical spans" true (e = l)
 
+(* Budget edge cases, on both backends. Budget 0 admits no fault step at
+   all, so the span is exactly the program-only closure of the roots;
+   any budget at least the span's fault diameter (here: one corrupting
+   fault per variable reaches every state) coincides with unbounded. *)
+let test_span_budget_edges () =
+  List.iter
+    (fun backend ->
+      let tr = Protocols.Token_ring.make ~nodes:3 ~k:4 in
+      let env = Protocols.Token_ring.env tr in
+      let engine = Engine.create ~backend env in
+      let bname = Engine.backend_name engine in
+      let cp = Compile.program (Protocols.Token_ring.combined tr) in
+      let fault = Fault.corrupt env ~k:1 in
+      let fp =
+        Compile.program
+          (Guarded.Program.make ~name:"faults" env (Fault.actions fault))
+      in
+      let from = Engine.Seeds [ Protocols.Token_ring.all_zero tr ] in
+      let span_at budget =
+        Faultspan.compute engine ~program:cp ?budget ~faults:fp ~from ()
+      in
+      (* budget 0: the span is the program-only closure *)
+      let span0 = span_at (Some 0) in
+      let closure = ref 0 in
+      Engine.iter_reachable engine cp ~from (fun _ -> incr closure);
+      Alcotest.(check int)
+        (bname ^ ": budget-0 span is the program closure")
+        !closure (Faultspan.count span0);
+      Alcotest.(check int)
+        (bname ^ ": budget-0 span has depth 0")
+        0
+        (Faultspan.max_depth span0);
+      (* budget >= diameter: one corrupt step per variable reaches any
+         state, so vars-many faults saturate — equal to unbounded *)
+      let n_vars = Array.length (Guarded.Env.vars env) in
+      let saturated = span_at (Some n_vars) in
+      let unbounded = span_at None in
+      Alcotest.(check int)
+        (bname ^ ": budget >= diameter equals unbounded")
+        (Faultspan.count unbounded)
+        (Faultspan.count saturated);
+      Alcotest.(check int)
+        (bname ^ ": saturated span covers the space")
+        (Faultspan.count unbounded)
+        (Space.size (Engine.space engine)))
+    [ Engine.Eager; Engine.Lazy ]
+
 let tolerance_fingerprint backend =
   let tr = Protocols.Token_ring.make ~nodes:3 ~k:4 in
   let engine = Engine.create ~backend (Protocols.Token_ring.env tr) in
@@ -281,6 +328,8 @@ let suite =
       test_span_equals_ball;
     Alcotest.test_case "eager/lazy agree on spans" `Quick
       test_span_backend_agreement;
+    Alcotest.test_case "span budget edge cases (0 and >= diameter)" `Quick
+      test_span_budget_edges;
     Alcotest.test_case "eager/lazy agree on tolerance verdicts" `Quick
       test_tolerance_backend_agreement;
     Alcotest.test_case "token ring tolerance certificate" `Quick

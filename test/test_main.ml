@@ -20,4 +20,5 @@ let () =
       ("derive", Test_derive.suite);
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
+      ("gen", Test_gen.suite);
     ]

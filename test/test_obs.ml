@@ -43,6 +43,32 @@ let test_json_escapes () =
   (* non-finite floats have no JSON representation; they render as null *)
   Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float nan))
 
+(* Roundtrip fuzzing with lib/gen's JSON generators: hostile strings
+   (every escape class, raw UTF-8, NUL), numeric edge cases (min_int,
+   max_int, negative zero, exponent-rendered magnitudes), and deep
+   nesting. Failures print the seed, which replays the exact value. *)
+let test_json_roundtrip_fuzz () =
+  for seed = 0 to 499 do
+    let v = Gen.Jsongen.value (Prng.create seed) in
+    let s = Json.to_string v in
+    match Json.of_string s with
+    | Ok v' ->
+        if v <> v' then
+          Alcotest.failf "seed %d: %s reparsed as %s" seed s (Json.to_string v')
+    | Error msg -> Alcotest.failf "seed %d: %s failed to parse: %s" seed s msg
+  done
+
+(* Negative zero survives: it renders as "-0.0" (never bare "-0", which
+   would reparse as Int) and compares equal structurally. *)
+let test_json_negative_zero () =
+  Alcotest.(check string) "renders with fraction" "-0.0"
+    (Json.to_string (Json.Float (-0.)));
+  match Json.of_string "-0.0" with
+  | Ok (Json.Float f) ->
+      Alcotest.(check bool) "sign bit kept" true (1. /. f = neg_infinity)
+  | Ok _ -> Alcotest.fail "not a float"
+  | Error msg -> Alcotest.fail ("parse failed: " ^ msg)
+
 let test_json_errors () =
   let bad = [ "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\":1} trailing" ] in
   List.iter
@@ -329,6 +355,9 @@ let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json roundtrip fuzz (500 seeds)" `Quick
+      test_json_roundtrip_fuzz;
+    Alcotest.test_case "json negative zero" `Quick test_json_negative_zero;
     Alcotest.test_case "json errors" `Quick test_json_errors;
     Alcotest.test_case "metrics basics" `Quick test_metrics_basics;
     Alcotest.test_case "metrics snapshot deterministic" `Quick

@@ -301,6 +301,37 @@ let test_percentile_edge_cases () =
   Alcotest.(check (float 1e-9)) "q<0 clamps" 1.0 (Stats.percentile sorted (-0.5));
   Alcotest.(check (float 1e-9)) "q>1 clamps" 3.0 (Stats.percentile sorted 1.5)
 
+(* The interpolating percentile agrees with a naive sort-based
+   nearest-rank reference to within one rank, on random inputs of random
+   sizes, for the quantiles the summary actually reports. *)
+let test_percentile_vs_nearest_rank () =
+  let quantiles = [ 0.0; 0.5; 0.9; 0.99; 1.0 ] in
+  for seed = 0 to 49 do
+    let rng = Prng.create seed in
+    let n = 1 + Prng.int rng 200 in
+    let data =
+      Array.init n (fun _ -> Prng.float rng 1000.0 -. 500.0)
+    in
+    let sorted = Array.copy data in
+    Array.sort compare sorted;
+    List.iter
+      (fun q ->
+        let got = Stats.percentile sorted q in
+        (* nearest rank: smallest index r with (r+1)/n >= q *)
+        let rank =
+          min (n - 1)
+            (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1))
+        in
+        let lo = sorted.(max 0 (rank - 1)) in
+        let hi = sorted.(min (n - 1) (rank + 1)) in
+        if not (got >= lo && got <= hi) then
+          Alcotest.failf
+            "seed %d n %d q %g: percentile %g outside one-rank bracket \
+             [%g, %g] around rank %d"
+            seed n q got lo hi rank)
+      quantiles
+  done
+
 (* --- Experiment --- *)
 
 let test_experiment_trials () =
@@ -375,6 +406,8 @@ let suite =
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile_interpolation;
     Alcotest.test_case "stats percentile edge cases" `Quick
       test_percentile_edge_cases;
+    Alcotest.test_case "stats percentile vs nearest-rank reference" `Quick
+      test_percentile_vs_nearest_rank;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "experiment trials" `Quick test_experiment_trials;
     Alcotest.test_case "experiment reproducible" `Quick test_experiment_reproducible;
