@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke fuzz bench clean
+.PHONY: all build test check smoke fuzz bench e19-smoke clean
 
 all: build
 
@@ -36,6 +36,11 @@ fuzz:
 
 bench:
 	dune exec bench/main.exe
+
+# Bounded large-state leg: the E19 flat-storage tier at 10^6 states
+# (the full 10^8 tier is `dune exec bench/main.exe -- e19`).
+e19-smoke:
+	dune exec bench/main.exe -- e19-smoke --metrics-out bench-e19-metrics.json
 
 clean:
 	dune clean

@@ -1,4 +1,4 @@
-(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E17)
+(* Experiment harness: regenerates every table of EXPERIMENTS.md (E1-E19)
    and runs the bechamel microbenchmarks (micro / B1-B6).
 
    Usage:
@@ -892,16 +892,28 @@ let e14 () =
             fun () -> Engine.Seeds (Engine.ball env ~center:(legit ()) ~radius:r)
           )
     in
+    (* flat-storage bytes per explored state; the eager backend's cost
+       lives in the CSR relation, not a visited table, so its cell is "-" *)
+    let bytes_cell engine explored =
+      let b = Engine.storage_bytes engine in
+      if b = 0 || explored = 0 then "-"
+      else Printf.sprintf "%.1f" (float_of_int b /. float_of_int explored)
+    in
     let outcome =
       match
-        time (fun () ->
-            let engine = Engine.create ~backend env in
-            Convergence.check_unfair engine cp ~from:(from ()) ~target:invariant)
+        let engine = Engine.create ~backend env in
+        let verdict, ms =
+          time (fun () ->
+              Convergence.check_unfair engine cp ~from:(from ())
+                ~target:invariant)
+        in
+        (engine, verdict, ms)
       with
-      | exception Space.Too_large _ -> [ "-"; "-"; "over eager cap"; "-" ]
+      | exception Space.Too_large _ -> [ "-"; "-"; "over eager cap"; "-"; "-" ]
       | exception Engine.Region_overflow n ->
-          [ Table.i n; "-"; "over lazy budget"; "-" ]
-      | Ok { Convergence.region_states; explored; worst_case_steps }, ms ->
+          [ Table.i n; "-"; "over lazy budget"; "-"; "-" ]
+      | engine, Ok { Convergence.region_states; explored; worst_case_steps }, ms
+        ->
           [
             Table.i explored;
             Table.i region_states;
@@ -909,9 +921,12 @@ let e14 () =
             | Some w -> Printf.sprintf "converges (worst %d)" w
             | None -> "converges");
             Table.f1 ms;
+            bytes_cell engine explored;
           ]
-      | Error (Convergence.Deadlock _), ms -> [ "-"; "-"; "DEADLOCK"; Table.f1 ms ]
-      | Error (Convergence.Livelock _), ms -> [ "-"; "-"; "LIVELOCK"; Table.f1 ms ]
+      | _, Error (Convergence.Deadlock _), ms ->
+          [ "-"; "-"; "DEADLOCK"; Table.f1 ms; "-" ]
+      | _, Error (Convergence.Livelock _), ms ->
+          [ "-"; "-"; "LIVELOCK"; Table.f1 ms; "-" ]
     in
     name :: states :: from_desc :: backend_name backend :: outcome
   in
@@ -967,10 +982,11 @@ let e14 () =
     ~title:
       "E14: exploration engines - eager CSR vs lazy frontier (explored = \
        states visited, the peak-memory driver; ball-R = states within R \
-       faults of legitimacy)"
+       faults of legitimacy; B/state = flat visited-set + frontier bytes \
+       per explored state)"
     ~header:
       [ "instance"; "space"; "roots"; "engine"; "explored"; "region";
-        "verdict"; "ms" ]
+        "verdict"; "ms"; "B/state" ]
     rows
 
 (* micro — bechamel microbenchmarks of the substrate (B1-B6). *)
@@ -1188,23 +1204,33 @@ let e16 () =
     | Error (Convergence.Deadlock _) -> "deadlock"
     | Error (Convergence.Livelock _) -> "livelock"
   in
+  let bytes_cell engine = function
+    | Ok { Convergence.explored; _ } when explored > 0 ->
+        let b = Engine.storage_bytes engine in
+        if b = 0 then "-"
+        else Printf.sprintf "%.1f" (float_of_int b /. float_of_int explored)
+    | _ -> "-"
+  in
   let instance_rows (name, env, cp, invariant) =
     let check backend jobs =
       let engine = Engine.create ~backend ~jobs env in
-      Convergence.check_unfair engine cp ~from:Engine.All ~target:invariant
+      let verdict =
+        Convergence.check_unfair engine cp ~from:Engine.All ~target:invariant
+      in
+      (engine, verdict)
     in
-    let seq, seq_ms = time (fun () -> check Engine.Lazy 1) in
+    let (seq_eng, seq), seq_ms = time (fun () -> check Engine.Lazy 1) in
     let seq_sig = verdict_sig seq in
     (* bind the baseline row now: [::] evaluates right to left, and the
        rss cell must be sampled before the parallel runs move the peak *)
     let base_row =
       [ name; "lazy"; "-"; Table.f1 seq_ms; "1.00"; "baseline";
-        Table.f1 (peak_rss_mb ()) ]
+        Table.f1 (peak_rss_mb ()); bytes_cell seq_eng seq ]
     in
     (base_row
     :: List.map
          (fun jobs ->
-           let par, ms = time (fun () -> check Engine.Parallel jobs) in
+           let (par_eng, par), ms = time (fun () -> check Engine.Parallel jobs) in
            [
              name;
              "parallel";
@@ -1213,6 +1239,7 @@ let e16 () =
              Printf.sprintf "%.2f" (seq_ms /. ms);
              (if verdict_sig par = seq_sig then "= lazy" else "DIFFERS");
              Table.f1 (peak_rss_mb ());
+             bytes_cell par_eng par;
            ])
          job_counts)
   in
@@ -1244,9 +1271,11 @@ let e16 () =
     ~title:
       "E16: parallel engine scaling - full convergence check per job count \
        (verdict asserts bit-identical stats vs the sequential lazy backend; \
-       peak-rss MB is the process high-water mark, monotone across rows)"
+       peak-rss MB is the process high-water mark, monotone across rows; \
+       B/state = flat visited + frontier bytes per explored state)"
     ~header:
-      [ "instance"; "engine"; "jobs"; "ms"; "speedup"; "verdict"; "rss MB" ]
+      [ "instance"; "engine"; "jobs"; "ms"; "speedup"; "verdict"; "rss MB";
+        "B/state" ]
     (List.concat_map instance_rows instances);
   (* Storm trials over the same pool: independent trials, pre-split PRNG
      streams, so the statistics must agree exactly at every job count. *)
@@ -1467,7 +1496,7 @@ let e18 () =
     ~title:
       (Printf.sprintf
          "E18: fuzz throughput - %d clean trials per generator size, all \
-          seven oracles per trial (seed %d)"
+          eight oracles per trial (seed %d)"
          count seed)
     ~header:[ "size"; "trials"; "cex"; "ms"; "trials/s" ]
     throughput_rows;
@@ -1515,6 +1544,233 @@ let e18 () =
       [ "size"; "cex"; "orig actions"; "min actions"; "worst min"; "evals" ]
     shrink_rows
 
+(* E19: flat-storage scale tier over two synthetic 10^vars-state models.
+   The "odometer" is a base-10 counter with carry - exactly one action
+   enabled per state, so reachability from zero is a single 10^vars-state
+   chain and the frontier stays one state wide: the visited table IS the
+   cost of the search, which makes it the headline bytes/state instance.
+   The "grid" drops the carry (every digit increments independently), so
+   every state has [vars] successors and the search has real frontier
+   width and real parallel structure: it drives the storage-comparison
+   and determinism legs. [e19] runs the 10^8-state tier; [e19-smoke] is
+   the same shape at 10^6 for CI. *)
+let grid_model vars =
+  let env = Guarded.Env.create () in
+  let xs = Guarded.Env.fresh_family env "c" vars (Guarded.Domain.range 0 9) in
+  let actions =
+    Array.to_list
+      (Array.mapi
+         (fun i x ->
+           Guarded.Action.make
+             ~name:(Printf.sprintf "inc.%d" i)
+             ~guard:Guarded.Expr.tt
+             [ (x, Guarded.Expr.((var x + int 1) mod int 10)) ])
+         xs)
+  in
+  let p =
+    Guarded.Program.make ~name:(Printf.sprintf "grid-%d" vars) env actions
+  in
+  (env, Compile.program p)
+
+let odometer_model vars =
+  let env = Guarded.Env.create () in
+  let xs = Guarded.Env.fresh_family env "c" vars (Guarded.Domain.range 0 9) in
+  (* action i fires when digits 0..i-1 are all 9 and digit i is not:
+     digit i steps, the lower digits wrap to 0 - a textbook carry, so
+     exactly one action is enabled everywhere except all-nines. *)
+  let actions =
+    List.init vars (fun i ->
+        let open Guarded.Expr in
+        let lower_nines =
+          conj (List.init i (fun j -> var xs.(j) = int 9))
+        in
+        Guarded.Action.make
+          ~name:(Printf.sprintf "carry.%d" i)
+          ~guard:(lower_nines && var xs.(i) <> int 9)
+          ((xs.(i), var xs.(i) + int 1)
+          :: List.init i (fun j -> (xs.(j), int 0))))
+  in
+  let p =
+    Guarded.Program.make ~name:(Printf.sprintf "odometer-%d" vars) env actions
+  in
+  (env, Compile.program p)
+
+(* Resident-set growth of the process, for pricing the boxed baseline.
+   Live-words undercounts what a boxed Hashtbl really costs a process:
+   every resize strands the previous bucket array in the major heap, and
+   the freed space is not returned to the OS. VmRSS (current, not the
+   VmHWM high-water mark) captures exactly that, and the flat tables are
+   churn-free so their RSS growth matches [Engine.storage_bytes]. *)
+let vm_rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rv = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           try Scanf.sscanf line "VmRSS: %d kB" (fun kb -> rv := kb * 1024)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !rv
+
+(* Bytes per entry of the boxed [(int, int) Hashtbl] + [Queue] pair the
+   flat layer replaced, holding [n] visited bindings, measured as RSS
+   growth after compacting the heap. Measured, not assumed, so the
+   "vs boxed" ratio in E19 tracks the runtime we actually ship. *)
+let boxed_baseline_bytes_per_entry n =
+  Gc.compact ();
+  let before = vm_rss_bytes () in
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let q : int Queue.t = Queue.create () in
+  for i = 0 to n - 1 do
+    Hashtbl.replace tbl i i;
+    Queue.add i q;
+    if Queue.length q > 1 then ignore (Queue.pop q)
+  done;
+  Gc.full_major ();
+  let after = vm_rss_bytes () in
+  ignore (Sys.opaque_identity (Hashtbl.length tbl, Queue.length q));
+  float_of_int (after - before) /. float_of_int n
+
+let e19_run ~vars ~det_vars ~baseline_keys () =
+  let pow10 n = int_of_float (10.0 ** float_of_int n) in
+  let sweep ?(backend = Engine.Lazy) ?(jobs = 1) ?(packed_keys = false)
+      ~storage model nvars target =
+    let env, cp = model nvars in
+    let zero = Guarded.State.init env (fun _ -> 0) in
+    let engine =
+      Engine.create ~backend ~max_states:(4 * pow10 nvars) ~jobs ~storage
+        ~packed_keys env
+    in
+    let region, ms =
+      time (fun () ->
+          Engine.region engine cp ~from:(Engine.Seeds [ zero ]) ~target)
+    in
+    (engine, region, ms)
+  in
+  let bytes_per_state engine (region : Engine.region) =
+    float_of_int (Engine.storage_bytes engine)
+    /. float_of_int region.Engine.explored
+  in
+  let all _ = true in
+  (* Headline: full odometer sweep vs the boxed baseline. *)
+  let base_bpe = boxed_baseline_bytes_per_entry baseline_keys in
+  let eng, reg, ms = sweep ~storage:Engine.Direct odometer_model vars all in
+  let bps = bytes_per_state eng reg in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E19: flat-storage scale tier - odometer-%d, %s reachable states \
+          swept from the zero seed (B/state = visited + frontier high-water \
+          bytes per explored state; baseline = RSS growth of the boxed \
+          Hashtbl+Queue pair the flat layer replaced)"
+         vars (Table.i (pow10 vars)))
+    ~header:[ "storage"; "states"; "ms"; "states/s"; "B/state"; "vs boxed" ]
+    [
+      [
+        Printf.sprintf "boxed Hashtbl (%s int keys)" (Table.i baseline_keys);
+        Table.i baseline_keys; "-"; "-";
+        Printf.sprintf "%.1f" base_bpe; "1.0x";
+      ];
+      [
+        "flat direct (lazy)";
+        Table.i reg.Engine.explored;
+        Table.f1 ms;
+        Printf.sprintf "%.3g"
+          (float_of_int reg.Engine.explored /. (ms /. 1000.0));
+        Printf.sprintf "%.1f" bps;
+        Printf.sprintf "%.1fx" (base_bpe /. bps);
+      ];
+    ];
+  (* Storage/keying comparison at the smaller tier: every representation
+     must visit exactly the same set of states. *)
+  let legs =
+    [
+      ("direct", Engine.Direct, false);
+      ("probed", Engine.Probed, false);
+      ("probed + packed keys", Engine.Probed, true);
+    ]
+  in
+  let comparison =
+    List.map
+      (fun (label, storage, packed_keys) ->
+        let e, r, ms = sweep ~storage ~packed_keys grid_model det_vars all in
+        (label, e, r, ms))
+      legs
+  in
+  let _, _, ref_reg, _ = List.hd comparison in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E19 (cont.): storage representations - grid-%d sweep, %s states \
+          (every leg must explore the same set)"
+         det_vars (Table.i (pow10 det_vars)))
+    ~header:[ "storage"; "explored"; "ms"; "B/state"; "verdict" ]
+    (List.map
+       (fun (label, e, (r : Engine.region), ms) ->
+         [
+           label;
+           Table.i r.Engine.explored;
+           Table.f1 ms;
+           Printf.sprintf "%.1f" (bytes_per_state e r);
+           (if r.Engine.explored = ref_reg.Engine.explored then "= direct"
+            else "DIFFERS");
+         ])
+       comparison);
+  (* Determinism at scale: a real region query (the digit-sum slice) on
+     the full tier - the lazy and parallel backends must produce
+     bit-identical regions at every job count (the E16 contract, now over
+     flat storage). *)
+  let slice_sum = 9 * vars / 2 in
+  let slice s =
+    let sum = ref 0 in
+    for i = 0 to vars - 1 do
+      sum := !sum + Guarded.State.get_index s i
+    done;
+    !sum <> slice_sum
+  in
+  let _, lazy_reg, lazy_ms = sweep ~storage:Engine.Auto grid_model vars slice in
+  let par_rows =
+    List.map
+      (fun jobs ->
+        let _, preg, pms =
+          sweep ~backend:Engine.Parallel ~jobs ~storage:Engine.Auto grid_model
+            vars slice
+        in
+        let same =
+          preg.Engine.explored = lazy_reg.Engine.explored
+          && preg.Engine.node_key = lazy_reg.Engine.node_key
+        in
+        [
+          "parallel"; string_of_int jobs;
+          Table.i preg.Engine.explored;
+          Table.i (Array.length preg.Engine.node_key);
+          Table.f1 pms;
+          (if same then "= lazy (bit-identical)" else "DIFFERS");
+        ])
+      [ 1; 4 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E19 (cont.): determinism at scale - region of digit-sum = %d over \
+          grid-%d (node keys compared element-wise vs the lazy run)"
+         slice_sum vars)
+    ~header:[ "engine"; "jobs"; "explored"; "region"; "ms"; "verdict" ]
+    ([
+       "lazy"; "-";
+       Table.i lazy_reg.Engine.explored;
+       Table.i (Array.length lazy_reg.Engine.node_key);
+       Table.f1 lazy_ms; "baseline";
+     ]
+    :: par_rows)
+
+let e19 () = e19_run ~vars:8 ~det_vars:7 ~baseline_keys:10_000_000 ()
+let e19_smoke () = e19_run ~vars:6 ~det_vars:5 ~baseline_keys:1_000_000 ()
+
 let experiments =
   [
     ("e1", e1);
@@ -1535,6 +1791,8 @@ let experiments =
     ("e16", e16);
     ("e17", e17);
     ("e18", e18);
+    ("e19", e19);
+    ("e19-smoke", e19_smoke);
     ("micro", micro);
   ]
 
@@ -1557,7 +1815,9 @@ let () =
   in
   let requested =
     match parse [] (List.tl (Array.to_list Sys.argv)) with
-    | [] -> List.map fst experiments
+    (* the no-arg run covers everything except the 100M-state e19 tier
+       (minutes of wall clock); its e19-smoke twin stands in for it *)
+    | [] -> List.filter (fun n -> n <> "e19") (List.map fst experiments)
     | names -> names
   in
   let obs =

@@ -398,6 +398,12 @@ let report_overflow i = function
          lazy (and --ball R for huge spaces) or raise --max-states\n"
         i.i_name total;
       exit exit_too_large
+  | Explore.Codec.Overflow { layout; bits; states } ->
+      Printf.eprintf
+        "error: %s has ~%.3g states, more than the %s state encoding can \
+         address (%d bits needed); shrink the instance\n"
+        i.i_name states layout bits;
+      exit exit_too_large
   | Explore.Engine.Region_overflow n ->
       Printf.eprintf
         "error: %s: lazy exploration exceeded the budget after %d states; \

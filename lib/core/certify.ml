@@ -138,22 +138,26 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
         Array.append prog.Guarded.Compile.actions fprog.Guarded.Compile.actions
       else prog.Guarded.Compile.actions
     in
-    (* Scan [states] from [lo], stopping at the first violating action in
-       state order × action order. *)
-    let first_violation acts post (states : Guarded.State.t array) lo hi =
+    (* Stream the span by index in {!Explore.Faultspan.iter} order —
+       decode-on-demand into a scan buffer instead of materializing
+       |T| boxed states — stopping at the first violating action in
+       state order × action order. The order is the same for the
+       sequential and the chunk-ordered parallel scan, so both report
+       the same first violation. *)
+    let first_violation acts buf post lo hi =
       let violation = ref None in
       (try
          for i = lo to hi - 1 do
-           let s = states.(i) in
+           Explore.Faultspan.decode_nth_into span i buf;
            Array.iter
              (fun (ca : Guarded.Compile.action) ->
-               if ca.enabled s then begin
-                 ca.apply_into s post;
+               if ca.enabled buf then begin
+                 ca.apply_into buf post;
                  if not (Explore.Faultspan.mem span post) then begin
                    violation :=
                      Some
                        (Format.asprintf "%a  --[%s]-->  %a  (outside T)"
-                          (Guarded.State.pp env) s
+                          (Guarded.State.pp env) buf
                           (Guarded.Action.name ca.Guarded.Compile.source)
                           (Guarded.State.pp env) post);
                    raise Exit
@@ -164,23 +168,17 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
        with Exit -> ());
       !violation
     in
-    (* Materialize the span in {!Explore.Faultspan.iter} order so both the
-       sequential and the parallel scan report the same first violation. *)
-    let states =
-      let acc = ref [] in
-      Explore.Faultspan.iter span (fun s ->
-          acc := Guarded.State.copy s :: !acc);
-      Array.of_list (List.rev !acc)
-    in
-    let n = Array.length states in
+    let n = Explore.Faultspan.count span in
     let jobs = Explore.Engine.jobs engine in
     let violation =
       if Explore.Engine.backend engine <> Explore.Engine.Parallel || jobs = 1
-      then first_violation (compile_acts cp fp) (Guarded.State.make env) states 0 n
+      then
+        first_violation (compile_acts cp fp) (Guarded.State.make env)
+          (Guarded.State.make env) 0 n
       else
         Par.Pool.with_pool ~jobs @@ fun pool ->
         (* Compiled actions carry private scratch, so each worker domain
-           recompiles its own copies. *)
+           recompiles its own copies; decode buffers are per-worker too. *)
         let worker_acts =
           Array.init (Par.Pool.jobs pool) (fun w ->
               if w = 0 then compile_acts cp fp
@@ -189,6 +187,9 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
                   (Guarded.Compile.program cp.Guarded.Compile.source)
                   (Guarded.Compile.program fp.Guarded.Compile.source))
         in
+        let worker_buf =
+          Array.init (Par.Pool.jobs pool) (fun _ -> Guarded.State.make env)
+        in
         let worker_post =
           Array.init (Par.Pool.jobs pool) (fun _ -> Guarded.State.make env)
         in
@@ -196,8 +197,8 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
            sequential scan would have reported. *)
         Par.Pool.map_reduce pool ~n
           ~map:(fun ~worker lo hi ->
-            first_violation worker_acts.(worker) worker_post.(worker) states
-              lo hi)
+            first_violation worker_acts.(worker) worker_buf.(worker)
+              worker_post.(worker) lo hi)
           (fun acc v -> match acc with Some _ -> acc | None -> v)
           None
     in

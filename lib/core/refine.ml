@@ -98,12 +98,11 @@ let check ?(within = fun _ -> true) ~abstract_env ~engine ~abstract_program
      states where [within ∧ ¬invariant] holds, restricted to stutter edges
      (projected pre = projected post), must be acyclic. *)
   (if !failure = None then
-     let space = Engine.space engine in
      let region =
        Engine.region engine conc_cp ~from:Engine.All
          ~target:(fun s -> (not (within s)) || concrete_invariant s)
      in
-     let abs_of = Array.map (fun key -> project (Space.decode space key))
+     let abs_of = Array.map (fun key -> project (Engine.decode_key engine key))
          region.Engine.node_key
      in
      let stutters (e : _ Dgraph.Digraph.edge) =

@@ -18,12 +18,11 @@ type verdict =
 
 (* First terminal member of the region, scanning with early exit. *)
 let find_deadlock engine (region : Engine.region) =
-  let space = Engine.space engine in
   let n = Array.length region.node_key in
   let rec go i =
     if i >= n then None
     else if region.terminal.(i) then
-      Some (Deadlock (Space.decode space region.node_key.(i)))
+      Some (Deadlock (Engine.decode_key engine region.node_key.(i)))
     else go (i + 1)
   in
   go 0
@@ -31,7 +30,6 @@ let find_deadlock engine (region : Engine.region) =
 (* The exact unfair analysis of an already-built region: converges iff no
    member is terminal and the member graph is acyclic. *)
 let analyze_unfair engine (region : Engine.region) =
-  let space = Engine.space engine in
   match find_deadlock engine region with
   | Some f -> Error f
   | None -> (
@@ -40,7 +38,7 @@ let analyze_unfair engine (region : Engine.region) =
           Error
             (Livelock
                (List.map
-                  (fun v -> Space.decode space region.node_key.(v))
+                  (fun v -> Engine.decode_key engine region.node_key.(v))
                   nodes))
       | None ->
           let region_states = Array.length region.node_key in
@@ -66,21 +64,22 @@ let check_unfair engine cp ~from ~target =
    Decode/post buffers are reused across all (node, action) pairs. *)
 let scc_has_uniform_exit engine cp (region : Engine.region)
     (scc : Dgraph.Scc.t) comp members =
-  let space = Engine.space engine in
-  let buf = State.make (Space.env space) in
-  let post = State.make (Space.env space) in
+  let env = Engine.env engine in
+  let buf = State.make env in
+  let post = State.make env in
   let in_same_component node =
     node >= 0 && scc.Dgraph.Scc.component.(node) = comp
   in
   let action_works (ca : Compile.action) =
     List.for_all
       (fun node ->
-        Space.decode_into space region.node_key.(node) buf;
+        Engine.decode_key_into engine region.node_key.(node) buf;
         ca.enabled buf
         &&
         begin
           ca.apply_into buf post;
-          not (in_same_component (region.node_of_key (Space.encode space post)))
+          not
+            (in_same_component (region.node_of_key (Engine.encode_key engine post)))
         end)
       members
   in
@@ -92,7 +91,6 @@ let check_fair engine cp ~from ~target =
   | Ok stats -> Converges stats
   | Error (Deadlock _ as f) -> Fails f
   | Error (Livelock _) -> (
-      let space = Engine.space engine in
       let scc = Dgraph.Scc.compute region.graph in
       let bad = ref None in
       (try
@@ -116,7 +114,7 @@ let check_fair engine cp ~from ~target =
       | Some members ->
           let sample =
             List.filteri (fun i _ -> i < 10) members
-            |> List.map (fun v -> Space.decode space region.node_key.(v))
+            |> List.map (fun v -> Engine.decode_key engine region.node_key.(v))
           in
           Unknown sample
       | None ->

@@ -5,17 +5,23 @@ module Domain = Guarded.Domain
 module Compile = Guarded.Compile
 
 type backend = Eager | Lazy | Parallel
+type storage = Auto | Direct | Probed
 
 type t = {
   backend : backend;
   space : Space.t;
+  codec : Codec.t;
   budget : int;
   jobs : int;  (* worker-domain count for the parallel backend *)
+  packed : bool;  (* keys are bit-packed codes instead of dense ids *)
+  direct : bool;  (* visited sets are direct-mapped over the dense range *)
   obs : Obs.Ctx.t;
   mutable csr : (Compile.program * Tsys.t) option;
       (* Cache of the eager CSR build, keyed by physical equality of the
          compiled program: repeated queries against the same program (the
          common case: check_unfair then check_fair) build it once. *)
+  mutable last_visited_bytes : int;
+  mutable last_frontier_bytes : int;
 }
 
 exception Region_overflow of int
@@ -33,8 +39,14 @@ type region = {
   node_of_key : int -> int;
 }
 
+(* Direct-mapped visited tables pay 4 bytes per state of the whole dense
+   range up front, so they must both be materializable and not dwarf the
+   states the budget lets the search touch. *)
+let direct_auto_cap = 1 lsl 28
+let direct_hard_cap = 1 lsl 30
+
 let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
-    ?(obs = Obs.Ctx.disabled) env =
+    ?(storage = Auto) ?(packed_keys = false) ?(obs = Obs.Ctx.disabled) env =
   let jobs =
     match jobs with
     | Some j when j > 0 -> j
@@ -43,15 +55,42 @@ let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
   in
   match backend with
   | Eager ->
+      if packed_keys then
+        invalid_arg "Engine.create: packed keys need the lazy or parallel backend";
       let space = Space.create ~max_states env in
-      { backend; space; budget = Space.size space; jobs; obs; csr = None }
+      { backend; space; codec = Space.codec space; budget = Space.size space;
+        jobs; packed = false; direct = false; obs; csr = None;
+        last_visited_bytes = 0; last_frontier_bytes = 0 }
   | Lazy | Parallel ->
-      { backend; space = Space.create_unbounded env; budget = max_states;
-        jobs; obs; csr = None }
+      let space = Space.create_unbounded env in
+      let codec = Space.codec space in
+      if packed_keys then Codec.require_packed codec;
+      let direct =
+        match storage with
+        | Probed -> false
+        | Direct ->
+            if packed_keys then
+              invalid_arg "Engine.create: direct storage needs dense keys";
+            if Space.size space > direct_hard_cap then
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.create: direct storage needs a dense range of at \
+                    most 2^30 slots (space has %d)"
+                   (Space.size space));
+            true
+        | Auto ->
+            (not packed_keys)
+            && Space.size space <= direct_auto_cap
+            && Space.size space / 8 <= max_states
+      in
+      { backend; space; codec; budget = max_states; jobs; packed = packed_keys;
+        direct; obs; csr = None;
+        last_visited_bytes = 0; last_frontier_bytes = 0 }
 
 let of_space ?(obs = Obs.Ctx.disabled) space =
-  { backend = Eager; space; budget = Space.size space; jobs = 1; obs;
-    csr = None }
+  { backend = Eager; space; codec = Space.codec space;
+    budget = Space.size space; jobs = 1; packed = false; direct = false; obs;
+    csr = None; last_visited_bytes = 0; last_frontier_bytes = 0 }
 
 let backend t = t.backend
 
@@ -59,10 +98,45 @@ let backend_name t =
   match t.backend with Eager -> "eager" | Lazy -> "lazy" | Parallel -> "parallel"
 
 let space t = t.space
+let codec t = t.codec
 let env t = Space.env t.space
 let max_states t = t.budget
 let jobs t = t.jobs
 let obs t = t.obs
+let packed_keys t = t.packed
+
+let storage_name t =
+  match t.backend with
+  | Eager -> "csr"
+  | Lazy | Parallel -> if t.direct then "direct" else "probed"
+
+let storage_bytes t = t.last_visited_bytes + t.last_frontier_bytes
+
+(* --- state keys: how node_key / node_of_key values read --- *)
+
+let encode_key t s =
+  if t.packed then Codec.encode_packed t.codec s else Space.encode t.space s
+
+let decode_key_into t key s =
+  if t.packed then Codec.decode_packed_into t.codec key s
+  else Space.decode_into t.space key s
+
+let decode_key t key =
+  let s = State.make (env t) in
+  decode_key_into t key s;
+  s
+
+let make_visited t =
+  let direct =
+    match t.backend with
+    (* eager engines only need a Flatset for layered searches
+       (Faultspan); their space is already bounded, so direct-map it
+       whenever the range is materializable *)
+    | Eager -> Space.size t.space <= direct_auto_cap
+    | Lazy | Parallel -> t.direct
+  in
+  if direct then Flatset.direct ~size:(Space.size t.space)
+  else Flatset.probed ()
 
 let tsys t cp =
   match t.csr with
@@ -115,58 +189,62 @@ let check_budget t visited =
 (* Seed the search with the root states. [visit] classifies a state on
    first sight (assigning it a member node id when the target fails) and
    enqueues it. [All]/[Pred] need a sweep, so they require the space to
-   fit the budget; [Seeds] does not. *)
+   fit the budget; [Seeds] does not. Sweeps run in dense id order — the
+   canonical root order — whatever the key representation; under packed
+   keys the id is re-encoded from the state buffer. *)
 let seed_roots t ~from visit =
   let space = t.space in
   match from with
-  | Seeds l -> List.iter (fun s -> visit (Space.encode space s) s) l
+  | Seeds l -> List.iter (fun s -> visit (encode_key t s) s) l
   | All | Pred _ ->
       check_budget t (Space.size space);
       let p = match from with Pred p -> p | _ -> fun _ -> true in
-      Space.iter space (fun id s -> if p s then visit id s)
+      if t.packed then
+        Space.iter space (fun _ s ->
+            if p s then visit (Codec.encode_packed t.codec s) s)
+      else Space.iter space (fun id s -> if p s then visit id s)
 
 let lazy_region t cp ~from ~target =
-  let space = t.space in
   let actions = cp.Compile.actions in
   let n_actions = Array.length actions in
-  let visited : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let visited = make_visited t in
   let node_keys = Vec.create () in
   let terminal_nodes = ref [] in
   let edges = ref [] in
-  let queue = Queue.create () in
+  let queue = Flatqueue.create () in
   let explored = ref 0 in
   let visit key s =
-    if not (Hashtbl.mem visited key) then begin
+    if not (Flatset.mem visited key) then begin
       incr explored;
       check_budget t !explored;
       let node = if target s then -1 else Vec.push node_keys key in
-      Hashtbl.add visited key node;
-      Queue.add key queue
+      Flatset.add visited key node;
+      Flatqueue.push queue key
     end
   in
   seed_roots t ~from visit;
-  let buf = State.make (Space.env space) in
-  let post = State.make (Space.env space) in
+  let buf = State.make (env t) in
+  let post = State.make (env t) in
   let pops = ref 0 in
-  while not (Queue.is_empty queue) do
-    let key = Queue.pop queue in
+  while not (Flatqueue.is_empty queue) do
+    let key = Flatqueue.pop queue in
     incr pops;
     (* progress checkpoints at chunk granularity, never per state *)
     if Obs.Ctx.enabled t.obs && !pops land 8191 = 0 then
       Obs.Ctx.tick t.obs ~label:"engine.lazy" ~states:!explored
-        ~frontier:(Queue.length queue) ();
-    Space.decode_into space key buf;
-    let src_node = Hashtbl.find visited key in
+        ~frontier:(Flatqueue.length queue) ();
+    decode_key_into t key buf;
+    let src_node = Flatset.find_def visited key (-2) in
     let out_degree = ref 0 in
     for a = 0 to n_actions - 1 do
       let ca = actions.(a) in
       if ca.Compile.enabled buf then begin
         incr out_degree;
         ca.Compile.apply_into buf post;
-        let dst_key = Space.encode space post in
+        let dst_key = encode_key t post in
         visit dst_key post;
         if src_node >= 0 then begin
-          let dst_node = Hashtbl.find visited dst_key in
+          let dst_node = Flatset.find_def visited dst_key (-2) in
           if dst_node >= 0 then edges := (src_node, dst_node, a) :: !edges
         end
       end
@@ -174,14 +252,14 @@ let lazy_region t cp ~from ~target =
     if src_node >= 0 && !out_degree = 0 then
       terminal_nodes := src_node :: !terminal_nodes
   done;
+  t.last_visited_bytes <- Flatset.bytes visited;
+  t.last_frontier_bytes <- Flatqueue.peak_bytes queue;
   let node_key = Vec.to_array node_keys in
   let n_nodes = Array.length node_key in
   let terminal = Array.make n_nodes false in
   List.iter (fun v -> terminal.(v) <- true) !terminal_nodes;
   let graph = Dgraph.Digraph.of_edges n_nodes (List.rev !edges) in
-  let node_of_key key =
-    match Hashtbl.find_opt visited key with Some v -> v | None -> -1
-  in
+  let node_of_key key = Flatset.find_def visited key (-1) in
   { graph; node_key; terminal; explored = !explored; node_of_key }
 
 (* --- parallel backend: level-synchronized BFS over a domain pool ---
@@ -195,7 +273,9 @@ let lazy_region t cp ~from ~target =
    successors are committed in frontier order × action order, which is
    exactly the FIFO order of the lazy backend's single queue — so node
    numbering, edge order, the explored count, and the overflow point are
-   all bit-identical to [lazy_region] at any job count. *)
+   all bit-identical to [lazy_region] at any job count. The storage
+   representation (flat shards, dense or packed keys) never affects the
+   commit order, so the determinism contract survives it. *)
 
 (* Phase-A successor tags:
    >= -1 : already-visited key carrying its node id (-1 = non-member);
@@ -216,11 +296,12 @@ let parallel_region t cp ~from ~target =
   let worker_buf = Array.init jobs (fun _ -> State.make env) in
   let worker_post = Array.init jobs (fun _ -> State.make env) in
   let worker_out = Array.init jobs (fun _ -> Vec.create ()) in
-  let visited : int Par.Shardmap.t = Par.Shardmap.create () in
+  let visited = Par.Shardmap.create () in
   let node_keys = Vec.create () in
   let terminal_nodes = ref [] in
   let edges = ref [] in
   let explored = ref 0 in
+  let frontier_peak = ref 0 in
   let cur_keys = Vec.create () and cur_nodes = Vec.create () in
   let next_keys = Vec.create () and next_nodes = Vec.create () in
   (* First sighting of [key], known absent from [visited]: mirrors the
@@ -238,28 +319,36 @@ let parallel_region t cp ~from ~target =
   | Seeds l ->
       List.iter
         (fun s ->
-          let key = Space.encode space s in
-          if Par.Shardmap.find_opt visited key = None then
+          let key = encode_key t s in
+          if not (Par.Shardmap.mem visited key) then
             ignore (visit_new key ~member:(not (target s))))
         l
   | All | Pred _ ->
       let n = Space.size space in
       check_budget t n;
       let p = match from with Pred p -> p | _ -> fun _ -> true in
-      (* classify every id in parallel, then commit in id order *)
+      (* classify every id in parallel, then commit in id order; under
+         packed keys phase A also records each qualifying id's key, so
+         the sequential commit needs no re-decode *)
       let classes = Bytes.make n '\000' in
+      let packed_key = if t.packed then Array.make n 0 else [||] in
       Par.Pool.parallel_for pool ~n (fun ~worker lo hi ->
           let buf = worker_buf.(worker) in
           for id = lo to hi - 1 do
             Space.decode_into space id buf;
-            if p buf then
+            if p buf then begin
               Bytes.unsafe_set classes id
-                (if target buf then '\002' else '\001')
+                (if target buf then '\002' else '\001');
+              if t.packed then
+                packed_key.(id) <- Codec.encode_packed t.codec buf
+            end
           done);
       for id = 0 to n - 1 do
         match Bytes.unsafe_get classes id with
         | '\000' -> ()
-        | c -> ignore (visit_new id ~member:(c = '\001'))
+        | c ->
+            let key = if t.packed then packed_key.(id) else id in
+            ignore (visit_new key ~member:(c = '\001'))
       done);
   if Obs.Ctx.enabled t.obs then
     Obs.Ctx.emit t.obs "engine.roots" [ ("discovered", Obs.Sink.I !explored) ];
@@ -270,6 +359,7 @@ let parallel_region t cp ~from ~target =
     Vec.clear next_keys;
     Vec.clear next_nodes;
     let len = Vec.len cur_keys in
+    if 16 * len > !frontier_peak then frontier_peak := 16 * len;
     let explored_before = !explored in
     let succs = Array.make len [||] in
     Par.Pool.parallel_for pool ~n:len (fun ~worker lo hi ->
@@ -277,17 +367,18 @@ let parallel_region t cp ~from ~target =
         let buf = worker_buf.(worker) and post = worker_post.(worker) in
         let out = worker_out.(worker) in
         for i = lo to hi - 1 do
-          Space.decode_into space (Vec.get cur_keys i) buf;
+          decode_key_into t (Vec.get cur_keys i) buf;
           Vec.clear out;
           for a = 0 to n_actions - 1 do
             let ca = acts.(a) in
             if ca.Compile.enabled buf then begin
               ca.Compile.apply_into buf post;
-              let dst_key = Space.encode space post in
+              let dst_key = encode_key t post in
               let tag =
-                match Par.Shardmap.find_opt visited dst_key with
-                | Some node -> node
-                | None -> if target post then -3 else -2
+                let v = Par.Shardmap.find_def visited dst_key min_int in
+                if v <> min_int then v
+                else if target post then -3
+                else -2
               in
               ignore (Vec.push out a);
               ignore (Vec.push out dst_key);
@@ -309,9 +400,9 @@ let parallel_region t cp ~from ~target =
           else
             (* the same key may already have been committed earlier in
                this merge; only a miss here is a genuine first sighting *)
-            match Par.Shardmap.find_opt visited dst_key with
-            | Some node -> node
-            | None -> visit_new dst_key ~member:(tag = -2)
+            let v = Par.Shardmap.find_def visited dst_key min_int in
+            if v <> min_int then v
+            else visit_new dst_key ~member:(tag = -2)
         in
         if src_node >= 0 && dst_node >= 0 then
           edges := (src_node, dst_node, a) :: !edges
@@ -332,14 +423,14 @@ let parallel_region t cp ~from ~target =
     end;
     incr level
   done;
+  t.last_visited_bytes <- Par.Shardmap.bytes visited;
+  t.last_frontier_bytes <- !frontier_peak;
   let node_key = Vec.to_array node_keys in
   let n_nodes = Array.length node_key in
   let terminal = Array.make n_nodes false in
   List.iter (fun v -> terminal.(v) <- true) !terminal_nodes;
   let graph = Dgraph.Digraph.of_edges n_nodes (List.rev !edges) in
-  let node_of_key key =
-    match Par.Shardmap.find_opt visited key with Some v -> v | None -> -1
-  in
+  let node_of_key key = Par.Shardmap.find_def visited key (-1) in
   { graph; node_key; terminal; explored = !explored; node_of_key }
 
 let dispatch_region t cp ~from ~target =
@@ -365,6 +456,16 @@ let region t cp ~from ~target =
       r.explored;
     Obs.Metrics.add (Obs.Ctx.counter t.obs "engine.region_nodes") nodes;
     Obs.Metrics.add (Obs.Ctx.counter t.obs "engine.region_edges") edges;
+    (* storage gauges are set post-hoc from totals, so they are as
+       job-count-invariant as the search itself *)
+    if t.last_visited_bytes > 0 then begin
+      Obs.Metrics.set_max
+        (Obs.Ctx.gauge t.obs "engine.visited_bytes")
+        t.last_visited_bytes;
+      Obs.Metrics.set_max
+        (Obs.Ctx.gauge t.obs "engine.frontier_peak_bytes")
+        t.last_frontier_bytes
+    end;
     Obs.Ctx.emit t.obs "engine.region"
       [
         ("backend", Obs.Sink.S (backend_name t));
@@ -378,7 +479,7 @@ let region t cp ~from ~target =
     r
   end
 
-let state_of_node t region v = Space.decode t.space region.node_key.(v)
+let state_of_node t region v = decode_key t region.node_key.(v)
 
 let iter_states t f =
   (match t.backend with
@@ -390,34 +491,35 @@ let iter_reachable t cp ~from f =
   match from with
   | All -> iter_states t f
   | Pred _ | Seeds _ ->
-      let space = t.space in
       let actions = cp.Compile.actions in
-      let visited : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
-      let queue = Queue.create () in
+      let visited = make_visited t in
+      let queue = Flatqueue.create () in
       let explored = ref 0 in
       let visit key =
-        if not (Hashtbl.mem visited key) then begin
+        if not (Flatset.mem visited key) then begin
           incr explored;
           check_budget t !explored;
-          Hashtbl.add visited key ();
-          Queue.add key queue
+          Flatset.add visited key 0;
+          Flatqueue.push queue key
         end
       in
       seed_roots t ~from (fun key _ -> visit key);
-      let buf = State.make (Space.env space) in
-      let post = State.make (Space.env space) in
-      while not (Queue.is_empty queue) do
-        let key = Queue.pop queue in
-        Space.decode_into space key buf;
+      let buf = State.make (env t) in
+      let post = State.make (env t) in
+      while not (Flatqueue.is_empty queue) do
+        let key = Flatqueue.pop queue in
+        decode_key_into t key buf;
         f buf;
         Array.iter
           (fun (ca : Compile.action) ->
             if ca.enabled buf then begin
               ca.apply_into buf post;
-              visit (Space.encode space post)
+              visit (encode_key t post)
             end)
           actions
-      done
+      done;
+      t.last_visited_bytes <- Flatset.bytes visited;
+      t.last_frontier_bytes <- Flatqueue.peak_bytes queue
 
 let ball env ~center ~radius =
   let vars = Env.vars env in

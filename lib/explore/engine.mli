@@ -33,12 +33,35 @@
 
 type backend = Eager | Lazy | Parallel
 
+(** Visited-set representation for the lazy and parallel backends (the
+    eager backend's CSR relation is its own storage):
+
+    - [Direct]: a flat [Bigarray] of int32 node ids indexed by dense
+      state code — 4 bytes per state of the {e whole} dense range,
+      regardless of how many states the search reaches. Unbeatable when
+      most of the space is reachable; needs the dense range to be
+      materializable (at most [2^30] slots).
+    - [Probed]: an open-addressing flat table ({!Flatset} over
+      {!Par.Flattbl}) sized by what the search actually visits —
+      roughly 16-32 bytes per {e visited} state at the resting load
+      factor. The only choice for sparse regions of huge spaces.
+    - [Auto] (default): [Direct] when the dense range has at most
+      [2^28] slots {e and} is no more than 8× the exploration budget
+      (so the up-front array cannot dwarf what the budget allows the
+      search to touch); [Probed] otherwise.
+
+    The choice never affects results: discovery order, node numbering,
+    edge order, and overflow points are storage-invariant. *)
+type storage = Auto | Direct | Probed
+
 type t
 
 val create :
   ?backend:backend ->
   ?max_states:int ->
   ?jobs:int ->
+  ?storage:storage ->
+  ?packed_keys:bool ->
   ?obs:Obs.Ctx.t ->
   Guarded.Env.t ->
   t
@@ -48,10 +71,21 @@ val create :
     (default {!Par.Pool.default_jobs}, i.e.
     [Domain.recommended_domain_count ()]) sets the worker-domain count
     used by the parallel backend; other backends record but ignore it.
-    [obs] (default {!Obs.Ctx.disabled}) receives the engine's metrics,
-    trace events, and progress ticks — see the README's event schema.
+    [storage] (default [Auto]) picks the visited-set representation for
+    the lazy/parallel backends; see {!storage}. [packed_keys] (default
+    [false]) keys states by their bit-packed {!Codec} code instead of
+    the dense mixed-radix id: decode becomes shift/mask instead of
+    division, at the cost of forcing [Probed] storage and making raw
+    [node_key] values incomparable with dense-keyed engines (use
+    {!decode_key}). [obs] (default {!Obs.Ctx.disabled}) receives the
+    engine's metrics, trace events, and progress ticks — see the
+    README's event schema.
     @raise Space.Too_large for an eager engine over a bigger space.
-    @raise Invalid_argument when [jobs <= 0]. *)
+    @raise Codec.Overflow when [packed_keys] and the packed layout
+    exceeds one word.
+    @raise Invalid_argument when [jobs <= 0], when [packed_keys] is
+    combined with the eager backend or [Direct] storage, or when
+    [Direct] is forced over a dense range above [2^30]. *)
 
 val of_space : ?obs:Obs.Ctx.t -> Space.t -> t
 (** Eager engine over an already-created space. *)
@@ -71,6 +105,39 @@ val obs : t -> Obs.Ctx.t
     ({!Faultspan}, certification) record into the same context, so one
     [--metrics-out] snapshot covers the whole pipeline. *)
 
+val codec : t -> Codec.t
+(** The bit-layout codec sized from the engine's environment. *)
+
+val packed_keys : t -> bool
+(** Whether this engine keys states by packed codes (see {!create}). *)
+
+val storage_name : t -> string
+(** Resolved storage representation: ["csr"] (eager), ["direct"], or
+    ["probed"]. *)
+
+val storage_bytes : t -> int
+(** Flat-storage footprint of the most recent lazy/parallel search:
+    visited-table bytes plus the frontier queue's high-water bytes.
+    [0] before any search and for the eager backend (whose CSR cost is
+    reported by {!Tsys}). Divide by [region.explored] for the
+    bytes-per-state figure the E19 experiment reports. *)
+
+val encode_key : t -> Guarded.State.t -> int
+(** The key this engine files a state under — [Space.encode] for dense
+    engines, [Codec.encode_packed] under [packed_keys]. *)
+
+val decode_key : t -> int -> Guarded.State.t
+(** Decode an engine key (as found in [node_key]) to a fresh state. *)
+
+val decode_key_into : t -> int -> Guarded.State.t -> unit
+(** Allocation-free {!decode_key} into a caller buffer. *)
+
+val make_visited : t -> Flatset.t
+(** A fresh visited table following the engine's storage policy
+    (direct-mapped over small dense ranges, open-addressing otherwise).
+    Layered searches built on the engine ({!Faultspan}) use this so one
+    [storage] knob governs the whole pipeline. *)
+
 exception Region_overflow of int
 (** Raised when a lazy exploration visits more states than the engine's
     budget; carries the number of states visited so far. *)
@@ -85,10 +152,11 @@ type roots =
 
 (** The region of interest for convergence checking: the subgraph induced
     on the reachable states where the target predicate does {e not} hold.
-    Nodes are dense ints; [node_key.(v)] is the state's mixed-radix code
-    (decode with [Space.decode (space engine)]). [terminal.(v)] says the
-    state has no enabled action in the {e full} program. [explored] counts
-    every state visited by the search, members or not. *)
+    Nodes are dense ints; [node_key.(v)] is the state's engine key — the
+    mixed-radix code by default, the bit-packed code under [packed_keys]
+    (decode with {!decode_key}). [terminal.(v)] says the state has no
+    enabled action in the {e full} program. [explored] counts every state
+    visited by the search, members or not. *)
 type region = {
   graph : int Dgraph.Digraph.t;  (** edge labels are action indices *)
   node_key : int array;

@@ -1,11 +1,12 @@
 module State = Guarded.State
 module Compile = Guarded.Compile
+module Vec = Par.Ivec
 
 type t = {
-  space : Space.t;
-  keys : int list;  (** member keys, reverse discovery order *)
+  engine : Engine.t;
+  keys : Vec.t;  (** member keys, discovery order ({!iter} walks it backwards) *)
   count : int;
-  depth_of : (int, int) Hashtbl.t;  (** key -> fault layer of first reach *)
+  depth_of : Flatset.t;  (** key -> fault layer of first reach *)
   roots : int;
   max_depth : int;
   histogram : int array;
@@ -17,25 +18,34 @@ let max_depth t = t.max_depth
 let depth_histogram t = Array.sub t.histogram 0 (t.max_depth + 1)
 
 let mem t s =
-  match Space.encode t.space s with
-  | key -> Hashtbl.mem t.depth_of key
+  match Engine.encode_key t.engine s with
+  | key -> Flatset.mem t.depth_of key
   | exception Invalid_argument _ -> false
 
 let depth t s =
-  match Space.encode t.space s with
-  | key -> Hashtbl.find_opt t.depth_of key
+  match Engine.encode_key t.engine s with
+  | key ->
+      let d = Flatset.find_def t.depth_of key (-1) in
+      if d < 0 then None else Some d
   | exception Invalid_argument _ -> None
 
+(* Members in reverse discovery order — the order [iter] has always
+   used (the seed implementation consed keys onto a list), which
+   certification output and tests pin down. *)
 let iter t f =
-  let buf = State.make (Space.env t.space) in
-  List.iter
-    (fun key ->
-      Space.decode_into t.space key buf;
-      f buf)
-    t.keys
+  let buf = State.make (Engine.env t.engine) in
+  for i = Vec.len t.keys - 1 downto 0 do
+    Engine.decode_key_into t.engine (Vec.get t.keys i) buf;
+    f buf
+  done
+
+let nth_key t i = Vec.get t.keys (t.count - 1 - i)
+
+let decode_nth_into t i buf =
+  Engine.decode_key_into t.engine (nth_key t i) buf
 
 let states t =
-  List.rev_map (fun key -> Space.decode t.space key) t.keys
+  List.init t.count (fun i -> Engine.decode_key t.engine (Vec.get t.keys i))
 
 (* Shared observability hooks: one [faultspan.layer] event per completed
    fault layer, plus totals when the span is done. Layer structure is
@@ -67,6 +77,16 @@ let obs_done obs ~states ~roots ~max_depth =
     Obs.Ctx.finish_progress obs ~label:"faultspan" ~states
   end
 
+let histogram_of depth_of max_depth =
+  let histogram = Array.make (max_depth + 1) 0 in
+  Flatset.iter depth_of (fun _ d -> histogram.(d) <- histogram.(d) + 1);
+  histogram
+
+(* Root sweeps run in dense id order whatever the key representation;
+   under packed keys the id's state buffer is re-encoded. *)
+let key_of_id engine id s =
+  if Engine.packed_keys engine then Engine.encode_key engine s else id
+
 (* Layered 0-1 BFS: program edges cost 0 (stay in the current layer), fault
    edges cost 1 (feed the next layer). Layers are processed in order, so the
    layer a state is first seen in is its minimal fault count. *)
@@ -80,28 +100,29 @@ let compute_seq engine ?program ?budget ~faults ~from () =
     | Some (cp : Compile.program) -> cp.Compile.actions
   in
   let fault_actions = (faults : Compile.program).Compile.actions in
-  let depth_of : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let keys = ref [] in
+  let depth_of = Engine.make_visited engine in
+  let keys = Vec.create () in
   let count = ref 0 in
-  let cur = Queue.create () in
-  let next = Queue.create () in
+  let cur = Flatqueue.create () in
+  let next = Flatqueue.create () in
   let visit level target_queue key =
-    if not (Hashtbl.mem depth_of key) then begin
+    if not (Flatset.mem depth_of key) then begin
       incr count;
       if !count > cap then raise (Engine.Region_overflow !count);
-      Hashtbl.add depth_of key level;
-      keys := key :: !keys;
-      Queue.add key target_queue
+      Flatset.add depth_of key level;
+      ignore (Vec.push keys key);
+      Flatqueue.push target_queue key
     end
   in
   (match from with
   | Engine.Seeds l ->
-      List.iter (fun s -> visit 0 cur (Space.encode space s)) l
+      List.iter (fun s -> visit 0 cur (Engine.encode_key engine s)) l
   | Engine.All | Engine.Pred _ ->
       if Space.size space > cap then
         raise (Engine.Region_overflow (Space.size space));
       let p = match from with Engine.Pred p -> p | _ -> fun _ -> true in
-      Space.iter space (fun id s -> if p s then visit 0 cur id));
+      Space.iter space (fun id s ->
+          if p s then visit 0 cur (key_of_id engine id s)));
   let roots = !count in
   let buf = State.make (Space.env space) in
   let post = State.make (Space.env space) in
@@ -115,16 +136,16 @@ let compute_seq engine ?program ?budget ~faults ~from () =
        wrongly prune its fault successors). *)
     let layer_members = ref [] in
     let n_members = ref 0 in
-    while not (Queue.is_empty cur) do
-      let key = Queue.pop cur in
+    while not (Flatqueue.is_empty cur) do
+      let key = Flatqueue.pop cur in
       layer_members := key :: !layer_members;
       incr n_members;
-      Space.decode_into space key buf;
+      Engine.decode_key_into engine key buf;
       Array.iter
         (fun (ca : Compile.action) ->
           if ca.enabled buf then begin
             ca.apply_into buf post;
-            visit !level cur (Space.encode space post)
+            visit !level cur (Engine.encode_key engine post)
           end)
         prog_actions
     done;
@@ -135,30 +156,27 @@ let compute_seq engine ?program ?budget ~faults ~from () =
     if fault_allowed then
       List.iter
         (fun key ->
-          Space.decode_into space key buf;
+          Engine.decode_key_into engine key buf;
           Array.iter
             (fun (ca : Compile.action) ->
               if ca.enabled buf then begin
                 ca.apply_into buf post;
-                visit (!level + 1) next (Space.encode space post)
+                visit (!level + 1) next (Engine.encode_key engine post)
               end)
             fault_actions)
         !layer_members;
     obs_layer obs ~layer:!level ~members:!n_members
       ~discovered:(!count - count_before) ~total:!count;
-    if Queue.is_empty next then continue := false
+    if Flatqueue.is_empty next then continue := false
     else begin
       incr level;
-      Queue.transfer next cur
+      Flatqueue.transfer next cur
     end
   done;
   let max_depth = !level in
-  let histogram = Array.make (max_depth + 1) 0 in
-  Hashtbl.iter
-    (fun _ d -> histogram.(d) <- histogram.(d) + 1)
-    depth_of;
+  let histogram = histogram_of depth_of max_depth in
   obs_done obs ~states:!count ~roots ~max_depth;
-  { space; keys = !keys; count = !count; depth_of; roots; max_depth; histogram }
+  { engine; keys; count = !count; depth_of; roots; max_depth; histogram }
 
 (* Parallel variant of the same layered search, for engines on the
    [Parallel] backend. Each expansion round — a program-closure wave or a
@@ -175,7 +193,6 @@ let compute_seq engine ?program ?budget ~faults ~from () =
    keys, depths, histogram, even the overflow point — is bit-identical at
    any job count. *)
 let compute_par engine ?program ?budget ~faults ~from () =
-  let module Vec = Par.Ivec in
   let obs = Engine.obs engine in
   let space = Engine.space engine in
   let env = Space.env space in
@@ -194,15 +211,15 @@ let compute_par engine ?program ?budget ~faults ~from () =
   let worker_buf = Array.init jobs (fun _ -> State.make env) in
   let worker_post = Array.init jobs (fun _ -> State.make env) in
   let worker_out = Array.init jobs (fun _ -> Vec.create ()) in
-  let depth_of : int Par.Shardmap.t = Par.Shardmap.create () in
-  let keys = ref [] in
+  let depth_of = Par.Shardmap.create () in
+  let keys = Vec.create () in
   let count = ref 0 in
   let visit level target key =
-    if Par.Shardmap.find_opt depth_of key = None then begin
+    if not (Par.Shardmap.mem depth_of key) then begin
       incr count;
       if !count > cap then raise (Engine.Region_overflow !count);
       Par.Shardmap.add depth_of key level;
-      keys := key :: !keys;
+      ignore (Vec.push keys key);
       ignore (Vec.push target key)
     end
   in
@@ -218,13 +235,13 @@ let compute_par engine ?program ?budget ~faults ~from () =
         let buf = worker_buf.(worker) and post = worker_post.(worker) in
         let out = worker_out.(worker) in
         for i = lo to hi - 1 do
-          Space.decode_into space (Vec.get src i) buf;
+          Engine.decode_key_into engine (Vec.get src i) buf;
           Vec.clear out;
           Array.iter
             (fun (ca : Compile.action) ->
               if ca.enabled buf then begin
                 ca.apply_into buf post;
-                let dst = Space.encode space post in
+                let dst = Engine.encode_key engine post in
                 if not (Par.Shardmap.mem depth_of dst) then
                   ignore (Vec.push out dst)
               end)
@@ -244,21 +261,28 @@ let compute_par engine ?program ?budget ~faults ~from () =
   let members = Vec.create () and next_layer = Vec.create () in
   (match from with
   | Engine.Seeds l ->
-      List.iter (fun s -> visit 0 wave (Space.encode space s)) l
+      List.iter (fun s -> visit 0 wave (Engine.encode_key engine s)) l
   | Engine.All | Engine.Pred _ ->
       if Space.size space > cap then
         raise (Engine.Region_overflow (Space.size space));
       let p = match from with Engine.Pred p -> p | _ -> fun _ -> true in
       let n = Space.size space in
+      let packed = Engine.packed_keys engine in
       let classes = Bytes.make n '\000' in
+      let packed_key = if packed then Array.make n 0 else [||] in
       Par.Pool.parallel_for pool ~n (fun ~worker lo hi ->
           let buf = worker_buf.(worker) in
           for id = lo to hi - 1 do
             Space.decode_into space id buf;
-            if p buf then Bytes.unsafe_set classes id '\001'
+            if p buf then begin
+              Bytes.unsafe_set classes id '\001';
+              if packed then
+                packed_key.(id) <- Engine.encode_key engine buf
+            end
           done);
       for id = 0 to n - 1 do
-        if Bytes.unsafe_get classes id = '\001' then visit 0 wave id
+        if Bytes.unsafe_get classes id = '\001' then
+          visit 0 wave (if packed then packed_key.(id) else id)
       done);
   let roots = !count in
   let level = ref 0 in
@@ -288,15 +312,17 @@ let compute_par engine ?program ?budget ~faults ~from () =
     end
   done;
   let max_depth = !level in
-  let depth_tbl = Par.Shardmap.to_hashtbl depth_of in
-  let histogram = Array.make (max_depth + 1) 0 in
-  Hashtbl.iter (fun _ d -> histogram.(d) <- histogram.(d) + 1) depth_tbl;
+  (* fold the sharded table into the same flat representation the
+     sequential search builds, so the record is backend-agnostic *)
+  let depth_flat = Engine.make_visited engine in
+  Par.Shardmap.iter depth_of (fun k d -> Flatset.add depth_flat k d);
+  let histogram = histogram_of depth_flat max_depth in
   obs_done obs ~states:!count ~roots ~max_depth;
   {
-    space;
-    keys = !keys;
+    engine;
+    keys;
     count = !count;
-    depth_of = depth_tbl;
+    depth_of = depth_flat;
     roots;
     max_depth;
     histogram;

@@ -10,12 +10,16 @@
     generalizes {!Engine.ball}, which only perturbs the initial state:
     [compute ~budget:k] follows program steps {e between} the perturbations.
 
-    The search is a layered frontier BFS keyed by {!Space.encode} — the same
-    machinery for both engine backends; eager and lazy engines differ only
-    in their exploration budget ({!Engine.max_states}), so verdicts agree
-    whenever neither overflows. Layer [d] holds the states whose cheapest
-    derivation from the roots uses exactly [d] fault steps; program
-    successors stay in their layer, fault successors go to the next. *)
+    The search is a layered frontier BFS keyed by {!Engine.encode_key}
+    (the dense mixed-radix code, or the bit-packed code under an engine's
+    [packed_keys]), with depths held in the engine's flat visited-table
+    representation ({!Engine.make_visited}) and frontiers in chunked
+    {!Flatqueue}s — the same machinery for every engine backend; eager
+    and lazy engines differ only in their exploration budget
+    ({!Engine.max_states}), so verdicts agree whenever neither overflows.
+    Layer [d] holds the states whose cheapest derivation from the roots
+    uses exactly [d] fault steps; program successors stay in their layer,
+    fault successors go to the next. *)
 
 type t
 
@@ -58,6 +62,17 @@ val depth : t -> Guarded.State.t -> int option
 
 val iter : t -> (Guarded.State.t -> unit) -> unit
 (** Visit every member. The state is a shared buffer; copy it to retain. *)
+
+val nth_key : t -> int -> int
+(** Engine key of the [i]-th member {e in iter order} ([0 <= i < count]):
+    [iter] visits exactly [decode(nth_key t 0), decode(nth_key t 1), …].
+    Lets consumers scan the span by index — chunked, in parallel, without
+    materializing the member states. *)
+
+val decode_nth_into : t -> int -> Guarded.State.t -> unit
+(** Decode the [i]-th member (iter order) into a caller buffer —
+    allocation-free indexed access for streaming scans
+    ({!Core.Certify}'s closure check). *)
 
 val states : t -> Guarded.State.t list
 (** All members as fresh states — usable as [Engine.Seeds] roots for

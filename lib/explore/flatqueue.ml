@@ -1,0 +1,129 @@
+exception Empty
+
+(* Invariants: when [front == back] (physically) the data is
+   [front.(head .. tail)] and [mid] is empty; otherwise the data is
+   [front.(head .. fstop)] ++ the full chunks of [mid] ++
+   [back.(0 .. tail)]. [back] always fills from 0, so an exhausted
+   front can adopt it directly. One drained chunk is kept in [spare]
+   for the next push instead of being dropped to the GC. *)
+type t = {
+  chunk : int;
+  mid : int array Queue.t;
+  mutable front : int array;
+  mutable head : int;
+  mutable fstop : int;
+  mutable back : int array;
+  mutable tail : int;
+  mutable len : int;
+  mutable spare : int array option;
+  mutable peak : int;
+}
+
+let create ?(chunk = 16384) () =
+  if chunk < 1 then invalid_arg "Flatqueue.create: chunk must be positive";
+  let c = Array.make chunk 0 in
+  {
+    chunk;
+    mid = Queue.create ();
+    front = c;
+    head = 0;
+    fstop = 0;
+    back = c;
+    tail = 0;
+    len = 0;
+    spare = None;
+    peak = 8 * chunk;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let live_chunks t =
+  (if t.front == t.back then 1 else 2 + Queue.length t.mid)
+  + match t.spare with Some _ -> 1 | None -> 0
+
+let bytes t = 8 * t.chunk * live_chunks t
+let peak_bytes t = max t.peak (bytes t)
+
+let fresh_chunk t =
+  match t.spare with
+  | Some c ->
+      t.spare <- None;
+      c
+  | None -> Array.make t.chunk 0
+
+let push t x =
+  if t.tail = t.chunk then begin
+    (if t.front == t.back then t.fstop <- t.chunk
+     else Queue.add t.back t.mid);
+    t.back <- fresh_chunk t;
+    t.tail <- 0;
+    let b = bytes t in
+    if b > t.peak then t.peak <- b
+  end;
+  t.back.(t.tail) <- x;
+  t.tail <- t.tail + 1;
+  t.len <- t.len + 1
+
+let rec pop t =
+  if t.len = 0 then raise Empty;
+  if t.front == t.back then begin
+    let x = t.front.(t.head) in
+    t.head <- t.head + 1;
+    t.len <- t.len - 1;
+    if t.head >= t.tail then begin
+      t.head <- 0;
+      t.tail <- 0
+    end;
+    x
+  end
+  else if t.head >= t.fstop then begin
+    (* front drained: recycle it and adopt the next chunk *)
+    t.spare <- Some t.front;
+    (match Queue.take_opt t.mid with
+    | Some c ->
+        t.front <- c;
+        t.fstop <- t.chunk
+    | None -> t.front <- t.back);
+    t.head <- 0;
+    pop t
+  end
+  else begin
+    let x = t.front.(t.head) in
+    t.head <- t.head + 1;
+    t.len <- t.len - 1;
+    x
+  end
+
+let clear t =
+  Queue.clear t.mid;
+  t.front <- t.back;
+  t.head <- 0;
+  t.fstop <- 0;
+  t.tail <- 0;
+  t.len <- 0
+
+let transfer src dst =
+  if dst.len = 0 && src.chunk = dst.chunk then begin
+    (* the frontier flip: O(1) structure exchange *)
+    let fr = dst.front and hd = dst.head and fs = dst.fstop in
+    let bk = dst.back and tl = dst.tail and ln = dst.len in
+    Queue.transfer src.mid dst.mid;
+    dst.front <- src.front;
+    dst.head <- src.head;
+    dst.fstop <- src.fstop;
+    dst.back <- src.back;
+    dst.tail <- src.tail;
+    dst.len <- src.len;
+    if dst.peak < src.peak then dst.peak <- src.peak;
+    src.front <- fr;
+    src.head <- hd;
+    src.fstop <- fs;
+    src.back <- bk;
+    src.tail <- tl;
+    src.len <- ln
+  end
+  else
+    while src.len > 0 do
+      push dst (pop src)
+    done

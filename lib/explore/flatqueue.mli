@@ -1,0 +1,34 @@
+(** Chunked streaming FIFO of ints — the frontier queue of the lazy
+    search, replacing [int Queue.t] (a 3-word boxed cell per element)
+    with recycled flat chunks (8 bytes per element plus one chunk of
+    slack). Pushes go into the back chunk, pops drain the front chunk;
+    full chunks in between wait in a (chunk-granularity, hence cheap)
+    boxed queue, and drained chunks are recycled into the next push
+    instead of churning the GC. *)
+
+type t
+
+exception Empty
+
+val create : ?chunk:int -> unit -> t
+(** [chunk] (default 16384) is the elements-per-chunk granularity. *)
+
+val push : t -> int -> unit
+val pop : t -> int
+(** Dequeue the oldest element. @raise Empty on an empty queue. *)
+
+val is_empty : t -> bool
+val length : t -> int
+val clear : t -> unit
+
+val transfer : t -> t -> unit
+(** [transfer src dst] moves every element of [src] to the back of
+    [dst], leaving [src] empty — [Queue.transfer]'s contract, O(1) when
+    [dst] is empty (the layered searches' frontier flip). *)
+
+val bytes : t -> int
+(** Current heap footprint of the chunk storage. *)
+
+val peak_bytes : t -> int
+(** High-water footprint since creation — what the frontier actually
+    cost at the widest BFS level. *)

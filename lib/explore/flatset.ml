@@ -1,0 +1,80 @@
+(* Direct storage is int32: 4 bytes per slot of the dense range, with
+   Int32.min_int marking absent slots (so value -1, the engines'
+   non-member node id, stays representable). *)
+
+type direct = {
+  slots : (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable dcount : int;
+}
+
+type t = Direct of direct | Probed of Par.Flattbl.t
+
+let absent32 = Int32.min_int
+let direct_max = 1 lsl 30
+
+let direct ~size =
+  if size < 0 || size > direct_max then
+    invalid_arg
+      (Printf.sprintf "Flatset.direct: size %d outside [0, 2^30]" size);
+  let slots = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout size in
+  Bigarray.Array1.fill slots absent32;
+  Direct { slots; dcount = 0 }
+
+let probed ?capacity () = Probed (Par.Flattbl.create ?capacity ())
+let kind = function Direct _ -> `Direct | Probed _ -> `Probed
+
+let[@inline] in_range d key = key >= 0 && key < Bigarray.Array1.dim d.slots
+
+let mem t key =
+  match t with
+  | Direct d -> in_range d key && Bigarray.Array1.unsafe_get d.slots key <> absent32
+  | Probed p -> Par.Flattbl.mem p key
+
+let find_def t key default =
+  match t with
+  | Direct d ->
+      if not (in_range d key) then default
+      else
+        let v = Bigarray.Array1.unsafe_get d.slots key in
+        if v = absent32 then default else Int32.to_int v
+  | Probed p -> Par.Flattbl.find_def p key default
+
+let add t key v =
+  match t with
+  | Direct d ->
+      if not (in_range d key) then
+        invalid_arg "Flatset.add: key outside the direct range";
+      let v32 = Int32.of_int v in
+      if Int32.to_int v32 <> v || v32 = absent32 then
+        invalid_arg "Flatset.add: value outside the int32 range";
+      if Bigarray.Array1.unsafe_get d.slots key = absent32 then
+        d.dcount <- d.dcount + 1;
+      Bigarray.Array1.unsafe_set d.slots key v32
+  | Probed p -> Par.Flattbl.add p key v
+
+let remove t key =
+  match t with
+  | Direct d ->
+      if in_range d key && Bigarray.Array1.unsafe_get d.slots key <> absent32
+      then begin
+        d.dcount <- d.dcount - 1;
+        Bigarray.Array1.unsafe_set d.slots key absent32
+      end
+  | Probed p -> Par.Flattbl.remove p key
+
+let length = function
+  | Direct d -> d.dcount
+  | Probed p -> Par.Flattbl.length p
+
+let iter t f =
+  match t with
+  | Direct d ->
+      for key = 0 to Bigarray.Array1.dim d.slots - 1 do
+        let v = Bigarray.Array1.unsafe_get d.slots key in
+        if v <> absent32 then f key (Int32.to_int v)
+      done
+  | Probed p -> Par.Flattbl.iter p f
+
+let bytes = function
+  | Direct d -> 4 * Bigarray.Array1.dim d.slots
+  | Probed p -> Par.Flattbl.bytes p

@@ -1,69 +1,36 @@
 module Env = Guarded.Env
 module State = Guarded.State
-module Var = Guarded.Var
-module Domain = Guarded.Domain
 
-type t = {
-  env : Env.t;
-  size : int;
-  bases : int array;  (** domain size per slot *)
-  lows : int array;  (** smallest legal value per slot *)
-  weights : int array;  (** mixed-radix place values *)
-}
+(* A space is the dense layout of a codec plus the materialization cap:
+   the mixed-radix arithmetic itself lives in Codec (one audited
+   implementation, shared with the packed and wide layouts). *)
+type t = { codec : Codec.t; size : int }
 
 exception Too_large of float
 
 let encodable_max = 1 lsl 60
 
 let create ?(max_states = 2_000_000) env =
-  let total = Env.state_space_size env in
+  let codec = Codec.of_env env in
+  let total = Codec.states codec in
   if total > float_of_int (min max_states encodable_max) then
     raise (Too_large total);
-  let vars = Env.vars env in
-  let n = Array.length vars in
-  let bases = Array.map (fun v -> Domain.size (Var.domain v)) vars in
-  let lows =
-    Array.map
-      (fun v ->
-        match Var.domain v with
-        | Guarded.Domain.Range { lo; _ } -> lo
-        | Guarded.Domain.Bool | Guarded.Domain.Enum _ -> 0)
-      vars
-  in
-  let weights = Array.make n 1 in
-  for i = 1 to n - 1 do
-    weights.(i) <- weights.(i - 1) * bases.(i - 1)
-  done;
-  { env; size = int_of_float total; bases; lows; weights }
+  { codec; size = int_of_float total }
 
 let create_unbounded env = create ~max_states:encodable_max env
-let env t = t.env
+let env t = Codec.env t.codec
 let size t = t.size
-
-let encode t s =
-  let acc = ref 0 in
-  for i = 0 to Array.length t.bases - 1 do
-    let digit = State.get_index s i - t.lows.(i) in
-    if digit < 0 || digit >= t.bases.(i) then
-      invalid_arg "Space.encode: state outside domains";
-    acc := !acc + (digit * t.weights.(i))
-  done;
-  !acc
-
-let decode_into t id s =
-  let rem = ref id in
-  for i = 0 to Array.length t.bases - 1 do
-    State.set_index s i ((!rem mod t.bases.(i)) + t.lows.(i));
-    rem := !rem / t.bases.(i)
-  done
+let codec t = t.codec
+let encode t s = Codec.encode_dense t.codec s
+let decode_into t id s = Codec.decode_dense_into t.codec id s
 
 let decode t id =
-  let s = State.make t.env in
+  let s = State.make (env t) in
   decode_into t id s;
   s
 
 let iter t f =
-  let buf = State.make t.env in
+  let buf = State.make (env t) in
   for id = 0 to t.size - 1 do
     decode_into t id buf;
     f id buf

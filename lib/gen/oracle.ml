@@ -28,6 +28,7 @@ let oracle_names =
     "cert-agree";
     "reorder-stable";
     "storm-consistent";
+    "storage-agree";
   ]
 
 let backends = [ Engine.Eager; Engine.Lazy; Engine.Parallel ]
@@ -382,6 +383,73 @@ let o_storm_consistent ctx =
         else None
   end
 
+(* Fuzz models are small, so the engines above resolve their visited-set
+   storage to direct-mapped arrays. This oracle re-runs the region query
+   on engines with {e forced} open-addressing storage and with bit-packed
+   state keys, so the probed tables and the packed codec face the same
+   random models as everything else. Packed engines key nodes by packed
+   codes, so their signatures are normalized back to dense ids before
+   comparison. *)
+let o_storage_agree ctx =
+  let module Space = Explore.Space in
+  let mk ?packed_keys backend =
+    Engine.create ~backend ~max_states:engine_budget ~jobs:1
+      ~storage:Engine.Probed ?packed_keys ctx.m.Spec.env
+  in
+  let legs =
+    [
+      ("lazy/probed", mk Engine.Lazy);
+      ("parallel/probed", mk Engine.Parallel);
+      ("lazy/packed", mk ~packed_keys:true Engine.Lazy);
+      ("parallel/packed", mk ~packed_keys:true Engine.Parallel);
+    ]
+  in
+  let sig_of e from =
+    let r = Engine.region e ctx.cp ~from ~target:ctx.m.Spec.invariant in
+    let norm key = Space.encode (Engine.space e) (Engine.decode_key e key) in
+    let key v = norm r.Engine.node_key.(v) in
+    let edges =
+      Dgraph.Digraph.fold_edges
+        (fun acc e -> (key e.Dgraph.Digraph.src, key e.dst, e.label) :: acc)
+        [] r.Engine.graph
+    in
+    let terminals = ref [] in
+    Array.iteri
+      (fun v t -> if t then terminals := key v :: !terminals)
+      r.Engine.terminal;
+    {
+      r_keys =
+        List.sort compare (Array.to_list (Array.map norm r.Engine.node_key));
+      r_edges = List.sort compare edges;
+      r_terminals = List.sort compare !terminals;
+      r_explored = r.Engine.explored;
+    }
+  in
+  List.fold_left
+    (fun acc (rname, from) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let reference = sig_of (eager ctx) from in
+          List.fold_left
+            (fun acc (lname, e) ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match diff_region reference (sig_of e from) with
+                  | None -> None
+                  | Some why ->
+                      Some
+                        {
+                          oracle = "storage-agree";
+                          detail =
+                            Printf.sprintf
+                              "roots=%s: %s disagrees with eager: %s" rname
+                              lname why;
+                        }))
+            None legs)
+    None (root_sets ctx)
+
 let oracles =
   [
     ("region-agree", o_region_agree);
@@ -391,6 +459,7 @@ let oracles =
     ("cert-agree", o_cert_agree);
     ("reorder-stable", o_reorder_stable);
     ("storm-consistent", o_storm_consistent);
+    ("storage-agree", o_storage_agree);
   ]
 
 let make_ctx cfg ~rng (m : Spec.model) =

@@ -1,11 +1,13 @@
-type 'a t = {
+type t = {
   mask : int;
-  tables : (int, 'a) Hashtbl.t array;
+  tables : Flattbl.t array;
   locks : Mutex.t array;
 }
 
 (* splitmix64 finalizer: state codes are dense integers, so the shard
-   index must come from mixed high bits, not [key land mask]. *)
+   index must come from mixed high bits, not [key land mask]. The
+   in-shard table mixes again (Flattbl's own hash); reusing bits of one
+   mix for both levels would correlate shard choice with slot choice. *)
 let mix key =
   let h = Int64.of_int key in
   let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 30)) 0xbf58476d1ce4e5b9L in
@@ -18,7 +20,7 @@ let create ?(shards = 64) () =
   let shards = pow2_at_least (max 1 shards) 1 in
   {
     mask = shards - 1;
-    tables = Array.init shards (fun _ -> Hashtbl.create 64);
+    tables = Array.init shards (fun _ -> Flattbl.create ~capacity:64 ());
     locks = Array.init shards (fun _ -> Mutex.create ());
   }
 
@@ -27,29 +29,41 @@ let[@inline] shard t key = mix key land t.mask
 let find_opt t key =
   let s = shard t key in
   Mutex.lock t.locks.(s);
-  let r = Hashtbl.find_opt t.tables.(s) key in
+  let r = Flattbl.find_opt t.tables.(s) key in
+  Mutex.unlock t.locks.(s);
+  r
+
+let find_def t key default =
+  let s = shard t key in
+  Mutex.lock t.locks.(s);
+  let r = Flattbl.find_def t.tables.(s) key default in
   Mutex.unlock t.locks.(s);
   r
 
 let mem t key =
   let s = shard t key in
   Mutex.lock t.locks.(s);
-  let r = Hashtbl.mem t.tables.(s) key in
+  let r = Flattbl.mem t.tables.(s) key in
   Mutex.unlock t.locks.(s);
   r
 
 let add t key v =
   let s = shard t key in
   Mutex.lock t.locks.(s);
-  Hashtbl.replace t.tables.(s) key v;
+  (* may grow the shard's flat table: safe, the mutex serializes every
+     same-shard access (see the .mli) *)
+  Flattbl.add t.tables.(s) key v;
   Mutex.unlock t.locks.(s)
 
 let length t =
-  Array.fold_left (fun n tbl -> n + Hashtbl.length tbl) 0 t.tables
+  Array.fold_left (fun n tbl -> n + Flattbl.length tbl) 0 t.tables
 
-let iter t f = Array.iter (fun tbl -> Hashtbl.iter f tbl) t.tables
+let iter t f = Array.iter (fun tbl -> Flattbl.iter tbl f) t.tables
 
 let to_hashtbl t =
   let out = Hashtbl.create (max 16 (length t)) in
   iter t (fun k v -> Hashtbl.add out k v);
   out
+
+let bytes t =
+  Array.fold_left (fun n tbl -> n + Flattbl.bytes tbl) 0 t.tables

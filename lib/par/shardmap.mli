@@ -1,36 +1,55 @@
-(** Sharded integer-keyed hash maps for concurrent visited sets.
+(** Sharded int→int hash maps for concurrent visited sets.
 
-    The parallel exploration backends key their visited sets by
-    {!Explore.Space.encode} state codes. A [Shardmap.t] spreads those keys
-    over a power-of-two number of shards — each an ordinary [Hashtbl]
-    behind its own mutex — so probes from many domains contend on
-    different locks with high probability. Keys are spread by a
-    splitmix64-style finalizer, not by low bits: state codes are dense,
-    and low-bit sharding would put entire BFS levels in one shard.
+    The parallel exploration backends key their visited sets by state
+    codes ({!Explore.Space.encode} dense ids, or bit-packed codes). A
+    [Shardmap.t] spreads those keys over a power-of-two number of
+    shards — each a flat open-addressing {!Flattbl} behind its own
+    mutex — so probes from many domains contend on different locks
+    with high probability, and each entry costs two unboxed words
+    instead of a boxed [Hashtbl] bucket cell. Keys are spread by a
+    splitmix64-style finalizer, not by low bits: state codes are
+    dense, and low-bit sharding would put entire BFS levels in one
+    shard.
 
-    The intended access pattern is phased: during a parallel phase every
-    domain may call {!find_opt}/{!mem} (and, if it owns the key,
-    {!add}); the sequential merge between phases may use the unlocked
-    {!iter}/{!length}. *)
+    The intended access pattern is phased: during a parallel phase
+    every domain may call {!find_opt}/{!find_def}/{!mem} (and, if it
+    owns the key, {!add}); the sequential merge between phases may use
+    the unlocked {!iter}/{!length}.
 
-type 'a t
+    {b Growth under contention}: a shard grows (rehashing into a
+    doubled flat array) inside {!add}, while the caller holds that
+    shard's mutex. Every reader of the same shard also takes the
+    mutex, so no domain can observe a half-built table, and other
+    shards are untouched — resizing is safe {e by construction}, not
+    by a no-resize protocol invariant. The multi-domain stress test in
+    [test/test_storage.ml] drives every shard through several
+    doublings under 4-way contention to pin this. *)
 
-val create : ?shards:int -> unit -> 'a t
+type t
+
+val create : ?shards:int -> unit -> t
 (** [shards] (default [64]) is rounded up to a power of two. *)
 
-val find_opt : 'a t -> int -> 'a option
-val mem : 'a t -> int -> bool
+val find_opt : t -> int -> int option
+val mem : t -> int -> bool
 
-val add : 'a t -> int -> 'a -> unit
+val find_def : t -> int -> int -> int
+(** [find_def t key default] — allocation-free probe for the BFS inner
+    loop. *)
+
+val add : t -> int -> int -> unit
 (** Bind the key, replacing any previous binding. *)
 
-val length : 'a t -> int
+val length : t -> int
 (** Total bindings across shards. Not linearizable with concurrent
     writers; call it from quiescent (merge) phases. *)
 
-val iter : 'a t -> (int -> 'a -> unit) -> unit
+val iter : t -> (int -> int -> unit) -> unit
 (** Visit every binding, shard by shard, without locking — merge-phase
     only. *)
 
-val to_hashtbl : 'a t -> (int, 'a) Hashtbl.t
+val to_hashtbl : t -> (int, int) Hashtbl.t
 (** Snapshot into a plain [Hashtbl] (merge-phase only). *)
+
+val bytes : t -> int
+(** Heap footprint of the shard storage (merge-phase only). *)

@@ -67,6 +67,10 @@ expect 2 certify xyz-bad --engine parallel --jobs 2
 expect 2 certify naive-ring --nodes 3 --faults corrupt:k=1
 # 3: eager refuses an oversized space
 expect 3 check dijkstra --nodes 12 -k 13 --engine eager
+# 3: even the lazy engine refuses a space the 60-bit state encoding cannot
+# address (13^56 ≈ 2^207) — a typed encoding overflow, not a crash
+expect 3 check dijkstra --nodes 56 -k 13 --engine lazy
+expect 3 check dijkstra --nodes 56 -k 13 --engine parallel --jobs 2
 # 4: lazy runs out of budget (full sweep and ball-seeded)
 expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000
 expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000 --ball 2

@@ -11,6 +11,7 @@ let () =
       ("explore", Test_explore.suite);
       ("engine", Test_engine.suite);
       ("par", Test_par.suite);
+      ("storage", Test_storage.suite);
       ("sim", Test_sim.suite);
       ("faults", Test_faults.suite);
       ("core", Test_core.suite);
