@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke fuzz bench e19-smoke clean
+.PHONY: all build test check smoke fuzz bench e19-smoke e20-smoke clean
 
 all: build
 
@@ -23,6 +23,8 @@ smoke:
 	dune exec bin/nonmask_cli.exe -- storm token-ring --nodes 5 -k 6 --rate 0.1 --trials 200 --jobs 2
 	dune exec bin/nonmask_cli.exe -- check token-ring --nodes 4 -k 4 --engine parallel --jobs 2 --trace-out /tmp/nonmask-smoke-trace.jsonl --metrics-out /tmp/nonmask-smoke-metrics.json --progress
 	dune exec bin/nonmask_cli.exe -- fuzz --seed 42 --count 50 --jobs 2
+	sh -c 'dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --budget-states 2000 --checkpoint-out /tmp/nonmask-smoke-ckpt.snap; [ $$? -eq 5 ]'
+	dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --resume /tmp/nonmask-smoke-ckpt.snap
 	sh test/smoke_exit_codes.sh
 
 # Differential fuzzing: random models through all three engine backends,
@@ -41,6 +43,12 @@ bench:
 # (the full 10^8 tier is `dune exec bench/main.exe -- e19`).
 e19-smoke:
 	dune exec bench/main.exe -- e19-smoke --metrics-out bench-e19-metrics.json
+
+# Bounded graceful-degradation leg: E20 checkpoint/resume fidelity and
+# overhead at 10^6 states (the full 10^7 tier is
+# `dune exec bench/main.exe -- e20`).
+e20-smoke:
+	dune exec bench/main.exe -- e20-smoke --metrics-out bench-e20-metrics.json
 
 clean:
 	dune clean

@@ -1771,6 +1771,128 @@ let e19_run ~vars ~det_vars ~baseline_keys () =
 let e19 () = e19_run ~vars:8 ~det_vars:7 ~baseline_keys:10_000_000 ()
 let e19_smoke () = e19_run ~vars:6 ~det_vars:5 ~baseline_keys:1_000_000 ()
 
+(* E20: graceful degradation - checkpoint/resume fidelity and overhead.
+   E19's digit-sum region query over the grid model, but each leg is cut
+   by a state-budget guard at ~1/3 and again at ~2/3 of the sweep; at
+   each cut the wavefront snapshot is written to disk, loaded back, and
+   resumed in a fresh engine. The final region must be bit-identical to
+   the uninterrupted lazy baseline on the lazy backend and the parallel
+   backend at jobs 1 and 4, and the snapshot write+load time must stay
+   under 15% of the leg's wall clock (the graceful-degradation
+   contract). [e20] runs the 10^7-state tier; [e20-smoke] is the same
+   shape at 10^6 for CI. *)
+let e20_run ~vars () =
+  let pow10 n = int_of_float (10.0 ** float_of_int n) in
+  let total = pow10 vars in
+  let slice_sum = 9 * vars / 2 in
+  let slice s =
+    let sum = ref 0 in
+    for i = 0 to vars - 1 do
+      sum := !sum + Guarded.State.get_index s i
+    done;
+    !sum <> slice_sum
+  in
+  let env, cp = grid_model vars in
+  let zero () = Guarded.State.init env (fun _ -> 0) in
+  let salt = Printf.sprintf "e20-grid-%d" vars in
+  let make ?guard ~backend ~jobs () =
+    Engine.create ?guard ~backend ~jobs ~max_states:(4 * total)
+      ~snapshots:true ~salt env
+  in
+  let base_reg, base_ms =
+    let engine = make ~backend:Engine.Lazy ~jobs:1 () in
+    time (fun () ->
+        Engine.region engine cp ~from:(Engine.Seeds [ zero () ]) ~target:slice)
+  in
+  let file = Filename.temp_file "nonmask-e20" ".snap" in
+  (* Run one interrupted/resumed chain: budget at total/3, snapshot to
+     disk, load, resume under 2*total/3, snapshot again, resume to the
+     verdict. Returns the final region, search wall time, snapshot
+     write+load wall time, the number of cuts actually taken (the
+     parallel backend polls at wave boundaries, so a wide wave can
+     overshoot the second budget), and the last snapshot's file size. *)
+  let chain ~backend ~jobs =
+    let snap_ms = ref 0.0 and resume = ref None in
+    let cuts = ref 0 and snap_bytes = ref 0 in
+    let rec go budgets run_ms =
+      let guard =
+        match budgets with
+        | [] -> None
+        | b :: _ ->
+            Some (Rt.Guard.create ~budget:(Rt.Budget.make ~max_states:b ()) ())
+      in
+      let engine = make ?guard ~backend ~jobs () in
+      match
+        time (fun () ->
+            try
+              `Done
+                (Engine.region ?resume:!resume engine cp
+                   ~from:(Engine.Seeds [ zero () ]) ~target:slice)
+            with Engine.Interrupted it -> `Cut it)
+      with
+      | `Done r, ms -> (r, run_ms +. ms)
+      | `Cut it, ms ->
+          incr cuts;
+          let snap = Option.get it.Engine.snapshot in
+          let (), save_ms = time (fun () -> Rt.Snapshot.save ~file snap) in
+          let loaded, load_ms = time (fun () -> Rt.Snapshot.load ~file) in
+          snap_bytes := (Unix.stat file).Unix.st_size;
+          snap_ms := !snap_ms +. save_ms +. load_ms;
+          resume := Some loaded;
+          go (List.tl budgets) (run_ms +. ms)
+    in
+    let region, run_ms = go [ total / 3; 2 * total / 3 ] 0.0 in
+    (region, run_ms, !snap_ms, !cuts, !snap_bytes)
+  in
+  let rows =
+    List.map
+      (fun (backend, jobs) ->
+        let reg, run_ms, snap_ms, cuts, snap_bytes = chain ~backend ~jobs in
+        let same =
+          reg.Engine.explored = base_reg.Engine.explored
+          && reg.Engine.node_key = base_reg.Engine.node_key
+          && reg.Engine.terminal = base_reg.Engine.terminal
+        in
+        let pct = 100.0 *. snap_ms /. (run_ms +. snap_ms) in
+        [
+          (match backend with Engine.Lazy -> "lazy" | _ -> "parallel");
+          string_of_int jobs;
+          string_of_int cuts;
+          Table.i reg.Engine.explored;
+          Table.f1 (run_ms +. snap_ms);
+          Printf.sprintf "%.1f" snap_ms;
+          Printf.sprintf "%.1f KiB" (float_of_int snap_bytes /. 1024.0);
+          Printf.sprintf "%.2f%%%s" pct (if pct >= 15.0 then " OVER" else "");
+          (if same then "= lazy (bit-identical)" else "DIFFERS");
+        ])
+      [ (Engine.Lazy, 1); (Engine.Parallel, 1); (Engine.Parallel, 4) ]
+  in
+  Sys.remove file;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E20: checkpoint/resume - region of digit-sum = %d over grid-%d \
+          (%s states), each leg interrupted at ~1/3 and ~2/3 by a state \
+          budget, snapshotted to disk, and resumed; node keys and \
+          terminal flags compared element-wise vs the uninterrupted lazy \
+          run (snap%% = snapshot write+load share of wall time, contract \
+          < 15%%)"
+         slice_sum vars (Table.i total))
+    ~header:
+      [
+        "engine"; "jobs"; "cuts"; "explored"; "ms"; "snap ms"; "snap size";
+        "snap%"; "verdict";
+      ]
+    ([
+       "lazy (baseline)"; "-"; "0";
+       Table.i base_reg.Engine.explored;
+       Table.f1 base_ms; "-"; "-"; "-"; "baseline";
+     ]
+    :: rows)
+
+let e20 () = e20_run ~vars:7 ()
+let e20_smoke () = e20_run ~vars:6 ()
+
 let experiments =
   [
     ("e1", e1);
@@ -1793,6 +1915,8 @@ let experiments =
     ("e18", e18);
     ("e19", e19);
     ("e19-smoke", e19_smoke);
+    ("e20", e20);
+    ("e20-smoke", e20_smoke);
     ("micro", micro);
   ]
 
@@ -1816,8 +1940,12 @@ let () =
   let requested =
     match parse [] (List.tl (Array.to_list Sys.argv)) with
     (* the no-arg run covers everything except the 100M-state e19 tier
-       (minutes of wall clock); its e19-smoke twin stands in for it *)
-    | [] -> List.filter (fun n -> n <> "e19") (List.map fst experiments)
+       and the 10M-state e20 tier (minutes of wall clock); their
+       *-smoke twins stand in for them *)
+    | [] ->
+        List.filter
+          (fun n -> n <> "e19" && n <> "e20")
+          (List.map fst experiments)
     | names -> names
   in
   let obs =

@@ -19,11 +19,17 @@
    Exit codes (documented in the README, asserted by
    test/smoke_exit_codes.sh):
      0  success
-     1  usage or instance-construction error
+     1  usage or instance-construction error (including corrupt or
+        mismatched --resume snapshots)
      2  failed certificate or convergence verdict
      3  state space over the eager engine's budget (Space.Too_large);
         for fuzz: a surviving minimized counterexample
-     4  lazy exploration over budget (Engine.Region_overflow) *)
+     4  lazy exploration over budget (Engine.Region_overflow)
+     5  incomplete: a --deadline/--budget-* ceiling or SIGINT/SIGTERM
+        stopped the run before a verdict; stderr carries one
+        machine-readable "error: incomplete: {...}" line, and
+        --checkpoint-out (check, certify --faults) holds a snapshot
+        that --resume continues bit-identically *)
 
 open Cmdliner
 
@@ -295,8 +301,184 @@ let ball_arg =
            instead of from every state. Lets the lazy engine give verdicts \
            on spaces far beyond $(b,--max-states).")
 
-let make_engine ~backend ~max_states ~jobs ?obs env =
-  Explore.Engine.create ~backend ~max_states ~jobs ?obs env
+let make_engine ~backend ~max_states ~jobs ?obs ?guard ?snapshots ?salt env =
+  Explore.Engine.create ~backend ~max_states ~jobs ?obs ?guard ?snapshots
+    ?salt env
+
+(* --- graceful degradation: budgets, signals, checkpoints --- *)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget for the whole run. When it expires the run \
+           stops cooperatively at the next wave/chunk boundary with a \
+           partial verdict (exit 5) instead of being killed — and, with \
+           $(b,--checkpoint-out), a resumable snapshot.")
+
+let budget_states_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-states" ] ~docv:"N"
+        ~doc:
+          "Stop gracefully (exit 5) once the search has visited $(docv) \
+           states. Unlike $(b,--max-states) — a hard cap that aborts with \
+           exit 4 — this yields a partial verdict and, with \
+           $(b,--checkpoint-out), a resumable snapshot.")
+
+let budget_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Stop gracefully (exit 5) once the search's flat storage \
+           (visited tables plus frontiers) exceeds $(docv) bytes.")
+
+let checkpoint_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-out" ] ~docv:"FILE"
+        ~doc:
+          "When the run is interrupted (budget exhausted, SIGINT/SIGTERM), \
+           write a versioned, checksummed snapshot of the exploration \
+           wavefront to $(docv); $(b,--resume) $(docv) continues to a \
+           verdict bit-identical to an uninterrupted run, on the lazy or \
+           parallel engine at any $(b,--jobs) count. Opened up front, so \
+           an unwritable path fails immediately; removed again when the \
+           run completes without interruption.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Continue from a $(b,--checkpoint-out) snapshot. The model and \
+           engine configuration must match the interrupted run (the \
+           snapshot's config hash is verified; engine and job count may \
+           differ); corrupt or mismatched snapshots exit 1.")
+
+let trial_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "trial-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Watchdog: abandon any single trial that runs longer than \
+           $(docv) seconds and retry it (up to $(b,--trial-retries) \
+           times), so one pathological trial cannot hang the sweep.")
+
+let trial_retries_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "trial-retries" ] ~docv:"N"
+        ~doc:"Extra attempts after a trial times out (default 1).")
+
+let exit_incomplete = 5
+
+(* First signal: request cooperative cancellation; the run stops at the
+   next polling point, saves its checkpoint, flushes --trace-out and
+   --metrics-out, and exits 5. Second signal: stop waiting and exit 5
+   directly — the at_exit finalizers still flush the observability
+   files, which a default signal death would lose. *)
+let install_signal_handlers cancel =
+  let handle name =
+    Sys.Signal_handle
+      (fun _ ->
+        if Rt.Cancel.get cancel <> None then exit exit_incomplete
+        else Rt.Cancel.request cancel (Rt.Cancel.Signal name))
+  in
+  List.iter
+    (fun (s, name) ->
+      try Sys.set_signal s (handle name) with Invalid_argument _ -> ())
+    [ (Sys.sigint, "SIGINT"); (Sys.sigterm, "SIGTERM") ]
+
+let make_guard ~deadline ~budget_states ~budget_bytes =
+  let cancel = Rt.Cancel.create () in
+  install_signal_handlers cancel;
+  let budget =
+    try
+      Rt.Budget.make ?deadline_s:deadline ?max_states:budget_states
+        ?max_bytes:budget_bytes ()
+    with Invalid_argument msg -> failwith msg
+  in
+  Rt.Guard.create ~budget ~cancel ()
+
+let prepare_checkpoint = function
+  | None -> ()
+  | Some file -> (
+      try close_out (open_out file)
+      with Sys_error msg ->
+        failwith (Printf.sprintf "cannot open --checkpoint-out: %s" msg))
+
+(* A clean completion removes the placeholder opened up front, so a
+   leftover --checkpoint-out file always means "there is something to
+   resume". *)
+let cleanup_checkpoint = function
+  | Some file
+    when Sys.file_exists file && (Unix.stat file).Unix.st_size = 0 ->
+      Sys.remove file
+  | _ -> ()
+
+let load_snapshot file =
+  try Rt.Snapshot.load ~file with
+  | Rt.Snapshot.Corrupt msg ->
+      failwith (Printf.sprintf "cannot resume from %s: %s" file msg)
+  | Sys_error msg -> failwith (Printf.sprintf "cannot resume: %s" msg)
+
+(* The exit-5 path: save the checkpoint if one was captured, emit a final
+   run.incomplete trace event, and print one machine-readable line on
+   stderr (stdout may be discarded by scripts; the at_exit finalizers
+   flush --trace-out/--metrics-out). *)
+let report_incomplete ~obs ?checkpoint_out (it : Explore.Engine.interrupt) =
+  let saved =
+    match (checkpoint_out, it.Explore.Engine.snapshot) with
+    | Some file, Some snap ->
+        Rt.Snapshot.save snap ~file;
+        Some file
+    | _ -> None
+  in
+  let reason = Rt.Cancel.reason_label it.Explore.Engine.reason in
+  if Obs.Ctx.enabled obs then
+    Obs.Ctx.emit obs "run.incomplete"
+      ([
+         ("reason", Obs.Sink.S reason);
+         ("states_seen", Obs.Sink.I it.Explore.Engine.states_seen);
+         ("frontier_size", Obs.Sink.I it.Explore.Engine.frontier_size);
+       ]
+      @
+      match saved with
+      | Some f -> [ ("checkpoint", Obs.Sink.S f) ]
+      | None -> []);
+  Printf.eprintf "error: incomplete: %s\n"
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("reason", Obs.Json.Str reason);
+            ("states_seen", Obs.Json.Int it.Explore.Engine.states_seen);
+            ("frontier_size", Obs.Json.Int it.Explore.Engine.frontier_size);
+            ( "checkpoint",
+              match saved with
+              | Some f -> Obs.Json.Str f
+              | None -> Obs.Json.Null );
+          ]));
+  exit exit_incomplete
+
+(* The reason a guard-governed Monte-Carlo sweep (storm, fuzz) went
+   partial: the cancel token records what tripped first. *)
+let guard_reason guard =
+  match Rt.Guard.cancel guard with
+  | Some c -> (
+      match Rt.Cancel.get c with
+      | Some r -> r
+      | None -> Rt.Cancel.Deadline)
+  | None -> Rt.Cancel.Deadline
 
 (* --- observability flags (check / certify / storm) --- *)
 
@@ -493,8 +675,14 @@ let fault_budget_arg =
 
 let certify_cmd =
   let run proto shape size nodes k seed backend max_states jobs fault_spec
-      fault_budget ball trace_out metrics_out progress =
+      fault_budget ball trace_out metrics_out progress deadline budget_states
+      budget_bytes checkpoint_out resume_file =
     try
+      if (checkpoint_out <> None || resume_file <> None) && fault_spec = None
+      then
+        failwith
+          "certify: --checkpoint-out/--resume require --faults (only the \
+           computed fault span is checkpointable)";
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
       let obs =
         obs_setup ~trace_out ~metrics_out ~progress
@@ -502,11 +690,32 @@ let certify_cmd =
             (run_meta ~command:"certify" ~instance:i.i_name
                ~engine:(backend_str backend) ~jobs)
       in
+      let guard = make_guard ~deadline ~budget_states ~budget_bytes in
+      let handle_incomplete work =
+        try work () with
+        | Explore.Engine.Interrupted it ->
+            report_incomplete ~obs ?checkpoint_out it
+        | Rt.Cancel.Cancelled reason ->
+            report_incomplete ~obs ?checkpoint_out
+              { reason; states_seen = 0; frontier_size = 0; snapshot = None }
+        | Rt.Snapshot.Corrupt msg ->
+            failwith (Printf.sprintf "cannot resume: %s" msg)
+      in
       (match fault_spec with
       | Some spec -> (
           let fault = parse_fault_spec i.env spec in
+          let resume = Option.map load_snapshot resume_file in
+          prepare_checkpoint checkpoint_out;
+          let salt =
+            Printf.sprintf "certify|%s|seed=%d|faults=%s|ball=%d" i.i_name
+              seed spec ball
+          in
           try
-            let engine = make_engine ~backend ~max_states ~jobs ~obs i.env in
+            handle_incomplete @@ fun () ->
+            let engine =
+              make_engine ~backend ~max_states ~jobs ~obs ~guard
+                ~snapshots:(checkpoint_out <> None) ~salt i.env
+            in
             let from =
               if ball < 0 then None
               else
@@ -524,12 +733,13 @@ let certify_cmd =
             let cert =
               Nonmask.Certify.tolerance ~engine ~program:i.program
                 ~faults:(Sim.Fault.actions fault) ~invariant:i.invariant
-                ?from ?budget
+                ?from ?budget ?resume
                 ~name:
                   (Printf.sprintf "%s under %s" i.i_name
                      fault.Sim.Fault.name)
                 ()
             in
+            cleanup_checkpoint checkpoint_out;
             Format.printf "%a@." Nonmask.Certify.pp_full cert;
             if not (Nonmask.Certify.ok cert) then
               fail_verdict
@@ -545,8 +755,9 @@ let certify_cmd =
                 i.i_name
           | Some certify -> (
               try
+                handle_incomplete @@ fun () ->
                 let engine =
-                  make_engine ~backend ~max_states ~jobs ~obs i.env
+                  make_engine ~backend ~max_states ~jobs ~obs ~guard i.env
                 in
                 let cert = certify ~engine in
                 Format.printf "%a@." Nonmask.Certify.pp_full cert;
@@ -569,11 +780,13 @@ let certify_cmd =
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ fault_spec_arg
       $ fault_budget_arg $ ball_arg $ trace_out_arg $ metrics_out_arg
-      $ progress_arg)
+      $ progress_arg $ deadline_arg $ budget_states_arg $ budget_bytes_arg
+      $ checkpoint_out_arg $ resume_arg)
 
 let check_cmd =
   let run proto shape size nodes k seed backend max_states jobs ball
-      trace_out metrics_out progress =
+      trace_out metrics_out progress deadline budget_states budget_bytes
+      checkpoint_out resume_file =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
       let obs =
@@ -582,8 +795,21 @@ let check_cmd =
             (run_meta ~command:"check" ~instance:i.i_name
                ~engine:(backend_str backend) ~jobs)
       in
+      let guard =
+        make_guard ~deadline ~budget_states ~budget_bytes
+      in
+      let resume = Option.map load_snapshot resume_file in
+      prepare_checkpoint checkpoint_out;
+      (* The salt excludes engine and jobs (checkpoints resume across
+         both) but pins everything else that shapes the result. *)
+      let salt =
+        Printf.sprintf "check|%s|seed=%d|ball=%d" i.i_name seed ball
+      in
       (try
-         let engine = make_engine ~backend ~max_states ~jobs ~obs i.env in
+         let engine =
+           make_engine ~backend ~max_states ~jobs ~obs ~guard
+             ~snapshots:(checkpoint_out <> None) ~salt i.env
+         in
          let from, from_desc =
            if ball < 0 then (Explore.Engine.All, "every state")
            else
@@ -594,10 +820,11 @@ let check_cmd =
                  ball )
          in
          match
-           Explore.Convergence.check_unfair engine
+           Explore.Convergence.check_unfair ?resume engine
              (Compile.program i.program) ~from ~target:i.invariant
          with
          | Ok { region_states; explored; worst_case_steps } ->
+             cleanup_checkpoint checkpoint_out;
              Printf.printf
                "%s (%s engine): converges from %s, even without fairness\n\
                \  explored: %d  outside invariant: %d  worst-case steps: %s\n"
@@ -608,12 +835,21 @@ let check_cmd =
                | Some w -> string_of_int w
                | None -> "-")
          | Error f ->
+             cleanup_checkpoint checkpoint_out;
              Format.printf "%s: FAILS@.%a@." i.i_name
                (Explore.Convergence.pp_failure i.env)
                f;
              fail_verdict
                (Printf.sprintf "%s: convergence check failed" i.i_name)
-       with e -> report_overflow i e);
+       with
+       | Explore.Engine.Interrupted it ->
+           report_incomplete ~obs ?checkpoint_out it
+       | Rt.Cancel.Cancelled reason ->
+           report_incomplete ~obs ?checkpoint_out
+             { reason; states_seen = 0; frontier_size = 0; snapshot = None }
+       | Rt.Snapshot.Corrupt msg ->
+           failwith (Printf.sprintf "cannot resume: %s" msg)
+       | e -> report_overflow i e);
       0
     with Failure msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -627,7 +863,9 @@ let check_cmd =
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ ball_arg
-      $ trace_out_arg $ metrics_out_arg $ progress_arg)
+      $ trace_out_arg $ metrics_out_arg $ progress_arg $ deadline_arg
+      $ budget_states_arg $ budget_bytes_arg $ checkpoint_out_arg
+      $ resume_arg)
 
 let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trial count.")
@@ -689,15 +927,25 @@ let max_steps_storm_arg =
     & opt int 100_000
     & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget per trial.")
 
+let make_watchdog ~trial_timeout ~trial_retries =
+  match trial_timeout with
+  | None -> None
+  | Some t -> (
+      try Some (Rt.Watchdog.make ~retries:trial_retries ~timeout_s:t ())
+      with Invalid_argument msg -> failwith msg)
+
 let storm_cmd =
   let run proto shape size nodes k seed trials fault_spec rate fault_budget
-      max_steps jobs trace_out metrics_out progress =
+      max_steps jobs trace_out metrics_out progress deadline budget_states
+      budget_bytes trial_timeout trial_retries =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
       let obs =
         obs_setup ~trace_out ~metrics_out ~progress
           ~meta:(run_meta ~command:"storm" ~instance:i.i_name ~engine:"-" ~jobs)
       in
+      let guard = make_guard ~deadline ~budget_states ~budget_bytes in
+      let watchdog = make_watchdog ~trial_timeout ~trial_retries in
       let cp = Compile.program i.program in
       let fault =
         parse_fault_spec i.env
@@ -707,7 +955,7 @@ let storm_cmd =
         match fault_budget with Some b when b >= 0 -> Some b | _ -> None
       in
       let result =
-        Sim.Storm.trials ~max_steps ?fault_budget ~jobs ~obs
+        Sim.Storm.trials ~max_steps ?fault_budget ~jobs ~obs ~guard ?watchdog
           ~rng:(Prng.create seed) ~trials
           ~daemon:(fun r -> Sim.Daemon.random r)
           ~prepare:(fun r ->
@@ -718,6 +966,14 @@ let storm_cmd =
       in
       Format.printf "%s: storm %s rate=%g, %d trials: %a@." i.i_name
         fault.Sim.Fault.name rate trials Sim.Storm.pp_result result;
+      if result.Sim.Storm.skipped > 0 then
+        report_incomplete ~obs
+          {
+            Explore.Engine.reason = guard_reason guard;
+            states_seen = trials - result.Sim.Storm.skipped;
+            frontier_size = result.Sim.Storm.skipped;
+            snapshot = None;
+          };
       0
     with Failure msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -733,7 +989,8 @@ let storm_cmd =
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ trials_arg $ fault_spec_arg $ rate_arg $ fault_budget_arg
       $ max_steps_storm_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg
-      $ progress_arg)
+      $ progress_arg $ deadline_arg $ budget_states_arg $ budget_bytes_arg
+      $ trial_timeout_arg $ trial_retries_arg)
 
 let count_arg =
   Arg.(
@@ -760,7 +1017,8 @@ let no_shrink_arg =
 let exit_counterexample = 3
 
 let fuzz_cmd =
-  let run seed count max_vars jobs no_shrink trace_out metrics_out progress =
+  let run seed count max_vars jobs no_shrink trace_out metrics_out progress
+      deadline budget_states budget_bytes trial_timeout trial_retries =
     try
       if max_vars < 2 then failwith "fuzz: --max-vars must be at least 2";
       if count < 0 then failwith "fuzz: --count must be non-negative";
@@ -771,10 +1029,12 @@ let fuzz_cmd =
                ~instance:(Printf.sprintf "seed=%d count=%d" seed count)
                ~engine:"all" ~jobs)
       in
+      let guard = make_guard ~deadline ~budget_states ~budget_bytes in
+      let watchdog = make_watchdog ~trial_timeout ~trial_retries in
       let report =
         Gen.Fuzz.run
           ~gen_config:(Gen.Generate.with_max_vars max_vars)
-          ~shrink:(not no_shrink) ~jobs ~obs ~seed ~count ()
+          ~shrink:(not no_shrink) ~jobs ~obs ~guard ?watchdog ~seed ~count ()
       in
       Format.printf "%a@." Gen.Fuzz.pp_report report;
       if report.Gen.Fuzz.counterexamples <> [] then begin
@@ -784,6 +1044,18 @@ let fuzz_cmd =
           (List.length report.Gen.Fuzz.counterexamples);
         exit exit_counterexample
       end;
+      (* A counterexample outranks a partial sweep: exit 3 above wins.
+         Watchdog-abandoned trials also leave the sample incomplete. *)
+      if report.Gen.Fuzz.skipped > 0 || report.Gen.Fuzz.timeouts <> [] then
+        report_incomplete ~obs
+          {
+            Explore.Engine.reason = guard_reason guard;
+            states_seen =
+              count - report.Gen.Fuzz.skipped
+              - List.length report.Gen.Fuzz.timeouts;
+            frontier_size = report.Gen.Fuzz.skipped;
+            snapshot = None;
+          };
       0
     with Failure msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -798,7 +1070,9 @@ let fuzz_cmd =
           counterexample)")
     Term.(
       const run $ seed_arg $ count_arg $ max_vars_arg $ jobs_arg
-      $ no_shrink_arg $ trace_out_arg $ metrics_out_arg $ progress_arg)
+      $ no_shrink_arg $ trace_out_arg $ metrics_out_arg $ progress_arg
+      $ deadline_arg $ budget_states_arg $ budget_bytes_arg
+      $ trial_timeout_arg $ trial_retries_arg)
 
 let dot_cmd =
   let run i _seed =

@@ -86,10 +86,24 @@ let render_cycle engine region (combined : Guarded.Compile.program)
         (Format.asprintf "\n      %a" (Guarded.State.pp env) s));
   Buffer.contents buf
 
-let tolerance ~engine ~program ~faults ~invariant ?from ?budget
+(* The post-span certificate phases (closure scan, convergence,
+   recurrence) are cancellable but not resumable: an interruption there
+   must not hand the caller a snapshot of some internal sub-search (the
+   convergence/recurrence region queries write "region"-kind
+   checkpoints that a certify [--resume] could never consume). Strip
+   the snapshot so the CLI reports the incomplete verdict without
+   persisting a misleading checkpoint. *)
+let unresumable_phase f =
+  try f ()
+  with Explore.Engine.Interrupted i ->
+    raise (Explore.Engine.Interrupted { i with snapshot = None })
+
+let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
     ?(require_recurrence_resilience = false) ~name () =
   let env = Explore.Engine.env engine in
   let obs = Explore.Engine.obs engine in
+  let guard = Explore.Engine.guard engine in
+  let guard_on = Rt.Guard.active guard in
   let from =
     match from with Some f -> f | None -> Explore.Engine.Pred invariant
   in
@@ -102,7 +116,8 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
   in
   let span =
     Obs.Ctx.time obs "certify.span" @@ fun () ->
-    Explore.Faultspan.compute engine ~program:cp ?budget ~faults:fp ~from ()
+    Explore.Faultspan.compute engine ~program:cp ?budget ?resume ~faults:fp
+      ~from ()
   in
   let span_states = Explore.Faultspan.states span in
   let span_check =
@@ -125,6 +140,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
                     hist))))
   in
   let closure_check =
+    unresumable_phase @@ fun () ->
     Obs.Ctx.time obs "certify.closure" @@ fun () ->
     let include_faults = budget = None in
     let label =
@@ -144,10 +160,22 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
        state order × action order. The order is the same for the
        sequential and the chunk-ordered parallel scan, so both report
        the same first violation. *)
-    let first_violation acts buf post lo hi =
+    let first_violation ~poll acts buf post lo hi =
       let violation = ref None in
       (try
          for i = lo to hi - 1 do
+           (if poll && i land 2047 = 0 then
+              match Rt.Guard.poll guard ~states:i ~bytes:0 with
+              | None -> ()
+              | Some reason ->
+                  raise
+                    (Explore.Engine.Interrupted
+                       {
+                         reason;
+                         states_seen = Explore.Faultspan.count span;
+                         frontier_size = 0;
+                         snapshot = None;
+                       }));
            Explore.Faultspan.decode_nth_into span i buf;
            Array.iter
              (fun (ca : Guarded.Compile.action) ->
@@ -173,9 +201,25 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
     let violation =
       if Explore.Engine.backend engine <> Explore.Engine.Parallel || jobs = 1
       then
-        first_violation (compile_acts cp fp) (Guarded.State.make env)
-          (Guarded.State.make env) 0 n
-      else
+        first_violation ~poll:guard_on (compile_acts cp fp)
+          (Guarded.State.make env) (Guarded.State.make env) 0 n
+      else begin
+        (* Chunk-boundary cancellation point: worker loops do not raise
+           across the pool, so the parallel scan checks once up front and
+           runs to completion (bounded by the already-materialized span). *)
+        if guard_on then begin
+          match Rt.Guard.poll guard ~states:n ~bytes:0 with
+          | None -> ()
+          | Some reason ->
+              raise
+                (Explore.Engine.Interrupted
+                   {
+                     reason;
+                     states_seen = n;
+                     frontier_size = 0;
+                     snapshot = None;
+                   })
+        end;
         Par.Pool.with_pool ~jobs @@ fun pool ->
         (* Compiled actions carry private scratch, so each worker domain
            recompiles its own copies; decode buffers are per-worker too. *)
@@ -197,10 +241,11 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
            sequential scan would have reported. *)
         Par.Pool.map_reduce pool ~n
           ~map:(fun ~worker lo hi ->
-            first_violation worker_acts.(worker) worker_buf.(worker)
-              worker_post.(worker) lo hi)
+            first_violation ~poll:false worker_acts.(worker)
+              worker_buf.(worker) worker_post.(worker) lo hi)
           (fun acc v -> match acc with Some _ -> acc | None -> v)
           None
+      end
     in
     match violation with
     | None -> check_pass label
@@ -208,6 +253,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
   in
   let conv_ok, conv_check =
     match
+      unresumable_phase @@ fun () ->
       Obs.Ctx.time obs "certify.convergence" @@ fun () ->
       Explore.Convergence.check_fair engine cp
         ~from:(Explore.Engine.Seeds span_states) ~target:invariant
@@ -250,6 +296,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget
         ~detail:"see the failing checks above"
   in
   let recurrence_check =
+    unresumable_phase @@ fun () ->
     Obs.Ctx.time obs "certify.recurrence" @@ fun () ->
     let first_fault_index = Array.length cp.Guarded.Compile.actions in
     match

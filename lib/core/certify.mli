@@ -47,6 +47,7 @@ val tolerance :
   invariant:(Guarded.State.t -> bool) ->
   ?from:Explore.Engine.roots ->
   ?budget:int ->
+  ?resume:Rt.Snapshot.t ->
   ?require_recurrence_resilience:bool ->
   name:string ->
   unit ->
@@ -75,9 +76,19 @@ val tolerance :
       environment actions, not program defects — reported as informational
       unless [require_recurrence_resilience] is set (default [false]).
 
+    The certification pipeline polls the engine's guard throughout: the
+    span search at its chunk/wave boundaries, the closure scan every few
+    thousand states, the convergence and recurrence phases through their
+    internal region searches. A trip raises {!Explore.Engine.Interrupted};
+    only an interruption {e during the span search} carries a resumable
+    snapshot ([resume] feeds it back to {!Explore.Faultspan.compute}) —
+    the later phases re-derive from the span, so their interrupts carry
+    [None] and a resumed run repeats them.
+
     @raise Explore.Engine.Region_overflow when a lazy engine's budget is
     exceeded while computing the span (the recurring-fault analysis instead
-    degrades to an informational "skipped" check on overflow). *)
+    degrades to an informational "skipped" check on overflow).
+    @raise Explore.Engine.Interrupted when the engine's guard trips. *)
 
 val pp : Format.formatter -> t -> unit
 (** Summary plus any failing checks in full. *)

@@ -28,6 +28,15 @@ let of_edges n edges =
   List.iter (fun (src, dst, label) -> add_edge g ~src ~dst label) edges;
   g
 
+let of_edges_f n ~n_edges f =
+  if n_edges < 0 then invalid_arg "Digraph.of_edges_f: negative edge count";
+  let g = create n in
+  for i = 0 to n_edges - 1 do
+    let src, dst, label = f i in
+    add_edge g ~src ~dst label
+  done;
+  g
+
 let node_count g = g.n
 let edge_count g = g.m
 

@@ -17,6 +17,13 @@ val of_edges : int -> (int * int * 'a) list -> 'a t
 (** [of_edges n edges] builds a graph on [n] nodes from [(src, dst, label)]
     triples. *)
 
+val of_edges_f : int -> n_edges:int -> (int -> int * int * 'a) -> 'a t
+(** [of_edges_f n ~n_edges f] builds a graph on [n] nodes whose [i]-th
+    inserted edge is [f i] — [of_edges] without materializing a list,
+    for edge sets held in flat buffers. Insertion order (and therefore
+    every order-sensitive accessor) matches
+    [of_edges n (List.init n_edges f)]. *)
+
 val add_edge : 'a t -> src:int -> dst:int -> 'a -> unit
 (** @raise Invalid_argument if an endpoint is out of range. *)
 

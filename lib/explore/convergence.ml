@@ -56,8 +56,8 @@ let analyze_unfair engine (region : Engine.region) =
               worst_case_steps = Some worst;
             })
 
-let check_unfair engine cp ~from ~target =
-  analyze_unfair engine (Engine.region engine cp ~from ~target)
+let check_unfair ?resume engine cp ~from ~target =
+  analyze_unfair engine (Engine.region ?resume engine cp ~from ~target)
 
 (* Weak-fairness escape criterion for one SCC: an action enabled at every
    state of the component whose execution always leaves the component.

@@ -46,13 +46,18 @@ type verdict =
       (** Sample states of an SCC the fair criterion could not discharge. *)
 
 val check_unfair :
+  ?resume:Rt.Snapshot.t ->
   Engine.t ->
   Guarded.Compile.program ->
   from:Engine.roots ->
   target:(Guarded.State.t -> bool) ->
   (stats, failure) result
 (** Exact check: do all maximal interleavings from [from] reach [target]?
-    @raise Engine.Region_overflow when a lazy engine exceeds its budget. *)
+    [resume] continues the underlying region search from a checkpoint
+    written by an interrupted run (see {!Engine.region}); the verdict is
+    bit-identical to an uninterrupted check.
+    @raise Engine.Region_overflow when a lazy engine exceeds its budget.
+    @raise Engine.Interrupted when the engine's guard trips. *)
 
 val check_fair :
   Engine.t ->

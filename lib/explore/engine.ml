@@ -16,6 +16,9 @@ type t = {
   packed : bool;  (* keys are bit-packed codes instead of dense ids *)
   direct : bool;  (* visited sets are direct-mapped over the dense range *)
   obs : Obs.Ctx.t;
+  guard : Rt.Guard.t;  (* cooperative budget/cancellation polling point *)
+  snapshots : bool;  (* build a resumable snapshot when interrupted *)
+  salt : string;  (* caller context folded into config hashes *)
   mutable csr : (Compile.program * Tsys.t) option;
       (* Cache of the eager CSR build, keyed by physical equality of the
          compiled program: repeated queries against the same program (the
@@ -25,6 +28,15 @@ type t = {
 }
 
 exception Region_overflow of int
+
+type interrupt = {
+  reason : Rt.Cancel.reason;
+  states_seen : int;
+  frontier_size : int;
+  snapshot : Rt.Snapshot.t option;
+}
+
+exception Interrupted of interrupt
 
 type roots =
   | All
@@ -46,7 +58,8 @@ let direct_auto_cap = 1 lsl 28
 let direct_hard_cap = 1 lsl 30
 
 let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
-    ?(storage = Auto) ?(packed_keys = false) ?(obs = Obs.Ctx.disabled) env =
+    ?(storage = Auto) ?(packed_keys = false) ?(obs = Obs.Ctx.disabled)
+    ?(guard = Rt.Guard.inert) ?(snapshots = false) ?(salt = "") env =
   let jobs =
     match jobs with
     | Some j when j > 0 -> j
@@ -59,8 +72,8 @@ let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
         invalid_arg "Engine.create: packed keys need the lazy or parallel backend";
       let space = Space.create ~max_states env in
       { backend; space; codec = Space.codec space; budget = Space.size space;
-        jobs; packed = false; direct = false; obs; csr = None;
-        last_visited_bytes = 0; last_frontier_bytes = 0 }
+        jobs; packed = false; direct = false; obs; guard; snapshots; salt;
+        csr = None; last_visited_bytes = 0; last_frontier_bytes = 0 }
   | Lazy | Parallel ->
       let space = Space.create_unbounded env in
       let codec = Space.codec space in
@@ -84,12 +97,13 @@ let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
             && Space.size space / 8 <= max_states
       in
       { backend; space; codec; budget = max_states; jobs; packed = packed_keys;
-        direct; obs; csr = None;
+        direct; obs; guard; snapshots; salt; csr = None;
         last_visited_bytes = 0; last_frontier_bytes = 0 }
 
 let of_space ?(obs = Obs.Ctx.disabled) space =
   { backend = Eager; space; codec = Space.codec space;
     budget = Space.size space; jobs = 1; packed = false; direct = false; obs;
+    guard = Rt.Guard.inert; snapshots = false; salt = "";
     csr = None; last_visited_bytes = 0; last_frontier_bytes = 0 }
 
 let backend t = t.backend
@@ -103,6 +117,8 @@ let env t = Space.env t.space
 let max_states t = t.budget
 let jobs t = t.jobs
 let obs t = t.obs
+let guard t = t.guard
+let wants_snapshots t = t.snapshots
 let packed_keys t = t.packed
 
 let storage_name t =
@@ -142,12 +158,157 @@ let tsys t cp =
   match t.csr with
   | Some (cp', tsys) when cp' == cp -> tsys
   | _ ->
-      let tsys = Tsys.build cp t.space in
+      let tsys = Tsys.build ~guard:t.guard cp t.space in
       t.csr <- Some (cp, tsys);
       tsys
 
 (* Growable int array for node keys discovered in order. *)
 module Vec = Par.Ivec
+
+(* --- configuration fingerprints for checkpoint files ---
+
+   A snapshot written under one engine configuration must not silently
+   resume under another: node numbering depends on the codec layout and
+   the key representation, the overflow point on the budget, and the
+   explored set on the model itself. The hash folds the engine-shape
+   parameters with caller-supplied [parts] (action names, and via [salt]
+   the CLI's whole instance/flag spelling). Backend and job count are
+   deliberately excluded — resuming lazy checkpoints on the parallel
+   backend (and vice versa, at any job count) is part of the
+   determinism contract. *)
+
+let config_hash t ~parts =
+  let b = Buffer.create 160 in
+  Buffer.add_string b t.salt;
+  Buffer.add_string b (Format.asprintf "|layout=%a" Codec.pp_layout t.codec);
+  Buffer.add_string b
+    (Printf.sprintf "|packed=%b|budget=%d" t.packed t.budget);
+  List.iter
+    (fun p ->
+      Buffer.add_char b '|';
+      Buffer.add_string b p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let action_names (cp : Compile.program) =
+  Array.to_list
+    (Array.map
+       (fun (ca : Compile.action) -> Guarded.Action.name ca.Compile.source)
+       cp.Compile.actions)
+
+(* --- region snapshots ---
+
+   The resumable wavefront of a region search is: member keys in node
+   order, non-member keys in discovery order (together they rebuild the
+   visited table and the explored count), committed terminals and edges,
+   and the pending frontier in FIFO order. The lazy queue at any pop
+   boundary and the parallel next-wave at any wave boundary are the same
+   FIFO — the E16 equivalence argument applies to any starting queue —
+   so one snapshot format resumes on either backend at any job count.
+   Edges are bit-packed (src, dst, action) into one word when the widths
+   fit, which keeps a 10^7-state checkpoint in the hundreds of MB. *)
+
+let kind_region = "region"
+
+let region_hash t cp = config_hash t ~parts:(kind_region :: action_names cp)
+
+let bits_for n =
+  let rec go b = if n <= 1 lsl b then b else go (b + 1) in
+  go 1
+
+let build_region_snapshot t cp ~explored ~node_keys ~nonmembers ~terminals
+    ~edges ~frontier =
+  let n_members = Vec.len node_keys in
+  let n_actions = Array.length cp.Compile.actions in
+  let n_edges = Vec.len edges / 3 in
+  let node_bits = bits_for n_members and act_bits = bits_for n_actions in
+  let packed = (2 * node_bits) + act_bits <= 62 in
+  let edges_arr =
+    if packed then
+      Array.init n_edges (fun j ->
+          let s = Vec.get edges (3 * j)
+          and d = Vec.get edges ((3 * j) + 1)
+          and a = Vec.get edges ((3 * j) + 2) in
+          (((s lsl node_bits) lor d) lsl act_bits) lor a)
+    else Vec.to_array edges
+  in
+  {
+    Rt.Snapshot.kind = kind_region;
+    config_hash = region_hash t cp;
+    meta =
+      [
+        ("explored", explored);
+        ("n_edges", n_edges);
+        ("edges_packed", (if packed then 1 else 0));
+        ("node_bits", node_bits);
+        ("act_bits", act_bits);
+      ];
+    sections =
+      [
+        ("members", Vec.to_array node_keys);
+        ("nonmembers", Vec.to_array nonmembers);
+        ("terminals", Vec.to_array terminals);
+        ("frontier", frontier);
+        ("edges", edges_arr);
+      ];
+  }
+
+let check_snapshot_kind ~kind ~hash (snap : Rt.Snapshot.t) =
+  if snap.Rt.Snapshot.kind <> kind then
+    raise
+      (Rt.Snapshot.Corrupt
+         (Printf.sprintf
+            "snapshot kind %S where %S was expected (written by a different \
+             subcommand?)"
+            snap.Rt.Snapshot.kind kind));
+  if snap.Rt.Snapshot.config_hash <> hash then
+    raise
+      (Rt.Snapshot.Corrupt
+         "config-hash mismatch: this checkpoint was written under a \
+          different model or engine configuration")
+
+(* Rebuild search state from a snapshot. [add] binds key -> node in
+   whichever visited representation the resuming backend uses; the
+   pending frontier is returned for the backend to re-queue. *)
+let restore_region t cp snap ~add ~node_keys ~nonmembers ~terminals ~edges =
+  check_snapshot_kind ~kind:kind_region ~hash:(region_hash t cp) snap;
+  let members = Rt.Snapshot.section snap "members" in
+  let nonm = Rt.Snapshot.section snap "nonmembers" in
+  let terms = Rt.Snapshot.section snap "terminals" in
+  let frontier = Rt.Snapshot.section snap "frontier" in
+  let edges_arr = Rt.Snapshot.section snap "edges" in
+  let explored = Rt.Snapshot.meta_int snap "explored" in
+  if explored <> Array.length members + Array.length nonm then
+    raise (Rt.Snapshot.Corrupt "inconsistent explored count");
+  Array.iteri
+    (fun i key ->
+      ignore (Vec.push node_keys key);
+      add key i)
+    members;
+  Array.iter
+    (fun key ->
+      ignore (Vec.push nonmembers key);
+      add key (-1))
+    nonm;
+  Array.iter (fun v -> ignore (Vec.push terminals v)) terms;
+  let n_edges = Rt.Snapshot.meta_int snap "n_edges" in
+  if Rt.Snapshot.meta_int snap "edges_packed" = 1 then begin
+    let node_bits = Rt.Snapshot.meta_int snap "node_bits" in
+    let act_bits = Rt.Snapshot.meta_int snap "act_bits" in
+    if node_bits < 1 || act_bits < 1 || (2 * node_bits) + act_bits > 62 then
+      raise (Rt.Snapshot.Corrupt "implausible edge packing");
+    let nmask = (1 lsl node_bits) - 1 and amask = (1 lsl act_bits) - 1 in
+    Array.iter
+      (fun w ->
+        ignore (Vec.push edges ((w lsr (act_bits + node_bits)) land nmask));
+        ignore (Vec.push edges ((w lsr act_bits) land nmask));
+        ignore (Vec.push edges (w land amask)))
+      edges_arr
+  end
+  else Array.iter (fun v -> ignore (Vec.push edges v)) edges_arr;
+  if Vec.len edges <> 3 * n_edges then
+    raise (Rt.Snapshot.Corrupt "inconsistent edge count");
+  (explored, frontier)
 
 (* --- eager backend: answer from the materialized CSR relation --- *)
 
@@ -204,29 +365,91 @@ let seed_roots t ~from visit =
             if p s then visit (Codec.encode_packed t.codec s) s)
       else Space.iter space (fun id s -> if p s then visit id s)
 
-let lazy_region t cp ~from ~target =
+let finish_region t ~visited_bytes ~frontier_bytes ~node_keys ~nonmembers:_
+    ~terminals ~edges ~explored ~node_of_key =
+  t.last_visited_bytes <- visited_bytes;
+  t.last_frontier_bytes <- frontier_bytes;
+  let node_key = Vec.to_array node_keys in
+  let n_nodes = Array.length node_key in
+  let terminal = Array.make n_nodes false in
+  for i = 0 to Vec.len terminals - 1 do
+    terminal.(Vec.get terminals i) <- true
+  done;
+  let n_edges = Vec.len edges / 3 in
+  let graph =
+    Dgraph.Digraph.of_edges_f n_nodes ~n_edges (fun j ->
+        (Vec.get edges (3 * j), Vec.get edges ((3 * j) + 1),
+         Vec.get edges ((3 * j) + 2)))
+  in
+  { graph; node_key; terminal; explored; node_of_key }
+
+let lazy_region t cp ~from ~target ~resume =
   let actions = cp.Compile.actions in
   let n_actions = Array.length actions in
   let visited = make_visited t in
   let node_keys = Vec.create () in
-  let terminal_nodes = ref [] in
-  let edges = ref [] in
+  let nonmembers = Vec.create () in
+  let terminals = Vec.create () in
+  let edges = Vec.create () in
   let queue = Flatqueue.create () in
   let explored = ref 0 in
   let visit key s =
     if not (Flatset.mem visited key) then begin
       incr explored;
       check_budget t !explored;
-      let node = if target s then -1 else Vec.push node_keys key in
+      let node =
+        if target s then begin
+          ignore (Vec.push nonmembers key);
+          -1
+        end
+        else Vec.push node_keys key
+      in
       Flatset.add visited key node;
       Flatqueue.push queue key
     end
   in
-  seed_roots t ~from visit;
+  (match resume with
+  | Some snap ->
+      let ex, frontier =
+        restore_region t cp snap ~add:(Flatset.add visited) ~node_keys
+          ~nonmembers ~terminals ~edges
+      in
+      explored := ex;
+      Array.iter (fun key -> Flatqueue.push queue key) frontier
+  | None -> seed_roots t ~from visit);
   let buf = State.make (env t) in
   let post = State.make (env t) in
   let pops = ref 0 in
+  let guard_on = Rt.Guard.active t.guard in
   while not (Flatqueue.is_empty queue) do
+    (* cancellation points at chunk granularity, never per state *)
+    if guard_on && !pops land 1023 = 0 then begin
+      match
+        Rt.Guard.poll t.guard ~states:!explored
+          ~bytes:(Flatset.bytes visited + Flatqueue.bytes queue)
+      with
+      | None -> ()
+      | Some reason ->
+          t.last_visited_bytes <- Flatset.bytes visited;
+          t.last_frontier_bytes <- Flatqueue.peak_bytes queue;
+          let frontier_size = Flatqueue.length queue in
+          let snapshot =
+            if not t.snapshots then None
+            else begin
+              let fr = Array.make frontier_size 0 in
+              let i = ref 0 in
+              Flatqueue.iter queue (fun k ->
+                  fr.(!i) <- k;
+                  incr i);
+              Some
+                (build_region_snapshot t cp ~explored:!explored ~node_keys
+                   ~nonmembers ~terminals ~edges ~frontier:fr)
+            end
+          in
+          raise
+            (Interrupted
+               { reason; states_seen = !explored; frontier_size; snapshot })
+    end;
     let key = Flatqueue.pop queue in
     incr pops;
     (* progress checkpoints at chunk granularity, never per state *)
@@ -245,22 +468,20 @@ let lazy_region t cp ~from ~target =
         visit dst_key post;
         if src_node >= 0 then begin
           let dst_node = Flatset.find_def visited dst_key (-2) in
-          if dst_node >= 0 then edges := (src_node, dst_node, a) :: !edges
+          if dst_node >= 0 then begin
+            ignore (Vec.push edges src_node);
+            ignore (Vec.push edges dst_node);
+            ignore (Vec.push edges a)
+          end
         end
       end
     done;
-    if src_node >= 0 && !out_degree = 0 then
-      terminal_nodes := src_node :: !terminal_nodes
+    if src_node >= 0 && !out_degree = 0 then ignore (Vec.push terminals src_node)
   done;
-  t.last_visited_bytes <- Flatset.bytes visited;
-  t.last_frontier_bytes <- Flatqueue.peak_bytes queue;
-  let node_key = Vec.to_array node_keys in
-  let n_nodes = Array.length node_key in
-  let terminal = Array.make n_nodes false in
-  List.iter (fun v -> terminal.(v) <- true) !terminal_nodes;
-  let graph = Dgraph.Digraph.of_edges n_nodes (List.rev !edges) in
-  let node_of_key key = Flatset.find_def visited key (-1) in
-  { graph; node_key; terminal; explored = !explored; node_of_key }
+  finish_region t ~visited_bytes:(Flatset.bytes visited)
+    ~frontier_bytes:(Flatqueue.peak_bytes queue) ~node_keys ~nonmembers
+    ~terminals ~edges ~explored:!explored
+    ~node_of_key:(fun key -> Flatset.find_def visited key (-1))
 
 (* --- parallel backend: level-synchronized BFS over a domain pool ---
 
@@ -282,7 +503,7 @@ let lazy_region t cp ~from ~target =
    -2    : unseen at probe time, target fails (member when committed);
    -3    : unseen at probe time, target holds (non-member). *)
 
-let parallel_region t cp ~from ~target =
+let parallel_region t cp ~from ~target ~resume =
   let space = t.space in
   let env = Space.env space in
   let n_actions = Array.length cp.Compile.actions in
@@ -298,68 +519,120 @@ let parallel_region t cp ~from ~target =
   let worker_out = Array.init jobs (fun _ -> Vec.create ()) in
   let visited = Par.Shardmap.create () in
   let node_keys = Vec.create () in
-  let terminal_nodes = ref [] in
-  let edges = ref [] in
+  let nonmembers = Vec.create () in
+  let terminals = Vec.create () in
+  let edges = Vec.create () in
   let explored = ref 0 in
   let frontier_peak = ref 0 in
   let cur_keys = Vec.create () and cur_nodes = Vec.create () in
   let next_keys = Vec.create () and next_nodes = Vec.create () in
+  let frontier_bytes () =
+    Vec.bytes cur_keys + Vec.bytes cur_nodes + Vec.bytes next_keys
+    + Vec.bytes next_nodes
+  in
   (* First sighting of [key], known absent from [visited]: mirrors the
      lazy backend's [visit] exactly (count, budget check, numbering). *)
   let visit_new key ~member =
     incr explored;
     check_budget t !explored;
-    let node = if member then Vec.push node_keys key else -1 in
+    let node =
+      if member then Vec.push node_keys key
+      else begin
+        ignore (Vec.push nonmembers key);
+        -1
+      end
+    in
     Par.Shardmap.add visited key node;
     ignore (Vec.push next_keys key);
     ignore (Vec.push next_nodes node);
     node
   in
-  (match from with
-  | Seeds l ->
-      List.iter
-        (fun s ->
-          let key = encode_key t s in
-          if not (Par.Shardmap.mem visited key) then
-            ignore (visit_new key ~member:(not (target s))))
-        l
-  | All | Pred _ ->
-      let n = Space.size space in
-      check_budget t n;
-      let p = match from with Pred p -> p | _ -> fun _ -> true in
-      (* classify every id in parallel, then commit in id order; under
-         packed keys phase A also records each qualifying id's key, so
-         the sequential commit needs no re-decode *)
-      let classes = Bytes.make n '\000' in
-      let packed_key = if t.packed then Array.make n 0 else [||] in
-      Par.Pool.parallel_for pool ~n (fun ~worker lo hi ->
-          let buf = worker_buf.(worker) in
-          for id = lo to hi - 1 do
-            Space.decode_into space id buf;
-            if p buf then begin
-              Bytes.unsafe_set classes id
-                (if target buf then '\002' else '\001');
-              if t.packed then
-                packed_key.(id) <- Codec.encode_packed t.codec buf
-            end
+  (match resume with
+  | Some snap ->
+      let ex, frontier =
+        restore_region t cp snap ~add:(Par.Shardmap.add visited) ~node_keys
+          ~nonmembers ~terminals ~edges
+      in
+      explored := ex;
+      Array.iter
+        (fun key ->
+          let node = Par.Shardmap.find_def visited key min_int in
+          if node = min_int then
+            raise (Rt.Snapshot.Corrupt "frontier key missing from visited set");
+          ignore (Vec.push next_keys key);
+          ignore (Vec.push next_nodes node))
+        frontier
+  | None ->
+      (match from with
+      | Seeds l ->
+          List.iter
+            (fun s ->
+              let key = encode_key t s in
+              if not (Par.Shardmap.mem visited key) then
+                ignore (visit_new key ~member:(not (target s))))
+            l
+      | All | Pred _ ->
+          let n = Space.size space in
+          check_budget t n;
+          let p = match from with Pred p -> p | _ -> fun _ -> true in
+          (* classify every id in parallel, then commit in id order; under
+             packed keys phase A also records each qualifying id's key, so
+             the sequential commit needs no re-decode *)
+          let classes = Bytes.make n '\000' in
+          let packed_key = if t.packed then Array.make n 0 else [||] in
+          Par.Pool.parallel_for pool ~n (fun ~worker lo hi ->
+              let buf = worker_buf.(worker) in
+              for id = lo to hi - 1 do
+                Space.decode_into space id buf;
+                if p buf then begin
+                  Bytes.unsafe_set classes id
+                    (if target buf then '\002' else '\001');
+                  if t.packed then
+                    packed_key.(id) <- Codec.encode_packed t.codec buf
+                end
+              done);
+          for id = 0 to n - 1 do
+            match Bytes.unsafe_get classes id with
+            | '\000' -> ()
+            | c ->
+                let key = if t.packed then packed_key.(id) else id in
+                ignore (visit_new key ~member:(c = '\001'))
           done);
-      for id = 0 to n - 1 do
-        match Bytes.unsafe_get classes id with
-        | '\000' -> ()
-        | c ->
-            let key = if t.packed then packed_key.(id) else id in
-            ignore (visit_new key ~member:(c = '\001'))
-      done);
-  if Obs.Ctx.enabled t.obs then
-    Obs.Ctx.emit t.obs "engine.roots" [ ("discovered", Obs.Sink.I !explored) ];
+      if Obs.Ctx.enabled t.obs then
+        Obs.Ctx.emit t.obs "engine.roots"
+          [ ("discovered", Obs.Sink.I !explored) ]);
+  let guard_on = Rt.Guard.active t.guard in
   let level = ref 0 in
   while Vec.len next_keys > 0 do
+    (* cancellation point at the wave boundary: the pending next wave is
+       exactly the lazy queue's remaining FIFO, so the snapshot format is
+       shared with the lazy backend *)
+    (if guard_on then
+       match
+         Rt.Guard.poll t.guard ~states:!explored
+           ~bytes:(Par.Shardmap.bytes visited + frontier_bytes ())
+       with
+       | None -> ()
+       | Some reason ->
+           t.last_visited_bytes <- Par.Shardmap.bytes visited;
+           t.last_frontier_bytes <- max !frontier_peak (frontier_bytes ());
+           let frontier_size = Vec.len next_keys in
+           let snapshot =
+             if not t.snapshots then None
+             else
+               Some
+                 (build_region_snapshot t cp ~explored:!explored ~node_keys
+                    ~nonmembers ~terminals ~edges
+                    ~frontier:(Vec.to_array next_keys))
+           in
+           raise
+             (Interrupted
+                { reason; states_seen = !explored; frontier_size; snapshot }));
     Vec.swap cur_keys next_keys;
     Vec.swap cur_nodes next_nodes;
     Vec.clear next_keys;
     Vec.clear next_nodes;
     let len = Vec.len cur_keys in
-    if 16 * len > !frontier_peak then frontier_peak := 16 * len;
     let explored_before = !explored in
     let succs = Array.make len [||] in
     Par.Pool.parallel_for pool ~n:len (fun ~worker lo hi ->
@@ -404,12 +677,16 @@ let parallel_region t cp ~from ~target =
             if v <> min_int then v
             else visit_new dst_key ~member:(tag = -2)
         in
-        if src_node >= 0 && dst_node >= 0 then
-          edges := (src_node, dst_node, a) :: !edges
+        if src_node >= 0 && dst_node >= 0 then begin
+          ignore (Vec.push edges src_node);
+          ignore (Vec.push edges dst_node);
+          ignore (Vec.push edges a)
+        end
       done;
-      if src_node >= 0 && m = 0 then
-        terminal_nodes := src_node :: !terminal_nodes
+      if src_node >= 0 && m = 0 then ignore (Vec.push terminals src_node)
     done;
+    let fb = frontier_bytes () in
+    if fb > !frontier_peak then frontier_peak := fb;
     if Obs.Ctx.enabled t.obs then begin
       Obs.Metrics.incr (Obs.Ctx.counter t.obs "engine.waves");
       Obs.Ctx.emit t.obs "engine.wave"
@@ -423,31 +700,40 @@ let parallel_region t cp ~from ~target =
     end;
     incr level
   done;
-  t.last_visited_bytes <- Par.Shardmap.bytes visited;
-  t.last_frontier_bytes <- !frontier_peak;
-  let node_key = Vec.to_array node_keys in
-  let n_nodes = Array.length node_key in
-  let terminal = Array.make n_nodes false in
-  List.iter (fun v -> terminal.(v) <- true) !terminal_nodes;
-  let graph = Dgraph.Digraph.of_edges n_nodes (List.rev !edges) in
-  let node_of_key key = Par.Shardmap.find_def visited key (-1) in
-  { graph; node_key; terminal; explored = !explored; node_of_key }
+  finish_region t ~visited_bytes:(Par.Shardmap.bytes visited)
+    ~frontier_bytes:!frontier_peak ~node_keys ~nonmembers ~terminals ~edges
+    ~explored:!explored
+    ~node_of_key:(fun key -> Par.Shardmap.find_def visited key (-1))
 
-let dispatch_region t cp ~from ~target =
+let dispatch_region t cp ~from ~target ~resume =
   match t.backend with
-  | Eager -> eager_region t cp ~from ~target
-  | Lazy -> lazy_region t cp ~from ~target
-  | Parallel -> parallel_region t cp ~from ~target
+  | Eager -> (
+      (match resume with
+      | Some _ ->
+          raise
+            (Rt.Snapshot.Corrupt
+               "the eager backend cannot resume checkpoints (use the lazy \
+                or parallel backend)")
+      | None -> ());
+      try eager_region t cp ~from ~target
+      with Rt.Cancel.Cancelled reason ->
+        (* the CSR build has no resumable wavefront; the partial relation
+           is discarded *)
+        raise
+          (Interrupted
+             { reason; states_seen = 0; frontier_size = 0; snapshot = None }))
+  | Lazy -> lazy_region t cp ~from ~target ~resume
+  | Parallel -> parallel_region t cp ~from ~target ~resume
 
 (* Every backend funnels through here, so the reconciliation invariant
    holds uniformly: the [engine.states_discovered] counter equals the sum
    of the [explored] fields over all [engine.region] events. *)
-let region t cp ~from ~target =
-  if not (Obs.Ctx.enabled t.obs) then dispatch_region t cp ~from ~target
+let region ?resume t cp ~from ~target =
+  if not (Obs.Ctx.enabled t.obs) then dispatch_region t cp ~from ~target ~resume
   else begin
     let r =
       Obs.Ctx.time t.obs "engine.region" (fun () ->
-          dispatch_region t cp ~from ~target)
+          dispatch_region t cp ~from ~target ~resume)
     in
     let nodes = Array.length r.node_key in
     let edges = Dgraph.Digraph.edge_count r.graph in
@@ -506,8 +792,26 @@ let iter_reachable t cp ~from f =
       seed_roots t ~from (fun key _ -> visit key);
       let buf = State.make (env t) in
       let post = State.make (env t) in
+      let guard_on = Rt.Guard.active t.guard in
+      let pops = ref 0 in
       while not (Flatqueue.is_empty queue) do
+        (if guard_on && !pops land 1023 = 0 then
+           match
+             Rt.Guard.poll t.guard ~states:!explored
+               ~bytes:(Flatset.bytes visited + Flatqueue.bytes queue)
+           with
+           | None -> ()
+           | Some reason ->
+               raise
+                 (Interrupted
+                    {
+                      reason;
+                      states_seen = !explored;
+                      frontier_size = Flatqueue.length queue;
+                      snapshot = None;
+                    }));
         let key = Flatqueue.pop queue in
+        incr pops;
         decode_key_into t key buf;
         f buf;
         Array.iter

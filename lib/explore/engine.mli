@@ -63,6 +63,9 @@ val create :
   ?storage:storage ->
   ?packed_keys:bool ->
   ?obs:Obs.Ctx.t ->
+  ?guard:Rt.Guard.t ->
+  ?snapshots:bool ->
+  ?salt:string ->
   Guarded.Env.t ->
   t
 (** Build an engine for an environment. [max_states] (default [2_000_000])
@@ -79,7 +82,14 @@ val create :
     [node_key] values incomparable with dense-keyed engines (use
     {!decode_key}). [obs] (default {!Obs.Ctx.disabled}) receives the
     engine's metrics, trace events, and progress ticks — see the
-    README's event schema.
+    README's event schema. [guard] (default {!Rt.Guard.inert}) is the
+    cooperative budget/cancellation point every search polls at
+    wave/chunk boundaries; a tripped guard raises {!Interrupted} with a
+    partial-progress record. [snapshots] (default [false]) makes those
+    interrupts carry a resumable {!Rt.Snapshot.t} of the wavefront.
+    [salt] (default [""]) is caller context — the CLI's canonical
+    instance/flag spelling — folded into snapshot config hashes so a
+    checkpoint cannot silently resume against a different model.
     @raise Space.Too_large for an eager engine over a bigger space.
     @raise Codec.Overflow when [packed_keys] and the packed layout
     exceeds one word.
@@ -104,6 +114,21 @@ val obs : t -> Obs.Ctx.t
 (** The engine's observability context. Analyses layered on the engine
     ({!Faultspan}, certification) record into the same context, so one
     [--metrics-out] snapshot covers the whole pipeline. *)
+
+val guard : t -> Rt.Guard.t
+(** The engine's cancellation/budget polling point. Analyses layered on
+    the engine ({!Faultspan}, certification) poll the same guard, so one
+    budget governs the whole pipeline. *)
+
+val wants_snapshots : t -> bool
+(** Whether interrupts should carry resumable snapshots (see
+    {!create}). *)
+
+val config_hash : t -> parts:string list -> string
+(** Fingerprint of this engine's result-affecting configuration (codec
+    layout, key representation, budget, [salt]) combined with
+    caller-supplied [parts] such as action names. Backend and job count
+    are excluded: checkpoints resume across both. *)
 
 val codec : t -> Codec.t
 (** The bit-layout codec sized from the engine's environment. *)
@@ -142,6 +167,21 @@ exception Region_overflow of int
 (** Raised when a lazy exploration visits more states than the engine's
     budget; carries the number of states visited so far. *)
 
+(** Partial progress handed back when a search stops cooperatively —
+    the guard's budget tripped or cancellation was requested. When the
+    engine was created with [~snapshots:true], [snapshot] holds a
+    resumable checkpoint of the wavefront (lazy/parallel region and
+    span searches only; the eager CSR build and streaming scans carry
+    [None]). *)
+type interrupt = {
+  reason : Rt.Cancel.reason;
+  states_seen : int;
+  frontier_size : int;
+  snapshot : Rt.Snapshot.t option;
+}
+
+exception Interrupted of interrupt
+
 (** Root sets for reachability queries. [All] and [Pred] enumerate the
     space (so they require it to fit the budget); [Seeds] works on spaces
     of any size. *)
@@ -166,6 +206,7 @@ type region = {
 }
 
 val region :
+  ?resume:Rt.Snapshot.t ->
   t ->
   Guarded.Compile.program ->
   from:roots ->
@@ -173,7 +214,15 @@ val region :
   region
 (** States reachable from [from] (paths may pass through target states),
     restricted to those violating [target], with the induced step graph.
-    @raise Region_overflow when a lazy search exceeds the budget. *)
+    [resume] continues from a checkpoint written by an interrupted
+    region search over the same configuration; the continuation (on the
+    lazy or parallel backend, at any job count) reaches a result
+    bit-identical to the uninterrupted run — the root set is taken from
+    the snapshot, so [from] is ignored.
+    @raise Region_overflow when a lazy search exceeds the budget.
+    @raise Interrupted when the engine's guard trips.
+    @raise Rt.Snapshot.Corrupt when [resume] has the wrong kind or a
+    mismatched config hash, or on the eager backend. *)
 
 val state_of_node : t -> region -> int -> Guarded.State.t
 (** Decode a region node's state (fresh copy). *)

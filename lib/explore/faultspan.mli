@@ -27,6 +27,7 @@ val compute :
   Engine.t ->
   ?program:Guarded.Compile.program ->
   ?budget:int ->
+  ?resume:Rt.Snapshot.t ->
   faults:Guarded.Compile.program ->
   from:Engine.roots ->
   unit ->
@@ -36,8 +37,20 @@ val compute :
     omitted, faults may occur unboundedly (the paper's recurring-fault
     span). [All]/[Pred] roots sweep the space, so they require it to fit
     the engine's budget; [Seeds] works on spaces of any size.
+
+    The search polls the engine's guard ({!Engine.guard}) at chunk/wave
+    boundaries; a trip raises {!Engine.Interrupted}, carrying (under
+    [~snapshots:true]) a ["span"]-kind checkpoint of the layered
+    wavefront. [resume] continues from such a checkpoint over the same
+    configuration (same actions, budget, codec, salt) to a span
+    bit-identical to the uninterrupted run, on either the sequential or
+    parallel backend at any job count — the root set is taken from the
+    snapshot, so [from] is ignored.
     @raise Engine.Region_overflow when the span (or a root sweep) exceeds
-    the engine's state budget. *)
+    the engine's state budget.
+    @raise Engine.Interrupted when the engine's guard trips.
+    @raise Rt.Snapshot.Corrupt when [resume] has the wrong kind or a
+    mismatched config hash. *)
 
 val count : t -> int
 (** Number of states in the span. *)

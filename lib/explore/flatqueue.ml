@@ -95,6 +95,22 @@ let rec pop t =
     x
   end
 
+let iter t f =
+  if t.len > 0 then
+    if t.front == t.back then
+      for i = t.head to t.tail - 1 do
+        f t.front.(i)
+      done
+    else begin
+      for i = t.head to t.fstop - 1 do
+        f t.front.(i)
+      done;
+      Queue.iter (fun c -> Array.iter f c) t.mid;
+      for i = 0 to t.tail - 1 do
+        f t.back.(i)
+      done
+    end
+
 let clear t =
   Queue.clear t.mid;
   t.front <- t.back;

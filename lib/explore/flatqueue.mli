@@ -21,6 +21,10 @@ val is_empty : t -> bool
 val length : t -> int
 val clear : t -> unit
 
+val iter : t -> (int -> unit) -> unit
+(** Visit every queued element front-to-back without consuming it —
+    how checkpoints capture the pending frontier. *)
+
 val transfer : t -> t -> unit
 (** [transfer src dst] moves every element of [src] to the back of
     [dst], leaving [src] empty — [Queue.transfer]'s contract, O(1) when

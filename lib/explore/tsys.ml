@@ -9,13 +9,16 @@ type t = {
   acts : int array;
 }
 
-let build (cp : Compile.program) space =
+let build ?(guard = Rt.Guard.inert) (cp : Compile.program) space =
   let n = Space.size space in
   let n_actions = Array.length cp.actions in
   let counts = Array.make (n + 1) 0 in
   let buf = State.make (Space.env space) in
+  let guard_on = Rt.Guard.active guard in
   (* Pass 1: count transitions per state. *)
   for id = 0 to n - 1 do
+    if guard_on && id land 8191 = 0 then
+      Rt.Guard.check guard ~states:id ~bytes:(8 * (n + 1));
     Space.decode_into space id buf;
     for a = 0 to n_actions - 1 do
       if cp.actions.(a).enabled buf then counts.(id) <- counts.(id) + 1
@@ -31,6 +34,8 @@ let build (cp : Compile.program) space =
   (* Pass 2: fill. *)
   let cursor = Array.copy offsets in
   for id = 0 to n - 1 do
+    if guard_on && id land 8191 = 0 then
+      Rt.Guard.check guard ~states:id ~bytes:(8 * ((2 * m) + (2 * (n + 1))));
     Space.decode_into space id buf;
     for a = 0 to n_actions - 1 do
       let ca = cp.actions.(a) in

@@ -7,8 +7,11 @@
 
 type t
 
-val build : Guarded.Compile.program -> Space.t -> t
-(** Explore every state once; cost O(states × actions).
+val build : ?guard:Rt.Guard.t -> Guarded.Compile.program -> Space.t -> t
+(** Explore every state once; cost O(states × actions). [guard]
+    (default {!Rt.Guard.inert}) is polled during both CSR passes; a
+    trip raises {!Rt.Cancel.Cancelled} — the partial relation is not
+    resumable, so eager interruptions carry no snapshot.
     @raise Guarded.State.Domain_violation if some action pushes an in-domain
     state out of its domains — a modeling error worth failing loudly on. *)
 

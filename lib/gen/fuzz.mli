@@ -21,10 +21,21 @@ type counterexample = {
   shrink : Shrink.stats;
 }
 
+type timeout_record = {
+  t_trial : int;
+  t_seed : int;  (** replay offline: [--seed this --count 1] *)
+  t_attempts : int;  (** attempts made, every one expired *)
+}
+
 type report = {
   trials : int;
   start_seed : int;
   counterexamples : counterexample list;  (** in trial order *)
+  skipped : int;
+      (** Trials never run because the global [guard] had tripped — the
+          sweep is a partial sample (the CLI reports exit 5). *)
+  timeouts : timeout_record list;
+      (** Trials abandoned by the watchdog, in trial order. *)
 }
 
 val run :
@@ -33,6 +44,8 @@ val run :
   ?shrink:bool ->
   ?jobs:int ->
   ?obs:Obs.Ctx.t ->
+  ?guard:Rt.Guard.t ->
+  ?watchdog:Rt.Watchdog.t ->
   seed:int ->
   count:int ->
   unit ->
@@ -41,8 +54,22 @@ val run :
     minimizes each failing trial before reporting. [jobs] (default [1])
     parallelizes trials. [obs] receives counters ([fuzz.trials],
     [fuzz.counterexamples], [fuzz.shrink_evals], per-oracle
-    [fuzz.fail.<oracle>]), one [fuzz.trial] event per trial, and a
-    closing [fuzz.done] event.
+    [fuzz.fail.<oracle>]), a live [fuzz.start] event {e before} each
+    trial runs (so a hung or killed run's trace ends with the seed to
+    replay), one post-hoc [fuzz.trial] event per trial, and a closing
+    [fuzz.done] event.
+
+    [guard] (default {!Rt.Guard.inert}) is polled before each trial and
+    threaded into every oracle engine: once the sweep's deadline passes
+    or cancellation is requested, the trial in flight stops at its next
+    polling point and the remaining trials are {e skipped} — found
+    counterexamples are kept (a stop mid-shrink freezes the current
+    minimum), and the report says how much of the sample is missing.
+    [watchdog] (default none) bounds each trial attempt by wall-clock:
+    an expired attempt is retried up to [retries] times {e on the same
+    seed} (a trial is a pure function of its seed; expiry is a
+    wall-clock accident), and a trial whose every attempt expires is
+    recorded in [timeouts] with its seed for offline replay.
     @raise Invalid_argument when [jobs <= 0] or [count < 0]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -146,6 +146,7 @@ type ctx = {
   cp : Compile.program;
   faults_cp : Compile.program;
   engines : (Engine.backend * Engine.t) list;
+  guard : Rt.Guard.t;
   storm_seed : int;
   reorder_seed : int;
 }
@@ -394,7 +395,7 @@ let o_storage_agree ctx =
   let module Space = Explore.Space in
   let mk ?packed_keys backend =
     Engine.create ~backend ~max_states:engine_budget ~jobs:1
-      ~storage:Engine.Probed ?packed_keys ctx.m.Spec.env
+      ~storage:Engine.Probed ?packed_keys ~guard:ctx.guard ctx.m.Spec.env
   in
   let legs =
     [
@@ -462,7 +463,7 @@ let oracles =
     ("storage-agree", o_storage_agree);
   ]
 
-let make_ctx cfg ~rng (m : Spec.model) =
+let make_ctx cfg ~guard ~rng (m : Spec.model) =
   (* Draw the oracle-local seeds up front so every oracle is a pure
      function of the model regardless of evaluation order. *)
   let storm_seed = Prng.int rng (1 lsl 30) in
@@ -478,18 +479,21 @@ let make_ctx cfg ~rng (m : Spec.model) =
     engines =
       List.map
         (fun b ->
-          (b, Engine.create ~backend:b ~max_states:engine_budget ~jobs:1 m.Spec.env))
+          ( b,
+            Engine.create ~backend:b ~max_states:engine_budget ~jobs:1 ~guard
+              m.Spec.env ))
         backends;
+    guard;
     storm_seed;
     reorder_seed;
   }
 
-let run_all ?(config = default) ~rng m =
-  let ctx = make_ctx config ~rng m in
+let run_all ?(config = default) ?(guard = Rt.Guard.inert) ~rng m =
+  let ctx = make_ctx config ~guard ~rng m in
   List.filter_map (fun (_, o) -> o ctx) oracles
 
-let run ?(config = default) ~rng m =
-  let ctx = make_ctx config ~rng m in
+let run ?(config = default) ?(guard = Rt.Guard.inert) ~rng m =
+  let ctx = make_ctx config ~guard ~rng m in
   List.fold_left
     (fun acc (_, o) -> match acc with Some _ -> acc | None -> o ctx)
     None oracles

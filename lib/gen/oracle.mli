@@ -50,9 +50,22 @@ val default : config
 val oracle_names : string list
 (** The oracles in evaluation order. *)
 
-val run_all : ?config:config -> rng:Prng.t -> Spec.model -> failure list
+val run_all :
+  ?config:config -> ?guard:Rt.Guard.t -> rng:Prng.t -> Spec.model -> failure list
 (** Evaluate every oracle; collect each one's first violation. *)
 
-val run : ?config:config -> rng:Prng.t -> Spec.model -> failure option
+val run :
+  ?config:config ->
+  ?guard:Rt.Guard.t ->
+  rng:Prng.t ->
+  Spec.model ->
+  failure option
 (** First violation in {!oracle_names} order, or [None]. This is the
-    shrinker's predicate: it short-circuits, so minimization stays fast. *)
+    shrinker's predicate: it short-circuits, so minimization stays fast.
+
+    [guard] (default {!Rt.Guard.inert}) is threaded into every engine
+    the oracles build, so a watchdog deadline or cancellation request
+    interrupts a pathological model's exploration mid-oracle —
+    {!Explore.Engine.Interrupted} (or [Rt.Cancel.Cancelled] from eager
+    builds) escapes to the caller; it is {e not} converted into an
+    oracle failure. *)

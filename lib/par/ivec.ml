@@ -25,3 +25,10 @@ let swap u v =
   v.len <- len
 
 let to_array v = Array.sub v.a 0 v.len
+
+let of_array a =
+  let n = Array.length a in
+  if n = 0 then create ()
+  else { a = Array.copy a; len = n }
+
+let bytes v = 8 * Array.length v.a

@@ -1,0 +1,32 @@
+(** The polling point a long-running search checks at wave/chunk
+    boundaries: one value bundling a {!Budget} and a {!Cancel} token.
+
+    The inert guard is shared and never trips, so engines can hold one
+    unconditionally and the hot path stays a single physical-equality
+    test away from the uninstrumented code. *)
+
+type t
+
+val inert : t
+(** Never trips; {!active} is [false]. *)
+
+val create : ?budget:Budget.t -> ?cancel:Cancel.t -> unit -> t
+
+val active : t -> bool
+(** Whether polling can ever trip (a cancel token or a non-unlimited
+    budget is attached). Callers may skip byte accounting entirely when
+    this is [false]. *)
+
+val budget : t -> Budget.t
+val cancel : t -> Cancel.t option
+
+val poll : t -> states:int -> bytes:int -> Cancel.reason option
+(** The cancellation point. Checks, in order: the cancel token, the
+    state-count ceiling, the byte ceiling, the deadline (the only check
+    that reads the clock, and only when a deadline is set). A tripped
+    budget also marks the cancel token, so sibling workers observing
+    only the token stop too. *)
+
+val check : t -> states:int -> bytes:int -> unit
+(** {!poll}, raising {!Cancel.Cancelled} — for cancellation points with
+    no partial result to hand back. *)

@@ -1,0 +1,178 @@
+type t = {
+  kind : string;
+  config_hash : string;
+  meta : (string * int) list;
+  sections : (string * int array) list;
+}
+
+exception Corrupt of string
+
+(* Header layout is versioned by the magic string: bump it on any
+   incompatible change so old snapshots fail loudly at the magic check
+   instead of unmarshalling garbage. *)
+let magic = "NMSNAP01"
+
+type header = {
+  h_kind : string;
+  h_hash : string;
+  h_meta : (string * int) list;
+  h_secs : (string * int * int) list;  (* name, element count, width *)
+}
+
+(* Checksum: a splitmix-style avalanche folded over the header bytes and
+   every section element. Integer-granularity folding keeps verification
+   far cheaper than a cryptographic digest over the raw bytes — the
+   checkpoint overhead budget (E20: < 15% of wall time) is tight. *)
+let mix h v =
+  let h = h lxor v in
+  let h = h * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let seed = 0x6e6d736e (* "nmsn" *)
+
+let fold_string acc s =
+  let acc = ref (mix acc (String.length s)) in
+  String.iter (fun c -> acc := mix !acc (Char.code c)) s;
+  !acc
+
+let width_of a =
+  let fits = ref true in
+  Array.iter (fun v -> if v < 0 || v > 0x7FFFFFFF then fits := false) a;
+  if !fits then 4 else 8
+
+let chunk_elems = 1 lsl 20
+
+let save ~file t =
+  let oc = open_out_bin file in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if not !ok then try Sys.remove file with Sys_error _ -> ())
+  @@ fun () ->
+  let secs = List.map (fun (name, a) -> (name, a, width_of a)) t.sections in
+  let header =
+    Marshal.to_string
+      {
+        h_kind = t.kind;
+        h_hash = t.config_hash;
+        h_meta = t.meta;
+        h_secs = List.map (fun (n, a, w) -> (n, Array.length a, w)) secs;
+      }
+      []
+  in
+  output_string oc magic;
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int (String.length header));
+  output_bytes oc (Bytes.sub b 0 4);
+  output_string oc header;
+  let sum = ref (fold_string seed header) in
+  let buf = Bytes.create (chunk_elems * 8) in
+  List.iter
+    (fun (_, a, w) ->
+      let n = Array.length a in
+      let cap = Bytes.length buf / w in
+      let i = ref 0 in
+      while !i < n do
+        let m = min cap (n - !i) in
+        if w = 4 then
+          for j = 0 to m - 1 do
+            let v = Array.unsafe_get a (!i + j) in
+            sum := mix !sum v;
+            Bytes.set_int32_le buf (4 * j) (Int32.of_int v)
+          done
+        else
+          for j = 0 to m - 1 do
+            let v = Array.unsafe_get a (!i + j) in
+            sum := mix !sum v;
+            Bytes.set_int64_le buf (8 * j) (Int64.of_int v)
+          done;
+        output oc buf 0 (m * w);
+        i := !i + m
+      done)
+    secs;
+  Bytes.set_int64_le b 0 (Int64.of_int !sum);
+  output_bytes oc b;
+  ok := true
+
+let load ~file =
+  let ic =
+    try open_in_bin file
+    with Sys_error m -> raise (Corrupt (Printf.sprintf "cannot open: %s" m))
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let fail msg = raise (Corrupt (Printf.sprintf "%s: %s" file msg)) in
+  let total = in_channel_length ic in
+  let read_exact n =
+    try really_input_string ic n with End_of_file -> fail "truncated"
+  in
+  if total < String.length magic + 4 + 8 then fail "truncated";
+  if read_exact (String.length magic) <> magic then
+    fail "bad magic (not a nonmask snapshot)";
+  let hlen = Int32.to_int (String.get_int32_le (read_exact 4) 0) in
+  if hlen <= 0 || hlen > total then fail "implausible header length";
+  let header_s = read_exact hlen in
+  let header =
+    try (Marshal.from_string header_s 0 : header)
+    with _ -> fail "unreadable header"
+  in
+  let data_bytes =
+    List.fold_left
+      (fun acc (_, len, w) ->
+        if len < 0 || len > total || (w <> 4 && w <> 8) then
+          fail "implausible section descriptor"
+        else acc + (len * w))
+      0 header.h_secs
+  in
+  if String.length magic + 4 + hlen + data_bytes + 8 <> total then
+    fail "size mismatch (truncated or padded)";
+  let sum = ref (fold_string seed header_s) in
+  let buf = Bytes.create (chunk_elems * 8) in
+  let sections =
+    List.map
+      (fun (name, len, w) ->
+        let a = Array.make len 0 in
+        let cap = Bytes.length buf / w in
+        let i = ref 0 in
+        while !i < len do
+          let m = min cap (len - !i) in
+          (try really_input ic buf 0 (m * w)
+           with End_of_file -> fail "truncated section");
+          if w = 4 then
+            for j = 0 to m - 1 do
+              let v = Int32.to_int (Bytes.get_int32_le buf (4 * j)) in
+              sum := mix !sum v;
+              Array.unsafe_set a (!i + j) v
+            done
+          else
+            for j = 0 to m - 1 do
+              let v = Int64.to_int (Bytes.get_int64_le buf (8 * j)) in
+              sum := mix !sum v;
+              Array.unsafe_set a (!i + j) v
+            done;
+          i := !i + m
+        done;
+        (name, a))
+      header.h_secs
+  in
+  let stored = Int64.to_int (String.get_int64_le (read_exact 8) 0) in
+  if stored <> !sum then fail "checksum mismatch";
+  {
+    kind = header.h_kind;
+    config_hash = header.h_hash;
+    meta = header.h_meta;
+    sections;
+  }
+
+let meta_int t name =
+  match List.assoc_opt name t.meta with
+  | Some v -> v
+  | None -> raise (Corrupt (Printf.sprintf "snapshot lacks meta %S" name))
+
+let section t name =
+  match List.assoc_opt name t.sections with
+  | Some a -> a
+  | None -> raise (Corrupt (Printf.sprintf "snapshot lacks section %S" name))
+
+let total_elems t =
+  List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 t.sections

@@ -1,0 +1,47 @@
+(** Versioned, checksummed checkpoint files.
+
+    A snapshot is a typed container — a kind tag, the writing engine's
+    config hash, small named integer metadata, and named [int array]
+    sections (visited keys, frontiers, edges). The on-disk format is a
+    magic string, a small marshalled header, each section's data as raw
+    little-endian integers (4 bytes per element when the section fits
+    [int32], 8 otherwise), and a trailing checksum folded over the
+    header and every element. Sections of a 10^7-state wavefront
+    therefore write and load at bulk-I/O speed rather than
+    [Marshal]-the-world speed.
+
+    {!load} verifies the magic, the declared sizes against the file
+    size, and the checksum, and raises {!Corrupt} with a descriptive
+    message on any mismatch — truncation, bit rot, or a file that is
+    not a snapshot at all. Config-hash validation is the {e reader's}
+    job (the engine compares against its own hash and raises {!Corrupt}
+    on mismatch). *)
+
+type t = {
+  kind : string;  (** e.g. ["region"], ["span"] *)
+  config_hash : string;  (** writing engine's configuration fingerprint *)
+  meta : (string * int) list;
+  sections : (string * int array) list;
+}
+
+exception Corrupt of string
+
+val save : file:string -> t -> unit
+(** Write atomically enough for our purposes: on any exception the
+    partial file is removed. @raise Sys_error when the path is not
+    writable. *)
+
+val load : file:string -> t
+(** @raise Corrupt on unreadable, truncated, altered, or non-snapshot
+    files. *)
+
+val meta_int : t -> string -> int
+(** @raise Corrupt when the key is missing (a snapshot of the wrong
+    kind or a version skew). *)
+
+val section : t -> string -> int array
+(** @raise Corrupt when the section is missing. *)
+
+val total_elems : t -> int
+(** Total element count over all sections — the size figure reported
+    by checkpoint-writing paths. *)

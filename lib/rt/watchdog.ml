@@ -1,0 +1,8 @@
+type t = { timeout_s : float; retries : int }
+
+let make ?(retries = 1) ~timeout_s () =
+  if timeout_s <= 0. then invalid_arg "Watchdog.make: timeout_s must be positive";
+  if retries < 0 then invalid_arg "Watchdog.make: retries must be non-negative";
+  { timeout_s; retries }
+
+let deadline t = Unix.gettimeofday () +. t.timeout_s

@@ -1,0 +1,15 @@
+(** Per-trial watchdog policy for Monte-Carlo sweeps (storm, fuzz): a
+    timeout for each trial attempt plus a bounded number of retries, so
+    one pathological trial cannot hang a 1000-trial sweep. Consumers
+    keep their own seed bookkeeping for the retries; this module only
+    carries the policy and the per-attempt deadline arithmetic. *)
+
+type t = private { timeout_s : float; retries : int }
+
+val make : ?retries:int -> timeout_s:float -> unit -> t
+(** [retries] (default [1]) is the number of {e extra} attempts after
+    the first times out. @raise Invalid_argument on a non-positive
+    [timeout_s] or negative [retries]. *)
+
+val deadline : t -> float
+(** An absolute deadline [timeout_s] from now, for one attempt. *)

@@ -14,10 +14,19 @@ type result = {
   steps : int array;  (** Step counts of the converged trials. *)
   failures : int;
       (** Trials that exhausted [max_steps] without the invariant holding
-          (or deadlocked with no fault left to unstick them). *)
+          (or deadlocked with no fault left to unstick them), including
+          trials abandoned by the watchdog. *)
   fault_counts : int array;
-      (** Faults injected per trial, converged or not — [trials] entries. *)
+      (** Faults injected per trial, converged or not — [trials] entries
+          ([0] for skipped trials). *)
   summary : Stats.summary option;  (** Over [steps]; [None] if empty. *)
+  skipped : int;
+      (** Trials never run because the global [guard] had already tripped
+          — the run's verdict is partial (the CLI reports exit 5). *)
+  timeouts : int;
+      (** Trials abandoned after the watchdog expired on every attempt. *)
+  retries : int;
+      (** Total replacement attempts launched after a timed-out attempt. *)
 }
 
 val trials :
@@ -25,6 +34,8 @@ val trials :
   ?fault_budget:int ->
   ?jobs:int ->
   ?obs:Obs.Ctx.t ->
+  ?guard:Rt.Guard.t ->
+  ?watchdog:Rt.Watchdog.t ->
   rng:Prng.t ->
   trials:int ->
   daemon:(Prng.t -> Daemon.t) ->
@@ -58,6 +69,23 @@ val trials :
     event per trial — post-hoc, in trial-index order, so the trace is
     byte-stable at any job count — plus a closing [storm.done], and
     drives progress ticks as trials complete.
+
+    [guard] (default {!Rt.Guard.inert}) is polled before each trial
+    starts: once the run's deadline passes or cancellation is requested,
+    the remaining trials are {e skipped} (counted in [skipped], their
+    [storm.trial] events annotated [skipped=true]) instead of the whole
+    run being thrown away — graceful degradation to a partial sample.
+    [watchdog] (default none) puts a wall-clock timeout on every
+    individual trial: a trial that exceeds [timeout_s] is abandoned and
+    retried up to [retries] times, attempt [k] replaying on a stream
+    derived from the trial's own base stream ([Prng.copy], then [k]
+    discarded splits — attempt 0 is bit-identical to the watchdog-free
+    trial, and every retry is reproducible from the same root seed).
+    A trial whose every attempt times out counts as a failure and a
+    [timeouts] entry. Watchdog and guard trips depend on wall-clock
+    timing, so runs that trip are {e reproducibly seeded} but not
+    bit-deterministic; undisturbed runs remain bit-identical at any job
+    count.
     @raise Invalid_argument when [jobs <= 0]. *)
 
 val pp_result : Format.formatter -> result -> unit

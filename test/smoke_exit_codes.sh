@@ -1,20 +1,32 @@
 #!/bin/sh
 # Asserts the CLI's documented exit codes (see README "Exit codes"):
 #   0  success
-#   1  usage or instance-construction error
+#   1  usage or instance-construction error; also a corrupt, truncated, or
+#      mismatched --resume snapshot
 #   2  failed certificate or convergence verdict
 #   3  state space over the eager engine's budget (Space.Too_large);
 #      for fuzz: a surviving minimized counterexample
 #   4  lazy exploration over budget (Engine.Region_overflow)
+#   5  incomplete: a resource budget (--deadline/--budget-states/
+#      --budget-bytes) ran out or the run was interrupted by
+#      SIGINT/SIGTERM; partial progress is reported and — with
+#      --checkpoint-out — a resumable snapshot is written
 # Every non-zero exit must also say why on stderr — a silent failure is a
 # bug regardless of the code.
 # Run from the repo root: sh test/smoke_exit_codes.sh
 set -u
 
 CLI="${CLI:-dune exec bin/nonmask_cli.exe --}"
+# The signal leg needs a direct child process (no dune wrapper in between),
+# so it execs the built binary.
+BIN="${BIN:-_build/default/bin/nonmask_cli.exe}"
 failed=0
-stderr_file="${TMPDIR:-/tmp}/nonmask_smoke_stderr.$$"
-trap 'rm -f "$stderr_file"' EXIT
+tmp="${TMPDIR:-/tmp}"
+stderr_file="$tmp/nonmask_smoke_stderr.$$"
+ckpt="$tmp/nonmask_smoke_ckpt.$$"
+out_full="$tmp/nonmask_smoke_full.$$"
+out_resumed="$tmp/nonmask_smoke_resumed.$$"
+trap 'rm -f "$stderr_file" "$ckpt" "$ckpt.trunc" "$ckpt.garbage" "$out_full" "$out_resumed"' EXIT
 
 expect() {
   want="$1"
@@ -76,5 +88,72 @@ expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000
 expect 4 check dijkstra --nodes 12 -k 13 --engine lazy --max-states 1000 --ball 2
 # 4: the parallel backend trips the same budget
 expect 4 check dijkstra --nodes 12 -k 13 --engine parallel --jobs 2 --max-states 1000 --ball 2
+# 5: a state budget runs out mid-exploration (graceful, unlike exit 4's
+# hard cap) — on the lazy and parallel backends, and for certify's span
+expect 5 check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --budget-states 1000
+expect 5 check dijkstra --nodes 12 -k 13 --engine parallel --jobs 2 --ball 2 --budget-states 1000
+expect 5 certify token-ring --nodes 4 -k 6 --faults corrupt:k=1 --budget-states 100
+# 5: an already-expired deadline stops at the first polling point
+expect 5 check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --deadline 0
+# 5: storm and fuzz report a partial sample instead of pretending coverage
+expect 5 storm token-ring --nodes 3 -k 4 --rate 0.1 --trials 20 --deadline 0
+expect 5 fuzz --seed 42 --count 5 --deadline 0
+# 1: graceful-degradation flag validation
+expect 1 check token-ring --nodes 3 -k 3 --budget-states 0
+expect 1 storm token-ring --nodes 3 -k 4 --trials 5 --trial-timeout 0
+expect 1 certify token-ring --nodes 3 -k 4 --checkpoint-out "$ckpt"
+
+# --- checkpoint/resume roundtrip -------------------------------------
+# An interrupted run writes a snapshot (exit 5); resuming it must reach
+# the verdict of an uninterrupted run, with byte-identical stdout.
+note() { if [ "$1" -eq 0 ]; then echo "ok:   $2"; else echo "FAIL: $2"; failed=1; fi; }
+
+$CLI check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 >"$out_full" 2>/dev/null
+note $? "uninterrupted baseline run"
+$CLI check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 \
+  --budget-states 2000 --checkpoint-out "$ckpt" >/dev/null 2>"$stderr_file"
+[ $? -eq 5 ] && [ -s "$stderr_file" ] && [ -s "$ckpt" ]
+note $? "interrupted run -> exit 5, stderr reason, snapshot written"
+grep -q '"checkpoint"' "$stderr_file"
+note $? "stderr names the checkpoint file"
+$CLI check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 \
+  --resume "$ckpt" >"$out_resumed" 2>/dev/null
+note $? "resumed run -> exit 0"
+cmp -s "$out_full" "$out_resumed"
+note $? "resumed stdout identical to uninterrupted run"
+# the parallel backend resumes the same snapshot to the same verdict
+# (stdout compared against a parallel baseline: the banner names the engine)
+$CLI check dijkstra --nodes 12 -k 13 --engine parallel --jobs 2 --ball 2 \
+  >"$out_full" 2>/dev/null
+$CLI check dijkstra --nodes 12 -k 13 --engine parallel --jobs 2 --ball 2 \
+  --resume "$ckpt" >"$out_resumed" 2>/dev/null
+cmp -s "$out_full" "$out_resumed"
+note $? "parallel resume of the lazy-written snapshot identical"
+
+# 1: corrupt, truncated, or alien snapshots are rejected with a reason
+head -c 64 "$ckpt" >"$ckpt.trunc"
+expect 1 check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --resume "$ckpt.trunc"
+printf 'not a snapshot' >"$ckpt.garbage"
+expect 1 check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --resume "$ckpt.garbage"
+# config-hash mismatch: same snapshot, different instance
+expect 1 check dijkstra --nodes 12 -k 12 --engine lazy --ball 2 --resume "$ckpt"
+expect 1 check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --resume /nonexistent/ckpt.snap
+
+# --- SIGTERM during a long check -------------------------------------
+# The signal handler requests cooperative cancellation; the run stops at
+# the next polling point with exit 5 and a machine-readable reason.
+if [ -x "$BIN" ]; then
+  "$BIN" check dijkstra --nodes 12 -k 13 --engine lazy --ball 3 \
+    --max-states 50000000 >/dev/null 2>"$stderr_file" &
+  pid=$!
+  sleep 1
+  kill -TERM "$pid" 2>/dev/null
+  wait "$pid"
+  got=$?
+  [ "$got" -eq 5 ] && [ -s "$stderr_file" ] && grep -q SIGTERM "$stderr_file"
+  note $? "SIGTERM during check -> exit 5 with signal reason (got $got)"
+else
+  echo "skip: SIGTERM leg ($BIN not built)"
+fi
 
 exit "$failed"

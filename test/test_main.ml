@@ -21,5 +21,6 @@ let () =
       ("derive", Test_derive.suite);
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
+      ("rt", Test_rt.suite);
       ("gen", Test_gen.suite);
     ]
