@@ -410,20 +410,34 @@ let make_guard ~deadline ~budget_states ~budget_bytes =
   in
   Rt.Guard.create ~budget ~cancel ()
 
+(* Probe --checkpoint-out for writability up front {e without}
+   truncating: the file may already hold the snapshot being resumed, and
+   Rt.Snapshot.save renames a complete temp file into place — so a prior
+   snapshot survives until its replacement is durable, even if this run
+   dies on a path that never saves one. An empty placeholder (the file
+   did not exist) is removed again from at_exit, so on {e every} exit
+   path a leftover --checkpoint-out file means "there is something to
+   resume". *)
 let prepare_checkpoint = function
   | None -> ()
-  | Some file -> (
-      try close_out (open_out file)
-      with Sys_error msg ->
-        failwith (Printf.sprintf "cannot open --checkpoint-out: %s" msg))
+  | Some file ->
+      (try close_out (open_out_gen [ Open_wronly; Open_creat ] 0o644 file)
+       with Sys_error msg ->
+         failwith (Printf.sprintf "cannot open --checkpoint-out: %s" msg));
+      at_exit (fun () ->
+          if
+            Sys.file_exists file
+            && (try (Unix.stat file).Unix.st_size = 0
+                with Unix.Unix_error _ -> false)
+          then try Sys.remove file with Sys_error _ -> ())
 
-(* A clean completion removes the placeholder opened up front, so a
-   leftover --checkpoint-out file always means "there is something to
-   resume". *)
+(* A clean completion removes the checkpoint file — the empty
+   placeholder, or the now-stale snapshot of the interrupted run we just
+   resumed to completion; the at_exit finalizer above covers every other
+   exit path. *)
 let cleanup_checkpoint = function
-  | Some file
-    when Sys.file_exists file && (Unix.stat file).Unix.st_size = 0 ->
-      Sys.remove file
+  | Some file when Sys.file_exists file -> (
+      try Sys.remove file with Sys_error _ -> ())
   | _ -> ()
 
 let load_snapshot file =
@@ -934,17 +948,24 @@ let make_watchdog ~trial_timeout ~trial_retries =
       try Some (Rt.Watchdog.make ~retries:trial_retries ~timeout_s:t ())
       with Invalid_argument msg -> failwith msg)
 
+(* Storm and fuzz sweeps poll the guard between trials with no global
+   state/byte counts to report, so --budget-states/--budget-bytes could
+   never trip there: the flags are not accepted (cmdliner rejects them
+   with a usage error); --deadline and the per-trial watchdog are the
+   degradation knobs for trial sweeps. *)
 let storm_cmd =
   let run proto shape size nodes k seed trials fault_spec rate fault_budget
-      max_steps jobs trace_out metrics_out progress deadline budget_states
-      budget_bytes trial_timeout trial_retries =
+      max_steps jobs trace_out metrics_out progress deadline trial_timeout
+      trial_retries =
     try
       let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
       let obs =
         obs_setup ~trace_out ~metrics_out ~progress
           ~meta:(run_meta ~command:"storm" ~instance:i.i_name ~engine:"-" ~jobs)
       in
-      let guard = make_guard ~deadline ~budget_states ~budget_bytes in
+      let guard =
+        make_guard ~deadline ~budget_states:None ~budget_bytes:None
+      in
       let watchdog = make_watchdog ~trial_timeout ~trial_retries in
       let cp = Compile.program i.program in
       let fault =
@@ -989,8 +1010,7 @@ let storm_cmd =
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
       $ seed_arg $ trials_arg $ fault_spec_arg $ rate_arg $ fault_budget_arg
       $ max_steps_storm_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg
-      $ progress_arg $ deadline_arg $ budget_states_arg $ budget_bytes_arg
-      $ trial_timeout_arg $ trial_retries_arg)
+      $ progress_arg $ deadline_arg $ trial_timeout_arg $ trial_retries_arg)
 
 let count_arg =
   Arg.(
@@ -1018,7 +1038,7 @@ let exit_counterexample = 3
 
 let fuzz_cmd =
   let run seed count max_vars jobs no_shrink trace_out metrics_out progress
-      deadline budget_states budget_bytes trial_timeout trial_retries =
+      deadline trial_timeout trial_retries =
     try
       if max_vars < 2 then failwith "fuzz: --max-vars must be at least 2";
       if count < 0 then failwith "fuzz: --count must be non-negative";
@@ -1029,7 +1049,9 @@ let fuzz_cmd =
                ~instance:(Printf.sprintf "seed=%d count=%d" seed count)
                ~engine:"all" ~jobs)
       in
-      let guard = make_guard ~deadline ~budget_states ~budget_bytes in
+      let guard =
+        make_guard ~deadline ~budget_states:None ~budget_bytes:None
+      in
       let watchdog = make_watchdog ~trial_timeout ~trial_retries in
       let report =
         Gen.Fuzz.run
@@ -1045,11 +1067,15 @@ let fuzz_cmd =
         exit exit_counterexample
       end;
       (* A counterexample outranks a partial sweep: exit 3 above wins.
-         Watchdog-abandoned trials also leave the sample incomplete. *)
+         Watchdog-abandoned trials also leave the sample incomplete —
+         but only a skip means the global guard tripped; a timeout-only
+         sweep names the watchdog, not a budget. *)
       if report.Gen.Fuzz.skipped > 0 || report.Gen.Fuzz.timeouts <> [] then
         report_incomplete ~obs
           {
-            Explore.Engine.reason = guard_reason guard;
+            Explore.Engine.reason =
+              (if report.Gen.Fuzz.skipped > 0 then guard_reason guard
+               else Rt.Cancel.Requested "trial-timeout");
             states_seen =
               count - report.Gen.Fuzz.skipped
               - List.length report.Gen.Fuzz.timeouts;
@@ -1071,8 +1097,7 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ max_vars_arg $ jobs_arg
       $ no_shrink_arg $ trace_out_arg $ metrics_out_arg $ progress_arg
-      $ deadline_arg $ budget_states_arg $ budget_bytes_arg
-      $ trial_timeout_arg $ trial_retries_arg)
+      $ deadline_arg $ trial_timeout_arg $ trial_retries_arg)
 
 let dot_cmd =
   let run i _seed =

@@ -45,8 +45,11 @@ let run_trial ~gen_config ~oracle_config ~shrink ~guard ~watchdog i tseed =
   let global_tripped () =
     guard_on && Rt.Guard.poll guard ~states:0 ~bytes:0 <> None
   in
-  (* One attempt's guard: the global budget and cancel token, with the
-     deadline tightened to the watchdog's per-attempt allowance. *)
+  (* One attempt's guard: the global budget with the deadline tightened
+     to the watchdog's per-attempt allowance, in a fresh scope — the
+     global cancel token is only {e linked} (observed, never marked), so
+     a watchdog expiry inside the oracle cannot poison the shared token
+     and cancel the rest of the sweep. *)
   let attempt_guard () =
     match watchdog with
     | None -> guard
@@ -60,7 +63,7 @@ let run_trial ~gen_config ~oracle_config ~shrink ~guard ~watchdog i tseed =
         in
         Rt.Guard.create
           ~budget:{ b with Rt.Budget.deadline }
-          ?cancel:(Rt.Guard.cancel guard) ()
+          ?link:(Rt.Guard.cancel guard) ()
   in
   let max_retries =
     match watchdog with None -> 0 | Some w -> w.Rt.Watchdog.retries

@@ -69,7 +69,10 @@ val run :
     an expired attempt is retried up to [retries] times {e on the same
     seed} (a trial is a pure function of its seed; expiry is a
     wall-clock accident), and a trial whose every attempt expires is
-    recorded in [timeouts] with its seed for offline replay.
+    recorded in [timeouts] with its seed for offline replay. Each
+    attempt runs under its own guard scope that only {e observes} the
+    global cancel token, so a watchdog expiry (or a per-attempt budget
+    trip) abandons that trial without cancelling the sweep.
     @raise Invalid_argument when [jobs <= 0] or [count < 0]. *)
 
 val pp_report : Format.formatter -> report -> unit

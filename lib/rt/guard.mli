@@ -10,7 +10,13 @@ type t
 val inert : t
 (** Never trips; {!active} is [false]. *)
 
-val create : ?budget:Budget.t -> ?cancel:Cancel.t -> unit -> t
+val create : ?budget:Budget.t -> ?cancel:Cancel.t -> ?link:Cancel.t -> unit -> t
+(** [cancel] is this guard's {e owned} token: a tripped budget marks it
+    so sibling pollers converge on the stop. [link] is a parent scope's
+    token, {e observed} at every poll but never marked — use it to
+    tighten a budget for a sub-task (a per-trial watchdog, say) that
+    must still honour the enclosing run's cancellation without its own
+    local expiry poisoning the shared token. *)
 
 val active : t -> bool
 (** Whether polling can ever trip (a cancel token or a non-unlimited
@@ -21,11 +27,12 @@ val budget : t -> Budget.t
 val cancel : t -> Cancel.t option
 
 val poll : t -> states:int -> bytes:int -> Cancel.reason option
-(** The cancellation point. Checks, in order: the cancel token, the
-    state-count ceiling, the byte ceiling, the deadline (the only check
-    that reads the clock, and only when a deadline is set). A tripped
-    budget also marks the cancel token, so sibling workers observing
-    only the token stop too. *)
+(** The cancellation point. Checks, in order: the linked token, the
+    owned cancel token, the state-count ceiling, the byte ceiling, the
+    deadline (the only check that reads the clock, and only when a
+    deadline is set). A tripped budget also marks the owned cancel
+    token, so sibling workers observing only the token stop too; the
+    linked token is read-only. *)
 
 val check : t -> states:int -> bytes:int -> unit
 (** {!poll}, raising {!Cancel.Cancelled} — for cancellation points with

@@ -9,8 +9,9 @@ exception Corrupt of string
 
 (* Header layout is versioned by the magic string: bump it on any
    incompatible change so old snapshots fail loudly at the magic check
-   instead of unmarshalling garbage. *)
-let magic = "NMSNAP01"
+   instead of decoding garbage. 02: the header switched from [Marshal]
+   to the hand-rolled length-prefixed encoding below. *)
+let magic = "NMSNAP02"
 
 type header = {
   h_kind : string;
@@ -18,6 +19,83 @@ type header = {
   h_meta : (string * int) list;
   h_secs : (string * int * int) list;  (* name, element count, width *)
 }
+
+(* The header is only strings and ints, so it is encoded by hand —
+   4-byte-length-prefixed strings, 8-byte little-endian ints,
+   count-prefixed lists — rather than with [Marshal], whose decoder is
+   not robust against corrupted or crafted input (it can crash the
+   process instead of raising). Every length and count is bounds-checked
+   against the header string before it is used. *)
+let encode_header h =
+  let b = Buffer.create 256 in
+  let str s =
+    Buffer.add_int32_le b (Int32.of_int (String.length s));
+    Buffer.add_string b s
+  in
+  let int v = Buffer.add_int64_le b (Int64.of_int v) in
+  str h.h_kind;
+  str h.h_hash;
+  int (List.length h.h_meta);
+  List.iter
+    (fun (k, v) ->
+      str k;
+      int v)
+    h.h_meta;
+  int (List.length h.h_secs);
+  List.iter
+    (fun (n, len, w) ->
+      str n;
+      int len;
+      int w)
+    h.h_secs;
+  Buffer.contents b
+
+(* [fail] raises; it is the caller's Corrupt-with-filename reporter. *)
+let decode_header ~fail s =
+  let pos = ref 0 in
+  let bad () = fail "unreadable header" in
+  let take n =
+    if n < 0 || n > String.length s - !pos then bad ();
+    let p = !pos in
+    pos := p + n;
+    p
+  in
+  let str () =
+    let p = take 4 in
+    let n = Int32.to_int (String.get_int32_le s p) in
+    let p = take n in
+    String.sub s p n
+  in
+  let int () =
+    let p = take 8 in
+    Int64.to_int (String.get_int64_le s p)
+  in
+  let list read =
+    let n = int () in
+    (* every element is at least 4 bytes, so a count beyond the
+       remaining bytes is garbage — reject before building the list *)
+    if n < 0 || n > (String.length s - !pos) / 4 then bad ();
+    let rec go k acc =
+      if k = 0 then List.rev acc else go (k - 1) (read () :: acc)
+    in
+    go n []
+  in
+  let h_kind = str () in
+  let h_hash = str () in
+  let h_meta =
+    list (fun () ->
+        let k = str () in
+        let v = int () in
+        (k, v))
+  in
+  let h_secs =
+    list (fun () ->
+        let n = str () in
+        let len = int () in
+        (n, len, int ()))
+  in
+  if !pos <> String.length s then bad ();
+  { h_kind; h_hash; h_meta; h_secs }
 
 (* Checksum: a splitmix-style avalanche folded over the header bytes and
    every section element. Integer-granularity folding keeps verification
@@ -42,58 +120,63 @@ let width_of a =
 
 let chunk_elems = 1 lsl 20
 
+(* Saves go to a sibling temp file and are renamed into place only once
+   complete: rename(2) is atomic on POSIX, so a crash or failure mid-save
+   leaves any previous snapshot at [file] intact instead of a truncated
+   ruin. *)
 let save ~file t =
-  let oc = open_out_bin file in
-  let ok = ref false in
-  Fun.protect
-    ~finally:(fun () ->
-      close_out_noerr oc;
-      if not !ok then try Sys.remove file with Sys_error _ -> ())
-  @@ fun () ->
-  let secs = List.map (fun (name, a) -> (name, a, width_of a)) t.sections in
-  let header =
-    Marshal.to_string
-      {
-        h_kind = t.kind;
-        h_hash = t.config_hash;
-        h_meta = t.meta;
-        h_secs = List.map (fun (n, a, w) -> (n, Array.length a, w)) secs;
-      }
-      []
-  in
-  output_string oc magic;
-  let b = Bytes.create 8 in
-  Bytes.set_int32_le b 0 (Int32.of_int (String.length header));
-  output_bytes oc (Bytes.sub b 0 4);
-  output_string oc header;
-  let sum = ref (fold_string seed header) in
-  let buf = Bytes.create (chunk_elems * 8) in
-  List.iter
-    (fun (_, a, w) ->
-      let n = Array.length a in
-      let cap = Bytes.length buf / w in
-      let i = ref 0 in
-      while !i < n do
-        let m = min cap (n - !i) in
-        if w = 4 then
-          for j = 0 to m - 1 do
-            let v = Array.unsafe_get a (!i + j) in
-            sum := mix !sum v;
-            Bytes.set_int32_le buf (4 * j) (Int32.of_int v)
-          done
-        else
-          for j = 0 to m - 1 do
-            let v = Array.unsafe_get a (!i + j) in
-            sum := mix !sum v;
-            Bytes.set_int64_le buf (8 * j) (Int64.of_int v)
-          done;
-        output oc buf 0 (m * w);
-        i := !i + m
-      done)
-    secs;
-  Bytes.set_int64_le b 0 (Int64.of_int !sum);
-  output_bytes oc b;
-  ok := true
+  let tmp = file ^ ".tmp" in
+  (let oc = open_out_bin tmp in
+   let ok = ref false in
+   Fun.protect
+     ~finally:(fun () ->
+       close_out_noerr oc;
+       if not !ok then try Sys.remove tmp with Sys_error _ -> ())
+   @@ fun () ->
+   let secs = List.map (fun (name, a) -> (name, a, width_of a)) t.sections in
+   let header =
+     encode_header
+       {
+         h_kind = t.kind;
+         h_hash = t.config_hash;
+         h_meta = t.meta;
+         h_secs = List.map (fun (n, a, w) -> (n, Array.length a, w)) secs;
+       }
+   in
+   output_string oc magic;
+   let b = Bytes.create 8 in
+   Bytes.set_int32_le b 0 (Int32.of_int (String.length header));
+   output_bytes oc (Bytes.sub b 0 4);
+   output_string oc header;
+   let sum = ref (fold_string seed header) in
+   let buf = Bytes.create (chunk_elems * 8) in
+   List.iter
+     (fun (_, a, w) ->
+       let n = Array.length a in
+       let cap = Bytes.length buf / w in
+       let i = ref 0 in
+       while !i < n do
+         let m = min cap (n - !i) in
+         if w = 4 then
+           for j = 0 to m - 1 do
+             let v = Array.unsafe_get a (!i + j) in
+             sum := mix !sum v;
+             Bytes.set_int32_le buf (4 * j) (Int32.of_int v)
+           done
+         else
+           for j = 0 to m - 1 do
+             let v = Array.unsafe_get a (!i + j) in
+             sum := mix !sum v;
+             Bytes.set_int64_le buf (8 * j) (Int64.of_int v)
+           done;
+         output oc buf 0 (m * w);
+         i := !i + m
+       done)
+     secs;
+   Bytes.set_int64_le b 0 (Int64.of_int !sum);
+   output_bytes oc b;
+   ok := true);
+  Sys.rename tmp file
 
 let load ~file =
   let ic =
@@ -112,10 +195,7 @@ let load ~file =
   let hlen = Int32.to_int (String.get_int32_le (read_exact 4) 0) in
   if hlen <= 0 || hlen > total then fail "implausible header length";
   let header_s = read_exact hlen in
-  let header =
-    try (Marshal.from_string header_s 0 : header)
-    with _ -> fail "unreadable header"
-  in
+  let header = decode_header ~fail header_s in
   let data_bytes =
     List.fold_left
       (fun acc (_, len, w) ->

@@ -3,7 +3,9 @@
     A snapshot is a typed container — a kind tag, the writing engine's
     config hash, small named integer metadata, and named [int array]
     sections (visited keys, frontiers, edges). The on-disk format is a
-    magic string, a small marshalled header, each section's data as raw
+    magic string, a small length-prefixed header (decoded by hand with
+    bounds checks — never [Marshal], whose decoder can crash the process
+    on crafted input instead of raising), each section's data as raw
     little-endian integers (4 bytes per element when the section fits
     [int32], 8 otherwise), and a trailing checksum folded over the
     header and every element. Sections of a 10^7-state wavefront
@@ -27,8 +29,10 @@ type t = {
 exception Corrupt of string
 
 val save : file:string -> t -> unit
-(** Write atomically enough for our purposes: on any exception the
-    partial file is removed. @raise Sys_error when the path is not
+(** Write atomically: the snapshot is written to [file ^ ".tmp"] and
+    renamed into place only once complete, so an interrupted or failed
+    save leaves any previous snapshot at [file] intact (the temp file is
+    removed on failure). @raise Sys_error when the path is not
     writable. *)
 
 val load : file:string -> t

@@ -26,7 +26,7 @@ stderr_file="$tmp/nonmask_smoke_stderr.$$"
 ckpt="$tmp/nonmask_smoke_ckpt.$$"
 out_full="$tmp/nonmask_smoke_full.$$"
 out_resumed="$tmp/nonmask_smoke_resumed.$$"
-trap 'rm -f "$stderr_file" "$ckpt" "$ckpt.trunc" "$ckpt.garbage" "$out_full" "$out_resumed"' EXIT
+trap 'rm -f "$stderr_file" "$ckpt" "$ckpt.tmp" "$ckpt.trunc" "$ckpt.garbage" "$ckpt.ph" "$out_full" "$out_resumed"' EXIT
 
 expect() {
   want="$1"
@@ -102,6 +102,10 @@ expect 5 fuzz --seed 42 --count 5 --deadline 0
 expect 1 check token-ring --nodes 3 -k 3 --budget-states 0
 expect 1 storm token-ring --nodes 3 -k 4 --trials 5 --trial-timeout 0
 expect 1 certify token-ring --nodes 3 -k 4 --checkpoint-out "$ckpt"
+# 1: state/byte budgets count explored states, so trial sweeps reject
+# them outright instead of accepting flags that could never trip
+expect 1 storm token-ring --nodes 3 -k 4 --trials 5 --budget-states 100
+expect 1 fuzz --seed 42 --count 5 --budget-bytes 10000
 
 # --- checkpoint/resume roundtrip -------------------------------------
 # An interrupted run writes a snapshot (exit 5); resuming it must reach
@@ -129,6 +133,22 @@ $CLI check dijkstra --nodes 12 -k 13 --engine parallel --jobs 2 --ball 2 \
   --resume "$ckpt" >"$out_resumed" 2>/dev/null
 cmp -s "$out_full" "$out_resumed"
 note $? "parallel resume of the lazy-written snapshot identical"
+
+# a later run that fails without saving (exit 4's hard cap) must not
+# clobber the snapshot sitting at --checkpoint-out: it still resumes
+$CLI check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 \
+  --max-states 1000 --checkpoint-out "$ckpt" >/dev/null 2>"$stderr_file"
+[ $? -eq 4 ] && [ -s "$ckpt" ]
+note $? "non-saving failed run keeps the existing snapshot"
+$CLI check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 \
+  --resume "$ckpt" >/dev/null 2>/dev/null
+note $? "snapshot still resumes after the failed run"
+# a failed run that never saved removes its empty placeholder, so a
+# leftover --checkpoint-out file always means "something to resume"
+$CLI check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 \
+  --max-states 1000 --checkpoint-out "$ckpt.ph" >/dev/null 2>/dev/null
+[ ! -e "$ckpt.ph" ]
+note $? "failed run leaves no empty checkpoint placeholder"
 
 # 1: corrupt, truncated, or alien snapshots are rejected with a reason
 head -c 64 "$ckpt" >"$ckpt.trunc"

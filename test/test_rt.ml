@@ -79,6 +79,21 @@ let test_guard_deadline () =
   Alcotest.(check bool) "future deadline quiet" true
     (Rt.Guard.poll far ~states:0 ~bytes:0 = None)
 
+let test_guard_link () =
+  let parent = Rt.Cancel.create () in
+  Alcotest.(check bool) "link alone makes the guard active" true
+    (Rt.Guard.active (Rt.Guard.create ~link:parent ()));
+  let g =
+    Rt.Guard.create ~budget:(Rt.Budget.make ~max_states:10 ()) ~link:parent ()
+  in
+  Alcotest.(check bool) "scoped budget trips" true
+    (Rt.Guard.poll g ~states:11 ~bytes:0 = Some Rt.Cancel.Max_states);
+  Alcotest.(check bool) "linked token never marked by a scoped trip" true
+    (Rt.Cancel.get parent = None);
+  Rt.Cancel.request parent (Rt.Cancel.Signal "SIGTERM");
+  Alcotest.(check bool) "parent cancellation observed at the next poll" true
+    (Rt.Guard.poll g ~states:0 ~bytes:0 = Some (Rt.Cancel.Signal "SIGTERM"))
+
 let test_watchdog () =
   Alcotest.(check bool) "zero timeout rejected" true
     (invalid (fun () -> Rt.Watchdog.make ~timeout_s:0.0 ()));
@@ -139,7 +154,10 @@ let test_snapshot_roundtrip () =
   Alcotest.(check int) "meta_int" 7 (Rt.Snapshot.meta_int back "alpha");
   Alcotest.(check int) "wide section survives" (1 lsl 40)
     (Rt.Snapshot.section back "wide").(1);
-  Alcotest.(check int) "total elems" 6 (Rt.Snapshot.total_elems back)
+  Alcotest.(check int) "total elems" 6 (Rt.Snapshot.total_elems back);
+  (* saves rename a temp file into place; a completed save leaves none *)
+  Alcotest.(check bool) "no temp file left behind" false
+    (Sys.file_exists (file ^ ".tmp"))
 
 let test_snapshot_corruption_detected () =
   with_temp_file @@ fun file ->
@@ -159,6 +177,21 @@ let test_snapshot_corruption_detected () =
   Alcotest.(check bool) "garbage rejected" true (loads_corrupt file);
   Alcotest.(check bool) "missing file rejected" true
     (loads_corrupt "/nonexistent/nmsnap.snap")
+
+let test_snapshot_crafted_header_rejected () =
+  with_temp_file @@ fun file ->
+  (* a valid magic and plausible header length framing garbage header
+     bytes must raise Corrupt — the hand-rolled decoder bounds-checks
+     every length, where Marshal.from_string could crash the process *)
+  let b = Buffer.create 64 in
+  Buffer.add_string b "NMSNAP02";
+  let len = Bytes.create 4 in
+  Bytes.set_int32_le len 0 24l;
+  Buffer.add_bytes b len;
+  Buffer.add_string b (String.make 24 '\xFF');
+  Buffer.add_string b (String.make 8 '\x00');
+  write_file file (Buffer.contents b);
+  Alcotest.(check bool) "crafted header rejected" true (loads_corrupt file)
 
 let test_snapshot_missing_fields () =
   let snap = sample_snapshot () in
@@ -601,16 +634,34 @@ let test_fuzz_skips_on_tripped_guard () =
   Alcotest.(check bool) "report says the sample is partial" true
     (Astring_contains.contains rendered "skipped")
 
+let test_fuzz_watchdog_keeps_sweep_alive () =
+  (* regression: a watchdog expiry inside one trial's oracle used to mark
+     the sweep's shared cancel token, which skipped every later trial and
+     turned one slow trial into a cancelled sweep (exit 5 via the CLI) *)
+  let cancel = Rt.Cancel.create () in
+  let guard = Rt.Guard.create ~cancel () in
+  let watchdog = Rt.Watchdog.make ~retries:1 ~timeout_s:1e-9 () in
+  let report = Gen.Fuzz.run ~guard ~watchdog ~jobs:1 ~seed:7 ~count:3 () in
+  Alcotest.(check int) "no trial skipped" 0 report.Gen.Fuzz.skipped;
+  Alcotest.(check int) "every trial expired instead" 3
+    (List.length report.Gen.Fuzz.timeouts);
+  Alcotest.(check bool) "global cancel token stays unmarked" true
+    (Rt.Cancel.get cancel = None)
+
 let suite =
   [
     Alcotest.test_case "budget validation" `Quick test_budget_validation;
     Alcotest.test_case "cancel token first-wins" `Quick test_cancel_first_wins;
     Alcotest.test_case "guard thresholds" `Quick test_guard_thresholds;
     Alcotest.test_case "guard deadline" `Quick test_guard_deadline;
+    Alcotest.test_case "guard linked token is read-only" `Quick
+      test_guard_link;
     Alcotest.test_case "watchdog policy" `Quick test_watchdog;
     Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "snapshot corruption detected" `Quick
       test_snapshot_corruption_detected;
+    Alcotest.test_case "snapshot crafted header rejected" `Quick
+      test_snapshot_crafted_header_rejected;
     Alcotest.test_case "snapshot missing fields" `Quick
       test_snapshot_missing_fields;
     Alcotest.test_case "region resume (counter, varied cuts)" `Slow
@@ -635,4 +686,6 @@ let suite =
       test_storm_watchdog_retries;
     Alcotest.test_case "fuzz skips on tripped guard" `Quick
       test_fuzz_skips_on_tripped_guard;
+    Alcotest.test_case "fuzz watchdog expiry keeps the sweep alive" `Quick
+      test_fuzz_watchdog_keeps_sweep_alive;
   ]
