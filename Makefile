@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke fuzz bench e19-smoke e20-smoke clean
+.PHONY: all build test check smoke fuzz bench e19-smoke e20-smoke e21-smoke clean
 
 all: build
 
@@ -49,6 +49,12 @@ e19-smoke:
 # `dune exec bench/main.exe -- e20`).
 e20-smoke:
 	dune exec bench/main.exe -- e20-smoke --metrics-out bench-e20-metrics.json
+
+# Bounded model-language leg: E21 .nm compile throughput over 300
+# generated models (the full 2000-model tier is
+# `dune exec bench/main.exe -- e21`).
+e21-smoke:
+	dune exec bench/main.exe -- e21-smoke --metrics-out bench-e21-metrics.json
 
 clean:
 	dune clean

@@ -1893,6 +1893,59 @@ let e20_run ~vars () =
 let e20 () = e20_run ~vars:7 ()
 let e20_smoke () = e20_run ~vars:6 ()
 
+(* E21: model-language compile throughput. Generate [count] random
+   specs (Gen.Generate, seeds 0..count-1), render each to .nm surface
+   syntax once, then time each pipeline stage over the whole corpus:
+   emit (spec -> text), parse (text -> AST), format (AST -> canonical
+   text), and compile (text -> elaborated Guarded model, i.e. parse +
+   elaborate). Reports models/s and mean us/model per stage. [e21]
+   runs 2000 models; [e21-smoke] is the same shape at 300 for CI. *)
+let e21_run ~count () =
+  let specs =
+    List.init count (fun seed -> Gen.Generate.spec (Prng.create seed))
+  in
+  let texts = List.map Gen.Emit.spec_to_nm specs in
+  let bytes =
+    List.fold_left (fun acc t -> acc + String.length t) 0 texts
+  in
+  let asts = List.map (fun t -> Lang.Driver.parse_string t) texts in
+  let stage name f =
+    let (), ms = time f in
+    let per_s = float_of_int count /. (ms /. 1000.0) in
+    [
+      name;
+      Table.i count;
+      Table.f1 ms;
+      Table.i (int_of_float per_s);
+      Printf.sprintf "%.1f" (1000.0 *. ms /. float_of_int count);
+    ]
+  in
+  let rows =
+    [
+      stage "emit" (fun () ->
+          List.iter (fun s -> ignore (Gen.Emit.spec_to_nm s)) specs);
+      stage "parse" (fun () ->
+          List.iter (fun t -> ignore (Lang.Driver.parse_string t)) texts);
+      stage "format" (fun () ->
+          List.iter (fun a -> ignore (Lang.Pretty.print a)) asts);
+      stage "compile" (fun () ->
+          List.iter (fun t -> ignore (Lang.Driver.compile_string t)) texts);
+    ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E21: .nm pipeline throughput over %s generated models (%s KiB \
+          of surface syntax); compile = parse + elaborate to the Guarded \
+          representation"
+         (Table.i count)
+         (Table.i (bytes / 1024)))
+    ~header:[ "stage"; "models"; "ms"; "models/s"; "us/model" ]
+    rows
+
+let e21 () = e21_run ~count:2000 ()
+let e21_smoke () = e21_run ~count:300 ()
+
 let experiments =
   [
     ("e1", e1);
@@ -1917,6 +1970,8 @@ let experiments =
     ("e19-smoke", e19_smoke);
     ("e20", e20);
     ("e20-smoke", e20_smoke);
+    ("e21", e21);
+    ("e21-smoke", e21_smoke);
     ("micro", micro);
   ]
 

@@ -11,10 +11,14 @@
      storm    PROTO [opts]        recovery under recurring faults
      fuzz     [opts]              differential fuzzing over generated models
      dot      PROTO [opts]        constraint graph in Graphviz DOT
+     fmt      MODEL.nm [opts]     canonically format a model file
+     export   MODEL.nm --tla|--dot   TLA+ module / dependency graph
 
    Protocols: diffusing, lowatomic, token-ring, dijkstra, xyz-good-tree,
    xyz-good-ordered, xyz-bad, atomic, naive-ring. Tree-based protocols take
-   --tree SHAPE and --size N; ring-based take --nodes and -k.
+   --tree SHAPE and --size N; ring-based take --nodes and -k. Every PROTO
+   position also accepts a path to a .nm model-language file (shaped by
+   repeatable --param NAME=INT overrides); see README "Model language".
 
    Exit codes (documented in the README, asserted by
    test/smoke_exit_codes.sh):
@@ -37,7 +41,8 @@ module Tree = Topology.Tree
 module State = Guarded.State
 module Compile = Guarded.Compile
 
-(* A protocol instance, abstracted over what the CLI needs. *)
+(* A protocol instance, abstracted over what the CLI needs. Both
+   built-in protocols and compiled .nm model files resolve to this. *)
 type instance = {
   i_name : string;
   env : Guarded.Env.t;
@@ -46,6 +51,9 @@ type instance = {
   legitimate : unit -> Guarded.State.t;
   certify : (engine:Explore.Engine.t -> Nonmask.Certify.t) option;
   cgraphs : Nonmask.Cgraph.t list;
+  declared_fault : Sim.Fault.t option;
+      (* the fault actions a .nm model declares, if any — the default
+         fault class for certify/storm on that model *)
 }
 
 let tree_of ~shape ~size ~seed =
@@ -63,6 +71,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let d = Protocols.Diffusing.make (tree_of ~shape ~size ~seed) in
       {
         i_name = Printf.sprintf "diffusing %s-%d" shape size;
+        declared_fault = None;
         env = Protocols.Diffusing.env d;
         program = Protocols.Diffusing.combined d;
         invariant = (fun s -> Protocols.Diffusing.invariant d s);
@@ -74,6 +83,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let d = Protocols.Diffusing_lowatomic.make (tree_of ~shape ~size ~seed) in
       {
         i_name = Printf.sprintf "lowatomic %s-%d" shape size;
+        declared_fault = None;
         env = Protocols.Diffusing_lowatomic.env d;
         program = Protocols.Diffusing_lowatomic.program d;
         invariant = (fun s -> Protocols.Diffusing_lowatomic.invariant d s);
@@ -85,6 +95,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let tr = Protocols.Token_ring.make ~nodes ~k in
       {
         i_name = Printf.sprintf "token-ring %d (K=%d)" nodes k;
+        declared_fault = None;
         env = Protocols.Token_ring.env tr;
         program = Protocols.Token_ring.combined tr;
         invariant = (fun s -> Protocols.Token_ring.invariant tr s);
@@ -96,6 +107,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let dr = Protocols.Dijkstra_ring.make ~nodes ~k in
       {
         i_name = Printf.sprintf "dijkstra %d (K=%d)" nodes k;
+        declared_fault = None;
         env = Protocols.Dijkstra_ring.env dr;
         program = Protocols.Dijkstra_ring.program dr;
         invariant = (fun s -> Protocols.Dijkstra_ring.invariant dr s);
@@ -113,6 +125,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let d = Protocols.Xyz_demo.make variant in
       {
         i_name = proto;
+        declared_fault = None;
         env = Protocols.Xyz_demo.env d;
         program = Protocols.Xyz_demo.program d;
         invariant = (fun s -> Protocols.Xyz_demo.invariant d s);
@@ -131,6 +144,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let a = Protocols.Atomic_action.make (tree_of ~shape ~size ~seed) in
       {
         i_name = Printf.sprintf "atomic %s-%d" shape size;
+        declared_fault = None;
         env = Protocols.Atomic_action.env a;
         program = Protocols.Atomic_action.program a;
         invariant = (fun s -> Protocols.Atomic_action.invariant a s);
@@ -146,6 +160,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let nr = Protocols.Naive_ring.make ~nodes in
       {
         i_name = Printf.sprintf "naive-ring %d" nodes;
+        declared_fault = None;
         env = Protocols.Naive_ring.env nr;
         program = Protocols.Naive_ring.program nr;
         invariant = (fun s -> Protocols.Naive_ring.invariant nr s);
@@ -157,6 +172,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let r = Protocols.Reset.make (tree_of ~shape ~size ~seed) in
       {
         i_name = Printf.sprintf "reset %s-%d" shape size;
+        declared_fault = None;
         env = Protocols.Reset.env r;
         program = Protocols.Reset.program r;
         invariant = (fun s -> Protocols.Reset.invariant r s);
@@ -181,6 +197,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       let st = Protocols.Spanning_tree.make ~root:0 g in
       {
         i_name = Printf.sprintf "spanning-tree %s-%d" shape size;
+        declared_fault = None;
         env = Protocols.Spanning_tree.env st;
         program = Protocols.Spanning_tree.program st;
         invariant = (fun s -> Protocols.Spanning_tree.invariant st s);
@@ -205,10 +222,83 @@ let protocols =
     "spanning-tree";
   ]
 
+(* --- .nm model files --- *)
+
+let is_model_path s = Filename.check_suffix s ".nm"
+
+(* Every pipeline failure is a located Err.t; folding it into Failure
+   routes it through the commands' shared error path (one message on
+   stderr, exit 1) without an exception trace ever escaping. *)
+let compile_model ~params path =
+  try Lang.Driver.compile_file ~params path with
+  | Lang.Err.Error e -> failwith (Lang.Err.to_string e)
+  | Sys_error msg -> failwith msg
+
+let parse_model_file path =
+  try Lang.Driver.load_file path with
+  | Lang.Err.Error e -> failwith (Lang.Err.to_string e)
+  | Sys_error msg -> failwith msg
+
+let nm_instance ~params path =
+  let em = compile_model ~params path in
+  let declared_fault =
+    match em.Lang.Elab.fault_actions with
+    | [] -> None
+    | acts -> Some (Sim.Fault.of_actions "declared faults" ~burst:1 acts)
+  in
+  {
+    i_name = em.Lang.Elab.name;
+    env = em.Lang.Elab.env;
+    program = em.Lang.Elab.program;
+    invariant = em.Lang.Elab.invariant;
+    legitimate = (fun () -> em.Lang.Elab.init);
+    certify = None;
+    cgraphs = [];
+    declared_fault;
+  }
+
+(* Model selection, shared by every verb: a PROTOCOL argument is either a
+   built-in name (flags like --tree/--size/--nodes/-k shape it) or a path
+   to a .nm model file (shaped by --param overrides instead). *)
+let parse_param_overrides l =
+  List.map
+    (fun s ->
+      match String.index_opt s '=' with
+      | Some i -> (
+          let name = String.sub s 0 i in
+          let v = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt v with
+          | Some n when name <> "" -> (name, n)
+          | _ -> failwith (Printf.sprintf "bad --param %S (want NAME=INT)" s))
+      | None -> failwith (Printf.sprintf "bad --param %S (want NAME=INT)" s))
+    l
+
+let load_instance proto ~shape ~size ~nodes ~k ~seed ~params =
+  if is_model_path proto then
+    nm_instance ~params:(parse_param_overrides params) proto
+  else if params <> [] then
+    failwith "--param only applies to .nm model files"
+  else build_instance proto ~shape ~size ~nodes ~k ~seed
+
 (* --- common options --- *)
 
 let proto_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL")
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROTOCOL"
+        ~doc:
+          "A built-in protocol name (see $(b,nonmask list)), or a path to \
+           a $(b,.nm) model file (anything ending in $(b,.nm)).")
+
+let params_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "param" ] ~docv:"NAME=INT"
+        ~doc:
+          "Override a $(b,param) declared by a .nm model file (repeatable); \
+           rejected for built-in protocols.")
 
 let shape_arg =
   Arg.(value & opt string "balanced" & info [ "tree" ] ~docv:"SHAPE"
@@ -627,9 +717,9 @@ let parse_fault_spec env spec =
   | [ "scramble" ] -> Sim.Fault.scramble env
   | _ -> bad ()
 
-let with_instance f proto shape size nodes k seed =
+let with_instance f proto shape size nodes k seed params =
   try
-    let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+    let i = load_instance proto ~shape ~size ~nodes ~k ~seed ~params in
     f i seed;
     0
   with Failure msg ->
@@ -639,7 +729,8 @@ let with_instance f proto shape size nodes k seed =
 let instance_term f =
   Term.(
     const (with_instance f)
-    $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg $ seed_arg)
+    $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg $ seed_arg
+    $ params_arg)
 
 (* --- subcommands --- *)
 
@@ -688,16 +779,23 @@ let fault_budget_arg =
            corrupt:k=N). Negative = unbounded — the recurring-fault span.")
 
 let certify_cmd =
-  let run proto shape size nodes k seed backend max_states jobs fault_spec
-      fault_budget ball trace_out metrics_out progress deadline budget_states
-      budget_bytes checkpoint_out resume_file =
+  let run proto shape size nodes k seed params backend max_states jobs
+      fault_spec fault_budget ball trace_out metrics_out progress deadline
+      budget_states budget_bytes checkpoint_out resume_file =
     try
-      if (checkpoint_out <> None || resume_file <> None) && fault_spec = None
+      let i = load_instance proto ~shape ~size ~nodes ~k ~seed ~params in
+      (* --faults wins; a .nm model's declared fault actions are the
+         default fault class when the flag is absent. *)
+      let fault_opt =
+        match fault_spec with
+        | Some spec -> Some (parse_fault_spec i.env spec)
+        | None -> i.declared_fault
+      in
+      if (checkpoint_out <> None || resume_file <> None) && fault_opt = None
       then
         failwith
           "certify: --checkpoint-out/--resume require --faults (only the \
            computed fault span is checkpointable)";
-      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
       let obs =
         obs_setup ~trace_out ~metrics_out ~progress
           ~meta:
@@ -715,14 +813,13 @@ let certify_cmd =
         | Rt.Snapshot.Corrupt msg ->
             failwith (Printf.sprintf "cannot resume: %s" msg)
       in
-      (match fault_spec with
-      | Some spec -> (
-          let fault = parse_fault_spec i.env spec in
+      (match fault_opt with
+      | Some fault -> (
           let resume = Option.map load_snapshot resume_file in
           prepare_checkpoint checkpoint_out;
           let salt =
             Printf.sprintf "certify|%s|seed=%d|faults=%s|ball=%d" i.i_name
-              seed spec ball
+              seed fault.Sim.Fault.name ball
           in
           try
             handle_incomplete @@ fun () ->
@@ -792,17 +889,17 @@ let certify_cmd =
           fault span (exhaustive)")
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ fault_spec_arg
-      $ fault_budget_arg $ ball_arg $ trace_out_arg $ metrics_out_arg
-      $ progress_arg $ deadline_arg $ budget_states_arg $ budget_bytes_arg
-      $ checkpoint_out_arg $ resume_arg)
+      $ seed_arg $ params_arg $ engine_arg $ max_states_arg $ jobs_arg
+      $ fault_spec_arg $ fault_budget_arg $ ball_arg $ trace_out_arg
+      $ metrics_out_arg $ progress_arg $ deadline_arg $ budget_states_arg
+      $ budget_bytes_arg $ checkpoint_out_arg $ resume_arg)
 
 let check_cmd =
-  let run proto shape size nodes k seed backend max_states jobs ball
+  let run proto shape size nodes k seed params backend max_states jobs ball
       trace_out metrics_out progress deadline budget_states budget_bytes
       checkpoint_out resume_file =
     try
-      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      let i = load_instance proto ~shape ~size ~nodes ~k ~seed ~params in
       let obs =
         obs_setup ~trace_out ~metrics_out ~progress
           ~meta:
@@ -876,10 +973,10 @@ let check_cmd =
           $(b,--ball))")
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ engine_arg $ max_states_arg $ jobs_arg $ ball_arg
-      $ trace_out_arg $ metrics_out_arg $ progress_arg $ deadline_arg
-      $ budget_states_arg $ budget_bytes_arg $ checkpoint_out_arg
-      $ resume_arg)
+      $ seed_arg $ params_arg $ engine_arg $ max_states_arg $ jobs_arg
+      $ ball_arg $ trace_out_arg $ metrics_out_arg $ progress_arg
+      $ deadline_arg $ budget_states_arg $ budget_bytes_arg
+      $ checkpoint_out_arg $ resume_arg)
 
 let trials_arg =
   Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trial count.")
@@ -910,9 +1007,9 @@ let simulate_cmd =
     Format.printf "%s under %s, %d trials: %a@." i.i_name
       fault.Sim.Fault.name trials Sim.Experiment.pp_result result
   in
-  let wrapped proto shape size nodes k seed trials faults =
+  let wrapped proto shape size nodes k seed params trials faults =
     try
-      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      let i = load_instance proto ~shape ~size ~nodes ~k ~seed ~params in
       run i seed trials faults;
       0
     with Failure msg ->
@@ -924,7 +1021,7 @@ let simulate_cmd =
        ~doc:"Fault-injection trials under a random daemon, with statistics")
     Term.(
       const wrapped $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ trials_arg $ faults_arg)
+      $ seed_arg $ params_arg $ trials_arg $ faults_arg)
 
 let rate_arg =
   Arg.(
@@ -954,11 +1051,11 @@ let make_watchdog ~trial_timeout ~trial_retries =
    with a usage error); --deadline and the per-trial watchdog are the
    degradation knobs for trial sweeps. *)
 let storm_cmd =
-  let run proto shape size nodes k seed trials fault_spec rate fault_budget
-      max_steps jobs trace_out metrics_out progress deadline trial_timeout
-      trial_retries =
+  let run proto shape size nodes k seed params trials fault_spec rate
+      fault_budget max_steps jobs trace_out metrics_out progress deadline
+      trial_timeout trial_retries =
     try
-      let i = build_instance proto ~shape ~size ~nodes ~k ~seed in
+      let i = load_instance proto ~shape ~size ~nodes ~k ~seed ~params in
       let obs =
         obs_setup ~trace_out ~metrics_out ~progress
           ~meta:(run_meta ~command:"storm" ~instance:i.i_name ~engine:"-" ~jobs)
@@ -969,8 +1066,10 @@ let storm_cmd =
       let watchdog = make_watchdog ~trial_timeout ~trial_retries in
       let cp = Compile.program i.program in
       let fault =
-        parse_fault_spec i.env
-          (Option.value fault_spec ~default:"corrupt:k=1")
+        match (fault_spec, i.declared_fault) with
+        | Some spec, _ -> parse_fault_spec i.env spec
+        | None, Some f -> f
+        | None, None -> parse_fault_spec i.env "corrupt:k=1"
       in
       let fault_budget =
         match fault_budget with Some b when b >= 0 -> Some b | _ -> None
@@ -1008,9 +1107,10 @@ let storm_cmd =
           step")
     Term.(
       const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
-      $ seed_arg $ trials_arg $ fault_spec_arg $ rate_arg $ fault_budget_arg
-      $ max_steps_storm_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg
-      $ progress_arg $ deadline_arg $ trial_timeout_arg $ trial_retries_arg)
+      $ seed_arg $ params_arg $ trials_arg $ fault_spec_arg $ rate_arg
+      $ fault_budget_arg $ max_steps_storm_arg $ jobs_arg $ trace_out_arg
+      $ metrics_out_arg $ progress_arg $ deadline_arg $ trial_timeout_arg
+      $ trial_retries_arg)
 
 let count_arg =
   Arg.(
@@ -1036,9 +1136,27 @@ let no_shrink_arg =
 
 let exit_counterexample = 3
 
+let corpus_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus-out" ] ~docv:"DIR"
+        ~doc:
+          "Write every failing trial's generated model to $(docv) as \
+           replayable .nm source: trial-NNNN-seed-S.nm (original) and \
+           trial-NNNN-seed-S-min.nm (shrunk minimum).")
+
+let corpus_all_arg =
+  Arg.(
+    value & flag
+    & info [ "corpus-all" ]
+        ~doc:
+          "With $(b,--corpus-out), also write the models of passing \
+           trials.")
+
 let fuzz_cmd =
-  let run seed count max_vars jobs no_shrink trace_out metrics_out progress
-      deadline trial_timeout trial_retries =
+  let run seed count max_vars jobs no_shrink corpus_out corpus_all trace_out
+      metrics_out progress deadline trial_timeout trial_retries =
     try
       if max_vars < 2 then failwith "fuzz: --max-vars must be at least 2";
       if count < 0 then failwith "fuzz: --count must be non-negative";
@@ -1053,10 +1171,13 @@ let fuzz_cmd =
         make_guard ~deadline ~budget_states:None ~budget_bytes:None
       in
       let watchdog = make_watchdog ~trial_timeout ~trial_retries in
+      if corpus_all && corpus_out = None then
+        failwith "fuzz: --corpus-all requires --corpus-out";
       let report =
         Gen.Fuzz.run
           ~gen_config:(Gen.Generate.with_max_vars max_vars)
-          ~shrink:(not no_shrink) ~jobs ~obs ~guard ?watchdog ~seed ~count ()
+          ~shrink:(not no_shrink) ~jobs ~obs ~guard ?watchdog
+          ?corpus_out ~corpus_all ~seed ~count ()
       in
       Format.printf "%a@." Gen.Fuzz.pp_report report;
       if report.Gen.Fuzz.counterexamples <> [] then begin
@@ -1096,20 +1217,130 @@ let fuzz_cmd =
           counterexample)")
     Term.(
       const run $ seed_arg $ count_arg $ max_vars_arg $ jobs_arg
-      $ no_shrink_arg $ trace_out_arg $ metrics_out_arg $ progress_arg
-      $ deadline_arg $ trial_timeout_arg $ trial_retries_arg)
+      $ no_shrink_arg $ corpus_out_arg $ corpus_all_arg $ trace_out_arg
+      $ metrics_out_arg $ progress_arg $ deadline_arg $ trial_timeout_arg
+      $ trial_retries_arg)
 
 let dot_cmd =
-  let run i _seed =
-    match i.cgraphs with
-    | [] ->
-        Printf.eprintf "%s has no constraint graph\n" i.i_name;
-        exit 1
-    | gs -> List.iter (fun g -> print_string (Nonmask.Cgraph.to_dot g)) gs
+  let run proto shape size nodes k seed params =
+    try
+      (if is_model_path proto then
+         let em = compile_model ~params:(parse_param_overrides params) proto in
+         print_string (Lang.Dot.render em)
+       else
+         let i = load_instance proto ~shape ~size ~nodes ~k ~seed ~params in
+         match i.cgraphs with
+         | [] -> failwith (Printf.sprintf "%s has no constraint graph" i.i_name)
+         | gs -> List.iter (fun g -> print_string (Nonmask.Cgraph.to_dot g)) gs);
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit the constraint graph(s) as Graphviz DOT")
-    (instance_term run)
+    Term.(
+      const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
+      $ seed_arg $ params_arg)
+
+(* --- model-language tooling: fmt and export --------------------------- *)
+
+let model_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL.nm")
+
+let fmt_cmd =
+  let run file write check =
+    try
+      if write && check then failwith "fmt: --write and --check conflict";
+      let _src, ast = parse_model_file file in
+      let formatted = Lang.Pretty.print ast in
+      if check then begin
+        let original =
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        if original <> formatted then
+          failwith (Printf.sprintf "fmt: %s is not canonically formatted" file)
+      end
+      else if write then begin
+        let oc = open_out file in
+        output_string oc formatted;
+        close_out oc
+      end
+      else print_string formatted;
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  let write_arg =
+    Arg.(
+      value & flag
+      & info [ "write" ] ~doc:"Rewrite the file in place instead of printing.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit 1 if the file is not already in canonical form; print \
+             nothing. The formatter is idempotent, so a formatted file \
+             always passes.")
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Canonically format a .nm model file")
+    Term.(const run $ model_file_arg $ write_arg $ check_arg)
+
+let export_cmd =
+  let run file params tla dot out =
+    try
+      let text =
+        let em = compile_model ~params:(parse_param_overrides params) file in
+        match (tla, dot) with
+        | true, false -> Lang.Tla.render em
+        | false, true -> Lang.Dot.render em
+        | _ -> failwith "export: pass exactly one of --tla, --dot"
+      in
+      (match out with
+      | None -> print_string text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc);
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  let tla_arg =
+    Arg.(
+      value & flag
+      & info [ "tla" ]
+          ~doc:
+            "Emit a TLA+ module (Init/Next/Faults/Invariant) for TLC model \
+             checking.")
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Emit the constraint/read-write dependency graph as Graphviz \
+             DOT.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a .nm model as TLA+ or Graphviz DOT")
+    Term.(
+      const run $ model_file_arg $ params_arg $ tla_arg $ dot_arg $ out_arg)
 
 let main =
   let doc =
@@ -1122,7 +1353,7 @@ let main =
     (Cmd.info "nonmask" ~version:Version_info.version ~doc)
     [
       list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; storm_cmd;
-      fuzz_cmd; dot_cmd;
+      fuzz_cmd; dot_cmd; fmt_cmd; export_cmd;
     ]
 
 (* Fold cmdliner's own flag-validation failures (unknown --engine value,

@@ -1,0 +1,62 @@
+open Guarded
+
+let domain_str = function
+  | Domain.Bool -> "bool"
+  | Domain.Range { lo; hi } -> Printf.sprintf "%d..%d" lo hi
+  | Domain.Enum { name; labels } ->
+      Printf.sprintf "%s{%s}" name
+        (String.concat ", " (Array.to_list labels))
+
+(* Materialized fault actions are named "fault:<j>"; the surface syntax
+   needs an identifier, so they come back as "fault f<j>" (elaborating
+   to "fault:f<j>" — the name difference is invisible to the
+   signature comparisons the roundtrip oracle makes). *)
+let fault_ident name =
+  match String.index_opt name ':' with
+  | Some i -> "f" ^ String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let add_action buf kw name (a : Action.t) =
+  Buffer.add_string buf (Printf.sprintf "\n%s %s:\n  " kw name);
+  Buffer.add_string buf (Expr.to_string (Action.guard a));
+  Buffer.add_string buf " -> ";
+  (match Action.assigns a with
+  | [] -> Buffer.add_string buf "skip"
+  | assigns ->
+      Buffer.add_string buf
+        (String.concat ", " (List.map (fun (v, _) -> Var.name v) assigns));
+      Buffer.add_string buf " := ";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map (fun (_, e) -> Expr.num_to_string e) assigns)));
+  Buffer.add_char buf '\n'
+
+let model_to_nm (m : Spec.model) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "model %s\n" m.Spec.spec.Spec.title);
+  let vars = Env.vars m.Spec.env in
+  Array.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "\nvar %s : %s" (Var.name v)
+           (domain_str (Var.domain v))))
+    vars;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun a -> add_action buf "action" (Action.name a) a)
+    (Program.actions m.Spec.program);
+  List.iter
+    (fun a -> add_action buf "fault" (fault_ident (Action.name a)) a)
+    m.Spec.fault_actions;
+  Buffer.add_string buf
+    (Printf.sprintf "\ninvariant %s\n" (Expr.to_string m.Spec.invariant_expr));
+  Buffer.add_string buf
+    (Printf.sprintf "\ninit %s\n"
+       (String.concat ", "
+          (Array.to_list vars
+          |> List.map (fun v ->
+                 Printf.sprintf "%s = %d" (Var.name v)
+                   (State.get m.Spec.legit v)))));
+  Buffer.contents buf
+
+let spec_to_nm spec = model_to_nm (Spec.materialize spec)

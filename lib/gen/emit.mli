@@ -1,0 +1,15 @@
+(** Render a materialized model as [.nm] source.
+
+    The emitted text parses and elaborates back ({!Lang.Driver}) to a
+    model with the same environment (live slots in order, same names
+    and domains), the same program action names and order, and
+    semantically identical guards, assignments, invariant, and initial
+    state — the contract the [emit-roundtrip] oracle checks. Fault
+    actions are kept (renamed [f<j>], since [fault:<j>] is not a
+    surface-syntax name). Deterministic output. *)
+
+val model_to_nm : Spec.model -> string
+
+val spec_to_nm : Spec.t -> string
+(** [model_to_nm] of {!Spec.materialize}.
+    @raise Invalid_argument like {!Spec.materialize}. *)

@@ -110,9 +110,34 @@ let run_trial ~gen_config ~oracle_config ~shrink ~guard ~watchdog i tseed =
               shrink = stats;
             } )
 
+(* Corpus files are best-effort artifacts: a spec whose materialization
+   fails (it cannot, for specs the trial actually ran) or an unwritable
+   directory must not turn a completed sweep into a crash. *)
+let write_corpus ~dir ~all outcomes =
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with _ -> ());
+  let write name spec =
+    match Emit.spec_to_nm spec with
+    | text ->
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc text;
+        close_out oc
+    | exception _ -> ()
+  in
+  List.iter
+    (fun (i, tseed, outcome) ->
+      let base = Printf.sprintf "trial-%04d-seed-%d" i tseed in
+      match outcome with
+      | Done (spec, Some c) ->
+          write (base ^ ".nm") spec;
+          write (base ^ "-min.nm") c.spec
+      | Done (spec, None) -> if all then write (base ^ ".nm") spec
+      | Skipped | Timed_out _ -> ())
+    outcomes
+
 let run ?(gen_config = Generate.default) ?(oracle_config = Oracle.default)
     ?(shrink = true) ?(jobs = 1) ?(obs = Obs.Ctx.disabled)
-    ?(guard = Rt.Guard.inert) ?watchdog ~seed ~count () =
+    ?(guard = Rt.Guard.inert) ?watchdog ?corpus_out ?(corpus_all = false)
+    ~seed ~count () =
   if count < 0 then invalid_arg "Fuzz.run: count must be non-negative";
   if jobs <= 0 then invalid_arg "Fuzz.run: jobs must be positive";
   let guard_on = Rt.Guard.active guard in
@@ -144,6 +169,9 @@ let run ?(gen_config = Generate.default) ?(oracle_config = Oracle.default)
           [])
     |> List.rev
   in
+  (match corpus_out with
+  | Some dir -> write_corpus ~dir ~all:corpus_all outcomes
+  | None -> ());
   (* All recording is post-hoc and in trial order, so counters and the
      JSONL trace are identical at any job count (modulo the live
      [fuzz.start] lines, whose per-trial {e count} is stable). *)

@@ -46,6 +46,8 @@ val run :
   ?obs:Obs.Ctx.t ->
   ?guard:Rt.Guard.t ->
   ?watchdog:Rt.Watchdog.t ->
+  ?corpus_out:string ->
+  ?corpus_all:bool ->
   seed:int ->
   count:int ->
   unit ->
@@ -73,6 +75,13 @@ val run :
     attempt runs under its own guard scope that only {e observes} the
     global cancel token, so a watchdog expiry (or a per-attempt budget
     trip) abandons that trial without cancelling the sweep.
+
+    [corpus_out] (default none) names a directory (created if missing)
+    that receives each failing trial's generated model as replayable
+    [.nm] source ({!Emit}): [trial-NNNN-seed-S.nm] is the original and
+    [trial-NNNN-seed-S-min.nm] the shrunk minimum. With
+    [corpus_all:true], passing trials are written too. Writing is
+    best-effort and post-hoc, in trial order.
     @raise Invalid_argument when [jobs <= 0] or [count < 0]. *)
 
 val pp_report : Format.formatter -> report -> unit

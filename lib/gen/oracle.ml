@@ -29,6 +29,7 @@ let oracle_names =
     "reorder-stable";
     "storm-consistent";
     "storage-agree";
+    "emit-roundtrip";
   ]
 
 let backends = [ Engine.Eager; Engine.Lazy; Engine.Parallel ]
@@ -451,6 +452,106 @@ let o_storage_agree ctx =
             None legs)
     None (root_sets ctx)
 
+(* The .nm surface form round-trips: emitting the materialized model as
+   model-language text and compiling it back through the full
+   lexer/parser/elaborator pipeline yields a model with the same
+   reachable regions (from both root sets), the same convergence
+   verdict, and the same fault span — checked on the eager and lazy
+   backends. Fault action *names* differ by construction (Emit renames
+   "fault:<j>" to "f<j>"), so the comparison sticks to the
+   name-independent signatures. *)
+let o_emit_roundtrip ctx =
+  let fail detail = Some { oracle = "emit-roundtrip"; detail } in
+  let text = Emit.model_to_nm ctx.m in
+  match Lang.Driver.compile_string ~file:"<emitted>" text with
+  | exception Lang.Err.Error e ->
+      fail ("emitted model rejected: " ^ Lang.Err.to_string e)
+  | em -> (
+      let open Lang.Elab in
+      let ecp = Compile.program em.program in
+      let efaults =
+        Compile.program (Program.make ~name:"faults" em.env em.fault_actions)
+      in
+      let einv st = em.invariant st in
+      let pairs b =
+        (* fresh emitted-side engine per backend; the direct side reuses
+           the ctx engine. No defect bump on either side: both sides run
+           the same backend, so a simulated defect cancels out and this
+           oracle stays quiet during harness self-tests. *)
+        let e = List.assoc b ctx.engines in
+        let ee =
+          Engine.create ~backend:b ~max_states:engine_budget ~jobs:1
+            ~guard:ctx.guard em.env
+        in
+        (e, ee)
+      in
+      let check b =
+        let e, ee = pairs b in
+        let roots =
+          [
+            ( "legit",
+              Engine.Seeds [ ctx.m.Spec.legit ],
+              Engine.Seeds [ em.init ] );
+            ("all", Engine.All, Engine.All);
+          ]
+        in
+        List.fold_left
+          (fun acc (rname, from, efrom) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                let where what =
+                  Printf.sprintf "%s roots=%s %s" (backend_name b) rname what
+                in
+                let dr =
+                  region_sig ~bump:0
+                    (Engine.region e ctx.cp ~from ~target:ctx.m.Spec.invariant)
+                in
+                let er =
+                  region_sig ~bump:0
+                    (Engine.region ee ecp ~from:efrom ~target:einv)
+                in
+                match diff_region dr er with
+                | Some why -> fail (where ("region: " ^ why))
+                | None -> (
+                    let dv =
+                      verdict_sig ctx.m.Spec.env ~program:ctx.m.Spec.program
+                        ~target:ctx.m.Spec.invariant
+                        (Convergence.check_unfair e ctx.cp ~from
+                           ~target:ctx.m.Spec.invariant)
+                    in
+                    let ev =
+                      verdict_sig em.env ~program:em.program ~target:einv
+                        (Convergence.check_unfair ee ecp ~from:efrom
+                           ~target:einv)
+                    in
+                    if dv <> ev then
+                      fail
+                        (where
+                           (Printf.sprintf "verdict: %s vs %s"
+                              (verdict_str dv) (verdict_str ev)))
+                    else
+                      let budget = Some ctx.cfg.cert_budget in
+                      let ds =
+                        span_sig ~bump:0 (span ctx e ~budget ~from)
+                      in
+                      let es =
+                        span_sig ~bump:0
+                          (Faultspan.compute ee ~program:ecp ?budget
+                             ~faults:efaults ~from:efrom ())
+                      in
+                      if ds <> es then
+                        fail
+                          (where
+                             (Printf.sprintf "span: %s vs %s" (span_str ds)
+                                (span_str es)))
+                      else None)))
+          None roots
+      in
+      match check Engine.Eager with
+      | Some f -> Some f
+      | None -> check Engine.Lazy)
+
 let oracles =
   [
     ("region-agree", o_region_agree);
@@ -461,6 +562,7 @@ let oracles =
     ("reorder-stable", o_reorder_stable);
     ("storm-consistent", o_storm_consistent);
     ("storage-agree", o_storage_agree);
+    ("emit-roundtrip", o_emit_roundtrip);
   ]
 
 let make_ctx cfg ~guard ~rng (m : Spec.model) =

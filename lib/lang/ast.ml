@@ -1,0 +1,175 @@
+type binop = Add | Sub | Mul | Div | Mod
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type quant = Forall | Exists
+
+type iset =
+  | Srange of nexp * nexp
+  | Snodes
+  | Snonroot
+  | Schildren of nexp
+
+and nexp =
+  | Int of Loc.t * int
+  | Ref of Loc.t * string * nexp option
+  | Call of Loc.t * string * nexp list
+  | Neg of Loc.t * nexp
+  | Binop of Loc.t * binop * nexp * nexp
+  | Ite of Loc.t * bexp * nexp * nexp
+
+and bexp =
+  | Bool of Loc.t * bool
+  | Cmp of Loc.t * cmp * nexp * nexp
+  | Not of Loc.t * bexp
+  | And of Loc.t * bexp * bexp
+  | Or of Loc.t * bexp * bexp
+  | Implies of Loc.t * bexp * bexp
+  | Iff of Loc.t * bexp * bexp
+  | Quant of Loc.t * quant * string * iset * bexp
+
+type domain =
+  | Dbool
+  | Drange of nexp * nexp
+  | Denum of string * string list
+
+type vdecl = {
+  v_loc : Loc.t;
+  v_name : string;
+  v_size : nexp option;
+  v_dom : domain;
+}
+
+type binder = { b_loc : Loc.t; b_name : string; b_set : iset }
+type lhs = { l_loc : Loc.t; l_name : string; l_index : nexp option }
+
+type act = {
+  a_loc : Loc.t;
+  a_name : string;
+  a_binders : binder list;
+  a_guard : bexp;
+  a_assigns : (lhs list * nexp list) option;
+}
+
+type constr = {
+  c_loc : Loc.t;
+  c_name : string;
+  c_binders : binder list;
+  c_body : bexp;
+}
+
+type init_index = Iexact of nexp | Iall of string * iset
+
+type init_bind = {
+  i_loc : Loc.t;
+  i_name : string;
+  i_index : init_index option;
+  i_value : nexp;
+}
+
+type topo =
+  | Tring of Loc.t * nexp
+  | Ttree of Loc.t * string * nexp * int option
+
+type item =
+  | Param of Loc.t * string * nexp
+  | Topology of topo
+  | Vars of vdecl list
+  | Action of act
+  | Fault of act
+  | Constraint of constr
+  | Invariant of Loc.t * bexp
+  | Init of Loc.t * init_bind list
+
+type model = { m_loc : Loc.t; m_name : string; m_items : item list }
+
+(* --- location erasure: structural equality modulo positions --- *)
+
+let z = Loc.none
+
+let rec strip_iset = function
+  | Srange (a, b) -> Srange (strip_nexp a, strip_nexp b)
+  | (Snodes | Snonroot) as s -> s
+  | Schildren e -> Schildren (strip_nexp e)
+
+and strip_nexp = function
+  | Int (_, n) -> Int (z, n)
+  | Ref (_, x, i) -> Ref (z, x, Option.map strip_nexp i)
+  | Call (_, f, args) -> Call (z, f, List.map strip_nexp args)
+  | Neg (_, e) -> Neg (z, strip_nexp e)
+  | Binop (_, op, a, b) -> Binop (z, op, strip_nexp a, strip_nexp b)
+  | Ite (_, c, a, b) -> Ite (z, strip_bexp c, strip_nexp a, strip_nexp b)
+
+and strip_bexp = function
+  | Bool (_, b) -> Bool (z, b)
+  | Cmp (_, c, a, b) -> Cmp (z, c, strip_nexp a, strip_nexp b)
+  | Not (_, b) -> Not (z, strip_bexp b)
+  | And (_, a, b) -> And (z, strip_bexp a, strip_bexp b)
+  | Or (_, a, b) -> Or (z, strip_bexp a, strip_bexp b)
+  | Implies (_, a, b) -> Implies (z, strip_bexp a, strip_bexp b)
+  | Iff (_, a, b) -> Iff (z, strip_bexp a, strip_bexp b)
+  | Quant (_, q, x, s, b) -> Quant (z, q, x, strip_iset s, strip_bexp b)
+
+let strip_domain = function
+  | Dbool -> Dbool
+  | Drange (a, b) -> Drange (strip_nexp a, strip_nexp b)
+  | Denum _ as d -> d
+
+let strip_vdecl d =
+  {
+    d with
+    v_loc = z;
+    v_size = Option.map strip_nexp d.v_size;
+    v_dom = strip_domain d.v_dom;
+  }
+
+let strip_binder b = { b with b_loc = z; b_set = strip_iset b.b_set }
+let strip_lhs l = { l with l_loc = z; l_index = Option.map strip_nexp l.l_index }
+
+let strip_act a =
+  {
+    a with
+    a_loc = z;
+    a_binders = List.map strip_binder a.a_binders;
+    a_guard = strip_bexp a.a_guard;
+    a_assigns =
+      Option.map
+        (fun (ls, es) -> (List.map strip_lhs ls, List.map strip_nexp es))
+        a.a_assigns;
+  }
+
+let strip_item = function
+  | Param (_, x, e) -> Param (z, x, strip_nexp e)
+  | Topology (Tring (_, n)) -> Topology (Tring (z, strip_nexp n))
+  | Topology (Ttree (_, shape, n, seed)) ->
+      Topology (Ttree (z, shape, strip_nexp n, seed))
+  | Vars ds -> Vars (List.map strip_vdecl ds)
+  | Action a -> Action (strip_act a)
+  | Fault a -> Fault (strip_act a)
+  | Constraint c ->
+      Constraint
+        {
+          c with
+          c_loc = z;
+          c_binders = List.map strip_binder c.c_binders;
+          c_body = strip_bexp c.c_body;
+        }
+  | Invariant (_, b) -> Invariant (z, strip_bexp b)
+  | Init (_, binds) ->
+      Init
+        ( z,
+          List.map
+            (fun i ->
+              {
+                i with
+                i_loc = z;
+                i_index =
+                  Option.map
+                    (function
+                      | Iexact e -> Iexact (strip_nexp e)
+                      | Iall (x, s) -> Iall (x, strip_iset s))
+                    i.i_index;
+                i_value = strip_nexp i.i_value;
+              })
+            binds )
+
+let strip m = { m with m_loc = z; m_items = List.map strip_item m.m_items }
+let equal a b = strip a = strip b

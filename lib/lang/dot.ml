@@ -1,0 +1,82 @@
+open Guarded
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
+
+let var_names vs =
+  Var.Set.elements vs |> List.map Var.name |> String.concat ", "
+
+let render (m : Elab.t) : string =
+  let buf = Buffer.create 2048 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let actions = Array.to_list (Program.actions m.Elab.program) in
+  line "digraph %s {" (quote m.Elab.name);
+  line "  rankdir=LR;";
+  line "  node [shape=box, fontname=\"monospace\"];";
+  (match m.Elab.constraints with
+  | _ :: _ as constraints ->
+      (* one node per constraint instance, labeled with its variables;
+         an action's edge goes from a constraint it reads to one it
+         writes (Section 4's picture) *)
+      let cvars =
+        List.map (fun (name, body) -> (name, Expr.reads body)) constraints
+      in
+      List.iter
+        (fun (name, vs) ->
+          (* the \n between name and variable set is a DOT line break:
+             escape the components, not the separator *)
+          line "  %s [label=\"%s\\n{%s}\"];" (quote name) (escape name)
+            (escape (var_names vs)))
+        cvars;
+      List.iter
+        (fun act ->
+          let reads = Action.reads act and writes = Action.writes act in
+          List.iter
+            (fun (src, svs) ->
+              List.iter
+                (fun (dst, dvs) ->
+                  if
+                    src <> dst
+                    && (not (Var.Set.is_empty (Var.Set.inter svs reads)))
+                    && not (Var.Set.is_empty (Var.Set.inter dvs writes))
+                  then
+                    line "  %s -> %s [label=%s];" (quote src) (quote dst)
+                      (quote (Action.name act)))
+                cvars)
+            cvars)
+        actions
+  | [] ->
+      (* no declared constraints: fall back to the variable graph *)
+      Array.iter
+        (fun v -> line "  %s;" (quote (Var.name v)))
+        (Env.vars m.Elab.env);
+      List.iter
+        (fun act ->
+          let writes = Action.writes act in
+          Var.Set.iter
+            (fun r ->
+              Var.Set.iter
+                (fun w ->
+                  if not (Var.equal r w) then
+                    line "  %s -> %s [label=%s];" (quote (Var.name r))
+                      (quote (Var.name w))
+                      (quote (Action.name act)))
+                writes)
+            (Action.reads act))
+        actions);
+  line "}";
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Graphviz constraint-graph emitter.
+
+    With declared constraints, nodes are the expanded constraint
+    instances (labeled with the variables each reads) and there is an
+    edge [A -> B] labeled with an action's name whenever that action
+    reads a variable of [A] and writes a variable of [B] — the
+    dependency rendering of the paper's Section 4 picture. Without
+    constraints it degenerates to the variable graph: an edge [v -> w]
+    per action reading [v] and writing [w]. Deterministic output. *)
+
+val render : Elab.t -> string

@@ -1,0 +1,16 @@
+let parse_string ?(file = "<string>") text =
+  Parser.parse (Source.of_string ~file text)
+
+let load_file path =
+  let src = Source.read_file path in
+  (src, Parser.parse src)
+
+let compile ?params src ast = Elab.model ?params src ast
+
+let compile_file ?params path =
+  let src, ast = load_file path in
+  Elab.model ?params src ast
+
+let compile_string ?params ?(file = "<string>") text =
+  let src = Source.of_string ~file text in
+  Elab.model ?params src (Parser.parse src)

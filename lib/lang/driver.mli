@@ -1,0 +1,18 @@
+(** One-call conveniences tying the pipeline together:
+    read → lex → parse → elaborate. All raise {!Err.Error} with a
+    located message on malformed input; {!load_file} raises [Failure]
+    if the file cannot be read at all. *)
+
+val parse_string : ?file:string -> string -> Ast.model
+(** Parse from an in-memory string; [file] names it in errors
+    (default ["<string>"]). *)
+
+val load_file : string -> Source.t * Ast.model
+(** Read and parse a [.nm] file. *)
+
+val compile : ?params:(string * int) list -> Source.t -> Ast.model -> Elab.t
+
+val compile_file : ?params:(string * int) list -> string -> Elab.t
+
+val compile_string :
+  ?params:(string * int) list -> ?file:string -> string -> Elab.t

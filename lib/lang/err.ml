@@ -1,0 +1,44 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+  snippet : string;
+}
+
+exception Error of t
+
+let render_snippet (src : Source.t) (loc : Loc.t) =
+  match Source.line src loc.Loc.line with
+  | None -> ""
+  | Some text ->
+      let gutter = string_of_int loc.Loc.line in
+      let pad = String.make (String.length gutter) ' ' in
+      (* Tabs would desynchronize the caret column; render them as one
+         space so the marker stays under the offending character. *)
+      let text =
+        String.map (fun c -> if c = '\t' then ' ' else c) text
+      in
+      let caret_col = max 0 (loc.Loc.col - 1) in
+      Printf.sprintf "%s | %s\n%s | %s^" gutter text pad
+        (String.make caret_col ' ')
+
+let fail src (loc : Loc.t) msg =
+  raise
+    (Error
+       {
+         file = src.Source.file;
+         line = loc.Loc.line;
+         col = loc.Loc.col;
+         msg;
+         snippet = render_snippet src loc;
+       })
+
+let to_string e =
+  if e.snippet = "" then
+    Printf.sprintf "%s:%d:%d: %s" e.file e.line e.col e.msg
+  else
+    Printf.sprintf "%s:%d:%d: %s\n  %s" e.file e.line e.col e.msg
+      (String.concat "\n  " (String.split_on_char '\n' e.snippet))
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

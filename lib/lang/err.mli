@@ -1,0 +1,27 @@
+(** Located compilation errors.
+
+    Every failure of the pipeline — lexing, parsing, elaboration — is
+    reported as one value carrying [file:line:col], the message, and a
+    pre-rendered caret snippet of the offending source line. The CLI
+    prints {!to_string} verbatim and exits 1; an exception trace never
+    reaches the user. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+  snippet : string;
+      (** the source line plus a caret marker, or [""] when the source
+          text is unavailable *)
+}
+
+exception Error of t
+
+val fail : Source.t -> Loc.t -> string -> 'a
+(** Raise {!Error} at the given position, rendering the snippet. *)
+
+val to_string : t -> string
+(** ["file:line:col: msg"] followed by the indented snippet lines. *)
+
+val pp : Format.formatter -> t -> unit

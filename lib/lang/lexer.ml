@@ -1,0 +1,351 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_MODEL
+  | KW_PARAM
+  | KW_TOPOLOGY
+  | KW_RING
+  | KW_TREE
+  | KW_VAR
+  | KW_ACTION
+  | KW_FAULT
+  | KW_CONSTRAINT
+  | KW_INVARIANT
+  | KW_INIT
+  | KW_IN
+  | KW_FORALL
+  | KW_EXISTS
+  | KW_NODES
+  | KW_NONROOT
+  | KW_CHILDREN
+  | KW_BOOL
+  | KW_SKIP
+  | KW_TRUE
+  | KW_FALSE
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_MIN
+  | KW_MAX
+  | KW_MOD
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOTDOT
+  | ARROW
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | IFF
+  | EOF
+
+type located = { tok : token; loc : Loc.t }
+
+let keyword = function
+  | "model" -> Some KW_MODEL
+  | "param" -> Some KW_PARAM
+  | "topology" -> Some KW_TOPOLOGY
+  | "ring" -> Some KW_RING
+  | "tree" -> Some KW_TREE
+  | "var" -> Some KW_VAR
+  | "action" -> Some KW_ACTION
+  | "fault" -> Some KW_FAULT
+  | "constraint" -> Some KW_CONSTRAINT
+  | "invariant" -> Some KW_INVARIANT
+  | "init" -> Some KW_INIT
+  | "in" -> Some KW_IN
+  | "forall" -> Some KW_FORALL
+  | "exists" -> Some KW_EXISTS
+  | "nodes" -> Some KW_NODES
+  | "nonroot" -> Some KW_NONROOT
+  | "children" -> Some KW_CHILDREN
+  | "bool" -> Some KW_BOOL
+  | "skip" -> Some KW_SKIP
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "min" -> Some KW_MIN
+  | "max" -> Some KW_MAX
+  | "mod" -> Some KW_MOD
+  | _ -> None
+
+(* Inverse of [keyword]: the source word a keyword token lexed from.
+   Lets dashed names reuse keyword words as fragments ("token-ring",
+   "xyz-good-tree") — a name position is never ambiguous with a
+   keyword position. *)
+let keyword_text = function
+  | KW_MODEL -> Some "model"
+  | KW_PARAM -> Some "param"
+  | KW_TOPOLOGY -> Some "topology"
+  | KW_RING -> Some "ring"
+  | KW_TREE -> Some "tree"
+  | KW_VAR -> Some "var"
+  | KW_ACTION -> Some "action"
+  | KW_FAULT -> Some "fault"
+  | KW_CONSTRAINT -> Some "constraint"
+  | KW_INVARIANT -> Some "invariant"
+  | KW_INIT -> Some "init"
+  | KW_IN -> Some "in"
+  | KW_FORALL -> Some "forall"
+  | KW_EXISTS -> Some "exists"
+  | KW_NODES -> Some "nodes"
+  | KW_NONROOT -> Some "nonroot"
+  | KW_CHILDREN -> Some "children"
+  | KW_BOOL -> Some "bool"
+  | KW_SKIP -> Some "skip"
+  | KW_TRUE -> Some "true"
+  | KW_FALSE -> Some "false"
+  | KW_IF -> Some "if"
+  | KW_THEN -> Some "then"
+  | KW_ELSE -> Some "else"
+  | KW_MIN -> Some "min"
+  | KW_MAX -> Some "max"
+  | KW_MOD -> Some "mod"
+  | _ -> None
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW_MODEL -> "'model'"
+  | KW_PARAM -> "'param'"
+  | KW_TOPOLOGY -> "'topology'"
+  | KW_RING -> "'ring'"
+  | KW_TREE -> "'tree'"
+  | KW_VAR -> "'var'"
+  | KW_ACTION -> "'action'"
+  | KW_FAULT -> "'fault'"
+  | KW_CONSTRAINT -> "'constraint'"
+  | KW_INVARIANT -> "'invariant'"
+  | KW_INIT -> "'init'"
+  | KW_IN -> "'in'"
+  | KW_FORALL -> "'forall'"
+  | KW_EXISTS -> "'exists'"
+  | KW_NODES -> "'nodes'"
+  | KW_NONROOT -> "'nonroot'"
+  | KW_CHILDREN -> "'children'"
+  | KW_BOOL -> "'bool'"
+  | KW_SKIP -> "'skip'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_IF -> "'if'"
+  | KW_THEN -> "'then'"
+  | KW_ELSE -> "'else'"
+  | KW_MIN -> "'min'"
+  | KW_MAX -> "'max'"
+  | KW_MOD -> "'mod'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOTDOT -> "'..'"
+  | ARROW -> "'->'"
+  | ASSIGN -> "':='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EQ -> "'='"
+  | NE -> "'<>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | AND -> "'/\\'"
+  | OR -> "'\\/'"
+  | NOT -> "'~'"
+  | IMPLIES -> "'=>'"
+  | IFF -> "'<=>'"
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let lex (src : Source.t) : located array =
+  let s = src.Source.text in
+  let n = String.length s in
+  let line = ref 1 and col = ref 1 in
+  let here () = { Loc.line = !line; col = !col } in
+  let fail message = Err.fail src (here ()) message in
+  let tokens = ref [] in
+  let emit tok = tokens := { tok; loc = here () } :: !tokens in
+  let i = ref 0 in
+  let advance k =
+    for _ = 1 to k do
+      (if !i < n && s.[!i] = '\n' then begin
+         incr line;
+         col := 0
+       end);
+      incr i;
+      incr col
+    done
+  in
+  let peek off = if !i + off < n then Some s.[!i + off] else None in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance 1
+    else if c = '(' && peek 1 = Some '*' then begin
+      (* comment: skip to the matching close, allowing nesting *)
+      let opened = here () in
+      let depth = ref 1 in
+      advance 2;
+      while !depth > 0 && !i < n do
+        if peek 0 = Some '(' && peek 1 = Some '*' then begin
+          incr depth;
+          advance 2
+        end
+        else if peek 0 = Some '*' && peek 1 = Some ')' then begin
+          decr depth;
+          advance 2
+        end
+        else advance 1
+      done;
+      if !depth > 0 then Err.fail src opened "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      (match keyword word with Some kw -> emit kw | None -> emit (IDENT word));
+      advance (String.length word)
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      (match int_of_string_opt word with
+      | Some v -> emit (INT v)
+      | None -> fail (Printf.sprintf "integer literal %s is out of range" word));
+      advance (String.length word)
+    end
+    else begin
+      let two =
+        match peek 1 with Some c2 -> Printf.sprintf "%c%c" c c2 | None -> ""
+      in
+      let three =
+        match (peek 1, peek 2) with
+        | Some c2, Some c3 -> Printf.sprintf "%c%c%c" c c2 c3
+        | _ -> ""
+      in
+      if three = "<=>" then begin
+        emit IFF;
+        advance 3
+      end
+      else
+        match two with
+        | ".." ->
+            emit DOTDOT;
+            advance 2
+        | "->" ->
+            emit ARROW;
+            advance 2
+        | ":=" ->
+            emit ASSIGN;
+            advance 2
+        | "<>" ->
+            emit NE;
+            advance 2
+        | "<=" ->
+            emit LE;
+            advance 2
+        | ">=" ->
+            emit GE;
+            advance 2
+        | "/\\" ->
+            emit AND;
+            advance 2
+        | "\\/" ->
+            emit OR;
+            advance 2
+        | "=>" ->
+            emit IMPLIES;
+            advance 2
+        | _ -> (
+            match c with
+            | '(' ->
+                emit LPAREN;
+                advance 1
+            | ')' ->
+                emit RPAREN;
+                advance 1
+            | '[' ->
+                emit LBRACKET;
+                advance 1
+            | ']' ->
+                emit RBRACKET;
+                advance 1
+            | '{' ->
+                emit LBRACE;
+                advance 1
+            | '}' ->
+                emit RBRACE;
+                advance 1
+            | ',' ->
+                emit COMMA;
+                advance 1
+            | ';' ->
+                emit SEMI;
+                advance 1
+            | ':' ->
+                emit COLON;
+                advance 1
+            | '+' ->
+                emit PLUS;
+                advance 1
+            | '-' ->
+                emit MINUS;
+                advance 1
+            | '*' ->
+                emit STAR;
+                advance 1
+            | '/' ->
+                emit SLASH;
+                advance 1
+            | '=' ->
+                emit EQ;
+                advance 1
+            | '<' ->
+                emit LT;
+                advance 1
+            | '>' ->
+                emit GT;
+                advance 1
+            | '~' ->
+                emit NOT;
+                advance 1
+            | c -> fail (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !tokens)

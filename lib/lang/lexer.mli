@@ -1,0 +1,79 @@
+(** Hand-written lexer for [.nm] model files.
+
+    Tokens carry their 1-based source position. Comments are OCaml-style
+    [(* ... *)] and nest. Identifiers are
+    [\[A-Za-z_\]\[A-Za-z0-9_\]*]; dashed names ([bump-y]) lex as
+    ident/minus sequences and are re-joined by the parser. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_MODEL
+  | KW_PARAM
+  | KW_TOPOLOGY
+  | KW_RING
+  | KW_TREE
+  | KW_VAR
+  | KW_ACTION
+  | KW_FAULT
+  | KW_CONSTRAINT
+  | KW_INVARIANT
+  | KW_INIT
+  | KW_IN
+  | KW_FORALL
+  | KW_EXISTS
+  | KW_NODES
+  | KW_NONROOT
+  | KW_CHILDREN
+  | KW_BOOL
+  | KW_SKIP
+  | KW_TRUE
+  | KW_FALSE
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_MIN
+  | KW_MAX
+  | KW_MOD
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOTDOT
+  | ARROW
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | IFF
+  | EOF
+
+type located = { tok : token; loc : Loc.t }
+
+val token_to_string : token -> string
+(** For error messages: ["'('"], ["identifier \"x\""], ... *)
+
+val keyword_text : token -> string option
+(** The source word a keyword token lexed from ([Some "ring"] for
+    [KW_RING]), [None] for non-keywords — lets the parser accept keyword
+    words as fragments of dashed names. *)
+
+val lex : Source.t -> located array
+(** Tokenize the whole source; the last token is always [EOF].
+    @raise Err.Error on an illegal character or unterminated comment. *)

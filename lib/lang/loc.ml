@@ -1,0 +1,4 @@
+type t = { line : int; col : int }
+
+let none = { line = 0; col = 0 }
+let pp ppf l = Format.fprintf ppf "%d:%d" l.line l.col

@@ -1,0 +1,12 @@
+(** Source positions.
+
+    Lines and columns are 1-based, matching what editors display and what
+    the CLI error contract promises ([file:line:col]). *)
+
+type t = { line : int; col : int }
+
+val none : t
+(** A position for nodes that have no meaningful origin (synthesized
+    ASTs); renders as [0:0]. *)
+
+val pp : Format.formatter -> t -> unit

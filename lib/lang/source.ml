@@ -1,0 +1,34 @@
+type t = { file : string; text : string }
+
+let of_string ~file text = { file; text }
+
+let read_file file =
+  match open_in_bin file with
+  | exception Sys_error msg -> failwith msg
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      { file; text }
+
+let line t k =
+  if k < 1 then None
+  else
+    let rec skip i k =
+      if k = 1 then Some i
+      else
+        match String.index_from_opt t.text i '\n' with
+        | None -> None
+        | Some j -> skip (j + 1) (k - 1)
+    in
+    match skip 0 k with
+    | None -> None
+    | Some start ->
+        if start > String.length t.text then None
+        else
+          let stop =
+            match String.index_from_opt t.text start '\n' with
+            | None -> String.length t.text
+            | Some j -> j
+          in
+          Some (String.sub t.text start (stop - start))

@@ -1,0 +1,12 @@
+(** A model's source text, kept alongside its file name so that every
+    error can carry a caret snippet of the offending line. *)
+
+type t = { file : string; text : string }
+
+val of_string : file:string -> string -> t
+
+val read_file : string -> t
+(** @raise Failure when the file cannot be read. *)
+
+val line : t -> int -> string option
+(** The 1-based line, without its newline. [None] when out of range. *)

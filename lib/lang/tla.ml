@@ -1,0 +1,182 @@
+open Guarded
+
+(* TLA+ identifiers: letters, digits, underscores, not starting with a
+   digit. Dots and dashes in our names become underscores; collisions
+   (or clashes with the module's own operator names) get a numeric
+   suffix, deterministically. *)
+
+let reserved =
+  [ "Init"; "Next"; "Spec"; "TypeOK"; "Invariant"; "Faults"; "vars";
+    "Min"; "Max"; "MODULE"; "EXTENDS"; "VARIABLES"; "UNCHANGED"; "IF";
+    "THEN"; "ELSE"; "TRUE"; "FALSE" ]
+
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      then Buffer.add_char buf c
+      else Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  let s = if s = "" then "x" else s in
+  if s.[0] >= '0' && s.[0] <= '9' then "v_" ^ s else s
+
+(* A fresh-name table seeded with the reserved words. *)
+let make_namer () =
+  let used = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace used r ()) reserved;
+  fun name ->
+    let base = sanitize name in
+    let candidate = ref base in
+    let k = ref 1 in
+    while Hashtbl.mem used !candidate do
+      incr k;
+      candidate := Printf.sprintf "%s_%d" base !k
+    done;
+    Hashtbl.replace used !candidate ();
+    !candidate
+
+(* Conservatively parenthesized expression rendering: compound operands
+   always get parens, so TLA+ operator precedence never matters. *)
+let rec num vname (e : Expr.num) =
+  let atom x =
+    match x with
+    | Expr.Const n when n >= 0 -> num vname x
+    | Expr.Var _ -> num vname x
+    | _ -> "(" ^ num vname x ^ ")"
+  in
+  match e with
+  | Expr.Const n -> string_of_int n
+  | Expr.Var v -> vname v
+  | Expr.Neg a -> "-" ^ atom a
+  | Expr.Add (a, b) -> atom a ^ " + " ^ atom b
+  | Expr.Sub (a, b) -> atom a ^ " - " ^ atom b
+  | Expr.Mul (a, b) -> atom a ^ " * " ^ atom b
+  | Expr.Div (a, b) -> atom a ^ " \\div " ^ atom b
+  | Expr.Mod (a, b) -> atom a ^ " % " ^ atom b
+  | Expr.Min (a, b) -> Printf.sprintf "Min(%s, %s)" (num vname a) (num vname b)
+  | Expr.Max (a, b) -> Printf.sprintf "Max(%s, %s)" (num vname a) (num vname b)
+  | Expr.Ite (c, a, b) ->
+      Printf.sprintf "(IF %s THEN %s ELSE %s)" (boolean vname c) (num vname a)
+        (num vname b)
+
+and boolean vname (e : Expr.boolean) =
+  let atom x =
+    match x with
+    | Expr.True | Expr.False | Expr.Cmp _ | Expr.Not _ -> boolean vname x
+    | _ -> "(" ^ boolean vname x ^ ")"
+  in
+  match e with
+  | Expr.True -> "TRUE"
+  | Expr.False -> "FALSE"
+  | Expr.Cmp (op, a, b) ->
+      let sym =
+        match op with
+        | Expr.Eq -> "="
+        | Expr.Ne -> "/="
+        | Expr.Lt -> "<"
+        | Expr.Le -> "<="
+        | Expr.Gt -> ">"
+        | Expr.Ge -> ">="
+      in
+      let natom x =
+        match x with
+        | Expr.Const n when n >= 0 -> num vname x
+        | Expr.Var _ -> num vname x
+        | _ -> "(" ^ num vname x ^ ")"
+      in
+      Printf.sprintf "%s %s %s" (natom a) sym (natom b)
+  | Expr.Not a -> "~" ^ atom a
+  | Expr.And (a, b) -> atom a ^ " /\\ " ^ atom b
+  | Expr.Or (a, b) -> atom a ^ " \\/ " ^ atom b
+  | Expr.Implies (a, b) -> atom a ^ " => " ^ atom b
+  | Expr.Iff (a, b) -> atom a ^ " <=> " ^ atom b
+
+let domain_set = function
+  | Domain.Bool -> "0..1"
+  | Domain.Range { lo; hi } -> Printf.sprintf "%d..%d" lo hi
+  | Domain.Enum { labels; _ } ->
+      Printf.sprintf "0..%d" (Array.length labels - 1)
+
+let domain_comment = function
+  | Domain.Enum { name; labels } ->
+      Printf.sprintf "  \\* %s: %s" name
+        (String.concat ", "
+           (Array.to_list
+              (Array.mapi (fun i l -> Printf.sprintf "%d=%s" i l) labels)))
+  | _ -> ""
+
+let render (m : Elab.t) : string =
+  let fresh = make_namer () in
+  let module_name = sanitize m.Elab.name in
+  let vars = Env.vars m.Elab.env in
+  let vnames = Array.map (fun v -> fresh (Var.name v)) vars in
+  let vname v = vnames.(Var.index v) in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "---- MODULE %s ----" module_name;
+  line "EXTENDS Integers";
+  line "";
+  line "VARIABLES %s"
+    (String.concat ", " (Array.to_list vnames));
+  line "";
+  line "vars == <<%s>>" (String.concat ", " (Array.to_list vnames));
+  line "";
+  line "Min(a, b) == IF a <= b THEN a ELSE b";
+  line "Max(a, b) == IF a >= b THEN a ELSE b";
+  line "";
+  line "TypeOK ==";
+  Array.iteri
+    (fun i v ->
+      line "  /\\ %s \\in %s%s" vnames.(i)
+        (domain_set (Var.domain v))
+        (domain_comment (Var.domain v)))
+    vars;
+  line "";
+  line "Init ==";
+  Array.iteri
+    (fun i v -> line "  /\\ %s = %d" vnames.(i) (State.get m.Elab.init v))
+    vars;
+  line "";
+  let emit_action (act : Action.t) =
+    let aname = fresh (Action.name act) in
+    line "%s ==" aname;
+    line "  /\\ %s" (boolean vname (Action.guard act));
+    let written =
+      List.map (fun (v, _) -> Var.index v) (Action.assigns act)
+    in
+    List.iter
+      (fun (v, rhs) -> line "  /\\ %s' = %s" (vname v) (num vname rhs))
+      (Action.assigns act);
+    let unchanged =
+      Array.to_list vnames
+      |> List.filteri (fun i _ -> not (List.mem i written))
+    in
+    (match unchanged with
+    | [] -> ()
+    | us -> line "  /\\ UNCHANGED <<%s>>" (String.concat ", " us));
+    line "";
+    aname
+  in
+  let prog_names =
+    List.map emit_action (Array.to_list (Program.actions m.Elab.program))
+  in
+  line "Next == %s"
+    (match prog_names with
+    | [] -> "FALSE"
+    | ns -> String.concat " \\/ " ns);
+  line "";
+  (match m.Elab.fault_actions with
+  | [] -> ()
+  | faults ->
+      let fault_names = List.map emit_action faults in
+      line "Faults == %s" (String.concat " \\/ " fault_names);
+      line "");
+  line "Invariant ==";
+  line "  %s" (boolean vname m.Elab.invariant_expr);
+  line "";
+  line "Spec == Init /\\ [][Next]_vars";
+  line "";
+  line "====";
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** TLA+ module emitter.
+
+    Renders an elaborated model as a self-contained TLA+ module:
+    variables with integer-coded domains ([TypeOK]), [Init] from the
+    model's initial state, one operator per program action (guard,
+    primed assignments, [UNCHANGED] frame), [Next] as their
+    disjunction, declared fault actions as a separate [Faults]
+    disjunction, and [Invariant]. Deterministic: equal models produce
+    byte-equal modules. *)
+
+val render : Elab.t -> string

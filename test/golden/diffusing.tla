@@ -1,0 +1,127 @@
+---- MODULE diffusing ----
+EXTENDS Integers
+
+VARIABLES c_0, c_1, c_2, c_3, c_4, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6
+
+vars == <<c_0, c_1, c_2, c_3, c_4, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+Min(a, b) == IF a <= b THEN a ELSE b
+Max(a, b) == IF a >= b THEN a ELSE b
+
+TypeOK ==
+  /\ c_0 \in 0..1  \* color: 0=green, 1=red
+  /\ c_1 \in 0..1  \* color: 0=green, 1=red
+  /\ c_2 \in 0..1  \* color: 0=green, 1=red
+  /\ c_3 \in 0..1  \* color: 0=green, 1=red
+  /\ c_4 \in 0..1  \* color: 0=green, 1=red
+  /\ c_5 \in 0..1  \* color: 0=green, 1=red
+  /\ c_6 \in 0..1  \* color: 0=green, 1=red
+  /\ sn_0 \in 0..1
+  /\ sn_1 \in 0..1
+  /\ sn_2 \in 0..1
+  /\ sn_3 \in 0..1
+  /\ sn_4 \in 0..1
+  /\ sn_5 \in 0..1
+  /\ sn_6 \in 0..1
+
+Init ==
+  /\ c_0 = 0
+  /\ c_1 = 0
+  /\ c_2 = 0
+  /\ c_3 = 0
+  /\ c_4 = 0
+  /\ c_5 = 0
+  /\ c_6 = 0
+  /\ sn_0 = 0
+  /\ sn_1 = 0
+  /\ sn_2 = 0
+  /\ sn_3 = 0
+  /\ sn_4 = 0
+  /\ sn_5 = 0
+  /\ sn_6 = 0
+
+initiate ==
+  /\ c_0 = 0
+  /\ c_0' = 1
+  /\ sn_0' = Max(Min(1 - sn_0, 1), 0)
+  /\ UNCHANGED <<c_1, c_2, c_3, c_4, c_5, c_6, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+copy_1 ==
+  /\ sn_1 /= sn_0 \/ (c_1 = 1 /\ c_0 = 0)
+  /\ c_1' = Max(Min(c_0, 1), 0)
+  /\ sn_1' = Max(Min(sn_0, 1), 0)
+  /\ UNCHANGED <<c_0, c_2, c_3, c_4, c_5, c_6, sn_0, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+copy_2 ==
+  /\ sn_2 /= sn_0 \/ (c_2 = 1 /\ c_0 = 0)
+  /\ c_2' = Max(Min(c_0, 1), 0)
+  /\ sn_2' = Max(Min(sn_0, 1), 0)
+  /\ UNCHANGED <<c_0, c_1, c_3, c_4, c_5, c_6, sn_0, sn_1, sn_3, sn_4, sn_5, sn_6>>
+
+copy_3 ==
+  /\ sn_3 /= sn_1 \/ (c_3 = 1 /\ c_1 = 0)
+  /\ c_3' = Max(Min(c_1, 1), 0)
+  /\ sn_3' = Max(Min(sn_1, 1), 0)
+  /\ UNCHANGED <<c_0, c_1, c_2, c_4, c_5, c_6, sn_0, sn_1, sn_2, sn_4, sn_5, sn_6>>
+
+copy_4 ==
+  /\ sn_4 /= sn_1 \/ (c_4 = 1 /\ c_1 = 0)
+  /\ c_4' = Max(Min(c_1, 1), 0)
+  /\ sn_4' = Max(Min(sn_1, 1), 0)
+  /\ UNCHANGED <<c_0, c_1, c_2, c_3, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_5, sn_6>>
+
+copy_5 ==
+  /\ sn_5 /= sn_2 \/ (c_5 = 1 /\ c_2 = 0)
+  /\ c_5' = Max(Min(c_2, 1), 0)
+  /\ sn_5' = Max(Min(sn_2, 1), 0)
+  /\ UNCHANGED <<c_0, c_1, c_2, c_3, c_4, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_6>>
+
+copy_6 ==
+  /\ sn_6 /= sn_2 \/ (c_6 = 1 /\ c_2 = 0)
+  /\ c_6' = Max(Min(c_2, 1), 0)
+  /\ sn_6' = Max(Min(sn_2, 1), 0)
+  /\ UNCHANGED <<c_0, c_1, c_2, c_3, c_4, c_5, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5>>
+
+reflect_0 ==
+  /\ c_0 = 1 /\ ((c_1 = 0 /\ sn_0 = sn_1) /\ (c_2 = 0 /\ sn_0 = sn_2))
+  /\ c_0' = 0
+  /\ UNCHANGED <<c_1, c_2, c_3, c_4, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+reflect_1 ==
+  /\ c_1 = 1 /\ ((c_3 = 0 /\ sn_1 = sn_3) /\ (c_4 = 0 /\ sn_1 = sn_4))
+  /\ c_1' = 0
+  /\ UNCHANGED <<c_0, c_2, c_3, c_4, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+reflect_2 ==
+  /\ c_2 = 1 /\ ((c_5 = 0 /\ sn_2 = sn_5) /\ (c_6 = 0 /\ sn_2 = sn_6))
+  /\ c_2' = 0
+  /\ UNCHANGED <<c_0, c_1, c_3, c_4, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+reflect_3 ==
+  /\ c_3 = 1 /\ TRUE
+  /\ c_3' = 0
+  /\ UNCHANGED <<c_0, c_1, c_2, c_4, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+reflect_4 ==
+  /\ c_4 = 1 /\ TRUE
+  /\ c_4' = 0
+  /\ UNCHANGED <<c_0, c_1, c_2, c_3, c_5, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+reflect_5 ==
+  /\ c_5 = 1 /\ TRUE
+  /\ c_5' = 0
+  /\ UNCHANGED <<c_0, c_1, c_2, c_3, c_4, c_6, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+reflect_6 ==
+  /\ c_6 = 1 /\ TRUE
+  /\ c_6' = 0
+  /\ UNCHANGED <<c_0, c_1, c_2, c_3, c_4, c_5, sn_0, sn_1, sn_2, sn_3, sn_4, sn_5, sn_6>>
+
+Next == initiate \/ copy_1 \/ copy_2 \/ copy_3 \/ copy_4 \/ copy_5 \/ copy_6 \/ reflect_0 \/ reflect_1 \/ reflect_2 \/ reflect_3 \/ reflect_4 \/ reflect_5 \/ reflect_6
+
+Invariant ==
+  ((((((c_1 = c_0 /\ sn_1 = sn_0) \/ (c_1 = 0 /\ c_0 = 1)) /\ ((c_2 = c_0 /\ sn_2 = sn_0) \/ (c_2 = 0 /\ c_0 = 1))) /\ ((c_3 = c_1 /\ sn_3 = sn_1) \/ (c_3 = 0 /\ c_1 = 1))) /\ ((c_4 = c_1 /\ sn_4 = sn_1) \/ (c_4 = 0 /\ c_1 = 1))) /\ ((c_5 = c_2 /\ sn_5 = sn_2) \/ (c_5 = 0 /\ c_2 = 1))) /\ ((c_6 = c_2 /\ sn_6 = sn_2) \/ (c_6 = 0 /\ c_2 = 1))
+
+Spec == Init /\ [][Next]_vars
+
+====

@@ -1,0 +1,57 @@
+---- MODULE token_ring ----
+EXTENDS Integers
+
+VARIABLES x_0, x_1, x_2, x_3, x_4
+
+vars == <<x_0, x_1, x_2, x_3, x_4>>
+
+Min(a, b) == IF a <= b THEN a ELSE b
+Max(a, b) == IF a >= b THEN a ELSE b
+
+TypeOK ==
+  /\ x_0 \in 0..5
+  /\ x_1 \in 0..5
+  /\ x_2 \in 0..5
+  /\ x_3 \in 0..5
+  /\ x_4 \in 0..5
+
+Init ==
+  /\ x_0 = 0
+  /\ x_1 = 0
+  /\ x_2 = 0
+  /\ x_3 = 0
+  /\ x_4 = 0
+
+increment ==
+  /\ x_0 = x_4 /\ x_0 < 5
+  /\ x_0' = Max(Min(x_0 + 1, 5), 0)
+  /\ UNCHANGED <<x_1, x_2, x_3, x_4>>
+
+copy_0 ==
+  /\ x_0 /= x_1
+  /\ x_1' = Max(Min(x_0, 5), 0)
+  /\ UNCHANGED <<x_0, x_2, x_3, x_4>>
+
+copy_1 ==
+  /\ x_1 /= x_2
+  /\ x_2' = Max(Min(x_1, 5), 0)
+  /\ UNCHANGED <<x_0, x_1, x_3, x_4>>
+
+copy_2 ==
+  /\ x_2 /= x_3
+  /\ x_3' = Max(Min(x_2, 5), 0)
+  /\ UNCHANGED <<x_0, x_1, x_2, x_4>>
+
+copy_3 ==
+  /\ x_3 /= x_4
+  /\ x_4' = Max(Min(x_3, 5), 0)
+  /\ UNCHANGED <<x_0, x_1, x_2, x_3>>
+
+Next == increment \/ copy_0 \/ copy_1 \/ copy_2 \/ copy_3
+
+Invariant ==
+  (((x_0 >= x_1 /\ x_1 >= x_2) /\ x_2 >= x_3) /\ x_3 >= x_4) /\ (x_0 = x_4 \/ x_0 = (x_4 + 1))
+
+Spec == Init /\ [][Next]_vars
+
+====

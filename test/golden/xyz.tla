@@ -1,0 +1,38 @@
+---- MODULE xyz_good_tree ----
+EXTENDS Integers
+
+VARIABLES x, y, z
+
+vars == <<x, y, z>>
+
+Min(a, b) == IF a <= b THEN a ELSE b
+Max(a, b) == IF a >= b THEN a ELSE b
+
+TypeOK ==
+  /\ x \in 0..3
+  /\ y \in 0..4
+  /\ z \in 0..3
+
+Init ==
+  /\ x = 0
+  /\ y = 1
+  /\ z = 1
+
+bump_y ==
+  /\ x = y
+  /\ y' = Max(Min(y + 1, 4), 0)
+  /\ UNCHANGED <<x, z>>
+
+raise_z ==
+  /\ x > z
+  /\ z' = Max(Min(x, 3), 0)
+  /\ UNCHANGED <<x, y>>
+
+Next == bump_y \/ raise_z
+
+Invariant ==
+  x /= y /\ x <= z
+
+Spec == Init /\ [][Next]_vars
+
+====

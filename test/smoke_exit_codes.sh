@@ -26,7 +26,8 @@ stderr_file="$tmp/nonmask_smoke_stderr.$$"
 ckpt="$tmp/nonmask_smoke_ckpt.$$"
 out_full="$tmp/nonmask_smoke_full.$$"
 out_resumed="$tmp/nonmask_smoke_resumed.$$"
-trap 'rm -f "$stderr_file" "$ckpt" "$ckpt.tmp" "$ckpt.trunc" "$ckpt.garbage" "$ckpt.ph" "$out_full" "$out_resumed"' EXIT
+nm="$tmp/nonmask_smoke_model.$$"
+trap 'rm -f "$stderr_file" "$ckpt" "$ckpt.tmp" "$ckpt.trunc" "$ckpt.garbage" "$ckpt.ph" "$out_full" "$out_resumed" "$nm.syntax.nm" "$nm.unknown.nm" "$nm.domain.nm" "$nm.divzero.nm"' EXIT
 
 expect() {
   want="$1"
@@ -106,6 +107,58 @@ expect 1 certify token-ring --nodes 3 -k 4 --checkpoint-out "$ckpt"
 # them outright instead of accepting flags that could never trip
 expect 1 storm token-ring --nodes 3 -k 4 --trials 5 --budget-states 100
 expect 1 fuzz --seed 42 --count 5 --budget-bytes 10000
+
+# --- .nm model files ---------------------------------------------------
+# 0: a .nm path is accepted everywhere a protocol name is
+expect 0 check examples/models/xyz.nm
+expect 0 check examples/models/token_ring.nm --engine parallel --jobs 2
+expect 0 certify examples/models/token_ring.nm --faults corrupt:k=1
+expect 0 check examples/models/token_ring.nm --param N=3 --param K=4
+# 1: malformed input exits 1 with a located message on stderr — never an
+# exception trace. One file per failure class of the pipeline: lexer/
+# parser syntax, unknown variable, out-of-domain constant, zero divisor.
+cat >"$nm.syntax.nm" <<'EOF'
+model broken
+var x : 0..2
+action step
+  x = 0 -> x := 1
+EOF
+cat >"$nm.unknown.nm" <<'EOF'
+model broken
+var x : 0..2
+action step:
+  x = 0 -> y := 1
+invariant x = 0
+EOF
+cat >"$nm.domain.nm" <<'EOF'
+model broken
+var x : 0..2
+action step:
+  x = 0 -> x := 9
+invariant x >= 0
+EOF
+cat >"$nm.divzero.nm" <<'EOF'
+model broken
+var x : 0..2
+action step:
+  x / 0 = 0 -> x := 1
+invariant x = 0
+EOF
+for bad in syntax unknown domain divzero; do
+  expect 1 check "$nm.$bad.nm"
+  grep -Eq '(^|[ "])[^ ]*\.nm:[0-9]+:[0-9]+:' "$stderr_file"
+  note2=$?
+  if [ "$note2" -ne 0 ]; then
+    echo "FAIL: check $bad.nm stderr lacks a file:line:col location"
+    failed=1
+  else
+    echo "ok:   check $bad.nm stderr is located"
+  fi
+done
+# 1: a missing model file and built-ins rejecting --param
+expect 1 check /nonexistent/model.nm
+expect 1 check token-ring --nodes 3 -k 3 --param N=3
+expect 1 check examples/models/xyz.nm --param N=oops
 
 # --- checkpoint/resume roundtrip -------------------------------------
 # An interrupted run writes a snapshot (exit 5); resuming it must reach

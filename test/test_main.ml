@@ -22,5 +22,6 @@ let () =
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
       ("rt", Test_rt.suite);
+      ("lang", Test_lang.suite);
       ("gen", Test_gen.suite);
     ]
