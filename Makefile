@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke fuzz bench e19-smoke e20-smoke e21-smoke clean
+.PHONY: all build test check smoke serve-smoke fuzz bench e19-smoke e20-smoke e21-smoke e22-smoke clean
 
 all: build
 
@@ -26,6 +26,12 @@ smoke:
 	sh -c 'dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --budget-states 2000 --checkpoint-out /tmp/nonmask-smoke-ckpt.snap; [ $$? -eq 5 ]'
 	dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --resume /tmp/nonmask-smoke-ckpt.snap
 	sh test/smoke_exit_codes.sh
+	sh test/smoke_serve.sh
+
+# Serve daemon smoke on its own: lifecycle over a Unix socket, cold
+# check, cache hit on resubmission, in-protocol errors, SIGTERM drain.
+serve-smoke: build
+	sh test/smoke_serve.sh
 
 # Differential fuzzing: random models through all three engine backends,
 # fault spans, certificates, and storms, with counterexample shrinking.
@@ -55,6 +61,12 @@ e20-smoke:
 # `dune exec bench/main.exe -- e21`).
 e21-smoke:
 	dune exec bench/main.exe -- e21-smoke --metrics-out bench-e21-metrics.json
+
+# Bounded serve-cache leg: E22 cold check vs cached resubmission at
+# 65536 states (the full 10^6-state tier is
+# `dune exec bench/main.exe -- e22`).
+e22-smoke:
+	dune exec bench/main.exe -- e22-smoke --metrics-out bench-e22-metrics.json
 
 clean:
 	dune clean

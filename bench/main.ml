@@ -1946,6 +1946,135 @@ let e21_run ~count () =
 let e21 () = e21_run ~count:2000 ()
 let e21_smoke () = e21_run ~count:300 ()
 
+(* E22: serve cache effectiveness. Start an in-process serve daemon on
+   an ephemeral TCP port, submit one cold exhaustive check of a
+   [vars]-variable decrement grid (4^vars states), then resubmit the
+   identical job [hot] times. The cold request pays a full exploration;
+   every hot request is answered from the content-addressed cache by the
+   reader thread in O(1) — the acceptance bar is a >= 100x cold/hot
+   latency ratio at the 10^6-state tier, with zero states explored
+   during the hot phase and byte-identical result objects throughout.
+   [e22] runs vars = 10 (1048576 states); [e22-smoke] vars = 8 (65536)
+   for CI. *)
+let e22_run ~vars ~hot () =
+  let model =
+    Printf.sprintf
+      "model grid\n\n\
+       param W = %d\n\n\
+       var x[W] : 0..3\n\n\
+       action dec[i in 0..W-1]: x[i] > 0 -> x[i] := x[i] - 1\n\n\
+       invariant (forall i in 0..W-1: x[i] = 0)\n"
+      vars
+  in
+  let config =
+    {
+      (Serve.Server.default_config ~address:(`Tcp ("127.0.0.1", 0))) with
+      Serve.Server.jobs = 2;
+    }
+  in
+  let server = Serve.Server.create config in
+  let runner = Thread.create Serve.Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.drain ~hard:true server;
+      Thread.join runner)
+  @@ fun () ->
+  let port = Option.get (Serve.Server.port server) in
+  let client =
+    match Serve.Client.connect (`Tcp ("127.0.0.1", port)) with
+    | Ok c -> c
+    | Error m -> failwith ("e22: connect: " ^ m)
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+  let req =
+    Obs.Json.Obj
+      [
+        ("id", Obs.Json.Str "e22");
+        ("op", Obs.Json.Str "check");
+        ("model", Obs.Json.Str model);
+      ]
+  in
+  let request () =
+    match Serve.Client.request ~timeout:600.0 client req with
+    | Ok r -> r
+    | Error m -> failwith ("e22: request: " ^ m)
+  in
+  let result_of r =
+    match Obs.Json.member "result" r with
+    | Some v -> Obs.Json.to_string v
+    | None -> failwith ("e22: reply without result: " ^ Obs.Json.to_string r)
+  in
+  let cached r = Obs.Json.member "cached" r = Some (Obs.Json.Bool true) in
+  let explored () =
+    Obs.Metrics.value
+      (Obs.Metrics.counter
+         (Serve.Server.metrics_registry server)
+         "serve.states_explored")
+  in
+  let cold, cold_ms = time request in
+  if cached cold then failwith "e22: cold request served from cache";
+  let cold_result = result_of cold in
+  let cold_explored = explored () in
+  let hot_ms = Array.make hot 0.0 in
+  for i = 0 to hot - 1 do
+    let r, ms = time request in
+    hot_ms.(i) <- ms;
+    if not (cached r) then failwith "e22: hot request missed the cache";
+    if result_of r <> cold_result then
+      failwith "e22: hot result differs from cold result"
+  done;
+  let hot_explored = explored () - cold_explored in
+  let total_hot = Array.fold_left ( +. ) 0.0 hot_ms in
+  let mean_hot = total_hot /. float_of_int hot in
+  let sorted = Array.copy hot_ms in
+  Array.sort compare sorted;
+  let p90_hot = sorted.(min (hot - 1) (hot * 9 / 10)) in
+  let speedup = cold_ms /. mean_hot in
+  let row phase requests ms per states verdict =
+    [
+      phase;
+      Table.i requests;
+      Table.f1 ms;
+      Printf.sprintf "%.1f" per;
+      Table.i states;
+      verdict;
+    ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E22: serve content-addressed cache at the %s-state tier — one \
+          cold check, %s hot resubmissions of the identical job \
+          (byte-identical results; acceptance: hot latency >= 100x below \
+          cold)"
+         (Table.i (int_of_float (4.0 ** float_of_int vars)))
+         (Table.i hot))
+    ~header:[ "phase"; "requests"; "ms"; "ms/request"; "states"; "verdict" ]
+    [
+      row "cold check" 1 cold_ms cold_ms cold_explored "-";
+      row "hot (cache)" hot total_hot mean_hot hot_explored
+        (if hot_explored = 0 then "no re-exploration" else "RE-EXPLORED");
+      [
+        "speedup";
+        "-";
+        "-";
+        Printf.sprintf "%.0fx" speedup;
+        "-";
+        (if speedup >= 100.0 then "pass (>=100x)" else "UNDER");
+      ];
+      [
+        "hot p90";
+        "-";
+        "-";
+        Printf.sprintf "%.2f" p90_hot;
+        "-";
+        "-";
+      ];
+    ]
+
+let e22 () = e22_run ~vars:10 ~hot:200 ()
+let e22_smoke () = e22_run ~vars:8 ~hot:100 ()
+
 let experiments =
   [
     ("e1", e1);
@@ -1972,6 +2101,8 @@ let experiments =
     ("e20-smoke", e20_smoke);
     ("e21", e21);
     ("e21-smoke", e21_smoke);
+    ("e22", e22);
+    ("e22-smoke", e22_smoke);
     ("micro", micro);
   ]
 
@@ -1994,12 +2125,12 @@ let () =
   in
   let requested =
     match parse [] (List.tl (Array.to_list Sys.argv)) with
-    (* the no-arg run covers everything except the 100M-state e19 tier
-       and the 10M-state e20 tier (minutes of wall clock); their
-       *-smoke twins stand in for them *)
+    (* the no-arg run covers everything except the 100M-state e19 tier,
+       the 10M-state e20 tier, and the 10^6-state e22 cold check
+       (minutes of wall clock); their *-smoke twins stand in for them *)
     | [] ->
         List.filter
-          (fun n -> n <> "e19" && n <> "e20")
+          (fun n -> n <> "e19" && n <> "e20" && n <> "e22")
           (List.map fst experiments)
     | names -> names
   in

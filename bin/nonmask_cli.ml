@@ -56,6 +56,21 @@ type instance = {
          fault class for certify/storm on that model *)
 }
 
+let protocols =
+  [
+    "diffusing";
+    "lowatomic";
+    "token-ring";
+    "dijkstra";
+    "xyz-good-tree";
+    "xyz-good-ordered";
+    "xyz-bad";
+    "atomic";
+    "naive-ring";
+    "reset";
+    "spanning-tree";
+  ]
+
 let tree_of ~shape ~size ~seed =
   match shape with
   | "chain" -> Tree.chain size
@@ -205,22 +220,13 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
         certify = None;
         cgraphs = [];
       }
-  | p -> failwith (Printf.sprintf "unknown protocol %S (try: nonmask list)" p)
-
-let protocols =
-  [
-    "diffusing";
-    "lowatomic";
-    "token-ring";
-    "dijkstra";
-    "xyz-good-tree";
-    "xyz-good-ordered";
-    "xyz-bad";
-    "atomic";
-    "naive-ring";
-    "reset";
-    "spanning-tree";
-  ]
+  | p ->
+      failwith
+        (Printf.sprintf
+           "unknown protocol %S; available: %s — or a path to a .nm model \
+            file (see: nonmask list)"
+           p
+           (String.concat ", " protocols))
 
 (* --- .nm model files --- *)
 
@@ -1248,28 +1254,65 @@ let dot_cmd =
 let model_file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL.nm")
 
+(* fmt --hash: the canonical content address the serve daemon keys its
+   result cache on. A .nm file hashes its Pretty-canonical text with the
+   final (default-filled) parameter values folded in — byte-for-byte the
+   digest `nonmask serve` computes for the same model, so cache behavior
+   is scriptable. A built-in protocol has no .nm text; it hashes a
+   canonical instance rendering (the paper-style program listing plus
+   the legitimate state), so two invocations agree iff the instance
+   does. *)
+let model_hash ~params ~shape ~size ~nodes ~k ~seed target =
+  if is_model_path target then
+    let em = compile_model ~params:(parse_param_overrides params) target in
+    let ast = Lang.Driver.parse_string ~file:target (Lang.Source.read_file target).Lang.Source.text in
+    Lang.Canon.with_params ~params:em.Lang.Elab.params
+      (Lang.Canon.model_digest ast)
+  else
+    let i = load_instance target ~shape ~size ~nodes ~k ~seed ~params in
+    let text =
+      Printf.sprintf "%s\n%s\nlegitimate: %s\n" i.i_name
+        (Guarded.Program.to_string i.program)
+        (State.to_string i.env (i.legitimate ()))
+    in
+    Lang.Canon.digest_text text
+
 let fmt_cmd =
-  let run file write check =
+  let run file write check hash shape size nodes k seed params =
     try
-      if write && check then failwith "fmt: --write and --check conflict";
-      let _src, ast = parse_model_file file in
-      let formatted = Lang.Pretty.print ast in
-      if check then begin
-        let original =
-          let ic = open_in_bin file in
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () -> really_input_string ic (in_channel_length ic))
-        in
-        if original <> formatted then
-          failwith (Printf.sprintf "fmt: %s is not canonically formatted" file)
+      if hash then begin
+        if write || check then
+          failwith "fmt: --hash conflicts with --write/--check";
+        print_endline (model_hash ~params ~shape ~size ~nodes ~k ~seed file)
       end
-      else if write then begin
-        let oc = open_out file in
-        output_string oc formatted;
-        close_out oc
-      end
-      else print_string formatted;
+      else begin
+        if write && check then failwith "fmt: --write and --check conflict";
+        if not (is_model_path file) then
+          failwith
+            (Printf.sprintf
+               "fmt: %S is not a .nm file (built-in protocols are accepted \
+                only with --hash)"
+               file);
+        let _src, ast = parse_model_file file in
+        let formatted = Lang.Pretty.print ast in
+        if check then begin
+          let original =
+            let ic = open_in_bin file in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          if original <> formatted then
+            failwith
+              (Printf.sprintf "fmt: %s is not canonically formatted" file)
+        end
+        else if write then begin
+          let oc = open_out file in
+          output_string oc formatted;
+          close_out oc
+        end
+        else print_string formatted
+      end;
       0
     with Failure msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -1289,9 +1332,25 @@ let fmt_cmd =
              nothing. The formatter is idempotent, so a formatted file \
              always passes.")
   in
+  let hash_arg =
+    Arg.(
+      value & flag
+      & info [ "hash" ]
+          ~doc:
+            "Print the canonical model digest (SHA-256 of the canonical \
+             text, $(b,--param) overrides folded in) instead of the \
+             formatted model — the content address $(b,nonmask serve) keys \
+             its result cache on. Accepts a built-in protocol name as well \
+             as a .nm file.")
+  in
   Cmd.v
-    (Cmd.info "fmt" ~doc:"Canonically format a .nm model file")
-    Term.(const run $ model_file_arg $ write_arg $ check_arg)
+    (Cmd.info "fmt"
+       ~doc:
+         "Canonically format a .nm model file (or print its canonical \
+          digest with $(b,--hash))")
+    Term.(
+      const run $ model_file_arg $ write_arg $ check_arg $ hash_arg
+      $ shape_arg $ size_arg $ nodes_arg $ k_arg $ seed_arg $ params_arg)
 
 let export_cmd =
   let run file params tla dot out =
@@ -1342,6 +1401,259 @@ let export_cmd =
     Term.(
       const run $ model_file_arg $ params_arg $ tla_arg $ dot_arg $ out_arg)
 
+(* --- the checking service: serve and submit --------------------------- *)
+
+let listen_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Address to listen on: a Unix socket path, or $(b,HOST:PORT) / \
+           $(b,:PORT) for TCP (port 0 binds an ephemeral port, printed on \
+           startup).")
+
+let serve_cmd =
+  let run listen jobs queue_cap cache_entries max_request_bytes artifacts
+      default_deadline =
+    try
+      let address =
+        match Serve.Client.parse_address listen with
+        | Ok a -> a
+        | Error msg -> failwith (Printf.sprintf "serve: %s" msg)
+      in
+      let config =
+        {
+          (Serve.Server.default_config ~address) with
+          Serve.Server.jobs;
+          queue_cap;
+          cache_entries;
+          max_request_bytes;
+          artifacts_dir = artifacts;
+          default_deadline;
+        }
+      in
+      let server = Serve.Server.create config in
+      Rt.Drain.install_signals (Serve.Server.drain_handle server);
+      (match Serve.Server.address server with
+      | `Unix path -> Printf.printf "nonmask serve: listening on %s\n%!" path
+      | `Tcp (host, port) ->
+          Printf.printf "nonmask serve: listening on %s:%d\n%!" host port);
+      Serve.Server.run server;
+      Printf.printf "nonmask serve: drained\n%!";
+      0
+    with
+    | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "error: serve: %s%s\n" (Unix.error_message e)
+          (if arg = "" then "" else Printf.sprintf " (%s)" arg);
+        1
+  in
+  let serve_jobs_arg =
+    Arg.(
+      value
+      & opt jobs_conv (Par.Pool.default_jobs ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains of the one shared pool every job runs over \
+             (default: the machine's recommended domain count).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Pending-job bound per client; further submissions are answered \
+             with an in-protocol queue-full error.")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Result-cache capacity (LRU-evicted).")
+  in
+  let max_request_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Largest accepted request line; longer lines are rejected \
+             in-protocol without buffering them.")
+  in
+  let artifacts_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "Write each executed job's JSONL trace to \
+             $(docv)/job-NNNNNN-<digest>.jsonl (created if missing).")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget applied to every job that sets no deadline \
+             of its own; expiry degrades the job to an in-protocol \
+             incomplete (exit-5) result.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent checking service: newline-delimited JSON \
+          requests (check/certify/storm/fuzz/ping/metrics) over a Unix or \
+          TCP socket, one shared worker pool, content-addressed result \
+          cache. First SIGTERM/SIGINT drains gracefully; a second cancels \
+          in-flight work cooperatively.")
+    Term.(
+      const run $ listen_arg $ serve_jobs_arg $ queue_cap_arg
+      $ cache_entries_arg $ max_request_arg $ artifacts_arg
+      $ default_deadline_arg)
+
+(* submit: one request over the wire, the reply on stdout, and the reply's
+   in-protocol exit code as the process exit code — so scripts get the
+   same exit contract from a daemon they get from the direct verbs. *)
+let submit_cmd =
+  let parse_opt_value v =
+    match int_of_string_opt v with
+    | Some n -> Obs.Json.Int n
+    | None -> (
+        match float_of_string_opt v with
+        | Some f -> Obs.Json.Float f
+        | None -> (
+            match v with
+            | "true" -> Obs.Json.Bool true
+            | "false" -> Obs.Json.Bool false
+            | s -> Obs.Json.Str s))
+  in
+  let run addr op model opts params id =
+    try
+      let address =
+        match Serve.Client.parse_address addr with
+        | Ok a -> a
+        | Error msg -> failwith (Printf.sprintf "submit: %s" msg)
+      in
+      if Serve.Proto.op_of_name op = None then
+        failwith
+          (Printf.sprintf
+             "submit: unknown op %S (check|certify|storm|fuzz|ping|metrics)"
+             op);
+      let model_field =
+        match model with
+        | None -> []
+        | Some path ->
+            let src = try Lang.Source.read_file path with Failure m -> failwith m in
+            [ ("model", Obs.Json.Str src.Lang.Source.text) ]
+      in
+      let options =
+        List.map
+          (fun s ->
+            match String.index_opt s '=' with
+            | Some i when i > 0 ->
+                ( String.sub s 0 i,
+                  parse_opt_value
+                    (String.sub s (i + 1) (String.length s - i - 1)) )
+            | _ -> failwith (Printf.sprintf "bad --opt %S (want KEY=VALUE)" s))
+          opts
+      in
+      let options =
+        match parse_param_overrides params with
+        | [] -> options
+        | ps ->
+            options
+            @ [
+                ( "params",
+                  Obs.Json.Obj
+                    (List.map (fun (n, v) -> (n, Obs.Json.Int v)) ps) );
+              ]
+      in
+      let request =
+        Obs.Json.Obj
+          (("id", Obs.Json.Str id) :: ("op", Obs.Json.Str op) :: model_field
+          @
+          match options with
+          | [] -> []
+          | o -> [ ("options", Obs.Json.Obj o) ])
+      in
+      let client =
+        match Serve.Client.connect address with
+        | Ok c -> c
+        | Error msg -> failwith (Printf.sprintf "submit: %s" msg)
+      in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          match Serve.Client.request client request with
+          | Error msg -> failwith (Printf.sprintf "submit: %s" msg)
+          | Ok reply -> (
+              print_endline (Obs.Json.to_string reply);
+              match Obs.Json.member "ok" reply with
+              | Some (Obs.Json.Bool true) -> (
+                  match
+                    Option.bind
+                      (Option.bind
+                         (Obs.Json.member "result" reply)
+                         (Obs.Json.member "exit"))
+                      Obs.Json.to_int
+                  with
+                  | Some code -> code
+                  | None -> 0)
+              | _ -> 1))
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  let addr_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "to" ] ~docv:"ADDR"
+          ~doc:"The daemon's address (Unix socket path or HOST:PORT).")
+  in
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:"check | certify | storm | fuzz | ping | metrics")
+  in
+  let submit_model_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"MODEL.nm"
+          ~doc:"Model file to submit (required for check/certify/storm).")
+  in
+  let opt_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "opt" ] ~docv:"KEY=VALUE"
+          ~doc:
+            "A job option, repeatable: engine, max_states, ball, seed, \
+             trials, rate, max_steps, faults, fault_budget, count, \
+             max_vars, deadline, budget_states, budget_bytes.")
+  in
+  let id_arg =
+    Arg.(
+      value & opt string "cli"
+      & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the reply.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one job to a running $(b,nonmask serve) daemon and print \
+          the JSON reply; the process exit code is the reply's in-protocol \
+          exit code.")
+    Term.(
+      const run $ addr_arg $ op_arg $ submit_model_arg $ opt_arg $ params_arg
+      $ id_arg)
+
 let main =
   let doc =
     "design and validation of nonmasking fault-tolerant programs \
@@ -1353,7 +1665,7 @@ let main =
     (Cmd.info "nonmask" ~version:Version_info.version ~doc)
     [
       list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; storm_cmd;
-      fuzz_cmd; dot_cmd; fmt_cmd; export_cmd;
+      fuzz_cmd; dot_cmd; fmt_cmd; export_cmd; serve_cmd; submit_cmd;
     ]
 
 (* Fold cmdliner's own flag-validation failures (unknown --engine value,

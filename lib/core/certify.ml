@@ -220,7 +220,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
                      snapshot = None;
                    })
         end;
-        Par.Pool.with_pool ~jobs @@ fun pool ->
+        Par.Pool.use ?pool:(Explore.Engine.pool engine) ~jobs @@ fun pool ->
         (* Compiled actions carry private scratch, so each worker domain
            recompiles its own copies; decode buffers are per-worker too. *)
         let worker_acts =

@@ -13,6 +13,9 @@ type t = {
   codec : Codec.t;
   budget : int;
   jobs : int;  (* worker-domain count for the parallel backend *)
+  pool : Par.Pool.t option;
+      (* a caller-owned shared pool (the serve daemon's); searches borrow
+         it instead of spawning a transient pool per call *)
   packed : bool;  (* keys are bit-packed codes instead of dense ids *)
   direct : bool;  (* visited sets are direct-mapped over the dense range *)
   obs : Obs.Ctx.t;
@@ -57,14 +60,15 @@ type region = {
 let direct_auto_cap = 1 lsl 28
 let direct_hard_cap = 1 lsl 30
 
-let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
+let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs ?pool
     ?(storage = Auto) ?(packed_keys = false) ?(obs = Obs.Ctx.disabled)
     ?(guard = Rt.Guard.inert) ?(snapshots = false) ?(salt = "") env =
   let jobs =
-    match jobs with
-    | Some j when j > 0 -> j
-    | Some j -> invalid_arg (Printf.sprintf "Engine.create: jobs must be positive (got %d)" j)
-    | None -> Par.Pool.default_jobs ()
+    match (jobs, pool) with
+    | Some j, _ when j > 0 -> j
+    | Some j, _ -> invalid_arg (Printf.sprintf "Engine.create: jobs must be positive (got %d)" j)
+    | None, Some p -> Par.Pool.jobs p
+    | None, None -> Par.Pool.default_jobs ()
   in
   match backend with
   | Eager ->
@@ -72,8 +76,8 @@ let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
         invalid_arg "Engine.create: packed keys need the lazy or parallel backend";
       let space = Space.create ~max_states env in
       { backend; space; codec = Space.codec space; budget = Space.size space;
-        jobs; packed = false; direct = false; obs; guard; snapshots; salt;
-        csr = None; last_visited_bytes = 0; last_frontier_bytes = 0 }
+        jobs; pool; packed = false; direct = false; obs; guard; snapshots;
+        salt; csr = None; last_visited_bytes = 0; last_frontier_bytes = 0 }
   | Lazy | Parallel ->
       let space = Space.create_unbounded env in
       let codec = Space.codec space in
@@ -96,14 +100,14 @@ let create ?(backend = Eager) ?(max_states = 2_000_000) ?jobs
             && Space.size space <= direct_auto_cap
             && Space.size space / 8 <= max_states
       in
-      { backend; space; codec; budget = max_states; jobs; packed = packed_keys;
-        direct; obs; guard; snapshots; salt; csr = None;
+      { backend; space; codec; budget = max_states; jobs; pool;
+        packed = packed_keys; direct; obs; guard; snapshots; salt; csr = None;
         last_visited_bytes = 0; last_frontier_bytes = 0 }
 
 let of_space ?(obs = Obs.Ctx.disabled) space =
   { backend = Eager; space; codec = Space.codec space;
-    budget = Space.size space; jobs = 1; packed = false; direct = false; obs;
-    guard = Rt.Guard.inert; snapshots = false; salt = "";
+    budget = Space.size space; jobs = 1; pool = None; packed = false;
+    direct = false; obs; guard = Rt.Guard.inert; snapshots = false; salt = "";
     csr = None; last_visited_bytes = 0; last_frontier_bytes = 0 }
 
 let backend t = t.backend
@@ -116,6 +120,7 @@ let codec t = t.codec
 let env t = Space.env t.space
 let max_states t = t.budget
 let jobs t = t.jobs
+let pool t = t.pool
 let obs t = t.obs
 let guard t = t.guard
 let wants_snapshots t = t.snapshots
@@ -507,7 +512,7 @@ let parallel_region t cp ~from ~target ~resume =
   let space = t.space in
   let env = Space.env space in
   let n_actions = Array.length cp.Compile.actions in
-  Par.Pool.with_pool ~jobs:t.jobs @@ fun pool ->
+  Par.Pool.use ?pool:t.pool ~jobs:t.jobs @@ fun pool ->
   let jobs = Par.Pool.jobs pool in
   let worker_actions =
     Array.init jobs (fun w ->

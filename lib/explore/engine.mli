@@ -60,6 +60,7 @@ val create :
   ?backend:backend ->
   ?max_states:int ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?storage:storage ->
   ?packed_keys:bool ->
   ?obs:Obs.Ctx.t ->
@@ -74,6 +75,12 @@ val create :
     (default {!Par.Pool.default_jobs}, i.e.
     [Domain.recommended_domain_count ()]) sets the worker-domain count
     used by the parallel backend; other backends record but ignore it.
+    [pool] (default none) is a caller-owned shared {!Par.Pool} the
+    parallel backend (and the analyses layered on the engine — fault
+    spans, certification) borrows instead of spawning a transient pool
+    per search: the amortization point for a long-lived service. When
+    given, it also supplies the default [jobs]; the caller keeps
+    ownership and must not run two analyses over it concurrently.
     [storage] (default [Auto]) picks the visited-set representation for
     the lazy/parallel backends; see {!storage}. [packed_keys] (default
     [false]) keys states by their bit-packed {!Codec} code instead of
@@ -109,6 +116,10 @@ val max_states : t -> int
 val jobs : t -> int
 (** Worker-domain count used by the parallel backend ([1] for engines
     built via {!of_space}). *)
+
+val pool : t -> Par.Pool.t option
+(** The caller-owned shared pool this engine borrows, if any (see
+    {!create}). *)
 
 val obs : t -> Obs.Ctx.t
 (** The engine's observability context. Analyses layered on the engine

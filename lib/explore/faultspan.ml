@@ -389,7 +389,8 @@ let compute_par engine ?program ?budget ?resume ~faults ~from () =
   let env = Space.env space in
   let cap = Engine.max_states engine in
   let hash = span_hash engine ?program ?budget ~faults () in
-  Par.Pool.with_pool ~jobs:(Engine.jobs engine) @@ fun pool ->
+  Par.Pool.use ?pool:(Engine.pool engine) ~jobs:(Engine.jobs engine)
+  @@ fun pool ->
   let jobs = Par.Pool.jobs pool in
   let recompile (cp : Compile.program) w =
     if w = 0 then cp.Compile.actions

@@ -135,9 +135,15 @@ let write_corpus ~dir ~all outcomes =
     outcomes
 
 let run ?(gen_config = Generate.default) ?(oracle_config = Oracle.default)
-    ?(shrink = true) ?(jobs = 1) ?(obs = Obs.Ctx.disabled)
+    ?(shrink = true) ?jobs ?pool ?(obs = Obs.Ctx.disabled)
     ?(guard = Rt.Guard.inert) ?watchdog ?corpus_out ?(corpus_all = false)
     ~seed ~count () =
+  let jobs =
+    match (jobs, pool) with
+    | Some j, _ -> j
+    | None, Some p -> Par.Pool.jobs p
+    | None, None -> 1
+  in
   if count < 0 then invalid_arg "Fuzz.run: count must be non-negative";
   if jobs <= 0 then invalid_arg "Fuzz.run: jobs must be positive";
   let guard_on = Rt.Guard.active guard in
@@ -162,7 +168,7 @@ let run ?(gen_config = Generate.default) ?(oracle_config = Oracle.default)
     (i, tseed, outcome)
   in
   let outcomes =
-    Par.Pool.with_pool ~jobs (fun pool ->
+    Par.Pool.use ?pool ~jobs (fun pool ->
         Par.Pool.map_reduce pool ~n:count
           ~map:(fun ~worker:_ lo hi -> List.init (hi - lo) (fun k -> one (lo + k)))
           (fun acc chunk -> List.rev_append chunk acc)

@@ -43,6 +43,7 @@ val run :
   ?oracle_config:Oracle.config ->
   ?shrink:bool ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?obs:Obs.Ctx.t ->
   ?guard:Rt.Guard.t ->
   ?watchdog:Rt.Watchdog.t ->
@@ -54,7 +55,9 @@ val run :
   report
 (** Run [count] trials starting at [seed]. [shrink] (default [true])
     minimizes each failing trial before reporting. [jobs] (default [1])
-    parallelizes trials. [obs] receives counters ([fuzz.trials],
+    parallelizes trials; [pool] borrows a caller-owned shared {!Par.Pool}
+    instead of spawning a transient one (and supplies the default
+    [jobs]). [obs] receives counters ([fuzz.trials],
     [fuzz.counterexamples], [fuzz.shrink_evals], per-oracle
     [fuzz.fail.<oracle>]), a live [fuzz.start] event {e before} each
     trial runs (so a hung or killed run's trace ends with the seed to

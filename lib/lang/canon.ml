@@ -1,0 +1,31 @@
+(* The canonical model digest: SHA-256 over the Pretty-canonical text.
+
+   Two sources that format to the same canonical text are the same
+   model — comments, whitespace, and item spelling variations do not
+   change the digest — so the digest is a content address: the serve
+   daemon keys its result cache on it, and `nonmask fmt --hash` prints
+   it so cache behavior is scriptable from the CLI.
+
+   Parameter overrides change the compiled model, so an override set is
+   folded into the digest after the text (in sorted-by-name order,
+   normalized so that spelling a declared default explicitly hashes the
+   same as omitting it — the caller passes the *final* parameter
+   values from the elaborated model, which are default-filled and
+   declaration-ordered; we sort by name for spelling independence). *)
+
+let digest_text text = Sha256.hex text
+
+let model_text ast = Pretty.print ast
+
+let model_digest ast = digest_text (model_text ast)
+
+let with_params ~params digest =
+  match params with
+  | [] -> digest
+  | ps ->
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) ps in
+      let rendered =
+        String.concat ","
+          (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) sorted)
+      in
+      Sha256.hex (digest ^ "|params:" ^ rendered)

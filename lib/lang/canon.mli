@@ -1,0 +1,23 @@
+(** Canonical content addressing for models.
+
+    The canonical model digest is SHA-256 over the {!Pretty}-canonical
+    text, so formatting (comments, whitespace, item spelling the
+    formatter normalizes) never changes it: two sources that [fmt] to
+    the same text share a digest. The serve daemon keys its result
+    cache on this digest; [nonmask fmt --hash] prints it. *)
+
+val digest_text : string -> string
+(** SHA-256 hex of an already-canonical text (or any string — used for
+    the built-in protocols' canonical instance rendering). *)
+
+val model_text : Ast.model -> string
+(** The canonical text: exactly {!Pretty.print}. *)
+
+val model_digest : Ast.model -> string
+(** [digest_text (model_text ast)] — the content address of a model. *)
+
+val with_params : params:(string * int) list -> string -> string
+(** Fold final parameter values into a model digest (sorted by name, so
+    the digest is independent of override spelling order). An empty
+    list returns the digest unchanged, so models without parameters
+    keep the plain content address. *)

@@ -116,6 +116,64 @@ let hist_json h =
       ("buckets", Json.Obj !buckets);
     ]
 
+(* Prometheus text exposition: the scrape body a `/metrics`-style
+   endpoint serves. Names sanitize to [a-zA-Z0-9_:] (dots become
+   underscores); histograms render their exact count/sum/max plus the
+   power-of-two buckets as cumulative `_bucket{le="..."}` lines, which
+   is what Prometheus expects of a histogram family. Deterministic:
+   families sort by (sanitized) name. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let render_prometheus t =
+  Mutex.lock t.mutex;
+  let instruments =
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+    Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) t.instruments []
+  in
+  let buf = Buffer.create 1024 in
+  let families =
+    List.sort (fun (a, _) (b, _) -> compare (sanitize a) (sanitize b))
+      instruments
+  in
+  List.iter
+    (fun (name, instr) ->
+      let n = sanitize name in
+      match instr with
+      | Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" n (Atomic.get c))
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" n (Atomic.get g))
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cumulative = ref 0 in
+          for i = 0 to n_buckets - 1 do
+            let c = Atomic.get h.buckets.(i) in
+            if c > 0 then begin
+              cumulative := !cumulative + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n
+                   (if i = 0 then 1 else 1 lsl i)
+                   !cumulative)
+            end
+          done;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n
+               (Atomic.get h.count));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %d\n" n (Atomic.get h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" n (Atomic.get h.count)))
+    families;
+  Buffer.contents buf
+
 let snapshot t =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->

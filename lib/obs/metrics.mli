@@ -56,3 +56,11 @@ val snapshot : t -> Json.t
     gauges render as ints; a histogram renders as
     [{"count":..,"sum":..,"max":..,"buckets":{"<=N":count,..}}] with
     only the non-empty buckets listed. *)
+
+val render_prometheus : t -> string
+(** The registry in Prometheus text exposition format — the scrape body
+    a [/metrics]-style endpoint (the serve daemon's [metrics] op)
+    returns. Instrument names sanitize to [[a-zA-Z0-9_:]] (dots become
+    underscores); histograms emit cumulative [_bucket{le="..."}] lines
+    over the power-of-two buckets plus [_sum]/[_count]. Deterministic:
+    families are sorted by sanitized name. *)

@@ -87,6 +87,12 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* A long-lived service multiplexes many analyses over one pool: the
+   shared pool survives the call, a transient one does not. The caller
+   of a shared pool owns its lifetime; [jobs] is only the fallback. *)
+let use ?pool ~jobs f =
+  match pool with Some t -> f t | None -> with_pool ~jobs f
+
 let run t body =
   if t.stopped then invalid_arg "Par.Pool.run: pool is shut down";
   if t.jobs = 1 then body 0

@@ -40,6 +40,15 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
     down, even if [f] raises. *)
 
+val use : ?pool:t -> jobs:int -> (t -> 'a) -> 'a
+(** [use ?pool ~jobs f]: with [pool], run [f pool] and leave the pool
+    running — the caller owns its lifetime and [jobs] is ignored;
+    without, behave as [with_pool ~jobs f]. This is how a long-lived
+    service (the [serve] daemon) multiplexes every analysis over one
+    shared pool instead of paying a domain spawn per request. The pool
+    is a collective-operation resource: only one analysis may use it at
+    a time. *)
+
 val run : t -> (int -> unit) -> unit
 (** [run t body] executes [body w] on every worker [w] in
     [0 .. jobs - 1] concurrently ([body 0] in the caller) and waits for

@@ -1,0 +1,87 @@
+(* Content-addressed result cache: cache key (SHA-256 hex over the
+   canonical model digest plus normalized options) → rendered result
+   object. Bounded LRU: a doubly-linked recency list woven through the
+   table's entries, entries counted (results are small rendered JSON;
+   an entry cap is the honest bound). Thread-safe under one mutex —
+   lookups are reader-thread hot path, but the critical section is a
+   hash probe plus four pointer swings, never a model run. *)
+
+type entry = {
+  key : string;
+  value : Obs.Json.t;
+  mutable prev : entry option;  (* toward most-recently-used *)
+  mutable next : entry option;  (* toward least-recently-used *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  cap : int;
+  mutable mru : entry option;
+  mutable lru : entry option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Cache.create: entries must be positive";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 256;
+    cap = entries;
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.mru <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.mru;
+  e.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some e | None -> t.lru <- Some e);
+  t.mru <- Some e
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      unlink t e;
+      push_front t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Last write wins on a racing double-store of the same key; both racers
+   computed the same deterministic result, so the value is identical. *)
+let store t key value =
+  locked t @@ fun () ->
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+      unlink t old;
+      Hashtbl.remove t.table key
+  | None -> ());
+  let e = { key; value; prev = None; next = None } in
+  Hashtbl.add t.table key e;
+  push_front t e;
+  if Hashtbl.length t.table > t.cap then
+    match t.lru with
+    | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.key
+    | None -> ()
+
+let size t = locked t @@ fun () -> Hashtbl.length t.table
+let hits t = locked t @@ fun () -> t.hits
+let misses t = locked t @@ fun () -> t.misses

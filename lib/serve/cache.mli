@@ -1,0 +1,26 @@
+(** Content-addressed result cache.
+
+    Maps a cache key — SHA-256 hex over the canonical model digest plus
+    normalized options (see {!Job.cache_key}) — to the rendered
+    [result] object of a completed job. Bounded LRU by entry count;
+    thread-safe (reader threads probe on the hot path, the executor
+    stores). Only deterministic, {e complete} outcomes belong here: the
+    server never stores incomplete (exit-5) results, so a budget or
+    drain can never poison the cache. *)
+
+type t
+
+val create : entries:int -> t
+(** @raise Invalid_argument if [entries <= 0]. *)
+
+val find : t -> string -> Obs.Json.t option
+(** Probe; a hit refreshes recency. *)
+
+val store : t -> string -> Obs.Json.t -> unit
+(** Insert (or refresh) an entry, evicting the least recently used one
+    over capacity. A racing double-store of one key is benign: both
+    racers computed the same deterministic result. *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,128 @@
+(* A minimal blocking client for the serve protocol: one line out, one
+   line back. Used by `nonmask submit`, the smoke scripts, and the
+   concurrency tests — which is why [connect] retries inside a window
+   (the daemon it talks to was usually started a moment ago) and why
+   raw-line sending is exposed (the hostile-input tests need to send
+   deliberately malformed bytes). *)
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read past the last returned line *)
+  chunk : Bytes.t;
+}
+
+let parse_address s =
+  match String.rindex_opt s ':' with
+  | Some i when not (String.contains s '/') -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 -> Ok (`Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad TCP port in address %S" s))
+  | _ ->
+      if s = "" then Error "empty address"
+      else Ok (`Unix s)
+
+let sockaddr_of = function
+  | `Unix path -> Ok (Unix.ADDR_UNIX path)
+  | `Tcp (host, port) -> (
+      match
+        try Some (Unix.inet_addr_of_string host)
+        with Failure _ -> (
+          try Some (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> None)
+      with
+      | Some addr -> Ok (Unix.ADDR_INET (addr, port))
+      | None -> Error (Printf.sprintf "cannot resolve host %S" host))
+
+(* Retry inside the window: the common caller just started the daemon,
+   whose socket appears asynchronously. *)
+let connect ?(timeout = 5.0) address =
+  match sockaddr_of address with
+  | Error _ as e -> e
+  | Ok sockaddr ->
+      let deadline = Unix.gettimeofday () +. timeout in
+      let domain =
+        match sockaddr with
+        | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+        | Unix.ADDR_INET _ -> Unix.PF_INET
+      in
+      let rec attempt () =
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match Unix.connect fd sockaddr with
+        | () ->
+            Ok { fd; buf = Buffer.create 4096; chunk = Bytes.create 8192 }
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if Unix.gettimeofday () >= deadline then
+              Error
+                (Printf.sprintf "cannot connect: %s" (Unix.error_message e))
+            else begin
+              Thread.delay 0.05;
+              attempt ()
+            end
+      in
+      attempt ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let line = line ^ "\n" in
+  let rec write off len =
+    if len > 0 then begin
+      let n = Unix.write_substring t.fd line off len in
+      write (off + n) (len - n)
+    end
+  in
+  match write 0 (String.length line) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+(* One reply line. The buffer may already hold bytes past a previous
+   line (pipelined replies); consume from it first. *)
+let read_line ?(timeout = 300.0) t =
+  let take_line () =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf
+          (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+  in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    match take_line () with
+    | Some line -> Ok line
+    | None ->
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then Error "timed out waiting for reply"
+        else begin
+          match Unix.select [ t.fd ] [] [] remaining with
+          | [], _, _ -> Error "timed out waiting for reply"
+          | _, _, _ -> (
+              match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+              | 0 -> Error "connection closed by server"
+              | n ->
+                  Buffer.add_subbytes t.buf t.chunk 0 n;
+                  loop ()
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error
+                    (Printf.sprintf "read failed: %s" (Unix.error_message e)))
+        end
+  in
+  loop ()
+
+let request ?timeout t json =
+  match send_line t (Obs.Json.to_string json) with
+  | Error _ as e -> e
+  | Ok () -> (
+      match read_line ?timeout t with
+      | Error _ as e -> e
+      | Ok line -> (
+          match Obs.Json.of_string line with
+          | Ok v -> Ok v
+          | Error msg -> Error (Printf.sprintf "bad reply: %s" msg)))

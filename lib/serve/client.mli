@@ -1,0 +1,29 @@
+(** A minimal blocking client for the serve protocol: one JSON line
+    out, one reply line back. Used by [nonmask submit], the smoke
+    scripts, and the concurrency tests. *)
+
+type t
+
+val parse_address :
+  string -> ([ `Unix of string | `Tcp of string * int ], string) result
+(** ["HOST:PORT"] or [":PORT"] (host defaults to 127.0.0.1) is TCP —
+    unless the string contains a [/], which always reads as a Unix
+    socket path; anything else is a Unix socket path too. *)
+
+val connect :
+  ?timeout:float ->
+  [ `Unix of string | `Tcp of string * int ] ->
+  (t, string) result
+(** Connect, retrying inside the [timeout] window (default 5s) — the
+    daemon is usually started moments before the first client. *)
+
+val close : t -> unit
+
+val request : ?timeout:float -> t -> Obs.Json.t -> (Obs.Json.t, string) result
+(** Send one request, wait for one reply line (default 300s), parse it. *)
+
+val send_line : t -> string -> (unit, string) result
+(** Send a raw line verbatim — for tests that need malformed requests. *)
+
+val read_line : ?timeout:float -> t -> (string, string) result
+(** Read one reply line (without its newline). *)

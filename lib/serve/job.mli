@@ -1,0 +1,70 @@
+(** One serve job: request validation, content-addressed cache key, and
+    the execution mapping onto the engine/certify/storm/fuzz pipelines.
+
+    {!prepare} is the reader-thread half — cheap and bounded (option
+    validation, one compile of the size-capped model text, a SHA-256) —
+    so cache probes and rejections never occupy the executor. {!run} is
+    the executor half, one job at a time over the server's shared
+    {!Par.Pool}. *)
+
+type options = {
+  engine : Explore.Engine.backend;
+      (** default [Lazy] — serves arbitrary models without the eager
+          size cap *)
+  max_states : int;  (** default [2_000_000] *)
+  ball : int;  (** fault-ball radius; negative = from every state *)
+  seed : int;  (** default [42] *)
+  trials : int;  (** storm trials; default [500] *)
+  rate : float;  (** storm fault rate; default [0.05] *)
+  max_steps : int;  (** storm step budget per trial; default [100_000] *)
+  faults : string option;  (** [corrupt | corrupt:k=N | scramble] *)
+  fault_budget : int option;
+  count : int;  (** fuzz trials; default [200] *)
+  max_vars : int;  (** fuzz model size cap; default [4] *)
+  params : (string * int) list;  (** .nm parameter overrides *)
+  deadline : float option;  (** resource knob — never in the cache key *)
+  budget_states : int option;  (** resource knob *)
+  budget_bytes : int option;  (** resource knob *)
+}
+
+val defaults : options
+
+type prepared = {
+  op : Proto.op;
+  opts : options;
+  elab : Lang.Elab.t option;  (** [None] only for fuzz *)
+  fault : Sim.Fault.t option;
+      (** resolved fault class (certify/storm): the [faults] option,
+          else the model's declared faults, else storm's [corrupt:k=1] *)
+  model_digest : string;  (** canonical digest, params folded; ["-"] for
+                              fuzz *)
+  key : string;
+      (** cache key: SHA-256 over op, model digest, and the op's
+          semantic options — excluding [jobs] (bit-identical at any job
+          count) and the resource knobs (a completed verdict is valid
+          under any budget) *)
+}
+
+val prepare : Proto.request -> (prepared, Proto.error_code * string) result
+(** Validate options, compile the model, resolve the fault class, and
+    derive the cache key. Every rejection (unknown option, compile
+    error, missing model, certify without a fault class) comes back as
+    [Bad_request] with a located message — never an exception. *)
+
+type outcome = {
+  exit_code : int;
+      (** the CLI's exit-code contract, carried in-protocol: 0 ok,
+          1 error, 2 failed verdict, 3 too-large / fuzz counterexample,
+          4 region overflow, 5 incomplete *)
+  cacheable : bool;
+      (** complete deterministic outcomes only (exit 0/2/3/4) — an
+          incomplete (exit-5) outcome is never cached, so a budget trip
+          or drain can never poison the cache *)
+  result : Obs.Json.t;  (** the reply's [result] object, byte-stable *)
+  states_explored : int;  (** work accounting for the server metrics *)
+}
+
+val run :
+  pool:Par.Pool.t -> obs:Obs.Ctx.t -> guard:Rt.Guard.t -> prepared -> outcome
+(** Execute. Never raises: engine overflows, guard trips, and
+    cancellation map to the matching in-protocol outcome. *)

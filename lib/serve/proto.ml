@@ -1,0 +1,126 @@
+(* The wire protocol: newline-delimited JSON, one request and one reply
+   per line, in both directions symmetric enough to print with a pipe
+   and drive with socat.
+
+   Request:  {"id": <any>, "op": "check", "model": "<.nm text>",
+              "options": {...}}
+   Reply:    {"id": <echoed>, "ok": true, "cached": false,
+              "elapsed_us": 1234, "result": {...}}
+     or      {"id": <echoed|null>, "ok": false, "code": "bad-json",
+              "error": "..."}
+
+   The [result] object is everything deterministic about the job — the
+   cache stores it verbatim, so a hot reply's [result] is byte-identical
+   to the cold reply's; only the envelope ([id], [cached], [elapsed_us])
+   differs. [ok] means "the request was processed", not "the verdict
+   passed": a failed certificate is [ok:true] with
+   [result.exit = 2]. *)
+
+type op = Check | Certify | Storm | Fuzz | Ping | Metrics
+
+let op_name = function
+  | Check -> "check"
+  | Certify -> "certify"
+  | Storm -> "storm"
+  | Fuzz -> "fuzz"
+  | Ping -> "ping"
+  | Metrics -> "metrics"
+
+let op_of_name = function
+  | "check" -> Some Check
+  | "certify" -> Some Certify
+  | "storm" -> Some Storm
+  | "fuzz" -> Some Fuzz
+  | "ping" -> Some Ping
+  | "metrics" -> Some Metrics
+  | _ -> None
+
+type request = {
+  id : Obs.Json.t;  (* echoed verbatim; Null when absent *)
+  op : op;
+  model : string option;
+  options : (string * Obs.Json.t) list;
+}
+
+(* Error codes are part of the contract (asserted by tests): a client
+   can dispatch on [code] without parsing prose. *)
+type error_code =
+  | Bad_json  (* the line is not a JSON object *)
+  | Bad_request  (* a JSON object, but not a valid request *)
+  | Too_large  (* request line over the daemon's byte cap *)
+  | Queue_full  (* this client's queue is at capacity; retry later *)
+  | Draining  (* daemon is draining; no new jobs accepted *)
+
+let error_code_name = function
+  | Bad_json -> "bad-json"
+  | Bad_request -> "bad-request"
+  | Too_large -> "too-large"
+  | Queue_full -> "queue-full"
+  | Draining -> "draining"
+
+let parse_request line =
+  match Obs.Json.of_string line with
+  | Error msg -> Error (Bad_json, msg)
+  | Ok (Obs.Json.Obj fields as obj) -> (
+      let bad msg = Error (Bad_request, msg) in
+      let known =
+        List.for_all
+          (fun (k, _) ->
+            match k with
+            | "id" | "op" | "model" | "options" -> true
+            | _ -> false)
+          fields
+      in
+      if not known then
+        bad "unknown request field (want id, op, model, options)"
+      else
+        match Obs.Json.member "op" obj with
+        | Some (Obs.Json.Str name) -> (
+            match op_of_name name with
+            | None ->
+                bad
+                  (Printf.sprintf
+                     "unknown op %S (check, certify, storm, fuzz, ping, \
+                      metrics)"
+                     name)
+            | Some op -> (
+                let id =
+                  Option.value (Obs.Json.member "id" obj) ~default:Obs.Json.Null
+                in
+                let model =
+                  match Obs.Json.member "model" obj with
+                  | None | Some Obs.Json.Null -> Ok None
+                  | Some (Obs.Json.Str s) -> Ok (Some s)
+                  | Some _ -> Error "model must be a string"
+                in
+                let options =
+                  match Obs.Json.member "options" obj with
+                  | None | Some Obs.Json.Null -> Ok []
+                  | Some (Obs.Json.Obj o) -> Ok o
+                  | Some _ -> Error "options must be an object"
+                in
+                match (model, options) with
+                | Ok model, Ok options -> Ok { id; op; model; options }
+                | Error msg, _ | _, Error msg -> bad msg))
+        | Some _ -> bad "op must be a string"
+        | None -> bad "missing op")
+  | Ok _ -> Error (Bad_json, "request must be a JSON object")
+
+let error_reply ?(id = Obs.Json.Null) code msg =
+  Obs.Json.Obj
+    [
+      ("id", id);
+      ("ok", Obs.Json.Bool false);
+      ("code", Obs.Json.Str (error_code_name code));
+      ("error", Obs.Json.Str msg);
+    ]
+
+let reply ~id ~cached ~elapsed_us ~result =
+  Obs.Json.Obj
+    [
+      ("id", id);
+      ("ok", Obs.Json.Bool true);
+      ("cached", Obs.Json.Bool cached);
+      ("elapsed_us", Obs.Json.Int elapsed_us);
+      ("result", result);
+    ]

@@ -1,0 +1,43 @@
+(** The serve wire protocol: newline-delimited JSON over a Unix or TCP
+    socket, one request and one reply per line.
+
+    A request is [{"id": <any>, "op": "check"|"certify"|"storm"|"fuzz"|
+    "ping"|"metrics", "model": "<.nm source>", "options": {...}}]. The
+    reply echoes [id] and carries either [ok:true] with a [result]
+    object (the cacheable, deterministic part — byte-identical between
+    a cold run and a cache hit) plus [cached]/[elapsed_us] envelope
+    fields, or [ok:false] with a machine-dispatchable [code] and a
+    human [error]. [ok] means the request was processed, not that the
+    verdict passed: a failed certificate is [ok:true] with
+    [result.exit = 2]. *)
+
+type op = Check | Certify | Storm | Fuzz | Ping | Metrics
+
+val op_name : op -> string
+val op_of_name : string -> op option
+
+type request = {
+  id : Obs.Json.t;  (** echoed verbatim; [Null] when absent *)
+  op : op;
+  model : string option;
+  options : (string * Obs.Json.t) list;  (** raw; {!Job} normalizes *)
+}
+
+type error_code =
+  | Bad_json
+  | Bad_request
+  | Too_large
+  | Queue_full
+  | Draining
+
+val error_code_name : error_code -> string
+
+val parse_request : string -> (request, error_code * string) result
+(** Parse one request line. Unknown top-level fields, non-string ops,
+    and malformed JSON are rejected with the matching code — never an
+    exception. *)
+
+val error_reply : ?id:Obs.Json.t -> error_code -> string -> Obs.Json.t
+val reply :
+  id:Obs.Json.t -> cached:bool -> elapsed_us:int -> result:Obs.Json.t ->
+  Obs.Json.t

@@ -1,0 +1,100 @@
+(* Bounded fair job scheduling.
+
+   One queue per client, bounded to [cap] pending jobs (backpressure is
+   an in-protocol "queue-full" error, not an unbounded buffer), and a
+   round-robin cursor across clients: after serving client [c], the
+   next take starts from the smallest client id greater than [c] — so
+   a client streaming a thousand jobs cannot starve one submitting a
+   single job. Client entries exist only while they hold pending work:
+   a queue that empties is dropped and re-created on the next submit,
+   keeping the scan proportional to clients-with-work.
+
+   Close semantics match drain: after [close] no submit is accepted,
+   but [take] keeps returning queued jobs until every queue is empty,
+   then [None] — "stop accepting, finish what you have". *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  cap : int;
+  mutable queues : (int * 'a Queue.t) list;  (* ascending client id *)
+  mutable cursor : int;  (* id of the last-served client *)
+  mutable closed : bool;
+  mutable pending : int;
+}
+
+let create ~cap =
+  if cap <= 0 then invalid_arg "Sched.create: cap must be positive";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    cap;
+    queues = [];
+    cursor = -1;
+    closed = false;
+    pending = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let submit t ~client job =
+  locked t @@ fun () ->
+  if t.closed then `Closed
+  else begin
+    let q =
+      match List.assoc_opt client t.queues with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          t.queues <-
+            List.merge
+              (fun (a, _) (b, _) -> compare a b)
+              t.queues [ (client, q) ];
+          q
+    in
+    if Queue.length q >= t.cap then `Full
+    else begin
+      Queue.push job q;
+      t.pending <- t.pending + 1;
+      Condition.signal t.nonempty;
+      `Ok
+    end
+  end
+
+(* The next client after the cursor, wrapping — queues are kept in
+   ascending id order and only exist while nonempty, so the first entry
+   with id > cursor (or the head of the list) is the fair choice. *)
+let pick t =
+  match List.find_opt (fun (id, _) -> id > t.cursor) t.queues with
+  | Some entry -> Some entry
+  | None -> ( match t.queues with entry :: _ -> Some entry | [] -> None)
+
+let take t =
+  locked t @@ fun () ->
+  let rec wait () =
+    match pick t with
+    | Some (id, q) ->
+        let job = Queue.pop q in
+        t.pending <- t.pending - 1;
+        if Queue.is_empty q then
+          t.queues <- List.remove_assoc id t.queues;
+        t.cursor <- id;
+        Some job
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+  in
+  wait ()
+
+let close t =
+  locked t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.nonempty
+
+let closed t = locked t @@ fun () -> t.closed
+let pending t = locked t @@ fun () -> t.pending

@@ -1,0 +1,27 @@
+(** Bounded fair job scheduling: one bounded queue per client,
+    round-robin service across clients.
+
+    After serving client [c], the next {!take} starts from the smallest
+    client id greater than [c] (wrapping), so no client can starve the
+    others regardless of submission volume. {!close} implements drain:
+    no further submits, but {!take} keeps draining queued jobs until
+    every queue is empty, then returns [None]. Thread-safe; {!take}
+    blocks. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** [cap] bounds each client's pending jobs.
+    @raise Invalid_argument if [cap <= 0]. *)
+
+val submit : 'a t -> client:int -> 'a -> [ `Ok | `Full | `Closed ]
+
+val take : 'a t -> 'a option
+(** Block until a job is available (round-robin across clients) or the
+    scheduler is closed and empty ([None]). *)
+
+val close : 'a t -> unit
+val closed : 'a t -> bool
+
+val pending : 'a t -> int
+(** Jobs currently queued (all clients). *)

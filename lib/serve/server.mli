@@ -1,0 +1,82 @@
+(** The serve daemon: a persistent checking service with
+    content-addressed result caching.
+
+    One shared {!Par.Pool} serves every job; concurrency across clients
+    comes from bounded per-client queues with round-robin fairness
+    ({!Sched}), not from overlapping analyses. Reader threads answer
+    ping, metrics, protocol errors, compile rejections, and cache hits
+    inline in O(1); only cache misses reach the executor. Results of
+    complete deterministic jobs are cached under the canonical model
+    digest plus normalized options ({!Job.cache_key}), so resubmitting
+    an identical job is a hash probe, not a re-exploration.
+
+    Degradation: per-job guards (deadline, state and byte budgets)
+    linked to the drain token give hostile jobs the CLI's exit-5
+    incomplete semantics in-protocol; malformed or oversized requests
+    are answered with in-protocol errors without disturbing other
+    clients; a client that stops reading is dropped on a write timeout.
+    {!drain} (or SIGTERM via {!Rt.Drain.install_signals} on
+    {!drain_handle}) stops accepting, finishes queued jobs, joins every
+    thread, and removes the Unix socket file; a hard drain additionally
+    cancels in-flight work cooperatively. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+  jobs : int;  (** worker domains of the one shared pool *)
+  queue_cap : int;  (** pending-job bound per client *)
+  cache_entries : int;  (** LRU capacity of the result cache *)
+  max_request_bytes : int;  (** request-line bound; larger lines are
+                                rejected in-protocol *)
+  artifacts_dir : string option;
+      (** when set, every executed job writes a JSONL trace to
+          [job-NNNNNN-<key prefix>.jsonl] in this directory *)
+  default_deadline : float option;
+      (** wall-clock budget applied to jobs that set none *)
+}
+
+val default_config : address:address -> config
+(** Machine-recommended jobs, [queue_cap = 64], [cache_entries = 1024],
+    [max_request_bytes = 1 MiB], no artifacts, no default deadline. *)
+
+type t
+
+val create : config -> t
+(** Bind the listening socket (a stale Unix socket file is removed; TCP
+    port [0] binds an ephemeral port — read it back with {!port}) and
+    initialize scheduler, cache, and metrics. The daemon does not
+    accept until {!run}.
+    @raise Unix.Unix_error when the address cannot be bound.
+    @raise Failure when a TCP host cannot be resolved.
+    @raise Invalid_argument when [jobs <= 0]. *)
+
+val run : t -> unit
+(** Serve until drained: spawns the acceptor and drain-watcher threads,
+    runs the executor over one shared pool on the calling thread, and
+    on drain joins every thread and cleans up the socket. SIGPIPE is
+    ignored process-wide (a dropped client surfaces as a write error on
+    its own connection). *)
+
+val drain : ?hard:bool -> t -> unit
+(** Programmatic drain: stop accepting, finish queued jobs, shut down.
+    [hard] additionally cancels queued and in-flight jobs cooperatively
+    (they reply with incomplete/exit-5 results). *)
+
+val drain_handle : t -> Rt.Drain.t
+(** For wiring process signals: [Rt.Drain.install_signals
+    (drain_handle t)] maps the first SIGTERM/SIGINT to a soft drain and
+    a second to a hard drain. *)
+
+val address : t -> address
+(** The bound address, with a TCP ephemeral port resolved. *)
+
+val port : t -> int option
+(** The bound TCP port ([None] for Unix sockets). *)
+
+val metrics_registry : t -> Obs.Metrics.t
+(** The server-lifetime metrics registry ([serve.requests],
+    [serve.jobs], [serve.cache_hits]/[serve.cache_misses],
+    [serve.states_explored], [serve.queue_depth], latency histograms) —
+    the same registry the in-protocol [metrics] op snapshots and
+    renders as a Prometheus scrape. *)

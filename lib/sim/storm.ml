@@ -68,9 +68,15 @@ let run_storm ~max_steps ~fault_budget ~deadline ~rng ~daemon ~init ~stop
   in
   loop 0 0
 
-let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1)
+let trials ?(max_steps = 100_000) ?fault_budget ?jobs ?pool
     ?(obs = Obs.Ctx.disabled) ?(guard = Rt.Guard.inert) ?watchdog ~rng ~trials
     ~daemon ~prepare ~stop ~fault ~rate cp =
+  let jobs =
+    match (jobs, pool) with
+    | Some j, _ -> j
+    | None, Some p -> Par.Pool.jobs p
+    | None, None -> 1
+  in
   if jobs <= 0 then
     invalid_arg (Printf.sprintf "Storm.trials: jobs must be positive (got %d)" jobs);
   let guard_on = Rt.Guard.active guard in
@@ -144,7 +150,7 @@ let trials ?(max_steps = 100_000) ?fault_budget ?(jobs = 1)
        run_trial cp i
      done
    else
-     Par.Pool.with_pool ~jobs @@ fun pool ->
+     Par.Pool.use ?pool ~jobs @@ fun pool ->
      (* Compiled actions carry private scratch buffers, so each worker
         domain gets its own recompilation of the program. *)
      let worker_cp =

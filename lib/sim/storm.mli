@@ -33,6 +33,7 @@ val trials :
   ?max_steps:int ->
   ?fault_budget:int ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?obs:Obs.Ctx.t ->
   ?guard:Rt.Guard.t ->
   ?watchdog:Rt.Watchdog.t ->
@@ -55,7 +56,9 @@ val trials :
     still terminates. [rate = 0.] degenerates to fault-free convergence
     trials.
 
-    [jobs] (default [1]) spreads the trials over that many worker domains.
+    [jobs] (default [1]) spreads the trials over that many worker domains;
+    [pool] (default none) borrows a caller-owned shared {!Par.Pool} instead
+    of spawning a transient one (and supplies the default [jobs]).
     Every trial's PRNG stream is split off [rng] up front in trial order and
     the program is recompiled per worker, so the [result] — step counts,
     failures, fault counts, quantiles — is bit-identical at any job count.

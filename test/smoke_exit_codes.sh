@@ -58,6 +58,15 @@ expect 0 fuzz --seed 42 --count 20
 expect 0 fuzz --seed 42 --count 20 --jobs 2
 # 1: unknown protocol, bad fault spec
 expect 1 check no-such-protocol
+# the unknown-protocol message must list the available built-ins — a typo
+# should hand the user the correct spelling, not just "unknown"
+grep -q 'available:' "$stderr_file" && grep -q 'token-ring' "$stderr_file"
+if [ $? -ne 0 ]; then
+  echo "FAIL: unknown-protocol stderr does not list available built-ins"
+  failed=1
+else
+  echo "ok:   unknown-protocol stderr lists available built-ins"
+fi
 expect 1 certify token-ring --nodes 3 -k 4 --faults corrupt:k=zero
 # 1: flag validation — unknown engine value, non-positive jobs
 expect 1 check token-ring --nodes 3 -k 3 --engine turbo
@@ -159,6 +168,27 @@ done
 expect 1 check /nonexistent/model.nm
 expect 1 check token-ring --nodes 3 -k 3 --param N=3
 expect 1 check examples/models/xyz.nm --param N=oops
+
+# --- fmt --hash: the canonical model digest --------------------------
+# 0: works for .nm files and built-in protocols alike
+expect 0 fmt examples/models/token_ring.nm --hash
+expect 0 fmt token-ring --nodes 3 -k 4 --hash
+# the digest is deterministic, and --param changes it (params are folded
+# into the canonical form — the serve cache keys on this)
+h1=$($CLI fmt examples/models/token_ring.nm --hash 2>/dev/null)
+h2=$($CLI fmt examples/models/token_ring.nm --hash 2>/dev/null)
+h3=$($CLI fmt examples/models/token_ring.nm --hash --param N=3 2>/dev/null)
+[ -n "$h1" ] && [ "$h1" = "$h2" ] && [ "$h1" != "$h3" ]
+note2=$?
+if [ "$note2" -ne 0 ]; then
+  echo "FAIL: fmt --hash not deterministic or --param not folded in"
+  failed=1
+else
+  echo "ok:   fmt --hash deterministic; --param changes the digest"
+fi
+# 1: --hash conflicts with the rewrite modes
+expect 1 fmt examples/models/token_ring.nm --hash --write
+expect 1 fmt examples/models/token_ring.nm --hash --check
 
 # --- checkpoint/resume roundtrip -------------------------------------
 # An interrupted run writes a snapshot (exit 5); resuming it must reach

@@ -24,4 +24,5 @@ let () =
       ("rt", Test_rt.suite);
       ("lang", Test_lang.suite);
       ("gen", Test_gen.suite);
+      ("serve", Test_serve.suite);
     ]
