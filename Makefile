@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke fuzz bench e19-smoke e20-smoke e21-smoke e22-smoke clean
+.PHONY: all build test check smoke serve-smoke fuzz bench e19-smoke e20-smoke e21-smoke e22-smoke e23-smoke clean
 
 all: build
 
@@ -21,6 +21,7 @@ smoke:
 	dune exec bin/nonmask_cli.exe -- certify token-ring --nodes 4 -k 5 --engine lazy
 	dune exec bin/nonmask_cli.exe -- certify token-ring --nodes 4 -k 5 --faults corrupt:k=1 --engine parallel --jobs 2
 	dune exec bin/nonmask_cli.exe -- storm token-ring --nodes 5 -k 6 --rate 0.1 --trials 200 --jobs 2
+	dune exec bin/nonmask_cli.exe -- tolerance token-ring --nodes 4 -k 5 --budget-max 2 --adversary
 	dune exec bin/nonmask_cli.exe -- check token-ring --nodes 4 -k 4 --engine parallel --jobs 2 --trace-out /tmp/nonmask-smoke-trace.jsonl --metrics-out /tmp/nonmask-smoke-metrics.json --progress
 	dune exec bin/nonmask_cli.exe -- fuzz --seed 42 --count 50 --jobs 2
 	sh -c 'dune exec bin/nonmask_cli.exe -- check dijkstra --nodes 12 -k 13 --engine lazy --ball 2 --budget-states 2000 --checkpoint-out /tmp/nonmask-smoke-ckpt.snap; [ $$? -eq 5 ]'
@@ -67,6 +68,12 @@ e21-smoke:
 # `dune exec bench/main.exe -- e22`).
 e22-smoke:
 	dune exec bench/main.exe -- e22-smoke --metrics-out bench-e22-metrics.json
+
+# Bounded quantified-tolerance leg: E23 frontier sweep with the
+# adversarial bound vs storm observations on the 4-node token ring
+# (the full 5-node tier is `dune exec bench/main.exe -- e23`).
+e23-smoke:
+	dune exec bench/main.exe -- e23-smoke --metrics-out bench-e23-metrics.json
 
 clean:
 	dune clean

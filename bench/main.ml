@@ -2075,6 +2075,112 @@ let e22_run ~vars ~hot () =
 let e22 () = e22_run ~vars:10 ~hot:200 ()
 let e22_smoke () = e22_run ~vars:8 ~hot:100 ()
 
+(* E23: quantified tolerance — frontier throughput and the
+   adversary-vs-storm gap. Sweep the token ring's fault budgets with the
+   adversarial bound enabled, timing the span/certify/adversary work per
+   point, then storm each budget with [trials] random-daemon runs and
+   compare: the adversary bound must dominate the largest observed
+   recovery at every budget (SOUND column; any UNSOUND is a bug — the
+   attractor computation or the storm harness disagrees about the same
+   span). The gap between the bound and the observation is the price of
+   a guarantee over a sample. [e23] runs nodes = 5, k = 6 at budgets
+   0..4 with 400 trials per budget; [e23-smoke] nodes = 4, k = 5,
+   budgets 0..3, 100 trials for CI. *)
+let e23_run ~nodes ~k ~budget_max ~trials () =
+  let tr = Token_ring.make ~nodes ~k in
+  let env = Token_ring.env tr in
+  let program = Token_ring.combined tr in
+  let invariant s = Token_ring.invariant tr s in
+  let legit = Token_ring.all_zero tr in
+  let fault = Sim.Fault.corrupt env ~k:1 in
+  let engine = Engine.create ~backend:Engine.Lazy env in
+  let timings = ref [] in
+  let on_point (p : Tol.Sweep.point) =
+    timings := (p.Tol.Sweep.budget, Obs.Ctx.now ()) :: !timings
+  in
+  let t0 = Obs.Ctx.now () in
+  let frontier =
+    Tol.Sweep.run ~engine ~program ~faults:(Sim.Fault.actions fault)
+      ~invariant
+      ~from:(Engine.Seeds [ legit ])
+      ~budgets:(Tol.Sweep.range ~max:budget_max)
+      ~adversary:true ~on_point ~name:"e23" ()
+  in
+  let point_ms =
+    (* on_point fires in budget order; difference successive stamps *)
+    let stamps = List.rev !timings in
+    let rec diff prev = function
+      | [] -> []
+      | (b, t) :: rest -> (b, (t -. prev) *. 1000.0) :: diff t rest
+    in
+    diff t0 stamps
+  in
+  let cp = Compile.program program in
+  let storm_max = ref [] in
+  let rows =
+    List.map
+      (fun (p : Tol.Sweep.point) ->
+        let b = p.Tol.Sweep.budget in
+        let bound = Option.bind p.Tol.Sweep.adversary Tol.Sweep.adversary_bound in
+        let result =
+          Sim.Storm.trials ~max_steps:100_000 ~fault_budget:b ~jobs:1
+            ~rng:(Prng.create (0xe23 + b))
+            ~trials
+            ~daemon:(fun r -> Sim.Daemon.random r)
+            ~prepare:(fun rng ->
+              let s = State.copy legit in
+              if b > 0 then fault.Sim.Fault.inject rng s;
+              s)
+            ~stop:invariant ~fault ~rate:0.2 cp
+        in
+        let observed =
+          Array.fold_left max 0 result.Sim.Storm.steps
+        in
+        storm_max := (b, bound, result) :: !storm_max;
+        let sound =
+          match bound with
+          | Some w -> if observed <= ((b + 1) * w) + b then "sound" else "UNSOUND"
+          | None -> "-"
+        in
+        [
+          Table.i b;
+          Table.i p.Tol.Sweep.span_states;
+          Table.f1 (try List.assoc b point_ms with Not_found -> 0.0);
+          (match bound with Some w -> Table.i w | None -> "unbounded");
+          Table.i observed;
+          (match bound with
+          | Some w -> Table.i ((((b + 1) * w) + b) - observed)
+          | None -> "-");
+          sound;
+          (if p.Tol.Sweep.reused then "reused" else "-");
+        ])
+      frontier.Tol.Sweep.points
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E23: tolerance frontier of the %d-node token ring (k = %d), \
+          budgets 0..%d with the adversarial bound; %s storm trials per \
+          budget — the bound must dominate every observation (gap = \
+          composite bound - observed max)"
+         nodes k budget_max (Table.i trials))
+    ~header:
+      [ "budget"; "span"; "point ms"; "bound"; "observed"; "gap"; "verdict";
+        "" ]
+    rows;
+  (* the deepest budget's storm, rendered with the sound bound column *)
+  (match !storm_max with
+  | (b, bound, result) :: _ ->
+      Format.printf "budget %d storm: %a@." b
+        (Sim.Storm.pp_result_with_bound
+           ~bound:
+             (Option.map (fun w -> ((b + 1) * w) + b) bound))
+        result
+  | [] -> ())
+
+let e23 () = e23_run ~nodes:5 ~k:6 ~budget_max:4 ~trials:400 ()
+let e23_smoke () = e23_run ~nodes:4 ~k:5 ~budget_max:3 ~trials:100 ()
+
 let experiments =
   [
     ("e1", e1);
@@ -2103,6 +2209,8 @@ let experiments =
     ("e21-smoke", e21_smoke);
     ("e22", e22);
     ("e22-smoke", e22_smoke);
+    ("e23", e23);
+    ("e23-smoke", e23_smoke);
     ("micro", micro);
   ]
 

@@ -6,6 +6,10 @@
      certify  PROTO [opts]        run the theorem validator; with
                                   --faults SPEC, certify nonmasking
                                   tolerance with a computed fault span
+     tolerance PROTO [opts]       sweep fault budgets and report the
+                                  tolerance frontier (span growth,
+                                  verdicts, worst-case recovery, cliff),
+                                  optionally with the adversarial bound
      check    PROTO [opts]        exhaustive convergence check
      simulate PROTO [opts]        fault-injection runs with statistics
      storm    PROTO [opts]        recovery under recurring faults
@@ -54,6 +58,9 @@ type instance = {
   declared_fault : Sim.Fault.t option;
       (* the fault actions a .nm model declares, if any — the default
          fault class for certify/storm on that model *)
+  declared_envs : Guarded.Action.t list;
+      (* the environment actions a .nm model declares ([] for built-in
+         protocols) — threaded into tolerance certification *)
 }
 
 let protocols =
@@ -87,6 +94,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "diffusing %s-%d" shape size;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Diffusing.env d;
         program = Protocols.Diffusing.combined d;
         invariant = (fun s -> Protocols.Diffusing.invariant d s);
@@ -99,6 +107,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "lowatomic %s-%d" shape size;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Diffusing_lowatomic.env d;
         program = Protocols.Diffusing_lowatomic.program d;
         invariant = (fun s -> Protocols.Diffusing_lowatomic.invariant d s);
@@ -111,6 +120,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "token-ring %d (K=%d)" nodes k;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Token_ring.env tr;
         program = Protocols.Token_ring.combined tr;
         invariant = (fun s -> Protocols.Token_ring.invariant tr s);
@@ -123,6 +133,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "dijkstra %d (K=%d)" nodes k;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Dijkstra_ring.env dr;
         program = Protocols.Dijkstra_ring.program dr;
         invariant = (fun s -> Protocols.Dijkstra_ring.invariant dr s);
@@ -141,6 +152,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = proto;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Xyz_demo.env d;
         program = Protocols.Xyz_demo.program d;
         invariant = (fun s -> Protocols.Xyz_demo.invariant d s);
@@ -160,6 +172,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "atomic %s-%d" shape size;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Atomic_action.env a;
         program = Protocols.Atomic_action.program a;
         invariant = (fun s -> Protocols.Atomic_action.invariant a s);
@@ -176,6 +189,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "naive-ring %d" nodes;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Naive_ring.env nr;
         program = Protocols.Naive_ring.program nr;
         invariant = (fun s -> Protocols.Naive_ring.invariant nr s);
@@ -188,6 +202,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "reset %s-%d" shape size;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Reset.env r;
         program = Protocols.Reset.program r;
         invariant = (fun s -> Protocols.Reset.invariant r s);
@@ -213,6 +228,7 @@ let build_instance proto ~shape ~size ~nodes ~k ~seed =
       {
         i_name = Printf.sprintf "spanning-tree %s-%d" shape size;
         declared_fault = None;
+        declared_envs = [];
         env = Protocols.Spanning_tree.env st;
         program = Protocols.Spanning_tree.program st;
         invariant = (fun s -> Protocols.Spanning_tree.invariant st s);
@@ -261,6 +277,7 @@ let nm_instance ~params path =
     certify = None;
     cgraphs = [];
     declared_fault;
+    declared_envs = em.Lang.Elab.env_actions;
   }
 
 (* Model selection, shared by every verb: a PROTOCOL argument is either a
@@ -899,6 +916,189 @@ let certify_cmd =
       $ fault_spec_arg $ fault_budget_arg $ ball_arg $ trace_out_arg
       $ metrics_out_arg $ progress_arg $ deadline_arg $ budget_states_arg
       $ budget_bytes_arg $ checkpoint_out_arg $ resume_arg)
+
+(* tolerance: the quantified version of `certify --faults` — sweep the
+   fault budget from 0 to --budget-max (or an explicit --budgets list),
+   certify each point against its computed span, and report the
+   tolerance frontier: span growth, verdicts, exact worst-case recovery,
+   the first budget where certification flips (the cliff), and — with
+   --adversary — the independent game-style upper bound. A completed
+   sweep exits 0 whatever the verdicts are: the curve itself is the
+   deliverable (points that fail certification are part of the
+   frontier); an interrupted sweep exits 5 with every finished point
+   already flushed to --report. *)
+let budget_max_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "budget-max" ] ~docv:"B"
+        ~doc:
+          "Sweep fault budgets 0..$(docv) (rejected when negative). Each \
+           budget bounds the fault steps per derivation when computing \
+           that point's span.")
+
+let budgets_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "budgets" ] ~docv:"LIST"
+        ~doc:
+          "Explicit comma-separated budget list (e.g. $(b,0,2,8)) instead \
+           of 0..$(b,--budget-max).")
+
+let adversary_arg =
+  Arg.(
+    value & flag
+    & info [ "adversary" ]
+        ~doc:
+          "Also compute the adversarial-daemon bound per point: the exact \
+           worst-case recovery steps over the span under a worst-case \
+           scheduler, by a backward attractor — a sound upper bound that \
+           dominates every storm-observed recovery time, validated \
+           against the certificate's convergence bound.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write the frontier as JSONL to $(docv), one point object per \
+           line, flushed as each point completes — an interrupted sweep \
+           (exit 5) leaves the partial curve behind.")
+
+let tolerance_point_json (p : Tol.Sweep.point) =
+  Obs.Json.Obj
+    ([
+       ("budget", Obs.Json.Int p.Tol.Sweep.budget);
+       ("span_states", Obs.Json.Int p.Tol.Sweep.span_states);
+       ("span_roots", Obs.Json.Int p.Tol.Sweep.span_roots);
+       ("max_depth", Obs.Json.Int p.Tol.Sweep.max_depth);
+       ("certified", Obs.Json.Bool p.Tol.Sweep.certified);
+       ( "worst_case",
+         match p.Tol.Sweep.worst_case with
+         | Some w -> Obs.Json.Int w
+         | None -> Obs.Json.Null );
+       ("reused", Obs.Json.Bool p.Tol.Sweep.reused);
+     ]
+    @
+    match p.Tol.Sweep.adversary with
+    | None -> []
+    | Some r -> (
+        match r.Tol.Adversary.verdict with
+        | Tol.Adversary.Bounded w -> [ ("adversary_bound", Obs.Json.Int w) ]
+        | Tol.Adversary.Unbounded _ ->
+            [ ("adversary_bound", Obs.Json.Str "unbounded") ]))
+
+let tolerance_cmd =
+  let run proto shape size nodes k seed params backend max_states jobs
+      fault_spec budget_max budgets_csv adversary report ball trace_out
+      metrics_out progress deadline budget_states budget_bytes =
+    try
+      let i = load_instance proto ~shape ~size ~nodes ~k ~seed ~params in
+      let fault =
+        match (fault_spec, i.declared_fault) with
+        | Some spec, _ -> parse_fault_spec i.env spec
+        | None, Some f -> f
+        | None, None -> parse_fault_spec i.env "corrupt:k=1"
+      in
+      let budgets =
+        match budgets_csv with
+        | Some csv ->
+            List.map
+              (fun s ->
+                match int_of_string_opt (String.trim s) with
+                | Some b when b >= 0 -> b
+                | Some b ->
+                    failwith
+                      (Printf.sprintf "tolerance: negative budget %d" b)
+                | None ->
+                    failwith
+                      (Printf.sprintf "tolerance: bad --budgets entry %S" s))
+              (String.split_on_char ',' csv)
+        | None ->
+            if budget_max < 0 then
+              failwith
+                (Printf.sprintf "tolerance: --budget-max must be >= 0 (got %d)"
+                   budget_max);
+            Tol.Sweep.range ~max:budget_max
+      in
+      let report_oc =
+        Option.map
+          (fun file ->
+            let oc =
+              try open_out file
+              with Sys_error msg ->
+                failwith (Printf.sprintf "cannot open --report: %s" msg)
+            in
+            at_exit (fun () -> close_out_noerr oc);
+            oc)
+          report
+      in
+      let obs =
+        obs_setup ~trace_out ~metrics_out ~progress
+          ~meta:
+            (run_meta ~command:"tolerance" ~instance:i.i_name
+               ~engine:(backend_str backend) ~jobs)
+      in
+      let guard = make_guard ~deadline ~budget_states ~budget_bytes in
+      (try
+         let engine =
+           make_engine ~backend ~max_states ~jobs ~obs ~guard i.env
+         in
+         let from =
+           if ball < 0 then None
+           else
+             Some
+               (Explore.Engine.Seeds
+                  (Explore.Engine.ball i.env ~center:(i.legitimate ())
+                     ~radius:ball))
+         in
+         let on_point p =
+           match report_oc with
+           | None -> ()
+           | Some oc ->
+               output_string oc
+                 (Obs.Json.to_string (tolerance_point_json p));
+               output_char oc '\n';
+               flush oc
+         in
+         let frontier =
+           Tol.Sweep.run ~engine ~program:i.program
+             ~faults:(Sim.Fault.actions fault) ~envs:i.declared_envs
+             ~invariant:i.invariant ?from ~budgets ~adversary ~on_point
+             ~name:
+               (Printf.sprintf "%s under %s" i.i_name fault.Sim.Fault.name)
+             ()
+         in
+         Format.printf "%s under %s (%s engine):@.%a@." i.i_name
+           fault.Sim.Fault.name
+           (Explore.Engine.backend_name engine)
+           Tol.Sweep.pp_frontier frontier
+       with
+       | Explore.Engine.Interrupted it -> report_incomplete ~obs it
+       | Rt.Cancel.Cancelled reason ->
+           report_incomplete ~obs
+             { reason; states_seen = 0; frontier_size = 0; snapshot = None }
+       | e -> report_overflow i e);
+      0
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "tolerance"
+       ~doc:
+         "Quantified tolerance: sweep fault budgets, certifying each \
+          point over its computed span, and report the tolerance \
+          frontier with its cliff (optionally with the exact adversarial \
+          worst-case recovery bound)")
+    Term.(
+      const run $ proto_arg $ shape_arg $ size_arg $ nodes_arg $ k_arg
+      $ seed_arg $ params_arg $ engine_arg $ max_states_arg $ jobs_arg
+      $ fault_spec_arg $ budget_max_arg $ budgets_arg $ adversary_arg
+      $ report_arg $ ball_arg $ trace_out_arg $ metrics_out_arg
+      $ progress_arg $ deadline_arg $ budget_states_arg $ budget_bytes_arg)
 
 let check_cmd =
   let run proto shape size nodes k seed params backend max_states jobs ball
@@ -1541,7 +1741,8 @@ let submit_cmd =
       if Serve.Proto.op_of_name op = None then
         failwith
           (Printf.sprintf
-             "submit: unknown op %S (check|certify|storm|fuzz|ping|metrics)"
+             "submit: unknown op %S \
+              (check|certify|tolerance|storm|fuzz|ping|metrics)"
              op);
       let model_field =
         match model with
@@ -1620,7 +1821,7 @@ let submit_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"OP"
-          ~doc:"check | certify | storm | fuzz | ping | metrics")
+          ~doc:"check | certify | tolerance | storm | fuzz | ping | metrics")
   in
   let submit_model_arg =
     Arg.(
@@ -1636,8 +1837,9 @@ let submit_cmd =
       & info [ "opt" ] ~docv:"KEY=VALUE"
           ~doc:
             "A job option, repeatable: engine, max_states, ball, seed, \
-             trials, rate, max_steps, faults, fault_budget, count, \
-             max_vars, deadline, budget_states, budget_bytes.")
+             trials, rate, max_steps, faults, fault_budget, budget_max, \
+             adversary, count, max_vars, deadline, budget_states, \
+             budget_bytes.")
   in
   let id_arg =
     Arg.(
@@ -1664,8 +1866,9 @@ let main =
   Cmd.group
     (Cmd.info "nonmask" ~version:Version_info.version ~doc)
     [
-      list_cmd; show_cmd; certify_cmd; check_cmd; simulate_cmd; storm_cmd;
-      fuzz_cmd; dot_cmd; fmt_cmd; export_cmd; serve_cmd; submit_cmd;
+      list_cmd; show_cmd; certify_cmd; tolerance_cmd; check_cmd;
+      simulate_cmd; storm_cmd; fuzz_cmd; dot_cmd; fmt_cmd; export_cmd;
+      serve_cmd; submit_cmd;
     ]
 
 (* Fold cmdliner's own flag-validation failures (unknown --engine value,

@@ -1,10 +1,23 @@
 type check = { label : string; ok : bool; detail : string option }
 
+(* Machine-readable digest of a tolerance certification — what a
+   budget-sweep consumer needs without re-parsing check labels. *)
+type tolerance_summary = {
+  span_states : int;
+  span_roots : int;
+  span_max_depth : int;
+  convergence_worst : int option;
+      (* exact worst-case recovery steps when the fault-free region is
+         acyclic; None when convergence holds only under weak fairness
+         or fails *)
+}
+
 type t = {
   theorem : string;
   spec_name : string;
   shapes : (string * Dgraph.Classify.shape) list;
   checks : check list;
+  summary : tolerance_summary option;
 }
 
 let ok t = List.for_all (fun c -> c.ok) t.checks
@@ -98,8 +111,8 @@ let unresumable_phase f =
   with Explore.Engine.Interrupted i ->
     raise (Explore.Engine.Interrupted { i with snapshot = None })
 
-let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
-    ?(require_recurrence_resilience = false) ~name () =
+let tolerance ~engine ~program ~faults ?(envs = []) ~invariant ?from ?budget
+    ?resume ?span ?(require_recurrence_resilience = false) ~name () =
   let env = Explore.Engine.env engine in
   let obs = Explore.Engine.obs engine in
   let guard = Explore.Engine.guard engine in
@@ -114,18 +127,32 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
          ~name:(Guarded.Program.name program ^ ":faults")
          env faults)
   in
+  let ep =
+    match envs with
+    | [] -> None
+    | _ ->
+        Some
+          (Guarded.Compile.program
+             (Guarded.Program.make
+                ~name:(Guarded.Program.name program ^ ":envs")
+                env envs))
+  in
   let span =
-    Obs.Ctx.time obs "certify.span" @@ fun () ->
-    Explore.Faultspan.compute engine ~program:cp ?budget ?resume ~faults:fp
-      ~from ()
+    match span with
+    | Some s -> s  (* caller-supplied, for the same configuration *)
+    | None ->
+        Obs.Ctx.time obs "certify.span" @@ fun () ->
+        Explore.Faultspan.compute engine ~program:cp ?envs:ep ?budget ?resume
+          ~faults:fp ~from ()
   in
   let span_states = Explore.Faultspan.states span in
   let span_check =
     let hist = Explore.Faultspan.depth_histogram span in
     check_info
       (Printf.sprintf
-         "span: T = closure of %d root states under program ∪ faults%s; |T| = %d"
+         "span: T = closure of %d root states under program ∪ %sfaults%s; |T| = %d"
          (Explore.Faultspan.root_count span)
+         (if ep = None then "" else "environment ∪ ")
          (match budget with
          | Some b -> Printf.sprintf " (≤ %d fault steps)" b
          | None -> " (unbounded faults)")
@@ -144,15 +171,23 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
     Obs.Ctx.time obs "certify.closure" @@ fun () ->
     let include_faults = budget = None in
     let label =
-      if include_faults then
-        "closure: every program and fault action maps T into T"
-      else "closure: every program action maps T into T"
+      Printf.sprintf "closure: every program%s%s action maps T into T"
+        (if ep = None then "" else ", environment")
+        (if include_faults then
+           if ep = None then " and fault" else ", and fault"
+         else "")
     in
     let compile_acts (prog : Guarded.Compile.program)
+        (eprog : Guarded.Compile.program option)
         (fprog : Guarded.Compile.program) =
-      if include_faults then
-        Array.append prog.Guarded.Compile.actions fprog.Guarded.Compile.actions
-      else prog.Guarded.Compile.actions
+      let base =
+        match eprog with
+        | None -> prog.Guarded.Compile.actions
+        | Some e ->
+            Array.append prog.Guarded.Compile.actions e.Guarded.Compile.actions
+      in
+      if include_faults then Array.append base fprog.Guarded.Compile.actions
+      else base
     in
     (* Stream the span by index in {!Explore.Faultspan.iter} order —
        decode-on-demand into a scan buffer instead of materializing
@@ -201,7 +236,7 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
     let violation =
       if Explore.Engine.backend engine <> Explore.Engine.Parallel || jobs = 1
       then
-        first_violation ~poll:guard_on (compile_acts cp fp)
+        first_violation ~poll:guard_on (compile_acts cp ep fp)
           (Guarded.State.make env) (Guarded.State.make env) 0 n
       else begin
         (* Chunk-boundary cancellation point: worker loops do not raise
@@ -225,10 +260,14 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
            recompiles its own copies; decode buffers are per-worker too. *)
         let worker_acts =
           Array.init (Par.Pool.jobs pool) (fun w ->
-              if w = 0 then compile_acts cp fp
+              if w = 0 then compile_acts cp ep fp
               else
                 compile_acts
                   (Guarded.Compile.program cp.Guarded.Compile.source)
+                  (Option.map
+                     (fun (e : Guarded.Compile.program) ->
+                       Guarded.Compile.program e.Guarded.Compile.source)
+                     ep)
                   (Guarded.Compile.program fp.Guarded.Compile.source))
         in
         let worker_buf =
@@ -251,30 +290,100 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
     | None -> check_pass label
     | Some d -> check_fail label ~detail:d
   in
-  let conv_ok, conv_check =
+  (* The environment can fire at any time — inside S included — so S must
+     be closed under every environment action: an environment step that
+     breaks legitimacy makes stabilization unachievable (the perturbation
+     recurs forever, unbudgeted). Scanned over the span's S-states. *)
+  let env_closure_check =
+    match ep with
+    | None -> None
+    | Some ecp ->
+        Some
+          ( unresumable_phase @@ fun () ->
+            Obs.Ctx.time obs "certify.env_closure" @@ fun () ->
+            let label =
+              "environment closure: every environment action maps S into S"
+            in
+            let buf = Guarded.State.make env in
+            let post = Guarded.State.make env in
+            let n = Explore.Faultspan.count span in
+            let violation = ref None in
+            (try
+               for i = 0 to n - 1 do
+                 (if guard_on && i land 2047 = 0 then
+                    match Rt.Guard.poll guard ~states:i ~bytes:0 with
+                    | None -> ()
+                    | Some reason ->
+                        raise
+                          (Explore.Engine.Interrupted
+                             {
+                               reason;
+                               states_seen = n;
+                               frontier_size = 0;
+                               snapshot = None;
+                             }));
+                 Explore.Faultspan.decode_nth_into span i buf;
+                 if invariant buf then
+                   Array.iter
+                     (fun (ca : Guarded.Compile.action) ->
+                       if ca.enabled buf then begin
+                         ca.apply_into buf post;
+                         if not (invariant post) then begin
+                           violation :=
+                             Some
+                               (Format.asprintf
+                                  "%a  --[%s]-->  %a  (outside S)"
+                                  (Guarded.State.pp env) buf
+                                  (Guarded.Action.name
+                                     ca.Guarded.Compile.source)
+                                  (Guarded.State.pp env) post);
+                           raise Exit
+                         end
+                       end)
+                     ecp.Guarded.Compile.actions
+               done
+             with Exit -> ());
+            match !violation with
+            | None -> check_pass label
+            | Some d -> check_fail label ~detail:d )
+  in
+  (* Recovery happens while the environment keeps stepping: convergence
+     (and the recurrence analysis below) runs over program ∪ environment,
+     not the program alone. *)
+  let conv_cp =
+    match envs with
+    | [] -> cp
+    | _ -> Guarded.Compile.program (Guarded.Program.add_actions program envs)
+  in
+  let conv_ok, conv_worst, conv_check =
     match
       unresumable_phase @@ fun () ->
       Obs.Ctx.time obs "certify.convergence" @@ fun () ->
-      Explore.Convergence.check_fair engine cp
+      Explore.Convergence.check_fair engine conv_cp
         ~from:(Explore.Engine.Seeds span_states) ~target:invariant
     with
     | Explore.Convergence.Converges st ->
         ( true,
+          st.Explore.Convergence.worst_case_steps,
           check_pass
             (Printf.sprintf
-               "convergence: every fault-free computation from T reaches S \
+               "convergence: every fault-free computation from T%s reaches S \
                 (|T \\ S| = %d%s)"
+               (if ep = None then ""
+                else " (environment steps interleaved)")
                st.Explore.Convergence.region_states
                (match st.Explore.Convergence.worst_case_steps with
                | Some w -> Printf.sprintf ", worst case %d steps" w
                | None -> ", under weak fairness")) )
     | Explore.Convergence.Fails f ->
         ( false,
+          None,
           check_fail "convergence: a computation from T never reaches S"
             ~detail:
               (Format.asprintf "%a" (Explore.Convergence.pp_failure env) f) )
     | Explore.Convergence.Unknown sample ->
         ( false,
+          None,
           check_fail
             "convergence: the weak-fairness criterion could not discharge \
              an SCC of T \\ S"
@@ -285,8 +394,11 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
                       (Format.asprintf "%a" (Guarded.State.pp env))
                       sample)) )
   in
+  let env_closure_ok =
+    match env_closure_check with Some c -> c.ok | None -> true
+  in
   let tolerance_check =
-    if closure_check.ok && conv_ok then
+    if closure_check.ok && env_closure_ok && conv_ok then
       check_pass
         "nonmasking tolerance: faults occurring finitely often cannot \
          prevent recovery to S"
@@ -298,10 +410,17 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
   let recurrence_check =
     unresumable_phase @@ fun () ->
     Obs.Ctx.time obs "certify.recurrence" @@ fun () ->
-    let first_fault_index = Array.length cp.Guarded.Compile.actions in
+    let first_fault_index =
+      Array.length conv_cp.Guarded.Compile.actions
+    in
     match
       let combined =
-        Guarded.Compile.program (Guarded.Program.add_actions program faults)
+        Guarded.Compile.program
+          (Guarded.Program.add_actions
+             (match envs with
+             | [] -> program
+             | _ -> Guarded.Program.add_actions program envs)
+             faults)
       in
       let region =
         Explore.Engine.region engine combined
@@ -342,8 +461,17 @@ let tolerance ~engine ~program ~faults ~invariant ?from ?budget ?resume
       spec_name = name;
       shapes = [];
       checks =
-        [ span_check; closure_check; conv_check; tolerance_check;
-          recurrence_check ];
+        [ span_check; closure_check ]
+        @ (match env_closure_check with Some c -> [ c ] | None -> [])
+        @ [ conv_check; tolerance_check; recurrence_check ];
+      summary =
+        Some
+          {
+            span_states = Explore.Faultspan.count span;
+            span_roots = Explore.Faultspan.root_count span;
+            span_max_depth = Explore.Faultspan.max_depth span;
+            convergence_worst = conv_worst;
+          };
     }
   in
   if Obs.Ctx.enabled obs then begin

@@ -13,12 +13,28 @@ type check = {
   detail : string option;  (** Counterexample rendering when [not ok]. *)
 }
 
+type tolerance_summary = {
+  span_states : int;  (** [|T|] *)
+  span_roots : int;
+  span_max_depth : int;  (** deepest fault layer actually reached *)
+  convergence_worst : int option;
+      (** exact worst-case recovery steps when the fault-free region is
+          acyclic; [None] when convergence holds only under weak
+          fairness or failed *)
+}
+(** Machine-readable digest of a {!tolerance} certification, for
+    consumers (budget sweeps, reports) that would otherwise re-parse
+    check labels. *)
+
 type t = {
   theorem : string;  (** "Theorem 1" / "Theorem 2" / "Theorem 3". *)
   spec_name : string;
   shapes : (string * Dgraph.Classify.shape) list;
       (** Graph shape per layer (a single entry for Theorems 1 and 2). *)
   checks : check list;
+  summary : tolerance_summary option;
+      (** Present on {!tolerance} certificates; [None] for the theorem
+          validators. *)
 }
 
 val ok : t -> bool
@@ -44,10 +60,12 @@ val tolerance :
   engine:Explore.Engine.t ->
   program:Guarded.Program.t ->
   faults:Guarded.Action.t list ->
+  ?envs:Guarded.Action.t list ->
   invariant:(Guarded.State.t -> bool) ->
   ?from:Explore.Engine.roots ->
   ?budget:int ->
   ?resume:Rt.Snapshot.t ->
+  ?span:Explore.Faultspan.t ->
   ?require_recurrence_resilience:bool ->
   name:string ->
   unit ->
@@ -75,6 +93,21 @@ val tolerance :
       the certificate as a concrete counterexample but — faults being
       environment actions, not program defects — reported as informational
       unless [require_recurrence_resilience] is set (default [false]).
+
+    [envs] are environment actions (Roohitavaf–Kulkarni): uncontrollable
+    like faults, but free and recurrent — they extend the span like
+    program steps (never consuming [budget]), interleave with recovery
+    (convergence and recurrence run over program ∪ environment), and may
+    never be repaired through. Because the environment can fire at any
+    time, a non-empty [envs] adds an {b environment closure} obligation:
+    every environment action must map [S] into [S] — an environment step
+    that breaks legitimacy fails the certificate outright.
+
+    [span] supplies a precomputed fault span for {e exactly} this
+    configuration (same engine, program, [envs], fault actions, [budget],
+    and roots) and skips the span search — budget sweeps use it to
+    certify without re-exploring. The caller is responsible for the
+    match; a mismatched span yields a certificate about the wrong [T].
 
     The certification pipeline polls the engine's guard throughout: the
     span search at its chunk/wave boundaries, the closure scan every few

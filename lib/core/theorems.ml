@@ -256,6 +256,7 @@ let validate ~theorem ~shape_ok ~shape_want ~modulo_invariant ~check_ordering
     spec_name = Spec.name spec;
     shapes;
     checks = List.rev !checks;
+    summary = None;
   }
 
 let validate_theorem1 ~engine ~spec ~cgraph =

@@ -109,13 +109,16 @@ let action_names (cp : Compile.program) =
        (fun (ca : Compile.action) -> Guarded.Action.name ca.Compile.source)
        cp.Compile.actions)
 
-let span_hash engine ?program ?budget ~faults () =
+let span_hash engine ?program ?envs ?budget ~faults () =
   let parts =
     kind_span
     :: (match budget with
        | None -> "budget=none"
        | Some b -> Printf.sprintf "budget=%d" b)
     :: ((match program with None -> [] | Some cp -> action_names cp)
+       @ (match envs with
+         | None -> []
+         | Some cp -> "/envs" :: action_names cp)
        @ ("/faults" :: action_names faults))
   in
   Engine.config_hash engine ~parts
@@ -195,18 +198,20 @@ let queue_to_array q =
 (* Layered 0-1 BFS: program edges cost 0 (stay in the current layer), fault
    edges cost 1 (feed the next layer). Layers are processed in order, so the
    layer a state is first seen in is its minimal fault count. *)
-let compute_seq engine ?program ?budget ?resume ~faults ~from () =
+let compute_seq engine ?program ?envs ?budget ?resume ~faults ~from () =
   let obs = Engine.obs engine in
   let guard = Engine.guard engine in
   let guard_on = Rt.Guard.active guard in
   let space = Engine.space engine in
   let cap = Engine.max_states engine in
-  let hash = span_hash engine ?program ?budget ~faults () in
-  let prog_actions =
-    match program with
+  let hash = span_hash engine ?program ?envs ?budget ~faults () in
+  (* Environment actions ride the 0-cost closure phase: they extend the
+     span like program steps and never consume fault budget. *)
+  let actions_of = function
     | None -> [||]
     | Some (cp : Compile.program) -> cp.Compile.actions
   in
+  let prog_actions = Array.append (actions_of program) (actions_of envs) in
   let fault_actions = (faults : Compile.program).Compile.actions in
   let depth_of = Engine.make_visited engine in
   let keys = Vec.create () in
@@ -381,14 +386,14 @@ let compute_seq engine ?program ?budget ?resume ~faults ~from () =
    keys, depths, histogram, even the overflow point — is bit-identical at
    any job count, and checkpoints written at wave boundaries restore on
    either backend. *)
-let compute_par engine ?program ?budget ?resume ~faults ~from () =
+let compute_par engine ?program ?envs ?budget ?resume ~faults ~from () =
   let obs = Engine.obs engine in
   let guard = Engine.guard engine in
   let guard_on = Rt.Guard.active guard in
   let space = Engine.space engine in
   let env = Space.env space in
   let cap = Engine.max_states engine in
-  let hash = span_hash engine ?program ?budget ~faults () in
+  let hash = span_hash engine ?program ?envs ?budget ~faults () in
   Par.Pool.use ?pool:(Engine.pool engine) ~jobs:(Engine.jobs engine)
   @@ fun pool ->
   let jobs = Par.Pool.jobs pool in
@@ -396,9 +401,16 @@ let compute_par engine ?program ?budget ?resume ~faults ~from () =
     if w = 0 then cp.Compile.actions
     else (Compile.program cp.Compile.source).Compile.actions
   in
+  (* env actions join the closure set, after the program's (same order
+     as the sequential search's joined array) *)
   let worker_prog =
     Array.init jobs (fun w ->
-        match program with None -> [||] | Some cp -> recompile cp w)
+        let p =
+          match program with None -> [||] | Some cp -> recompile cp w
+        in
+        match envs with
+        | None -> p
+        | Some cp -> Array.append p (recompile cp w))
   in
   let worker_fault = Array.init jobs (recompile faults) in
   let worker_buf = Array.init jobs (fun _ -> State.make env) in
@@ -581,9 +593,9 @@ let compute_par engine ?program ?budget ?resume ~faults ~from () =
     histogram;
   }
 
-let compute engine ?program ?budget ?resume ~faults ~from () =
+let compute engine ?program ?envs ?budget ?resume ~faults ~from () =
   match Engine.backend engine with
   | Engine.Parallel ->
-      compute_par engine ?program ?budget ?resume ~faults ~from ()
+      compute_par engine ?program ?envs ?budget ?resume ~faults ~from ()
   | Engine.Eager | Engine.Lazy ->
-      compute_seq engine ?program ?budget ?resume ~faults ~from ()
+      compute_seq engine ?program ?envs ?budget ?resume ~faults ~from ()

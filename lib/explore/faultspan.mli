@@ -26,6 +26,7 @@ type t
 val compute :
   Engine.t ->
   ?program:Guarded.Compile.program ->
+  ?envs:Guarded.Compile.program ->
   ?budget:int ->
   ?resume:Rt.Snapshot.t ->
   faults:Guarded.Compile.program ->
@@ -35,8 +36,12 @@ val compute :
 (** Closure of [from] under the fault actions and (when given) the program
     actions. [budget] caps the number of fault steps along any derivation;
     omitted, faults may occur unboundedly (the paper's recurring-fault
-    span). [All]/[Pred] roots sweep the space, so they require it to fit
-    the engine's budget; [Seeds] works on spaces of any size.
+    span). [envs] are environment actions (Roohitavaf–Kulkarni): they
+    extend the span exactly like program steps — 0-cost closure edges that
+    never consume [budget] — and are folded into the span's config hash,
+    so checkpoints cannot cross an environment change. [All]/[Pred] roots
+    sweep the space, so they require it to fit the engine's budget;
+    [Seeds] works on spaces of any size.
 
     The search polls the engine's guard ({!Engine.guard}) at chunk/wave
     boundaries; a trip raises {!Engine.Interrupted}, carrying (under

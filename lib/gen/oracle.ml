@@ -28,6 +28,7 @@ let oracle_names =
     "cert-agree";
     "reorder-stable";
     "storm-consistent";
+    "adversary-sound";
     "storage-agree";
     "emit-roundtrip";
   ]
@@ -385,6 +386,99 @@ let o_storm_consistent ctx =
         else None
   end
 
+(* The adversary bound (Tol.Adversary: exact worst-case recovery steps
+   over the span under a worst-case scheduler) is validated three ways on
+   models with a positive certificate:
+
+   1. eager and lazy engines produce the identical result;
+   2. the verdict coincides with the exact unfair convergence check over
+      the same span — [Bounded w] iff the fault-free region is acyclic
+      with longest path [w - 1], and then the bounds are equal;
+   3. when bounded, the theorem-implied composite bound dominates every
+      storm trial: at most [budget] injections split a trial into
+      fault-free segments of at most [w] program steps each, so a trial
+      that fails to converge within [(b+1)*(w+1) + b + 4] steps is a real
+      soundness contradiction, not bad luck. *)
+let o_adversary_sound ctx =
+  let fail detail = Some { oracle = "adversary-sound"; detail } in
+  let e = lazy_e ctx in
+  if not (Certify.ok (certificate ctx e ctx.m.Spec.program)) then None
+  else begin
+    let budget = Some ctx.cfg.cert_budget in
+    let from = Engine.Seeds [ ctx.m.Spec.legit ] in
+    let adv_of e =
+      let sp = span ctx e ~budget ~from in
+      ( sp,
+        Tol.Adversary.worst_case e ~program:ctx.cp ~span:sp
+          ~invariant:ctx.m.Spec.invariant () )
+    in
+    let adv_sig (r : Tol.Adversary.result) =
+      ( (match r.Tol.Adversary.verdict with
+        | Tol.Adversary.Bounded w -> Some w
+        | Tol.Adversary.Unbounded _ -> None),
+        r.Tol.Adversary.span_states,
+        r.Tol.Adversary.outside )
+    in
+    let adv_str (b, states, outside) =
+      Printf.sprintf "bound=%s span=%d outside=%d"
+        (match b with Some w -> string_of_int w | None -> "unbounded")
+        states outside
+    in
+    let sp, adv = adv_of e in
+    let _, adv_eager = adv_of (eager ctx) in
+    if adv_sig adv <> adv_sig adv_eager then
+      fail
+        (Printf.sprintf "lazy (%s) disagrees with eager (%s)"
+           (adv_str (adv_sig adv))
+           (adv_str (adv_sig adv_eager)))
+    else
+      let conv_worst =
+        match
+          Convergence.check_unfair e ctx.cp
+            ~from:(Engine.Seeds (Faultspan.states sp))
+            ~target:ctx.m.Spec.invariant
+        with
+        | Ok { Convergence.worst_case_steps; _ } -> worst_case_steps
+        | Error _ -> None
+      in
+      match (adv.Tol.Adversary.verdict, conv_worst) with
+      | Tol.Adversary.Bounded w, Some w' when w <> w' ->
+          fail
+            (Printf.sprintf
+               "adversary bound %d but exact convergence worst case %d" w w')
+      | Tol.Adversary.Bounded w, None ->
+          fail
+            (Printf.sprintf
+               "adversary bound %d but the unfair convergence check found no \
+                finite worst case"
+               w)
+      | Tol.Adversary.Unbounded _, Some w' ->
+          fail
+            (Printf.sprintf
+               "adversary says unbounded but the unfair convergence check \
+                bounds recovery at %d steps"
+               w')
+      | Tol.Adversary.Unbounded _, None -> None
+      | Tol.Adversary.Bounded w, Some _ ->
+          let b = ctx.cfg.cert_budget in
+          let max_steps = ((b + 1) * (w + 1)) + b + 4 in
+          let result =
+            Sim.Storm.trials ~max_steps ~fault_budget:b ~jobs:1
+              ~rng:(Prng.create ctx.storm_seed) ~trials:ctx.cfg.storm_trials
+              ~daemon:(fun r -> Sim.Daemon.random r)
+              ~prepare:(fun _ -> State.copy ctx.m.Spec.legit)
+              ~stop:ctx.m.Spec.invariant ~fault:ctx.m.Spec.fault
+              ~rate:ctx.cfg.storm_rate ctx.cp
+          in
+          if result.Sim.Storm.failures > 0 then
+            fail
+              (Printf.sprintf
+                 "%d/%d storm trials exceeded the adversary-implied bound of \
+                  %d steps (budget=%d, adversary bound=%d)"
+                 result.Sim.Storm.failures ctx.cfg.storm_trials max_steps b w)
+          else None
+  end
+
 (* Fuzz models are small, so the engines above resolve their visited-set
    storage to direct-mapped arrays. This oracle re-runs the region query
    on engines with {e forced} open-addressing storage and with bit-packed
@@ -561,6 +655,7 @@ let oracles =
     ("cert-agree", o_cert_agree);
     ("reorder-stable", o_reorder_stable);
     ("storm-consistent", o_storm_consistent);
+    ("adversary-sound", o_adversary_sound);
     ("storage-agree", o_storage_agree);
     ("emit-roundtrip", o_emit_roundtrip);
   ]

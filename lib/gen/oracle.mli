@@ -28,7 +28,15 @@
       fault-free convergence verdict is exact (acyclic region), a
       recurring-fault storm under the certified budget converges within
       the theorem-implied step bound — {!Sim.Storm} can never contradict
-      a positive certificate.
+      a positive certificate;
+    - [adversary-sound]: when the certificate is positive,
+      {!Tol.Adversary.worst_case} over the budgeted span is identical on
+      the eager and lazy engines, its verdict coincides exactly with the
+      unfair convergence check over the same span ([Bounded w] iff the
+      fault-free region is acyclic with worst case [w], and then the
+      bounds are equal), and when bounded the adversary-implied composite
+      bound dominates every storm trial — the worst-case daemon really is
+      worst-case.
 
     All randomness (storm streams, the reordering permutation) is drawn
     from the caller's [rng] up front, so a run is a pure function of the

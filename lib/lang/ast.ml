@@ -75,6 +75,7 @@ type item =
   | Vars of vdecl list
   | Action of act
   | Fault of act
+  | Env of act
   | Constraint of constr
   | Invariant of Loc.t * bexp
   | Init of Loc.t * init_bind list
@@ -144,6 +145,7 @@ let strip_item = function
   | Vars ds -> Vars (List.map strip_vdecl ds)
   | Action a -> Action (strip_act a)
   | Fault a -> Fault (strip_act a)
+  | Env a -> Env (strip_act a)
   | Constraint c ->
       Constraint
         {

@@ -92,6 +92,9 @@ type item =
   | Vars of vdecl list
   | Action of act
   | Fault of act
+  | Env of act
+      (** environment action: uncontrollable but budget-free — the
+          certifier must tolerate it and may never repair through it *)
   | Constraint of constr
   | Invariant of Loc.t * bexp
   | Init of Loc.t * init_bind list

@@ -7,6 +7,7 @@ type t = {
   env : Env.t;
   program : Program.t;
   fault_actions : Action.t list;
+  env_actions : Action.t list;
   constraints : (string * Expr.boolean) list;
   invariant_expr : Expr.boolean;
   invariant : State.t -> bool;
@@ -439,8 +440,10 @@ let model ?(params = []) (src : Source.t) (m : Ast.model) : t =
           (Printf.sprintf "unknown parameter %s (model %s does not declare it)"
              name m.Ast.m_name))
     params;
-  let prog_acts = ref [] and fault_acts = ref [] in
-  let prog_seen = Hashtbl.create 16 and fault_seen = Hashtbl.create 16 in
+  let prog_acts = ref [] and fault_acts = ref [] and env_acts = ref [] in
+  let prog_seen = Hashtbl.create 16
+  and fault_seen = Hashtbl.create 16
+  and env_seen = Hashtbl.create 16 in
   let constraints = ref [] and invariants = ref [] in
   let init_sets = ref [] and init_loc = ref None in
   let do_item = function
@@ -549,6 +552,9 @@ let model ?(params = []) (src : Source.t) (m : Ast.model) : t =
     | Ast.Fault a ->
         fault_acts :=
           List.rev_append (elaborate_act ctx fault_seen ~prefix:"fault:" a) !fault_acts
+    | Ast.Env a ->
+        env_acts :=
+          List.rev_append (elaborate_act ctx env_seen ~prefix:"env:" a) !env_acts
     | Ast.Constraint c ->
         expand_binders ctx c.Ast.c_binders
         |> List.iter (fun bnd ->
@@ -635,6 +641,7 @@ let model ?(params = []) (src : Source.t) (m : Ast.model) : t =
     env = ctx.env;
     program;
     fault_actions = List.rev !fault_acts;
+    env_actions = List.rev !env_acts;
     constraints;
     invariant_expr;
     invariant = (fun st -> Expr.eval st invariant_expr);

@@ -20,6 +20,12 @@ type t = {
   program : Guarded.Program.t;
   fault_actions : Guarded.Action.t list;
       (** declared [fault] items, expanded; names are [fault:<name>] *)
+  env_actions : Guarded.Action.t list;
+      (** declared [env] items, expanded; names are [env:<name>].
+          Environment actions are uncontrollable like faults but free:
+          they extend the fault span without consuming budget, closure
+          and convergence must hold under them, and they are never part
+          of a repair. *)
   constraints : (string * Guarded.Expr.boolean) list;
       (** expanded constraint instances, in declaration order *)
   invariant_expr : Guarded.Expr.boolean;

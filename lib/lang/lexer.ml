@@ -9,6 +9,7 @@ type token =
   | KW_VAR
   | KW_ACTION
   | KW_FAULT
+  | KW_ENV
   | KW_CONSTRAINT
   | KW_INVARIANT
   | KW_INIT
@@ -68,6 +69,7 @@ let keyword = function
   | "var" -> Some KW_VAR
   | "action" -> Some KW_ACTION
   | "fault" -> Some KW_FAULT
+  | "env" -> Some KW_ENV
   | "constraint" -> Some KW_CONSTRAINT
   | "invariant" -> Some KW_INVARIANT
   | "init" -> Some KW_INIT
@@ -102,6 +104,7 @@ let keyword_text = function
   | KW_VAR -> Some "var"
   | KW_ACTION -> Some "action"
   | KW_FAULT -> Some "fault"
+  | KW_ENV -> Some "env"
   | KW_CONSTRAINT -> Some "constraint"
   | KW_INVARIANT -> Some "invariant"
   | KW_INIT -> Some "init"
@@ -134,6 +137,7 @@ let token_to_string = function
   | KW_VAR -> "'var'"
   | KW_ACTION -> "'action'"
   | KW_FAULT -> "'fault'"
+  | KW_ENV -> "'env'"
   | KW_CONSTRAINT -> "'constraint'"
   | KW_INVARIANT -> "'invariant'"
   | KW_INIT -> "'init'"

@@ -16,6 +16,7 @@ type token =
   | KW_VAR
   | KW_ACTION
   | KW_FAULT
+  | KW_ENV
   | KW_CONSTRAINT
   | KW_INVARIANT
   | KW_INIT

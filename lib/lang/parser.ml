@@ -449,8 +449,8 @@ let parse_statement p =
       Some (targets, exprs)
 
 let item_start = function
-  | KW_PARAM | KW_TOPOLOGY | KW_VAR | KW_ACTION | KW_FAULT | KW_CONSTRAINT
-  | KW_INVARIANT | KW_INIT | EOF ->
+  | KW_PARAM | KW_TOPOLOGY | KW_VAR | KW_ACTION | KW_FAULT | KW_ENV
+  | KW_CONSTRAINT | KW_INVARIANT | KW_INIT | EOF ->
       true
   | _ -> false
 
@@ -577,6 +577,9 @@ let parse_item p =
   | KW_FAULT ->
       advance p;
       Ast.Fault (parse_action p)
+  | KW_ENV ->
+      advance p;
+      Ast.Env (parse_action p)
   | KW_CONSTRAINT ->
       advance p;
       let cl = loc p in
@@ -596,7 +599,7 @@ let parse_item p =
       failp p
         (Printf.sprintf
            "expected a model item (param, topology, var, action, fault, \
-            constraint, invariant, init), found %s"
+            env, constraint, invariant, init), found %s"
            (token_to_string t))
 
 let parse src =

@@ -237,6 +237,7 @@ let item buf = function
       Buffer.add_char buf '\n'
   | Action a -> act buf "action" a
   | Fault a -> act buf "fault" a
+  | Env a -> act buf "env" a
   | Constraint c ->
       Buffer.add_string buf "constraint ";
       Buffer.add_string buf c.c_name;

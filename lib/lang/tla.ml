@@ -173,6 +173,12 @@ let render (m : Elab.t) : string =
       let fault_names = List.map emit_action faults in
       line "Faults == %s" (String.concat " \\/ " fault_names);
       line "");
+  (match m.Elab.env_actions with
+  | [] -> ()
+  | envs ->
+      let env_names = List.map emit_action envs in
+      line "Environment == %s" (String.concat " \\/ " env_names);
+      line "");
   line "Invariant ==";
   line "  %s" (boolean vname m.Elab.invariant_expr);
   line "";

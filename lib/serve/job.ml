@@ -28,6 +28,8 @@ type options = {
   max_steps : int;
   faults : string option;
   fault_budget : int option;
+  budget_max : int;  (* tolerance sweep range: budgets 0..budget_max *)
+  adversary : bool;  (* tolerance: also run the adversary bound *)
   count : int;
   max_vars : int;
   params : (string * int) list;
@@ -48,6 +50,8 @@ let defaults =
     max_steps = 100_000;
     faults = None;
     fault_budget = None;
+    budget_max = 3;
+    adversary = false;
     count = 200;
     max_vars = 4;
     params = [];
@@ -141,6 +145,14 @@ let options_of_json fields =
       | "fault_budget" ->
           let* n = as_int name value in
           Ok { o with fault_budget = Some n }
+      | "budget_max" ->
+          let* n = as_int name value in
+          let* n = non_negative name n in
+          Ok { o with budget_max = n }
+      | "adversary" -> (
+          match value with
+          | Obs.Json.Bool b -> Ok { o with adversary = b }
+          | _ -> Error "option adversary: expected a boolean")
       | "count" ->
           let* n = as_int name value in
           let* n = non_negative name n in
@@ -215,6 +227,13 @@ let key_of ~op ~digest o =
     match op with
     | Proto.Check -> engine_parts
     | Proto.Certify -> engine_parts @ [ faults_part; fault_budget_part ]
+    | Proto.Tolerance ->
+        engine_parts
+        @ [
+            faults_part;
+            i "budget_max" o.budget_max;
+            Printf.sprintf "adversary=%b" o.adversary;
+          ]
     | Proto.Storm ->
         [
           i "seed" o.seed;
@@ -280,10 +299,11 @@ let prepare (req : Proto.request) =
                      inline, before it ever occupies the executor. *)
                   let fault_result =
                     match (op, opts.faults) with
-                    | (Proto.Certify | Proto.Storm), Some spec ->
+                    | (Proto.Certify | Proto.Tolerance | Proto.Storm), Some spec
+                      ->
                         Result.map Option.some
                           (parse_fault_spec em.Lang.Elab.env spec)
-                    | (Proto.Certify | Proto.Storm), None -> (
+                    | (Proto.Certify | Proto.Tolerance | Proto.Storm), None -> (
                         match em.Lang.Elab.fault_actions with
                         | [] when op = Proto.Certify ->
                             Error
@@ -421,6 +441,70 @@ let run_certify ~pool ~obs ~guard (em : Lang.Elab.t) fault o =
       ("certificate", Obs.Json.Str (render Nonmask.Certify.pp_full cert));
     ]
 
+let run_tolerance ~pool ~obs ~guard (em : Lang.Elab.t) fault o =
+  let engine =
+    Explore.Engine.create ~backend:o.engine ~max_states:o.max_states ~pool
+      ~obs ~guard em.env
+  in
+  let from =
+    if o.ball < 0 then None
+    else
+      Some
+        (Explore.Engine.Seeds
+           (Explore.Engine.ball em.env ~center:em.init ~radius:o.ball))
+  in
+  let frontier =
+    Tol.Sweep.run ~engine ~program:em.program
+      ~faults:(Sim.Fault.actions fault) ~envs:em.env_actions
+      ~invariant:em.invariant ?from
+      ~budgets:(Tol.Sweep.range ~max:o.budget_max)
+      ~adversary:o.adversary
+      ~name:(Printf.sprintf "%s under %s" em.name fault.Sim.Fault.name)
+      ()
+  in
+  let point_json (p : Tol.Sweep.point) =
+    Obs.Json.Obj
+      ([
+         ("budget", Obs.Json.Int p.Tol.Sweep.budget);
+         ("span_states", Obs.Json.Int p.Tol.Sweep.span_states);
+         ("span_roots", Obs.Json.Int p.Tol.Sweep.span_roots);
+         ("max_depth", Obs.Json.Int p.Tol.Sweep.max_depth);
+         ("certified", Obs.Json.Bool p.Tol.Sweep.certified);
+         ( "worst_case",
+           match p.Tol.Sweep.worst_case with
+           | Some w -> Obs.Json.Int w
+           | None -> Obs.Json.Null );
+         ("reused", Obs.Json.Bool p.Tol.Sweep.reused);
+       ]
+      @
+      match p.Tol.Sweep.adversary with
+      | None -> []
+      | Some r -> (
+          match r.Tol.Adversary.verdict with
+          | Tol.Adversary.Bounded w ->
+              [ ("adversary_bound", Obs.Json.Int w) ]
+          | Tol.Adversary.Unbounded _ ->
+              [ ("adversary_bound", Obs.Json.Str "unbounded") ]))
+  in
+  let span_total =
+    List.fold_left
+      (fun acc (p : Tol.Sweep.point) ->
+        if p.Tol.Sweep.reused then acc else acc + p.Tol.Sweep.span_states)
+      0 frontier.Tol.Sweep.points
+  in
+  (* the sweep either completes or raises (Interrupted/overflow), so a
+     returned frontier is always a complete, cacheable curve *)
+  ok_outcome ~exit_code:0 ~states:span_total ~status:"done"
+    [
+      ("points", Obs.Json.List (List.map point_json frontier.Tol.Sweep.points));
+      ( "cliff",
+        match frontier.Tol.Sweep.cliff with
+        | Some c -> Obs.Json.Int c
+        | None -> Obs.Json.Null );
+      ("table", Obs.Json.Str (render Tol.Sweep.pp_frontier frontier));
+      ("engine", Obs.Json.Str (Explore.Engine.backend_name engine));
+    ]
+
 let run_storm ~pool ~obs ~guard (em : Lang.Elab.t) fault o =
   let cp = Guarded.Compile.program em.program in
   let fault_budget =
@@ -505,6 +589,8 @@ let run ~pool ~obs ~guard p =
     | Proto.Check, Some em, _ -> run_check ~pool ~obs ~guard em p.opts
     | Proto.Certify, Some em, Some fault ->
         run_certify ~pool ~obs ~guard em fault p.opts
+    | Proto.Tolerance, Some em, Some fault ->
+        run_tolerance ~pool ~obs ~guard em fault p.opts
     | Proto.Storm, Some em, Some fault ->
         run_storm ~pool ~obs ~guard em fault p.opts
     | Proto.Fuzz, None, _ -> run_fuzz ~pool ~obs ~guard p.opts

@@ -19,6 +19,10 @@ type options = {
   max_steps : int;  (** storm step budget per trial; default [100_000] *)
   faults : string option;  (** [corrupt | corrupt:k=N | scramble] *)
   fault_budget : int option;
+  budget_max : int;
+      (** tolerance sweep range, budgets [0..budget_max]; default [3] *)
+  adversary : bool;
+      (** tolerance: also compute the adversary bound; default [false] *)
   count : int;  (** fuzz trials; default [200] *)
   max_vars : int;  (** fuzz model size cap; default [4] *)
   params : (string * int) list;  (** .nm parameter overrides *)
@@ -34,8 +38,9 @@ type prepared = {
   opts : options;
   elab : Lang.Elab.t option;  (** [None] only for fuzz *)
   fault : Sim.Fault.t option;
-      (** resolved fault class (certify/storm): the [faults] option,
-          else the model's declared faults, else storm's [corrupt:k=1] *)
+      (** resolved fault class (certify/tolerance/storm): the [faults]
+          option, else the model's declared faults, else [corrupt:k=1]
+          (storm and tolerance only — certify requires one) *)
   model_digest : string;  (** canonical digest, params folded; ["-"] for
                               fuzz *)
   key : string;

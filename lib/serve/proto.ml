@@ -16,11 +16,12 @@
    passed": a failed certificate is [ok:true] with
    [result.exit = 2]. *)
 
-type op = Check | Certify | Storm | Fuzz | Ping | Metrics
+type op = Check | Certify | Tolerance | Storm | Fuzz | Ping | Metrics
 
 let op_name = function
   | Check -> "check"
   | Certify -> "certify"
+  | Tolerance -> "tolerance"
   | Storm -> "storm"
   | Fuzz -> "fuzz"
   | Ping -> "ping"
@@ -29,6 +30,7 @@ let op_name = function
 let op_of_name = function
   | "check" -> Some Check
   | "certify" -> Some Certify
+  | "tolerance" -> Some Tolerance
   | "storm" -> Some Storm
   | "fuzz" -> Some Fuzz
   | "ping" -> Some Ping
@@ -80,8 +82,8 @@ let parse_request line =
             | None ->
                 bad
                   (Printf.sprintf
-                     "unknown op %S (check, certify, storm, fuzz, ping, \
-                      metrics)"
+                     "unknown op %S (check, certify, tolerance, storm, \
+                      fuzz, ping, metrics)"
                      name)
             | Some op -> (
                 let id =

@@ -1,8 +1,9 @@
 (** The serve wire protocol: newline-delimited JSON over a Unix or TCP
     socket, one request and one reply per line.
 
-    A request is [{"id": <any>, "op": "check"|"certify"|"storm"|"fuzz"|
-    "ping"|"metrics", "model": "<.nm source>", "options": {...}}]. The
+    A request is [{"id": <any>, "op": "check"|"certify"|"tolerance"|
+    "storm"|"fuzz"|"ping"|"metrics", "model": "<.nm source>",
+    "options": {...}}]. The
     reply echoes [id] and carries either [ok:true] with a [result]
     object (the cacheable, deterministic part — byte-identical between
     a cold run and a cache hit) plus [cached]/[elapsed_us] envelope
@@ -11,7 +12,7 @@
     verdict passed: a failed certificate is [ok:true] with
     [result.exit = 2]. *)
 
-type op = Check | Certify | Storm | Fuzz | Ping | Metrics
+type op = Check | Certify | Tolerance | Storm | Fuzz | Ping | Metrics
 
 val op_name : op -> string
 val op_of_name : string -> op option

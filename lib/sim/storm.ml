@@ -247,10 +247,19 @@ let pp_result ppf r =
   (match r.summary with
   | None -> Format.fprintf ppf "no trial converged (%d failures)" r.failures
   | Some s ->
-      Format.fprintf ppf "%a%s" Stats.pp_summary s
+      (* the quantile columns (p90, max, ...) are clamped at whatever
+         the sampled trials happened to see — label them as observations
+         so the rendering can never be read as a guarantee; the sound
+         guarantee is the adversary bound (pp_result_with_bound) *)
+      Format.fprintf ppf "observed %a%s" Stats.pp_summary s
         (if r.failures > 0 then Printf.sprintf " (%d failures)" r.failures
          else ""));
   Format.fprintf ppf " faults/trial=%.1f" mean_faults;
   if r.timeouts > 0 || r.retries > 0 then
     Format.fprintf ppf " timeouts=%d retries=%d" r.timeouts r.retries;
   if r.skipped > 0 then Format.fprintf ppf " skipped=%d" r.skipped
+
+let pp_result_with_bound ~bound ppf r =
+  pp_result ppf r;
+  Format.fprintf ppf " bound=%s"
+    (match bound with Some w -> string_of_int w | None -> "unbounded")

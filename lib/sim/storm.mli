@@ -92,4 +92,16 @@ val trials :
     @raise Invalid_argument when [jobs <= 0]. *)
 
 val pp_result : Format.formatter -> result -> unit
-(** Step summary plus failure count and mean faults injected per trial. *)
+(** Step summary plus failure count and mean faults injected per trial.
+    The quantile columns are prefixed [observed]: they are clamped at
+    whatever the sampled trials happened to see under one random daemon,
+    never a guarantee. *)
+
+val pp_result_with_bound :
+  bound:int option -> Format.formatter -> result -> unit
+(** {!pp_result} plus a [bound=] column carrying the {e sound} worst-case
+    recovery bound the caller computed (e.g. [Tol.Adversary.worst_case]
+    over the same span): [bound=N] for a finite bound, [bound=unbounded]
+    when no finite bound exists ([None]). Keeping [observed] and [bound]
+    as separately labeled columns is what stops a storm report from
+    being misread as a recovery-time guarantee. *)

@@ -27,7 +27,8 @@ ckpt="$tmp/nonmask_smoke_ckpt.$$"
 out_full="$tmp/nonmask_smoke_full.$$"
 out_resumed="$tmp/nonmask_smoke_resumed.$$"
 nm="$tmp/nonmask_smoke_model.$$"
-trap 'rm -f "$stderr_file" "$ckpt" "$ckpt.tmp" "$ckpt.trunc" "$ckpt.garbage" "$ckpt.ph" "$out_full" "$out_resumed" "$nm.syntax.nm" "$nm.unknown.nm" "$nm.domain.nm" "$nm.divzero.nm"' EXIT
+frontier="$tmp/nonmask_smoke_frontier.$$"
+trap 'rm -f "$stderr_file" "$ckpt" "$ckpt.tmp" "$ckpt.trunc" "$ckpt.garbage" "$ckpt.ph" "$out_full" "$out_resumed" "$nm.syntax.nm" "$nm.unknown.nm" "$nm.domain.nm" "$nm.divzero.nm" "$nm.sensor.nm" "$nm.sensor2.nm" "$nm.sensor.fmt1" "$nm.sensor.fmt2" "$frontier"' EXIT
 
 expect() {
   want="$1"
@@ -168,6 +169,65 @@ done
 expect 1 check /nonexistent/model.nm
 expect 1 check token-ring --nodes 3 -k 3 --param N=3
 expect 1 check examples/models/xyz.nm --param N=oops
+
+# --- tolerance: the quantified-tolerance sweep ------------------------
+# 0: a completed sweep exits 0 — the frontier is the deliverable, even
+# when individual points fail certification (naive-ring's cliff at 1)
+expect 0 tolerance examples/models/token_ring.nm --budget-max 2
+expect 0 tolerance token-ring --nodes 3 -k 4 --budget-max 2 --adversary
+expect 0 tolerance naive-ring --nodes 3 --faults corrupt:k=1 --budget-max 1
+# 1: a negative sweep ceiling is a usage error with a reason on stderr
+expect 1 tolerance examples/models/token_ring.nm --budget-max=-2
+grep -q 'budget-max' "$stderr_file"
+if [ $? -ne 0 ]; then
+  echo "FAIL: negative --budget-max stderr does not name the flag"
+  failed=1
+else
+  echo "ok:   negative --budget-max stderr names the flag"
+fi
+expect 1 tolerance examples/models/token_ring.nm --budgets 0,oops
+# 5: a sweep interrupted mid-exploration exits 5 — and the points that
+# completed before the trip survive in the --report file (flushed per
+# point, not at the end)
+$CLI tolerance token-ring --nodes 4 -k 6 --faults corrupt:k=1 \
+  --budget-states 100 --report "$frontier" >/dev/null 2>"$stderr_file"
+got=$?
+if [ "$got" -eq 5 ] && [ -s "$stderr_file" ] && [ -s "$frontier" ] \
+  && head -1 "$frontier" | grep -q '"budget":0'; then
+  echo "ok:   interrupted sweep -> exit 5, partial frontier flushed"
+else
+  echo "FAIL: interrupted sweep (exit $got) did not leave a partial frontier"
+  failed=1
+fi
+
+# --- env actions: parse, certify, and format idempotently -------------
+cat >"$nm.sensor.nm" <<'EOF'
+model sensor-demo
+
+var x : 0..2
+var sensor : 0..1
+
+action settle:
+  x > 0 -> x := x - 1
+
+env flip:
+  true -> sensor := 1 - sensor
+
+invariant x = 0
+EOF
+# the env item parses and rides through a sweep
+expect 0 tolerance "$nm.sensor.nm" --budget-max 1
+# fmt is idempotent on models with env actions, and preserves the item
+$CLI fmt "$nm.sensor.nm" >"$nm.sensor.fmt1" 2>/dev/null
+cp "$nm.sensor.fmt1" "$nm.sensor2.nm"
+$CLI fmt "$nm.sensor2.nm" >"$nm.sensor.fmt2" 2>/dev/null
+if cmp -s "$nm.sensor.fmt1" "$nm.sensor.fmt2" \
+  && grep -q '^env flip:' "$nm.sensor.fmt1"; then
+  echo "ok:   fmt idempotent on env-action model"
+else
+  echo "FAIL: fmt not idempotent on env-action model (or env item lost)"
+  failed=1
+fi
 
 # --- fmt --hash: the canonical model digest --------------------------
 # 0: works for .nm files and built-in protocols alike

@@ -518,6 +518,7 @@ let test_certify_rendering () =
       shapes = [ ("q", Dgraph.Classify.Out_tree) ];
       checks =
         [ Certify.check_pass "good"; Certify.check_fail "bad" ~detail:"boom" ];
+      summary = None;
     }
   in
   Alcotest.(check bool) "not ok" false (Certify.ok cert);

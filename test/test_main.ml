@@ -24,5 +24,6 @@ let () =
       ("rt", Test_rt.suite);
       ("lang", Test_lang.suite);
       ("gen", Test_gen.suite);
+      ("tol", Test_tol.suite);
       ("serve", Test_serve.suite);
     ]
